@@ -1,0 +1,135 @@
+// Reproduction of the paper's Section II.B structural claims:
+//
+//  * subdomain supply: "there are 340 subdomains with each color in medium
+//    test case, and there are nearly 5000 subdomains with each color in
+//    large test case" (2-D SDC at the paper scale - we print the same
+//    quantity for every case / dimensionality at the current scale AND at
+//    the paper scale, which is pure arithmetic and always runs);
+//
+//  * fork-join / barrier counts per time step: 2 colors (1-D), 4 (2-D),
+//    8 (3-D) per force phase;
+//
+//  * "the cost of spatial decomposition and coloring is very low":
+//    we time schedule construction + atom partitioning against one force
+//    evaluation.
+#include <cstdio>
+
+#include "benchsupport/cases.hpp"
+#include "common/error.hpp"
+#include "common/table.hpp"
+#include "common/timer.hpp"
+#include "common/units.hpp"
+#include "core/eam_force.hpp"
+#include "core/sdc_schedule.hpp"
+#include "geom/lattice.hpp"
+#include "potential/finnis_sinclair.hpp"
+
+namespace {
+
+constexpr double kSkin = 0.4;
+
+void print_subdomain_table(sdcmd::bench::Scale scale) {
+  using namespace sdcmd;
+  using namespace sdcmd::bench;
+
+  FinnisSinclair iron(FinnisSinclairParams::iron());
+  const double range = iron.cutoff() + kSkin;
+
+  std::printf("subdomain supply at scale '%s':\n",
+              to_string(scale).c_str());
+  AsciiTable table({"case", "atoms", "dims", "grid", "colors",
+                    "subdomains/color"});
+  for (const TestCase& test_case : paper_cases(scale)) {
+    const Box box = test_case.lattice().box();
+    for (int dims = 1; dims <= 3; ++dims) {
+      std::vector<std::string> row{test_case.name,
+                                   std::to_string(test_case.atom_count()),
+                                   std::to_string(dims) + "-D"};
+      try {
+        const auto d = SpatialDecomposition::finest(box, dims, range);
+        const Coloring coloring(d);
+        row.push_back(std::to_string(d.counts()[0]) + "x" +
+                      std::to_string(d.counts()[1]) + "x" +
+                      std::to_string(d.counts()[2]));
+        row.push_back(std::to_string(coloring.color_count()));
+        row.push_back(std::to_string(coloring.group_size()));
+      } catch (const InfeasibleError&) {
+        row.insert(row.end(), {"-", "-", "infeasible"});
+      }
+      table.add_row(std::move(row));
+    }
+  }
+  std::printf("%s\n", table.render().c_str());
+}
+
+}  // namespace
+
+int main() {
+  using namespace sdcmd;
+  using namespace sdcmd::bench;
+
+  std::printf("=== Section II.B: decomposition structure\n\n");
+  print_subdomain_table(scale_from_env());
+  print_subdomain_table(Scale::Paper);
+  std::printf(
+      "paper reference at paper scale, 2-D: medium ~340/color, large3 "
+      "~5000/color\n(exact values depend on the skin; the magnitude is the "
+      "claim).\n\n");
+
+  // Barrier counts per force phase.
+  std::printf("synchronization structure per time step (two SDC phases):\n");
+  AsciiTable sync({"dims", "colors", "parallel regions/step",
+                   "color barriers/step"});
+  for (int dims = 1; dims <= 3; ++dims) {
+    const int colors = 1 << dims;
+    sync.add_row({std::to_string(dims) + "-D", std::to_string(colors), "2",
+                  std::to_string(2 * colors)});
+  }
+  std::printf("%s\n", sync.render().c_str());
+
+  // Cost of schedule construction vs one force evaluation.
+  FinnisSinclair iron(FinnisSinclairParams::iron());
+  const TestCase test_case = paper_cases(scale_from_env())[2];  // large3
+  LatticeSpec spec = test_case.lattice();
+  const Box box = spec.box();
+  const auto positions = build_lattice(spec);
+
+  Stopwatch schedule_watch;
+  schedule_watch.start();
+  SdcConfig sdc_cfg;
+  sdc_cfg.dimensionality = 2;
+  SdcSchedule schedule(box, iron.cutoff() + kSkin, sdc_cfg);
+  schedule.rebuild(positions);
+  const double schedule_time = schedule_watch.stop();
+
+  NeighborListConfig nl_cfg;
+  nl_cfg.cutoff = iron.cutoff();
+  nl_cfg.skin = kSkin;
+  NeighborList list(box, nl_cfg);
+  Stopwatch list_watch;
+  list_watch.start();
+  list.build(positions);
+  const double list_time = list_watch.stop();
+
+  EamForceConfig fc;
+  fc.strategy = ReductionStrategy::Serial;
+  EamForceComputer computer(iron, fc);
+  std::vector<double> rho(positions.size()), fp(positions.size());
+  std::vector<Vec3> force(positions.size());
+  Stopwatch force_watch;
+  force_watch.start();
+  computer.compute(box, positions, list, rho, fp, force);
+  const double force_time = force_watch.stop();
+
+  std::printf(
+      "amortization on case %s (%zu atoms):\n"
+      "  SDC schedule build (decompose+color+partition) %.5f s\n"
+      "  neighbor-list build                            %.5f s\n"
+      "  one serial force evaluation                    %.5f s\n"
+      "  -> schedule cost is %.1f%% of a single step and is paid only at\n"
+      "     neighbor-list rebuilds (every ~10-50 steps), matching the\n"
+      "     paper's 'the times of steps 1 and 2 can be omitted'.\n",
+      test_case.name.c_str(), positions.size(), schedule_time, list_time,
+      force_time, 100.0 * schedule_time / force_time);
+  return 0;
+}

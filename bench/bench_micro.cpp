@@ -1,0 +1,242 @@
+// Kernel-level microbenchmarks (google-benchmark): the building blocks
+// whose costs explain the macro results - potential evaluation, neighbor
+// machinery, schedule construction, and the per-update cost of each
+// synchronization primitive the strategies rely on.
+#include <benchmark/benchmark.h>
+#include <omp.h>
+
+#include <vector>
+
+#include "common/random.hpp"
+#include "common/units.hpp"
+#include "core/eam_force.hpp"
+#include "core/sdc_schedule.hpp"
+#include "geom/lattice.hpp"
+#include "neighbor/neighbor_list.hpp"
+#include "neighbor/reorder.hpp"
+#include "potential/finnis_sinclair.hpp"
+#include "potential/tabulated.hpp"
+
+namespace {
+
+using namespace sdcmd;
+
+constexpr double kSkin = 0.4;
+
+std::vector<Vec3> jittered_bcc(int cells, Box& box_out) {
+  LatticeSpec spec;
+  spec.type = LatticeType::Bcc;
+  spec.a0 = units::kLatticeFe;
+  spec.nx = spec.ny = spec.nz = cells;
+  box_out = spec.box();
+  auto positions = build_lattice(spec);
+  Xoshiro256 rng(1);
+  for (auto& r : positions) {
+    r += Vec3{rng.normal(0.0, 0.05), rng.normal(0.0, 0.05),
+              rng.normal(0.0, 0.05)};
+    r = box_out.wrap(r);
+  }
+  return positions;
+}
+
+void BM_FsAnalyticEvaluation(benchmark::State& state) {
+  FinnisSinclair fe(FinnisSinclairParams::iron());
+  Xoshiro256 rng(2);
+  std::vector<double> rs(1024);
+  for (auto& r : rs) r = rng.uniform(2.0, 3.5);
+  for (auto _ : state) {
+    double acc = 0.0;
+    for (double r : rs) {
+      double v, dv, phi, dphi;
+      fe.pair(r, v, dv);
+      fe.density(r, phi, dphi);
+      acc += v + phi;
+    }
+    benchmark::DoNotOptimize(acc);
+  }
+  state.SetItemsProcessed(state.iterations() * rs.size());
+}
+BENCHMARK(BM_FsAnalyticEvaluation);
+
+void BM_TabulatedEvaluation(benchmark::State& state) {
+  FinnisSinclair fe(FinnisSinclairParams::iron());
+  const auto tab = TabulatedEam::from_analytic(fe, 2000, 2000, 60.0);
+  Xoshiro256 rng(2);
+  std::vector<double> rs(1024);
+  for (auto& r : rs) r = rng.uniform(2.0, 3.5);
+  for (auto _ : state) {
+    double acc = 0.0;
+    for (double r : rs) {
+      double v, dv, phi, dphi;
+      tab.pair(r, v, dv);
+      tab.density(r, phi, dphi);
+      acc += v + phi;
+    }
+    benchmark::DoNotOptimize(acc);
+  }
+  state.SetItemsProcessed(state.iterations() * rs.size());
+}
+BENCHMARK(BM_TabulatedEvaluation);
+
+void BM_NeighborListBuild(benchmark::State& state) {
+  Box box = Box::cubic(1.0);
+  const auto positions = jittered_bcc(static_cast<int>(state.range(0)), box);
+  NeighborListConfig cfg;
+  cfg.cutoff = 3.569745;
+  cfg.skin = kSkin;
+  NeighborList list(box, cfg);
+  for (auto _ : state) {
+    list.build(positions);
+    benchmark::DoNotOptimize(list.pair_count());
+  }
+  state.SetItemsProcessed(state.iterations() * positions.size());
+}
+BENCHMARK(BM_NeighborListBuild)->Arg(6)->Arg(10)->Arg(14);
+
+void BM_SdcScheduleBuild(benchmark::State& state) {
+  Box box = Box::cubic(1.0);
+  const auto positions = jittered_bcc(static_cast<int>(state.range(0)), box);
+  SdcConfig cfg;
+  cfg.dimensionality = 2;
+  SdcSchedule schedule(box, 3.569745 + kSkin, cfg);
+  for (auto _ : state) {
+    schedule.rebuild(positions);
+    benchmark::DoNotOptimize(schedule.partition().atom_count());
+  }
+  state.SetItemsProcessed(state.iterations() * positions.size());
+}
+BENCHMARK(BM_SdcScheduleBuild)->Arg(10)->Arg(14);
+
+void BM_SpatialSortPermutation(benchmark::State& state) {
+  Box box = Box::cubic(1.0);
+  const auto positions = jittered_bcc(static_cast<int>(state.range(0)), box);
+  for (auto _ : state) {
+    auto perm = spatial_sort_permutation(box, positions, 3.97);
+    benchmark::DoNotOptimize(perm.data());
+  }
+  state.SetItemsProcessed(state.iterations() * positions.size());
+}
+BENCHMARK(BM_SpatialSortPermutation)->Arg(10);
+
+// The per-update cost of each scatter-protection primitive, measured on
+// the same random-index scatter pattern. This is the mechanism behind the
+// Fig. 9 ordering: plain write < atomic < critical.
+void scatter_benchmark(benchmark::State& state, int mode) {
+  const std::size_t n = 1 << 16;
+  std::vector<double> array(n, 0.0);
+  Xoshiro256 rng(3);
+  std::vector<std::uint32_t> idx(4096);
+  for (auto& i : idx) i = static_cast<std::uint32_t>(rng.below(n));
+
+  for (auto _ : state) {
+    switch (mode) {
+      case 0:
+        for (std::uint32_t i : idx) array[i] += 1.0;
+        break;
+      case 1:
+        for (std::uint32_t i : idx) {
+#pragma omp atomic
+          array[i] += 1.0;
+        }
+        break;
+      case 2:
+        for (std::uint32_t i : idx) {
+#pragma omp critical(bench_scatter)
+          array[i] += 1.0;
+        }
+        break;
+    }
+    benchmark::DoNotOptimize(array.data());
+    benchmark::ClobberMemory();
+  }
+  state.SetItemsProcessed(state.iterations() * idx.size());
+}
+void BM_ScatterPlain(benchmark::State& state) { scatter_benchmark(state, 0); }
+void BM_ScatterAtomic(benchmark::State& state) { scatter_benchmark(state, 1); }
+void BM_ScatterCritical(benchmark::State& state) {
+  scatter_benchmark(state, 2);
+}
+BENCHMARK(BM_ScatterPlain);
+BENCHMARK(BM_ScatterAtomic);
+BENCHMARK(BM_ScatterCritical);
+
+// Cost of one empty colored sweep = the pure synchronization overhead SDC
+// pays per phase (colors x omp-for barriers).
+void BM_ColorSweepBarrierOverhead(benchmark::State& state) {
+  Box box = Box::cubic(1.0);
+  const auto positions = jittered_bcc(10, box);
+  SdcConfig cfg;
+  cfg.dimensionality = static_cast<int>(state.range(0));
+  SdcSchedule schedule(box, 3.97, cfg);
+  schedule.rebuild(positions);
+  const Partition& part = schedule.partition();
+
+  for (auto _ : state) {
+    std::size_t visited = 0;
+#pragma omp parallel reduction(+ : visited)
+    {
+      for (int c = 0; c < part.color_count(); ++c) {
+#pragma omp for schedule(static)
+        for (std::size_t slot = part.color_begin(c);
+             slot < part.color_end(c); ++slot) {
+          visited += part.atoms_in_slot(slot).size();
+        }
+      }
+    }
+    benchmark::DoNotOptimize(visited);
+  }
+}
+BENCHMARK(BM_ColorSweepBarrierOverhead)->Arg(1)->Arg(2)->Arg(3);
+
+// One full EAM force evaluation per strategy (fixed small workload):
+// the end-to-end cost the macro benches sweep.
+void strategy_benchmark(benchmark::State& state, ReductionStrategy strategy) {
+  static FinnisSinclair fe{FinnisSinclairParams::iron()};
+  Box box = Box::cubic(1.0);
+  const auto positions = jittered_bcc(8, box);
+
+  NeighborListConfig nl_cfg;
+  nl_cfg.cutoff = fe.cutoff();
+  nl_cfg.skin = kSkin;
+  nl_cfg.mode = required_mode(strategy);
+  NeighborList list(box, nl_cfg);
+  list.build(positions);
+
+  EamForceConfig cfg;
+  cfg.strategy = strategy;
+  cfg.sdc.dimensionality = 2;
+  EamForceComputer computer(fe, cfg);
+  computer.attach_schedule(box, fe.cutoff() + kSkin);
+  computer.on_neighbor_rebuild(positions);
+
+  std::vector<double> rho(positions.size()), fp(positions.size());
+  std::vector<Vec3> force(positions.size());
+  for (auto _ : state) {
+    auto result =
+        computer.compute(box, positions, list, rho, fp, force);
+    benchmark::DoNotOptimize(result.pair_energy);
+  }
+  state.SetItemsProcessed(state.iterations() * list.pair_count());
+}
+void BM_EamSerial(benchmark::State& s) {
+  strategy_benchmark(s, ReductionStrategy::Serial);
+}
+void BM_EamAtomic(benchmark::State& s) {
+  strategy_benchmark(s, ReductionStrategy::Atomic);
+}
+void BM_EamSap(benchmark::State& s) {
+  strategy_benchmark(s, ReductionStrategy::ArrayPrivatization);
+}
+void BM_EamRc(benchmark::State& s) {
+  strategy_benchmark(s, ReductionStrategy::RedundantComputation);
+}
+void BM_EamSdc(benchmark::State& s) {
+  strategy_benchmark(s, ReductionStrategy::Sdc);
+}
+BENCHMARK(BM_EamSerial);
+BENCHMARK(BM_EamAtomic);
+BENCHMARK(BM_EamSap);
+BENCHMARK(BM_EamRc);
+BENCHMARK(BM_EamSdc);
+
+}  // namespace

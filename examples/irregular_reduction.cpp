@@ -1,0 +1,107 @@
+// SDC beyond molecular dynamics: the generic colored scatter engine on a
+// non-MD irregular reduction (the paper's conclusion claims this
+// generality; this example demonstrates it).
+//
+// Problem: iterative local mass diffusion over a random point cloud - each
+// point repeatedly exchanges mass with every neighbor within a range. The
+// scatter updates hit neighbors' slots, so a naive `parallel for` races
+// exactly like the EAM density loop. The colored engine runs it safely and
+// this program verifies parallel == serial and conservation of mass.
+//
+//   ./irregular_reduction [--points 20000] [--sweeps 20]
+#include <cstdio>
+#include <vector>
+
+#include "common/cli.hpp"
+#include "common/random.hpp"
+#include "common/stats.hpp"
+#include "common/threads.hpp"
+#include "common/timer.hpp"
+#include "core/colored_reduction.hpp"
+#include "neighbor/neighbor_list.hpp"
+
+int main(int argc, char** argv) {
+  using namespace sdcmd;
+
+  CliParser cli("irregular_reduction",
+                "colored scatter engine on a non-MD reduction problem");
+  cli.add_option("points", "20000", "cloud size");
+  cli.add_option("sweeps", "20", "diffusion sweeps");
+  cli.add_option("box", "40", "cubic box edge");
+  cli.add_option("range", "2.5", "interaction range");
+  if (!cli.parse(argc, argv)) return 1;
+
+  const auto n = static_cast<std::size_t>(cli.get_int("points"));
+  const double edge = cli.get_double("box");
+  const double range = cli.get_double("range");
+  const Box box = Box::cubic(edge);
+
+  Xoshiro256 rng(2009);
+  std::vector<Vec3> points(n);
+  std::vector<double> mass(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    points[i] = {rng.uniform(0.0, edge), rng.uniform(0.0, edge),
+                 rng.uniform(0.0, edge)};
+    mass[i] = rng.uniform(0.0, 2.0);
+  }
+
+  NeighborListConfig nl_cfg;
+  nl_cfg.cutoff = range;
+  nl_cfg.skin = 0.0;
+  NeighborList list(box, nl_cfg);
+  list.build(points);
+
+  SdcConfig sdc;
+  sdc.dimensionality = 3;
+  ColoredScatterEngine engine(box, range, sdc);
+  engine.rebuild(points);
+  std::printf("cloud: %zu points, %.1f neighbors/point, %s\n", n,
+              2.0 * list.mean_neighbors(), engine.schedule().describe().c_str());
+  std::printf("running on %s\n\n", thread_summary().c_str());
+
+  auto sweep = [&](std::vector<double>& m, bool parallel) {
+    auto body = [&](std::size_t i) {
+      for (std::uint32_t j : list.neighbors(i)) {
+        const double flow = 0.05 * (m[i] - m[j]);
+        m[i] -= flow;
+        m[j] += flow;
+      }
+    };
+    if (parallel) {
+      engine.for_each_point_colored(body);
+    } else {
+      engine.for_each_point_serial(body);
+    }
+  };
+
+  const int sweeps = cli.get_int("sweeps");
+  std::vector<double> serial = mass;
+  std::vector<double> parallel = mass;
+
+  Stopwatch serial_watch, parallel_watch;
+  serial_watch.start();
+  for (int s = 0; s < sweeps; ++s) sweep(serial, false);
+  serial_watch.stop();
+  parallel_watch.start();
+  for (int s = 0; s < sweeps; ++s) sweep(parallel, true);
+  parallel_watch.stop();
+
+  double max_diff = 0.0, total_before = 0.0, total_after = 0.0;
+  RunningStats spread;
+  for (std::size_t i = 0; i < n; ++i) {
+    max_diff = std::max(max_diff, std::abs(serial[i] - parallel[i]));
+    total_before += mass[i];
+    total_after += parallel[i];
+    spread.add(parallel[i]);
+  }
+
+  std::printf("serial   %.4f s\nparallel %.4f s\n", serial_watch.total(),
+              parallel_watch.total());
+  std::printf("max |serial - parallel| per point: %.3e\n", max_diff);
+  std::printf("mass before %.6f, after %.6f (conserved to %.1e)\n",
+              total_before, total_after,
+              std::abs(total_after - total_before));
+  std::printf("mass spread after %d sweeps: stddev %.4f (was ~0.577)\n",
+              sweeps, spread.stddev());
+  return max_diff < 1e-9 ? 0 : 1;
+}

@@ -1,0 +1,86 @@
+// Melt-and-quench: drive a bcc iron crystal far above its melting point
+// with a Langevin thermostat, watch the crystal lose its order, then quench
+// it back down. Demonstrates thermostats, long runs with many neighbor-list
+// rebuilds, and thermo monitoring under the SDC-parallelized EAM forces.
+//
+//   ./melt_quench [--cells 6] [--hot 4000] [--cold 300]
+#include <cstdio>
+
+#include "common/cli.hpp"
+#include "common/units.hpp"
+#include "md/simulation.hpp"
+#include "potential/finnis_sinclair.hpp"
+
+int main(int argc, char** argv) {
+  using namespace sdcmd;
+
+  CliParser cli("melt_quench", "melt and re-quench a bcc Fe crystal");
+  cli.add_option("cells", "6", "bcc cells per box edge");
+  cli.add_option("hot", "4000", "melt temperature (K)");
+  cli.add_option("cold", "300", "quench temperature (K)");
+  cli.add_option("phase-steps", "300", "steps per phase");
+  cli.add_option("strategy", "sdc", "reduction strategy");
+  if (!cli.parse(argc, argv)) return 1;
+
+  LatticeSpec lattice;
+  lattice.type = LatticeType::Bcc;
+  lattice.a0 = units::kLatticeFe;
+  lattice.nx = lattice.ny = lattice.nz = cli.get_int("cells");
+
+  FinnisSinclair iron(FinnisSinclairParams::iron());
+  SimulationConfig config;
+  config.dt = units::fs_to_internal(1.0);
+  config.force.strategy = parse_strategy(cli.get("strategy"));
+
+  // Prefer 3-D SDC but degrade gracefully on boxes too small to split.
+  if (config.force.strategy == ReductionStrategy::Sdc) {
+    const int dims = SpatialDecomposition::max_feasible_dimensionality(
+        lattice.box(), iron.cutoff() + config.skin);
+    if (dims == 0) {
+      std::printf("box too small for SDC; falling back to serial forces\n");
+      config.force.strategy = ReductionStrategy::Serial;
+    } else {
+      config.force.sdc.dimensionality = dims;
+    }
+  }
+
+  Simulation sim(System::from_lattice(lattice, units::kMassFe), iron,
+                 config);
+
+  const auto report = [](const Simulation& s, long step) {
+    const ThermoSample t = s.sample();
+    std::printf("%8ld %10.1f %14.6f %14.6f\n", step, t.temperature,
+                t.potential_energy() / static_cast<double>(s.system().size()),
+                t.total_energy());
+  };
+  const long steps = cli.get_int("phase-steps");
+  std::printf("%8s %10s %14s %14s\n", "step", "T (K)", "PE/atom", "Etot");
+
+  const double hot = cli.get_double("hot");
+  const double cold = cli.get_double("cold");
+
+  std::printf("-- phase 1: heat to %.0f K\n", hot);
+  sim.set_temperature(cold, 123);
+  sim.set_thermostat(std::make_unique<LangevinThermostat>(hot, 2.0, 99));
+  sim.run(steps, report, 50);
+  const double pe_hot =
+      sim.sample().potential_energy() / static_cast<double>(sim.system().size());
+
+  std::printf("-- phase 2: hold at %.0f K\n", hot);
+  sim.set_thermostat(std::make_unique<BerendsenThermostat>(hot, 0.1));
+  sim.run(steps, report, 50);
+
+  std::printf("-- phase 3: quench to %.0f K\n", cold);
+  sim.set_thermostat(std::make_unique<BerendsenThermostat>(cold, 0.05));
+  sim.run(steps, report, 50);
+  const double pe_quenched =
+      sim.sample().potential_energy() / static_cast<double>(sim.system().size());
+
+  std::printf(
+      "\nmolten PE/atom %.4f eV, quenched PE/atom %.4f eV "
+      "(perfect bcc is lower still; the gap is the stored disorder)\n",
+      pe_hot, pe_quenched);
+  std::printf("neighbor-list rebuilds during the run: %zu\n",
+              sim.rebuild_count());
+  return 0;
+}

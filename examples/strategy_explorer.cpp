@@ -1,0 +1,73 @@
+// Interactive comparison of the irregular-reduction strategies on a
+// user-sized workload: the command-line twin of the Fig. 9 bench.
+//
+//   ./strategy_explorer --cells 10 --threads 1,2,4 --steps 3
+//
+// Prints per-strategy density+force wall time, the speedup against the
+// serial kernel, and the mechanism counters (pair visits, replicated
+// bytes) that explain the differences.
+#include <cstdio>
+
+#include "benchsupport/cases.hpp"
+#include "benchsupport/sweep.hpp"
+#include "common/cli.hpp"
+#include "common/table.hpp"
+#include "common/threads.hpp"
+#include "potential/finnis_sinclair.hpp"
+
+int main(int argc, char** argv) {
+  using namespace sdcmd;
+  using namespace sdcmd::bench;
+
+  CliParser cli("strategy_explorer",
+                "compare reduction strategies on one workload");
+  cli.add_option("cells", "10", "bcc cells per box edge");
+  cli.add_option("threads", "1,2,4", "comma list of thread counts");
+  cli.add_option("steps", "3", "timed force evaluations per configuration");
+  cli.add_option("sdc-dims", "2", "SDC dimensionality");
+  if (!cli.parse(argc, argv)) return 1;
+
+  TestCase test_case{"custom", cli.get_int("cells")};
+  FinnisSinclair iron(FinnisSinclairParams::iron());
+  CaseRunner runner(test_case, iron);
+  const int steps = cli.get_int("steps");
+
+  std::printf("workload: %zu Fe atoms, %s\n\n", test_case.atom_count(),
+              thread_summary().c_str());
+
+  const double serial = runner.serial_seconds_per_step(steps);
+  std::printf("serial density+force: %.4f s/step\n\n", serial);
+
+  AsciiTable table({"strategy", "threads", "s/step", "speedup",
+                    "pair visits", "private MiB"});
+  for (ReductionStrategy strategy :
+       {ReductionStrategy::Critical, ReductionStrategy::Atomic,
+        ReductionStrategy::LockStriped,
+        ReductionStrategy::ArrayPrivatization,
+        ReductionStrategy::RedundantComputation, ReductionStrategy::Sdc}) {
+    for (int threads : cli.get_int_list("threads")) {
+      EamForceConfig cfg;
+      cfg.strategy = strategy;
+      cfg.sdc.dimensionality = cli.get_int("sdc-dims");
+      const auto timing = runner.time_strategy(cfg, threads, steps);
+      if (!timing) {
+        table.add_row({to_string(strategy), std::to_string(threads), "-",
+                       "-", "-", "-"});
+        continue;
+      }
+      table.add_row(
+          {to_string(strategy), std::to_string(threads),
+           AsciiTable::fmt(timing->density_force_seconds, 4),
+           AsciiTable::fmt(serial / timing->density_force_seconds, 2),
+           std::to_string(timing->pair_visits),
+           AsciiTable::fmt(static_cast<double>(timing->private_bytes) /
+                               (1024.0 * 1024.0),
+                           2)});
+    }
+  }
+  std::printf("%s", table.render().c_str());
+  std::printf(
+      "\nreading the counters: RC visits ~2x the pairs (full lists);\n"
+      "SAP's private MiB grows with the thread count; SDC needs neither.\n");
+  return 0;
+}

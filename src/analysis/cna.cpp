@@ -1,0 +1,155 @@
+#include "analysis/cna.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "neighbor/neighbor_list.hpp"
+
+namespace sdcmd {
+
+const char* to_string(CnaStructure s) {
+  switch (s) {
+    case CnaStructure::Other: return "other";
+    case CnaStructure::Fcc: return "fcc";
+    case CnaStructure::Hcp: return "hcp";
+    case CnaStructure::Bcc: return "bcc";
+    case CnaStructure::Ico: return "ico";
+  }
+  return "?";
+}
+
+double CnaResult::fraction(CnaStructure s) const {
+  if (per_atom.empty()) return 0.0;
+  return static_cast<double>(count(s)) /
+         static_cast<double>(per_atom.size());
+}
+
+namespace {
+
+/// Longest continuous chain of bonds in a tiny graph: the maximum number
+/// of edges in any walk that repeats no edge. Common-neighbor sets have
+/// <= 6 members for the lattices of interest, so exhaustive DFS is cheap.
+int longest_chain(const std::vector<std::pair<int, int>>& edges, int nodes) {
+  if (edges.empty()) return 0;
+  std::vector<bool> used(edges.size(), false);
+  int best = 0;
+
+  // DFS extending a chain from `node` with `length` edges used so far.
+  auto dfs = [&](auto&& self, int node, int length) -> void {
+    best = std::max(best, length);
+    for (std::size_t e = 0; e < edges.size(); ++e) {
+      if (used[e]) continue;
+      int next = -1;
+      if (edges[e].first == node) next = edges[e].second;
+      if (edges[e].second == node) next = edges[e].first;
+      if (next < 0) continue;
+      used[e] = true;
+      self(self, next, length + 1);
+      used[e] = false;
+    }
+  };
+  for (int start = 0; start < nodes; ++start) {
+    dfs(dfs, start, 0);
+  }
+  return best;
+}
+
+}  // namespace
+
+CnaResult common_neighbor_analysis(const Box& box,
+                                   std::span<const Vec3> positions,
+                                   double cutoff) {
+  NeighborListConfig cfg;
+  cfg.cutoff = cutoff;
+  cfg.skin = 0.0;
+  cfg.mode = NeighborMode::Full;
+  cfg.sort_neighbors = true;
+  NeighborList list(box, cfg);
+  list.build(positions);
+
+  CnaResult result;
+  result.per_atom.assign(positions.size(), CnaStructure::Other);
+
+#pragma omp parallel for schedule(static)
+  for (std::size_t i = 0; i < positions.size(); ++i) {
+    const auto nbrs_i = list.neighbors(i);
+    const std::size_t degree = nbrs_i.size();
+    if (degree != 12 && degree != 14) continue;  // cannot match any motif
+
+    int n421 = 0, n422 = 0, n444 = 0, n555 = 0, n666 = 0, n_other = 0;
+    for (std::uint32_t j : nbrs_i) {
+      // Common neighbors of i and j (both lists sorted -> set intersect).
+      const auto nbrs_j = list.neighbors(j);
+      std::vector<std::uint32_t> common;
+      std::set_intersection(nbrs_i.begin(), nbrs_i.end(), nbrs_j.begin(),
+                            nbrs_j.end(), std::back_inserter(common));
+
+      // The largest motif of interest is bcc's (6,6,6); denser
+      // environments (disordered packings) can never match and their bond
+      // graphs would make the chain search explode - skip them outright.
+      if (common.size() > 6) {
+        ++n_other;
+        continue;
+      }
+
+      // Bonds among the common neighbors.
+      std::vector<std::pair<int, int>> bonds;
+      for (std::size_t a = 0; a < common.size(); ++a) {
+        const auto nbrs_a = list.neighbors(common[a]);
+        for (std::size_t b = a + 1; b < common.size(); ++b) {
+          if (std::binary_search(nbrs_a.begin(), nbrs_a.end(), common[b])) {
+            bonds.emplace_back(static_cast<int>(a), static_cast<int>(b));
+          }
+        }
+      }
+      // <= 6 nodes can hold at most 15 bonds; anything above the motif
+      // bond counts cannot match either, so skip the chain search.
+      if (bonds.size() > 8) {
+        ++n_other;
+        continue;
+      }
+      const CnaSignature sig{static_cast<int>(common.size()),
+                             static_cast<int>(bonds.size()),
+                             longest_chain(bonds,
+                                           static_cast<int>(common.size()))};
+      if (sig == CnaSignature{4, 2, 1}) {
+        ++n421;
+      } else if (sig == CnaSignature{4, 2, 2}) {
+        ++n422;
+      } else if (sig == CnaSignature{4, 4, 4}) {
+        ++n444;
+      } else if (sig == CnaSignature{5, 5, 5}) {
+        ++n555;
+      } else if (sig == CnaSignature{6, 6, 6}) {
+        ++n666;
+      } else {
+        ++n_other;
+      }
+    }
+
+    CnaStructure structure = CnaStructure::Other;
+    if (degree == 12 && n421 == 12) {
+      structure = CnaStructure::Fcc;
+    } else if (degree == 12 && n421 == 6 && n422 == 6) {
+      structure = CnaStructure::Hcp;
+    } else if (degree == 14 && n666 == 8 && n444 == 6) {
+      structure = CnaStructure::Bcc;
+    } else if (degree == 12 && n555 == 12) {
+      structure = CnaStructure::Ico;
+    }
+    result.per_atom[i] = structure;
+  }
+
+  for (CnaStructure s : result.per_atom) {
+    ++result.counts[static_cast<std::size_t>(s)];
+  }
+  return result;
+}
+
+double bcc_cna_cutoff(double a0) { return 0.5 * (1.0 + std::sqrt(2.0)) * a0; }
+
+double fcc_cna_cutoff(double a0) {
+  return 0.5 * (1.0 / std::sqrt(2.0) + 1.0) * a0;
+}
+
+}  // namespace sdcmd

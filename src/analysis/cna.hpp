@@ -1,0 +1,64 @@
+// Common Neighbor Analysis (CNA): per-atom local structure classification.
+//
+// For each bonded pair (i, j) the triplet signature
+//   (ncn, nb, lcb) = (# common neighbors,
+//                     # bonds among them,
+//                     longest continuous chain of those bonds)
+// is computed; the multiset of signatures over an atom's bonds identifies
+// its environment:
+//   fcc : 12 bonds, all (4,2,1)
+//   hcp : 12 bonds, 6 x (4,2,1) + 6 x (4,2,2)
+//   bcc : 14 bonds, 8 x (6,6,6) + 6 x (4,4,4)
+//         (cutoff between the 2nd and 3rd bcc shells)
+//   ico : 12 x (5,5,5)
+// Everything else is Other - melts, surfaces, defect cores.
+//
+// Conventional fixed-cutoff CNA (Honeycutt & Andersen / Faken & Jonsson).
+#pragma once
+
+#include <array>
+#include <cstddef>
+#include <span>
+#include <vector>
+
+#include "common/vec3.hpp"
+#include "geom/box.hpp"
+
+namespace sdcmd {
+
+enum class CnaStructure : std::uint8_t { Other = 0, Fcc, Hcp, Bcc, Ico };
+
+const char* to_string(CnaStructure s);
+
+struct CnaResult {
+  std::vector<CnaStructure> per_atom;
+  std::array<std::size_t, 5> counts{};  ///< indexed by CnaStructure
+
+  std::size_t count(CnaStructure s) const {
+    return counts[static_cast<std::size_t>(s)];
+  }
+  /// Fraction of atoms classified as `s`.
+  double fraction(CnaStructure s) const;
+};
+
+/// Classify every atom. `cutoff` must sit between the relevant shells:
+/// bcc_cna_cutoff / fcc_cna_cutoff compute the standard choices.
+CnaResult common_neighbor_analysis(const Box& box,
+                                   std::span<const Vec3> positions,
+                                   double cutoff);
+
+/// Midpoint of the 2nd and 3rd bcc shells: (1 + sqrt(2))/2 * a0.
+double bcc_cna_cutoff(double a0);
+
+/// Midpoint of the 1st and 2nd fcc shells: (1/sqrt(2) + 1)/2 * a0.
+double fcc_cna_cutoff(double a0);
+
+/// The (ncn, nb, lcb) signature of one bonded pair; exposed for tests.
+struct CnaSignature {
+  int common = 0;
+  int bonds = 0;
+  int longest_chain = 0;
+  friend bool operator==(const CnaSignature&, const CnaSignature&) = default;
+};
+
+}  // namespace sdcmd

@@ -1,0 +1,63 @@
+#include "analysis/coordination.hpp"
+
+#include <cmath>
+
+#include "neighbor/neighbor_list.hpp"
+
+namespace sdcmd {
+
+double CoordinationResult::mean() const {
+  if (per_atom.empty()) return 0.0;
+  double sum = 0.0;
+  for (int c : per_atom) sum += c;
+  return sum / static_cast<double>(per_atom.size());
+}
+
+std::vector<std::size_t> CoordinationResult::defects(int expected) const {
+  std::vector<std::size_t> out;
+  for (std::size_t i = 0; i < per_atom.size(); ++i) {
+    if (per_atom[i] != expected) out.push_back(i);
+  }
+  return out;
+}
+
+CoordinationResult coordination_numbers(const Box& box,
+                                        std::span<const Vec3> positions,
+                                        double cutoff) {
+  NeighborListConfig cfg;
+  cfg.cutoff = cutoff;
+  cfg.skin = 0.0;
+  cfg.mode = NeighborMode::Full;
+  NeighborList list(box, cfg);
+  list.build(positions);
+
+  CoordinationResult result;
+  result.per_atom.resize(positions.size());
+  for (std::size_t i = 0; i < positions.size(); ++i) {
+    const auto count = static_cast<int>(list.neighbors(i).size());
+    result.per_atom[i] = count;
+    ++result.histogram[count];
+  }
+  return result;
+}
+
+int bcc_coordination_within(double a0, double cutoff) {
+  // Shell radii and multiplicities of bcc (conventional constant a0).
+  const struct {
+    double radius_factor;
+    int count;
+  } shells[] = {
+      {std::sqrt(3.0) / 2.0, 8},  // (1/2,1/2,1/2)
+      {1.0, 6},                   // (1,0,0)
+      {std::sqrt(2.0), 12},       // (1,1,0)
+      {std::sqrt(11.0) / 2.0, 24},// (3/2,1/2,1/2)
+      {std::sqrt(3.0), 8},        // (1,1,1)
+  };
+  int total = 0;
+  for (const auto& shell : shells) {
+    if (shell.radius_factor * a0 < cutoff) total += shell.count;
+  }
+  return total;
+}
+
+}  // namespace sdcmd

@@ -1,0 +1,38 @@
+// Per-atom coordination analysis and defect detection.
+//
+// In a perfect bcc crystal every atom sees 14 neighbors within the
+// Finnis-Sinclair range (8 first shell + 6 second shell); vacancies,
+// surfaces and disordered regions show up as deviations. This is the
+// lightweight defect detector used by the defect_analysis example.
+#pragma once
+
+#include <cstddef>
+#include <map>
+#include <span>
+#include <vector>
+
+#include "common/vec3.hpp"
+#include "geom/box.hpp"
+
+namespace sdcmd {
+
+struct CoordinationResult {
+  std::vector<int> per_atom;           ///< neighbor count within the cutoff
+  std::map<int, std::size_t> histogram;
+
+  double mean() const;
+  /// Indices whose coordination differs from `expected`.
+  std::vector<std::size_t> defects(int expected) const;
+};
+
+/// Count neighbors within `cutoff` for every atom (O(N) via linked cells).
+CoordinationResult coordination_numbers(const Box& box,
+                                        std::span<const Vec3> positions,
+                                        double cutoff);
+
+/// Expected coordination within `cutoff` for a perfect lattice: the count
+/// of lattice shells inside the cutoff (bcc/fcc conventional cells with
+/// lattice constant a0). Useful for choosing the `expected` argument.
+int bcc_coordination_within(double a0, double cutoff);
+
+}  // namespace sdcmd

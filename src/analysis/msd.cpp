@@ -1,0 +1,39 @@
+#include "analysis/msd.hpp"
+
+#include "common/error.hpp"
+
+namespace sdcmd {
+
+std::vector<Vec3> MsdTracker::unwrap(const System& system) {
+  const Atoms& atoms = system.atoms();
+  const Box& box = system.box();
+  std::vector<Vec3> out(atoms.size());
+  for (std::size_t i = 0; i < atoms.size(); ++i) {
+    Vec3 r = atoms.position[i];
+    for (int d = 0; d < 3; ++d) {
+      r[d] += atoms.image[i][d] * box.length(d);
+    }
+    // Index by stable id so array reordering between samples cancels out.
+    out[atoms.id[i]] = r;
+  }
+  return out;
+}
+
+MsdTracker::MsdTracker(const System& system) : reference_(unwrap(system)) {}
+
+double MsdTracker::sample(const System& system) const {
+  SDCMD_REQUIRE(system.size() == reference_.size(),
+                "atom count changed since the reference was taken");
+  const std::vector<Vec3> now = unwrap(system);
+  double sum = 0.0;
+  for (std::size_t i = 0; i < now.size(); ++i) {
+    sum += norm2(now[i] - reference_[i]);
+  }
+  return sum / static_cast<double>(now.size());
+}
+
+void MsdTracker::rebase(const System& system) {
+  reference_ = unwrap(system);
+}
+
+}  // namespace sdcmd

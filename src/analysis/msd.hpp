@@ -1,0 +1,38 @@
+// Mean-squared displacement from unwrapped trajectories.
+//
+// MSD(t) = <|r_i(t) - r_i(0)|^2> distinguishes solid (bounded thermal
+// cloud) from liquid (linear growth, slope 6D). Positions are unwrapped
+// with the per-atom image counters the Box/System machinery maintains, so
+// atoms crossing the periodic boundary do not fake kilometre jumps.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "common/vec3.hpp"
+#include "md/system.hpp"
+
+namespace sdcmd {
+
+class MsdTracker {
+ public:
+  /// Records the current configuration as t = 0.
+  explicit MsdTracker(const System& system);
+
+  /// MSD of the current configuration relative to the reference.
+  /// Atoms are matched by their stable `id`, so spatial reordering of the
+  /// arrays between samples is harmless.
+  double sample(const System& system) const;
+
+  /// Re-anchor t = 0 at the current configuration.
+  void rebase(const System& system);
+
+  std::size_t atom_count() const { return reference_.size(); }
+
+ private:
+  static std::vector<Vec3> unwrap(const System& system);
+
+  std::vector<Vec3> reference_;  // indexed by atom id
+};
+
+}  // namespace sdcmd

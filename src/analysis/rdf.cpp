@@ -1,0 +1,96 @@
+#include "analysis/rdf.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/error.hpp"
+#include "neighbor/neighbor_list.hpp"
+
+namespace sdcmd {
+
+Rdf::Rdf(double r_max, std::size_t bins)
+    : r_max_(r_max), counts_(bins, 0) {
+  SDCMD_REQUIRE(r_max > 0.0, "r_max must be positive");
+  SDCMD_REQUIRE(bins > 0, "need at least one bin");
+}
+
+void Rdf::accumulate(const Box& box, std::span<const Vec3> positions) {
+  for (int d = 0; d < 3; ++d) {
+    if (box.periodic(d)) {
+      SDCMD_REQUIRE(r_max_ <= 0.5 * box.length(d),
+                    "r_max exceeds half the box: minimum image is invalid");
+    }
+  }
+  const double bin_width = r_max_ / static_cast<double>(counts_.size());
+
+  NeighborListConfig cfg;
+  cfg.cutoff = r_max_;
+  cfg.skin = 0.0;
+  NeighborList list(box, cfg);
+  list.build(positions);
+
+  for (std::size_t i = 0; i < positions.size(); ++i) {
+    for (std::uint32_t j : list.neighbors(i)) {
+      const double r =
+          std::sqrt(box.distance2(positions[i], positions[j]));
+      auto bin = static_cast<std::size_t>(r / bin_width);
+      if (bin >= counts_.size()) bin = counts_.size() - 1;
+      counts_[bin] += 2;  // the half list stores each pair once
+    }
+  }
+
+  ++frames_;
+  atoms_last_ = positions.size();
+  density_sum_ += static_cast<double>(positions.size()) / box.volume();
+}
+
+std::vector<double> Rdf::g() const {
+  std::vector<double> out(counts_.size(), 0.0);
+  if (frames_ == 0 || atoms_last_ == 0) return out;
+
+  const double bin_width = r_max_ / static_cast<double>(counts_.size());
+  const double mean_density = density_sum_ / static_cast<double>(frames_);
+  const auto n = static_cast<double>(atoms_last_);
+  for (std::size_t b = 0; b < counts_.size(); ++b) {
+    const double r_lo = bin_width * static_cast<double>(b);
+    const double r_hi = r_lo + bin_width;
+    const double shell =
+        4.0 / 3.0 * M_PI * (r_hi * r_hi * r_hi - r_lo * r_lo * r_lo);
+    const double ideal = mean_density * shell * n;
+    out[b] = static_cast<double>(counts_[b]) /
+             (ideal * static_cast<double>(frames_));
+  }
+  return out;
+}
+
+std::vector<double> Rdf::radii() const {
+  const double bin_width = r_max_ / static_cast<double>(counts_.size());
+  std::vector<double> out(counts_.size());
+  for (std::size_t b = 0; b < counts_.size(); ++b) {
+    out[b] = (static_cast<double>(b) + 0.5) * bin_width;
+  }
+  return out;
+}
+
+std::vector<double> Rdf::coordination_integral() const {
+  // n(r) counts the mean neighbors within r: the cumulative pair count per
+  // atom per frame, independent of the g(r) normalization details.
+  std::vector<double> out(counts_.size(), 0.0);
+  if (frames_ == 0 || atoms_last_ == 0) return out;
+  double cumulative = 0.0;
+  for (std::size_t b = 0; b < counts_.size(); ++b) {
+    cumulative += static_cast<double>(counts_[b]);
+    out[b] = cumulative /
+             (static_cast<double>(frames_) * static_cast<double>(atoms_last_));
+  }
+  return out;
+}
+
+void Rdf::reset() {
+  std::fill(counts_.begin(), counts_.end(), 0);
+  frames_ = 0;
+  density_sum_ = 0.0;
+  atoms_last_ = 0;
+}
+
+}  // namespace sdcmd

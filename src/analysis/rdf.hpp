@@ -1,0 +1,51 @@
+// Radial distribution function g(r).
+//
+// The workhorse structural observable: g(r) distinguishes the bcc crystal
+// (sharp shells at a*sqrt(3)/2, a, a*sqrt(2), ...) from the melt (one broad
+// first peak), which is how the melt_quench example verifies melting.
+// Accumulation over frames uses a cell list, so cost is O(N) per frame.
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+#include "common/vec3.hpp"
+#include "geom/box.hpp"
+
+namespace sdcmd {
+
+class Rdf {
+ public:
+  /// Histogram pair distances in (0, r_max] over `bins` bins. `r_max` must
+  /// not exceed half the shortest periodic box edge (minimum image).
+  Rdf(double r_max, std::size_t bins);
+
+  /// Accumulate one configuration (O(N) via linked cells).
+  void accumulate(const Box& box, std::span<const Vec3> positions);
+
+  /// Normalized g(r) per bin (ideal-gas normalization over all frames).
+  std::vector<double> g() const;
+
+  /// Bin center radii.
+  std::vector<double> radii() const;
+
+  /// Running coordination number integral n(r) = 4 pi rho int g r^2 dr,
+  /// evaluated at each bin edge; n(r) at the first minimum of g(r) is the
+  /// coordination number.
+  std::vector<double> coordination_integral() const;
+
+  std::size_t frames() const { return frames_; }
+  std::size_t bins() const { return counts_.size(); }
+  double r_max() const { return r_max_; }
+  void reset();
+
+ private:
+  double r_max_;
+  std::vector<std::size_t> counts_;
+  std::size_t frames_ = 0;
+  double density_sum_ = 0.0;      // number density accumulated over frames
+  std::size_t atoms_last_ = 0;
+};
+
+}  // namespace sdcmd

@@ -1,0 +1,57 @@
+#include "analysis/vacf.hpp"
+
+#include "common/error.hpp"
+
+namespace sdcmd {
+
+std::vector<Vec3> VacfTracker::by_id(const System& system) {
+  const Atoms& atoms = system.atoms();
+  std::vector<Vec3> out(atoms.size());
+  for (std::size_t i = 0; i < atoms.size(); ++i) {
+    out[atoms.id[i]] = atoms.velocity[i];
+  }
+  return out;
+}
+
+VacfTracker::VacfTracker(const System& system)
+    : reference_(by_id(system)), norm0_(0.0) {
+  for (const auto& v : reference_) norm0_ += norm2(v);
+  norm0_ /= static_cast<double>(std::max<std::size_t>(reference_.size(), 1));
+}
+
+double VacfTracker::sample_raw(const System& system) const {
+  SDCMD_REQUIRE(system.size() == reference_.size(),
+                "atom count changed since the reference was taken");
+  const std::vector<Vec3> now = by_id(system);
+  double sum = 0.0;
+  for (std::size_t i = 0; i < now.size(); ++i) {
+    sum += dot(reference_[i], now[i]);
+  }
+  return sum / static_cast<double>(now.size());
+}
+
+double VacfTracker::sample(const System& system) const {
+  SDCMD_REQUIRE(norm0_ > 0.0,
+                "reference velocities are all zero; normalize is undefined");
+  return sample_raw(system) / norm0_;
+}
+
+void VacfTracker::rebase(const System& system) {
+  reference_ = by_id(system);
+  norm0_ = 0.0;
+  for (const auto& v : reference_) norm0_ += norm2(v);
+  norm0_ /= static_cast<double>(std::max<std::size_t>(reference_.size(), 1));
+}
+
+double greenkubo_diffusion(const std::vector<double>& raw_vacf,
+                           double dt_between_samples) {
+  SDCMD_REQUIRE(dt_between_samples > 0.0, "sample spacing must be positive");
+  if (raw_vacf.size() < 2) return 0.0;
+  double integral = 0.0;
+  for (std::size_t i = 1; i < raw_vacf.size(); ++i) {
+    integral += 0.5 * (raw_vacf[i - 1] + raw_vacf[i]) * dt_between_samples;
+  }
+  return integral / 3.0;
+}
+
+}  // namespace sdcmd

@@ -1,0 +1,42 @@
+// Velocity autocorrelation function C(t) = <v(0).v(t)> / <v(0).v(0)>.
+//
+// Solids oscillate and decay (phonons); liquids decay monotonically with a
+// negative backscatter dip; the Green-Kubo integral of the unnormalized
+// correlation gives the self-diffusion coefficient D = 1/3 int <v(0)v(t)>.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "common/vec3.hpp"
+#include "md/system.hpp"
+
+namespace sdcmd {
+
+class VacfTracker {
+ public:
+  /// Anchor t = 0 at the system's current velocities.
+  explicit VacfTracker(const System& system);
+
+  /// Normalized C(t) for the current velocities (1.0 at t = 0).
+  /// Matched by atom id, so reordering between samples is harmless.
+  double sample(const System& system) const;
+
+  /// Unnormalized <v(0).v(t)> (internal units squared), for Green-Kubo.
+  double sample_raw(const System& system) const;
+
+  void rebase(const System& system);
+
+ private:
+  static std::vector<Vec3> by_id(const System& system);
+
+  std::vector<Vec3> reference_;  // indexed by atom id
+  double norm0_;                 // <v(0).v(0)>
+};
+
+/// Trapezoidal Green-Kubo diffusion estimate from a raw-VACF time series
+/// sampled every `dt_between_samples`: D = 1/3 * integral.
+double greenkubo_diffusion(const std::vector<double>& raw_vacf,
+                           double dt_between_samples);
+
+}  // namespace sdcmd

@@ -1,0 +1,88 @@
+#include "benchsupport/cases.hpp"
+
+#include <algorithm>
+#include <cctype>
+#include <cstdlib>
+#include <sstream>
+
+#include "common/error.hpp"
+#include "common/units.hpp"
+
+namespace sdcmd::bench {
+
+Scale parse_scale(const std::string& name) {
+  std::string lower(name.size(), '\0');
+  std::transform(name.begin(), name.end(), lower.begin(),
+                 [](unsigned char c) { return std::tolower(c); });
+  if (lower == "tiny") return Scale::Tiny;
+  if (lower == "laptop" || lower == "default") return Scale::Laptop;
+  if (lower == "desktop") return Scale::Desktop;
+  if (lower == "paper" || lower == "full") return Scale::Paper;
+  return Scale::Laptop;
+}
+
+std::string to_string(Scale scale) {
+  switch (scale) {
+    case Scale::Tiny: return "tiny";
+    case Scale::Laptop: return "laptop";
+    case Scale::Desktop: return "desktop";
+    case Scale::Paper: return "paper";
+  }
+  return "?";
+}
+
+Scale scale_from_env() {
+  if (const char* env = std::getenv("SDCMD_BENCH_SCALE")) {
+    return parse_scale(env);
+  }
+  return Scale::Laptop;
+}
+
+LatticeSpec TestCase::lattice() const {
+  LatticeSpec spec;
+  spec.type = LatticeType::Bcc;
+  spec.a0 = units::kLatticeFe;
+  spec.nx = spec.ny = spec.nz = cells;
+  return spec;
+}
+
+std::vector<TestCase> paper_cases(Scale scale) {
+  switch (scale) {
+    case Scale::Tiny:
+      return {{"small", 6}, {"medium", 8}, {"large3", 10}, {"large4", 12}};
+    case Scale::Laptop:
+      // Smallest cubes whose 2-D decompositions still feed a 16-thread
+      // sweep on the big cases while keeping the small-case blanks.
+      return {{"small", 14}, {"medium", 18}, {"large3", 24}, {"large4", 30}};
+    case Scale::Desktop:
+      return {{"small", 20}, {"medium", 26}, {"large3", 34}, {"large4", 42}};
+    case Scale::Paper:
+      return {{"small", 30}, {"medium", 51}, {"large3", 81}, {"large4", 120}};
+  }
+  throw PreconditionError("unknown bench scale");
+}
+
+std::vector<int> thread_sweep_from_env() {
+  std::vector<int> threads{2, 3, 4, 8, 12, 16};
+  if (const char* env = std::getenv("SDCMD_BENCH_THREADS")) {
+    std::vector<int> custom;
+    std::istringstream is(env);
+    std::string part;
+    while (std::getline(is, part, ',')) {
+      const int t = std::atoi(part.c_str());
+      if (t > 0) custom.push_back(t);
+    }
+    if (!custom.empty()) threads = custom;
+  }
+  return threads;
+}
+
+int steps_from_env() {
+  if (const char* env = std::getenv("SDCMD_BENCH_STEPS")) {
+    const int steps = std::atoi(env);
+    if (steps > 0) return steps;
+  }
+  return 3;
+}
+
+}  // namespace sdcmd::bench

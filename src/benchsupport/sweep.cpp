@@ -1,0 +1,126 @@
+#include "benchsupport/sweep.hpp"
+
+#include <cmath>
+
+#include "common/error.hpp"
+#include "common/log.hpp"
+#include "common/random.hpp"
+#include "common/threads.hpp"
+#include "common/units.hpp"
+
+namespace sdcmd::bench {
+
+namespace {
+
+/// Displace lattice sites with Gaussian noise of thermal amplitude so the
+/// configuration is representative of a live run (perfect lattices have
+/// identical neighbor counts but unnaturally uniform memory access).
+void thermal_perturbation(System& system, double temperature,
+                          std::uint64_t seed) {
+  if (temperature <= 0.0) return;
+  // Equipartition estimate: 1/2 k x^2 ~ 3/2 kB T with an eV/A^2-scale
+  // spring constant; ~0.05-0.1 A at 300 K, small versus the 0.4 A skin.
+  const double amplitude =
+      std::sqrt(3.0 * units::kBoltzmann * temperature / 5.0);
+  Xoshiro256 rng(seed);
+  for (auto& r : system.atoms().position) {
+    r += Vec3{rng.normal(0.0, amplitude), rng.normal(0.0, amplitude),
+              rng.normal(0.0, amplitude)};
+  }
+  system.wrap_positions();
+}
+
+}  // namespace
+
+CaseRunner::CaseRunner(const TestCase& test_case,
+                       const EamPotential& potential, double skin,
+                       double temperature, std::uint64_t seed)
+    : potential_(potential), skin_(skin) {
+  system_ = std::make_unique<System>(
+      System::from_lattice(test_case.lattice(), units::kMassFe));
+  thermal_perturbation(*system_, temperature, seed);
+}
+
+const NeighborList& CaseRunner::list_for(NeighborMode mode) {
+  auto& slot = mode == NeighborMode::Half ? half_list_ : full_list_;
+  if (!slot) {
+    NeighborListConfig cfg;
+    cfg.cutoff = potential_.cutoff();
+    cfg.skin = skin_;
+    cfg.mode = mode;
+    cfg.sort_neighbors = true;
+    slot = std::make_unique<NeighborList>(system_->box(), cfg);
+    slot->build(system_->atoms().position);
+  }
+  return *slot;
+}
+
+std::optional<Timing> CaseRunner::time_strategy(const EamForceConfig& config,
+                                                int threads, int steps) {
+  SDCMD_REQUIRE(threads >= 1, "need at least one thread");
+  SDCMD_REQUIRE(steps >= 1, "need at least one timed step");
+
+  const NeighborList& list = list_for(required_mode(config.strategy));
+  EamForceComputer computer(potential_, config);
+  try {
+    computer.attach_schedule(system_->box(), potential_.cutoff() + skin_);
+  } catch (const InfeasibleError& e) {
+    SDCMD_DEBUG("infeasible configuration: " << e.what());
+    return std::nullopt;
+  }
+  computer.on_neighbor_rebuild(system_->atoms().position);
+
+  // The paper additionally skips configurations whose per-color subdomain
+  // supply cannot feed every thread (1-D SDC, small case, >= 12 threads).
+  if (config.strategy == ReductionStrategy::Sdc &&
+      computer.schedule()->subdomains_per_color() <
+          static_cast<std::size_t>(threads)) {
+    return std::nullopt;
+  }
+
+  const int previous_threads = max_threads();
+  set_threads(config.strategy == ReductionStrategy::Serial ? 1 : threads);
+
+  Atoms& atoms = system_->atoms();
+  computer.compute(system_->box(), atoms.position, list, atoms.rho,
+                   atoms.fp, atoms.force);  // warmup
+  computer.reset_instrumentation();
+  for (int s = 0; s < steps; ++s) {
+    computer.compute(system_->box(), atoms.position, list, atoms.rho,
+                     atoms.fp, atoms.force);
+  }
+  set_threads(previous_threads);
+
+  Timing t;
+  double density = 0.0, embed = 0.0, force = 0.0;
+  for (const auto& e : computer.timers().entries()) {
+    if (e.name == "density") density = e.seconds;
+    if (e.name == "embed") embed = e.seconds;
+    if (e.name == "force") force = e.seconds;
+  }
+  t.density_force_seconds = (density + force) / steps;
+  t.total_seconds = (density + embed + force) / steps;
+  t.pair_visits = computer.stats().density_pair_visits / steps;
+  t.private_bytes = computer.stats().private_array_bytes;
+  return t;
+}
+
+double CaseRunner::serial_seconds_per_step(int steps) {
+  if (!serial_time_) {
+    EamForceConfig config;
+    config.strategy = ReductionStrategy::Serial;
+    const auto timing = time_strategy(config, 1, steps);
+    SDCMD_REQUIRE(timing.has_value(), "serial timing cannot be infeasible");
+    serial_time_ = timing->density_force_seconds;
+  }
+  return *serial_time_;
+}
+
+std::string format_speedup(std::optional<double> speedup) {
+  if (!speedup) return "-";
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%.2f", *speedup);
+  return buf;
+}
+
+}  // namespace sdcmd::bench

@@ -1,0 +1,70 @@
+// Timing harness behind the Table 1 / Fig. 9 reproductions.
+//
+// The paper measures "the running times of the calculations of the electron
+// densities and forces" over 1000 MD steps. The harness prepares one
+// thermally perturbed configuration per test case (positions displaced like
+// a 300 K lattice, so neighbor counts match a live run), builds the neighbor
+// list once, and times repeated full EAM force evaluations, reporting the
+// density + force phase wall time per step. Speedup is the serial kernel's
+// time divided by the strategy's time at each thread count - the paper's
+// definition.
+#pragma once
+
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "benchsupport/cases.hpp"
+#include "core/eam_force.hpp"
+#include "md/system.hpp"
+#include "potential/potential.hpp"
+
+namespace sdcmd::bench {
+
+struct Timing {
+  double density_force_seconds = 0.0;  ///< per step, the paper's metric
+  double total_seconds = 0.0;          ///< per step, incl. embedding
+  std::size_t pair_visits = 0;         ///< per step
+  std::size_t private_bytes = 0;       ///< SAP replication footprint
+};
+
+/// One test case loaded, perturbed and ready to time.
+class CaseRunner {
+ public:
+  /// `temperature` controls the thermal displacement amplitude of the
+  /// perturbed lattice; `seed` makes runs reproducible.
+  CaseRunner(const TestCase& test_case, const EamPotential& potential,
+             double skin = 0.4, double temperature = 300.0,
+             std::uint64_t seed = 20090924);
+
+  /// Time `steps` force evaluations under `config` with `threads` OpenMP
+  /// threads (one untimed warmup evaluation first). Returns std::nullopt
+  /// when the configuration is infeasible - e.g. 1-D SDC on a box too
+  /// small to split, the paper's Table 1 blanks.
+  std::optional<Timing> time_strategy(const EamForceConfig& config,
+                                      int threads, int steps);
+
+  /// Serial reference time (cached after the first call), per step.
+  double serial_seconds_per_step(int steps);
+
+  const System& system() const { return *system_; }
+  const EamPotential& potential() const { return potential_; }
+  double skin() const { return skin_; }
+
+ private:
+  const NeighborList& list_for(NeighborMode mode);
+
+  const EamPotential& potential_;
+  double skin_;
+  std::unique_ptr<System> system_;
+  std::unique_ptr<NeighborList> half_list_;
+  std::unique_ptr<NeighborList> full_list_;
+  std::optional<double> serial_time_;
+};
+
+/// speedup = serial / parallel; the paper's Table 1 cell format with two
+/// decimals, or a centered dash for infeasible configurations.
+std::string format_speedup(std::optional<double> speedup);
+
+}  // namespace sdcmd::bench

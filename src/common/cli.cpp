@@ -1,0 +1,127 @@
+#include "common/cli.hpp"
+
+#include <cstdlib>
+#include <iostream>
+#include <sstream>
+
+#include "common/error.hpp"
+
+namespace sdcmd {
+
+CliParser::CliParser(std::string program, std::string description)
+    : program_(std::move(program)), description_(std::move(description)) {
+  add_flag("help", "show this help text");
+}
+
+void CliParser::add_option(const std::string& name,
+                           const std::string& default_value,
+                           const std::string& doc) {
+  SDCMD_REQUIRE(find(name) == nullptr, "duplicate option --" + name);
+  options_.push_back({name, default_value, default_value, doc, false, false});
+}
+
+void CliParser::add_flag(const std::string& name, const std::string& doc) {
+  SDCMD_REQUIRE(find(name) == nullptr, "duplicate flag --" + name);
+  options_.push_back({name, "false", "false", doc, true, false});
+}
+
+CliParser::Option* CliParser::find(const std::string& name) {
+  for (auto& o : options_) {
+    if (o.name == name) return &o;
+  }
+  return nullptr;
+}
+
+const CliParser::Option* CliParser::find(const std::string& name) const {
+  for (const auto& o : options_) {
+    if (o.name == name) return &o;
+  }
+  return nullptr;
+}
+
+bool CliParser::parse(int argc, const char* const* argv) {
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    if (arg.rfind("--", 0) != 0) {
+      positional_.push_back(arg);
+      continue;
+    }
+    arg = arg.substr(2);
+    std::string value;
+    bool has_inline_value = false;
+    if (const auto eq = arg.find('='); eq != std::string::npos) {
+      value = arg.substr(eq + 1);
+      arg = arg.substr(0, eq);
+      has_inline_value = true;
+    }
+    Option* opt = find(arg);
+    if (opt == nullptr) {
+      std::cerr << "unknown option --" << arg << "\n\n" << usage();
+      return false;
+    }
+    if (opt->is_flag) {
+      opt->value = has_inline_value ? value : "true";
+    } else if (has_inline_value) {
+      opt->value = value;
+    } else if (i + 1 < argc) {
+      opt->value = argv[++i];
+    } else {
+      std::cerr << "option --" << arg << " expects a value\n\n" << usage();
+      return false;
+    }
+    opt->seen = true;
+  }
+  if (get_bool("help")) {
+    std::cout << usage();
+    return false;
+  }
+  return true;
+}
+
+std::string CliParser::get(const std::string& name) const {
+  const Option* opt = find(name);
+  SDCMD_REQUIRE(opt != nullptr, "undeclared option --" + name);
+  return opt->value;
+}
+
+int CliParser::get_int(const std::string& name) const {
+  return static_cast<int>(std::strtol(get(name).c_str(), nullptr, 10));
+}
+
+double CliParser::get_double(const std::string& name) const {
+  return std::strtod(get(name).c_str(), nullptr);
+}
+
+bool CliParser::get_bool(const std::string& name) const {
+  const std::string v = get(name);
+  return v == "true" || v == "1" || v == "yes" || v == "on";
+}
+
+std::vector<int> CliParser::get_int_list(const std::string& name) const {
+  std::vector<int> out;
+  std::istringstream is(get(name));
+  std::string part;
+  while (std::getline(is, part, ',')) {
+    if (!part.empty()) {
+      out.push_back(static_cast<int>(std::strtol(part.c_str(), nullptr, 10)));
+    }
+  }
+  return out;
+}
+
+std::string CliParser::usage() const {
+  std::ostringstream os;
+  os << program_ << " - " << description_ << "\n\noptions:\n";
+  for (const auto& o : options_) {
+    os << "  --" << o.name;
+    if (!o.is_flag) os << " <value>";
+    os << "\n      " << o.doc;
+    if (!o.is_flag && !o.default_value.empty()) {
+      os << " (default: " << o.default_value << ")";
+    }
+    os << '\n';
+  }
+  return os.str();
+}
+
+}  // namespace sdcmd

@@ -1,0 +1,61 @@
+// Tiny declarative command-line parser for the examples and benches.
+//
+// Supports `--name value`, `--name=value` and boolean `--flag` options, with
+// typed accessors, defaults, and an auto-generated --help text. Not a general
+// CLI framework; just enough so every example binary has consistent flags.
+#pragma once
+
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace sdcmd {
+
+class CliParser {
+ public:
+  CliParser(std::string program, std::string description);
+
+  /// Declare an option carrying a value. `doc` appears in --help.
+  void add_option(const std::string& name, const std::string& default_value,
+                  const std::string& doc);
+
+  /// Declare a boolean flag (present => true).
+  void add_flag(const std::string& name, const std::string& doc);
+
+  /// Parse argv. Returns false (after printing usage) when --help was given
+  /// or an unknown/malformed option was seen.
+  bool parse(int argc, const char* const* argv);
+
+  std::string get(const std::string& name) const;
+  int get_int(const std::string& name) const;
+  double get_double(const std::string& name) const;
+  bool get_bool(const std::string& name) const;
+
+  /// Comma-separated integer list, e.g. --threads 2,4,8.
+  std::vector<int> get_int_list(const std::string& name) const;
+
+  /// Positional arguments left after option parsing.
+  const std::vector<std::string>& positional() const { return positional_; }
+
+  std::string usage() const;
+
+ private:
+  struct Option {
+    std::string name;
+    std::string value;
+    std::string default_value;
+    std::string doc;
+    bool is_flag = false;
+    bool seen = false;
+  };
+
+  Option* find(const std::string& name);
+  const Option* find(const std::string& name) const;
+
+  std::string program_;
+  std::string description_;
+  std::vector<Option> options_;
+  std::vector<std::string> positional_;
+};
+
+}  // namespace sdcmd

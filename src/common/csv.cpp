@@ -1,0 +1,37 @@
+#include "common/csv.hpp"
+
+#include "common/error.hpp"
+
+namespace sdcmd {
+
+CsvWriter::CsvWriter(const std::string& path,
+                     std::vector<std::string> headers)
+    : out_(path), columns_(headers.size()) {
+  if (!out_) return;
+  add_row(headers);
+}
+
+void CsvWriter::add_row(const std::vector<std::string>& cells) {
+  if (!out_) return;
+  SDCMD_REQUIRE(cells.size() == columns_, "CSV row width mismatch");
+  for (std::size_t i = 0; i < cells.size(); ++i) {
+    if (i) out_ << ',';
+    out_ << escape(cells[i]);
+  }
+  out_ << '\n';
+}
+
+std::string CsvWriter::escape(const std::string& field) {
+  const bool needs_quotes =
+      field.find_first_of(",\"\n") != std::string::npos;
+  if (!needs_quotes) return field;
+  std::string quoted = "\"";
+  for (char c : field) {
+    if (c == '"') quoted += '"';
+    quoted += c;
+  }
+  quoted += '"';
+  return quoted;
+}
+
+}  // namespace sdcmd

@@ -1,0 +1,29 @@
+// CSV output so bench results can be post-processed (plots, regression
+// tracking) without scraping the ASCII tables.
+#pragma once
+
+#include <fstream>
+#include <string>
+#include <vector>
+
+namespace sdcmd {
+
+class CsvWriter {
+ public:
+  /// Opens `path` for writing and emits the header row.
+  CsvWriter(const std::string& path, std::vector<std::string> headers);
+
+  void add_row(const std::vector<std::string>& cells);
+
+  /// True when the file opened successfully; rows are dropped otherwise
+  /// (benches still print their tables even if the CSV dir is missing).
+  bool ok() const { return static_cast<bool>(out_); }
+
+  static std::string escape(const std::string& field);
+
+ private:
+  std::ofstream out_;
+  std::size_t columns_;
+};
+
+}  // namespace sdcmd

@@ -1,0 +1,58 @@
+// Error handling primitives for sdcmd.
+//
+// The library throws typed exceptions for recoverable misuse (bad input
+// files, infeasible decompositions) and uses SDCMD_REQUIRE for precondition
+// checks that indicate a programming error at the call site.
+#pragma once
+
+#include <sstream>
+#include <stdexcept>
+#include <string>
+
+namespace sdcmd {
+
+/// Base class of every exception thrown by sdcmd.
+class Error : public std::runtime_error {
+ public:
+  explicit Error(const std::string& what) : std::runtime_error(what) {}
+};
+
+/// A caller violated a documented precondition.
+class PreconditionError : public Error {
+ public:
+  explicit PreconditionError(const std::string& what) : Error(what) {}
+};
+
+/// An input file (e.g. a setfl potential table) is malformed.
+class ParseError : public Error {
+ public:
+  explicit ParseError(const std::string& what) : Error(what) {}
+};
+
+/// A requested configuration is infeasible (e.g. a 1-D SDC decomposition
+/// cannot produce enough subdomains for the requested box and cutoff).
+class InfeasibleError : public Error {
+ public:
+  explicit InfeasibleError(const std::string& what) : Error(what) {}
+};
+
+namespace detail {
+[[noreturn]] inline void throw_precondition(const char* expr, const char* file,
+                                            int line, const std::string& msg) {
+  std::ostringstream os;
+  os << file << ':' << line << ": requirement `" << expr << "` failed";
+  if (!msg.empty()) os << ": " << msg;
+  throw PreconditionError(os.str());
+}
+}  // namespace detail
+
+}  // namespace sdcmd
+
+/// Precondition check that survives in release builds: violating a documented
+/// API contract throws sdcmd::PreconditionError with file/line context.
+#define SDCMD_REQUIRE(expr, msg)                                            \
+  do {                                                                      \
+    if (!(expr)) {                                                          \
+      ::sdcmd::detail::throw_precondition(#expr, __FILE__, __LINE__, msg);  \
+    }                                                                       \
+  } while (false)

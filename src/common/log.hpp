@@ -1,0 +1,39 @@
+// Leveled logging to stderr. The default level is Warn so library users get
+// silence on the happy path; examples and benches raise it to Info.
+// SDCMD_LOG_LEVEL=debug|info|warn|error overrides at startup.
+#pragma once
+
+#include <sstream>
+#include <string>
+
+namespace sdcmd {
+
+enum class LogLevel { Debug = 0, Info = 1, Warn = 2, Error = 3, Off = 4 };
+
+/// Global threshold; messages below it are discarded.
+LogLevel log_level();
+void set_log_level(LogLevel level);
+
+/// Parse "debug"/"info"/"warn"/"error"/"off" (case-insensitive).
+LogLevel parse_log_level(const std::string& name);
+
+namespace detail {
+void log_emit(LogLevel level, const std::string& message);
+}
+
+}  // namespace sdcmd
+
+#define SDCMD_LOG_AT(level, expr)                                   \
+  do {                                                              \
+    if (static_cast<int>(level) >=                                  \
+        static_cast<int>(::sdcmd::log_level())) {                   \
+      std::ostringstream sdcmd_log_os;                              \
+      sdcmd_log_os << expr;                                         \
+      ::sdcmd::detail::log_emit(level, sdcmd_log_os.str());         \
+    }                                                               \
+  } while (false)
+
+#define SDCMD_DEBUG(expr) SDCMD_LOG_AT(::sdcmd::LogLevel::Debug, expr)
+#define SDCMD_INFO(expr) SDCMD_LOG_AT(::sdcmd::LogLevel::Info, expr)
+#define SDCMD_WARN(expr) SDCMD_LOG_AT(::sdcmd::LogLevel::Warn, expr)
+#define SDCMD_ERROR(expr) SDCMD_LOG_AT(::sdcmd::LogLevel::Error, expr)

@@ -1,0 +1,67 @@
+// Deterministic, seedable random number generation.
+//
+// MD initialization (Maxwell-Boltzmann velocities, thermal displacement
+// noise) must be reproducible across runs and thread counts, so sdcmd ships
+// its own xoshiro256** generator instead of relying on implementation-defined
+// std::mt19937 distributions.
+#pragma once
+
+#include <cstdint>
+
+namespace sdcmd {
+
+/// SplitMix64: used to expand a single 64-bit seed into generator state.
+class SplitMix64 {
+ public:
+  explicit constexpr SplitMix64(std::uint64_t seed) : state_(seed) {}
+
+  constexpr std::uint64_t next() {
+    std::uint64_t z = (state_ += 0x9e3779b97f4a7c15ULL);
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+    return z ^ (z >> 31);
+  }
+
+ private:
+  std::uint64_t state_;
+};
+
+/// xoshiro256**: fast, high-quality 64-bit PRNG (Blackman & Vigna).
+class Xoshiro256 {
+ public:
+  using result_type = std::uint64_t;
+
+  explicit Xoshiro256(std::uint64_t seed = 0x5dcab679u);
+
+  static constexpr result_type min() { return 0; }
+  static constexpr result_type max() { return ~result_type{0}; }
+
+  result_type operator()() { return next(); }
+  std::uint64_t next();
+
+  /// Uniform double in [0, 1).
+  double uniform();
+
+  /// Uniform double in [lo, hi).
+  double uniform(double lo, double hi);
+
+  /// Standard normal deviate (Marsaglia polar method, cached pair).
+  double normal();
+
+  /// Normal deviate with the given mean and standard deviation.
+  double normal(double mean, double stddev);
+
+  /// Uniform integer in [0, n). Rejection-sampled: unbiased for all n.
+  std::uint64_t below(std::uint64_t n);
+
+  /// Jump the generator state far ahead; used to derive independent
+  /// per-thread streams from one seed.
+  void long_jump();
+
+ private:
+  std::uint64_t s_[4];
+  double cached_normal_ = 0.0;
+  bool has_cached_normal_ = false;
+};
+
+}  // namespace sdcmd

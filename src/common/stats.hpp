@@ -1,0 +1,63 @@
+// Streaming statistics and simple summaries for timings and physics series.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+namespace sdcmd {
+
+/// Welford online mean/variance plus min/max.
+class RunningStats {
+ public:
+  void add(double x);
+
+  std::size_t count() const { return n_; }
+  double mean() const { return n_ ? mean_ : 0.0; }
+  /// Unbiased sample variance (0 for n < 2).
+  double variance() const;
+  double stddev() const;
+  double min() const { return n_ ? min_ : 0.0; }
+  double max() const { return n_ ? max_ : 0.0; }
+  double sum() const { return n_ ? mean_ * static_cast<double>(n_) : 0.0; }
+
+  /// Merge another accumulator into this one (parallel reduction friendly).
+  void merge(const RunningStats& other);
+
+  void reset() { *this = RunningStats{}; }
+
+ private:
+  std::size_t n_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+};
+
+/// Median of a copy of `xs` (empty input returns 0).
+double median(std::vector<double> xs);
+
+/// p-th percentile (0 <= p <= 100) with linear interpolation.
+double percentile(std::vector<double> xs, double p);
+
+/// Fixed-width histogram over [lo, hi]; out-of-range samples clamp to the
+/// edge bins. Used by tests to sanity-check velocity distributions.
+class Histogram {
+ public:
+  Histogram(double lo, double hi, std::size_t bins);
+
+  void add(double x);
+  std::size_t bin_count(std::size_t bin) const { return counts_.at(bin); }
+  std::size_t bins() const { return counts_.size(); }
+  std::size_t total() const { return total_; }
+  double bin_center(std::size_t bin) const;
+  double lo() const { return lo_; }
+  double hi() const { return hi_; }
+
+ private:
+  double lo_;
+  double hi_;
+  std::vector<std::size_t> counts_;
+  std::size_t total_ = 0;
+};
+
+}  // namespace sdcmd

@@ -1,0 +1,34 @@
+// ASCII table rendering for the benchmark harness.
+//
+// The Table 1 / Fig. 9 reproductions print rows exactly like the paper's
+// layout (method x thread-count speedup grids), so the harness needs a small
+// formatter rather than raw printf.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace sdcmd {
+
+class AsciiTable {
+ public:
+  /// A table with the given column headers.
+  explicit AsciiTable(std::vector<std::string> headers);
+
+  /// Append one row; pads/truncates to the header width.
+  void add_row(std::vector<std::string> cells);
+
+  /// Convenience: format doubles with `precision` digits after the point.
+  static std::string fmt(double v, int precision = 2);
+
+  /// Render with column alignment, a header underline and outer padding.
+  std::string render() const;
+
+  std::size_t rows() const { return rows_.size(); }
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace sdcmd

@@ -1,0 +1,53 @@
+#include "common/threads.hpp"
+
+#include <omp.h>
+
+#include <sstream>
+#include <thread>
+
+#if defined(__linux__)
+#include <sched.h>
+#endif
+
+namespace sdcmd {
+
+int max_threads() { return omp_get_max_threads(); }
+
+void set_threads(int n) { omp_set_num_threads(n > 0 ? n : 1); }
+
+int thread_id() { return omp_get_thread_num(); }
+
+int hardware_threads() {
+  const unsigned n = std::thread::hardware_concurrency();
+  return n > 0 ? static_cast<int>(n) : 1;
+}
+
+bool pin_current_thread(int cpu) {
+#if defined(__linux__)
+  cpu_set_t set;
+  CPU_ZERO(&set);
+  CPU_SET(static_cast<unsigned>(cpu % hardware_threads()), &set);
+  return sched_setaffinity(0, sizeof(set), &set) == 0;
+#else
+  (void)cpu;
+  return false;
+#endif
+}
+
+int pin_openmp_threads_round_robin() {
+  int pinned = 0;
+#pragma omp parallel reduction(+ : pinned)
+  {
+    if (pin_current_thread(omp_get_thread_num())) pinned = 1;
+  }
+  return pinned;
+}
+
+std::string thread_summary() {
+  std::ostringstream os;
+  os << max_threads() << " OpenMP thread(s) on " << hardware_threads()
+     << " hardware thread(s)";
+  return os.str();
+}
+
+}  // namespace sdcmd

@@ -1,0 +1,38 @@
+// OpenMP runtime helpers.
+//
+// The paper pins threads to cores with sched_setaffinity at startup; we
+// expose the same capability (best-effort, Linux-only) plus the usual
+// thread-count plumbing the bench harness sweeps over.
+#pragma once
+
+#include <cstddef>
+#include <string>
+
+namespace sdcmd {
+
+/// Number of OpenMP threads a parallel region will use right now.
+int max_threads();
+
+/// Set the OpenMP thread count for subsequent parallel regions.
+void set_threads(int n);
+
+/// Thread id inside a parallel region (0 outside one).
+int thread_id();
+
+/// Number of hardware threads the OS reports.
+int hardware_threads();
+
+/// Pin the calling thread to `cpu % hardware_threads()`. Returns false when
+/// the platform does not support affinity or the syscall fails; callers
+/// treat pinning as an optimization, never a requirement.
+bool pin_current_thread(int cpu);
+
+/// Pin every OpenMP thread round-robin across the hardware threads, like the
+/// paper's sched_setaffinity startup binding. Returns the number of threads
+/// successfully pinned.
+int pin_openmp_threads_round_robin();
+
+/// "N threads on M hardware threads (pinning: yes/no)" for bench headers.
+std::string thread_summary();
+
+}  // namespace sdcmd

@@ -1,0 +1,61 @@
+#include "common/timer.hpp"
+
+#include "common/error.hpp"
+
+namespace sdcmd {
+
+double wall_time() {
+  using clock = std::chrono::steady_clock;
+  return std::chrono::duration<double>(clock::now().time_since_epoch())
+      .count();
+}
+
+void Stopwatch::start() {
+  SDCMD_REQUIRE(!running_, "stopwatch already running");
+  running_ = true;
+  start_ = wall_time();
+}
+
+double Stopwatch::stop() {
+  SDCMD_REQUIRE(running_, "stopwatch not running");
+  const double lap = wall_time() - start_;
+  total_ += lap;
+  ++laps_;
+  running_ = false;
+  return lap;
+}
+
+void Stopwatch::reset() {
+  total_ = 0.0;
+  laps_ = 0;
+  running_ = false;
+}
+
+Stopwatch& PhaseTimers::operator[](const std::string& name) {
+  for (auto& [n, w] : timers_) {
+    if (n == name) return w;
+  }
+  timers_.emplace_back(name, Stopwatch{});
+  return timers_.back().second;
+}
+
+std::vector<PhaseTimers::Entry> PhaseTimers::entries() const {
+  std::vector<Entry> out;
+  out.reserve(timers_.size());
+  for (const auto& [n, w] : timers_) {
+    out.push_back({n, w.total(), w.laps()});
+  }
+  return out;
+}
+
+double PhaseTimers::total() const {
+  double t = 0.0;
+  for (const auto& [n, w] : timers_) t += w.total();
+  return t;
+}
+
+void PhaseTimers::reset() {
+  for (auto& [n, w] : timers_) w.reset();
+}
+
+}  // namespace sdcmd

@@ -1,0 +1,67 @@
+// Wall-clock timing used by the benchmark harness and the simulation
+// instrumentation. All times are in seconds.
+#pragma once
+
+#include <chrono>
+#include <cstddef>
+#include <string>
+#include <vector>
+
+namespace sdcmd {
+
+/// Monotonic wall-clock time in seconds since an arbitrary epoch.
+double wall_time();
+
+/// Simple start/stop stopwatch accumulating total elapsed time.
+class Stopwatch {
+ public:
+  void start();
+  /// Stops the watch and returns the length of the lap just ended.
+  double stop();
+  void reset();
+
+  double total() const { return total_; }
+  std::size_t laps() const { return laps_; }
+  bool running() const { return running_; }
+
+ private:
+  double total_ = 0.0;
+  double start_ = 0.0;
+  std::size_t laps_ = 0;
+  bool running_ = false;
+};
+
+/// RAII lap on a stopwatch.
+class ScopedTimer {
+ public:
+  explicit ScopedTimer(Stopwatch& watch) : watch_(watch) { watch_.start(); }
+  ~ScopedTimer() { watch_.stop(); }
+  ScopedTimer(const ScopedTimer&) = delete;
+  ScopedTimer& operator=(const ScopedTimer&) = delete;
+
+ private:
+  Stopwatch& watch_;
+};
+
+/// A named set of stopwatches, e.g. one per EAM force phase.
+class PhaseTimers {
+ public:
+  /// Returns (creating on first use) the stopwatch with the given name.
+  Stopwatch& operator[](const std::string& name);
+
+  struct Entry {
+    std::string name;
+    double seconds;
+    std::size_t laps;
+  };
+  /// All phases in insertion order.
+  std::vector<Entry> entries() const;
+
+  double total() const;
+  void reset();
+
+ private:
+  std::vector<std::pair<std::string, Stopwatch>> timers_;
+};
+
+}  // namespace sdcmd

@@ -1,0 +1,39 @@
+// Internal unit system and physical constants.
+//
+// sdcmd works in reduced "metal-like" units chosen so that the common EAM
+// literature values can be used verbatim:
+//
+//   length : angstrom (A)
+//   energy : electron-volt (eV)
+//   mass   : atomic mass unit (amu)
+//
+// With those three fixed, the derived time unit is
+//   t* = sqrt(amu * A^2 / eV) = 10.180505 fs,
+// i.e. velocities are in A/t*, forces in eV/A, and a time step of
+// 10^-17 s (the paper's Section III.B) is dt = 1e-2 fs = 9.8227e-4 t*.
+#pragma once
+
+namespace sdcmd::units {
+
+/// Boltzmann constant in eV/K.
+inline constexpr double kBoltzmann = 8.617333262e-5;
+
+/// One internal time unit expressed in femtoseconds.
+inline constexpr double kTimeUnitFs = 10.180505;
+
+/// Convert a time step given in femtoseconds into internal units.
+constexpr double fs_to_internal(double fs) { return fs / kTimeUnitFs; }
+
+/// Convert an internal time into femtoseconds.
+constexpr double internal_to_fs(double t) { return t * kTimeUnitFs; }
+
+/// Mass of iron in amu (the paper simulates pure bcc Fe).
+inline constexpr double kMassFe = 55.845;
+
+/// Conventional bcc lattice constant of iron in angstrom at 0 K.
+inline constexpr double kLatticeFe = 2.8665;
+
+/// eV/A^3 expressed in gigapascal, for pressure reporting.
+inline constexpr double kEvPerA3ToGPa = 160.21766208;
+
+}  // namespace sdcmd::units

@@ -1,0 +1,189 @@
+#include "core/alloy_force.hpp"
+
+#include <omp.h>
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/error.hpp"
+
+namespace sdcmd {
+
+namespace {
+
+struct Args {
+  const Box& box;
+  std::span<const Vec3> x;
+  std::span<const std::uint8_t> types;
+  const NeighborList& list;
+  const AlloyEamPotential& pot;
+  double cutoff2;
+};
+
+/// Density contributions for every atom of one index range / slot.
+/// Both directions of a pair are evaluated (phi depends on the donor
+/// species, so the two contributions differ in general).
+inline void density_atom(const Args& a, std::size_t i,
+                         std::span<double> rho) {
+  const Vec3 xi = a.x[i];
+  const int ti = a.types[i];
+  double rho_i = 0.0;
+  for (std::uint32_t j : a.list.neighbors(i)) {
+    const Vec3 dr = a.box.minimum_image(xi, a.x[j]);
+    const double r2 = norm2(dr);
+    if (r2 >= a.cutoff2) continue;
+    const double r = std::sqrt(r2);
+    double phi, dphi;
+    a.pot.density(a.types[j], r, phi, dphi);  // j donates to i
+    rho_i += phi;
+    a.pot.density(ti, r, phi, dphi);          // i donates to j
+    rho[j] += phi;
+  }
+  rho[i] += rho_i;
+}
+
+inline void force_atom(const Args& a, std::size_t i,
+                       std::span<const double> fp, std::span<Vec3> force,
+                       double& energy, double& virial) {
+  const Vec3 xi = a.x[i];
+  const int ti = a.types[i];
+  const double fp_i = fp[i];
+  Vec3 f_i{};
+  for (std::uint32_t j : a.list.neighbors(i)) {
+    const Vec3 dr = a.box.minimum_image(xi, a.x[j]);
+    const double r2 = norm2(dr);
+    if (r2 >= a.cutoff2) continue;
+    const double r = std::sqrt(r2);
+    const int tj = a.types[j];
+    double v, dvdr, phi_i, dphi_i, phi_j, dphi_j;
+    a.pot.pair(ti, tj, r, v, dvdr);
+    a.pot.density(ti, r, phi_i, dphi_i);  // i's donation (felt by j)
+    a.pot.density(tj, r, phi_j, dphi_j);  // j's donation (felt by i)
+    const double fpair = -(dvdr + fp_i * dphi_j + fp[j] * dphi_i) / r;
+    const Vec3 fv = fpair * dr;
+    f_i += fv;
+    force[j] -= fv;
+    energy += v;
+    virial += fpair * r2;
+  }
+  force[i] += f_i;
+}
+
+}  // namespace
+
+AlloyForceComputer::AlloyForceComputer(const AlloyEamPotential& potential,
+                                       AlloyForceConfig config)
+    : potential_(potential), config_(config) {
+  SDCMD_REQUIRE(config.strategy == ReductionStrategy::Serial ||
+                    config.strategy == ReductionStrategy::Sdc,
+                "alloy engine supports Serial and Sdc strategies");
+}
+
+void AlloyForceComputer::attach_schedule(const Box& box,
+                                         double interaction_range) {
+  if (config_.strategy != ReductionStrategy::Sdc) return;
+  schedule_ =
+      std::make_unique<SdcSchedule>(box, interaction_range, config_.sdc);
+}
+
+void AlloyForceComputer::on_neighbor_rebuild(
+    std::span<const Vec3> positions) {
+  if (config_.strategy != ReductionStrategy::Sdc) return;
+  SDCMD_REQUIRE(schedule_ != nullptr,
+                "attach_schedule must run before on_neighbor_rebuild");
+  schedule_->rebuild(positions);
+}
+
+AlloyForceResult AlloyForceComputer::compute(
+    const Box& box, std::span<const Vec3> positions,
+    std::span<const std::uint8_t> types, const NeighborList& list,
+    std::span<double> rho, std::span<double> fp, std::span<Vec3> force) {
+  const std::size_t n = positions.size();
+  SDCMD_REQUIRE(types.size() == n, "types must match the atom count");
+  SDCMD_REQUIRE(rho.size() == n && fp.size() == n && force.size() == n,
+                "output arrays must match the atom count");
+  SDCMD_REQUIRE(list.mode() == NeighborMode::Half,
+                "alloy engine needs a half neighbor list");
+  SDCMD_REQUIRE(list.atom_count() == n, "neighbor list is stale");
+  const int ns = potential_.species_count();
+  for (std::uint8_t t : types) {
+    SDCMD_REQUIRE(t < ns, "species index out of range");
+  }
+
+  const double cutoff = potential_.cutoff();
+  Args args{box, positions, types, list, potential_, cutoff * cutoff};
+  std::fill(rho.begin(), rho.end(), 0.0);
+  std::fill(force.begin(), force.end(), Vec3{});
+
+  AlloyForceResult result;
+
+  {
+    ScopedTimer timer(timers_["density"]);
+    if (config_.strategy == ReductionStrategy::Serial) {
+      for (std::size_t i = 0; i < n; ++i) density_atom(args, i, rho);
+    } else {
+      SDCMD_REQUIRE(schedule_ != nullptr && schedule_->built(),
+                    "SDC schedule not built");
+      const Partition& part = schedule_->partition();
+      SDCMD_REQUIRE(part.atom_count() == n, "partition is stale");
+      const int colors = part.color_count();
+#pragma omp parallel
+      {
+        for (int c = 0; c < colors; ++c) {
+#pragma omp for schedule(static)
+          for (std::size_t slot = part.color_begin(c);
+               slot < part.color_end(c); ++slot) {
+            for (std::uint32_t i : part.atoms_in_slot(slot)) {
+              density_atom(args, i, rho);
+            }
+          }
+        }
+      }
+    }
+  }
+
+  {
+    ScopedTimer timer(timers_["embed"]);
+    double energy = 0.0;
+#pragma omp parallel for schedule(static) reduction(+ : energy) \
+    if (config_.strategy != ReductionStrategy::Serial)
+    for (std::size_t i = 0; i < n; ++i) {
+      double f, dfdrho;
+      potential_.embed(types[i], rho[i], f, dfdrho);
+      fp[i] = dfdrho;
+      energy += f;
+    }
+    result.embedding_energy = energy;
+  }
+
+  {
+    ScopedTimer timer(timers_["force"]);
+    double energy = 0.0;
+    double virial = 0.0;
+    if (config_.strategy == ReductionStrategy::Serial) {
+      for (std::size_t i = 0; i < n; ++i) {
+        force_atom(args, i, fp, force, energy, virial);
+      }
+    } else {
+      const Partition& part = schedule_->partition();
+      const int colors = part.color_count();
+#pragma omp parallel reduction(+ : energy, virial)
+      {
+        for (int c = 0; c < colors; ++c) {
+#pragma omp for schedule(static)
+          for (std::size_t slot = part.color_begin(c);
+               slot < part.color_end(c); ++slot) {
+            for (std::uint32_t i : part.atoms_in_slot(slot)) {
+              force_atom(args, i, fp, force, energy, virial);
+            }
+          }
+        }
+      }
+    }
+    result.pair_energy = energy;
+    result.virial = virial;
+  }
+  return result;
+}
+
+}  // namespace sdcmd

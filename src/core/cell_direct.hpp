@@ -1,0 +1,30 @@
+// Cell-direct EAM evaluation: compute forces straight from the linked-cell
+// grid, with no Verlet list at all.
+//
+// The design alternative to the paper's neighbor-list pipeline. Per step it
+// saves the list build but pays ~2-3x the distance checks (every pair in
+// the 27-cell neighborhood is tested every step, where a Verlet list
+// pre-filters once per skin interval). bench_neighbor_policy quantifies the
+// trade; the test suite pins its output to the list-based kernels.
+//
+// Serial only: this is a reference/measurement path, not a strategy.
+#pragma once
+
+#include <span>
+
+#include "core/eam_force.hpp"
+#include "neighbor/cell_list.hpp"
+
+namespace sdcmd {
+
+/// Evaluate the three EAM phases directly over a cell grid built with at
+/// least the potential cutoff. Requires >= 3 cells along every periodic
+/// dimension (so the half-stencil pair sweep never double-counts).
+/// Outputs match EamForceComputer::compute with a half list.
+EamForceResult eam_cell_direct(const Box& box,
+                               std::span<const Vec3> positions,
+                               const EamPotential& potential,
+                               std::span<double> rho, std::span<double> fp,
+                               std::span<Vec3> force);
+
+}  // namespace sdcmd

@@ -1,0 +1,15 @@
+#include "core/colored_reduction.hpp"
+
+namespace sdcmd {
+
+ColoredScatterEngine::ColoredScatterEngine(const Box& box,
+                                           double interaction_range,
+                                           SdcConfig config)
+    : schedule_(
+          std::make_unique<SdcSchedule>(box, interaction_range, config)) {}
+
+void ColoredScatterEngine::rebuild(std::span<const Vec3> points) {
+  schedule_->rebuild(points);
+}
+
+}  // namespace sdcmd

@@ -1,0 +1,83 @@
+// Generic colored irregular-reduction engine.
+//
+// The paper closes by noting SDC solves "a class of short-range force
+// calculations problems", not just EAM. This type factors the pattern out
+// of MD entirely: any computation of the form
+//
+//   for each point i:  scatter updates to data of points within `range` of i
+//
+// can run race-free in parallel by sweeping the SDC colors. Examples:
+// smoothed-particle hydrodynamics density sums, contact-force accumulation
+// in granular dynamics, or the demo in examples/irregular_reduction.cpp
+// (local mass smoothing over a random point cloud).
+//
+// Contract for the user functor: processing point i may read anything but
+// may only WRITE per-point data of points within `interaction_range` of
+// point i (at rebuild time). That is precisely the guarantee under which
+// same-color subdomains never collide.
+#pragma once
+
+#include <omp.h>
+
+#include <cstdint>
+#include <memory>
+#include <span>
+
+#include "common/error.hpp"
+#include "core/sdc_schedule.hpp"
+
+namespace sdcmd {
+
+class ColoredScatterEngine {
+ public:
+  /// Throws InfeasibleError when `box` cannot be decomposed at the
+  /// requested dimensionality with subdomain edges >= 2 * range.
+  ColoredScatterEngine(const Box& box, double interaction_range,
+                       SdcConfig config);
+
+  /// Re-bin the points (call whenever they move materially).
+  void rebuild(std::span<const Vec3> points);
+
+  const SdcSchedule& schedule() const { return *schedule_; }
+  int color_count() const { return schedule_->color_count(); }
+
+  /// Invoke `fn(i)` once for every point, colors swept serially with the
+  /// points of a color processed in parallel. `fn` must honor the class
+  /// contract above.
+  template <typename VertexFn>
+  void for_each_point_colored(VertexFn&& fn) const {
+    SDCMD_REQUIRE(schedule_->built(), "rebuild() has not run yet");
+    const Partition& part = schedule_->partition();
+    const int colors = part.color_count();
+#pragma omp parallel
+    {
+      for (int c = 0; c < colors; ++c) {
+        const std::size_t begin = part.color_begin(c);
+        const std::size_t end = part.color_end(c);
+#pragma omp for schedule(static)
+        for (std::size_t slot = begin; slot < end; ++slot) {
+          for (std::uint32_t i : part.atoms_in_slot(slot)) {
+            fn(static_cast<std::size_t>(i));
+          }
+        }
+      }
+    }
+  }
+
+  /// Serial sweep in the same slot order; reference for testing.
+  template <typename VertexFn>
+  void for_each_point_serial(VertexFn&& fn) const {
+    SDCMD_REQUIRE(schedule_->built(), "rebuild() has not run yet");
+    const Partition& part = schedule_->partition();
+    for (std::size_t slot = 0; slot < part.subdomain_count(); ++slot) {
+      for (std::uint32_t i : part.atoms_in_slot(slot)) {
+        fn(static_cast<std::size_t>(i));
+      }
+    }
+  }
+
+ private:
+  std::unique_ptr<SdcSchedule> schedule_;
+};
+
+}  // namespace sdcmd

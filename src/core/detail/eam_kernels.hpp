@@ -1,0 +1,94 @@
+// Internal kernel entry points for EamForceComputer. One translation unit
+// per strategy family keeps each parallelization pattern readable on its
+// own (and mirrors how the paper presents them).
+//
+// Contract shared by all kernels:
+//  * density kernels fill rho[] (zeroed by the caller);
+//  * force kernels fill force[] (zeroed by the caller) and return the pair
+//    energy and virial through DensityForceSums;
+//  * half-list kernels visit each pair once and scatter symmetric updates;
+//    the RC kernels take a full list and only ever write index i.
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "common/vec3.hpp"
+#include "core/sdc_schedule.hpp"
+#include "geom/box.hpp"
+#include "neighbor/neighbor_list.hpp"
+#include "potential/potential.hpp"
+
+namespace sdcmd {
+class LockPool;
+}
+
+namespace sdcmd::detail {
+
+struct EamArgs {
+  const Box& box;
+  std::span<const Vec3> x;
+  const NeighborList& list;
+  const EamPotential& pot;
+  double cutoff2;          ///< squared potential cutoff (list range is wider)
+  bool dynamic_schedule;   ///< omp dynamic chunking in the subdomain loop
+};
+
+struct ForceSums {
+  double pair_energy = 0.0;
+  double virial = 0.0;
+};
+
+/// Minimum-image pair geometry; returns false when beyond the cutoff.
+struct PairGeom {
+  Vec3 dr;   ///< x_i - x_j (minimum image)
+  double r;  ///< |dr|
+};
+
+inline bool pair_geometry(const Box& box, const Vec3& xi, const Vec3& xj,
+                          double cutoff2, PairGeom& out) {
+  out.dr = box.minimum_image(xi, xj);
+  const double r2 = norm2(out.dr);
+  if (r2 >= cutoff2) return false;
+  out.r = std::sqrt(r2);
+  return true;
+}
+
+// --- phase 1: electron density --------------------------------------------
+void density_serial(const EamArgs& a, std::span<double> rho);
+void density_critical(const EamArgs& a, std::span<double> rho);
+void density_atomic(const EamArgs& a, std::span<double> rho);
+void density_locks(const EamArgs& a, LockPool& locks, std::span<double> rho);
+void density_sap(const EamArgs& a, std::span<double> rho,
+                 std::vector<std::vector<double>>& priv);
+void density_rc(const EamArgs& a, std::span<double> rho);  // full list
+void density_sdc(const EamArgs& a, const Partition& part,
+                 std::span<double> rho);
+
+// --- phase 2: embedding (strategy-independent) -----------------------------
+/// Fills fp[i] = dF/drho(rho_i); returns sum of F(rho_i). Runs with a plain
+/// `#pragma omp parallel for` when `parallel` (the paper parallelizes this
+/// phase with a single directive: no data dependences).
+double embed_phase(const EamPotential& pot, std::span<const double> rho,
+                   std::span<double> fp, bool parallel);
+
+// --- phase 3: forces --------------------------------------------------------
+void force_serial(const EamArgs& a, std::span<const double> fp,
+                  std::span<Vec3> force, ForceSums& sums);
+void force_critical(const EamArgs& a, std::span<const double> fp,
+                    std::span<Vec3> force, ForceSums& sums);
+void force_atomic(const EamArgs& a, std::span<const double> fp,
+                  std::span<Vec3> force, ForceSums& sums);
+void force_locks(const EamArgs& a, LockPool& locks,
+                 std::span<const double> fp, std::span<Vec3> force,
+                 ForceSums& sums);
+void force_sap(const EamArgs& a, std::span<const double> fp,
+               std::span<Vec3> force, ForceSums& sums,
+               std::vector<std::vector<Vec3>>& priv);
+void force_rc(const EamArgs& a, std::span<const double> fp,
+              std::span<Vec3> force, ForceSums& sums);  // full list
+void force_sdc(const EamArgs& a, const Partition& part,
+               std::span<const double> fp, std::span<Vec3> force,
+               ForceSums& sums);
+
+}  // namespace sdcmd::detail

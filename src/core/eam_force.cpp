@@ -1,0 +1,168 @@
+#include "core/eam_force.hpp"
+
+#include <algorithm>
+
+#include "common/error.hpp"
+#include "core/detail/eam_kernels.hpp"
+#include "core/lock_pool.hpp"
+
+namespace sdcmd {
+
+/// Reusable per-thread replicas for the ArrayPrivatization kernels. Kept
+/// out of the header so callers don't depend on the buffer layout.
+struct EamForceComputer::SapWorkspace {
+  std::vector<std::vector<double>> rho;
+  std::vector<std::vector<Vec3>> force;
+
+  std::size_t bytes() const {
+    std::size_t total = 0;
+    for (const auto& b : rho) total += b.capacity() * sizeof(double);
+    for (const auto& b : force) total += b.capacity() * sizeof(Vec3);
+    return total;
+  }
+};
+
+EamForceComputer::EamForceComputer(const EamPotential& potential,
+                                   EamForceConfig config)
+    : potential_(potential), config_(config) {
+  if (config_.strategy == ReductionStrategy::ArrayPrivatization) {
+    sap_ = std::make_unique<SapWorkspace>();
+  }
+  if (config_.strategy == ReductionStrategy::LockStriped) {
+    locks_ = std::make_unique<LockPool>();
+  }
+}
+
+EamForceComputer::~EamForceComputer() = default;
+
+void EamForceComputer::attach_schedule(const Box& box,
+                                       double interaction_range) {
+  if (config_.strategy != ReductionStrategy::Sdc) return;
+  schedule_ =
+      std::make_unique<SdcSchedule>(box, interaction_range, config_.sdc);
+}
+
+void EamForceComputer::on_neighbor_rebuild(std::span<const Vec3> positions) {
+  if (config_.strategy != ReductionStrategy::Sdc) return;
+  SDCMD_REQUIRE(schedule_ != nullptr,
+                "attach_schedule must run before on_neighbor_rebuild");
+  schedule_->rebuild(positions);
+}
+
+EamForceResult EamForceComputer::compute(const Box& box,
+                                         std::span<const Vec3> positions,
+                                         const NeighborList& list,
+                                         std::span<double> rho,
+                                         std::span<double> fp,
+                                         std::span<Vec3> force) {
+  const std::size_t n = positions.size();
+  SDCMD_REQUIRE(rho.size() == n && fp.size() == n && force.size() == n,
+                "output arrays must match the atom count");
+  SDCMD_REQUIRE(list.atom_count() == n, "neighbor list is stale");
+  SDCMD_REQUIRE(list.mode() == required_mode(config_.strategy),
+                "strategy " + to_string(config_.strategy) + " needs a " +
+                    (required_mode(config_.strategy) == NeighborMode::Full
+                         ? std::string("full")
+                         : std::string("half")) +
+                    " neighbor list");
+  SDCMD_REQUIRE(list.cutoff() >= potential_.cutoff(),
+                "neighbor list cutoff shorter than the potential range");
+
+  const double cutoff = potential_.cutoff();
+  detail::EamArgs args{box,    positions,       list,
+                       potential_, cutoff * cutoff, config_.dynamic_schedule};
+
+  std::fill(rho.begin(), rho.end(), 0.0);
+  std::fill(force.begin(), force.end(), Vec3{});
+
+  const bool parallel_embed = is_parallel(config_.strategy);
+  EamForceResult result;
+
+  {
+    ScopedTimer timer(timers_["density"]);
+    switch (config_.strategy) {
+      case ReductionStrategy::Serial:
+        detail::density_serial(args, rho);
+        break;
+      case ReductionStrategy::Critical:
+        detail::density_critical(args, rho);
+        break;
+      case ReductionStrategy::Atomic:
+        detail::density_atomic(args, rho);
+        break;
+      case ReductionStrategy::LockStriped:
+        detail::density_locks(args, *locks_, rho);
+        break;
+      case ReductionStrategy::ArrayPrivatization:
+        detail::density_sap(args, rho, sap_->rho);
+        break;
+      case ReductionStrategy::RedundantComputation:
+        detail::density_rc(args, rho);
+        break;
+      case ReductionStrategy::Sdc:
+        SDCMD_REQUIRE(schedule_ != nullptr && schedule_->built(),
+                      "SDC schedule not built; call attach_schedule and "
+                      "on_neighbor_rebuild first");
+        detail::density_sdc(args, schedule_->partition(), rho);
+        break;
+    }
+  }
+
+  {
+    ScopedTimer timer(timers_["embed"]);
+    result.embedding_energy =
+        detail::embed_phase(potential_, rho, fp, parallel_embed);
+  }
+
+  {
+    ScopedTimer timer(timers_["force"]);
+    detail::ForceSums sums;
+    switch (config_.strategy) {
+      case ReductionStrategy::Serial:
+        detail::force_serial(args, fp, force, sums);
+        break;
+      case ReductionStrategy::Critical:
+        detail::force_critical(args, fp, force, sums);
+        break;
+      case ReductionStrategy::Atomic:
+        detail::force_atomic(args, fp, force, sums);
+        break;
+      case ReductionStrategy::LockStriped:
+        detail::force_locks(args, *locks_, fp, force, sums);
+        break;
+      case ReductionStrategy::ArrayPrivatization:
+        detail::force_sap(args, fp, force, sums, sap_->force);
+        break;
+      case ReductionStrategy::RedundantComputation:
+        detail::force_rc(args, fp, force, sums);
+        break;
+      case ReductionStrategy::Sdc:
+        detail::force_sdc(args, schedule_->partition(), fp, force, sums);
+        break;
+    }
+    result.pair_energy = sums.pair_energy;
+    result.virial = sums.virial;
+  }
+
+  // Exact work accounting (derived, not sampled: list sizes are exact).
+  stats_.density_pair_visits += list.pair_count();
+  stats_.force_pair_visits += list.pair_count();
+  const bool scatters = config_.strategy != ReductionStrategy::RedundantComputation;
+  if (scatters) stats_.scatter_updates += 2 * list.pair_count();
+  if (config_.strategy == ReductionStrategy::Sdc) {
+    stats_.color_sweeps += 2 * static_cast<std::size_t>(
+                                   schedule_->color_count());
+  }
+  if (sap_) {
+    stats_.private_array_bytes =
+        std::max(stats_.private_array_bytes, sap_->bytes());
+  }
+  return result;
+}
+
+void EamForceComputer::reset_instrumentation() {
+  timers_.reset();
+  stats_ = EamKernelStats{};
+}
+
+}  // namespace sdcmd

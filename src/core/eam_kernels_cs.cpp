@@ -1,0 +1,124 @@
+// Paper class 1 kernels: synchronization around every scatter update.
+//
+//  * Critical - the literal strategy the paper benchmarks: the references
+//    to the reduction array are enclosed in `#pragma omp critical`, so all
+//    threads serialize on one lock for every pair. This is intentionally
+//    the naive pattern; its collapse in Fig. 9 is a result, not a bug.
+//  * Atomic   - the per-scalar `#pragma omp atomic` refinement; still one
+//    RMW bus transaction per array element per pair.
+#include <omp.h>
+
+#include "core/detail/eam_kernels.hpp"
+
+namespace sdcmd::detail {
+
+void density_critical(const EamArgs& a, std::span<double> rho) {
+  const std::size_t n = a.x.size();
+#pragma omp parallel for schedule(static)
+  for (std::size_t i = 0; i < n; ++i) {
+    const Vec3 xi = a.x[i];
+    for (std::uint32_t j : a.list.neighbors(i)) {
+      PairGeom g;
+      if (!pair_geometry(a.box, xi, a.x[j], a.cutoff2, g)) continue;
+      double phi, dphidr;
+      a.pot.density(g.r, phi, dphidr);
+#pragma omp critical(sdcmd_density)
+      {
+        rho[i] += phi;
+        rho[j] += phi;
+      }
+    }
+  }
+}
+
+void density_atomic(const EamArgs& a, std::span<double> rho) {
+  const std::size_t n = a.x.size();
+#pragma omp parallel for schedule(static)
+  for (std::size_t i = 0; i < n; ++i) {
+    const Vec3 xi = a.x[i];
+    double rho_i = 0.0;
+    for (std::uint32_t j : a.list.neighbors(i)) {
+      PairGeom g;
+      if (!pair_geometry(a.box, xi, a.x[j], a.cutoff2, g)) continue;
+      double phi, dphidr;
+      a.pot.density(g.r, phi, dphidr);
+      rho_i += phi;  // rho[i] is only *scattered to* via the j side below,
+                     // so the i-side accumulates privately
+#pragma omp atomic
+      rho[j] += phi;
+    }
+#pragma omp atomic
+    rho[i] += rho_i;
+  }
+}
+
+void force_critical(const EamArgs& a, std::span<const double> fp,
+                    std::span<Vec3> force, ForceSums& sums) {
+  const std::size_t n = a.x.size();
+  double energy = 0.0;
+  double virial = 0.0;
+#pragma omp parallel for schedule(static) reduction(+ : energy, virial)
+  for (std::size_t i = 0; i < n; ++i) {
+    const Vec3 xi = a.x[i];
+    const double fp_i = fp[i];
+    for (std::uint32_t j : a.list.neighbors(i)) {
+      PairGeom g;
+      if (!pair_geometry(a.box, xi, a.x[j], a.cutoff2, g)) continue;
+      double v, dvdr, phi, dphidr;
+      a.pot.pair(g.r, v, dvdr);
+      a.pot.density(g.r, phi, dphidr);
+      const double fpair = -(dvdr + (fp_i + fp[j]) * dphidr) / g.r;
+      const Vec3 fv = fpair * g.dr;
+#pragma omp critical(sdcmd_force)
+      {
+        force[i] += fv;
+        force[j] -= fv;
+      }
+      energy += v;
+      virial += fpair * g.r * g.r;
+    }
+  }
+  sums.pair_energy = energy;
+  sums.virial = virial;
+}
+
+void force_atomic(const EamArgs& a, std::span<const double> fp,
+                  std::span<Vec3> force, ForceSums& sums) {
+  const std::size_t n = a.x.size();
+  double energy = 0.0;
+  double virial = 0.0;
+#pragma omp parallel for schedule(static) reduction(+ : energy, virial)
+  for (std::size_t i = 0; i < n; ++i) {
+    const Vec3 xi = a.x[i];
+    const double fp_i = fp[i];
+    Vec3 f_i{};
+    for (std::uint32_t j : a.list.neighbors(i)) {
+      PairGeom g;
+      if (!pair_geometry(a.box, xi, a.x[j], a.cutoff2, g)) continue;
+      double v, dvdr, phi, dphidr;
+      a.pot.pair(g.r, v, dvdr);
+      a.pot.density(g.r, phi, dphidr);
+      const double fpair = -(dvdr + (fp_i + fp[j]) * dphidr) / g.r;
+      const Vec3 fv = fpair * g.dr;
+      f_i += fv;
+#pragma omp atomic
+      force[j].x -= fv.x;
+#pragma omp atomic
+      force[j].y -= fv.y;
+#pragma omp atomic
+      force[j].z -= fv.z;
+      energy += v;
+      virial += fpair * g.r * g.r;
+    }
+#pragma omp atomic
+    force[i].x += f_i.x;
+#pragma omp atomic
+    force[i].y += f_i.y;
+#pragma omp atomic
+    force[i].z += f_i.z;
+  }
+  sums.pair_energy = energy;
+  sums.virial = virial;
+}
+
+}  // namespace sdcmd::detail

@@ -1,0 +1,69 @@
+// Lock-striped kernels: the fine-grained refinement of the paper's
+// class 1. Each scatter target is guarded by `locks[j % stripes]`; the
+// i-side accumulates privately and takes its stripe once per atom. Only
+// one lock is ever held at a time, so there is no deadlock risk.
+#include <omp.h>
+
+#include "core/detail/eam_kernels.hpp"
+#include "core/lock_pool.hpp"
+
+namespace sdcmd::detail {
+
+void density_locks(const EamArgs& a, LockPool& locks,
+                   std::span<double> rho) {
+  const std::size_t n = a.x.size();
+#pragma omp parallel for schedule(static)
+  for (std::size_t i = 0; i < n; ++i) {
+    const Vec3 xi = a.x[i];
+    double rho_i = 0.0;
+    for (std::uint32_t j : a.list.neighbors(i)) {
+      PairGeom g;
+      if (!pair_geometry(a.box, xi, a.x[j], a.cutoff2, g)) continue;
+      double phi, dphidr;
+      a.pot.density(g.r, phi, dphidr);
+      rho_i += phi;
+      {
+        LockPool::Guard guard(locks, j);
+        rho[j] += phi;
+      }
+    }
+    LockPool::Guard guard(locks, i);
+    rho[i] += rho_i;
+  }
+}
+
+void force_locks(const EamArgs& a, LockPool& locks,
+                 std::span<const double> fp, std::span<Vec3> force,
+                 ForceSums& sums) {
+  const std::size_t n = a.x.size();
+  double energy = 0.0;
+  double virial = 0.0;
+#pragma omp parallel for schedule(static) reduction(+ : energy, virial)
+  for (std::size_t i = 0; i < n; ++i) {
+    const Vec3 xi = a.x[i];
+    const double fp_i = fp[i];
+    Vec3 f_i{};
+    for (std::uint32_t j : a.list.neighbors(i)) {
+      PairGeom g;
+      if (!pair_geometry(a.box, xi, a.x[j], a.cutoff2, g)) continue;
+      double v, dvdr, phi, dphidr;
+      a.pot.pair(g.r, v, dvdr);
+      a.pot.density(g.r, phi, dphidr);
+      const double fpair = -(dvdr + (fp_i + fp[j]) * dphidr) / g.r;
+      const Vec3 fv = fpair * g.dr;
+      f_i += fv;
+      {
+        LockPool::Guard guard(locks, j);
+        force[j] -= fv;
+      }
+      energy += v;
+      virial += fpair * g.r * g.r;
+    }
+    LockPool::Guard guard(locks, i);
+    force[i] += f_i;
+  }
+  sums.pair_energy = energy;
+  sums.virial = virial;
+}
+
+}  // namespace sdcmd::detail

@@ -1,0 +1,112 @@
+// Paper class 2: Shared Array Privatization (SAP).
+//
+// Every thread scatters into its own private copy of the reduction array;
+// after the loop the copies are merged into the shared array. Memory grows
+// linearly with the thread count - the paper's stated reason SAP stops
+// scaling past ~8 cores (replicas evict useful cache lines and the merge
+// traffic grows with threads).
+//
+// The merge here is parallelized over array index (each thread sums one
+// index range across every replica), which is the strongest practical SAP
+// variant; the paper's own implementation merged under a critical section
+// and fared worse.
+#include <omp.h>
+
+#include "core/detail/eam_kernels.hpp"
+
+namespace sdcmd::detail {
+
+namespace {
+
+/// Grow the per-thread replica set to `threads` buffers of `n` zeros.
+template <typename T>
+void ensure_replicas(std::vector<std::vector<T>>& priv, int threads,
+                     std::size_t n) {
+  priv.resize(static_cast<std::size_t>(threads));
+  for (auto& buf : priv) {
+    buf.assign(n, T{});
+  }
+}
+
+}  // namespace
+
+void density_sap(const EamArgs& a, std::span<double> rho,
+                 std::vector<std::vector<double>>& priv) {
+  const std::size_t n = a.x.size();
+  const int threads = omp_get_max_threads();
+  ensure_replicas(priv, threads, n);
+
+#pragma omp parallel
+  {
+    std::vector<double>& mine =
+        priv[static_cast<std::size_t>(omp_get_thread_num())];
+#pragma omp for schedule(static)
+    for (std::size_t i = 0; i < n; ++i) {
+      const Vec3 xi = a.x[i];
+      for (std::uint32_t j : a.list.neighbors(i)) {
+        PairGeom g;
+        if (!pair_geometry(a.box, xi, a.x[j], a.cutoff2, g)) continue;
+        double phi, dphidr;
+        a.pot.density(g.r, phi, dphidr);
+        mine[i] += phi;
+        mine[j] += phi;
+      }
+    }
+    // Merge: each thread owns a contiguous index range and sums that range
+    // across every replica (no synchronization beyond the implicit barrier).
+#pragma omp for schedule(static)
+    for (std::size_t i = 0; i < n; ++i) {
+      double sum = 0.0;
+      for (int t = 0; t < threads; ++t) {
+        sum += priv[static_cast<std::size_t>(t)][i];
+      }
+      rho[i] += sum;
+    }
+  }
+}
+
+void force_sap(const EamArgs& a, std::span<const double> fp,
+               std::span<Vec3> force, ForceSums& sums,
+               std::vector<std::vector<Vec3>>& priv) {
+  const std::size_t n = a.x.size();
+  const int threads = omp_get_max_threads();
+  ensure_replicas(priv, threads, n);
+
+  double energy = 0.0;
+  double virial = 0.0;
+#pragma omp parallel reduction(+ : energy, virial)
+  {
+    std::vector<Vec3>& mine =
+        priv[static_cast<std::size_t>(omp_get_thread_num())];
+#pragma omp for schedule(static)
+    for (std::size_t i = 0; i < n; ++i) {
+      const Vec3 xi = a.x[i];
+      const double fp_i = fp[i];
+      for (std::uint32_t j : a.list.neighbors(i)) {
+        PairGeom g;
+        if (!pair_geometry(a.box, xi, a.x[j], a.cutoff2, g)) continue;
+        double v, dvdr, phi, dphidr;
+        a.pot.pair(g.r, v, dvdr);
+        a.pot.density(g.r, phi, dphidr);
+        const double fpair = -(dvdr + (fp_i + fp[j]) * dphidr) / g.r;
+        const Vec3 fv = fpair * g.dr;
+        mine[i] += fv;
+        mine[j] -= fv;
+        energy += v;
+        virial += fpair * g.r * g.r;
+      }
+    }
+#pragma omp for schedule(static)
+    for (std::size_t i = 0; i < n; ++i) {
+      Vec3 sum{};
+      for (int t = 0; t < threads; ++t) {
+        sum += priv[static_cast<std::size_t>(t)][i];
+      }
+      force[i] += sum;
+    }
+  }
+  sums.pair_energy = energy;
+  sums.virial = virial;
+}
+
+}  // namespace sdcmd::detail

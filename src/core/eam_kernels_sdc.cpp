@@ -1,0 +1,125 @@
+// The paper's contribution: Spatial Decomposition Coloring kernels
+// (Figs. 7 and 8).
+//
+// One `#pragma omp parallel` region spans the whole phase (the paper avoids
+// re-forking per color). Inside it, a serial loop walks the colors; for
+// each color an orphaned `#pragma omp for` distributes that color's
+// subdomains over the threads, and the loop's implicit barrier is the only
+// synchronization. Same-color subdomains are >= 2 * interaction-range
+// apart, so their scatter footprints are disjoint and the plain (non-atomic)
+// `+=` updates below are race-free by construction.
+#include <omp.h>
+
+#include "common/error.hpp"
+#include "core/detail/eam_kernels.hpp"
+
+namespace sdcmd::detail {
+
+namespace {
+
+/// Density work for every atom of one subdomain slot.
+inline void density_slot(const EamArgs& a, const Partition& part,
+                         std::size_t slot, std::span<double> rho) {
+  for (std::uint32_t i : part.atoms_in_slot(slot)) {
+    const Vec3 xi = a.x[i];
+    double rho_i = 0.0;
+    for (std::uint32_t j : a.list.neighbors(i)) {
+      PairGeom g;
+      if (!pair_geometry(a.box, xi, a.x[j], a.cutoff2, g)) continue;
+      double phi, dphidr;
+      a.pot.density(g.r, phi, dphidr);
+      rho_i += phi;
+      rho[j] += phi;  // scatter into a neighbor region: safe, see header
+    }
+    rho[i] += rho_i;
+  }
+}
+
+/// Force work for every atom of one subdomain slot.
+inline void force_slot(const EamArgs& a, const Partition& part,
+                       std::size_t slot, std::span<const double> fp,
+                       std::span<Vec3> force, double& energy,
+                       double& virial) {
+  for (std::uint32_t i : part.atoms_in_slot(slot)) {
+    const Vec3 xi = a.x[i];
+    const double fp_i = fp[i];
+    Vec3 f_i{};
+    for (std::uint32_t j : a.list.neighbors(i)) {
+      PairGeom g;
+      if (!pair_geometry(a.box, xi, a.x[j], a.cutoff2, g)) continue;
+      double v, dvdr, phi, dphidr;
+      a.pot.pair(g.r, v, dvdr);
+      a.pot.density(g.r, phi, dphidr);
+      const double fpair = -(dvdr + (fp_i + fp[j]) * dphidr) / g.r;
+      const Vec3 fv = fpair * g.dr;
+      f_i += fv;
+      force[j] -= fv;
+      energy += v;
+      virial += fpair * g.r * g.r;
+    }
+    force[i] += f_i;
+  }
+}
+
+}  // namespace
+
+void density_sdc(const EamArgs& a, const Partition& part,
+                 std::span<double> rho) {
+  SDCMD_REQUIRE(part.atom_count() == a.x.size(),
+                "partition is stale: rebuild the SDC schedule after the "
+                "neighbor list");
+  const int colors = part.color_count();
+#pragma omp parallel
+  {
+    for (int c = 0; c < colors; ++c) {
+      const std::size_t begin = part.color_begin(c);
+      const std::size_t end = part.color_end(c);
+      if (a.dynamic_schedule) {
+#pragma omp for schedule(dynamic)
+        for (std::size_t slot = begin; slot < end; ++slot) {
+          density_slot(a, part, slot, rho);
+        }
+      } else {
+#pragma omp for schedule(static)
+        for (std::size_t slot = begin; slot < end; ++slot) {
+          density_slot(a, part, slot, rho);
+        }
+      }
+      // The `omp for` implicit barrier separates the colors: the paper's
+      // only synchronization cost.
+    }
+  }
+}
+
+void force_sdc(const EamArgs& a, const Partition& part,
+               std::span<const double> fp, std::span<Vec3> force,
+               ForceSums& sums) {
+  SDCMD_REQUIRE(part.atom_count() == a.x.size(),
+                "partition is stale: rebuild the SDC schedule after the "
+                "neighbor list");
+  const int colors = part.color_count();
+  double energy = 0.0;
+  double virial = 0.0;
+#pragma omp parallel reduction(+ : energy, virial)
+  {
+    for (int c = 0; c < colors; ++c) {
+      const std::size_t begin = part.color_begin(c);
+      const std::size_t end = part.color_end(c);
+      if (a.dynamic_schedule) {
+#pragma omp for schedule(dynamic)
+        for (std::size_t slot = begin; slot < end; ++slot) {
+          force_slot(a, part, slot, fp, force, energy, virial);
+        }
+      } else {
+#pragma omp for schedule(static)
+        for (std::size_t slot = begin; slot < end; ++slot) {
+          force_slot(a, part, slot, fp, force, energy, virial);
+        }
+      }
+    }
+  }
+  sums.pair_energy = energy;
+  sums.virial = virial;
+}
+
+}  // namespace sdcmd::detail

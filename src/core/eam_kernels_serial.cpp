@@ -1,0 +1,84 @@
+// Serial reference kernels plus the shared embedding phase.
+//
+// These are the paper's Figs. 1-2 loops: the outer loop walks atoms, the
+// inner loop walks the CSR half neighbor list, and both rho[j] and force[j]
+// receive symmetric scatter updates (the Section II.D "other optimizing
+// methods": density counted for both partners of a pair, Newton's third law
+// in the force loop).
+#include <omp.h>
+
+#include "core/detail/eam_kernels.hpp"
+
+namespace sdcmd::detail {
+
+void density_serial(const EamArgs& a, std::span<double> rho) {
+  const std::size_t n = a.x.size();
+  for (std::size_t i = 0; i < n; ++i) {
+    const Vec3 xi = a.x[i];
+    double rho_i = 0.0;
+    for (std::uint32_t j : a.list.neighbors(i)) {
+      PairGeom g;
+      if (!pair_geometry(a.box, xi, a.x[j], a.cutoff2, g)) continue;
+      double phi, dphidr;
+      a.pot.density(g.r, phi, dphidr);
+      // Single species: phi_ij == phi_ji, one evaluation feeds both atoms.
+      rho_i += phi;
+      rho[j] += phi;
+    }
+    rho[i] += rho_i;
+  }
+}
+
+double embed_phase(const EamPotential& pot, std::span<const double> rho,
+                   std::span<double> fp, bool parallel) {
+  const std::size_t n = rho.size();
+  double energy = 0.0;
+  if (parallel) {
+#pragma omp parallel for schedule(static) reduction(+ : energy)
+    for (std::size_t i = 0; i < n; ++i) {
+      double f, dfdrho;
+      pot.embed(rho[i], f, dfdrho);
+      fp[i] = dfdrho;
+      energy += f;
+    }
+  } else {
+    for (std::size_t i = 0; i < n; ++i) {
+      double f, dfdrho;
+      pot.embed(rho[i], f, dfdrho);
+      fp[i] = dfdrho;
+      energy += f;
+    }
+  }
+  return energy;
+}
+
+void force_serial(const EamArgs& a, std::span<const double> fp,
+                  std::span<Vec3> force, ForceSums& sums) {
+  const std::size_t n = a.x.size();
+  double energy = 0.0;
+  double virial = 0.0;
+  for (std::size_t i = 0; i < n; ++i) {
+    const Vec3 xi = a.x[i];
+    const double fp_i = fp[i];
+    Vec3 f_i{};
+    for (std::uint32_t j : a.list.neighbors(i)) {
+      PairGeom g;
+      if (!pair_geometry(a.box, xi, a.x[j], a.cutoff2, g)) continue;
+      double v, dvdr, phi, dphidr;
+      a.pot.pair(g.r, v, dvdr);
+      a.pot.density(g.r, phi, dphidr);
+      // dE/dr_ij = V'(r) + (F'(rho_i) + F'(rho_j)) phi'(r)   [paper eq. (2)]
+      const double fpair = -(dvdr + (fp_i + fp[j]) * dphidr) / g.r;
+      const Vec3 fv = fpair * g.dr;
+      f_i += fv;
+      force[j] -= fv;  // Newton's third law (Section II.D, method 2)
+      energy += v;
+      virial += fpair * g.r * g.r;
+    }
+    force[i] += f_i;
+  }
+  sums.pair_energy = energy;
+  sums.virial = virial;
+}
+
+}  // namespace sdcmd::detail

@@ -1,0 +1,22 @@
+#include "core/lock_pool.hpp"
+
+#include "common/error.hpp"
+
+namespace sdcmd {
+
+LockPool::LockPool(std::size_t stripes)
+    : stripes_(stripes),
+      locks_(std::make_unique<omp_lock_t[]>(stripes)) {
+  SDCMD_REQUIRE(stripes > 0, "lock pool needs at least one stripe");
+  for (std::size_t i = 0; i < stripes_; ++i) {
+    omp_init_lock(&locks_[i]);
+  }
+}
+
+LockPool::~LockPool() {
+  for (std::size_t i = 0; i < stripes_; ++i) {
+    omp_destroy_lock(&locks_[i]);
+  }
+}
+
+}  // namespace sdcmd

@@ -1,0 +1,62 @@
+// Pair-potential force evaluation under the same reduction strategies.
+//
+// The paper notes SDC "can be applied in MD simulations with other
+// potentials"; this type demonstrates it, and doubles as the baseline for
+// the Section I workload claim (EAM ~ 2x the pair-potential computation:
+// bench_eam_vs_pair). One computational phase instead of EAM's three.
+#pragma once
+
+#include <memory>
+#include <span>
+
+#include "common/timer.hpp"
+#include "common/vec3.hpp"
+#include "core/sdc_schedule.hpp"
+#include "core/strategy.hpp"
+#include "neighbor/neighbor_list.hpp"
+#include "potential/potential.hpp"
+
+namespace sdcmd {
+
+class LockPool;
+
+struct PairForceResult {
+  double energy = 0.0;
+  double virial = 0.0;
+};
+
+struct PairForceConfig {
+  ReductionStrategy strategy = ReductionStrategy::Sdc;
+  SdcConfig sdc;
+  bool dynamic_schedule = false;
+};
+
+class PairForceComputer {
+ public:
+  PairForceComputer(const PairPotential& potential, PairForceConfig config);
+  ~PairForceComputer();
+
+  PairForceComputer(const PairForceComputer&) = delete;
+  PairForceComputer& operator=(const PairForceComputer&) = delete;
+
+  /// See EamForceComputer: required for Sdc before compute().
+  void attach_schedule(const Box& box, double interaction_range);
+  void on_neighbor_rebuild(std::span<const Vec3> positions);
+
+  PairForceResult compute(const Box& box, std::span<const Vec3> positions,
+                          const NeighborList& list, std::span<Vec3> force);
+
+  const PairForceConfig& config() const { return config_; }
+  PhaseTimers& timers() { return timers_; }
+  const SdcSchedule* schedule() const { return schedule_.get(); }
+
+ private:
+  const PairPotential& potential_;
+  PairForceConfig config_;
+  std::unique_ptr<SdcSchedule> schedule_;
+  std::unique_ptr<LockPool> locks_;
+  std::vector<std::vector<Vec3>> sap_force_;
+  PhaseTimers timers_;
+};
+
+}  // namespace sdcmd

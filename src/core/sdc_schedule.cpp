@@ -1,0 +1,41 @@
+#include "core/sdc_schedule.hpp"
+
+#include <sstream>
+
+#include "common/error.hpp"
+
+namespace sdcmd {
+
+SdcSchedule::SdcSchedule(const Box& box, double interaction_range,
+                         SdcConfig config)
+    : config_(config) {
+  SDCMD_REQUIRE(config.dimensionality >= 1 && config.dimensionality <= 3,
+                "SDC dimensionality must be 1, 2 or 3");
+  if (config.max_subdomains == 0) {
+    decomposition_ = std::make_unique<SpatialDecomposition>(
+        SpatialDecomposition::finest(box, config.dimensionality,
+                                     interaction_range));
+  } else {
+    decomposition_ = std::make_unique<SpatialDecomposition>(
+        SpatialDecomposition::with_target(box, config.dimensionality,
+                                          interaction_range,
+                                          config.max_subdomains));
+  }
+  coloring_ = std::make_unique<Coloring>(*decomposition_);
+  partition_ = std::make_unique<Partition>(*decomposition_, *coloring_);
+}
+
+void SdcSchedule::rebuild(std::span<const Vec3> positions) {
+  partition_->build(positions);
+  built_ = true;
+}
+
+std::string SdcSchedule::describe() const {
+  std::ostringstream os;
+  os << config_.dimensionality << "-D SDC, " << color_count() << " colors x "
+     << subdomains_per_color() << " subdomains ("
+     << decomposition_->describe() << ")";
+  return os.str();
+}
+
+}  // namespace sdcmd

@@ -1,0 +1,54 @@
+// SdcSchedule bundles decomposition + coloring + partition into the object
+// the SDC kernels sweep (the paper's Section II.B steps 1-2, performed at
+// every neighbor-list rebuild).
+#pragma once
+
+#include <memory>
+#include <span>
+#include <string>
+
+#include "domain/coloring.hpp"
+#include "domain/decomposition.hpp"
+#include "domain/partition.hpp"
+
+namespace sdcmd {
+
+struct SdcConfig {
+  int dimensionality = 2;      ///< 1, 2 or 3 (the paper's three variants)
+  /// 0 = finest legal decomposition; otherwise an upper bound on the total
+  /// subdomain count (granularity ablations).
+  std::size_t max_subdomains = 0;
+};
+
+class SdcSchedule {
+ public:
+  /// Builds decomposition and coloring for `box`; `interaction_range` must
+  /// cover cutoff + neighbor skin. Throws InfeasibleError when the box
+  /// cannot be decomposed at the requested dimensionality (the paper's
+  /// Table 1 blanks).
+  SdcSchedule(const Box& box, double interaction_range, SdcConfig config);
+
+  /// Re-binned atom partition; call whenever the neighbor list is rebuilt.
+  void rebuild(std::span<const Vec3> positions);
+
+  const SpatialDecomposition& decomposition() const { return *decomposition_; }
+  const Coloring& coloring() const { return *coloring_; }
+  const Partition& partition() const { return *partition_; }
+
+  int color_count() const { return coloring_->color_count(); }
+  std::size_t subdomains_per_color() const { return coloring_->group_size(); }
+  bool built() const { return built_; }
+
+  /// Human-readable summary for bench headers:
+  /// "2-D SDC, 4 colors x 340 subdomains".
+  std::string describe() const;
+
+ private:
+  SdcConfig config_;
+  std::unique_ptr<SpatialDecomposition> decomposition_;
+  std::unique_ptr<Coloring> coloring_;
+  std::unique_ptr<Partition> partition_;
+  bool built_ = false;
+};
+
+}  // namespace sdcmd

@@ -1,0 +1,67 @@
+#include "domain/coloring.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "common/error.hpp"
+
+namespace sdcmd {
+
+Coloring::Coloring(const SpatialDecomposition& decomposition)
+    : decomposition_(decomposition) {
+  const auto& counts = decomposition_.counts();
+  color_count_ = 1;
+  for (int d = 0; d < 3; ++d) {
+    if (counts[d] > 1) color_count_ *= 2;
+  }
+
+  const std::size_t n = decomposition_.subdomain_count();
+  colors_.resize(n);
+  groups_.assign(static_cast<std::size_t>(color_count_), {});
+  for (std::size_t s = 0; s < n; ++s) {
+    const std::array<int, 3> coords = decomposition_.coords_of(s);
+    int color = 0;
+    int bit = 0;
+    for (int d = 0; d < 3; ++d) {
+      if (counts[d] > 1) {
+        color |= (coords[d] & 1) << bit;
+        ++bit;
+      }
+    }
+    colors_[s] = color;
+    groups_[static_cast<std::size_t>(color)].push_back(s);
+  }
+}
+
+double Coloring::min_same_color_separation() const {
+  const auto& counts = decomposition_.counts();
+  const Box& box = decomposition_.box();
+  double min_sep = std::numeric_limits<double>::infinity();
+
+  // Separation between two same-color subdomains is the sum over decomposed
+  // dimensions of the per-dimension gap between their index intervals
+  // (Chebyshev-style: the *largest* per-dimension gap already bounds the
+  // Euclidean distance from below, so take max over dims, min over pairs).
+  const std::size_t n = decomposition_.subdomain_count();
+  for (std::size_t a = 0; a < n; ++a) {
+    for (std::size_t b = a + 1; b < n; ++b) {
+      if (colors_[a] != colors_[b]) continue;
+      const auto ca = decomposition_.coords_of(a);
+      const auto cb = decomposition_.coords_of(b);
+      double sep = 0.0;
+      for (int d = 0; d < 3; ++d) {
+        if (counts[d] <= 1) continue;
+        const double edge = box.length(d) / counts[d];
+        int gap = std::abs(ca[d] - cb[d]);
+        if (box.periodic(d)) gap = std::min(gap, counts[d] - gap);
+        const double dim_sep = gap > 0 ? (gap - 1) * edge : 0.0;
+        sep = std::max(sep, dim_sep);
+      }
+      min_sep = std::min(min_sep, sep);
+    }
+  }
+  return min_sep;
+}
+
+}  // namespace sdcmd

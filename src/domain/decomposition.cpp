@@ -1,0 +1,168 @@
+#include "domain/decomposition.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+
+#include "common/error.hpp"
+
+namespace sdcmd {
+
+SpatialDecomposition::SpatialDecomposition(const Box& box,
+                                           std::array<int, 3> counts,
+                                           double interaction_range)
+    : box_(box), counts_(counts), range_(interaction_range) {
+  SDCMD_REQUIRE(interaction_range > 0.0,
+                "interaction range must be positive");
+  for (int d = 0; d < 3; ++d) {
+    const int n = counts_[d];
+    if (n == 1) continue;  // dimension not decomposed
+    if (n < 2 || n % 2 != 0) {
+      throw InfeasibleError(
+          "subdomain count along dimension " + std::to_string(d) +
+          " must be 1 (undecomposed) or an even number >= 2, got " +
+          std::to_string(n));
+    }
+    const double edge = box_.length(d) / n;
+    if (edge < 2.0 * range_) {
+      std::ostringstream os;
+      os << "subdomain edge " << edge << " along dimension " << d
+         << " is shorter than twice the interaction range "
+         << 2.0 * range_ << "; decomposition would race";
+      throw InfeasibleError(os.str());
+    }
+  }
+}
+
+std::array<int, 3> SpatialDecomposition::finest_counts(
+    const Box& box, int dimensionality, double interaction_range) {
+  SDCMD_REQUIRE(dimensionality >= 1 && dimensionality <= 3,
+                "dimensionality must be 1, 2 or 3");
+  std::array<int, 3> counts{1, 1, 1};
+  for (int d = 0; d < dimensionality; ++d) {
+    // Largest even n with box.length(d)/n >= 2*range.
+    int n = static_cast<int>(box.length(d) / (2.0 * interaction_range));
+    n -= n % 2;
+    if (n < 2) {
+      std::ostringstream os;
+      os << dimensionality << "-D SDC infeasible: dimension " << d
+         << " of length " << box.length(d)
+         << " cannot hold two subdomains of edge >= "
+         << 2.0 * interaction_range;
+      throw InfeasibleError(os.str());
+    }
+    counts[d] = n;
+  }
+  return counts;
+}
+
+SpatialDecomposition SpatialDecomposition::finest(const Box& box,
+                                                  int dimensionality,
+                                                  double interaction_range) {
+  return SpatialDecomposition(
+      box, finest_counts(box, dimensionality, interaction_range),
+      interaction_range);
+}
+
+SpatialDecomposition SpatialDecomposition::with_target(
+    const Box& box, int dimensionality, double interaction_range,
+    std::size_t max_subdomains) {
+  SDCMD_REQUIRE(max_subdomains >= 1, "need a positive subdomain target");
+  std::array<int, 3> counts =
+      finest_counts(box, dimensionality, interaction_range);
+  auto total = [&counts] {
+    return static_cast<std::size_t>(counts[0]) * counts[1] * counts[2];
+  };
+  // Coarsen the largest dimension first, keeping counts even, until the
+  // total fits the target (or nothing can shrink further).
+  while (total() > max_subdomains) {
+    int largest = -1;
+    for (int d = 0; d < 3; ++d) {
+      if (counts[d] >= 4 && (largest < 0 || counts[d] > counts[largest])) {
+        largest = d;
+      }
+    }
+    if (largest < 0) break;
+    counts[largest] -= 2;
+  }
+  return SpatialDecomposition(box, counts, interaction_range);
+}
+
+int SpatialDecomposition::max_feasible_dimensionality(
+    const Box& box, double interaction_range) {
+  for (int dims = 3; dims >= 1; --dims) {
+    try {
+      finest_counts(box, dims, interaction_range);
+      return dims;
+    } catch (const InfeasibleError&) {
+    }
+  }
+  return 0;
+}
+
+int SpatialDecomposition::dimensionality() const {
+  int dims = 0;
+  for (int d = 0; d < 3; ++d) {
+    if (counts_[d] > 1) ++dims;
+  }
+  return dims;
+}
+
+std::size_t SpatialDecomposition::flat_index(
+    const std::array<int, 3>& coords) const {
+  for (int d = 0; d < 3; ++d) {
+    SDCMD_REQUIRE(coords[d] >= 0 && coords[d] < counts_[d],
+                  "subdomain coordinate out of range");
+  }
+  return (static_cast<std::size_t>(coords[0]) * counts_[1] + coords[1]) *
+             counts_[2] +
+         coords[2];
+}
+
+std::array<int, 3> SpatialDecomposition::coords_of(
+    std::size_t subdomain) const {
+  SDCMD_REQUIRE(subdomain < subdomain_count(), "subdomain index out of range");
+  std::array<int, 3> coords;
+  coords[2] = static_cast<int>(subdomain % counts_[2]);
+  subdomain /= counts_[2];
+  coords[1] = static_cast<int>(subdomain % counts_[1]);
+  coords[0] = static_cast<int>(subdomain / counts_[1]);
+  return coords;
+}
+
+std::size_t SpatialDecomposition::subdomain_of(const Vec3& r) const {
+  const Vec3 w = box_.wrap(r);
+  std::array<int, 3> coords;
+  for (int d = 0; d < 3; ++d) {
+    const double frac = (w[d] - box_.lo()[d]) / box_.length(d);
+    auto i = static_cast<int>(frac * counts_[d]);
+    coords[d] = std::clamp(i, 0, counts_[d] - 1);
+  }
+  return flat_index(coords);
+}
+
+void SpatialDecomposition::bounds(std::size_t subdomain, Vec3& lo,
+                                  Vec3& hi) const {
+  const std::array<int, 3> coords = coords_of(subdomain);
+  for (int d = 0; d < 3; ++d) {
+    const double edge = box_.length(d) / counts_[d];
+    lo[d] = box_.lo()[d] + edge * coords[d];
+    hi[d] = coords[d] + 1 == counts_[d] ? box_.hi()[d]
+                                        : box_.lo()[d] + edge * (coords[d] + 1);
+  }
+}
+
+Vec3 SpatialDecomposition::subdomain_lengths() const {
+  return {box_.length(0) / counts_[0], box_.length(1) / counts_[1],
+          box_.length(2) / counts_[2]};
+}
+
+std::string SpatialDecomposition::describe() const {
+  std::ostringstream os;
+  os << dimensionality() << "-D decomposition " << counts_[0] << "x"
+     << counts_[1] << "x" << counts_[2] << " (" << subdomain_count()
+     << " subdomains, edge >= " << 2.0 * range_ << ")";
+  return os.str();
+}
+
+}  // namespace sdcmd

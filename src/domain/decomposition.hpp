@@ -1,0 +1,89 @@
+// Spatial decomposition of the simulation box into subdomains
+// (the paper's Section II.B, step 1).
+//
+// The paper's two feasibility constraints are enforced here:
+//   * along every decomposed dimension the subdomain edge must be at least
+//     2 * the interaction range (cutoff + Verlet skin: the scatter-write
+//     footprint of a subdomain extends one interaction range beyond it, and
+//     same-color subdomains are separated by exactly one subdomain);
+//   * the subdomain count along every decomposed dimension must be even,
+//     so the alternating 2/4/8-coloring closes under periodic wrap.
+//
+// Dimensionality selects which axes are decomposed: 1-D splits x, 2-D splits
+// x and y, 3-D splits all three, matching the paper's three SDC variants.
+#pragma once
+
+#include <array>
+#include <cstddef>
+#include <string>
+
+#include "common/vec3.hpp"
+#include "geom/box.hpp"
+
+namespace sdcmd {
+
+class SpatialDecomposition {
+ public:
+  /// Decompose `box` with explicit per-dimension subdomain counts.
+  /// Counts must be 1 on non-decomposed dimensions, and even and >= 2 on
+  /// decomposed ones; every decomposed edge must satisfy the 2*range rule.
+  /// Throws InfeasibleError when the constraints cannot hold.
+  SpatialDecomposition(const Box& box, std::array<int, 3> counts,
+                       double interaction_range);
+
+  /// Finest legal decomposition of the requested dimensionality: along each
+  /// decomposed axis, the largest even count whose subdomain edge is still
+  /// >= 2 * interaction_range. Throws InfeasibleError when even a 2-way
+  /// split is impossible (the paper's Table 1 blanks for 1-D SDC on the
+  /// small case arise from exactly this failure).
+  static SpatialDecomposition finest(const Box& box, int dimensionality,
+                                     double interaction_range);
+
+  /// Like `finest`, but caps the total subdomain count at roughly
+  /// `max_subdomains` by coarsening evenly; used to study granularity.
+  static SpatialDecomposition with_target(const Box& box, int dimensionality,
+                                          double interaction_range,
+                                          std::size_t max_subdomains);
+
+  const Box& box() const { return box_; }
+  const std::array<int, 3>& counts() const { return counts_; }
+  double interaction_range() const { return range_; }
+
+  /// Number of decomposed dimensions (count > 1).
+  int dimensionality() const;
+
+  std::size_t subdomain_count() const {
+    return static_cast<std::size_t>(counts_[0]) * counts_[1] * counts_[2];
+  }
+
+  /// Grid coordinates <-> flat subdomain index (x-major).
+  std::size_t flat_index(const std::array<int, 3>& coords) const;
+  std::array<int, 3> coords_of(std::size_t subdomain) const;
+
+  /// Subdomain containing position r (wrapped into the box first).
+  std::size_t subdomain_of(const Vec3& r) const;
+
+  /// Axis-aligned bounds of a subdomain.
+  void bounds(std::size_t subdomain, Vec3& lo, Vec3& hi) const;
+
+  /// Edge lengths of one subdomain.
+  Vec3 subdomain_lengths() const;
+
+  std::string describe() const;
+
+  /// Largest dimensionality (3, 2, 1) whose `finest` decomposition is
+  /// feasible for this box and range, or 0 when even a 1-D split is
+  /// impossible (callers then fall back to a serial strategy).
+  static int max_feasible_dimensionality(const Box& box,
+                                         double interaction_range);
+
+ private:
+  static std::array<int, 3> finest_counts(const Box& box, int dimensionality,
+                                          double interaction_range);
+
+  Box box_;
+  std::array<int, 3> counts_;
+  double range_;
+};
+
+}  // namespace sdcmd

@@ -1,0 +1,84 @@
+#include "domain/partition.hpp"
+
+#include <algorithm>
+
+#include "common/error.hpp"
+
+namespace sdcmd {
+
+Partition::Partition(const SpatialDecomposition& decomposition,
+                     const Coloring& coloring)
+    : decomposition_(decomposition),
+      coloring_(coloring),
+      color_count_(coloring.color_count()) {
+  const std::size_t nsub = decomposition_.subdomain_count();
+  subdomain_of_slot_.resize(nsub);
+  slot_of_subdomain_.resize(nsub);
+  color_start_.assign(static_cast<std::size_t>(color_count_) + 1, 0);
+
+  std::size_t slot = 0;
+  for (int c = 0; c < color_count_; ++c) {
+    color_start_[c] = slot;
+    for (std::size_t s : coloring_.groups()[static_cast<std::size_t>(c)]) {
+      subdomain_of_slot_[slot] = s;
+      slot_of_subdomain_[s] = slot;
+      ++slot;
+    }
+  }
+  color_start_[color_count_] = slot;
+  SDCMD_REQUIRE(slot == nsub, "coloring groups must cover every subdomain");
+}
+
+void Partition::build(std::span<const Vec3> positions) {
+  const std::size_t nsub = subdomain_of_slot_.size();
+  const std::size_t n = positions.size();
+
+  std::vector<std::size_t> counts(nsub, 0);
+  std::vector<std::uint32_t> slot_of_atom(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    const std::size_t sub = decomposition_.subdomain_of(positions[i]);
+    const auto slot = static_cast<std::uint32_t>(slot_of_subdomain_[sub]);
+    slot_of_atom[i] = slot;
+    ++counts[slot];
+  }
+
+  pstart_.assign(nsub + 1, 0);
+  for (std::size_t s = 0; s < nsub; ++s) {
+    pstart_[s + 1] = pstart_[s] + counts[s];
+  }
+
+  partindex_.resize(n);
+  std::vector<std::size_t> cursor(pstart_.begin(), pstart_.end() - 1);
+  for (std::size_t i = 0; i < n; ++i) {
+    partindex_[cursor[slot_of_atom[i]]++] = static_cast<std::uint32_t>(i);
+  }
+}
+
+std::vector<std::size_t> Partition::atoms_per_color() const {
+  std::vector<std::size_t> out(static_cast<std::size_t>(color_count_), 0);
+  for (int c = 0; c < color_count_; ++c) {
+    out[static_cast<std::size_t>(c)] =
+        pstart_[color_end(c)] - pstart_[color_begin(c)];
+  }
+  return out;
+}
+
+double Partition::imbalance() const {
+  double worst = 0.0;
+  for (int c = 0; c < color_count_; ++c) {
+    const std::size_t begin = color_begin(c);
+    const std::size_t end = color_end(c);
+    if (begin == end) continue;
+    const double mean =
+        static_cast<double>(pstart_[end] - pstart_[begin]) /
+        static_cast<double>(end - begin);
+    if (mean == 0.0) continue;
+    for (std::size_t s = begin; s < end; ++s) {
+      const auto count = static_cast<double>(pstart_[s + 1] - pstart_[s]);
+      worst = std::max(worst, std::abs(count - mean) / mean);
+    }
+  }
+  return worst;
+}
+
+}  // namespace sdcmd

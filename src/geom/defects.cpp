@@ -1,0 +1,83 @@
+#include "geom/defects.hpp"
+
+#include <cmath>
+
+#include "common/error.hpp"
+#include "common/random.hpp"
+
+namespace sdcmd {
+
+std::vector<Vec3> make_vacancies(std::vector<Vec3>& positions,
+                                 std::size_t count, std::uint64_t seed) {
+  SDCMD_REQUIRE(count <= positions.size(),
+                "cannot remove more atoms than exist");
+  Xoshiro256 rng(seed);
+  std::vector<Vec3> removed;
+  removed.reserve(count);
+  for (std::size_t v = 0; v < count; ++v) {
+    const std::size_t victim = rng.below(positions.size());
+    removed.push_back(positions[victim]);
+    positions[victim] = positions.back();
+    positions.pop_back();
+  }
+  return removed;
+}
+
+namespace {
+
+Vec3 random_unit_vector(Xoshiro256& rng) {
+  // Marsaglia: uniform on the sphere.
+  double u, v, s;
+  do {
+    u = rng.uniform(-1.0, 1.0);
+    v = rng.uniform(-1.0, 1.0);
+    s = u * u + v * v;
+  } while (s >= 1.0 || s == 0.0);
+  const double factor = 2.0 * std::sqrt(1.0 - s);
+  return {u * factor, v * factor, 1.0 - 2.0 * s};
+}
+
+}  // namespace
+
+std::vector<Vec3> make_interstitials(std::vector<Vec3>& positions,
+                                     const Box& box, std::size_t count,
+                                     double spacing, std::uint64_t seed,
+                                     double offset_fraction) {
+  SDCMD_REQUIRE(!positions.empty(), "need a host crystal");
+  SDCMD_REQUIRE(spacing > 0.0, "spacing must be positive");
+  SDCMD_REQUIRE(offset_fraction > 0.0 && offset_fraction < 1.0,
+                "offset fraction must be in (0, 1)");
+  Xoshiro256 rng(seed);
+  std::vector<Vec3> inserted;
+  inserted.reserve(count);
+  for (std::size_t k = 0; k < count; ++k) {
+    const std::size_t host = rng.below(positions.size());
+    const Vec3 site = box.wrap(positions[host] + offset_fraction * spacing *
+                                                     random_unit_vector(rng));
+    positions.push_back(site);
+    inserted.push_back(site);
+  }
+  return inserted;
+}
+
+std::vector<std::size_t> damage_sphere(std::vector<Vec3>& positions,
+                                       const Box& box, const Vec3& center,
+                                       double radius,
+                                       double max_displacement,
+                                       std::uint64_t seed) {
+  SDCMD_REQUIRE(radius >= 0.0, "radius must be non-negative");
+  SDCMD_REQUIRE(max_displacement >= 0.0,
+                "displacement must be non-negative");
+  Xoshiro256 rng(seed);
+  std::vector<std::size_t> touched;
+  const double r2 = radius * radius;
+  for (std::size_t i = 0; i < positions.size(); ++i) {
+    if (box.distance2(positions[i], center) > r2) continue;
+    positions[i] = box.wrap(positions[i] + rng.uniform(0.0, max_displacement) *
+                                               random_unit_vector(rng));
+    touched.push_back(i);
+  }
+  return touched;
+}
+
+}  // namespace sdcmd

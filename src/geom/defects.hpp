@@ -1,0 +1,35 @@
+// Point-defect generators: controlled damage for defect-physics workloads
+// (the defect_analysis example, radiation-damage style studies).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/vec3.hpp"
+#include "geom/box.hpp"
+
+namespace sdcmd {
+
+/// Remove `count` randomly chosen positions (vacancies). Deterministic for
+/// a given seed. Returns the removed positions (the vacancy sites).
+std::vector<Vec3> make_vacancies(std::vector<Vec3>& positions,
+                                 std::size_t count, std::uint64_t seed);
+
+/// Insert `count` self-interstitials: each new atom is placed a fraction
+/// `offset_fraction` of `spacing` away from a randomly chosen host in a
+/// random direction (crude dumbbell). Returns the inserted positions.
+std::vector<Vec3> make_interstitials(std::vector<Vec3>& positions,
+                                     const Box& box, std::size_t count,
+                                     double spacing, std::uint64_t seed,
+                                     double offset_fraction = 0.35);
+
+/// Displace every atom inside a sphere by a random amount up to
+/// `max_displacement` (a thermal-spike-like damaged region). Returns the
+/// indices of displaced atoms.
+std::vector<std::size_t> damage_sphere(std::vector<Vec3>& positions,
+                                       const Box& box, const Vec3& center,
+                                       double radius,
+                                       double max_displacement,
+                                       std::uint64_t seed);
+
+}  // namespace sdcmd

@@ -1,0 +1,71 @@
+#include "geom/lattice.hpp"
+
+#include <cmath>
+
+#include "common/error.hpp"
+
+namespace sdcmd {
+
+std::vector<Vec3> lattice_basis(LatticeType type) {
+  switch (type) {
+    case LatticeType::SimpleCubic:
+      return {{0.0, 0.0, 0.0}};
+    case LatticeType::Bcc:
+      return {{0.0, 0.0, 0.0}, {0.5, 0.5, 0.5}};
+    case LatticeType::Fcc:
+      return {{0.0, 0.0, 0.0},
+              {0.5, 0.5, 0.0},
+              {0.5, 0.0, 0.5},
+              {0.0, 0.5, 0.5}};
+  }
+  throw PreconditionError("unknown lattice type");
+}
+
+std::size_t atoms_per_cell(LatticeType type) {
+  return lattice_basis(type).size();
+}
+
+std::size_t LatticeSpec::atom_count() const {
+  return atoms_per_cell(type) * static_cast<std::size_t>(nx) *
+         static_cast<std::size_t>(ny) * static_cast<std::size_t>(nz);
+}
+
+Box LatticeSpec::box() const {
+  return Box({0.0, 0.0, 0.0}, {a0 * nx, a0 * ny, a0 * nz});
+}
+
+std::vector<Vec3> build_lattice(const LatticeSpec& spec) {
+  SDCMD_REQUIRE(spec.a0 > 0.0, "lattice constant must be positive");
+  SDCMD_REQUIRE(spec.nx > 0 && spec.ny > 0 && spec.nz > 0,
+                "replication counts must be positive");
+  const std::vector<Vec3> basis = lattice_basis(spec.type);
+  std::vector<Vec3> positions;
+  positions.reserve(spec.atom_count());
+  for (int ix = 0; ix < spec.nx; ++ix) {
+    for (int iy = 0; iy < spec.ny; ++iy) {
+      for (int iz = 0; iz < spec.nz; ++iz) {
+        const Vec3 origin{spec.a0 * ix, spec.a0 * iy, spec.a0 * iz};
+        for (const Vec3& b : basis) {
+          positions.push_back(origin + spec.a0 * b);
+        }
+      }
+    }
+  }
+  return positions;
+}
+
+LatticeSpec bcc_cube_with_at_least(std::size_t min_atoms, double a0) {
+  SDCMD_REQUIRE(min_atoms > 0, "need at least one atom");
+  const double cells = static_cast<double>(min_atoms) / 2.0;
+  int n = static_cast<int>(std::ceil(std::cbrt(cells)));
+  if (n < 1) n = 1;
+  // std::cbrt of an exact cube can land epsilon below the integer root.
+  while (static_cast<std::size_t>(n) * n * n * 2 < min_atoms) ++n;
+  LatticeSpec spec;
+  spec.type = LatticeType::Bcc;
+  spec.a0 = a0;
+  spec.nx = spec.ny = spec.nz = n;
+  return spec;
+}
+
+}  // namespace sdcmd

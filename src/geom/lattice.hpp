@@ -1,0 +1,43 @@
+// Crystal lattice builders.
+//
+// The paper's four test cases are bcc Fe cubes built by replicating the
+// conventional cell: 30^3 * 2 = 54,000 atoms up to 120^3 * 2 = 3,456,000.
+// We reproduce exactly that construction.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "common/vec3.hpp"
+#include "geom/box.hpp"
+
+namespace sdcmd {
+
+enum class LatticeType { SimpleCubic, Bcc, Fcc };
+
+/// Basis (fractional coordinates of atoms in one conventional cell).
+std::vector<Vec3> lattice_basis(LatticeType type);
+
+/// Atoms per conventional cell (1 for sc, 2 for bcc, 4 for fcc).
+std::size_t atoms_per_cell(LatticeType type);
+
+struct LatticeSpec {
+  LatticeType type = LatticeType::Bcc;
+  double a0 = 2.8665;  ///< conventional lattice constant (angstrom)
+  int nx = 1;          ///< replications per dimension
+  int ny = 1;
+  int nz = 1;
+
+  std::size_t atom_count() const;
+  /// The periodic box that tiles this lattice exactly.
+  Box box() const;
+};
+
+/// Generate all atom positions of the replicated lattice inside spec.box().
+std::vector<Vec3> build_lattice(const LatticeSpec& spec);
+
+/// Smallest cubic bcc replication whose atom count is >= `min_atoms`.
+/// Used to recreate the paper's "small / medium / large" cases at any scale.
+LatticeSpec bcc_cube_with_at_least(std::size_t min_atoms, double a0);
+
+}  // namespace sdcmd

@@ -1,0 +1,59 @@
+#include "geom/region.hpp"
+
+#include "common/error.hpp"
+
+namespace sdcmd {
+
+BlockRegion::BlockRegion(const Vec3& lo, const Vec3& hi) : lo_(lo), hi_(hi) {
+  for (int d = 0; d < 3; ++d) {
+    SDCMD_REQUIRE(hi[d] >= lo[d], "block region has negative extent");
+  }
+}
+
+bool BlockRegion::contains(const Vec3& r) const {
+  for (int d = 0; d < 3; ++d) {
+    if (r[d] < lo_[d] || r[d] > hi_[d]) return false;
+  }
+  return true;
+}
+
+SphereRegion::SphereRegion(const Vec3& center, double radius)
+    : center_(center), radius2_(radius * radius) {
+  SDCMD_REQUIRE(radius >= 0.0, "sphere radius must be non-negative");
+}
+
+bool SphereRegion::contains(const Vec3& r) const {
+  return norm2(r - center_) <= radius2_;
+}
+
+NotRegion::NotRegion(std::shared_ptr<const Region> inner)
+    : inner_(std::move(inner)) {
+  SDCMD_REQUIRE(inner_ != nullptr, "NotRegion needs an inner region");
+}
+
+bool NotRegion::contains(const Vec3& r) const { return !inner_->contains(r); }
+
+UnionRegion::UnionRegion(std::vector<std::shared_ptr<const Region>> parts)
+    : parts_(std::move(parts)) {
+  for (const auto& p : parts_) {
+    SDCMD_REQUIRE(p != nullptr, "UnionRegion contains a null region");
+  }
+}
+
+bool UnionRegion::contains(const Vec3& r) const {
+  for (const auto& p : parts_) {
+    if (p->contains(r)) return true;
+  }
+  return false;
+}
+
+std::vector<std::size_t> select(const Region& region,
+                                const std::vector<Vec3>& positions) {
+  std::vector<std::size_t> out;
+  for (std::size_t i = 0; i < positions.size(); ++i) {
+    if (region.contains(positions[i])) out.push_back(i);
+  }
+  return out;
+}
+
+}  // namespace sdcmd

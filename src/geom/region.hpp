@@ -1,0 +1,65 @@
+// Geometric regions used to select atoms (fixed layers, notches, grips) in
+// the deformation examples.
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "common/vec3.hpp"
+
+namespace sdcmd {
+
+class Region {
+ public:
+  virtual ~Region() = default;
+  virtual bool contains(const Vec3& r) const = 0;
+};
+
+/// Axis-aligned block [lo, hi].
+class BlockRegion final : public Region {
+ public:
+  BlockRegion(const Vec3& lo, const Vec3& hi);
+  bool contains(const Vec3& r) const override;
+
+ private:
+  Vec3 lo_;
+  Vec3 hi_;
+};
+
+/// Sphere of radius `radius` about `center` (no PBC wrapping: regions select
+/// atoms in the primary image).
+class SphereRegion final : public Region {
+ public:
+  SphereRegion(const Vec3& center, double radius);
+  bool contains(const Vec3& r) const override;
+
+ private:
+  Vec3 center_;
+  double radius2_;
+};
+
+/// Set complement of another region.
+class NotRegion final : public Region {
+ public:
+  explicit NotRegion(std::shared_ptr<const Region> inner);
+  bool contains(const Vec3& r) const override;
+
+ private:
+  std::shared_ptr<const Region> inner_;
+};
+
+/// Union of several regions.
+class UnionRegion final : public Region {
+ public:
+  explicit UnionRegion(std::vector<std::shared_ptr<const Region>> parts);
+  bool contains(const Vec3& r) const override;
+
+ private:
+  std::vector<std::shared_ptr<const Region>> parts_;
+};
+
+/// Indices of all positions inside `region`.
+std::vector<std::size_t> select(const Region& region,
+                                const std::vector<Vec3>& positions);
+
+}  // namespace sdcmd

@@ -1,0 +1,107 @@
+#include "io/checkpoint.hpp"
+
+#include <fstream>
+#include <iomanip>
+
+#include "common/error.hpp"
+
+namespace sdcmd {
+
+namespace {
+constexpr const char* kMagic = "sdcmd-checkpoint";
+constexpr int kVersion = 1;
+}  // namespace
+
+void save_checkpoint(std::ostream& out, const System& system, long step) {
+  const Atoms& atoms = system.atoms();
+  const Box& box = system.box();
+  out << kMagic << ' ' << kVersion << '\n';
+  out << "step " << step << '\n';
+  // 17 significant digits round-trip IEEE doubles exactly.
+  out << std::setprecision(17);
+  out << "mass " << system.mass() << '\n';
+  out << "box " << box.lo().x << ' ' << box.lo().y << ' ' << box.lo().z
+      << ' ' << box.hi().x << ' ' << box.hi().y << ' ' << box.hi().z << ' '
+      << box.periodic(0) << ' ' << box.periodic(1) << ' ' << box.periodic(2)
+      << '\n';
+  out << "atoms " << atoms.size() << '\n';
+  for (std::size_t i = 0; i < atoms.size(); ++i) {
+    const Vec3& r = atoms.position[i];
+    const Vec3& v = atoms.velocity[i];
+    out << atoms.id[i] << ' ' << r.x << ' ' << r.y << ' ' << r.z << ' '
+        << v.x << ' ' << v.y << ' ' << v.z << ' ' << atoms.image[i][0]
+        << ' ' << atoms.image[i][1] << ' ' << atoms.image[i][2] << '\n';
+  }
+}
+
+void save_checkpoint_file(const std::string& path, const System& system,
+                          long step) {
+  std::ofstream out(path);
+  if (!out) {
+    throw Error("cannot open '" + path + "' for writing");
+  }
+  save_checkpoint(out, system, step);
+}
+
+Checkpoint load_checkpoint(std::istream& in) {
+  std::string magic, key;
+  int version = 0;
+  if (!(in >> magic >> version) || magic != kMagic) {
+    throw ParseError("checkpoint: bad magic");
+  }
+  if (version != kVersion) {
+    throw ParseError("checkpoint: unsupported version " +
+                     std::to_string(version));
+  }
+
+  long step = 0;
+  double mass = 0.0;
+  if (!(in >> key >> step) || key != "step") {
+    throw ParseError("checkpoint: missing step");
+  }
+  if (!(in >> key >> mass) || key != "mass") {
+    throw ParseError("checkpoint: missing mass");
+  }
+
+  Vec3 lo, hi;
+  bool px, py, pz;
+  if (!(in >> key >> lo.x >> lo.y >> lo.z >> hi.x >> hi.y >> hi.z >> px >>
+        py >> pz) ||
+      key != "box") {
+    throw ParseError("checkpoint: missing box");
+  }
+
+  std::size_t count = 0;
+  if (!(in >> key >> count) || key != "atoms") {
+    throw ParseError("checkpoint: missing atom count");
+  }
+
+  Atoms atoms(count);
+  for (std::size_t i = 0; i < count; ++i) {
+    std::uint32_t id;
+    Vec3 r, v;
+    int ix, iy, iz;
+    if (!(in >> id >> r.x >> r.y >> r.z >> v.x >> v.y >> v.z >> ix >> iy >>
+          iz)) {
+      throw ParseError("checkpoint: truncated atom table at row " +
+                       std::to_string(i));
+    }
+    atoms.id[i] = id;
+    atoms.position[i] = r;
+    atoms.velocity[i] = v;
+    atoms.image[i] = {ix, iy, iz};
+  }
+
+  Box box(lo, hi, {px, py, pz});
+  return Checkpoint{System(box, std::move(atoms), mass), step};
+}
+
+Checkpoint load_checkpoint_file(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) {
+    throw ParseError("checkpoint: cannot open '" + path + "'");
+  }
+  return load_checkpoint(in);
+}
+
+}  // namespace sdcmd

@@ -1,0 +1,30 @@
+// Checkpoint / restart.
+//
+// Saves everything needed to continue a run bit-for-bit at the physics
+// level: box, per-atom state (position, velocity, id, image counters),
+// species mass, and the step counter. Text format with full double
+// precision (hex floats), versioned header, so checkpoints remain
+// debuggable and portable.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "md/system.hpp"
+
+namespace sdcmd {
+
+struct Checkpoint {
+  System system;
+  long step = 0;
+};
+
+void save_checkpoint(std::ostream& out, const System& system, long step);
+void save_checkpoint_file(const std::string& path, const System& system,
+                          long step);
+
+/// Throws ParseError on malformed or version-mismatched input.
+Checkpoint load_checkpoint(std::istream& in);
+Checkpoint load_checkpoint_file(const std::string& path);
+
+}  // namespace sdcmd

@@ -1,0 +1,175 @@
+#include "io/lammps_data.hpp"
+
+#include <fstream>
+#include <iomanip>
+#include <sstream>
+
+#include "common/error.hpp"
+
+namespace sdcmd {
+
+void write_lammps_data(std::ostream& out, const System& system,
+                       const std::string& comment) {
+  const Atoms& atoms = system.atoms();
+  const Box& box = system.box();
+  out << comment << "\n\n";
+  out << atoms.size() << " atoms\n";
+  out << "1 atom types\n\n";
+  out << std::setprecision(17);
+  out << box.lo().x << ' ' << box.hi().x << " xlo xhi\n";
+  out << box.lo().y << ' ' << box.hi().y << " ylo yhi\n";
+  out << box.lo().z << ' ' << box.hi().z << " zlo zhi\n\n";
+  out << "Masses\n\n1 " << system.mass() << "\n\n";
+  out << "Atoms # atomic\n\n";
+  for (std::size_t i = 0; i < atoms.size(); ++i) {
+    const Vec3& r = atoms.position[i];
+    out << atoms.id[i] + 1 << " 1 " << r.x << ' ' << r.y << ' ' << r.z
+        << '\n';
+  }
+  out << "\nVelocities\n\n";
+  for (std::size_t i = 0; i < atoms.size(); ++i) {
+    const Vec3& v = atoms.velocity[i];
+    out << atoms.id[i] + 1 << ' ' << v.x << ' ' << v.y << ' ' << v.z << '\n';
+  }
+}
+
+void write_lammps_data_file(const std::string& path, const System& system,
+                            const std::string& comment) {
+  std::ofstream out(path);
+  if (!out) {
+    throw Error("cannot open '" + path + "' for writing");
+  }
+  write_lammps_data(out, system, comment);
+}
+
+namespace {
+
+std::string section_name(const std::string& line) {
+  // Section headers are a keyword optionally followed by a '#' comment.
+  std::istringstream is(line);
+  std::string word;
+  is >> word;
+  if (word == "Atoms" || word == "Velocities" || word == "Masses") {
+    return word;
+  }
+  return {};
+}
+
+}  // namespace
+
+System read_lammps_data(std::istream& in) {
+  std::string line;
+  if (!std::getline(in, line)) {
+    throw ParseError("lammps data: empty file");
+  }
+
+  std::size_t atom_count = 0;
+  int atom_types = 1;
+  double lo[3] = {0, 0, 0}, hi[3] = {0, 0, 0};
+  bool have_bounds[3] = {false, false, false};
+  double mass = 1.0;
+  std::vector<Vec3> positions;
+  std::vector<Vec3> velocities;
+  std::vector<std::uint32_t> ids;
+
+  while (std::getline(in, line)) {
+    // Strip comments.
+    if (const auto hash = line.find('#');
+        hash != std::string::npos && section_name(line).empty()) {
+      line = line.substr(0, hash);
+    }
+    if (line.find_first_not_of(" \t\r") == std::string::npos) continue;
+
+    const std::string section = section_name(line);
+    std::istringstream is(line);
+    if (section.empty()) {
+      // Header lines: "<n> atoms", "<n> atom types", bounds.
+      double a, b;
+      std::string w1, w2;
+      if (is >> a >> w1) {
+        if (w1 == "atoms") {
+          atom_count = static_cast<std::size_t>(a);
+          continue;
+        }
+        if (w1 == "atom") {
+          atom_types = static_cast<int>(a);
+          continue;
+        }
+        // bounds: "<lo> <hi> xlo xhi"
+        std::istringstream is2(line);
+        if (is2 >> a >> b >> w1 >> w2) {
+          const int dim = w1 == "xlo" ? 0 : (w1 == "ylo" ? 1 : 2);
+          lo[dim] = a;
+          hi[dim] = b;
+          have_bounds[dim] = true;
+        }
+      }
+      continue;
+    }
+
+    if (atom_types != 1) {
+      throw ParseError("lammps data: only single-type files are supported");
+    }
+
+    // Sections: skip the mandatory blank line, then read atom_count rows
+    // (Masses has atom_types rows).
+    const std::size_t rows = section == "Masses" ? 1 : atom_count;
+    std::size_t parsed = 0;
+    while (parsed < rows && std::getline(in, line)) {
+      if (line.find_first_not_of(" \t\r") == std::string::npos) continue;
+      std::istringstream row(line);
+      if (section == "Masses") {
+        int type;
+        if (!(row >> type >> mass)) {
+          throw ParseError("lammps data: malformed Masses row");
+        }
+      } else if (section == "Atoms") {
+        long id;
+        int type;
+        Vec3 r;
+        if (!(row >> id >> type >> r.x >> r.y >> r.z)) {
+          throw ParseError("lammps data: malformed Atoms row '" + line + "'");
+        }
+        ids.push_back(static_cast<std::uint32_t>(id - 1));
+        positions.push_back(r);
+      } else {  // Velocities
+        long id;
+        Vec3 v;
+        if (!(row >> id >> v.x >> v.y >> v.z)) {
+          throw ParseError("lammps data: malformed Velocities row");
+        }
+        velocities.push_back(v);
+      }
+      ++parsed;
+    }
+    if (parsed < rows) {
+      throw ParseError("lammps data: truncated " + section + " section");
+    }
+  }
+
+  if (!have_bounds[0] || !have_bounds[1] || !have_bounds[2]) {
+    throw ParseError("lammps data: missing box bounds");
+  }
+  if (positions.size() != atom_count) {
+    throw ParseError("lammps data: expected " + std::to_string(atom_count) +
+                     " atoms, parsed " + std::to_string(positions.size()));
+  }
+
+  Atoms atoms(std::move(positions));
+  if (!ids.empty()) atoms.id = std::move(ids);
+  if (velocities.size() == atoms.size()) {
+    atoms.velocity = std::move(velocities);
+  }
+  Box box({lo[0], lo[1], lo[2]}, {hi[0], hi[1], hi[2]});
+  return System(box, std::move(atoms), mass);
+}
+
+System read_lammps_data_file(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) {
+    throw ParseError("lammps data: cannot open '" + path + "'");
+  }
+  return read_lammps_data(in);
+}
+
+}  // namespace sdcmd

@@ -1,0 +1,28 @@
+// LAMMPS data-file I/O (atom_style atomic, single type).
+//
+// Lets sdcmd configurations round-trip with LAMMPS: export a strained or
+// quenched system for cross-checking with `pair_style eam/alloy` (the
+// make_setfl tool writes the matching potential file), or import a LAMMPS
+// prepared system.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "md/system.hpp"
+
+namespace sdcmd {
+
+/// Write a `read_data`-compatible file with Atoms (atomic style) and
+/// Velocities sections.
+void write_lammps_data(std::ostream& out, const System& system,
+                       const std::string& comment = "sdcmd export");
+void write_lammps_data_file(const std::string& path, const System& system,
+                            const std::string& comment = "sdcmd export");
+
+/// Parse a single-type atomic-style data file. Throws ParseError on
+/// malformed input or unsupported content (multiple types, tilt factors).
+System read_lammps_data(std::istream& in);
+System read_lammps_data_file(const std::string& path);
+
+}  // namespace sdcmd

@@ -1,0 +1,89 @@
+#include "io/xyz_reader.hpp"
+
+#include <fstream>
+#include <sstream>
+
+#include "common/error.hpp"
+
+namespace sdcmd {
+
+namespace {
+
+/// Parse `Lattice="ax ay az bx by bz cx cy cz"` from an extended-XYZ
+/// comment. Only orthorhombic lattices map onto sdcmd's Box; anything else
+/// is reported as absent rather than silently mangled.
+std::optional<Box> parse_lattice(const std::string& comment) {
+  const auto key = comment.find("Lattice=\"");
+  if (key == std::string::npos) return std::nullopt;
+  const auto begin = key + 9;
+  const auto end = comment.find('"', begin);
+  if (end == std::string::npos) return std::nullopt;
+
+  std::istringstream is(comment.substr(begin, end - begin));
+  double m[9];
+  for (double& v : m) {
+    if (!(is >> v)) return std::nullopt;
+  }
+  const bool orthorhombic = m[1] == 0.0 && m[2] == 0.0 && m[3] == 0.0 &&
+                            m[5] == 0.0 && m[6] == 0.0 && m[7] == 0.0;
+  if (!orthorhombic || m[0] <= 0.0 || m[4] <= 0.0 || m[8] <= 0.0) {
+    return std::nullopt;
+  }
+  return Box({0.0, 0.0, 0.0}, {m[0], m[4], m[8]});
+}
+
+}  // namespace
+
+std::optional<XyzFrame> read_xyz_frame(std::istream& in) {
+  std::string line;
+  // Skip blank separators between frames.
+  do {
+    if (!std::getline(in, line)) return std::nullopt;
+  } while (line.find_first_not_of(" \t\r") == std::string::npos);
+
+  std::size_t count = 0;
+  try {
+    count = std::stoul(line);
+  } catch (const std::exception&) {
+    throw ParseError("xyz: expected an atom count, got '" + line + "'");
+  }
+
+  XyzFrame frame;
+  if (!std::getline(in, frame.comment)) {
+    throw ParseError("xyz: missing comment line");
+  }
+  frame.box = parse_lattice(frame.comment);
+
+  frame.positions.reserve(count);
+  frame.species.reserve(count);
+  for (std::size_t i = 0; i < count; ++i) {
+    if (!std::getline(in, line)) {
+      throw ParseError("xyz: truncated frame: expected " +
+                       std::to_string(count) + " atoms, got " +
+                       std::to_string(i));
+    }
+    std::istringstream fields(line);
+    std::string species;
+    Vec3 r;
+    if (!(fields >> species >> r.x >> r.y >> r.z)) {
+      throw ParseError("xyz: malformed atom line '" + line + "'");
+    }
+    frame.species.push_back(std::move(species));
+    frame.positions.push_back(r);
+  }
+  return frame;
+}
+
+std::vector<XyzFrame> read_xyz_file(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) {
+    throw ParseError("xyz: cannot open '" + path + "'");
+  }
+  std::vector<XyzFrame> frames;
+  while (auto frame = read_xyz_frame(in)) {
+    frames.push_back(std::move(*frame));
+  }
+  return frames;
+}
+
+}  // namespace sdcmd

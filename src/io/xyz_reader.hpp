@@ -1,0 +1,29 @@
+// Extended-XYZ reader: the inverse of md/dump.hpp's write_xyz, so
+// trajectories written by sdcmd (or ASE/OVITO) can be loaded back.
+#pragma once
+
+#include <iosfwd>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "common/vec3.hpp"
+#include "geom/box.hpp"
+
+namespace sdcmd {
+
+struct XyzFrame {
+  std::vector<Vec3> positions;
+  std::vector<std::string> species;
+  std::string comment;           ///< raw second line
+  std::optional<Box> box;        ///< parsed from Lattice="..." when present
+};
+
+/// Read the next frame from the stream; std::nullopt at clean EOF.
+/// Throws ParseError on malformed frames.
+std::optional<XyzFrame> read_xyz_frame(std::istream& in);
+
+/// Read every frame in a file.
+std::vector<XyzFrame> read_xyz_file(const std::string& path);
+
+}  // namespace sdcmd

@@ -1,0 +1,50 @@
+#include "md/atoms.hpp"
+
+#include <numeric>
+
+#include "common/error.hpp"
+#include "neighbor/reorder.hpp"
+
+namespace sdcmd {
+
+Atoms::Atoms(std::vector<Vec3> initial_positions) {
+  const std::size_t n = initial_positions.size();
+  position = std::move(initial_positions);
+  velocity.assign(n, Vec3{});
+  force.assign(n, Vec3{});
+  rho.assign(n, 0.0);
+  fp.assign(n, 0.0);
+  type.assign(n, 0);
+  id.resize(n);
+  std::iota(id.begin(), id.end(), 0u);
+  image.assign(n, {0, 0, 0});
+}
+
+void Atoms::resize(std::size_t n) {
+  position.resize(n);
+  velocity.resize(n);
+  force.resize(n);
+  rho.resize(n, 0.0);
+  fp.resize(n, 0.0);
+  type.resize(n, 0);
+  const std::size_t old = id.size();
+  id.resize(n);
+  for (std::size_t i = old; i < n; ++i) {
+    id[i] = static_cast<std::uint32_t>(i);
+  }
+  image.resize(n, {0, 0, 0});
+}
+
+void Atoms::reorder(std::span<const std::uint32_t> perm) {
+  SDCMD_REQUIRE(perm.size() == size(), "permutation size mismatch");
+  position = apply_permutation(position, perm);
+  velocity = apply_permutation(velocity, perm);
+  force = apply_permutation(force, perm);
+  rho = apply_permutation(rho, perm);
+  fp = apply_permutation(fp, perm);
+  type = apply_permutation(type, perm);
+  id = apply_permutation(id, perm);
+  image = apply_permutation(image, perm);
+}
+
+}  // namespace sdcmd

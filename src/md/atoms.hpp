@@ -1,0 +1,42 @@
+// Structure-of-arrays atom storage.
+//
+// SoA keeps the hot loops (density scatter, force scatter, integration)
+// streaming over dense double arrays - the layout the paper's data-
+// reordering optimization assumes.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "common/vec3.hpp"
+
+namespace sdcmd {
+
+class Atoms {
+ public:
+  Atoms() = default;
+  explicit Atoms(std::size_t n) { resize(n); }
+
+  /// Build from initial positions; velocities/forces zeroed, ids 0..n-1.
+  explicit Atoms(std::vector<Vec3> initial_positions);
+
+  std::size_t size() const { return position.size(); }
+  void resize(std::size_t n);
+
+  /// Reorder every per-atom array so new[i] = old[perm[i]] (the paper's
+  /// spatial data reordering). `perm` must be a permutation of 0..n-1.
+  void reorder(std::span<const std::uint32_t> perm);
+
+  std::vector<Vec3> position;
+  std::vector<Vec3> velocity;
+  std::vector<Vec3> force;
+  std::vector<double> rho;  ///< EAM electron density (phase 1 output)
+  std::vector<double> fp;   ///< dF/drho (phase 2 output)
+  std::vector<std::uint8_t> type;          ///< species index (alloys)
+  std::vector<std::uint32_t> id;           ///< stable identity across reorders
+  std::vector<std::array<int, 3>> image;   ///< PBC image counters
+};
+
+}  // namespace sdcmd

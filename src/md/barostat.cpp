@@ -1,0 +1,33 @@
+#include "md/barostat.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/error.hpp"
+
+namespace sdcmd {
+
+BerendsenBarostat::BerendsenBarostat(double target_pressure, double tau,
+                                     double compressibility)
+    : target_(target_pressure), tau_(tau), compressibility_(compressibility) {
+  SDCMD_REQUIRE(tau > 0.0, "coupling time must be positive");
+  SDCMD_REQUIRE(compressibility > 0.0, "compressibility must be positive");
+}
+
+double BerendsenBarostat::apply(System& system, double pressure, double dt) {
+  double mu3 = 1.0 - dt / tau_ * compressibility_ * (target_ - pressure);
+  // Guard against absurd single-step volume changes (cold starts can report
+  // huge transient pressures).
+  mu3 = std::clamp(mu3, 0.9, 1.1);
+  const double mu = std::cbrt(mu3);
+  if (mu == 1.0) return 1.0;
+
+  const Box old_box = system.box();
+  system.box().rescale({mu, mu, mu});
+  for (auto& r : system.atoms().position) {
+    r = system.box().affine_map(r, old_box);
+  }
+  return mu;
+}
+
+}  // namespace sdcmd

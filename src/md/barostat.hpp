@@ -1,0 +1,34 @@
+// Berendsen barostat: weak pressure coupling via isotropic box rescaling.
+//
+// mu = (1 - (dt / tau_p) * kappa * (P0 - P))^(1/3) applied to every box
+// edge and (affinely) to every position. Because a box change invalidates
+// the cell grid and SDC decomposition, the Simulation driver applies the
+// barostat only at a configurable interval and rebuilds its geometry then.
+#pragma once
+
+#include "md/system.hpp"
+
+namespace sdcmd {
+
+class BerendsenBarostat {
+ public:
+  /// `target_pressure` in eV/A^3, `tau` the coupling time (internal units),
+  /// `compressibility` in A^3/eV scales the response (default of order a
+  /// metal's 1/bulk-modulus).
+  BerendsenBarostat(double target_pressure, double tau,
+                    double compressibility = 0.01);
+
+  /// Rescale `system` one increment toward the target given the current
+  /// `pressure`. `dt` is the time elapsed since the last application.
+  /// Returns the linear scale factor applied (1.0 = no change).
+  double apply(System& system, double pressure, double dt);
+
+  double target_pressure() const { return target_; }
+
+ private:
+  double target_;
+  double tau_;
+  double compressibility_;
+};
+
+}  // namespace sdcmd

@@ -1,0 +1,33 @@
+#include "md/deform.hpp"
+
+#include "common/error.hpp"
+
+namespace sdcmd {
+
+BoxDeformer::BoxDeformer(const Vec3& strain_rate_per_step)
+    : rate_(strain_rate_per_step) {
+  for (int d = 0; d < 3; ++d) {
+    SDCMD_REQUIRE(rate_[d] > -1.0, "compression rate would invert the box");
+  }
+}
+
+BoxDeformer BoxDeformer::uniaxial(int axis, double strain_rate_per_step) {
+  SDCMD_REQUIRE(axis >= 0 && axis < 3, "axis must be 0, 1 or 2");
+  Vec3 rate{};
+  rate[axis] = strain_rate_per_step;
+  return BoxDeformer(rate);
+}
+
+void BoxDeformer::apply(System& system) {
+  const Box old_box = system.box();
+  const Vec3 factor{1.0 + rate_.x, 1.0 + rate_.y, 1.0 + rate_.z};
+  system.box().rescale(factor);
+  for (auto& r : system.atoms().position) {
+    r = system.box().affine_map(r, old_box);
+  }
+  for (int d = 0; d < 3; ++d) {
+    accumulated_[d] = (1.0 + accumulated_[d]) * factor[d] - 1.0;
+  }
+}
+
+}  // namespace sdcmd

@@ -1,0 +1,35 @@
+// Box deformation engine for the micro-deformation workloads.
+//
+// The paper's test cases "observe micro-deformation behaviors of the pure
+// Fe metals" - in practice a strained periodic cell. BoxDeformer applies a
+// constant true-strain rate to chosen axes each step and affinely remaps
+// atom positions into the new cell.
+#pragma once
+
+#include "common/vec3.hpp"
+#include "md/system.hpp"
+
+namespace sdcmd {
+
+class BoxDeformer {
+ public:
+  /// `strain_rate_per_step[d]` is the per-step fractional elongation of
+  /// axis d (negative = compression); e.g. {1e-5, 0, 0} stretches x by
+  /// 0.001% every step.
+  explicit BoxDeformer(const Vec3& strain_rate_per_step);
+
+  /// Uniaxial tension along `axis`.
+  static BoxDeformer uniaxial(int axis, double strain_rate_per_step);
+
+  /// Stretch the box one increment and remap all positions affinely.
+  void apply(System& system);
+
+  /// Accumulated engineering strain per axis since construction.
+  const Vec3& accumulated_strain() const { return accumulated_; }
+
+ private:
+  Vec3 rate_;
+  Vec3 accumulated_{0.0, 0.0, 0.0};
+};
+
+}  // namespace sdcmd

@@ -1,0 +1,69 @@
+#include "md/dump.hpp"
+
+#include <fstream>
+#include <iomanip>
+#include <ostream>
+
+#include "common/error.hpp"
+
+namespace sdcmd {
+
+void write_xyz(std::ostream& out, const System& system,
+               const std::string& element, const std::string& comment) {
+  const Atoms& atoms = system.atoms();
+  const Box& box = system.box();
+  out << atoms.size() << '\n';
+  out << "Lattice=\"" << box.length(0) << " 0 0 0 " << box.length(1)
+      << " 0 0 0 " << box.length(2)
+      << "\" Properties=species:S:1:pos:R:3";
+  if (!comment.empty()) out << ' ' << comment;
+  out << '\n';
+  out << std::setprecision(10);
+  for (std::size_t i = 0; i < atoms.size(); ++i) {
+    const Vec3& r = atoms.position[i];
+    out << element << ' ' << r.x << ' ' << r.y << ' ' << r.z << '\n';
+  }
+}
+
+void write_lammps_dump(std::ostream& out, const System& system, long step) {
+  const Atoms& atoms = system.atoms();
+  const Box& box = system.box();
+  out << "ITEM: TIMESTEP\n" << step << '\n';
+  out << "ITEM: NUMBER OF ATOMS\n" << atoms.size() << '\n';
+  out << "ITEM: BOX BOUNDS pp pp pp\n";
+  out << std::setprecision(10);
+  for (int d = 0; d < 3; ++d) {
+    out << box.lo()[d] << ' ' << box.hi()[d] << '\n';
+  }
+  out << "ITEM: ATOMS id x y z vx vy vz\n";
+  for (std::size_t i = 0; i < atoms.size(); ++i) {
+    const Vec3& r = atoms.position[i];
+    const Vec3& v = atoms.velocity[i];
+    out << atoms.id[i] + 1 << ' ' << r.x << ' ' << r.y << ' ' << r.z << ' '
+        << v.x << ' ' << v.y << ' ' << v.z << '\n';
+  }
+}
+
+namespace {
+std::ofstream open_append(const std::string& path) {
+  std::ofstream out(path, std::ios::app);
+  if (!out) {
+    throw Error("cannot open '" + path + "' for writing");
+  }
+  return out;
+}
+}  // namespace
+
+void append_xyz_file(const std::string& path, const System& system,
+                     const std::string& element, const std::string& comment) {
+  auto out = open_append(path);
+  write_xyz(out, system, element, comment);
+}
+
+void append_lammps_dump_file(const std::string& path, const System& system,
+                             long step) {
+  auto out = open_append(path);
+  write_lammps_dump(out, system, step);
+}
+
+}  // namespace sdcmd

@@ -1,0 +1,28 @@
+// Trajectory output: extended-XYZ and LAMMPS-dump-style text formats.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "md/system.hpp"
+
+namespace sdcmd {
+
+/// Extended XYZ: atom count, comment with box lattice, then
+/// "Fe x y z" lines. Readable by OVITO / ASE.
+void write_xyz(std::ostream& out, const System& system,
+               const std::string& element = "Fe",
+               const std::string& comment = "");
+
+/// LAMMPS text dump (`ITEM:` sections) with id/x/y/z/vx/vy/vz columns.
+void write_lammps_dump(std::ostream& out, const System& system, long step);
+
+/// Convenience file wrappers (append mode so multi-frame trajectories
+/// accumulate). Throws sdcmd::Error when the file cannot be opened.
+void append_xyz_file(const std::string& path, const System& system,
+                     const std::string& element = "Fe",
+                     const std::string& comment = "");
+void append_lammps_dump_file(const std::string& path, const System& system,
+                             long step);
+
+}  // namespace sdcmd

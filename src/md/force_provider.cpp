@@ -1,0 +1,30 @@
+#include "md/force_provider.hpp"
+
+namespace sdcmd {
+
+EamForceProvider::EamForceProvider(const EamPotential& potential,
+                                   EamForceConfig config)
+    : computer_(potential, config) {}
+
+EamForceResult EamForceProvider::compute(const Box& box, Atoms& atoms,
+                                         const NeighborList& list) {
+  return computer_.compute(box, atoms.position, list, atoms.rho, atoms.fp,
+                           atoms.force);
+}
+
+PairForceProvider::PairForceProvider(const PairPotential& potential,
+                                     PairForceConfig config)
+    : potential_(potential), computer_(potential, config) {}
+
+EamForceResult PairForceProvider::compute(const Box& box, Atoms& atoms,
+                                          const NeighborList& list) {
+  const PairForceResult pair =
+      computer_.compute(box, atoms.position, list, atoms.force);
+  EamForceResult result;
+  result.pair_energy = pair.energy;
+  result.embedding_energy = 0.0;
+  result.virial = pair.virial;
+  return result;
+}
+
+}  // namespace sdcmd

@@ -1,0 +1,61 @@
+#include "md/integrator.hpp"
+
+#include "common/error.hpp"
+
+namespace sdcmd {
+
+VelocityVerlet::VelocityVerlet(double dt, double mass)
+    : dt_(dt), mass_(mass) {
+  SDCMD_REQUIRE(dt > 0.0, "time step must be positive");
+  SDCMD_REQUIRE(mass > 0.0, "mass must be positive");
+}
+
+void VelocityVerlet::kick_drift(std::span<Vec3> positions,
+                                std::span<Vec3> velocities,
+                                std::span<const Vec3> forces) const {
+  const double half_dt_over_m = 0.5 * dt_ / mass_;
+  const std::size_t n = positions.size();
+#pragma omp parallel for schedule(static)
+  for (std::size_t i = 0; i < n; ++i) {
+    velocities[i] += half_dt_over_m * forces[i];
+    positions[i] += dt_ * velocities[i];
+  }
+}
+
+void VelocityVerlet::kick(std::span<Vec3> velocities,
+                          std::span<const Vec3> forces) const {
+  const double half_dt_over_m = 0.5 * dt_ / mass_;
+  const std::size_t n = velocities.size();
+#pragma omp parallel for schedule(static)
+  for (std::size_t i = 0; i < n; ++i) {
+    velocities[i] += half_dt_over_m * forces[i];
+  }
+}
+
+void VelocityVerlet::kick_drift(std::span<Vec3> positions,
+                                std::span<Vec3> velocities,
+                                std::span<const Vec3> forces,
+                                std::span<const double> masses) const {
+  SDCMD_REQUIRE(masses.size() == positions.size(),
+                "per-atom masses must match the atom count");
+  const std::size_t n = positions.size();
+#pragma omp parallel for schedule(static)
+  for (std::size_t i = 0; i < n; ++i) {
+    velocities[i] += (0.5 * dt_ / masses[i]) * forces[i];
+    positions[i] += dt_ * velocities[i];
+  }
+}
+
+void VelocityVerlet::kick(std::span<Vec3> velocities,
+                          std::span<const Vec3> forces,
+                          std::span<const double> masses) const {
+  SDCMD_REQUIRE(masses.size() == velocities.size(),
+                "per-atom masses must match the atom count");
+  const std::size_t n = velocities.size();
+#pragma omp parallel for schedule(static)
+  for (std::size_t i = 0; i < n; ++i) {
+    velocities[i] += (0.5 * dt_ / masses[i]) * forces[i];
+  }
+}
+
+}  // namespace sdcmd

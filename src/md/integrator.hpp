@@ -1,0 +1,41 @@
+// Velocity-Verlet integration.
+//
+// Split into the conventional two half-kicks so the force evaluation (and
+// a possible neighbor-list rebuild) sits between them:
+//   kick-drift : v += f/m * dt/2 ; x += v * dt
+//   [forces]
+//   kick       : v += f/m * dt/2
+#pragma once
+
+#include <span>
+
+#include "common/vec3.hpp"
+#include "geom/box.hpp"
+
+namespace sdcmd {
+
+class VelocityVerlet {
+ public:
+  /// `dt` in internal time units (see common/units.hpp).
+  VelocityVerlet(double dt, double mass);
+
+  void kick_drift(std::span<Vec3> positions, std::span<Vec3> velocities,
+                  std::span<const Vec3> forces) const;
+  void kick(std::span<Vec3> velocities, std::span<const Vec3> forces) const;
+
+  /// Per-atom-mass variants for multi-species (alloy) systems.
+  void kick_drift(std::span<Vec3> positions, std::span<Vec3> velocities,
+                  std::span<const Vec3> forces,
+                  std::span<const double> masses) const;
+  void kick(std::span<Vec3> velocities, std::span<const Vec3> forces,
+            std::span<const double> masses) const;
+
+  double dt() const { return dt_; }
+  double mass() const { return mass_; }
+
+ private:
+  double dt_;
+  double mass_;
+};
+
+}  // namespace sdcmd

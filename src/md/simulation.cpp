@@ -1,0 +1,176 @@
+#include "md/simulation.hpp"
+
+#include "common/error.hpp"
+#include "common/log.hpp"
+#include "md/velocity.hpp"
+#include "neighbor/reorder.hpp"
+
+namespace sdcmd {
+
+Simulation::Simulation(System system, const EamPotential& potential,
+                       SimulationConfig config)
+    : Simulation(std::move(system),
+                 std::make_unique<EamForceProvider>(potential, config.force),
+                 config) {}
+
+Simulation::Simulation(System system, const PairPotential& potential,
+                       SimulationConfig config)
+    : Simulation(std::move(system),
+                 std::make_unique<PairForceProvider>(
+                     potential,
+                     PairForceConfig{config.force.strategy, config.force.sdc,
+                                     config.force.dynamic_schedule}),
+                 config) {}
+
+Simulation::Simulation(System system,
+                       std::unique_ptr<ForceProvider> provider,
+                       SimulationConfig config)
+    : system_(std::move(system)),
+      config_(config),
+      integrator_(config.dt, system_.mass()),
+      provider_(std::move(provider)) {
+  SDCMD_REQUIRE(provider_ != nullptr, "force provider must not be null");
+  rebuild_geometry();
+}
+
+EamForceComputer& Simulation::force_computer() {
+  EamForceComputer* computer = provider_->eam_computer();
+  SDCMD_REQUIRE(computer != nullptr,
+                "the active force backend is not an EAM computer");
+  return *computer;
+}
+
+const EamForceComputer& Simulation::force_computer() const {
+  EamForceComputer* computer =
+      const_cast<ForceProvider&>(*provider_).eam_computer();
+  SDCMD_REQUIRE(computer != nullptr,
+                "the active force backend is not an EAM computer");
+  return *computer;
+}
+
+void Simulation::rebuild_geometry() {
+  NeighborListConfig nl;
+  nl.cutoff = provider_->cutoff();
+  nl.skin = config_.skin;
+  nl.mode = provider_->required_mode();
+  nl.sort_neighbors = config_.sort_neighbors;
+  list_ = std::make_unique<NeighborList>(system_.box(), nl);
+
+  provider_->attach_schedule(system_.box(),
+                             provider_->cutoff() + config_.skin);
+  rebuild_lists();
+}
+
+void Simulation::rebuild_lists() {
+  system_.wrap_positions();
+  if (config_.reorder_atoms) {
+    const auto perm = spatial_sort_permutation(
+        system_.box(), system_.atoms().position,
+        provider_->cutoff() + config_.skin);
+    system_.atoms().reorder(perm);
+  }
+  list_->build(system_.atoms().position);
+  provider_->on_neighbor_rebuild(system_.atoms().position);
+  steps_since_rebuild_ = 0;
+  ++rebuilds_;
+  forces_current_ = false;
+}
+
+bool Simulation::lists_stale() const {
+  if (config_.rebuild_interval > 0) {
+    // The check runs mid-step (after the drift), so "every N steps" means
+    // the rebuild lands inside steps N, 2N, ... exactly.
+    return steps_since_rebuild_ + 1 >= config_.rebuild_interval;
+  }
+  return list_->needs_rebuild(system_.atoms().position);
+}
+
+void Simulation::compute_forces() {
+  if (forces_current_) return;
+  last_result_ = provider_->compute(system_.box(), system_.atoms(), *list_);
+  forces_current_ = true;
+}
+
+void Simulation::set_temperature(double temperature, std::uint64_t seed) {
+  maxwell_boltzmann_velocities(system_.atoms().velocity, system_.mass(),
+                               temperature, seed);
+}
+
+void Simulation::set_thermostat(std::unique_ptr<Thermostat> thermostat) {
+  thermostat_ = std::move(thermostat);
+}
+
+void Simulation::set_deformer(BoxDeformer deformer, int every) {
+  SDCMD_REQUIRE(every >= 1, "deformation interval must be >= 1");
+  deformer_ = deformer;
+  deform_every_ = every;
+}
+
+void Simulation::set_barostat(BerendsenBarostat barostat, int every) {
+  SDCMD_REQUIRE(every >= 1, "barostat interval must be >= 1");
+  barostat_ = barostat;
+  barostat_every_ = every;
+}
+
+void Simulation::step_once() {
+  compute_forces();
+  Atoms& atoms = system_.atoms();
+
+  integrator_.kick_drift(atoms.position, atoms.velocity, atoms.force);
+
+  if (deformer_ && (step_ + 1) % deform_every_ == 0) {
+    deformer_->apply(system_);
+    // The box changed: the cell grid and SDC decomposition are invalid.
+    rebuild_geometry();
+  } else if (lists_stale()) {
+    rebuild_lists();
+  }
+
+  forces_current_ = false;
+  compute_forces();
+  integrator_.kick(atoms.velocity, atoms.force);
+
+  if (thermostat_) {
+    thermostat_->apply(atoms.velocity, system_.mass(), config_.dt);
+  }
+
+  ++step_;
+  ++steps_since_rebuild_;
+
+  if (barostat_ && step_ % barostat_every_ == 0) {
+    const double mu = barostat_->apply(system_, sample().pressure,
+                                       config_.dt * barostat_every_);
+    if (mu != 1.0) {
+      rebuild_geometry();
+    }
+  }
+}
+
+void Simulation::run(long steps, const Callback& callback,
+                     long callback_every) {
+  SDCMD_REQUIRE(steps >= 0, "step count must be non-negative");
+  compute_forces();
+  for (long s = 0; s < steps; ++s) {
+    step_once();
+    if (callback && callback_every > 0 && step_ % callback_every == 0) {
+      callback(*this, step_);
+    }
+  }
+  SDCMD_DEBUG("run finished at step " << step_ << " after " << rebuilds_
+                                      << " neighbor rebuilds");
+}
+
+ThermoSample Simulation::sample() const {
+  ThermoSample s;
+  s.step = step_;
+  const Atoms& atoms = system_.atoms();
+  s.kinetic_energy = kinetic_energy(atoms.velocity, system_.mass());
+  s.temperature = temperature_of(atoms.velocity, system_.mass());
+  s.pair_energy = last_result_.pair_energy;
+  s.embedding_energy = last_result_.embedding_energy;
+  s.pressure = pressure_of(atoms.size(), system_.box(), s.temperature,
+                           last_result_.virial);
+  return s;
+}
+
+}  // namespace sdcmd

@@ -1,0 +1,126 @@
+// The time-stepping driver tying the whole stack together:
+// velocity-Verlet + neighbor-list lifecycle + EAM forces under a chosen
+// reduction strategy + optional thermostat / box deformation.
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <optional>
+
+#include "common/units.hpp"
+#include "core/eam_force.hpp"
+#include "md/barostat.hpp"
+#include "md/deform.hpp"
+#include "md/force_provider.hpp"
+#include "md/integrator.hpp"
+#include "md/system.hpp"
+#include "md/thermo.hpp"
+#include "md/thermostat.hpp"
+
+namespace sdcmd {
+
+struct SimulationConfig {
+  /// Time step in internal units. The paper runs 1e-17 s = 0.01 fs.
+  double dt = units::fs_to_internal(1.0);
+  /// Verlet skin (angstrom).
+  double skin = 0.4;
+  /// Neighbor rebuild policy: 0 = displacement-triggered (safe default),
+  /// N > 0 = every N steps (the paper's fixed-interval style).
+  int rebuild_interval = 0;
+  /// Strategy + SDC settings for the force evaluation.
+  EamForceConfig force;
+  /// Spatially re-sort atoms at every rebuild (paper Section II.D).
+  bool reorder_atoms = false;
+  /// Sort each neighbor sublist ascending (paper Section II.D).
+  bool sort_neighbors = true;
+};
+
+class Simulation {
+ public:
+  /// EAM dynamics (the paper's workload). The potential must outlive the
+  /// simulation; config.force selects the reduction strategy.
+  Simulation(System system, const EamPotential& potential,
+             SimulationConfig config);
+
+  /// Pair-potential dynamics through the same driver (config.force's
+  /// strategy and SDC settings apply; the EAM-only fields are ignored).
+  Simulation(System system, const PairPotential& potential,
+             SimulationConfig config);
+
+  /// Fully custom force backend.
+  Simulation(System system, std::unique_ptr<ForceProvider> provider,
+             SimulationConfig config);
+
+  /// Maxwell-Boltzmann velocities at `temperature` (kelvin).
+  void set_temperature(double temperature, std::uint64_t seed);
+
+  /// Install (or clear, with nullptr) a thermostat applied every step.
+  void set_thermostat(std::unique_ptr<Thermostat> thermostat);
+
+  /// Install a box deformer applied every `every` steps.
+  void set_deformer(BoxDeformer deformer, int every = 1);
+
+  /// Install a Berendsen barostat applied every `every` steps (each
+  /// application rescales the box and rebuilds the neighbor machinery).
+  void set_barostat(BerendsenBarostat barostat, int every = 10);
+
+  /// Callback invoked after the completed step, every `every` steps.
+  using Callback = std::function<void(const Simulation&, long)>;
+
+  /// Advance `steps` velocity-Verlet steps.
+  void run(long steps, const Callback& callback = nullptr,
+           long callback_every = 100);
+
+  /// One step (forces must be current; run() handles this).
+  void step_once();
+
+  /// Evaluate forces for the current positions (rebuilding the neighbor
+  /// list when stale). Idempotent between moves.
+  void compute_forces();
+
+  ThermoSample sample() const;
+
+  const System& system() const { return system_; }
+  System& system() { return system_; }
+
+  /// The active force backend.
+  ForceProvider& force_provider() { return *provider_; }
+  const ForceProvider& force_provider() const { return *provider_; }
+
+  /// The underlying EAM computer; throws PreconditionError when the
+  /// backend is not EAM (use force_provider().timers() for generic code).
+  EamForceComputer& force_computer();
+  const EamForceComputer& force_computer() const;
+
+  const NeighborList& neighbor_list() const { return *list_; }
+  const SimulationConfig& config() const { return config_; }
+  long current_step() const { return step_; }
+  std::size_t rebuild_count() const { return rebuilds_; }
+  const EamForceResult& last_force_result() const { return last_result_; }
+
+ private:
+  /// Recreate box-dependent machinery (neighbor list, SDC schedule) after
+  /// a box change, then rebuild.
+  void rebuild_geometry();
+  /// Rebuild neighbor list + partition from current positions.
+  void rebuild_lists();
+  bool lists_stale() const;
+
+  System system_;
+  SimulationConfig config_;
+  VelocityVerlet integrator_;
+  std::unique_ptr<ForceProvider> provider_;
+  std::unique_ptr<NeighborList> list_;
+  std::unique_ptr<Thermostat> thermostat_;
+  std::optional<BoxDeformer> deformer_;
+  int deform_every_ = 1;
+  std::optional<BerendsenBarostat> barostat_;
+  int barostat_every_ = 10;
+  long step_ = 0;
+  long steps_since_rebuild_ = 0;
+  std::size_t rebuilds_ = 0;
+  bool forces_current_ = false;
+  EamForceResult last_result_;
+};
+
+}  // namespace sdcmd

@@ -1,0 +1,26 @@
+#include "md/system.hpp"
+
+#include "common/error.hpp"
+
+namespace sdcmd {
+
+System::System(Box box, Atoms atoms, double mass)
+    : box_(std::move(box)), atoms_(std::move(atoms)), mass_(mass) {
+  SDCMD_REQUIRE(mass > 0.0, "atomic mass must be positive");
+}
+
+System System::from_lattice(const LatticeSpec& spec, double mass) {
+  return System(spec.box(), Atoms(build_lattice(spec)), mass);
+}
+
+double System::number_density() const {
+  return static_cast<double>(atoms_.size()) / box_.volume();
+}
+
+void System::wrap_positions() {
+  for (std::size_t i = 0; i < atoms_.size(); ++i) {
+    atoms_.position[i] = box_.wrap(atoms_.position[i], atoms_.image[i]);
+  }
+}
+
+}  // namespace sdcmd

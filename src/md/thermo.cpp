@@ -1,0 +1,27 @@
+#include "md/thermo.hpp"
+
+#include "common/units.hpp"
+
+namespace sdcmd {
+
+double kinetic_energy(std::span<const Vec3> velocities, double mass) {
+  double sum = 0.0;
+  for (const auto& v : velocities) sum += norm2(v);
+  return 0.5 * mass * sum;
+}
+
+double temperature_of(std::span<const Vec3> velocities, double mass) {
+  if (velocities.empty()) return 0.0;
+  const double ke = kinetic_energy(velocities, mass);
+  return 2.0 * ke /
+         (3.0 * static_cast<double>(velocities.size()) * units::kBoltzmann);
+}
+
+double pressure_of(std::size_t n, const Box& box, double temperature,
+                   double virial) {
+  return (static_cast<double>(n) * units::kBoltzmann * temperature +
+          virial / 3.0) /
+         box.volume();
+}
+
+}  // namespace sdcmd

@@ -1,0 +1,35 @@
+// Thermodynamic observables.
+#pragma once
+
+#include <span>
+
+#include "common/vec3.hpp"
+#include "geom/box.hpp"
+
+namespace sdcmd {
+
+/// Total kinetic energy (eV) for equal-mass atoms.
+double kinetic_energy(std::span<const Vec3> velocities, double mass);
+
+/// Instantaneous kinetic temperature (kelvin), 3N degrees of freedom.
+double temperature_of(std::span<const Vec3> velocities, double mass);
+
+/// Virial pressure (eV / A^3): P = (N kB T + W/3) / V with W the pair
+/// virial sum r_ij . f_ij returned by the force computers.
+double pressure_of(std::size_t n, const Box& box, double temperature,
+                   double virial);
+
+/// One-line thermo snapshot used by the Simulation driver and examples.
+struct ThermoSample {
+  long step = 0;
+  double temperature = 0.0;     ///< K
+  double kinetic_energy = 0.0;  ///< eV
+  double pair_energy = 0.0;     ///< eV
+  double embedding_energy = 0.0;///< eV
+  double pressure = 0.0;        ///< eV/A^3
+
+  double potential_energy() const { return pair_energy + embedding_energy; }
+  double total_energy() const { return kinetic_energy + potential_energy(); }
+};
+
+}  // namespace sdcmd

@@ -1,0 +1,47 @@
+#include "md/thermo_log.hpp"
+
+#include <cmath>
+
+#include "common/csv.hpp"
+#include "common/table.hpp"
+
+namespace sdcmd {
+
+void ThermoLog::record(const ThermoSample& sample) {
+  samples_.push_back(sample);
+}
+
+double ThermoLog::max_energy_drift() const {
+  if (samples_.empty()) return 0.0;
+  const double e0 = samples_.front().total_energy();
+  double worst = 0.0;
+  for (const auto& s : samples_) {
+    worst = std::max(worst, std::abs(s.total_energy() - e0));
+  }
+  return worst;
+}
+
+RunningStats ThermoLog::temperature_stats() const {
+  RunningStats stats;
+  for (const auto& s : samples_) {
+    stats.add(s.temperature);
+  }
+  return stats;
+}
+
+bool ThermoLog::write_csv(const std::string& path) const {
+  CsvWriter csv(path, {"step", "temperature", "kinetic", "pair",
+                       "embedding", "total", "pressure"});
+  if (!csv.ok()) return false;
+  for (const auto& s : samples_) {
+    csv.add_row({std::to_string(s.step), AsciiTable::fmt(s.temperature, 4),
+                 AsciiTable::fmt(s.kinetic_energy, 8),
+                 AsciiTable::fmt(s.pair_energy, 8),
+                 AsciiTable::fmt(s.embedding_energy, 8),
+                 AsciiTable::fmt(s.total_energy(), 8),
+                 AsciiTable::fmt(s.pressure, 8)});
+  }
+  return true;
+}
+
+}  // namespace sdcmd

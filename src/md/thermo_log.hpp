@@ -1,0 +1,37 @@
+// Thermo time-series recorder: collects ThermoSample rows during a run,
+// summarizes conserved-quantity drift, and exports CSV for plotting.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "common/stats.hpp"
+#include "md/thermo.hpp"
+
+namespace sdcmd {
+
+class ThermoLog {
+ public:
+  void record(const ThermoSample& sample);
+
+  const std::vector<ThermoSample>& samples() const { return samples_; }
+  std::size_t size() const { return samples_.size(); }
+  bool empty() const { return samples_.empty(); }
+
+  /// Max |E(t) - E(0)| over the series (absolute, eV).
+  double max_energy_drift() const;
+
+  /// Temperature statistics over the recorded window.
+  RunningStats temperature_stats() const;
+
+  /// Write "step,temperature,kinetic,pair,embedding,total,pressure" CSV.
+  /// Returns false when the file cannot be opened.
+  bool write_csv(const std::string& path) const;
+
+  void clear() { samples_.clear(); }
+
+ private:
+  std::vector<ThermoSample> samples_;
+};
+
+}  // namespace sdcmd

@@ -1,0 +1,62 @@
+#include "md/thermostat.hpp"
+
+#include <cmath>
+
+#include "common/error.hpp"
+#include "common/units.hpp"
+#include "md/thermo.hpp"
+
+namespace sdcmd {
+
+VelocityRescaleThermostat::VelocityRescaleThermostat(double temperature,
+                                                     int period)
+    : temperature_(temperature), period_(period) {
+  SDCMD_REQUIRE(temperature >= 0.0, "temperature must be non-negative");
+  SDCMD_REQUIRE(period >= 1, "period must be at least 1");
+}
+
+void VelocityRescaleThermostat::apply(std::span<Vec3> velocities,
+                                      double mass, double /*dt*/) {
+  if (++counter_ % period_ != 0) return;
+  const double t_now = temperature_of(velocities, mass);
+  if (t_now <= 0.0) return;
+  const double scale = std::sqrt(temperature_ / t_now);
+  for (auto& v : velocities) v *= scale;
+}
+
+BerendsenThermostat::BerendsenThermostat(double temperature, double tau)
+    : temperature_(temperature), tau_(tau) {
+  SDCMD_REQUIRE(temperature >= 0.0, "temperature must be non-negative");
+  SDCMD_REQUIRE(tau > 0.0, "coupling time must be positive");
+}
+
+void BerendsenThermostat::apply(std::span<Vec3> velocities, double mass,
+                                double dt) {
+  const double t_now = temperature_of(velocities, mass);
+  if (t_now <= 0.0) return;
+  const double lambda2 = 1.0 + dt / tau_ * (temperature_ / t_now - 1.0);
+  const double scale = std::sqrt(lambda2 > 0.0 ? lambda2 : 0.0);
+  for (auto& v : velocities) v *= scale;
+}
+
+LangevinThermostat::LangevinThermostat(double temperature, double friction,
+                                       std::uint64_t seed)
+    : temperature_(temperature), friction_(friction), rng_(seed) {
+  SDCMD_REQUIRE(temperature >= 0.0, "temperature must be non-negative");
+  SDCMD_REQUIRE(friction > 0.0, "friction must be positive");
+}
+
+void LangevinThermostat::apply(std::span<Vec3> velocities, double mass,
+                               double dt) {
+  const double damping = 1.0 - friction_ * dt;
+  const double sigma =
+      std::sqrt(2.0 * friction_ * units::kBoltzmann * temperature_ * dt /
+                mass);
+  for (auto& v : velocities) {
+    v = damping * v +
+        Vec3{rng_.normal(0.0, sigma), rng_.normal(0.0, sigma),
+             rng_.normal(0.0, sigma)};
+  }
+}
+
+}  // namespace sdcmd

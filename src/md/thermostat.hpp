@@ -1,0 +1,67 @@
+// Thermostats for equilibration and temperature-controlled runs.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <span>
+
+#include "common/random.hpp"
+#include "common/vec3.hpp"
+
+namespace sdcmd {
+
+class Thermostat {
+ public:
+  virtual ~Thermostat() = default;
+
+  /// Adjust velocities toward the target temperature. `dt` is the MD time
+  /// step (internal units); `mass` the species mass.
+  virtual void apply(std::span<Vec3> velocities, double mass,
+                     double dt) = 0;
+
+  virtual double target_temperature() const = 0;
+};
+
+/// Hard velocity rescaling to exactly the target temperature every
+/// `period` applications; the bluntest instrument, good for fast settling.
+class VelocityRescaleThermostat final : public Thermostat {
+ public:
+  VelocityRescaleThermostat(double temperature, int period = 1);
+  void apply(std::span<Vec3> velocities, double mass, double dt) override;
+  double target_temperature() const override { return temperature_; }
+
+ private:
+  double temperature_;
+  int period_;
+  int counter_ = 0;
+};
+
+/// Berendsen weak coupling: scale factor sqrt(1 + dt/tau (T0/T - 1)).
+class BerendsenThermostat final : public Thermostat {
+ public:
+  BerendsenThermostat(double temperature, double tau);
+  void apply(std::span<Vec3> velocities, double mass, double dt) override;
+  double target_temperature() const override { return temperature_; }
+
+ private:
+  double temperature_;
+  double tau_;
+};
+
+/// Langevin dynamics via the BBK-style post-step velocity update:
+/// v <- v (1 - gamma dt) + sqrt(2 gamma kB T dt / m) xi.
+/// Deterministic per (seed, application counter).
+class LangevinThermostat final : public Thermostat {
+ public:
+  LangevinThermostat(double temperature, double friction,
+                     std::uint64_t seed);
+  void apply(std::span<Vec3> velocities, double mass, double dt) override;
+  double target_temperature() const override { return temperature_; }
+
+ private:
+  double temperature_;
+  double friction_;
+  Xoshiro256 rng_;
+};
+
+}  // namespace sdcmd

@@ -1,0 +1,47 @@
+#include "md/velocity.hpp"
+
+#include <cmath>
+
+#include "common/error.hpp"
+#include "common/random.hpp"
+#include "common/units.hpp"
+#include "md/thermo.hpp"
+
+namespace sdcmd {
+
+void maxwell_boltzmann_velocities(std::span<Vec3> velocities, double mass,
+                                  double temperature, std::uint64_t seed) {
+  SDCMD_REQUIRE(mass > 0.0, "mass must be positive");
+  SDCMD_REQUIRE(temperature >= 0.0, "temperature must be non-negative");
+  if (velocities.empty()) return;
+
+  if (temperature == 0.0) {
+    for (auto& v : velocities) v = Vec3{};
+    return;
+  }
+
+  Xoshiro256 rng(seed);
+  const double sigma = std::sqrt(units::kBoltzmann * temperature / mass);
+  for (auto& v : velocities) {
+    v = {rng.normal(0.0, sigma), rng.normal(0.0, sigma),
+         rng.normal(0.0, sigma)};
+  }
+  zero_linear_momentum(velocities);
+
+  // Exact-temperature rescale: finite samples land slightly off target.
+  const double t_now = temperature_of(velocities, mass);
+  if (t_now > 0.0) {
+    const double scale = std::sqrt(temperature / t_now);
+    for (auto& v : velocities) v *= scale;
+  }
+}
+
+void zero_linear_momentum(std::span<Vec3> velocities) {
+  if (velocities.empty()) return;
+  Vec3 mean{};
+  for (const auto& v : velocities) mean += v;
+  mean /= static_cast<double>(velocities.size());
+  for (auto& v : velocities) v -= mean;
+}
+
+}  // namespace sdcmd

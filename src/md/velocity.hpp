@@ -1,0 +1,21 @@
+// Velocity initialization.
+#pragma once
+
+#include <cstdint>
+#include <span>
+
+#include "common/vec3.hpp"
+
+namespace sdcmd {
+
+/// Draw velocities from the Maxwell-Boltzmann distribution at `temperature`
+/// (kelvin) for atoms of `mass` (amu), zero the net linear momentum, then
+/// rescale so the kinetic temperature is exactly `temperature`.
+/// Deterministic for a given seed.
+void maxwell_boltzmann_velocities(std::span<Vec3> velocities, double mass,
+                                  double temperature, std::uint64_t seed);
+
+/// Subtract the center-of-mass velocity (equal masses assumed).
+void zero_linear_momentum(std::span<Vec3> velocities);
+
+}  // namespace sdcmd

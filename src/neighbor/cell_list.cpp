@@ -1,0 +1,109 @@
+#include "neighbor/cell_list.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/error.hpp"
+
+namespace sdcmd {
+
+CellList::CellList(const Box& box, double min_cell_size) : box_(box) {
+  SDCMD_REQUIRE(min_cell_size > 0.0, "cell size must be positive");
+  for (int d = 0; d < 3; ++d) {
+    if (box.periodic(d)) {
+      SDCMD_REQUIRE(box.length(d) >= 2.0 * min_cell_size,
+                    "periodic box dimension shorter than twice the "
+                    "interaction range; minimum image is invalid");
+    }
+    n_[d] = std::max(1, static_cast<int>(box.length(d) / min_cell_size));
+    cell_len_[d] = box.length(d) / n_[d];
+  }
+  build_stencils();
+}
+
+std::size_t CellList::flat_index(int ix, int iy, int iz) const {
+  return (static_cast<std::size_t>(ix) * n_[1] + iy) * n_[2] + iz;
+}
+
+std::size_t CellList::cell_of(const Vec3& r) const {
+  const Vec3 w = box_.wrap(r);
+  int idx[3];
+  for (int d = 0; d < 3; ++d) {
+    auto i = static_cast<int>((w[d] - box_.lo()[d]) / cell_len_[d]);
+    idx[d] = std::clamp(i, 0, n_[d] - 1);
+  }
+  return flat_index(idx[0], idx[1], idx[2]);
+}
+
+void CellList::build(std::span<const Vec3> positions) {
+  const std::size_t cells = cell_count();
+  std::vector<std::uint32_t> counts(cells, 0);
+  std::vector<std::uint32_t> cell_of_atom(positions.size());
+  for (std::size_t i = 0; i < positions.size(); ++i) {
+    const auto c = static_cast<std::uint32_t>(cell_of(positions[i]));
+    cell_of_atom[i] = c;
+    ++counts[c];
+  }
+
+  cell_start_.assign(cells + 1, 0);
+  for (std::size_t c = 0; c < cells; ++c) {
+    cell_start_[c + 1] = cell_start_[c] + counts[c];
+  }
+
+  cell_atoms_.resize(positions.size());
+  std::vector<std::uint32_t> cursor(cell_start_.begin(),
+                                    cell_start_.end() - 1);
+  for (std::size_t i = 0; i < positions.size(); ++i) {
+    cell_atoms_[cursor[cell_of_atom[i]]++] = static_cast<std::uint32_t>(i);
+  }
+}
+
+std::span<const std::uint32_t> CellList::atoms_in(std::size_t cell) const {
+  SDCMD_REQUIRE(cell < cell_count(), "cell index out of range");
+  const auto begin = cell_start_[cell];
+  const auto end = cell_start_[cell + 1];
+  return {cell_atoms_.data() + begin, cell_atoms_.data() + end};
+}
+
+const std::vector<std::size_t>& CellList::stencil(std::size_t cell) const {
+  SDCMD_REQUIRE(cell < cell_count(), "cell index out of range");
+  return stencils_[cell];
+}
+
+void CellList::build_stencils() {
+  stencils_.assign(cell_count(), {});
+  for (int ix = 0; ix < n_[0]; ++ix) {
+    for (int iy = 0; iy < n_[1]; ++iy) {
+      for (int iz = 0; iz < n_[2]; ++iz) {
+        auto& list = stencils_[flat_index(ix, iy, iz)];
+        for (int dx = -1; dx <= 1; ++dx) {
+          for (int dy = -1; dy <= 1; ++dy) {
+            for (int dz = -1; dz <= 1; ++dz) {
+              int jx = ix + dx, jy = iy + dy, jz = iz + dz;
+              bool valid = true;
+              int idx[3] = {jx, jy, jz};
+              for (int d = 0; d < 3; ++d) {
+                if (idx[d] < 0 || idx[d] >= n_[d]) {
+                  if (box_.periodic(d)) {
+                    idx[d] = (idx[d] + n_[d]) % n_[d];
+                  } else {
+                    valid = false;
+                    break;
+                  }
+                }
+              }
+              if (!valid) continue;
+              list.push_back(flat_index(idx[0], idx[1], idx[2]));
+            }
+          }
+        }
+        // Narrow periodic grids wrap several stencil offsets onto the same
+        // cell; deduplicate so pair enumeration never double-counts.
+        std::sort(list.begin(), list.end());
+        list.erase(std::unique(list.begin(), list.end()), list.end());
+      }
+    }
+  }
+}
+
+}  // namespace sdcmd

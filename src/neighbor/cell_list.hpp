@@ -1,0 +1,64 @@
+// Linked-cell binning of atoms into a uniform grid.
+//
+// The grid cell edge is >= the requested interaction range, so all pairs
+// within that range live in a cell and its 26 neighbors (fewer when the box
+// is narrow; the stencil deduplicates wrapped cells). This is the substrate
+// for Verlet-list construction and for the spatial atom reordering pass.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "common/vec3.hpp"
+#include "geom/box.hpp"
+
+namespace sdcmd {
+
+class CellList {
+ public:
+  /// Grid over `box` with cell edges >= `min_cell_size` in every dimension.
+  /// Periodic dimensions must span at least 2 * min_cell_size so the
+  /// minimum-image convention is valid for the interaction range.
+  CellList(const Box& box, double min_cell_size);
+
+  /// Bin atoms. Positions outside the box are wrapped for binning only.
+  void build(std::span<const Vec3> positions);
+
+  int nx() const { return n_[0]; }
+  int ny() const { return n_[1]; }
+  int nz() const { return n_[2]; }
+  std::size_t cell_count() const {
+    return static_cast<std::size_t>(n_[0]) * n_[1] * n_[2];
+  }
+
+  /// Flat index of the cell containing `r` (wrapped into the box first).
+  std::size_t cell_of(const Vec3& r) const;
+
+  /// Atoms in a cell, CSR-style.
+  std::span<const std::uint32_t> atoms_in(std::size_t cell) const;
+
+  /// Flat indices of the (deduplicated) <=27-cell stencil around `cell`,
+  /// including `cell` itself, honoring PBC wrapping.
+  const std::vector<std::size_t>& stencil(std::size_t cell) const;
+
+  std::size_t atom_count() const {
+    return cell_atoms_.empty() ? 0 : cell_atoms_.size();
+  }
+
+  const Box& box() const { return box_; }
+
+ private:
+  std::size_t flat_index(int ix, int iy, int iz) const;
+  void build_stencils();
+
+  Box box_;
+  std::array<int, 3> n_{1, 1, 1};
+  Vec3 cell_len_;
+  std::vector<std::uint32_t> cell_start_;   // size cells+1
+  std::vector<std::uint32_t> cell_atoms_;   // atom ids grouped by cell
+  std::vector<std::vector<std::size_t>> stencils_;  // per cell
+};
+
+}  // namespace sdcmd

@@ -1,0 +1,111 @@
+#include "neighbor/neighbor_list.hpp"
+
+#include <algorithm>
+
+#include "common/error.hpp"
+
+namespace sdcmd {
+
+NeighborList::NeighborList(const Box& box, NeighborListConfig config)
+    : box_(box),
+      config_(config),
+      cells_(box, config.cutoff + config.skin) {
+  SDCMD_REQUIRE(config.cutoff > 0.0, "cutoff must be positive");
+  SDCMD_REQUIRE(config.skin >= 0.0, "skin must be non-negative");
+}
+
+void NeighborList::build(std::span<const Vec3> positions) {
+  const std::size_t n = positions.size();
+  const double range = config_.cutoff + config_.skin;
+  const double range2 = range * range;
+
+  cells_.build(positions);
+
+  // Pass 1: count neighbors per atom so the CSR arrays are exact-sized.
+  neigh_len_.assign(n, 0);
+#pragma omp parallel for schedule(static)
+  for (std::size_t i = 0; i < n; ++i) {
+    const std::size_t ci = cells_.cell_of(positions[i]);
+    std::uint32_t count = 0;
+    for (std::size_t cj : cells_.stencil(ci)) {
+      for (std::uint32_t j : cells_.atoms_in(cj)) {
+        if (config_.mode == NeighborMode::Half ? (j <= i) : (j == i)) {
+          continue;
+        }
+        if (box_.distance2(positions[i], positions[j]) < range2) ++count;
+      }
+    }
+    neigh_len_[i] = count;
+  }
+
+  neigh_index_.assign(n + 1, 0);
+  for (std::size_t i = 0; i < n; ++i) {
+    neigh_index_[i + 1] = neigh_index_[i] + neigh_len_[i];
+  }
+  neigh_list_.resize(neigh_index_[n]);
+
+  // Pass 2: fill.
+#pragma omp parallel for schedule(static)
+  for (std::size_t i = 0; i < n; ++i) {
+    const std::size_t ci = cells_.cell_of(positions[i]);
+    std::size_t cursor = neigh_index_[i];
+    for (std::size_t cj : cells_.stencil(ci)) {
+      for (std::uint32_t j : cells_.atoms_in(cj)) {
+        if (config_.mode == NeighborMode::Half ? (j <= i) : (j == i)) {
+          continue;
+        }
+        if (box_.distance2(positions[i], positions[j]) < range2) {
+          neigh_list_[cursor++] = j;
+        }
+      }
+    }
+    if (config_.sort_neighbors) {
+      std::sort(neigh_list_.begin() + static_cast<std::ptrdiff_t>(
+                                          neigh_index_[i]),
+                neigh_list_.begin() + static_cast<std::ptrdiff_t>(cursor));
+    }
+  }
+
+  positions_at_build_.assign(positions.begin(), positions.end());
+}
+
+bool NeighborList::needs_rebuild(std::span<const Vec3> positions) const {
+  if (positions.size() != positions_at_build_.size()) return true;
+  const double limit = config_.skin * 0.5;
+  const double limit2 = limit * limit;
+  for (std::size_t i = 0; i < positions.size(); ++i) {
+    if (box_.distance2(positions[i], positions_at_build_[i]) > limit2) {
+      return true;
+    }
+  }
+  return false;
+}
+
+double NeighborList::mean_neighbors() const {
+  if (neigh_len_.empty()) return 0.0;
+  return static_cast<double>(neigh_list_.size()) /
+         static_cast<double>(neigh_len_.size());
+}
+
+std::size_t NeighborList::memory_bytes() const {
+  return neigh_index_.size() * sizeof(std::size_t) +
+         neigh_len_.size() * sizeof(std::uint32_t) +
+         neigh_list_.size() * sizeof(std::uint32_t) +
+         positions_at_build_.size() * sizeof(Vec3);
+}
+
+std::vector<std::pair<std::uint32_t, std::uint32_t>> brute_force_pairs(
+    const Box& box, std::span<const Vec3> positions, double cutoff) {
+  std::vector<std::pair<std::uint32_t, std::uint32_t>> pairs;
+  const double cut2 = cutoff * cutoff;
+  for (std::uint32_t i = 0; i < positions.size(); ++i) {
+    for (std::uint32_t j = i + 1; j < positions.size(); ++j) {
+      if (box.distance2(positions[i], positions[j]) < cut2) {
+        pairs.emplace_back(i, j);
+      }
+    }
+  }
+  return pairs;
+}
+
+}  // namespace sdcmd

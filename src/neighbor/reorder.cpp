@@ -1,0 +1,135 @@
+#include "neighbor/reorder.hpp"
+
+#include <algorithm>
+
+#include "common/error.hpp"
+#include "common/random.hpp"
+#include "neighbor/cell_list.hpp"
+
+namespace sdcmd {
+
+std::vector<std::uint32_t> spatial_sort_permutation(
+    const Box& box, std::span<const Vec3> positions, double cell_size) {
+  CellList cells(box, cell_size);
+  cells.build(positions);
+  std::vector<std::uint32_t> perm;
+  perm.reserve(positions.size());
+  for (std::size_t c = 0; c < cells.cell_count(); ++c) {
+    const auto atoms = cells.atoms_in(c);
+    perm.insert(perm.end(), atoms.begin(), atoms.end());
+  }
+  SDCMD_REQUIRE(perm.size() == positions.size(),
+                "cell sweep must visit every atom exactly once");
+  return perm;
+}
+
+namespace {
+
+/// Spread the low 21 bits of v so each lands 3 positions apart.
+std::uint64_t spread_bits_3(std::uint64_t v) {
+  v &= 0x1fffff;  // 21 bits
+  v = (v | (v << 32)) & 0x1f00000000ffffULL;
+  v = (v | (v << 16)) & 0x1f0000ff0000ffULL;
+  v = (v | (v << 8)) & 0x100f00f00f00f00fULL;
+  v = (v | (v << 4)) & 0x10c30c30c30c30c3ULL;
+  v = (v | (v << 2)) & 0x1249249249249249ULL;
+  return v;
+}
+
+}  // namespace
+
+std::uint64_t morton_encode(std::uint32_t x, std::uint32_t y,
+                            std::uint32_t z) {
+  return spread_bits_3(x) | (spread_bits_3(y) << 1) |
+         (spread_bits_3(z) << 2);
+}
+
+std::vector<std::uint32_t> morton_sort_permutation(
+    const Box& box, std::span<const Vec3> positions, double cell_size) {
+  SDCMD_REQUIRE(cell_size > 0.0, "cell size must be positive");
+  // Cell coordinates per atom (same grid shape the cell list would use).
+  int n[3];
+  double len[3];
+  for (int d = 0; d < 3; ++d) {
+    n[d] = std::max(1, static_cast<int>(box.length(d) / cell_size));
+    len[d] = box.length(d) / n[d];
+  }
+  std::vector<std::pair<std::uint64_t, std::uint32_t>> keyed(
+      positions.size());
+  for (std::size_t i = 0; i < positions.size(); ++i) {
+    const Vec3 w = box.wrap(positions[i]);
+    std::uint32_t c[3];
+    for (int d = 0; d < 3; ++d) {
+      auto idx = static_cast<int>((w[d] - box.lo()[d]) / len[d]);
+      c[d] = static_cast<std::uint32_t>(std::clamp(idx, 0, n[d] - 1));
+    }
+    keyed[i] = {morton_encode(c[0], c[1], c[2]),
+                static_cast<std::uint32_t>(i)};
+  }
+  std::sort(keyed.begin(), keyed.end());
+  std::vector<std::uint32_t> perm(positions.size());
+  for (std::size_t i = 0; i < keyed.size(); ++i) {
+    perm[i] = keyed[i].second;
+  }
+  return perm;
+}
+
+std::vector<std::uint32_t> inverse_permutation(
+    std::span<const std::uint32_t> perm) {
+  std::vector<std::uint32_t> inv(perm.size());
+  for (std::uint32_t i = 0; i < perm.size(); ++i) {
+    inv[perm[i]] = i;
+  }
+  return inv;
+}
+
+void sort_neighbor_sublists(std::vector<std::size_t> const& neigh_index,
+                            std::vector<std::uint32_t>& neigh_list) {
+  SDCMD_REQUIRE(!neigh_index.empty(), "CSR index array missing sentinel");
+  for (std::size_t i = 0; i + 1 < neigh_index.size(); ++i) {
+    std::sort(
+        neigh_list.begin() + static_cast<std::ptrdiff_t>(neigh_index[i]),
+        neigh_list.begin() + static_cast<std::ptrdiff_t>(neigh_index[i + 1]));
+  }
+}
+
+FragmentedNeighborList::FragmentedNeighborList(const NeighborList& packed,
+                                               std::uint64_t scatter_seed) {
+  const std::size_t n = packed.atom_count();
+  blocks_.resize(n);
+  meta_.resize(n);
+  meta_slot_.resize(n);
+
+  // Scatter the metadata slots with a Fisher-Yates shuffle so that
+  // consecutive atoms read metadata from unrelated cache lines.
+  std::vector<std::uint32_t> slots(n);
+  for (std::uint32_t i = 0; i < n; ++i) slots[i] = i;
+  Xoshiro256 rng(scatter_seed);
+  for (std::size_t i = n; i > 1; --i) {
+    std::swap(slots[i - 1], slots[rng.below(i)]);
+  }
+
+  for (std::size_t i = 0; i < n; ++i) {
+    const auto nbrs = packed.neighbors(i);
+    auto block = std::make_unique<std::uint32_t[]>(std::max<std::size_t>(
+        nbrs.size(), 1));
+    std::copy(nbrs.begin(), nbrs.end(), block.get());
+    blocks_[i] = std::move(block);
+    meta_slot_[i] = slots[i];
+    meta_[slots[i]] = {static_cast<std::uint32_t>(i),
+                       static_cast<std::uint32_t>(nbrs.size())};
+  }
+}
+
+std::size_t FragmentedNeighborList::memory_bytes() const {
+  std::size_t bytes = meta_.size() * sizeof(Meta) +
+                      meta_slot_.size() * sizeof(std::uint32_t) +
+                      blocks_.size() * sizeof(void*);
+  for (std::size_t i = 0; i < blocks_.size(); ++i) {
+    bytes += std::max<std::size_t>(meta_[meta_slot_[i]].len, 1) *
+             sizeof(std::uint32_t);
+  }
+  return bytes;
+}
+
+}  // namespace sdcmd

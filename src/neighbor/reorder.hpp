@@ -1,0 +1,97 @@
+// Data-reordering optimizations (the paper's Section II.D).
+//
+// Three pieces, matching the paper:
+//  1. Spatially sort atoms (cell-major order) so that loop-adjacent atoms
+//     are memory-adjacent -> sequential access on rho[] / force[].
+//  2. Sort each atom's neighbor sublist ascending (NeighborListConfig
+//     ::sort_neighbors does this during the build; `sort_neighbor_sublists`
+//     retrofits an existing list) -> quasi-sequential gathers on rho[j].
+//  3. Keep neighbor metadata (neighindex/neighlen) as dense, regular arrays.
+//     The paper contrasts this with irregular storage; FragmentedNeighborList
+//     reproduces the *unoptimized* per-atom-allocation layout so the
+//     bench_reorder harness can measure the difference.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <numeric>
+#include <span>
+#include <vector>
+
+#include "common/vec3.hpp"
+#include "geom/box.hpp"
+#include "neighbor/neighbor_list.hpp"
+
+namespace sdcmd {
+
+/// Permutation `perm` such that visiting atoms in order perm[0], perm[1],...
+/// walks the cell grid cell by cell. Applying it (new_index -> old_index)
+/// gives the paper's "sequence accessing on irregular array" layout.
+std::vector<std::uint32_t> spatial_sort_permutation(
+    const Box& box, std::span<const Vec3> positions, double cell_size);
+
+/// Alternative ordering: sort atoms along a Morton (Z-order) space-filling
+/// curve over the cell grid. Z-order keeps 3-D-adjacent cells closer in
+/// memory than the row-major cell sweep, at the cost of a slightly more
+/// expensive sort; bench_ablation can compare the two.
+std::vector<std::uint32_t> morton_sort_permutation(
+    const Box& box, std::span<const Vec3> positions, double cell_size);
+
+/// Interleave the low 21 bits of three coordinates into a 63-bit Morton
+/// code (exposed for tests).
+std::uint64_t morton_encode(std::uint32_t x, std::uint32_t y,
+                            std::uint32_t z);
+
+/// Reorder `values` so new[i] = old[perm[i]].
+template <typename T>
+std::vector<T> apply_permutation(const std::vector<T>& values,
+                                 std::span<const std::uint32_t> perm) {
+  std::vector<T> out;
+  out.reserve(values.size());
+  for (std::uint32_t old_index : perm) {
+    out.push_back(values[old_index]);
+  }
+  return out;
+}
+
+/// Inverse permutation: inv[perm[i]] = i.
+std::vector<std::uint32_t> inverse_permutation(
+    std::span<const std::uint32_t> perm);
+
+/// Sort each atom's neighbor sublist ascending, in place.
+void sort_neighbor_sublists(std::vector<std::size_t> const& neigh_index,
+                            std::vector<std::uint32_t>& neigh_list);
+
+/// Deliberately cache-hostile neighbor storage: each atom's sublist is a
+/// separately heap-allocated block reached through a pointer array, and the
+/// per-atom metadata lives in an index-scattered table. This models the
+/// pre-optimization XMD layout the paper improved on; only the reordering
+/// bench uses it.
+class FragmentedNeighborList {
+ public:
+  /// Copy an existing packed list into fragmented storage. `scatter_seed`
+  /// shuffles the metadata table so metadata lookups stride irregularly.
+  FragmentedNeighborList(const NeighborList& packed,
+                         std::uint64_t scatter_seed = 0x5eed);
+
+  std::size_t atom_count() const { return blocks_.size(); }
+
+  std::span<const std::uint32_t> neighbors(std::size_t i) const {
+    const Meta& m = meta_[meta_slot_[i]];
+    return {blocks_[m.block].get(), m.len};
+  }
+
+  /// Total heap bytes, for the memory comparison table.
+  std::size_t memory_bytes() const;
+
+ private:
+  struct Meta {
+    std::uint32_t block;
+    std::uint32_t len;
+  };
+  std::vector<std::unique_ptr<std::uint32_t[]>> blocks_;
+  std::vector<Meta> meta_;
+  std::vector<std::uint32_t> meta_slot_;  // atom -> scattered meta index
+};
+
+}  // namespace sdcmd

@@ -1,0 +1,99 @@
+#include "potential/alloy.hpp"
+
+#include <algorithm>
+
+#include "common/error.hpp"
+
+namespace sdcmd {
+
+SingleSpeciesAlloy::SingleSpeciesAlloy(const EamPotential& inner,
+                                       double mass, std::string species)
+    : inner_(inner), mass_(mass), species_(std::move(species)) {
+  SDCMD_REQUIRE(mass > 0.0, "mass must be positive");
+}
+
+JohnsonMixedAlloy::JohnsonMixedAlloy(std::vector<Element> elements)
+    : elements_(std::move(elements)), cutoff_(0.0) {
+  SDCMD_REQUIRE(!elements_.empty(), "alloy needs at least one element");
+  for (const auto& e : elements_) {
+    SDCMD_REQUIRE(e.potential != nullptr, "null element potential");
+    SDCMD_REQUIRE(e.mass > 0.0, "element mass must be positive");
+    cutoff_ = std::max(cutoff_, e.potential->cutoff());
+  }
+}
+
+void JohnsonMixedAlloy::pair(int a, int b, double r, double& energy,
+                             double& dvdr) const {
+  // Canonical species order: bitwise-identical results for (a,b) and (b,a).
+  if (a > b) std::swap(a, b);
+  const EamPotential& pa = *elements_[static_cast<std::size_t>(a)].potential;
+  const EamPotential& pb = *elements_[static_cast<std::size_t>(b)].potential;
+  if (a == b) {
+    pa.pair(r, energy, dvdr);
+    return;
+  }
+
+  double vaa = 0.0, dvaa = 0.0, vbb = 0.0, dvbb = 0.0;
+  double fa = 0.0, dfa = 0.0, fb = 0.0, dfb = 0.0;
+  pa.pair(r, vaa, dvaa);
+  pb.pair(r, vbb, dvbb);
+  pa.density(r, fa, dfa);
+  pb.density(r, fb, dfb);
+
+  // Some analytic densities (Finnis-Sinclair's cubic-corrected form) turn
+  // negative at unphysically small separations; the ratio mixing is
+  // meaningless there. Fall back to the plain arithmetic mean - no pair
+  // ever sits at such r in a healthy simulation, but tabulation sweeps the
+  // whole radial grid and must get finite numbers.
+  if (fa <= 0.0 || fb <= 0.0) {
+    energy = 0.5 * (vaa + vbb);
+    dvdr = 0.5 * (dvaa + dvbb);
+    return;
+  }
+
+  // Johnson mixing: V_ab = 1/2 (phi_b/phi_a V_aa + phi_a/phi_b V_bb).
+  // Each term is included only where its same-species V is nonzero (there
+  // the matching density is positive for the potentials shipped here).
+  energy = 0.0;
+  dvdr = 0.0;
+  if (vaa != 0.0) {
+    const double ratio = fb / fa;
+    const double dratio = (dfb * fa - fb * dfa) / (fa * fa);
+    energy += 0.5 * ratio * vaa;
+    dvdr += 0.5 * (dratio * vaa + ratio * dvaa);
+  }
+  if (vbb != 0.0) {
+    const double ratio = fa / fb;
+    const double dratio = (dfa * fb - fa * dfb) / (fb * fb);
+    energy += 0.5 * ratio * vbb;
+    dvdr += 0.5 * (dratio * vbb + ratio * dvbb);
+  }
+}
+
+void JohnsonMixedAlloy::density(int b, double r, double& phi,
+                                double& dphidr) const {
+  elements_[static_cast<std::size_t>(b)].potential->density(r, phi, dphidr);
+}
+
+void JohnsonMixedAlloy::embed(int a, double rho, double& f,
+                              double& dfdrho) const {
+  elements_[static_cast<std::size_t>(a)].potential->embed(rho, f, dfdrho);
+}
+
+double JohnsonMixedAlloy::mass(int a) const {
+  return elements_[static_cast<std::size_t>(a)].mass;
+}
+
+std::string JohnsonMixedAlloy::species_name(int a) const {
+  return elements_[static_cast<std::size_t>(a)].name;
+}
+
+std::string JohnsonMixedAlloy::name() const {
+  std::string out = "johnson-mixed";
+  for (const auto& e : elements_) {
+    out += "-" + e.name;
+  }
+  return out;
+}
+
+}  // namespace sdcmd

@@ -1,0 +1,115 @@
+// Multi-species (alloy) EAM.
+//
+// The standard eam/alloy energy model:
+//   E = sum_i F_{t_i}(rho_i) + 1/2 sum_{i!=j} V_{t_i t_j}(r_ij)
+//   rho_i = sum_{j!=i} phi_{t_j}(r_ij)
+// where t_i is atom i's species: the density an atom *donates* depends on
+// its own species, the embedding on the host's species, and the pair term
+// on both. The pair force picks up the asymmetric cross terms
+//   dE/dr_ij = V'_{ab}(r) + F'_a(rho_i) phi'_b(r) + F'_b(rho_j) phi'_a(r).
+//
+// Two implementations:
+//  * JohnsonMixedAlloy  - combine single-element EamPotentials with
+//    Johnson's cross-pair mixing rule (J. Phys.: Condens. Matter 1989):
+//      V_ab(r) = 1/2 [ phi_b/phi_a V_aa + phi_a/phi_b V_bb ].
+//  * TabulatedAlloyEam  - spline tables from a multi-element setfl file
+//    (potential/setfl_alloy.hpp).
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "potential/potential.hpp"
+
+namespace sdcmd {
+
+class AlloyEamPotential {
+ public:
+  virtual ~AlloyEamPotential() = default;
+
+  virtual int species_count() const = 0;
+
+  /// Range covering every pair and density function.
+  virtual double cutoff() const = 0;
+
+  /// Pair term V_{ab}(r) and dV/dr (symmetric in a, b).
+  virtual void pair(int a, int b, double r, double& energy,
+                    double& dvdr) const = 0;
+
+  /// Density contribution phi_b(r) donated BY an atom of species b.
+  virtual void density(int b, double r, double& phi,
+                       double& dphidr) const = 0;
+
+  /// Embedding F_a(rho) for a host atom of species a.
+  virtual void embed(int a, double rho, double& f, double& dfdrho) const = 0;
+
+  /// Species mass in amu (for integrators) and label (for dumps).
+  virtual double mass(int a) const = 0;
+  virtual std::string species_name(int a) const = 0;
+
+  virtual std::string name() const = 0;
+};
+
+/// Adapt a single-species EamPotential to the alloy interface (species 0
+/// only). Lets the alloy force kernels be validated against the
+/// single-species engine.
+class SingleSpeciesAlloy final : public AlloyEamPotential {
+ public:
+  SingleSpeciesAlloy(const EamPotential& inner, double mass,
+                     std::string species = "X");
+
+  int species_count() const override { return 1; }
+  double cutoff() const override { return inner_.cutoff(); }
+  void pair(int, int, double r, double& e, double& d) const override {
+    inner_.pair(r, e, d);
+  }
+  void density(int, double r, double& p, double& d) const override {
+    inner_.density(r, p, d);
+  }
+  void embed(int, double rho, double& f, double& d) const override {
+    inner_.embed(rho, f, d);
+  }
+  double mass(int) const override { return mass_; }
+  std::string species_name(int) const override { return species_; }
+  std::string name() const override { return "alloy-" + inner_.name(); }
+
+ private:
+  const EamPotential& inner_;
+  double mass_;
+  std::string species_;
+};
+
+/// Johnson-mixed binary (or n-ary) alloy from single-element potentials.
+/// Cross pairs use V_ab = 1/2 (phi_b/phi_a V_aa + phi_a/phi_b V_bb); each
+/// term is included only where its same-species pair function is nonzero
+/// (there the corresponding density is positive too, so the ratio is
+/// well-defined for the potentials shipped here).
+class JohnsonMixedAlloy final : public AlloyEamPotential {
+ public:
+  struct Element {
+    const EamPotential* potential;  ///< non-owning; must outlive the alloy
+    double mass;
+    std::string name;
+  };
+
+  explicit JohnsonMixedAlloy(std::vector<Element> elements);
+
+  int species_count() const override {
+    return static_cast<int>(elements_.size());
+  }
+  double cutoff() const override { return cutoff_; }
+  void pair(int a, int b, double r, double& energy,
+            double& dvdr) const override;
+  void density(int b, double r, double& phi, double& dphidr) const override;
+  void embed(int a, double rho, double& f, double& dfdrho) const override;
+  double mass(int a) const override;
+  std::string species_name(int a) const override;
+  std::string name() const override;
+
+ private:
+  std::vector<Element> elements_;
+  double cutoff_;
+};
+
+}  // namespace sdcmd

@@ -1,0 +1,81 @@
+#include "potential/finnis_sinclair.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/error.hpp"
+
+namespace sdcmd {
+
+FinnisSinclairParams FinnisSinclairParams::iron() {
+  // Finnis & Sinclair, Philos. Mag. A 50, 45 (1984), Table 1, alpha-Fe.
+  FinnisSinclairParams p;
+  p.c = 3.40;
+  p.c0 = 1.2371147;
+  p.c1 = -0.3592185;
+  p.c2 = -0.0385607;
+  p.d = 3.569745;
+  p.beta = 1.8289905;
+  p.a = 1.8289905;
+  p.label = "fe";
+  return p;
+}
+
+FinnisSinclairParams FinnisSinclairParams::test_metal() {
+  FinnisSinclairParams p;
+  p.c = 2.2;
+  p.c0 = 1.0;
+  p.c1 = -0.2;
+  p.c2 = -0.01;
+  p.d = 2.4;
+  p.beta = 0.5;
+  p.a = 1.0;
+  p.label = "test";
+  return p;
+}
+
+FinnisSinclair::FinnisSinclair(FinnisSinclairParams params)
+    : p_(std::move(params)), cutoff_(std::max(p_.c, p_.d)) {
+  SDCMD_REQUIRE(p_.c > 0.0 && p_.d > 0.0, "cutoffs must be positive");
+  SDCMD_REQUIRE(p_.a > 0.0, "embedding amplitude must be positive");
+}
+
+void FinnisSinclair::pair(double r, double& energy, double& dvdr) const {
+  if (r >= p_.c) {
+    energy = 0.0;
+    dvdr = 0.0;
+    return;
+  }
+  const double t = r - p_.c;
+  const double poly = p_.c0 + r * (p_.c1 + r * p_.c2);
+  const double dpoly = p_.c1 + 2.0 * p_.c2 * r;
+  energy = t * t * poly;
+  dvdr = 2.0 * t * poly + t * t * dpoly;
+}
+
+void FinnisSinclair::density(double r, double& phi, double& dphidr) const {
+  if (r >= p_.d) {
+    phi = 0.0;
+    dphidr = 0.0;
+    return;
+  }
+  const double t = r - p_.d;
+  phi = t * t + p_.beta * t * t * t / p_.d;
+  dphidr = 2.0 * t + 3.0 * p_.beta * t * t / p_.d;
+}
+
+void FinnisSinclair::embed(double rho, double& f, double& dfdrho) const {
+  if (rho <= 0.0) {
+    // Isolated atom: F(0) = 0; clamp the square-root singularity in the
+    // derivative so integrators never see NaN when an atom drifts out of
+    // range of every neighbor.
+    f = 0.0;
+    dfdrho = 0.0;
+    return;
+  }
+  const double s = std::sqrt(rho);
+  f = -p_.a * s;
+  dfdrho = -0.5 * p_.a / s;
+}
+
+}  // namespace sdcmd

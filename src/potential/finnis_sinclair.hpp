@@ -1,0 +1,57 @@
+// Finnis-Sinclair-type analytic EAM for bcc transition metals.
+//
+// The paper's workload is bcc iron with an EAM potential (XMD's Fe tables).
+// We use the classic Finnis-Sinclair functional forms (Philos. Mag. A 50,
+// 45 (1984)), which are the canonical analytic EAM for bcc Fe:
+//
+//   pair      V(r)   = (r - c)^2 (c0 + c1 r + c2 r^2)      for r < c
+//   density   phi(r) = (r - d)^2 + beta (r - d)^3 / d      for r < d
+//   embedding F(rho) = -A sqrt(rho)
+//
+// Both radial functions and their first derivatives vanish at their cutoffs,
+// so forces are continuous without extra smoothing. The parallelization
+// study only depends on the cutoff structure and neighbor counts, not on
+// chemical accuracy; physics invariants (Newton's third law, energy
+// conservation, force = -grad E) are enforced by the test suite.
+#pragma once
+
+#include "potential/potential.hpp"
+
+namespace sdcmd {
+
+struct FinnisSinclairParams {
+  double c;     ///< pair cutoff (angstrom)
+  double c0;    ///< pair polynomial coefficients (eV / A^2, eV / A^3, ...)
+  double c1;
+  double c2;
+  double d;     ///< density cutoff (angstrom)
+  double beta;  ///< cubic density correction (dimensionless)
+  double a;     ///< embedding amplitude A (eV)
+  std::string label;
+
+  /// Finnis & Sinclair's 1984 parameterization for alpha-iron.
+  static FinnisSinclairParams iron();
+
+  /// A softer, shorter-ranged parameter set used by tests that want small
+  /// neighbor lists; not fitted to any element.
+  static FinnisSinclairParams test_metal();
+};
+
+class FinnisSinclair final : public EamPotential {
+ public:
+  explicit FinnisSinclair(FinnisSinclairParams params);
+
+  double cutoff() const override { return cutoff_; }
+  void pair(double r, double& energy, double& dvdr) const override;
+  void density(double r, double& phi, double& dphidr) const override;
+  void embed(double rho, double& f, double& dfdrho) const override;
+  std::string name() const override { return "finnis-sinclair-" + p_.label; }
+
+  const FinnisSinclairParams& params() const { return p_; }
+
+ private:
+  FinnisSinclairParams p_;
+  double cutoff_;
+};
+
+}  // namespace sdcmd

@@ -1,0 +1,124 @@
+#include "potential/funcfl.hpp"
+
+#include <cmath>
+#include <fstream>
+#include <iomanip>
+
+#include "common/error.hpp"
+
+namespace sdcmd {
+
+namespace {
+
+// hartree (eV) * bohr (A): the DYNAMO Z(r) -> V(r) conversion constant.
+constexpr double kZ2ToEvA = 27.2 * 0.529;
+
+double next_double(std::istream& in, const char* what) {
+  double v;
+  if (!(in >> v)) {
+    throw ParseError(std::string("funcfl: expected a number for ") + what);
+  }
+  return v;
+}
+
+long next_long(std::istream& in, const char* what) {
+  long v;
+  if (!(in >> v)) {
+    throw ParseError(std::string("funcfl: expected an integer for ") + what);
+  }
+  return v;
+}
+
+void read_block(std::istream& in, std::vector<double>& out, std::size_t n,
+                const char* what) {
+  out.resize(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    out[i] = next_double(in, what);
+  }
+}
+
+}  // namespace
+
+EamTables read_funcfl(std::istream& in) {
+  std::string comment;
+  if (!std::getline(in, comment)) {
+    throw ParseError("funcfl: missing comment line");
+  }
+
+  EamTables t;
+  t.atomic_number = static_cast<int>(next_long(in, "atomic number"));
+  t.mass = next_double(in, "mass");
+  t.lattice_constant = next_double(in, "lattice constant");
+  if (!(in >> t.structure)) {
+    throw ParseError("funcfl: missing structure tag");
+  }
+  t.label = "funcfl-Z" + std::to_string(t.atomic_number);
+
+  const long nrho = next_long(in, "nrho");
+  t.drho = next_double(in, "drho");
+  const long nr = next_long(in, "nr");
+  t.dr = next_double(in, "dr");
+  t.cutoff = next_double(in, "cutoff");
+  if (nrho < 2 || nr < 2 || t.drho <= 0.0 || t.dr <= 0.0 ||
+      t.cutoff <= 0.0) {
+    throw ParseError("funcfl: bad grid header");
+  }
+
+  read_block(in, t.embed, static_cast<std::size_t>(nrho), "F(rho)");
+
+  std::vector<double> z;
+  read_block(in, z, static_cast<std::size_t>(nr), "Z(r)");
+  t.pair.resize(z.size());
+  for (std::size_t i = 1; i < z.size(); ++i) {
+    const double r = t.dr * static_cast<double>(i);
+    t.pair[i] = kZ2ToEvA * z[i] * z[i] / r;
+  }
+  t.pair[0] = t.pair.size() > 2 ? 2.0 * t.pair[1] - t.pair[2] : t.pair[1];
+
+  read_block(in, t.density, static_cast<std::size_t>(nr), "rho(r)");
+  return t;
+}
+
+EamTables read_funcfl_file(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) {
+    throw ParseError("funcfl: cannot open '" + path + "'");
+  }
+  return read_funcfl(in);
+}
+
+void write_funcfl(std::ostream& out, const EamTables& t,
+                  const std::string& comment) {
+  SDCMD_REQUIRE(t.pair.size() == t.density.size(),
+                "pair and density tables must share the radial grid");
+  out << comment << '\n';
+  out << t.atomic_number << ' ' << std::setprecision(17) << t.mass << ' '
+      << t.lattice_constant << ' ' << t.structure << '\n';
+  out << t.embed.size() << ' ' << t.drho << ' ' << t.pair.size() << ' '
+      << t.dr << ' ' << t.cutoff << '\n';
+
+  auto write_block = [&out](const std::vector<double>& xs) {
+    constexpr std::size_t kPerLine = 5;
+    for (std::size_t i = 0; i < xs.size(); ++i) {
+      out << std::setprecision(17) << xs[i];
+      out << ((i % kPerLine == kPerLine - 1 || i + 1 == xs.size()) ? '\n'
+                                                                   : ' ');
+    }
+  };
+
+  write_block(t.embed);
+
+  std::vector<double> z(t.pair.size(), 0.0);
+  for (std::size_t i = 1; i < t.pair.size(); ++i) {
+    const double r = t.dr * static_cast<double>(i);
+    const double z2 = t.pair[i] * r / kZ2ToEvA;
+    SDCMD_REQUIRE(z2 >= 0.0,
+                  "funcfl stores Z(r)^2/r pair terms; negative V cannot be "
+                  "represented");
+    z[i] = std::sqrt(z2);
+  }
+  write_block(z);
+  write_block(t.density);
+}
+
+}  // namespace sdcmd

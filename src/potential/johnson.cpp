@@ -1,0 +1,80 @@
+#include "potential/johnson.hpp"
+
+#include <cmath>
+
+#include "common/error.hpp"
+
+namespace sdcmd {
+
+JohnsonEam::JohnsonEam(JohnsonParams params) : p_(std::move(params)) {
+  SDCMD_REQUIRE(p_.cutoff > 0.0, "cutoff must be positive");
+  SDCMD_REQUIRE(p_.taper_width > 0.0 && p_.taper_width < p_.cutoff,
+                "taper width must lie inside the cutoff");
+  SDCMD_REQUIRE(p_.r0 > 0.0, "r0 must be positive");
+  SDCMD_REQUIRE(p_.rho0 > 0.0, "rho0 must be positive");
+  SDCMD_REQUIRE(p_.n > 0.0, "embedding exponent must be positive");
+}
+
+void JohnsonEam::taper(double r, double& t, double& dtdr) const {
+  const double start = p_.cutoff - p_.taper_width;
+  if (r <= start) {
+    t = 1.0;
+    dtdr = 0.0;
+    return;
+  }
+  if (r >= p_.cutoff) {
+    t = 0.0;
+    dtdr = 0.0;
+    return;
+  }
+  // x runs 0 -> 1 over the taper window; quintic smoothstep has zero first
+  // and second derivative at both ends, so forces stay smooth.
+  const double x = (r - start) / p_.taper_width;
+  const double s = x * x * x * (x * (15.0 - 6.0 * x) - 10.0);  // -smoothstep
+  t = 1.0 + s;
+  dtdr = x * x * (x * (60.0 - 30.0 * x) - 30.0) / p_.taper_width;
+}
+
+void JohnsonEam::pair(double r, double& energy, double& dvdr) const {
+  if (r >= p_.cutoff) {
+    energy = 0.0;
+    dvdr = 0.0;
+    return;
+  }
+  const double e = p_.a * std::exp(-p_.gamma * (r / p_.r0 - 1.0));
+  const double dedr = -p_.gamma / p_.r0 * e;
+  double t, dtdr;
+  taper(r, t, dtdr);
+  energy = e * t;
+  dvdr = dedr * t + e * dtdr;
+}
+
+void JohnsonEam::density(double r, double& phi, double& dphidr) const {
+  if (r >= p_.cutoff) {
+    phi = 0.0;
+    dphidr = 0.0;
+    return;
+  }
+  const double e = p_.fe * std::exp(-p_.chi * (r / p_.r0 - 1.0));
+  const double dedr = -p_.chi / p_.r0 * e;
+  double t, dtdr;
+  taper(r, t, dtdr);
+  phi = e * t;
+  dphidr = dedr * t + e * dtdr;
+}
+
+void JohnsonEam::embed(double rho, double& f, double& dfdrho) const {
+  if (rho <= 0.0) {
+    f = 0.0;
+    dfdrho = 0.0;
+    return;
+  }
+  const double x = rho / p_.rho0;
+  const double xn = std::pow(x, p_.n);
+  const double lnx = std::log(x);
+  f = -p_.ec * (1.0 - p_.n * lnx) * xn;
+  // dF/drho = -Ec * n/rho * xn * (-n * lnx) = Ec n^2 lnx xn / rho
+  dfdrho = p_.ec * p_.n * p_.n * lnx * xn / rho;
+}
+
+}  // namespace sdcmd

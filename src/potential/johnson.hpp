@@ -1,0 +1,56 @@
+// Johnson-style analytic nearest-neighbor EAM with exponential radial
+// functions and a smooth cutoff taper.
+//
+// Included as a second, structurally different analytic EAM so the tabulated
+// / setfl machinery and the force kernels are exercised against more than
+// one functional family:
+//
+//   pair      V(r)   = A exp(-gamma (r/r0 - 1)) * taper(r)
+//   density   phi(r) = fe exp(-chi  (r/r0 - 1)) * taper(r)
+//   embedding F(rho) = -Ec [1 - n ln(rho/rho0)] (rho/rho0)^n
+//
+// taper(r) smoothly takes both radial functions (and their derivatives) to
+// zero at the cutoff over a window of width `taper_width`.
+#pragma once
+
+#include "potential/potential.hpp"
+
+namespace sdcmd {
+
+struct JohnsonParams {
+  double a = 0.48;          ///< pair amplitude (eV)
+  double gamma = 8.0;       ///< pair decay
+  double fe = 1.0;          ///< density amplitude
+  double chi = 5.0;         ///< density decay
+  double r0 = 2.556;        ///< nearest-neighbor distance (fcc Cu-like)
+  double ec = 3.54;         ///< cohesive scale (eV)
+  double n = 0.5;           ///< embedding exponent
+  double rho0 = 12.0;       ///< equilibrium host density
+  double cutoff = 4.95;     ///< interaction range
+  double taper_width = 0.5; ///< cutoff smoothing window
+  std::string label = "cu";
+
+  /// Copper-like default parameter set.
+  static JohnsonParams copper() { return {}; }
+};
+
+class JohnsonEam final : public EamPotential {
+ public:
+  explicit JohnsonEam(JohnsonParams params);
+
+  double cutoff() const override { return p_.cutoff; }
+  void pair(double r, double& energy, double& dvdr) const override;
+  void density(double r, double& phi, double& dphidr) const override;
+  void embed(double rho, double& f, double& dfdrho) const override;
+  std::string name() const override { return "johnson-" + p_.label; }
+
+  const JohnsonParams& params() const { return p_; }
+
+ private:
+  /// Quintic-smoothstep taper value and derivative at r.
+  void taper(double r, double& t, double& dtdr) const;
+
+  JohnsonParams p_;
+};
+
+}  // namespace sdcmd

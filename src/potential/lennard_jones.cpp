@@ -1,0 +1,29 @@
+#include "potential/lennard_jones.hpp"
+
+#include "common/error.hpp"
+
+namespace sdcmd {
+
+LennardJones::LennardJones(double epsilon, double sigma, double cutoff,
+                           bool shift)
+    : epsilon_(epsilon), sigma_(sigma), cutoff_(cutoff), shift_(0.0) {
+  SDCMD_REQUIRE(epsilon > 0.0, "epsilon must be positive");
+  SDCMD_REQUIRE(sigma > 0.0, "sigma must be positive");
+  SDCMD_REQUIRE(cutoff > 0.0, "cutoff must be positive");
+  if (shift) {
+    const double sr2 = sigma_ * sigma_ / (cutoff_ * cutoff_);
+    const double sr6 = sr2 * sr2 * sr2;
+    shift_ = 4.0 * epsilon_ * (sr6 * sr6 - sr6);
+  }
+}
+
+void LennardJones::evaluate(double r, double& energy, double& dvdr) const {
+  const double inv_r = 1.0 / r;
+  const double sr2 = sigma_ * sigma_ * inv_r * inv_r;
+  const double sr6 = sr2 * sr2 * sr2;
+  const double sr12 = sr6 * sr6;
+  energy = 4.0 * epsilon_ * (sr12 - sr6) - shift_;
+  dvdr = 4.0 * epsilon_ * (-12.0 * sr12 + 6.0 * sr6) * inv_r;
+}
+
+}  // namespace sdcmd

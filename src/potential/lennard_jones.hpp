@@ -1,0 +1,33 @@
+// Truncated (optionally shifted) Lennard-Jones 12-6 pair potential.
+//
+// Serves as the paper's "pair-wise potential" baseline: the bench
+// bench_eam_vs_pair uses it to reproduce the Section I claim that EAM costs
+// roughly twice the pair-potential workload.
+#pragma once
+
+#include "potential/potential.hpp"
+
+namespace sdcmd {
+
+class LennardJones final : public PairPotential {
+ public:
+  /// V(r) = 4 eps [ (sigma/r)^12 - (sigma/r)^6 ]  for r <= rc.
+  /// When `shift` is true the potential is shifted so V(rc) = 0 (continuous
+  /// energy at the cutoff; the force retains the usual truncation jump).
+  LennardJones(double epsilon, double sigma, double cutoff, bool shift = true);
+
+  double cutoff() const override { return cutoff_; }
+  void evaluate(double r, double& energy, double& dvdr) const override;
+  std::string name() const override { return "lennard-jones"; }
+
+  double epsilon() const { return epsilon_; }
+  double sigma() const { return sigma_; }
+
+ private:
+  double epsilon_;
+  double sigma_;
+  double cutoff_;
+  double shift_;
+};
+
+}  // namespace sdcmd

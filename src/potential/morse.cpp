@@ -1,0 +1,24 @@
+#include "potential/morse.hpp"
+
+#include <cmath>
+
+#include "common/error.hpp"
+
+namespace sdcmd {
+
+Morse::Morse(double d, double alpha, double r0, double cutoff)
+    : d_(d), alpha_(alpha), r0_(r0), cutoff_(cutoff), shift_(0.0) {
+  SDCMD_REQUIRE(d > 0.0, "well depth must be positive");
+  SDCMD_REQUIRE(alpha > 0.0, "alpha must be positive");
+  SDCMD_REQUIRE(cutoff > r0, "cutoff must exceed the equilibrium distance");
+  const double e = std::exp(-alpha_ * (cutoff_ - r0_));
+  shift_ = d_ * (e * e - 2.0 * e);
+}
+
+void Morse::evaluate(double r, double& energy, double& dvdr) const {
+  const double e = std::exp(-alpha_ * (r - r0_));
+  energy = d_ * (e * e - 2.0 * e) - shift_;
+  dvdr = -2.0 * alpha_ * d_ * (e * e - e);
+}
+
+}  // namespace sdcmd

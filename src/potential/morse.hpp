@@ -1,0 +1,25 @@
+// Morse pair potential, a second pair baseline with metal-like curvature.
+#pragma once
+
+#include "potential/potential.hpp"
+
+namespace sdcmd {
+
+class Morse final : public PairPotential {
+ public:
+  /// V(r) = D [ e^{-2 a (r - r0)} - 2 e^{-a (r - r0)} ], shifted to 0 at rc.
+  Morse(double d, double alpha, double r0, double cutoff);
+
+  double cutoff() const override { return cutoff_; }
+  void evaluate(double r, double& energy, double& dvdr) const override;
+  std::string name() const override { return "morse"; }
+
+ private:
+  double d_;
+  double alpha_;
+  double r0_;
+  double cutoff_;
+  double shift_;
+};
+
+}  // namespace sdcmd

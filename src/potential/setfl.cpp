@@ -1,0 +1,149 @@
+#include "potential/setfl.hpp"
+
+#include <fstream>
+#include <iomanip>
+#include <sstream>
+
+#include "common/error.hpp"
+
+namespace sdcmd {
+
+namespace {
+
+/// Stream the next whitespace-separated token as a double or fail loudly.
+double next_double(std::istream& in, const char* what) {
+  double v;
+  if (!(in >> v)) {
+    throw ParseError(std::string("setfl: expected a number for ") + what);
+  }
+  return v;
+}
+
+long next_long(std::istream& in, const char* what) {
+  long v;
+  if (!(in >> v)) {
+    throw ParseError(std::string("setfl: expected an integer for ") + what);
+  }
+  return v;
+}
+
+void read_block(std::istream& in, std::vector<double>& out, std::size_t n,
+                const char* what) {
+  out.resize(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    out[i] = next_double(in, what);
+  }
+}
+
+}  // namespace
+
+EamTables read_setfl(std::istream& in) {
+  std::string line;
+  for (int i = 0; i < 3; ++i) {
+    if (!std::getline(in, line)) {
+      throw ParseError("setfl: missing comment header");
+    }
+  }
+
+  long nelements;
+  if (!(in >> nelements)) {
+    throw ParseError("setfl: missing element count");
+  }
+  if (nelements != 1) {
+    throw ParseError("setfl: only single-element files are supported, got " +
+                     std::to_string(nelements) + " elements");
+  }
+  std::string element;
+  if (!(in >> element)) {
+    throw ParseError("setfl: missing element name");
+  }
+
+  EamTables t;
+  t.label = element;
+  const long nrho = next_long(in, "nrho");
+  t.drho = next_double(in, "drho");
+  const long nr = next_long(in, "nr");
+  t.dr = next_double(in, "dr");
+  t.cutoff = next_double(in, "cutoff");
+  if (nrho < 2 || nr < 2) {
+    throw ParseError("setfl: grids must have at least two points");
+  }
+  if (t.drho <= 0.0 || t.dr <= 0.0 || t.cutoff <= 0.0) {
+    throw ParseError("setfl: grid spacings and cutoff must be positive");
+  }
+
+  t.atomic_number = static_cast<int>(next_long(in, "atomic number"));
+  t.mass = next_double(in, "mass");
+  t.lattice_constant = next_double(in, "lattice constant");
+  if (!(in >> t.structure)) {
+    throw ParseError("setfl: missing structure tag");
+  }
+
+  read_block(in, t.embed, static_cast<std::size_t>(nrho), "F(rho)");
+  read_block(in, t.density, static_cast<std::size_t>(nr), "phi(r)");
+
+  std::vector<double> r_times_v;
+  read_block(in, r_times_v, static_cast<std::size_t>(nr), "r*V(r)");
+  t.pair.resize(r_times_v.size());
+  for (std::size_t i = 1; i < r_times_v.size(); ++i) {
+    t.pair[i] = r_times_v[i] / (t.dr * static_cast<double>(i));
+  }
+  // r = 0 is never a physical separation; extrapolate so the spline has a
+  // finite anchor.
+  t.pair[0] = t.pair.size() > 2 ? 2.0 * t.pair[1] - t.pair[2] : t.pair[1];
+  return t;
+}
+
+EamTables read_setfl_file(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) {
+    throw ParseError("setfl: cannot open '" + path + "'");
+  }
+  return read_setfl(in);
+}
+
+void write_setfl(std::ostream& out, const EamTables& t,
+                 const std::string& comment) {
+  SDCMD_REQUIRE(!t.embed.empty() && !t.density.empty() && !t.pair.empty(),
+                "cannot write empty tables");
+  SDCMD_REQUIRE(t.pair.size() == t.density.size(),
+                "pair and density tables must share the radial grid");
+
+  out << comment << '\n';
+  out << "single-element EAM tables (eam/alloy layout)\n";
+  out << "pair block stores r*V(r) per the DYNAMO convention\n";
+  out << 1 << ' ' << (t.label.empty() ? std::string("X") : t.label) << '\n';
+  out << t.embed.size() << ' ' << std::setprecision(17) << t.drho << ' '
+      << t.pair.size() << ' ' << t.dr << ' ' << t.cutoff << '\n';
+  out << t.atomic_number << ' ' << t.mass << ' ' << t.lattice_constant << ' '
+      << t.structure << '\n';
+
+  auto write_block = [&out](const std::vector<double>& xs) {
+    constexpr std::size_t kPerLine = 5;
+    for (std::size_t i = 0; i < xs.size(); ++i) {
+      out << std::setprecision(17) << xs[i];
+      out << ((i % kPerLine == kPerLine - 1 || i + 1 == xs.size()) ? '\n'
+                                                                   : ' ');
+    }
+  };
+
+  write_block(t.embed);
+  write_block(t.density);
+
+  std::vector<double> r_times_v(t.pair.size());
+  for (std::size_t i = 0; i < t.pair.size(); ++i) {
+    r_times_v[i] = t.pair[i] * (t.dr * static_cast<double>(i));
+  }
+  write_block(r_times_v);
+}
+
+void write_setfl_file(const std::string& path, const EamTables& tables,
+                      const std::string& comment) {
+  std::ofstream out(path);
+  if (!out) {
+    throw ParseError("setfl: cannot open '" + path + "' for writing");
+  }
+  write_setfl(out, tables, comment);
+}
+
+}  // namespace sdcmd

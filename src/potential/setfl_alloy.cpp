@@ -1,0 +1,252 @@
+#include "potential/setfl_alloy.hpp"
+
+#include <algorithm>
+#include <fstream>
+#include <iomanip>
+
+#include "common/error.hpp"
+
+namespace sdcmd {
+
+namespace {
+
+double next_double(std::istream& in, const char* what) {
+  double v;
+  if (!(in >> v)) {
+    throw ParseError(std::string("setfl: expected a number for ") + what);
+  }
+  return v;
+}
+
+long next_long(std::istream& in, const char* what) {
+  long v;
+  if (!(in >> v)) {
+    throw ParseError(std::string("setfl: expected an integer for ") + what);
+  }
+  return v;
+}
+
+void read_block(std::istream& in, std::vector<double>& out, std::size_t n,
+                const char* what) {
+  out.resize(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    out[i] = next_double(in, what);
+  }
+}
+
+void write_block(std::ostream& out, const std::vector<double>& xs) {
+  constexpr std::size_t kPerLine = 5;
+  for (std::size_t i = 0; i < xs.size(); ++i) {
+    out << std::setprecision(17) << xs[i];
+    out << ((i % kPerLine == kPerLine - 1 || i + 1 == xs.size()) ? '\n'
+                                                                 : ' ');
+  }
+}
+
+void validate(const AlloyTables& t) {
+  SDCMD_REQUIRE(!t.elements.empty(), "alloy tables need >= 1 element");
+  SDCMD_REQUIRE(t.dr > 0.0 && t.drho > 0.0 && t.cutoff > 0.0,
+                "grid spacings and cutoff must be positive");
+  const std::size_t ne = t.elements.size();
+  SDCMD_REQUIRE(t.pair_lower.size() == ne * (ne + 1) / 2,
+                "pair table count must be ne*(ne+1)/2");
+  const std::size_t nr = t.elements.front().density.size();
+  const std::size_t nrho = t.elements.front().embed.size();
+  SDCMD_REQUIRE(nr >= 2 && nrho >= 2, "tables too short");
+  for (const auto& e : t.elements) {
+    SDCMD_REQUIRE(e.density.size() == nr && e.embed.size() == nrho,
+                  "all elements must share the grids");
+  }
+  for (const auto& p : t.pair_lower) {
+    SDCMD_REQUIRE(p.size() == nr, "pair tables must share the radial grid");
+  }
+}
+
+}  // namespace
+
+std::size_t AlloyTables::pair_index(int a, int b) {
+  const auto i = static_cast<std::size_t>(std::max(a, b));
+  const auto j = static_cast<std::size_t>(std::min(a, b));
+  return i * (i + 1) / 2 + j;
+}
+
+AlloyTables read_setfl_alloy(std::istream& in) {
+  std::string line;
+  for (int i = 0; i < 3; ++i) {
+    if (!std::getline(in, line)) {
+      throw ParseError("setfl: missing comment header");
+    }
+  }
+
+  const long ne = next_long(in, "element count");
+  if (ne < 1) {
+    throw ParseError("setfl: need at least one element");
+  }
+  AlloyTables t;
+  t.elements.resize(static_cast<std::size_t>(ne));
+  for (auto& e : t.elements) {
+    if (!(in >> e.name)) {
+      throw ParseError("setfl: missing element name");
+    }
+  }
+
+  const long nrho = next_long(in, "nrho");
+  t.drho = next_double(in, "drho");
+  const long nr = next_long(in, "nr");
+  t.dr = next_double(in, "dr");
+  t.cutoff = next_double(in, "cutoff");
+  if (nrho < 2 || nr < 2 || t.drho <= 0.0 || t.dr <= 0.0 ||
+      t.cutoff <= 0.0) {
+    throw ParseError("setfl: bad grid header");
+  }
+
+  for (auto& e : t.elements) {
+    e.atomic_number = static_cast<int>(next_long(in, "atomic number"));
+    e.mass = next_double(in, "mass");
+    e.lattice_constant = next_double(in, "lattice constant");
+    if (!(in >> e.structure)) {
+      throw ParseError("setfl: missing structure tag");
+    }
+    read_block(in, e.embed, static_cast<std::size_t>(nrho), "F(rho)");
+    read_block(in, e.density, static_cast<std::size_t>(nr), "phi(r)");
+  }
+
+  const std::size_t pairs =
+      t.elements.size() * (t.elements.size() + 1) / 2;
+  t.pair_lower.resize(pairs);
+  for (auto& p : t.pair_lower) {
+    std::vector<double> r_times_v;
+    read_block(in, r_times_v, static_cast<std::size_t>(nr), "r*V(r)");
+    p.resize(r_times_v.size());
+    for (std::size_t i = 1; i < r_times_v.size(); ++i) {
+      p[i] = r_times_v[i] / (t.dr * static_cast<double>(i));
+    }
+    p[0] = p.size() > 2 ? 2.0 * p[1] - p[2] : p[1];
+  }
+  validate(t);
+  return t;
+}
+
+AlloyTables read_setfl_alloy_file(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) {
+    throw ParseError("setfl: cannot open '" + path + "'");
+  }
+  return read_setfl_alloy(in);
+}
+
+void write_setfl_alloy(std::ostream& out, const AlloyTables& t,
+                       const std::string& comment) {
+  validate(t);
+  out << comment << '\n';
+  out << "multi-element EAM tables (eam/alloy layout)\n";
+  out << "pair blocks store r*V(r) per the DYNAMO convention\n";
+  out << t.elements.size();
+  for (const auto& e : t.elements) out << ' ' << e.name;
+  out << '\n';
+  out << t.elements.front().embed.size() << ' ' << std::setprecision(17)
+      << t.drho << ' ' << t.elements.front().density.size() << ' ' << t.dr
+      << ' ' << t.cutoff << '\n';
+  for (const auto& e : t.elements) {
+    out << e.atomic_number << ' ' << e.mass << ' ' << e.lattice_constant
+        << ' ' << e.structure << '\n';
+    write_block(out, e.embed);
+    write_block(out, e.density);
+  }
+  for (const auto& p : t.pair_lower) {
+    std::vector<double> r_times_v(p.size());
+    for (std::size_t i = 0; i < p.size(); ++i) {
+      r_times_v[i] = p[i] * (t.dr * static_cast<double>(i));
+    }
+    write_block(out, r_times_v);
+  }
+}
+
+void write_setfl_alloy_file(const std::string& path, const AlloyTables& t,
+                            const std::string& comment) {
+  std::ofstream out(path);
+  if (!out) {
+    throw ParseError("setfl: cannot open '" + path + "' for writing");
+  }
+  write_setfl_alloy(out, t, comment);
+}
+
+AlloyTables tabulate_alloy(const AlloyEamPotential& source, std::size_t nr,
+                           std::size_t nrho, double rho_max) {
+  SDCMD_REQUIRE(nr >= 2 && nrho >= 2, "need at least two samples per grid");
+  SDCMD_REQUIRE(rho_max > 0.0, "rho_max must be positive");
+
+  AlloyTables t;
+  t.cutoff = source.cutoff();
+  t.dr = t.cutoff / static_cast<double>(nr - 1);
+  t.drho = rho_max / static_cast<double>(nrho - 1);
+
+  const int ne = source.species_count();
+  t.elements.resize(static_cast<std::size_t>(ne));
+  double unused;
+  for (int a = 0; a < ne; ++a) {
+    auto& e = t.elements[static_cast<std::size_t>(a)];
+    e.name = source.species_name(a);
+    e.mass = source.mass(a);
+    e.embed.resize(nrho);
+    e.density.resize(nr);
+    for (std::size_t i = 0; i < nrho; ++i) {
+      source.embed(a, t.drho * static_cast<double>(i), e.embed[i], unused);
+    }
+    for (std::size_t i = 0; i < nr; ++i) {
+      const double r = i == 0 ? 1e-6 : t.dr * static_cast<double>(i);
+      source.density(a, r, e.density[i], unused);
+    }
+  }
+  t.pair_lower.resize(static_cast<std::size_t>(ne) * (ne + 1) / 2);
+  for (int a = 0; a < ne; ++a) {
+    for (int b = 0; b <= a; ++b) {
+      auto& p = t.pair_lower[AlloyTables::pair_index(a, b)];
+      p.resize(nr);
+      for (std::size_t i = 0; i < nr; ++i) {
+        const double r = i == 0 ? 1e-6 : t.dr * static_cast<double>(i);
+        source.pair(a, b, r, p[i], unused);
+      }
+    }
+  }
+  return t;
+}
+
+TabulatedAlloyEam::TabulatedAlloyEam(AlloyTables tables)
+    : tables_(std::move(tables)) {
+  validate(tables_);
+  for (const auto& e : tables_.elements) {
+    embed_splines_.emplace_back(0.0, tables_.drho, e.embed);
+    density_splines_.emplace_back(0.0, tables_.dr, e.density);
+  }
+  for (const auto& p : tables_.pair_lower) {
+    pair_splines_.emplace_back(0.0, tables_.dr, p);
+  }
+}
+
+void TabulatedAlloyEam::pair(int a, int b, double r, double& energy,
+                             double& dvdr) const {
+  if (r >= tables_.cutoff) {
+    energy = 0.0;
+    dvdr = 0.0;
+    return;
+  }
+  pair_splines_[AlloyTables::pair_index(a, b)].evaluate(r, energy, dvdr);
+}
+
+void TabulatedAlloyEam::density(int b, double r, double& phi,
+                                double& dphidr) const {
+  if (r >= tables_.cutoff) {
+    phi = 0.0;
+    dphidr = 0.0;
+    return;
+  }
+  density_splines_[static_cast<std::size_t>(b)].evaluate(r, phi, dphidr);
+}
+
+void TabulatedAlloyEam::embed(int a, double rho, double& f,
+                              double& dfdrho) const {
+  embed_splines_[static_cast<std::size_t>(a)].evaluate(rho, f, dfdrho);
+}
+
+}  // namespace sdcmd

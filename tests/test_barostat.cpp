@@ -1,0 +1,97 @@
+#include "md/barostat.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/error.hpp"
+#include "common/units.hpp"
+#include "md/simulation.hpp"
+#include "potential/finnis_sinclair.hpp"
+
+namespace sdcmd {
+namespace {
+
+System bcc_system(int cells, double a0 = units::kLatticeFe) {
+  LatticeSpec spec;
+  spec.type = LatticeType::Bcc;
+  spec.a0 = a0;
+  spec.nx = spec.ny = spec.nz = cells;
+  return System::from_lattice(spec, units::kMassFe);
+}
+
+TEST(Barostat, RejectsBadParameters) {
+  EXPECT_THROW(BerendsenBarostat(0.0, 0.0), PreconditionError);
+  EXPECT_THROW(BerendsenBarostat(0.0, 1.0, -1.0), PreconditionError);
+}
+
+TEST(Barostat, ShrinksBoxUnderTension) {
+  // pressure < target  =>  mu^3 = 1 - k (P0 - P) < 1: box shrinks.
+  System system = bcc_system(3);
+  BerendsenBarostat barostat(0.0, 1.0, 0.5);
+  const double v0 = system.box().volume();
+  const double mu = barostat.apply(system, -0.1, 0.1);
+  EXPECT_LT(mu, 1.0);
+  EXPECT_LT(system.box().volume(), v0);
+}
+
+TEST(Barostat, ExpandsBoxUnderCompression) {
+  System system = bcc_system(3);
+  BerendsenBarostat barostat(0.0, 1.0, 0.5);
+  const double v0 = system.box().volume();
+  const double mu = barostat.apply(system, +0.1, 0.1);
+  EXPECT_GT(mu, 1.0);
+  EXPECT_GT(system.box().volume(), v0);
+}
+
+TEST(Barostat, AtTargetDoesNothing) {
+  System system = bcc_system(3);
+  BerendsenBarostat barostat(0.05, 1.0);
+  const double v0 = system.box().volume();
+  const double mu = barostat.apply(system, 0.05, 0.1);
+  EXPECT_DOUBLE_EQ(mu, 1.0);
+  EXPECT_DOUBLE_EQ(system.box().volume(), v0);
+}
+
+TEST(Barostat, PositionsRescaleAffinely) {
+  System system = bcc_system(3);
+  const Vec3 before = system.atoms().position[7];
+  BerendsenBarostat barostat(0.0, 1.0, 0.5);
+  const double mu = barostat.apply(system, 0.3, 0.1);
+  const Vec3 after = system.atoms().position[7];
+  EXPECT_NEAR(after.x, before.x * mu, 1e-12);
+  EXPECT_NEAR(after.y, before.y * mu, 1e-12);
+}
+
+TEST(Barostat, VolumeChangePerStepIsClamped) {
+  System system = bcc_system(3);
+  BerendsenBarostat barostat(0.0, 1e-6, 100.0);  // absurdly stiff coupling
+  const double v0 = system.box().volume();
+  barostat.apply(system, 1e6, 1.0);
+  EXPECT_LE(system.box().volume(), v0 * 1.1 + 1e-9);
+  EXPECT_GE(system.box().volume(), v0 * 0.9 - 1e-9);
+}
+
+TEST(Barostat, NptRunRelaxesStretchedCrystalTowardZeroPressure) {
+  // Start from a uniformly stretched lattice (tensile, negative pressure);
+  // an NPT run with P0 = 0 must contract the box back toward a0.
+  FinnisSinclair iron(FinnisSinclairParams::iron());
+  SimulationConfig cfg;
+  cfg.dt = units::fs_to_internal(1.0);
+  cfg.force.strategy = ReductionStrategy::Serial;
+
+  const double stretched_a0 = units::kLatticeFe * 1.02;
+  Simulation sim(bcc_system(4, stretched_a0), iron, cfg);
+  sim.set_temperature(10.0, 3);
+  sim.set_thermostat(std::make_unique<BerendsenThermostat>(10.0, 0.05));
+  sim.set_barostat(BerendsenBarostat(0.0, 0.5, 0.02), /*every=*/5);
+
+  const double lx0 = sim.system().box().length(0);
+  sim.run(200);
+  const double lx1 = sim.system().box().length(0);
+  EXPECT_LT(lx1, lx0);
+  // Should move toward the equilibrium lattice constant, not overshoot
+  // into heavy compression.
+  EXPECT_GT(lx1, 4 * units::kLatticeFe * 0.97);
+}
+
+}  // namespace
+}  // namespace sdcmd

@@ -1,0 +1,111 @@
+#include "benchsupport/cases.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+
+#include "benchsupport/sweep.hpp"
+#include "potential/finnis_sinclair.hpp"
+
+namespace sdcmd::bench {
+namespace {
+
+TEST(BenchCases, PaperScaleReproducesPublishedAtomCounts) {
+  const auto cases = paper_cases(Scale::Paper);
+  ASSERT_EQ(cases.size(), 4u);
+  EXPECT_EQ(cases[0].atom_count(), 54000u);
+  EXPECT_EQ(cases[1].atom_count(), 265302u);
+  EXPECT_EQ(cases[2].atom_count(), 1062882u);
+  EXPECT_EQ(cases[3].atom_count(), 3456000u);
+}
+
+TEST(BenchCases, AllScalesAreMonotoneInSize) {
+  for (Scale scale :
+       {Scale::Tiny, Scale::Laptop, Scale::Desktop, Scale::Paper}) {
+    const auto cases = paper_cases(scale);
+    ASSERT_EQ(cases.size(), 4u);
+    for (std::size_t i = 1; i < cases.size(); ++i) {
+      EXPECT_GT(cases[i].atom_count(), cases[i - 1].atom_count())
+          << to_string(scale);
+    }
+  }
+}
+
+TEST(BenchCases, ScaleParseRoundTrip) {
+  for (Scale scale :
+       {Scale::Tiny, Scale::Laptop, Scale::Desktop, Scale::Paper}) {
+    EXPECT_EQ(parse_scale(to_string(scale)), scale);
+  }
+  EXPECT_EQ(parse_scale("unknown"), Scale::Laptop);
+}
+
+TEST(BenchCases, ThreadSweepDefaultsToPaperValues) {
+  unsetenv("SDCMD_BENCH_THREADS");
+  EXPECT_EQ(thread_sweep_from_env(), (std::vector<int>{2, 3, 4, 8, 12, 16}));
+}
+
+TEST(BenchCases, ThreadSweepHonorsEnvironment) {
+  setenv("SDCMD_BENCH_THREADS", "1,2", 1);
+  EXPECT_EQ(thread_sweep_from_env(), (std::vector<int>{1, 2}));
+  unsetenv("SDCMD_BENCH_THREADS");
+}
+
+TEST(BenchCases, StepsHonorEnvironment) {
+  setenv("SDCMD_BENCH_STEPS", "7", 1);
+  EXPECT_EQ(steps_from_env(), 7);
+  unsetenv("SDCMD_BENCH_STEPS");
+  EXPECT_EQ(steps_from_env(), 3);
+}
+
+TEST(CaseRunner, TimesAllStrategiesOnTinyCase) {
+  FinnisSinclair fe(FinnisSinclairParams::iron());
+  const auto cases = paper_cases(Scale::Tiny);
+  // The largest tiny case: big enough that 2-D SDC has >= 2 subdomains per
+  // color, so two threads are feasible for every strategy.
+  CaseRunner runner(cases[3], fe);
+
+  for (ReductionStrategy s : kAllStrategies) {
+    EamForceConfig cfg;
+    cfg.strategy = s;
+    cfg.sdc.dimensionality = 2;
+    const auto timing = runner.time_strategy(cfg, 2, 1);
+    ASSERT_TRUE(timing.has_value()) << to_string(s);
+    EXPECT_GT(timing->density_force_seconds, 0.0) << to_string(s);
+    EXPECT_GE(timing->total_seconds, timing->density_force_seconds)
+        << to_string(s);
+    EXPECT_GT(timing->pair_visits, 0u) << to_string(s);
+  }
+}
+
+TEST(CaseRunner, InfeasibleSdcReturnsNullopt) {
+  // Tiny small case: 6 cells = 17.2 A; a 1-D split yields 2 subdomains per
+  // color = 1 subdomain... per color 1; asking for 16 threads exceeds the
+  // per-color supply, the paper's Table 1 blank.
+  FinnisSinclair fe(FinnisSinclairParams::iron());
+  const auto cases = paper_cases(Scale::Tiny);
+  CaseRunner runner(cases[0], fe);
+  EamForceConfig cfg;
+  cfg.strategy = ReductionStrategy::Sdc;
+  cfg.sdc.dimensionality = 1;
+  const auto timing = runner.time_strategy(cfg, 16, 1);
+  EXPECT_FALSE(timing.has_value());
+}
+
+TEST(CaseRunner, SerialTimeIsCached) {
+  FinnisSinclair fe(FinnisSinclairParams::iron());
+  const auto cases = paper_cases(Scale::Tiny);
+  CaseRunner runner(cases[0], fe);
+  const double a = runner.serial_seconds_per_step(1);
+  const double b = runner.serial_seconds_per_step(1);
+  EXPECT_EQ(a, b);
+  EXPECT_GT(a, 0.0);
+}
+
+TEST(FormatSpeedup, TwoDecimalsOrDash) {
+  EXPECT_EQ(format_speedup(1.714), "1.71");
+  EXPECT_EQ(format_speedup(12.0), "12.00");
+  EXPECT_EQ(format_speedup(std::nullopt), "-");
+}
+
+}  // namespace
+}  // namespace sdcmd::bench

@@ -1,0 +1,106 @@
+#include "geom/box.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/error.hpp"
+
+namespace sdcmd {
+namespace {
+
+TEST(Box, CubicFactory) {
+  const Box box = Box::cubic(10.0);
+  EXPECT_EQ(box.lo(), (Vec3{0.0, 0.0, 0.0}));
+  EXPECT_EQ(box.hi(), (Vec3{10.0, 10.0, 10.0}));
+  EXPECT_DOUBLE_EQ(box.volume(), 1000.0);
+  EXPECT_TRUE(box.periodic(0));
+}
+
+TEST(Box, RejectsEmptyExtent) {
+  EXPECT_THROW(Box({0, 0, 0}, {1, 0, 1}), PreconditionError);
+  EXPECT_THROW(Box({2, 0, 0}, {1, 1, 1}), PreconditionError);
+}
+
+TEST(Box, WrapBringsPositionsInside) {
+  const Box box = Box::cubic(10.0);
+  EXPECT_EQ(box.wrap({11.0, -1.0, 25.0}), (Vec3{1.0, 9.0, 5.0}));
+  EXPECT_EQ(box.wrap({5.0, 5.0, 5.0}), (Vec3{5.0, 5.0, 5.0}));
+  // exactly hi maps to lo
+  const Vec3 w = box.wrap({10.0, 10.0, 10.0});
+  EXPECT_EQ(w, (Vec3{0.0, 0.0, 0.0}));
+}
+
+TEST(Box, WrapTracksImages) {
+  const Box box = Box::cubic(10.0);
+  std::array<int, 3> image{0, 0, 0};
+  const Vec3 w = box.wrap({23.0, -7.0, 5.0}, image);
+  EXPECT_NEAR(w.x, 3.0, 1e-12);
+  EXPECT_NEAR(w.y, 3.0, 1e-12);
+  EXPECT_EQ(image[0], 2);
+  EXPECT_EQ(image[1], -1);
+  EXPECT_EQ(image[2], 0);
+}
+
+TEST(Box, NonPeriodicDimensionIsNotWrapped) {
+  const Box box({0, 0, 0}, {10, 10, 10}, {true, false, true});
+  const Vec3 w = box.wrap({12.0, 12.0, 12.0});
+  EXPECT_NEAR(w.x, 2.0, 1e-12);
+  EXPECT_DOUBLE_EQ(w.y, 12.0);
+}
+
+TEST(Box, MinimumImagePicksNearestCopy) {
+  const Box box = Box::cubic(10.0);
+  const Vec3 d = box.minimum_image({9.5, 0.0, 0.0}, {0.5, 0.0, 0.0});
+  EXPECT_NEAR(d.x, -1.0, 1e-12);
+  EXPECT_NEAR(box.distance2({9.5, 0, 0}, {0.5, 0, 0}), 1.0, 1e-12);
+}
+
+TEST(Box, MinimumImageAtHalfBox) {
+  const Box box = Box::cubic(10.0);
+  // displacement of exactly L/2 stays magnitude L/2
+  const Vec3 d = box.minimum_image({7.5, 0.0, 0.0}, {2.5, 0.0, 0.0});
+  EXPECT_NEAR(std::abs(d.x), 5.0, 1e-12);
+}
+
+TEST(Box, MinimumImageRespectsNonPeriodicDims) {
+  const Box box({0, 0, 0}, {10, 10, 10}, {false, true, true});
+  const Vec3 d = box.minimum_image({9.5, 0.0, 0.0}, {0.5, 0.0, 0.0});
+  EXPECT_DOUBLE_EQ(d.x, 9.0);
+}
+
+TEST(Box, Contains) {
+  const Box box = Box::cubic(10.0);
+  EXPECT_TRUE(box.contains({0.0, 0.0, 0.0}));
+  EXPECT_TRUE(box.contains({9.999, 5.0, 5.0}));
+  EXPECT_FALSE(box.contains({10.0, 5.0, 5.0}));
+  EXPECT_FALSE(box.contains({-0.001, 5.0, 5.0}));
+}
+
+TEST(Box, RescaleAndAffineMap) {
+  Box box = Box::cubic(10.0);
+  const Box old = box;
+  box.rescale({1.1, 1.0, 0.9});
+  EXPECT_NEAR(box.length(0), 11.0, 1e-12);
+  EXPECT_NEAR(box.length(1), 10.0, 1e-12);
+  EXPECT_NEAR(box.length(2), 9.0, 1e-12);
+
+  const Vec3 mapped = box.affine_map({5.0, 5.0, 5.0}, old);
+  EXPECT_NEAR(mapped.x, 5.5, 1e-12);
+  EXPECT_NEAR(mapped.y, 5.0, 1e-12);
+  EXPECT_NEAR(mapped.z, 4.5, 1e-12);
+}
+
+TEST(Box, RescaleRejectsNonPositiveFactors) {
+  Box box = Box::cubic(10.0);
+  EXPECT_THROW(box.rescale({0.0, 1.0, 1.0}), PreconditionError);
+  EXPECT_THROW(box.rescale({1.0, -1.0, 1.0}), PreconditionError);
+}
+
+TEST(Box, OffsetOriginWrap) {
+  const Box box({-5.0, -5.0, -5.0}, {5.0, 5.0, 5.0});
+  const Vec3 w = box.wrap({6.0, -6.0, 0.0});
+  EXPECT_NEAR(w.x, -4.0, 1e-12);
+  EXPECT_NEAR(w.y, 4.0, 1e-12);
+}
+
+}  // namespace
+}  // namespace sdcmd

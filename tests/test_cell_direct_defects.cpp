@@ -1,0 +1,167 @@
+// Cell-direct EAM path vs the Verlet-list kernels, plus defect generators.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <set>
+
+#include "common/error.hpp"
+#include "common/random.hpp"
+#include "common/units.hpp"
+#include "core/cell_direct.hpp"
+#include "core/eam_force.hpp"
+#include "geom/defects.hpp"
+#include "geom/lattice.hpp"
+#include "potential/finnis_sinclair.hpp"
+
+namespace sdcmd {
+namespace {
+
+const FinnisSinclair& iron() {
+  static FinnisSinclair fe{FinnisSinclairParams::iron()};
+  return fe;
+}
+
+struct Crystal {
+  Box box = Box::cubic(1.0);
+  std::vector<Vec3> positions;
+
+  explicit Crystal(int cells, double jitter = 0.05) {
+    LatticeSpec spec;
+    spec.type = LatticeType::Bcc;
+    spec.a0 = units::kLatticeFe;
+    spec.nx = spec.ny = spec.nz = cells;
+    box = spec.box();
+    positions = build_lattice(spec);
+    Xoshiro256 rng(9);
+    for (auto& r : positions) {
+      r += Vec3{rng.normal(0.0, jitter), rng.normal(0.0, jitter),
+                rng.normal(0.0, jitter)};
+      r = box.wrap(r);
+    }
+  }
+};
+
+TEST(CellDirect, MatchesVerletListKernels) {
+  Crystal c(5);  // 5 cells of a0 -> 4 grid cells per dim at the cutoff
+  const std::size_t n = c.positions.size();
+
+  std::vector<double> rho_direct(n), fp_direct(n);
+  std::vector<Vec3> force_direct(n);
+  const auto direct = eam_cell_direct(c.box, c.positions, iron(),
+                                      rho_direct, fp_direct, force_direct);
+
+  NeighborListConfig nl;
+  nl.cutoff = iron().cutoff();
+  nl.skin = 0.0;  // same interaction set as the cell-direct sweep
+  NeighborList list(c.box, nl);
+  list.build(c.positions);
+  EamForceConfig cfg;
+  cfg.strategy = ReductionStrategy::Serial;
+  EamForceComputer computer(iron(), cfg);
+  std::vector<double> rho_list(n), fp_list(n);
+  std::vector<Vec3> force_list(n);
+  const auto listed = computer.compute(c.box, c.positions, list, rho_list,
+                                       fp_list, force_list);
+
+  for (std::size_t i = 0; i < n; ++i) {
+    EXPECT_NEAR(rho_direct[i], rho_list[i],
+                1e-10 * std::max(1.0, rho_list[i]))
+        << "atom " << i;
+    EXPECT_NEAR(norm(force_direct[i] - force_list[i]), 0.0, 1e-9)
+        << "atom " << i;
+  }
+  EXPECT_NEAR(direct.pair_energy, listed.pair_energy,
+              1e-9 * std::abs(listed.pair_energy));
+  EXPECT_NEAR(direct.embedding_energy, listed.embedding_energy,
+              1e-9 * std::abs(listed.embedding_energy));
+  EXPECT_NEAR(direct.virial, listed.virial,
+              1e-8 * std::max(1.0, std::abs(listed.virial)));
+}
+
+TEST(CellDirect, RejectsTooNarrowGrids) {
+  Crystal c(2, 0.0);  // 5.7 A box: fewer than 3 cells per dim
+  std::vector<double> rho(c.positions.size()), fp(c.positions.size());
+  std::vector<Vec3> force(c.positions.size());
+  EXPECT_THROW(
+      eam_cell_direct(c.box, c.positions, iron(), rho, fp, force),
+      PreconditionError);
+}
+
+TEST(CellDirect, TotalForceVanishes) {
+  Crystal c(5);
+  std::vector<double> rho(c.positions.size()), fp(c.positions.size());
+  std::vector<Vec3> force(c.positions.size());
+  eam_cell_direct(c.box, c.positions, iron(), rho, fp, force);
+  Vec3 total{};
+  for (const auto& f : force) total += f;
+  EXPECT_NEAR(norm(total), 0.0, 1e-9);
+}
+
+// ---------------------------------------------------------------------------
+
+TEST(Defects, VacanciesRemoveTheRightCount) {
+  Crystal c(4, 0.0);
+  const std::size_t before = c.positions.size();
+  const auto removed = make_vacancies(c.positions, 7, 42);
+  EXPECT_EQ(c.positions.size(), before - 7);
+  EXPECT_EQ(removed.size(), 7u);
+}
+
+TEST(Defects, VacanciesAreDeterministic) {
+  Crystal a(4, 0.0), b(4, 0.0);
+  make_vacancies(a.positions, 5, 1);
+  make_vacancies(b.positions, 5, 1);
+  ASSERT_EQ(a.positions.size(), b.positions.size());
+  for (std::size_t i = 0; i < a.positions.size(); ++i) {
+    EXPECT_EQ(a.positions[i], b.positions[i]);
+  }
+}
+
+TEST(Defects, VacancyCountValidation) {
+  std::vector<Vec3> tiny{{0, 0, 0}};
+  EXPECT_THROW(make_vacancies(tiny, 2, 1), PreconditionError);
+}
+
+TEST(Defects, InterstitialsLandNearHosts) {
+  Crystal c(4, 0.0);
+  const std::size_t before = c.positions.size();
+  const double spacing = units::kLatticeFe * std::sqrt(3.0) / 2.0;
+  const auto inserted =
+      make_interstitials(c.positions, c.box, 3, spacing, 7);
+  EXPECT_EQ(c.positions.size(), before + 3);
+  // Every insertion must sit within offset*spacing of some original atom.
+  for (const Vec3& site : inserted) {
+    double min_d = 1e30;
+    for (std::size_t i = 0; i < before; ++i) {
+      min_d = std::min(min_d,
+                       std::sqrt(c.box.distance2(site, c.positions[i])));
+    }
+    EXPECT_LT(min_d, 0.36 * spacing);
+  }
+}
+
+TEST(Defects, DamageSphereOnlyTouchesTheSphere) {
+  Crystal c(5, 0.0);
+  const auto original = c.positions;
+  const Vec3 center{7.0, 7.0, 7.0};
+  const double radius = 4.0;
+  const auto touched =
+      damage_sphere(c.positions, c.box, center, radius, 0.5, 3);
+  EXPECT_FALSE(touched.empty());
+
+  std::set<std::size_t> touched_set(touched.begin(), touched.end());
+  for (std::size_t i = 0; i < original.size(); ++i) {
+    const bool moved = !(c.positions[i] == original[i]);
+    if (touched_set.count(i)) {
+      EXPECT_LE(std::sqrt(c.box.distance2(original[i], center)),
+                radius + 1e-12);
+      EXPECT_LE(std::sqrt(c.box.distance2(c.positions[i], original[i])),
+                0.5 + 1e-12);
+    } else {
+      EXPECT_FALSE(moved) << "atom " << i << " outside the sphere moved";
+    }
+  }
+}
+
+}  // namespace
+}  // namespace sdcmd

@@ -1,0 +1,127 @@
+#include "neighbor/cell_list.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+
+#include "common/error.hpp"
+#include "common/random.hpp"
+#include "geom/lattice.hpp"
+
+namespace sdcmd {
+namespace {
+
+std::vector<Vec3> random_points(const Box& box, std::size_t n,
+                                std::uint64_t seed) {
+  Xoshiro256 rng(seed);
+  std::vector<Vec3> out(n);
+  for (auto& r : out) {
+    r = {rng.uniform(box.lo().x, box.hi().x),
+         rng.uniform(box.lo().y, box.hi().y),
+         rng.uniform(box.lo().z, box.hi().z)};
+  }
+  return out;
+}
+
+TEST(CellList, GridDimensionsRespectMinimumCellSize) {
+  const Box box({0, 0, 0}, {10.0, 20.0, 7.0});
+  CellList cells(box, 3.0);
+  EXPECT_EQ(cells.nx(), 3);
+  EXPECT_EQ(cells.ny(), 6);
+  EXPECT_EQ(cells.nz(), 2);
+  EXPECT_EQ(cells.cell_count(), 36u);
+}
+
+TEST(CellList, RejectsPeriodicBoxSmallerThanTwoCells) {
+  const Box box = Box::cubic(5.0);
+  EXPECT_THROW(CellList(box, 3.0), PreconditionError);
+}
+
+TEST(CellList, EveryAtomLandsInExactlyOneCell) {
+  const Box box = Box::cubic(12.0);
+  CellList cells(box, 3.0);
+  const auto points = random_points(box, 500, 42);
+  cells.build(points);
+
+  std::set<std::uint32_t> seen;
+  std::size_t total = 0;
+  for (std::size_t c = 0; c < cells.cell_count(); ++c) {
+    for (std::uint32_t i : cells.atoms_in(c)) {
+      EXPECT_TRUE(seen.insert(i).second) << "atom " << i << " binned twice";
+      EXPECT_EQ(cells.cell_of(points[i]), c);
+      ++total;
+    }
+  }
+  EXPECT_EQ(total, points.size());
+}
+
+TEST(CellList, StencilContainsSelf) {
+  const Box box = Box::cubic(12.0);
+  CellList cells(box, 3.0);
+  for (std::size_t c = 0; c < cells.cell_count(); ++c) {
+    const auto& st = cells.stencil(c);
+    EXPECT_NE(std::find(st.begin(), st.end(), c), st.end());
+  }
+}
+
+TEST(CellList, StencilHas27CellsOnLargeGrid) {
+  const Box box = Box::cubic(15.0);
+  CellList cells(box, 3.0);  // 5x5x5 grid
+  for (std::size_t c = 0; c < cells.cell_count(); ++c) {
+    EXPECT_EQ(cells.stencil(c).size(), 27u);
+  }
+}
+
+TEST(CellList, StencilDeduplicatesOnNarrowGrid) {
+  const Box box = Box::cubic(8.0);
+  CellList cells(box, 3.8);  // 2x2x2 grid: +/-1 wraps onto the same cell
+  for (std::size_t c = 0; c < cells.cell_count(); ++c) {
+    const auto& st = cells.stencil(c);
+    std::set<std::size_t> unique(st.begin(), st.end());
+    EXPECT_EQ(unique.size(), st.size());
+    EXPECT_EQ(st.size(), 8u);  // all cells are mutual neighbors
+  }
+}
+
+TEST(CellList, NonPeriodicBoundariesTruncateStencil) {
+  const Box box({0, 0, 0}, {9.0, 9.0, 9.0}, {false, false, false});
+  CellList cells(box, 3.0);  // 3x3x3
+  // corner cell: 2x2x2 = 8 stencil entries
+  const std::size_t corner = cells.cell_of({0.1, 0.1, 0.1});
+  EXPECT_EQ(cells.stencil(corner).size(), 8u);
+  // center cell: full 27
+  const std::size_t center = cells.cell_of({4.5, 4.5, 4.5});
+  EXPECT_EQ(cells.stencil(center).size(), 27u);
+}
+
+TEST(CellList, AllNearbyPairsAreCoveredByTheStencil) {
+  const Box box = Box::cubic(14.0);
+  const double range = 3.3;
+  CellList cells(box, range);
+  const auto points = random_points(box, 300, 7);
+  cells.build(points);
+
+  // For every pair within range, j's cell must be in i's stencil.
+  for (std::size_t i = 0; i < points.size(); ++i) {
+    const auto& st = cells.stencil(cells.cell_of(points[i]));
+    for (std::size_t j = 0; j < points.size(); ++j) {
+      if (i == j) continue;
+      if (box.distance2(points[i], points[j]) < range * range) {
+        EXPECT_NE(std::find(st.begin(), st.end(), cells.cell_of(points[j])),
+                  st.end())
+            << "pair (" << i << "," << j << ") not covered";
+      }
+    }
+  }
+}
+
+TEST(CellList, OutOfBoxPositionsAreWrappedForBinning) {
+  const Box box = Box::cubic(12.0);
+  CellList cells(box, 3.0);
+  EXPECT_EQ(cells.cell_of({13.0, 1.0, 1.0}), cells.cell_of({1.0, 1.0, 1.0}));
+  EXPECT_EQ(cells.cell_of({-1.0, 1.0, 1.0}), cells.cell_of({11.0, 1.0, 1.0}));
+}
+
+}  // namespace
+}  // namespace sdcmd

@@ -1,0 +1,99 @@
+#include "common/cli.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/error.hpp"
+
+namespace sdcmd {
+namespace {
+
+CliParser make_parser() {
+  CliParser cli("prog", "test program");
+  cli.add_option("steps", "100", "number of steps");
+  cli.add_option("dt", "0.5", "time step");
+  cli.add_option("threads", "2,4", "thread sweep");
+  cli.add_flag("verbose", "talk more");
+  return cli;
+}
+
+TEST(CliParser, DefaultsApply) {
+  auto cli = make_parser();
+  const char* argv[] = {"prog"};
+  ASSERT_TRUE(cli.parse(1, argv));
+  EXPECT_EQ(cli.get_int("steps"), 100);
+  EXPECT_DOUBLE_EQ(cli.get_double("dt"), 0.5);
+  EXPECT_FALSE(cli.get_bool("verbose"));
+}
+
+TEST(CliParser, SpaceSeparatedValues) {
+  auto cli = make_parser();
+  const char* argv[] = {"prog", "--steps", "42", "--verbose"};
+  ASSERT_TRUE(cli.parse(4, argv));
+  EXPECT_EQ(cli.get_int("steps"), 42);
+  EXPECT_TRUE(cli.get_bool("verbose"));
+}
+
+TEST(CliParser, EqualsSeparatedValues) {
+  auto cli = make_parser();
+  const char* argv[] = {"prog", "--dt=0.25", "--steps=7"};
+  ASSERT_TRUE(cli.parse(3, argv));
+  EXPECT_DOUBLE_EQ(cli.get_double("dt"), 0.25);
+  EXPECT_EQ(cli.get_int("steps"), 7);
+}
+
+TEST(CliParser, IntListParses) {
+  auto cli = make_parser();
+  const char* argv[] = {"prog", "--threads", "1,2,8,16"};
+  ASSERT_TRUE(cli.parse(3, argv));
+  EXPECT_EQ(cli.get_int_list("threads"), (std::vector<int>{1, 2, 8, 16}));
+}
+
+TEST(CliParser, UnknownOptionFails) {
+  auto cli = make_parser();
+  const char* argv[] = {"prog", "--bogus", "1"};
+  EXPECT_FALSE(cli.parse(3, argv));
+}
+
+TEST(CliParser, MissingValueFails) {
+  auto cli = make_parser();
+  const char* argv[] = {"prog", "--steps"};
+  EXPECT_FALSE(cli.parse(2, argv));
+}
+
+TEST(CliParser, HelpShortCircuits) {
+  auto cli = make_parser();
+  const char* argv[] = {"prog", "--help"};
+  EXPECT_FALSE(cli.parse(2, argv));
+}
+
+TEST(CliParser, PositionalArgumentsCollected) {
+  auto cli = make_parser();
+  const char* argv[] = {"prog", "input.xyz", "--steps", "5", "out.xyz"};
+  ASSERT_TRUE(cli.parse(5, argv));
+  EXPECT_EQ(cli.positional(),
+            (std::vector<std::string>{"input.xyz", "out.xyz"}));
+}
+
+TEST(CliParser, UndeclaredAccessThrows) {
+  auto cli = make_parser();
+  const char* argv[] = {"prog"};
+  ASSERT_TRUE(cli.parse(1, argv));
+  EXPECT_THROW(cli.get("nope"), PreconditionError);
+}
+
+TEST(CliParser, DuplicateDeclarationThrows) {
+  CliParser cli("p", "d");
+  cli.add_option("x", "1", "doc");
+  EXPECT_THROW(cli.add_option("x", "2", "doc"), PreconditionError);
+  EXPECT_THROW(cli.add_flag("x", "doc"), PreconditionError);
+}
+
+TEST(CliParser, UsageListsOptions) {
+  auto cli = make_parser();
+  const std::string usage = cli.usage();
+  EXPECT_NE(usage.find("--steps"), std::string::npos);
+  EXPECT_NE(usage.find("default: 100"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace sdcmd

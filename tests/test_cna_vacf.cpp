@@ -1,0 +1,177 @@
+// CNA structure classification and velocity autocorrelation tests.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "analysis/cna.hpp"
+#include "analysis/vacf.hpp"
+#include "common/error.hpp"
+#include "common/random.hpp"
+#include "common/units.hpp"
+#include "geom/lattice.hpp"
+#include "md/simulation.hpp"
+#include "md/velocity.hpp"
+#include "potential/finnis_sinclair.hpp"
+
+namespace sdcmd {
+namespace {
+
+std::vector<Vec3> lattice_positions(LatticeType type, double a0, int cells,
+                                    Box& box_out) {
+  LatticeSpec spec;
+  spec.type = type;
+  spec.a0 = a0;
+  spec.nx = spec.ny = spec.nz = cells;
+  box_out = spec.box();
+  return build_lattice(spec);
+}
+
+TEST(Cna, PerfectBccClassifiesEveryAtomAsBcc) {
+  Box box = Box::cubic(1.0);
+  const auto positions =
+      lattice_positions(LatticeType::Bcc, units::kLatticeFe, 5, box);
+  const auto result = common_neighbor_analysis(
+      box, positions, bcc_cna_cutoff(units::kLatticeFe));
+  EXPECT_EQ(result.count(CnaStructure::Bcc), positions.size());
+  EXPECT_DOUBLE_EQ(result.fraction(CnaStructure::Bcc), 1.0);
+  EXPECT_EQ(result.count(CnaStructure::Other), 0u);
+}
+
+TEST(Cna, PerfectFccClassifiesEveryAtomAsFcc) {
+  Box box = Box::cubic(1.0);
+  const auto positions = lattice_positions(LatticeType::Fcc, 3.615, 4, box);
+  const auto result =
+      common_neighbor_analysis(box, positions, fcc_cna_cutoff(3.615));
+  EXPECT_EQ(result.count(CnaStructure::Fcc), positions.size());
+}
+
+TEST(Cna, RandomGasIsOther) {
+  const Box box = Box::cubic(20.0);
+  Xoshiro256 rng(3);
+  std::vector<Vec3> points(800);
+  for (auto& p : points) {
+    p = {rng.uniform(0.0, 20.0), rng.uniform(0.0, 20.0),
+         rng.uniform(0.0, 20.0)};
+  }
+  const auto result = common_neighbor_analysis(box, points, 3.0);
+  EXPECT_GT(result.fraction(CnaStructure::Other), 0.95);
+}
+
+TEST(Cna, WarmBccCrystalStaysMostlyBcc) {
+  // Thermal jitter well below the Lindemann threshold must not destroy
+  // the classification.
+  Box box = Box::cubic(1.0);
+  auto positions =
+      lattice_positions(LatticeType::Bcc, units::kLatticeFe, 5, box);
+  Xoshiro256 rng(8);
+  for (auto& r : positions) {
+    r += Vec3{rng.normal(0.0, 0.05), rng.normal(0.0, 0.05),
+              rng.normal(0.0, 0.05)};
+    r = box.wrap(r);
+  }
+  const auto result = common_neighbor_analysis(
+      box, positions, bcc_cna_cutoff(units::kLatticeFe));
+  EXPECT_GT(result.fraction(CnaStructure::Bcc), 0.9);
+}
+
+TEST(Cna, VacancyNeighborhoodIsFlaggedOther) {
+  Box box = Box::cubic(1.0);
+  auto positions =
+      lattice_positions(LatticeType::Bcc, units::kLatticeFe, 5, box);
+  positions.erase(positions.begin() + 60);
+  const auto result = common_neighbor_analysis(
+      box, positions, bcc_cna_cutoff(units::kLatticeFe));
+  // The vacancy disturbs its 14-neighborhood (and their signatures).
+  EXPECT_GT(result.count(CnaStructure::Other), 0u);
+  EXPECT_LT(result.count(CnaStructure::Other), 60u);
+  EXPECT_GT(result.fraction(CnaStructure::Bcc), 0.7);
+}
+
+TEST(Cna, StructureNamesResolve) {
+  EXPECT_STREQ(to_string(CnaStructure::Bcc), "bcc");
+  EXPECT_STREQ(to_string(CnaStructure::Fcc), "fcc");
+  EXPECT_STREQ(to_string(CnaStructure::Hcp), "hcp");
+  EXPECT_STREQ(to_string(CnaStructure::Ico), "ico");
+  EXPECT_STREQ(to_string(CnaStructure::Other), "other");
+}
+
+// ---------------------------------------------------------------------------
+
+System small_fe(int cells) {
+  LatticeSpec spec;
+  spec.type = LatticeType::Bcc;
+  spec.a0 = units::kLatticeFe;
+  spec.nx = spec.ny = spec.nz = cells;
+  return System::from_lattice(spec, units::kMassFe);
+}
+
+TEST(Vacf, OneAtTimeZero) {
+  System system = small_fe(3);
+  maxwell_boltzmann_velocities(system.atoms().velocity, system.mass(),
+                               300.0, 4);
+  VacfTracker vacf(system);
+  EXPECT_NEAR(vacf.sample(system), 1.0, 1e-12);
+}
+
+TEST(Vacf, ZeroReferenceVelocitiesThrowOnNormalizedSample) {
+  System system = small_fe(3);
+  VacfTracker vacf(system);
+  EXPECT_THROW(vacf.sample(system), PreconditionError);
+  EXPECT_DOUBLE_EQ(vacf.sample_raw(system), 0.0);  // raw is fine
+}
+
+TEST(Vacf, FreeParticlesStayFullyCorrelated) {
+  System system = small_fe(3);
+  maxwell_boltzmann_velocities(system.atoms().velocity, system.mass(),
+                               300.0, 4);
+  VacfTracker vacf(system);
+  // No forces: velocities never change.
+  EXPECT_NEAR(vacf.sample(system), 1.0, 1e-12);
+}
+
+TEST(Vacf, DecorrelatesInASolidUnderDynamics) {
+  FinnisSinclair iron(FinnisSinclairParams::iron());
+  SimulationConfig cfg;
+  cfg.dt = units::fs_to_internal(1.0);
+  cfg.force.strategy = ReductionStrategy::Serial;
+  Simulation sim(small_fe(4), iron, cfg);
+  sim.set_temperature(300.0, 12);
+  sim.compute_forces();
+  VacfTracker vacf(sim.system());
+  sim.run(120);  // ~ half a phonon period at 1 fs steps
+  const double c = vacf.sample(sim.system());
+  EXPECT_LT(c, 0.9);   // decorrelated
+  EXPECT_GT(c, -1.0);  // but bounded
+}
+
+TEST(Vacf, SurvivesReordering) {
+  System system = small_fe(3);
+  maxwell_boltzmann_velocities(system.atoms().velocity, system.mass(),
+                               300.0, 4);
+  VacfTracker vacf(system);
+  std::vector<std::uint32_t> perm(system.size());
+  for (std::uint32_t i = 0; i < perm.size(); ++i) {
+    perm[i] = static_cast<std::uint32_t>(perm.size()) - 1 - i;
+  }
+  system.atoms().reorder(perm);
+  EXPECT_NEAR(vacf.sample(system), 1.0, 1e-12);
+}
+
+TEST(GreenKubo, ExponentialDecayIntegratesAnalytically) {
+  // C(t) = C0 exp(-t/tau): D = C0 tau / 3.
+  const double c0 = 2.5, tau = 4.0, dt = 0.01;
+  std::vector<double> series;
+  for (double t = 0.0; t < 60.0; t += dt) {
+    series.push_back(c0 * std::exp(-t / tau));
+  }
+  EXPECT_NEAR(greenkubo_diffusion(series, dt), c0 * tau / 3.0, 1e-3);
+}
+
+TEST(GreenKubo, DegenerateInputs) {
+  EXPECT_EQ(greenkubo_diffusion({}, 0.1), 0.0);
+  EXPECT_EQ(greenkubo_diffusion({1.0}, 0.1), 0.0);
+  EXPECT_THROW(greenkubo_diffusion({1.0, 0.5}, 0.0), PreconditionError);
+}
+
+}  // namespace
+}  // namespace sdcmd

@@ -1,0 +1,108 @@
+// Coverage for the remaining common utilities: logging levels, unit
+// conversions, thread helpers, and the error machinery.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/error.hpp"
+#include "common/log.hpp"
+#include "common/threads.hpp"
+#include "common/units.hpp"
+
+namespace sdcmd {
+namespace {
+
+TEST(Log, ParseLevelNamesCaseInsensitive) {
+  EXPECT_EQ(parse_log_level("debug"), LogLevel::Debug);
+  EXPECT_EQ(parse_log_level("INFO"), LogLevel::Info);
+  EXPECT_EQ(parse_log_level("Warn"), LogLevel::Warn);
+  EXPECT_EQ(parse_log_level("warning"), LogLevel::Warn);
+  EXPECT_EQ(parse_log_level("error"), LogLevel::Error);
+  EXPECT_EQ(parse_log_level("off"), LogLevel::Off);
+  EXPECT_EQ(parse_log_level("none"), LogLevel::Off);
+  EXPECT_EQ(parse_log_level("garbage"), LogLevel::Warn);  // safe default
+}
+
+TEST(Log, SetAndGetThreshold) {
+  const LogLevel before = log_level();
+  set_log_level(LogLevel::Debug);
+  EXPECT_EQ(log_level(), LogLevel::Debug);
+  set_log_level(LogLevel::Off);
+  EXPECT_EQ(log_level(), LogLevel::Off);
+  // Emitting below the threshold must be a no-op (no crash, no output).
+  SDCMD_ERROR("suppressed message");
+  set_log_level(before);
+}
+
+TEST(Units, TimeConversionRoundTrips) {
+  EXPECT_NEAR(units::internal_to_fs(units::fs_to_internal(1.0)), 1.0,
+              1e-15);
+  EXPECT_NEAR(units::fs_to_internal(units::kTimeUnitFs), 1.0, 1e-15);
+  // The paper's 1e-17 s step is 0.01 fs.
+  EXPECT_NEAR(units::fs_to_internal(0.01), 0.01 / 10.180505, 1e-12);
+}
+
+TEST(Units, DerivedTimeUnitIsConsistent) {
+  // t* = sqrt(amu A^2 / eV) = 1.018e-14 s. Check against SI constants:
+  // amu = 1.66053906660e-27 kg, eV = 1.602176634e-19 J, A = 1e-10 m.
+  const double t_star =
+      std::sqrt(1.66053906660e-27 * 1e-20 / 1.602176634e-19);  // seconds
+  EXPECT_NEAR(t_star * 1e15, units::kTimeUnitFs, 1e-4);
+}
+
+TEST(Units, BoltzmannAndPressureConstants) {
+  EXPECT_NEAR(units::kBoltzmann, 8.617333262e-5, 1e-12);
+  // 1 eV/A^3 = 160.2 GPa.
+  EXPECT_NEAR(units::kEvPerA3ToGPa, 160.21766208, 1e-6);
+}
+
+TEST(Threads, SetAndQueryThreadCount) {
+  const int before = max_threads();
+  set_threads(3);
+  EXPECT_EQ(max_threads(), 3);
+  set_threads(0);  // clamps to 1
+  EXPECT_EQ(max_threads(), 1);
+  set_threads(before);
+}
+
+TEST(Threads, ThreadIdIsZeroOutsideParallelRegions) {
+  EXPECT_EQ(thread_id(), 0);
+}
+
+TEST(Threads, HardwareThreadsPositive) {
+  EXPECT_GE(hardware_threads(), 1);
+}
+
+TEST(Threads, SummaryMentionsCounts) {
+  const std::string s = thread_summary();
+  EXPECT_NE(s.find("thread"), std::string::npos);
+}
+
+TEST(Threads, PinningIsBestEffort) {
+  // Must not crash; success depends on the platform/container.
+  (void)pin_current_thread(0);
+  (void)pin_openmp_threads_round_robin();
+  SUCCEED();
+}
+
+TEST(Error, RequireMacroThrowsWithContext) {
+  try {
+    SDCMD_REQUIRE(1 == 2, "math broke");
+    FAIL() << "should have thrown";
+  } catch (const PreconditionError& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("1 == 2"), std::string::npos);
+    EXPECT_NE(what.find("math broke"), std::string::npos);
+    EXPECT_NE(what.find("test_common_misc.cpp"), std::string::npos);
+  }
+}
+
+TEST(Error, HierarchyIsCatchable) {
+  EXPECT_THROW(throw ParseError("x"), Error);
+  EXPECT_THROW(throw InfeasibleError("x"), Error);
+  EXPECT_THROW(throw PreconditionError("x"), Error);
+  EXPECT_THROW(throw Error("x"), std::runtime_error);
+}
+
+}  // namespace
+}  // namespace sdcmd

@@ -1,0 +1,142 @@
+#include "domain/decomposition.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/error.hpp"
+
+namespace sdcmd {
+namespace {
+
+constexpr double kRange = 2.0;  // 2*range = 4.0 minimum edge
+
+TEST(Decomposition, FinestCountsAreLargestEvenFit) {
+  const Box box({0, 0, 0}, {40.0, 24.0, 17.0});
+  const auto d3 = SpatialDecomposition::finest(box, 3, kRange);
+  // 40/4 = 10, 24/4 = 6, 17/4 = 4.25 -> 4
+  EXPECT_EQ(d3.counts(), (std::array<int, 3>{10, 6, 4}));
+  EXPECT_EQ(d3.subdomain_count(), 240u);
+  EXPECT_EQ(d3.dimensionality(), 3);
+}
+
+TEST(Decomposition, LowerDimensionalitiesLeaveAxesUndecomposed) {
+  const Box box = Box::cubic(40.0);
+  const auto d1 = SpatialDecomposition::finest(box, 1, kRange);
+  EXPECT_EQ(d1.counts(), (std::array<int, 3>{10, 1, 1}));
+  EXPECT_EQ(d1.dimensionality(), 1);
+
+  const auto d2 = SpatialDecomposition::finest(box, 2, kRange);
+  EXPECT_EQ(d2.counts(), (std::array<int, 3>{10, 10, 1}));
+  EXPECT_EQ(d2.dimensionality(), 2);
+}
+
+TEST(Decomposition, InfeasibleBoxThrows) {
+  // 7.9 < 2 * (2 * 2.0): cannot hold two subdomains of edge >= 4.
+  const Box box = Box::cubic(7.9);
+  EXPECT_THROW(SpatialDecomposition::finest(box, 1, kRange),
+               InfeasibleError);
+  EXPECT_THROW(SpatialDecomposition::finest(box, 3, kRange),
+               InfeasibleError);
+}
+
+TEST(Decomposition, OddCountsRejected) {
+  const Box box = Box::cubic(40.0);
+  EXPECT_THROW(SpatialDecomposition(box, {3, 1, 1}, kRange),
+               InfeasibleError);
+}
+
+TEST(Decomposition, TooFineCountsRejected) {
+  const Box box = Box::cubic(40.0);
+  // 40/12 = 3.33 < 4 = 2*range
+  EXPECT_THROW(SpatialDecomposition(box, {12, 1, 1}, kRange),
+               InfeasibleError);
+}
+
+TEST(Decomposition, ExplicitCountsAccepted) {
+  const Box box = Box::cubic(40.0);
+  const SpatialDecomposition d(box, {4, 2, 1}, kRange);
+  EXPECT_EQ(d.subdomain_count(), 8u);
+  EXPECT_EQ(d.dimensionality(), 2);
+}
+
+TEST(Decomposition, FlatIndexRoundTripsCoords) {
+  const Box box({0, 0, 0}, {40.0, 24.0, 17.0});
+  const auto d = SpatialDecomposition::finest(box, 3, kRange);
+  for (std::size_t s = 0; s < d.subdomain_count(); ++s) {
+    EXPECT_EQ(d.flat_index(d.coords_of(s)), s);
+  }
+}
+
+TEST(Decomposition, SubdomainOfAgreesWithBounds) {
+  const Box box({0, 0, 0}, {40.0, 24.0, 16.0});
+  const auto d = SpatialDecomposition::finest(box, 3, kRange);
+  for (std::size_t s = 0; s < d.subdomain_count(); ++s) {
+    Vec3 lo, hi;
+    d.bounds(s, lo, hi);
+    const Vec3 center = 0.5 * (lo + hi);
+    EXPECT_EQ(d.subdomain_of(center), s);
+    // lo corner is inclusive
+    EXPECT_EQ(d.subdomain_of(lo), s);
+  }
+}
+
+TEST(Decomposition, OutOfBoxPositionsWrapIntoSubdomains) {
+  const Box box = Box::cubic(40.0);
+  const auto d = SpatialDecomposition::finest(box, 3, kRange);
+  EXPECT_EQ(d.subdomain_of({41.0, 1.0, 1.0}), d.subdomain_of({1.0, 1.0, 1.0}));
+  EXPECT_EQ(d.subdomain_of({-1.0, 1.0, 1.0}),
+            d.subdomain_of({39.0, 1.0, 1.0}));
+}
+
+TEST(Decomposition, BoundsTileTheBox) {
+  const Box box({0, 0, 0}, {40.0, 24.0, 16.0});
+  const auto d = SpatialDecomposition::finest(box, 3, kRange);
+  double volume = 0.0;
+  for (std::size_t s = 0; s < d.subdomain_count(); ++s) {
+    Vec3 lo, hi;
+    d.bounds(s, lo, hi);
+    volume += (hi.x - lo.x) * (hi.y - lo.y) * (hi.z - lo.z);
+  }
+  EXPECT_NEAR(volume, box.volume(), 1e-9);
+}
+
+TEST(Decomposition, WithTargetCoarsensEvenly) {
+  const Box box = Box::cubic(80.0);  // finest 3-D: 20^3 = 8000
+  const auto d = SpatialDecomposition::with_target(box, 3, kRange, 512);
+  EXPECT_LE(d.subdomain_count(), 512u);
+  for (int dim = 0; dim < 3; ++dim) {
+    EXPECT_EQ(d.counts()[dim] % 2, 0);
+    EXPECT_GE(d.counts()[dim], 2);
+  }
+}
+
+TEST(Decomposition, WithTargetStopsAtMinimumGranularity) {
+  const Box box = Box::cubic(40.0);
+  const auto d = SpatialDecomposition::with_target(box, 3, kRange, 1);
+  EXPECT_EQ(d.counts(), (std::array<int, 3>{2, 2, 2}));
+}
+
+TEST(Decomposition, SubdomainEdgeAtLeastTwiceRangeInvariant) {
+  // Property check over several boxes: every decomposed edge >= 2 * range.
+  for (double edge : {16.0, 23.0, 40.0, 77.5}) {
+    const Box box = Box::cubic(edge);
+    for (int dims = 1; dims <= 3; ++dims) {
+      const auto d = SpatialDecomposition::finest(box, dims, kRange);
+      const Vec3 lengths = d.subdomain_lengths();
+      for (int dim = 0; dim < dims; ++dim) {
+        EXPECT_GE(lengths[dim], 2.0 * kRange)
+            << "box " << edge << " dims " << dims;
+      }
+    }
+  }
+}
+
+TEST(Decomposition, DescribeMentionsGeometry) {
+  const Box box = Box::cubic(40.0);
+  const auto d = SpatialDecomposition::finest(box, 2, kRange);
+  const std::string s = d.describe();
+  EXPECT_NE(s.find("2-D"), std::string::npos);
+  EXPECT_NE(s.find("10x10x1"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace sdcmd

@@ -1,0 +1,72 @@
+#include "md/deform.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/error.hpp"
+#include "common/units.hpp"
+
+namespace sdcmd {
+namespace {
+
+System unit_system() {
+  LatticeSpec spec;
+  spec.type = LatticeType::Bcc;
+  spec.a0 = units::kLatticeFe;
+  spec.nx = spec.ny = spec.nz = 3;
+  return System::from_lattice(spec, units::kMassFe);
+}
+
+TEST(BoxDeformer, UniaxialStretchesOneAxis) {
+  System system = unit_system();
+  const double lx0 = system.box().length(0);
+  const double ly0 = system.box().length(1);
+  auto deformer = BoxDeformer::uniaxial(0, 0.01);
+  deformer.apply(system);
+  EXPECT_NEAR(system.box().length(0), lx0 * 1.01, 1e-12);
+  EXPECT_DOUBLE_EQ(system.box().length(1), ly0);
+}
+
+TEST(BoxDeformer, PositionsFollowAffinely) {
+  System system = unit_system();
+  const Vec3 before = system.atoms().position[10];
+  const double lx0 = system.box().length(0);
+  auto deformer = BoxDeformer::uniaxial(0, 0.05);
+  deformer.apply(system);
+  const Vec3 after = system.atoms().position[10];
+  EXPECT_NEAR(after.x, before.x * 1.05, 1e-10 * lx0);
+  EXPECT_DOUBLE_EQ(after.y, before.y);
+  EXPECT_DOUBLE_EQ(after.z, before.z);
+}
+
+TEST(BoxDeformer, StrainAccumulatesMultiplicatively) {
+  System system = unit_system();
+  auto deformer = BoxDeformer::uniaxial(2, 0.01);
+  for (int i = 0; i < 10; ++i) deformer.apply(system);
+  EXPECT_NEAR(deformer.accumulated_strain().z,
+              std::pow(1.01, 10) - 1.0, 1e-12);
+  EXPECT_EQ(deformer.accumulated_strain().x, 0.0);
+}
+
+TEST(BoxDeformer, CompressionShrinksBox) {
+  System system = unit_system();
+  const double lx0 = system.box().length(0);
+  BoxDeformer deformer({-0.02, 0.0, 0.0});
+  deformer.apply(system);
+  EXPECT_NEAR(system.box().length(0), lx0 * 0.98, 1e-12);
+}
+
+TEST(BoxDeformer, RejectsBoxInversion) {
+  EXPECT_THROW(BoxDeformer({-1.5, 0.0, 0.0}), PreconditionError);
+  EXPECT_THROW(BoxDeformer::uniaxial(3, 0.01), PreconditionError);
+}
+
+TEST(BoxDeformer, VolumeChangesConsistently) {
+  System system = unit_system();
+  const double v0 = system.box().volume();
+  BoxDeformer deformer({0.1, 0.1, 0.1});
+  deformer.apply(system);
+  EXPECT_NEAR(system.box().volume(), v0 * 1.331, 1e-9 * v0);
+}
+
+}  // namespace
+}  // namespace sdcmd

@@ -1,0 +1,107 @@
+#include "md/dump.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+#include "common/error.hpp"
+#include "common/units.hpp"
+
+namespace sdcmd {
+namespace {
+
+System small_system() {
+  LatticeSpec spec;
+  spec.type = LatticeType::Bcc;
+  spec.a0 = units::kLatticeFe;
+  spec.nx = spec.ny = spec.nz = 2;
+  return System::from_lattice(spec, units::kMassFe);
+}
+
+TEST(Xyz, HeaderHasCountAndLattice) {
+  const System system = small_system();
+  std::ostringstream os;
+  write_xyz(os, system, "Fe", "step=0");
+  std::istringstream is(os.str());
+  std::string line;
+  std::getline(is, line);
+  EXPECT_EQ(line, "16");
+  std::getline(is, line);
+  EXPECT_NE(line.find("Lattice="), std::string::npos);
+  EXPECT_NE(line.find("step=0"), std::string::npos);
+}
+
+TEST(Xyz, OneLinePerAtomWithSpecies) {
+  const System system = small_system();
+  std::ostringstream os;
+  write_xyz(os, system);
+  std::istringstream is(os.str());
+  std::string line;
+  std::getline(is, line);
+  std::getline(is, line);
+  std::size_t atoms = 0;
+  while (std::getline(is, line)) {
+    EXPECT_EQ(line.rfind("Fe ", 0), 0u);
+    std::istringstream fields(line);
+    std::string species;
+    double x, y, z;
+    EXPECT_TRUE(static_cast<bool>(fields >> species >> x >> y >> z));
+    ++atoms;
+  }
+  EXPECT_EQ(atoms, system.size());
+}
+
+TEST(LammpsDump, SectionsAndAtomLines) {
+  const System system = small_system();
+  std::ostringstream os;
+  write_lammps_dump(os, system, 42);
+  const std::string out = os.str();
+  EXPECT_NE(out.find("ITEM: TIMESTEP\n42"), std::string::npos);
+  EXPECT_NE(out.find("ITEM: NUMBER OF ATOMS\n16"), std::string::npos);
+  EXPECT_NE(out.find("ITEM: BOX BOUNDS pp pp pp"), std::string::npos);
+  EXPECT_NE(out.find("ITEM: ATOMS id x y z vx vy vz"), std::string::npos);
+}
+
+TEST(LammpsDump, AtomIdsAreOneBased) {
+  const System system = small_system();
+  std::ostringstream os;
+  write_lammps_dump(os, system, 0);
+  std::istringstream is(os.str());
+  std::string line;
+  while (std::getline(is, line)) {
+    if (line.rfind("ITEM: ATOMS", 0) == 0) break;
+  }
+  std::getline(is, line);
+  std::istringstream fields(line);
+  int id;
+  fields >> id;
+  EXPECT_EQ(id, 1);
+}
+
+TEST(DumpFiles, AppendAccumulatesFrames) {
+  const System system = small_system();
+  const std::string path = testing::TempDir() + "sdcmd_dump_test.xyz";
+  std::remove(path.c_str());
+  append_xyz_file(path, system);
+  append_xyz_file(path, system);
+  std::ifstream in(path);
+  std::string line;
+  int frames = 0;
+  while (std::getline(in, line)) {
+    if (line == "16") ++frames;
+  }
+  EXPECT_EQ(frames, 2);
+  std::remove(path.c_str());
+}
+
+TEST(DumpFiles, UnwritablePathThrows) {
+  const System system = small_system();
+  EXPECT_THROW(append_xyz_file("/nonexistent-dir/x.xyz", system), Error);
+  EXPECT_THROW(append_lammps_dump_file("/nonexistent-dir/x.dump", system, 0),
+               Error);
+}
+
+}  // namespace
+}  // namespace sdcmd

@@ -1,0 +1,386 @@
+// Cross-strategy correctness of the three-phase EAM force engine: every
+// parallelization strategy must reproduce the serial kernel, obey Newton's
+// third law, match finite-difference gradients of the total energy, and
+// (for SDC) be bitwise deterministic across repeated runs.
+#include "core/eam_force.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/error.hpp"
+#include "common/random.hpp"
+#include "common/units.hpp"
+#include "geom/lattice.hpp"
+#include "potential/finnis_sinclair.hpp"
+
+namespace sdcmd {
+namespace {
+
+constexpr double kSkin = 0.4;
+
+struct Workload {
+  Box box;
+  std::vector<Vec3> positions;
+  FinnisSinclair potential{FinnisSinclairParams::iron()};
+  std::unique_ptr<NeighborList> half;
+  std::unique_ptr<NeighborList> full;
+
+  explicit Workload(int cells, double jitter = 0.05,
+                    std::uint64_t seed = 7)
+      : box(Box::cubic(cells * units::kLatticeFe)) {
+    LatticeSpec spec;
+    spec.type = LatticeType::Bcc;
+    spec.a0 = units::kLatticeFe;
+    spec.nx = spec.ny = spec.nz = cells;
+    positions = build_lattice(spec);
+    if (jitter > 0.0) {
+      Xoshiro256 rng(seed);
+      for (auto& r : positions) {
+        r += Vec3{rng.normal(0.0, jitter), rng.normal(0.0, jitter),
+                  rng.normal(0.0, jitter)};
+        r = box.wrap(r);
+      }
+    }
+    NeighborListConfig cfg;
+    cfg.cutoff = potential.cutoff();
+    cfg.skin = kSkin;
+    half = std::make_unique<NeighborList>(box, cfg);
+    half->build(positions);
+    cfg.mode = NeighborMode::Full;
+    full = std::make_unique<NeighborList>(box, cfg);
+    full->build(positions);
+  }
+
+  struct Output {
+    std::vector<double> rho, fp;
+    std::vector<Vec3> force;
+    EamForceResult result;
+  };
+
+  Output run(ReductionStrategy strategy, int sdc_dims = 2) {
+    EamForceConfig cfg;
+    cfg.strategy = strategy;
+    cfg.sdc.dimensionality = sdc_dims;
+    EamForceComputer computer(potential, cfg);
+    computer.attach_schedule(box, potential.cutoff() + kSkin);
+    computer.on_neighbor_rebuild(positions);
+
+    Output out;
+    out.rho.resize(positions.size());
+    out.fp.resize(positions.size());
+    out.force.resize(positions.size());
+    const NeighborList& list =
+        required_mode(strategy) == NeighborMode::Full ? *full : *half;
+    out.result = computer.compute(box, positions, list, out.rho, out.fp,
+                                  out.force);
+    return out;
+  }
+};
+
+void expect_outputs_match(const Workload::Output& a,
+                          const Workload::Output& b, double tol) {
+  ASSERT_EQ(a.rho.size(), b.rho.size());
+  for (std::size_t i = 0; i < a.rho.size(); ++i) {
+    EXPECT_NEAR(a.rho[i], b.rho[i], tol * std::max(1.0, std::abs(a.rho[i])))
+        << "rho mismatch at atom " << i;
+    EXPECT_NEAR(norm(a.force[i] - b.force[i]), 0.0, tol * 10.0)
+        << "force mismatch at atom " << i;
+  }
+  EXPECT_NEAR(a.result.pair_energy, b.result.pair_energy,
+              tol * std::abs(a.result.pair_energy));
+  EXPECT_NEAR(a.result.embedding_energy, b.result.embedding_energy,
+              tol * std::abs(a.result.embedding_energy));
+  EXPECT_NEAR(a.result.virial, b.result.virial,
+              tol * std::max(1.0, std::abs(a.result.virial)));
+}
+
+class StrategyEquivalenceTest
+    : public ::testing::TestWithParam<ReductionStrategy> {};
+
+TEST_P(StrategyEquivalenceTest, MatchesSerialKernel) {
+  Workload w(6);
+  const auto serial = w.run(ReductionStrategy::Serial);
+  const auto other = w.run(GetParam());
+  expect_outputs_match(serial, other, 1e-10);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllStrategies, StrategyEquivalenceTest,
+    ::testing::Values(ReductionStrategy::Critical, ReductionStrategy::Atomic,
+                      ReductionStrategy::LockStriped,
+                      ReductionStrategy::ArrayPrivatization,
+                      ReductionStrategy::RedundantComputation,
+                      ReductionStrategy::Sdc),
+    [](const auto& info) { return to_string(info.param); });
+
+class SdcDimensionalityTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(SdcDimensionalityTest, AllDimensionalitiesMatchSerial) {
+  Workload w(6);
+  const auto serial = w.run(ReductionStrategy::Serial);
+  const auto sdc = w.run(ReductionStrategy::Sdc, GetParam());
+  expect_outputs_match(serial, sdc, 1e-10);
+}
+
+TEST_P(SdcDimensionalityTest, SdcIsDeterministic) {
+  // A data race would make repeated runs disagree; SDC must be bitwise
+  // stable because each memory location is touched by exactly one thread
+  // per color sweep in a fixed order.
+  Workload w(6);
+  const auto a = w.run(ReductionStrategy::Sdc, GetParam());
+  const auto b = w.run(ReductionStrategy::Sdc, GetParam());
+  for (std::size_t i = 0; i < a.rho.size(); ++i) {
+    EXPECT_EQ(a.rho[i], b.rho[i]);
+    EXPECT_EQ(a.force[i].x, b.force[i].x);
+    EXPECT_EQ(a.force[i].y, b.force[i].y);
+    EXPECT_EQ(a.force[i].z, b.force[i].z);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Dims, SdcDimensionalityTest,
+                         ::testing::Values(1, 2, 3));
+
+TEST(EamForce, NewtonsThirdLawTotalForceVanishes) {
+  Workload w(6);
+  for (ReductionStrategy s :
+       {ReductionStrategy::Serial, ReductionStrategy::Sdc,
+        ReductionStrategy::RedundantComputation}) {
+    const auto out = w.run(s);
+    Vec3 total{};
+    for (const auto& f : out.force) total += f;
+    EXPECT_NEAR(norm(total), 0.0, 1e-9) << to_string(s);
+  }
+}
+
+TEST(EamForce, PerfectLatticeHasZeroForcesBySymmetry) {
+  Workload w(6, /*jitter=*/0.0);
+  const auto out = w.run(ReductionStrategy::Serial);
+  for (const auto& f : out.force) {
+    EXPECT_NEAR(norm(f), 0.0, 1e-10);
+  }
+}
+
+TEST(EamForce, PerfectLatticeEnergyIsNegativeAndExtensive) {
+  // Cohesion: the FS iron crystal must bind (negative energy per atom),
+  // and doubling the system doubles the energy.
+  Workload small(4, 0.0);
+  Workload large(8, 0.0);
+  const auto e_small = small.run(ReductionStrategy::Serial).result;
+  const auto e_large = large.run(ReductionStrategy::Serial).result;
+  EXPECT_LT(e_small.total_energy(), 0.0);
+  const double per_atom_small =
+      e_small.total_energy() / static_cast<double>(small.positions.size());
+  const double per_atom_large =
+      e_large.total_energy() / static_cast<double>(large.positions.size());
+  EXPECT_NEAR(per_atom_small, per_atom_large,
+              1e-9 * std::abs(per_atom_small));
+}
+
+TEST(EamForce, ForceIsMinusGradientOfEnergy) {
+  Workload w(4, 0.08, 99);
+  const auto base = w.run(ReductionStrategy::Serial);
+
+  const double h = 1e-6;
+  Xoshiro256 rng(3);
+  for (int trial = 0; trial < 8; ++trial) {
+    const auto atom = static_cast<std::size_t>(
+        rng.below(w.positions.size()));
+    const int dim = static_cast<int>(rng.below(3));
+
+    const double original = w.positions[atom][dim];
+    w.positions[atom][dim] = original + h;
+    w.half->build(w.positions);
+    const double e_plus = w.run(ReductionStrategy::Serial)
+                              .result.total_energy();
+    w.positions[atom][dim] = original - h;
+    w.half->build(w.positions);
+    const double e_minus = w.run(ReductionStrategy::Serial)
+                               .result.total_energy();
+    w.positions[atom][dim] = original;
+    w.half->build(w.positions);
+
+    const double fd_force = -(e_plus - e_minus) / (2.0 * h);
+    EXPECT_NEAR(base.force[atom][dim], fd_force, 2e-4)
+        << "atom " << atom << " dim " << dim;
+  }
+}
+
+TEST(EamForce, RhoMatchesDirectSum) {
+  Workload w(4, 0.05);
+  const auto out = w.run(ReductionStrategy::Serial);
+  // Independent O(N^2) density computation.
+  for (std::size_t i = 0; i < std::min<std::size_t>(w.positions.size(), 20);
+       ++i) {
+    double rho = 0.0;
+    for (std::size_t j = 0; j < w.positions.size(); ++j) {
+      if (i == j) continue;
+      const double r =
+          std::sqrt(w.box.distance2(w.positions[i], w.positions[j]));
+      if (r >= w.potential.cutoff()) continue;
+      double phi, dphidr;
+      w.potential.density(r, phi, dphidr);
+      rho += phi;
+    }
+    EXPECT_NEAR(out.rho[i], rho, 1e-10 * std::max(1.0, rho));
+  }
+}
+
+TEST(EamForce, StatsCountersTrackWork) {
+  Workload w(6);
+  EamForceConfig cfg;
+  cfg.strategy = ReductionStrategy::Sdc;
+  EamForceComputer computer(w.potential, cfg);
+  computer.attach_schedule(w.box, w.potential.cutoff() + kSkin);
+  computer.on_neighbor_rebuild(w.positions);
+
+  std::vector<double> rho(w.positions.size()), fp(w.positions.size());
+  std::vector<Vec3> force(w.positions.size());
+  computer.compute(w.box, w.positions, *w.half, rho, fp, force);
+  computer.compute(w.box, w.positions, *w.half, rho, fp, force);
+
+  const auto& stats = computer.stats();
+  EXPECT_EQ(stats.density_pair_visits, 2 * w.half->pair_count());
+  EXPECT_EQ(stats.scatter_updates, 4 * w.half->pair_count());
+  EXPECT_EQ(stats.color_sweeps,
+            4u * static_cast<std::size_t>(computer.schedule()->color_count()));
+
+  computer.reset_instrumentation();
+  EXPECT_EQ(computer.stats().density_pair_visits, 0u);
+}
+
+TEST(EamForce, RcVisitsTwiceThePairs) {
+  Workload w(6);
+  EXPECT_EQ(w.full->pair_count(), 2 * w.half->pair_count());
+}
+
+TEST(EamForce, SapReportsPrivateMemoryProportionalToThreads) {
+  Workload w(6);
+  EamForceConfig cfg;
+  cfg.strategy = ReductionStrategy::ArrayPrivatization;
+  EamForceComputer computer(w.potential, cfg);
+  std::vector<double> rho(w.positions.size()), fp(w.positions.size());
+  std::vector<Vec3> force(w.positions.size());
+  computer.compute(w.box, w.positions, *w.half, rho, fp, force);
+  // rho + force replicas per thread: n * (8 + 24) bytes each.
+  const std::size_t per_thread =
+      w.positions.size() * (sizeof(double) + sizeof(Vec3));
+  EXPECT_GE(computer.stats().private_array_bytes, per_thread);
+}
+
+TEST(EamForce, WrongListModeThrows) {
+  Workload w(6);
+  EamForceConfig cfg;
+  cfg.strategy = ReductionStrategy::RedundantComputation;
+  EamForceComputer computer(w.potential, cfg);
+  std::vector<double> rho(w.positions.size()), fp(w.positions.size());
+  std::vector<Vec3> force(w.positions.size());
+  EXPECT_THROW(
+      computer.compute(w.box, w.positions, *w.half, rho, fp, force),
+      PreconditionError);
+}
+
+TEST(EamForce, SdcWithoutScheduleThrows) {
+  Workload w(6);
+  EamForceConfig cfg;
+  cfg.strategy = ReductionStrategy::Sdc;
+  EamForceComputer computer(w.potential, cfg);
+  std::vector<double> rho(w.positions.size()), fp(w.positions.size());
+  std::vector<Vec3> force(w.positions.size());
+  EXPECT_THROW(
+      computer.compute(w.box, w.positions, *w.half, rho, fp, force),
+      PreconditionError);
+}
+
+TEST(EamForce, MismatchedOutputSizesThrow) {
+  Workload w(4);
+  EamForceConfig cfg;
+  cfg.strategy = ReductionStrategy::Serial;
+  EamForceComputer computer(w.potential, cfg);
+  std::vector<double> rho(w.positions.size() - 1), fp(w.positions.size());
+  std::vector<Vec3> force(w.positions.size());
+  EXPECT_THROW(
+      computer.compute(w.box, w.positions, *w.half, rho, fp, force),
+      PreconditionError);
+}
+
+TEST(EamForce, DynamicScheduleMatchesStatic) {
+  Workload w(6);
+  EamForceConfig cfg;
+  cfg.strategy = ReductionStrategy::Sdc;
+  cfg.dynamic_schedule = true;
+  EamForceComputer computer(w.potential, cfg);
+  computer.attach_schedule(w.box, w.potential.cutoff() + kSkin);
+  computer.on_neighbor_rebuild(w.positions);
+  std::vector<double> rho(w.positions.size()), fp(w.positions.size());
+  std::vector<Vec3> force(w.positions.size());
+  computer.compute(w.box, w.positions, *w.half, rho, fp, force);
+
+  const auto serial = w.run(ReductionStrategy::Serial);
+  for (std::size_t i = 0; i < rho.size(); ++i) {
+    EXPECT_NEAR(rho[i], serial.rho[i], 1e-10 * std::max(1.0, rho[i]));
+  }
+}
+
+TEST(EamForce, ForcesInvariantUnderRigidTranslation) {
+  // Translating every atom by the same vector (with PBC wrap) must leave
+  // energies and forces untouched.
+  Workload a(5, 0.06, 13);
+  Workload b(5, 0.06, 13);
+  const Vec3 shift{1.2345, -0.6789, 2.222};
+  for (auto& r : b.positions) r = b.box.wrap(r + shift);
+  b.half->build(b.positions);
+
+  const auto out_a = a.run(ReductionStrategy::Serial);
+  const auto out_b = b.run(ReductionStrategy::Serial);
+  EXPECT_NEAR(out_a.result.total_energy(), out_b.result.total_energy(),
+              1e-9 * std::abs(out_a.result.total_energy()));
+  for (std::size_t i = 0; i < out_a.force.size(); ++i) {
+    EXPECT_NEAR(norm(out_a.force[i] - out_b.force[i]), 0.0, 1e-9);
+  }
+}
+
+TEST(EamForce, ForcesCovariantUnderLatticeRotation) {
+  // Rotating the configuration by 90 degrees about z (a symmetry of the
+  // cubic box) must rotate the forces with it.
+  Workload a(5, 0.06, 17);
+  Workload b(5, 0.0, 0);
+  const double edge = a.box.length(0);
+  b.positions.resize(a.positions.size());
+  for (std::size_t i = 0; i < a.positions.size(); ++i) {
+    const Vec3& r = a.positions[i];
+    b.positions[i] = b.box.wrap({edge - r.y, r.x, r.z});
+  }
+  b.half->build(b.positions);
+
+  const auto out_a = a.run(ReductionStrategy::Serial);
+  const auto out_b = b.run(ReductionStrategy::Serial);
+  EXPECT_NEAR(out_a.result.total_energy(), out_b.result.total_energy(),
+              1e-9 * std::abs(out_a.result.total_energy()));
+  for (std::size_t i = 0; i < out_a.force.size(); ++i) {
+    const Vec3 rotated{-out_a.force[i].y, out_a.force[i].x,
+                       out_a.force[i].z};
+    EXPECT_NEAR(norm(rotated - out_b.force[i]), 0.0, 1e-8) << "atom " << i;
+  }
+}
+
+TEST(EamForce, PhaseTimersCoverAllThreePhases) {
+  Workload w(4);
+  EamForceConfig cfg;
+  cfg.strategy = ReductionStrategy::Serial;
+  EamForceComputer computer(w.potential, cfg);
+  std::vector<double> rho(w.positions.size()), fp(w.positions.size());
+  std::vector<Vec3> force(w.positions.size());
+  computer.compute(w.box, w.positions, *w.half, rho, fp, force);
+  const auto entries = computer.timers().entries();
+  ASSERT_EQ(entries.size(), 3u);
+  EXPECT_EQ(entries[0].name, "density");
+  EXPECT_EQ(entries[1].name, "embed");
+  EXPECT_EQ(entries[2].name, "force");
+  for (const auto& e : entries) {
+    EXPECT_EQ(e.laps, 1u);
+  }
+}
+
+}  // namespace
+}  // namespace sdcmd

@@ -1,0 +1,99 @@
+#include "potential/funcfl.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <sstream>
+
+#include "common/error.hpp"
+
+namespace sdcmd {
+namespace {
+
+/// A small synthetic funcfl table with a purely repulsive Z^2/r pair term.
+EamTables repulsive_tables() {
+  EamTables t;
+  t.label = "test";
+  t.atomic_number = 26;
+  t.mass = 55.845;
+  t.lattice_constant = 2.87;
+  t.structure = "bcc";
+  t.dr = 0.01;
+  t.drho = 0.1;
+  t.cutoff = 3.0;
+  const std::size_t nr = 301, nrho = 101;
+  t.pair.resize(nr);
+  t.density.resize(nr);
+  t.embed.resize(nrho);
+  constexpr double kZ2ToEvA = 27.2 * 0.529;
+  for (std::size_t i = 0; i < nr; ++i) {
+    const double r = t.dr * static_cast<double>(i);
+    const double z = std::exp(-r);  // decaying effective charge
+    t.pair[i] = i == 0 ? 0.0 : kZ2ToEvA * z * z / r;
+    t.density[i] = std::exp(-2.0 * r);
+  }
+  t.pair[0] = 2.0 * t.pair[1] - t.pair[2];
+  for (std::size_t i = 0; i < nrho; ++i) {
+    const double rho = t.drho * static_cast<double>(i);
+    t.embed[i] = -std::sqrt(rho);
+  }
+  return t;
+}
+
+TEST(Funcfl, RoundTripPreservesTables) {
+  const EamTables original = repulsive_tables();
+  std::stringstream stream;
+  write_funcfl(stream, original, "round trip");
+  const EamTables parsed = read_funcfl(stream);
+
+  EXPECT_EQ(parsed.atomic_number, original.atomic_number);
+  EXPECT_DOUBLE_EQ(parsed.mass, original.mass);
+  EXPECT_EQ(parsed.structure, original.structure);
+  ASSERT_EQ(parsed.pair.size(), original.pair.size());
+  for (std::size_t i = 1; i < original.pair.size(); ++i) {
+    EXPECT_NEAR(parsed.pair[i], original.pair[i],
+                1e-10 * std::max(1.0, std::abs(original.pair[i])))
+        << "i=" << i;
+  }
+  for (std::size_t i = 0; i < original.embed.size(); ++i) {
+    EXPECT_NEAR(parsed.embed[i], original.embed[i], 1e-12);
+  }
+  for (std::size_t i = 0; i < original.density.size(); ++i) {
+    EXPECT_NEAR(parsed.density[i], original.density[i], 1e-12);
+  }
+}
+
+TEST(Funcfl, ParsedTablesFormAValidPotential) {
+  const EamTables original = repulsive_tables();
+  std::stringstream stream;
+  write_funcfl(stream, original);
+  TabulatedEam pot{read_funcfl(stream)};
+  double v, dvdr;
+  pot.pair(1.5, v, dvdr);
+  EXPECT_GT(v, 0.0);       // repulsive
+  EXPECT_LT(dvdr, 0.0);    // decaying
+}
+
+TEST(Funcfl, WriterRejectsAttractivePairTerms) {
+  EamTables t = repulsive_tables();
+  t.pair[50] = -1.0;  // V < 0 has no real Z
+  std::stringstream stream;
+  EXPECT_THROW(write_funcfl(stream, t), PreconditionError);
+}
+
+TEST(Funcfl, RejectsTruncatedInput) {
+  std::stringstream stream("comment\n26 55.8 2.87 bcc\n10 0.1 10 0.01 3.0\n1 2 3\n");
+  EXPECT_THROW(read_funcfl(stream), ParseError);
+}
+
+TEST(Funcfl, RejectsBadHeader) {
+  std::stringstream stream("comment\n26 55.8 2.87 bcc\n1 0.1 10 0.01 3.0\n");
+  EXPECT_THROW(read_funcfl(stream), ParseError);
+}
+
+TEST(Funcfl, MissingFileThrows) {
+  EXPECT_THROW(read_funcfl_file("/nonexistent/pot.funcfl"), ParseError);
+}
+
+}  // namespace
+}  // namespace sdcmd

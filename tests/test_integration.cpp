@@ -1,0 +1,211 @@
+// Cross-module integration tests: tabulated-vs-analytic dynamics, thread
+// count sweeps, non-cubic boxes, and checkpoint-driven exact restarts of
+// the full Simulation stack.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/threads.hpp"
+#include "common/units.hpp"
+#include "core/eam_force.hpp"
+#include "io/checkpoint.hpp"
+#include "md/simulation.hpp"
+#include "potential/finnis_sinclair.hpp"
+#include "potential/setfl.hpp"
+#include "potential/tabulated.hpp"
+
+namespace sdcmd {
+namespace {
+
+const FinnisSinclair& iron() {
+  static FinnisSinclair fe{FinnisSinclairParams::iron()};
+  return fe;
+}
+
+System bcc(int cells) {
+  LatticeSpec spec;
+  spec.type = LatticeType::Bcc;
+  spec.a0 = units::kLatticeFe;
+  spec.nx = spec.ny = spec.nz = cells;
+  return System::from_lattice(spec, units::kMassFe);
+}
+
+SimulationConfig sdc_config() {
+  SimulationConfig cfg;
+  cfg.dt = units::fs_to_internal(1.0);
+  cfg.force.strategy = ReductionStrategy::Sdc;
+  cfg.force.sdc.dimensionality = 2;
+  return cfg;
+}
+
+TEST(Integration, TabulatedPotentialTracksAnalyticTrajectory) {
+  // A finely tabulated FS iron must reproduce the analytic trajectory to
+  // within the interpolation error over a short run.
+  const auto tab = TabulatedEam::from_analytic(iron(), 8000, 8000, 80.0);
+
+  SimulationConfig cfg;
+  cfg.dt = units::fs_to_internal(1.0);
+  cfg.force.strategy = ReductionStrategy::Serial;
+
+  Simulation a(bcc(4), iron(), cfg);
+  Simulation b(bcc(4), tab, cfg);
+  a.set_temperature(200.0, 31);
+  b.set_temperature(200.0, 31);
+  a.run(30);
+  b.run(30);
+
+  double worst = 0.0;
+  for (std::size_t i = 0; i < a.system().size(); ++i) {
+    worst = std::max(worst, norm(a.system().atoms().position[i] -
+                                 b.system().atoms().position[i]));
+  }
+  EXPECT_LT(worst, 1e-4);
+  EXPECT_NEAR(a.sample().potential_energy(), b.sample().potential_energy(),
+              1e-3);
+}
+
+TEST(Integration, SetflRoundTrippedPotentialRunsIdenticalDynamics) {
+  const auto tab = TabulatedEam::from_analytic(iron(), 2000, 2000, 80.0);
+  std::stringstream stream;
+  write_setfl(stream, tab.tables());
+  TabulatedEam reread{read_setfl(stream)};
+
+  SimulationConfig cfg;
+  cfg.dt = units::fs_to_internal(1.0);
+  cfg.force.strategy = ReductionStrategy::Serial;
+  Simulation a(bcc(3), tab, cfg);
+  Simulation b(bcc(3), reread, cfg);
+  a.set_temperature(100.0, 7);
+  b.set_temperature(100.0, 7);
+  a.run(20);
+  b.run(20);
+  for (std::size_t i = 0; i < a.system().size(); ++i) {
+    EXPECT_NEAR(norm(a.system().atoms().position[i] -
+                     b.system().atoms().position[i]),
+                0.0, 1e-9);
+  }
+}
+
+class ThreadCountTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(ThreadCountTest, SdcResultsIndependentOfThreadCount) {
+  // The color sweep assigns each subdomain's atoms to exactly one thread
+  // in a fixed order, so rho/force must not depend on the thread count.
+  const int previous = max_threads();
+  System system = bcc(6);
+  NeighborListConfig nl;
+  nl.cutoff = iron().cutoff();
+  nl.skin = 0.4;
+  NeighborList list(system.box(), nl);
+  list.build(system.atoms().position);
+
+  EamForceConfig cfg;
+  cfg.strategy = ReductionStrategy::Sdc;
+  cfg.sdc.dimensionality = 2;
+
+  auto run_with = [&](int threads) {
+    set_threads(threads);
+    EamForceComputer computer(iron(), cfg);
+    computer.attach_schedule(system.box(), iron().cutoff() + 0.4);
+    computer.on_neighbor_rebuild(system.atoms().position);
+    std::vector<double> rho(system.size()), fp(system.size());
+    std::vector<Vec3> force(system.size());
+    computer.compute(system.box(), system.atoms().position, list, rho, fp,
+                     force);
+    return rho;
+  };
+
+  const auto reference = run_with(1);
+  const auto parallel = run_with(GetParam());
+  set_threads(previous);
+  for (std::size_t i = 0; i < reference.size(); ++i) {
+    // Same per-atom iteration order regardless of threads -> bitwise.
+    EXPECT_EQ(reference[i], parallel[i]) << "atom " << i;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Threads, ThreadCountTest,
+                         ::testing::Values(2, 3, 5, 8));
+
+TEST(Integration, NonCubicBoxesWorkThroughTheWholeStack) {
+  LatticeSpec spec;
+  spec.type = LatticeType::Bcc;
+  spec.a0 = units::kLatticeFe;
+  spec.nx = 8;
+  spec.ny = 6;
+  spec.nz = 7;
+  System system = System::from_lattice(spec, units::kMassFe);
+
+  SimulationConfig cfg = sdc_config();
+  cfg.force.sdc.dimensionality = 1;  // decompose the long axis
+  Simulation sim(std::move(system), iron(), cfg);
+  sim.set_temperature(150.0, 9);
+  sim.compute_forces();
+  const double e0 = sim.sample().total_energy();
+  sim.run(50);
+  EXPECT_NEAR(sim.sample().total_energy(), e0,
+              2e-4 * static_cast<double>(sim.system().size()));
+}
+
+TEST(Integration, CheckpointRestartContinuesBitExactlyInNve) {
+  // NVE dynamics is deterministic: a restart from a full-precision
+  // checkpoint must follow the original trajectory exactly (same binary,
+  // same thread count, same rebuild cadence). Rebuilding every step makes
+  // the cadence identical on both sides of the restart - a restarted run
+  // otherwise rebuilds at different steps, reordering FP summation.
+  SimulationConfig cfg;
+  cfg.dt = units::fs_to_internal(1.0);
+  cfg.force.strategy = ReductionStrategy::Serial;
+  cfg.rebuild_interval = 1;
+
+  Simulation sim(bcc(4), iron(), cfg);
+  sim.set_temperature(250.0, 77);
+  sim.run(25);
+  std::stringstream stream;
+  save_checkpoint(stream, sim.system(), sim.current_step());
+  sim.run(25);
+
+  Checkpoint restored = load_checkpoint(stream);
+  Simulation resumed(std::move(restored.system), iron(), cfg);
+  resumed.run(25);
+
+  for (std::size_t i = 0; i < sim.system().size(); ++i) {
+    EXPECT_EQ(sim.system().atoms().position[i].x,
+              resumed.system().atoms().position[i].x)
+        << "atom " << i;
+    EXPECT_EQ(sim.system().atoms().velocity[i].x,
+              resumed.system().atoms().velocity[i].x);
+  }
+}
+
+TEST(Integration, AllStrategiesAgreeAfterDynamics) {
+  // Not just one force call: after 20 MD steps the trajectories under
+  // every strategy must still agree (error compounds ~linearly, so this
+  // catches subtle cross-strategy inconsistencies single-shot tests miss).
+  std::vector<Vec3> reference;
+  for (ReductionStrategy strategy :
+       {ReductionStrategy::Serial, ReductionStrategy::Atomic,
+        ReductionStrategy::LockStriped, ReductionStrategy::Sdc,
+        ReductionStrategy::RedundantComputation}) {
+    SimulationConfig cfg;
+    cfg.dt = units::fs_to_internal(1.0);
+    cfg.force.strategy = strategy;
+    cfg.force.sdc.dimensionality = 2;
+    Simulation sim(bcc(6), iron(), cfg);
+    sim.set_temperature(150.0, 5);
+    sim.run(20);
+    if (reference.empty()) {
+      reference = sim.system().atoms().position;
+      continue;
+    }
+    double worst = 0.0;
+    for (std::size_t i = 0; i < reference.size(); ++i) {
+      worst = std::max(
+          worst, norm(reference[i] - sim.system().atoms().position[i]));
+    }
+    EXPECT_LT(worst, 1e-7) << to_string(strategy);
+  }
+}
+
+}  // namespace
+}  // namespace sdcmd

@@ -1,0 +1,90 @@
+#include "md/integrator.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/error.hpp"
+
+namespace sdcmd {
+namespace {
+
+TEST(VelocityVerlet, RejectsBadParameters) {
+  EXPECT_THROW(VelocityVerlet(0.0, 1.0), PreconditionError);
+  EXPECT_THROW(VelocityVerlet(0.1, -1.0), PreconditionError);
+}
+
+TEST(VelocityVerlet, FreeParticleMovesUniformly) {
+  VelocityVerlet vv(0.1, 2.0);
+  std::vector<Vec3> x{{0, 0, 0}};
+  std::vector<Vec3> v{{1.0, -2.0, 0.5}};
+  std::vector<Vec3> f{{0, 0, 0}};
+  for (int s = 0; s < 10; ++s) {
+    vv.kick_drift(x, v, f);
+    vv.kick(v, f);
+  }
+  EXPECT_NEAR(x[0].x, 1.0, 1e-12);
+  EXPECT_NEAR(x[0].y, -2.0, 1e-12);
+  EXPECT_NEAR(x[0].z, 0.5, 1e-12);
+  EXPECT_NEAR(v[0].x, 1.0, 1e-12);
+}
+
+TEST(VelocityVerlet, ConstantForceKinematics) {
+  // x(t) = x0 + v0 t + 1/2 (f/m) t^2 is exact for velocity Verlet.
+  const double dt = 0.05, mass = 2.0;
+  VelocityVerlet vv(dt, mass);
+  std::vector<Vec3> x{{0, 0, 0}};
+  std::vector<Vec3> v{{0, 0, 0}};
+  std::vector<Vec3> f{{4.0, 0, 0}};  // a = 2
+  const int steps = 20;
+  for (int s = 0; s < steps; ++s) {
+    vv.kick_drift(x, v, f);
+    vv.kick(v, f);
+  }
+  const double t = steps * dt;
+  EXPECT_NEAR(x[0].x, 0.5 * 2.0 * t * t, 1e-12);
+  EXPECT_NEAR(v[0].x, 2.0 * t, 1e-12);
+}
+
+TEST(VelocityVerlet, HarmonicOscillatorConservesEnergy) {
+  // Single particle on a spring: k = 1, m = 1, x0 = 1.
+  const double dt = 0.01;
+  VelocityVerlet vv(dt, 1.0);
+  std::vector<Vec3> x{{1.0, 0, 0}};
+  std::vector<Vec3> v{{0, 0, 0}};
+  std::vector<Vec3> f{{-x[0].x, 0, 0}};
+
+  auto energy = [&] {
+    return 0.5 * norm2(v[0]) + 0.5 * norm2(x[0]);
+  };
+  const double e0 = energy();
+  for (int s = 0; s < 5000; ++s) {
+    vv.kick_drift(x, v, f);
+    f[0] = -x[0];  // recompute force at the new position
+    vv.kick(v, f);
+  }
+  EXPECT_NEAR(energy(), e0, 1e-5);
+  // Position should still be on the unit-amplitude orbit.
+  EXPECT_LE(std::abs(x[0].x), 1.0 + 1e-4);
+}
+
+TEST(VelocityVerlet, HarmonicOscillatorPhaseAccuracy) {
+  // After one period T = 2*pi the particle returns to the start with
+  // O(dt^2) error.
+  const double dt = 0.001;
+  VelocityVerlet vv(dt, 1.0);
+  std::vector<Vec3> x{{1.0, 0, 0}};
+  std::vector<Vec3> v{{0, 0, 0}};
+  std::vector<Vec3> f{{-1.0, 0, 0}};
+  const auto steps = static_cast<int>(std::lround(2.0 * M_PI / dt));
+  for (int s = 0; s < steps; ++s) {
+    vv.kick_drift(x, v, f);
+    f[0] = -x[0];
+    vv.kick(v, f);
+  }
+  EXPECT_NEAR(x[0].x, 1.0, 1e-3);
+  EXPECT_NEAR(v[0].x, 0.0, 1e-3);
+}
+
+}  // namespace
+}  // namespace sdcmd

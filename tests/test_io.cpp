@@ -1,0 +1,176 @@
+// XYZ reader, LAMMPS data files and checkpoint round trips.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <sstream>
+
+#include "common/error.hpp"
+#include "common/units.hpp"
+#include "io/checkpoint.hpp"
+#include "io/lammps_data.hpp"
+#include "io/xyz_reader.hpp"
+#include "md/dump.hpp"
+#include "md/velocity.hpp"
+
+namespace sdcmd {
+namespace {
+
+System sample_system() {
+  LatticeSpec spec;
+  spec.type = LatticeType::Bcc;
+  spec.a0 = units::kLatticeFe;
+  spec.nx = spec.ny = spec.nz = 3;
+  System system = System::from_lattice(spec, units::kMassFe);
+  maxwell_boltzmann_velocities(system.atoms().velocity, system.mass(),
+                               300.0, 17);
+  system.atoms().image[5] = {1, -2, 0};
+  return system;
+}
+
+TEST(XyzReader, RoundTripsWriteXyz) {
+  const System system = sample_system();
+  std::stringstream stream;
+  write_xyz(stream, system, "Fe", "step=7");
+  const auto frame = read_xyz_frame(stream);
+  ASSERT_TRUE(frame.has_value());
+  ASSERT_EQ(frame->positions.size(), system.size());
+  ASSERT_TRUE(frame->box.has_value());
+  EXPECT_NEAR(frame->box->length(0), system.box().length(0), 1e-6);
+  EXPECT_EQ(frame->species[0], "Fe");
+  EXPECT_NE(frame->comment.find("step=7"), std::string::npos);
+  for (std::size_t i = 0; i < system.size(); ++i) {
+    EXPECT_NEAR(norm(frame->positions[i] - system.atoms().position[i]),
+                0.0, 1e-7);
+  }
+}
+
+TEST(XyzReader, ReadsMultipleFrames) {
+  const System system = sample_system();
+  std::stringstream stream;
+  write_xyz(stream, system);
+  write_xyz(stream, system);
+  int frames = 0;
+  while (read_xyz_frame(stream)) ++frames;
+  EXPECT_EQ(frames, 2);
+}
+
+TEST(XyzReader, EofReturnsNullopt) {
+  std::stringstream empty;
+  EXPECT_FALSE(read_xyz_frame(empty).has_value());
+}
+
+TEST(XyzReader, MalformedCountThrows) {
+  std::stringstream stream("not-a-number\ncomment\n");
+  EXPECT_THROW(read_xyz_frame(stream), ParseError);
+}
+
+TEST(XyzReader, TruncatedFrameThrows) {
+  std::stringstream stream("3\ncomment\nFe 0 0 0\n");
+  EXPECT_THROW(read_xyz_frame(stream), ParseError);
+}
+
+TEST(XyzReader, NonOrthorhombicLatticeYieldsNoBox) {
+  std::stringstream stream(
+      "1\nLattice=\"10 1 0 0 10 0 0 0 10\"\nFe 0 0 0\n");
+  const auto frame = read_xyz_frame(stream);
+  ASSERT_TRUE(frame.has_value());
+  EXPECT_FALSE(frame->box.has_value());
+}
+
+TEST(LammpsData, RoundTripPreservesEverything) {
+  const System original = sample_system();
+  std::stringstream stream;
+  write_lammps_data(stream, original);
+  const System parsed = read_lammps_data(stream);
+
+  EXPECT_EQ(parsed.size(), original.size());
+  EXPECT_DOUBLE_EQ(parsed.mass(), original.mass());
+  EXPECT_NEAR(parsed.box().length(0), original.box().length(0), 1e-12);
+  for (std::size_t i = 0; i < parsed.size(); ++i) {
+    // Rows are written in storage order with 1-based ids.
+    EXPECT_EQ(parsed.atoms().id[i], original.atoms().id[i]);
+    EXPECT_NEAR(
+        norm(parsed.atoms().position[i] - original.atoms().position[i]),
+        0.0, 1e-12);
+    EXPECT_NEAR(
+        norm(parsed.atoms().velocity[i] - original.atoms().velocity[i]),
+        0.0, 1e-12);
+  }
+}
+
+TEST(LammpsData, RejectsMultiTypeFiles) {
+  std::stringstream stream(
+      "c\n\n1 atoms\n2 atom types\n\n0 1 xlo xhi\n0 1 ylo yhi\n0 1 zlo "
+      "zhi\n\nAtoms # atomic\n\n1 1 0 0 0\n");
+  EXPECT_THROW(read_lammps_data(stream), ParseError);
+}
+
+TEST(LammpsData, RejectsMissingBounds) {
+  std::stringstream stream("c\n\n1 atoms\n1 atom types\n\nAtoms\n\n1 1 0 0 0\n");
+  EXPECT_THROW(read_lammps_data(stream), ParseError);
+}
+
+TEST(LammpsData, RejectsTruncatedAtoms) {
+  std::stringstream stream(
+      "c\n\n2 atoms\n1 atom types\n\n0 1 xlo xhi\n0 1 ylo yhi\n0 1 zlo "
+      "zhi\n\nAtoms # atomic\n\n1 1 0 0 0\n");
+  EXPECT_THROW(read_lammps_data(stream), ParseError);
+}
+
+TEST(Checkpoint, RoundTripIsExact) {
+  const System original = sample_system();
+  std::stringstream stream;
+  save_checkpoint(stream, original, 1234);
+  const Checkpoint restored = load_checkpoint(stream);
+
+  EXPECT_EQ(restored.step, 1234);
+  EXPECT_EQ(restored.system.size(), original.size());
+  EXPECT_DOUBLE_EQ(restored.system.mass(), original.mass());
+  EXPECT_EQ(restored.system.box(), original.box());
+  for (std::size_t i = 0; i < original.size(); ++i) {
+    // Bit-exact round trip (17 significant digits).
+    EXPECT_EQ(restored.system.atoms().position[i],
+              original.atoms().position[i]);
+    EXPECT_EQ(restored.system.atoms().velocity[i],
+              original.atoms().velocity[i]);
+    EXPECT_EQ(restored.system.atoms().image[i], original.atoms().image[i]);
+    EXPECT_EQ(restored.system.atoms().id[i], original.atoms().id[i]);
+  }
+}
+
+TEST(Checkpoint, FileRoundTrip) {
+  const std::string path = testing::TempDir() + "sdcmd_ckpt_test.chk";
+  const System original = sample_system();
+  save_checkpoint_file(path, original, 42);
+  const Checkpoint restored = load_checkpoint_file(path);
+  EXPECT_EQ(restored.step, 42);
+  EXPECT_EQ(restored.system.size(), original.size());
+  std::remove(path.c_str());
+}
+
+TEST(Checkpoint, RejectsBadMagic) {
+  std::stringstream stream("wrong-magic 1\n");
+  EXPECT_THROW(load_checkpoint(stream), ParseError);
+}
+
+TEST(Checkpoint, RejectsFutureVersion) {
+  std::stringstream stream("sdcmd-checkpoint 999\nstep 0\n");
+  EXPECT_THROW(load_checkpoint(stream), ParseError);
+}
+
+TEST(Checkpoint, RejectsTruncatedAtomTable) {
+  const System original = sample_system();
+  std::stringstream stream;
+  save_checkpoint(stream, original, 0);
+  std::string text = stream.str();
+  text.resize(text.size() / 2);
+  std::stringstream truncated(text);
+  EXPECT_THROW(load_checkpoint(truncated), ParseError);
+}
+
+TEST(Checkpoint, MissingFileThrows) {
+  EXPECT_THROW(load_checkpoint_file("/nonexistent/x.chk"), ParseError);
+}
+
+}  // namespace
+}  // namespace sdcmd

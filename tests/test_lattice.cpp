@@ -1,0 +1,109 @@
+#include "geom/lattice.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+
+#include "common/error.hpp"
+#include "common/units.hpp"
+
+namespace sdcmd {
+namespace {
+
+TEST(Lattice, BasisSizes) {
+  EXPECT_EQ(atoms_per_cell(LatticeType::SimpleCubic), 1u);
+  EXPECT_EQ(atoms_per_cell(LatticeType::Bcc), 2u);
+  EXPECT_EQ(atoms_per_cell(LatticeType::Fcc), 4u);
+}
+
+TEST(Lattice, AtomCountMatchesSpec) {
+  LatticeSpec spec;
+  spec.type = LatticeType::Bcc;
+  spec.nx = 3;
+  spec.ny = 4;
+  spec.nz = 5;
+  EXPECT_EQ(spec.atom_count(), 2u * 3 * 4 * 5);
+  EXPECT_EQ(build_lattice(spec).size(), spec.atom_count());
+}
+
+TEST(Lattice, PaperCaseSizesExactlyReproduced) {
+  // Section III.B: the four bcc Fe cases.
+  LatticeSpec spec;
+  spec.type = LatticeType::Bcc;
+  spec.nx = spec.ny = spec.nz = 30;
+  EXPECT_EQ(spec.atom_count(), 54000u);
+  spec.nx = spec.ny = spec.nz = 51;
+  EXPECT_EQ(spec.atom_count(), 265302u);
+  spec.nx = spec.ny = spec.nz = 81;
+  EXPECT_EQ(spec.atom_count(), 1062882u);
+  spec.nx = spec.ny = spec.nz = 120;
+  EXPECT_EQ(spec.atom_count(), 3456000u);
+}
+
+TEST(Lattice, AllPositionsInsideBox) {
+  LatticeSpec spec;
+  spec.type = LatticeType::Fcc;
+  spec.a0 = 3.6;
+  spec.nx = spec.ny = spec.nz = 3;
+  const Box box = spec.box();
+  for (const Vec3& r : build_lattice(spec)) {
+    EXPECT_TRUE(box.contains(r));
+  }
+}
+
+TEST(Lattice, PositionsAreUnique) {
+  LatticeSpec spec;
+  spec.type = LatticeType::Bcc;
+  spec.nx = spec.ny = spec.nz = 4;
+  const auto positions = build_lattice(spec);
+  std::set<std::tuple<long, long, long>> seen;
+  for (const Vec3& r : positions) {
+    seen.insert({std::lround(r.x * 1e6), std::lround(r.y * 1e6),
+                 std::lround(r.z * 1e6)});
+  }
+  EXPECT_EQ(seen.size(), positions.size());
+}
+
+TEST(Lattice, BccNearestNeighborDistance) {
+  LatticeSpec spec;
+  spec.type = LatticeType::Bcc;
+  spec.a0 = units::kLatticeFe;
+  spec.nx = spec.ny = spec.nz = 3;
+  const auto positions = build_lattice(spec);
+  const Box box = spec.box();
+  // nearest-neighbor distance in bcc is a0 * sqrt(3)/2
+  double min_d2 = 1e30;
+  for (std::size_t i = 0; i < positions.size(); ++i) {
+    for (std::size_t j = i + 1; j < positions.size(); ++j) {
+      min_d2 = std::min(min_d2, box.distance2(positions[i], positions[j]));
+    }
+  }
+  EXPECT_NEAR(std::sqrt(min_d2), units::kLatticeFe * std::sqrt(3.0) / 2.0,
+              1e-9);
+}
+
+TEST(Lattice, RejectsBadSpecs) {
+  LatticeSpec spec;
+  spec.a0 = -1.0;
+  EXPECT_THROW(build_lattice(spec), PreconditionError);
+  spec.a0 = 2.0;
+  spec.nx = 0;
+  EXPECT_THROW(build_lattice(spec), PreconditionError);
+}
+
+TEST(Lattice, BccCubeWithAtLeastFindsMinimalCube) {
+  const auto spec = bcc_cube_with_at_least(54000, 2.8665);
+  EXPECT_EQ(spec.nx, 30);
+  EXPECT_EQ(spec.atom_count(), 54000u);
+
+  const auto spec2 = bcc_cube_with_at_least(54001, 2.8665);
+  EXPECT_EQ(spec2.nx, 31);
+
+  const auto spec3 = bcc_cube_with_at_least(1, 2.8665);
+  EXPECT_EQ(spec3.nx, 1);
+  EXPECT_THROW(bcc_cube_with_at_least(0, 2.8665), PreconditionError);
+}
+
+}  // namespace
+}  // namespace sdcmd

@@ -1,0 +1,207 @@
+// Morton ordering, thermo logging, slab (free-surface) geometry, and the
+// virial-vs-finite-volume property test.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdio>
+#include <fstream>
+#include <set>
+
+#include "common/random.hpp"
+#include "common/units.hpp"
+#include "core/eam_force.hpp"
+#include "md/simulation.hpp"
+#include "md/thermo_log.hpp"
+#include "neighbor/reorder.hpp"
+#include "potential/finnis_sinclair.hpp"
+
+namespace sdcmd {
+namespace {
+
+TEST(Morton, EncodeInterleavesBits) {
+  EXPECT_EQ(morton_encode(0, 0, 0), 0u);
+  EXPECT_EQ(morton_encode(1, 0, 0), 0b001u);
+  EXPECT_EQ(morton_encode(0, 1, 0), 0b010u);
+  EXPECT_EQ(morton_encode(0, 0, 1), 0b100u);
+  EXPECT_EQ(morton_encode(3, 0, 0), 0b001001u);
+  EXPECT_EQ(morton_encode(0, 3, 3), 0b110110u);
+  EXPECT_EQ(morton_encode(7, 7, 7), 0b111111111u);
+}
+
+TEST(Morton, EncodeIsMonotoneInEachCoordinateAtOrigin) {
+  EXPECT_LT(morton_encode(1, 0, 0), morton_encode(2, 0, 0));
+  EXPECT_LT(morton_encode(0, 1, 0), morton_encode(0, 2, 0));
+}
+
+TEST(Morton, PermutationIsBijective) {
+  const Box box = Box::cubic(16.0);
+  Xoshiro256 rng(6);
+  std::vector<Vec3> points(500);
+  for (auto& p : points) {
+    p = {rng.uniform(0.0, 16.0), rng.uniform(0.0, 16.0),
+         rng.uniform(0.0, 16.0)};
+  }
+  const auto perm = morton_sort_permutation(box, points, 2.0);
+  std::set<std::uint32_t> unique(perm.begin(), perm.end());
+  EXPECT_EQ(unique.size(), points.size());
+}
+
+TEST(Morton, ImprovesNeighborLocalityLikeCellSort) {
+  const Box box = Box::cubic(18.0);
+  Xoshiro256 rng(23);
+  std::vector<Vec3> points(1500);
+  for (auto& p : points) {
+    p = {rng.uniform(0.0, 18.0), rng.uniform(0.0, 18.0),
+         rng.uniform(0.0, 18.0)};
+  }
+  auto mean_index_distance = [&](const std::vector<Vec3>& pos) {
+    NeighborListConfig cfg;
+    cfg.cutoff = 3.0;
+    NeighborList list(box, cfg);
+    list.build(pos);
+    double total = 0.0;
+    std::size_t count = 0;
+    for (std::size_t i = 0; i < list.atom_count(); ++i) {
+      for (std::uint32_t j : list.neighbors(i)) {
+        total += std::abs(static_cast<double>(j) - static_cast<double>(i));
+        ++count;
+      }
+    }
+    return total / static_cast<double>(count);
+  };
+  const double before = mean_index_distance(points);
+  const auto perm = morton_sort_permutation(box, points, 3.0);
+  const double after = mean_index_distance(apply_permutation(points, perm));
+  EXPECT_LT(after, before);
+}
+
+TEST(ThermoLog, RecordsAndSummarizes) {
+  ThermoLog log;
+  for (int i = 0; i < 5; ++i) {
+    ThermoSample s;
+    s.step = i;
+    s.temperature = 300.0 + i;
+    s.kinetic_energy = 1.0;
+    s.pair_energy = -10.0 + 0.1 * i;  // drifting energy
+    log.record(s);
+  }
+  EXPECT_EQ(log.size(), 5u);
+  EXPECT_NEAR(log.max_energy_drift(), 0.4, 1e-12);
+  EXPECT_NEAR(log.temperature_stats().mean(), 302.0, 1e-12);
+  log.clear();
+  EXPECT_TRUE(log.empty());
+  EXPECT_EQ(log.max_energy_drift(), 0.0);
+}
+
+TEST(ThermoLog, WritesCsv) {
+  ThermoLog log;
+  ThermoSample s;
+  s.step = 7;
+  s.temperature = 123.0;
+  log.record(s);
+  const std::string path = testing::TempDir() + "sdcmd_thermo.csv";
+  ASSERT_TRUE(log.write_csv(path));
+  std::ifstream in(path);
+  std::string header, row;
+  std::getline(in, header);
+  std::getline(in, row);
+  EXPECT_EQ(header,
+            "step,temperature,kinetic,pair,embedding,total,pressure");
+  EXPECT_EQ(row.rfind("7,123.0000", 0), 0u);
+  std::remove(path.c_str());
+  EXPECT_FALSE(log.write_csv("/nonexistent-dir/x.csv"));
+}
+
+TEST(Slab, FreeSurfacesRelaxAndRaiseEnergy) {
+  // A slab: periodic in x/y, free surfaces in z (box padded with vacuum).
+  LatticeSpec spec;
+  spec.type = LatticeType::Bcc;
+  spec.a0 = units::kLatticeFe;
+  spec.nx = spec.ny = 5;
+  spec.nz = 4;
+  auto positions = build_lattice(spec);
+  const Box box({0, 0, -3 * spec.a0},
+                {5 * spec.a0, 5 * spec.a0, 7 * spec.a0},
+                {true, true, false});
+
+  FinnisSinclair iron(FinnisSinclairParams::iron());
+  System bulk_ref = System::from_lattice(spec, units::kMassFe);
+  System slab(box, Atoms(std::move(positions)), units::kMassFe);
+
+  SimulationConfig cfg;
+  cfg.dt = units::fs_to_internal(1.0);
+  cfg.force.strategy = ReductionStrategy::Serial;
+
+  Simulation bulk_sim(std::move(bulk_ref), iron, cfg);
+  Simulation slab_sim(std::move(slab), iron, cfg);
+  bulk_sim.compute_forces();
+  slab_sim.compute_forces();
+
+  const double e_bulk = bulk_sim.sample().potential_energy() /
+                        static_cast<double>(bulk_sim.system().size());
+  const double e_slab = slab_sim.sample().potential_energy() /
+                        static_cast<double>(slab_sim.system().size());
+  // Surface atoms are under-coordinated: higher (less negative) energy.
+  EXPECT_GT(e_slab, e_bulk + 0.01);
+
+  // Surface atoms feel a net force (into the slab); interior ones do not.
+  double max_surface_force = 0.0;
+  for (std::size_t i = 0; i < slab_sim.system().size(); ++i) {
+    max_surface_force = std::max(
+        max_surface_force, norm(slab_sim.system().atoms().force[i]));
+  }
+  EXPECT_GT(max_surface_force, 0.01);
+
+  // Short quenched relaxation must lower the potential energy.
+  slab_sim.set_thermostat(std::make_unique<BerendsenThermostat>(1.0, 0.02));
+  slab_sim.run(100);
+  EXPECT_LT(slab_sim.sample().potential_energy() /
+                static_cast<double>(slab_sim.system().size()),
+            e_slab);
+}
+
+TEST(Virial, MatchesFiniteVolumeDerivativeOfEnergy) {
+  // P_virial = -dE/dV at zero temperature. Scale the box (and positions)
+  // isotropically and compare the measured virial pressure with the
+  // finite-difference derivative of the total energy.
+  FinnisSinclair iron(FinnisSinclairParams::iron());
+  LatticeSpec spec;
+  spec.type = LatticeType::Bcc;
+  spec.a0 = units::kLatticeFe * 1.01;  // slightly strained: nonzero P
+  spec.nx = spec.ny = spec.nz = 4;
+
+  auto energy_and_pressure = [&](double scale, double& pressure) {
+    LatticeSpec s = spec;
+    s.a0 = spec.a0 * scale;
+    System system = System::from_lattice(s, units::kMassFe);
+    NeighborListConfig nl;
+    nl.cutoff = iron.cutoff();
+    nl.skin = 0.3;
+    NeighborList list(system.box(), nl);
+    list.build(system.atoms().position);
+    EamForceConfig cfg;
+    cfg.strategy = ReductionStrategy::Serial;
+    EamForceComputer computer(iron, cfg);
+    Atoms& atoms = system.atoms();
+    const auto result = computer.compute(system.box(), atoms.position,
+                                         list, atoms.rho, atoms.fp,
+                                         atoms.force);
+    pressure = result.virial / (3.0 * system.box().volume());
+    return result.total_energy();
+  };
+
+  double p_mid, unused;
+  const double e_mid = energy_and_pressure(1.0, p_mid);
+  (void)e_mid;
+  const double h = 1e-5;
+  const double e_plus = energy_and_pressure(1.0 + h, unused);
+  const double e_minus = energy_and_pressure(1.0 - h, unused);
+
+  const double v0 = std::pow(spec.a0 * 4, 3);
+  // dV = 3 V dh for isotropic scale change (1+h)^3 V.
+  const double fd_pressure = -(e_plus - e_minus) / (2.0 * h * 3.0 * v0);
+  EXPECT_NEAR(p_mid, fd_pressure, 1e-5 * std::max(1.0, std::abs(p_mid)));
+}
+
+}  // namespace
+}  // namespace sdcmd

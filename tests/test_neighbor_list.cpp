@@ -1,0 +1,220 @@
+#include "neighbor/neighbor_list.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+
+#include "common/error.hpp"
+#include "common/random.hpp"
+#include "common/units.hpp"
+#include "geom/lattice.hpp"
+
+namespace sdcmd {
+namespace {
+
+using Pair = std::pair<std::uint32_t, std::uint32_t>;
+
+std::vector<Vec3> random_points(const Box& box, std::size_t n,
+                                std::uint64_t seed) {
+  Xoshiro256 rng(seed);
+  std::vector<Vec3> out(n);
+  for (auto& r : out) {
+    r = {rng.uniform(box.lo().x, box.hi().x),
+         rng.uniform(box.lo().y, box.hi().y),
+         rng.uniform(box.lo().z, box.hi().z)};
+  }
+  return out;
+}
+
+std::set<Pair> pairs_from_half_list(const NeighborList& list) {
+  std::set<Pair> pairs;
+  for (std::size_t i = 0; i < list.atom_count(); ++i) {
+    for (std::uint32_t j : list.neighbors(i)) {
+      const auto a = static_cast<std::uint32_t>(i);
+      pairs.insert({std::min(a, j), std::max(a, j)});
+    }
+  }
+  return pairs;
+}
+
+TEST(NeighborList, HalfListMatchesBruteForce) {
+  const Box box = Box::cubic(13.0);
+  const auto points = random_points(box, 250, 99);
+  NeighborListConfig cfg;
+  cfg.cutoff = 3.0;
+  cfg.skin = 0.0;  // exact range so sets must match brute force
+  NeighborList list(box, cfg);
+  list.build(points);
+
+  const auto expected = brute_force_pairs(box, points, 3.0);
+  const auto actual = pairs_from_half_list(list);
+  EXPECT_EQ(actual.size(), expected.size());
+  for (const auto& p : expected) {
+    EXPECT_TRUE(actual.count(p)) << p.first << "," << p.second;
+  }
+}
+
+TEST(NeighborList, HalfListStoresEachPairOnce) {
+  const Box box = Box::cubic(13.0);
+  const auto points = random_points(box, 200, 5);
+  NeighborListConfig cfg;
+  cfg.cutoff = 3.2;
+  NeighborList list(box, cfg);
+  list.build(points);
+
+  std::set<Pair> seen;
+  for (std::size_t i = 0; i < list.atom_count(); ++i) {
+    for (std::uint32_t j : list.neighbors(i)) {
+      EXPECT_GT(j, i) << "half list must store j > i";
+      EXPECT_TRUE(seen.insert({static_cast<std::uint32_t>(i), j}).second);
+    }
+  }
+}
+
+TEST(NeighborList, FullListIsSymmetricAndTwiceTheHalfList) {
+  const Box box = Box::cubic(13.0);
+  const auto points = random_points(box, 200, 5);
+
+  NeighborListConfig half_cfg;
+  half_cfg.cutoff = 3.2;
+  NeighborList half(box, half_cfg);
+  half.build(points);
+
+  NeighborListConfig full_cfg = half_cfg;
+  full_cfg.mode = NeighborMode::Full;
+  NeighborList full(box, full_cfg);
+  full.build(points);
+
+  EXPECT_EQ(full.pair_count(), 2 * half.pair_count());
+  for (std::size_t i = 0; i < full.atom_count(); ++i) {
+    for (std::uint32_t j : full.neighbors(i)) {
+      const auto nbrs = full.neighbors(j);
+      EXPECT_NE(std::find(nbrs.begin(), nbrs.end(),
+                          static_cast<std::uint32_t>(i)),
+                nbrs.end())
+          << "asymmetric pair " << i << "," << j;
+    }
+  }
+}
+
+TEST(NeighborList, BccIronCoordinationWithinPotentialRange) {
+  // bcc Fe: 8 first-shell (2.48 A) + 6 second-shell (2.87 A) neighbors lie
+  // inside the FS cutoff + 0.4 skin (3.97 A); the 12 third-shell atoms at
+  // 4.05 A do not. A full list must see exactly 14 per atom.
+  LatticeSpec spec;
+  spec.type = LatticeType::Bcc;
+  spec.a0 = units::kLatticeFe;
+  spec.nx = spec.ny = spec.nz = 4;
+  const auto positions = build_lattice(spec);
+
+  NeighborListConfig cfg;
+  cfg.cutoff = 3.569745;
+  cfg.skin = 0.4;
+  cfg.mode = NeighborMode::Full;
+  NeighborList list(spec.box(), cfg);
+  list.build(positions);
+
+  for (std::size_t i = 0; i < list.atom_count(); ++i) {
+    EXPECT_EQ(list.neighbors(i).size(), 14u) << "atom " << i;
+  }
+  EXPECT_DOUBLE_EQ(list.mean_neighbors(), 14.0);
+}
+
+TEST(NeighborList, SortNeighborsProducesAscendingSublists) {
+  const Box box = Box::cubic(13.0);
+  const auto points = random_points(box, 300, 21);
+  NeighborListConfig cfg;
+  cfg.cutoff = 3.4;
+  cfg.sort_neighbors = true;
+  NeighborList list(box, cfg);
+  list.build(points);
+  for (std::size_t i = 0; i < list.atom_count(); ++i) {
+    const auto nbrs = list.neighbors(i);
+    EXPECT_TRUE(std::is_sorted(nbrs.begin(), nbrs.end()));
+  }
+}
+
+TEST(NeighborList, CsrArraysAreConsistent) {
+  const Box box = Box::cubic(13.0);
+  const auto points = random_points(box, 120, 3);
+  NeighborListConfig cfg;
+  cfg.cutoff = 3.4;
+  NeighborList list(box, cfg);
+  list.build(points);
+
+  const auto& index = list.neigh_index();
+  const auto& len = list.neigh_len();
+  ASSERT_EQ(index.size(), points.size() + 1);
+  ASSERT_EQ(len.size(), points.size());
+  for (std::size_t i = 0; i < points.size(); ++i) {
+    EXPECT_EQ(index[i] + len[i], index[i + 1]);
+  }
+  EXPECT_EQ(index.back(), list.neigh_list().size());
+}
+
+TEST(NeighborList, NeedsRebuildAfterDriftBeyondHalfSkin) {
+  const Box box = Box::cubic(13.0);
+  auto points = random_points(box, 50, 8);
+  NeighborListConfig cfg;
+  cfg.cutoff = 3.0;
+  cfg.skin = 0.5;
+  NeighborList list(box, cfg);
+  list.build(points);
+  EXPECT_FALSE(list.needs_rebuild(points));
+
+  points[10].x += 0.2;  // below skin/2
+  EXPECT_FALSE(list.needs_rebuild(points));
+  points[10].x += 0.1;  // beyond skin/2 total
+  EXPECT_TRUE(list.needs_rebuild(points));
+}
+
+TEST(NeighborList, NeedsRebuildOnAtomCountChange) {
+  const Box box = Box::cubic(13.0);
+  const auto points = random_points(box, 50, 8);
+  NeighborListConfig cfg;
+  cfg.cutoff = 3.0;
+  NeighborList list(box, cfg);
+  list.build(points);
+  const auto fewer = std::vector<Vec3>(points.begin(), points.end() - 1);
+  EXPECT_TRUE(list.needs_rebuild(fewer));
+}
+
+TEST(NeighborList, SkinWidensTheStoredRange) {
+  const Box box = Box::cubic(13.0);
+  const auto points = random_points(box, 250, 99);
+  NeighborListConfig no_skin;
+  no_skin.cutoff = 3.0;
+  no_skin.skin = 0.0;
+  NeighborListConfig with_skin = no_skin;
+  with_skin.skin = 0.6;
+
+  NeighborList a(box, no_skin), b(box, with_skin);
+  a.build(points);
+  b.build(points);
+  EXPECT_GT(b.pair_count(), a.pair_count());
+}
+
+TEST(NeighborList, RejectsBadConfig) {
+  const Box box = Box::cubic(13.0);
+  NeighborListConfig cfg;
+  cfg.cutoff = 0.0;
+  EXPECT_THROW(NeighborList(box, cfg), PreconditionError);
+  cfg.cutoff = 3.0;
+  cfg.skin = -0.1;
+  EXPECT_THROW(NeighborList(box, cfg), PreconditionError);
+}
+
+TEST(NeighborList, MemoryAccountingIsPlausible) {
+  const Box box = Box::cubic(13.0);
+  const auto points = random_points(box, 100, 1);
+  NeighborListConfig cfg;
+  cfg.cutoff = 3.0;
+  NeighborList list(box, cfg);
+  list.build(points);
+  EXPECT_GT(list.memory_bytes(),
+            list.pair_count() * sizeof(std::uint32_t));
+}
+
+}  // namespace
+}  // namespace sdcmd

@@ -1,0 +1,109 @@
+// The Simulation driver running a pair potential through the ForceProvider
+// abstraction: same integrator/neighbor/thermostat stack, one-phase forces.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/error.hpp"
+#include "common/units.hpp"
+#include "md/simulation.hpp"
+#include "potential/lennard_jones.hpp"
+
+namespace sdcmd {
+namespace {
+
+// Argon-like fcc crystal (cutoff ~1.8 sigma keeps SDC feasible on the
+// small test boxes).
+const LennardJones& argon() {
+  static LennardJones lj{0.0103, 3.405, 6.0};
+  return lj;
+}
+
+System fcc_argon(int cells) {
+  LatticeSpec spec;
+  spec.type = LatticeType::Fcc;
+  spec.a0 = 5.26;  // argon fcc lattice constant
+  spec.nx = spec.ny = spec.nz = cells;
+  return System::from_lattice(spec, 39.948);
+}
+
+SimulationConfig config_for(ReductionStrategy strategy) {
+  SimulationConfig cfg;
+  cfg.dt = units::fs_to_internal(5.0);  // argon is soft; 5 fs is safe
+  cfg.force.strategy = strategy;
+  cfg.force.sdc.dimensionality = 2;
+  return cfg;
+}
+
+TEST(PairSimulation, NveConservesEnergy) {
+  Simulation sim(fcc_argon(4), argon(), config_for(ReductionStrategy::Serial));
+  sim.set_temperature(30.0, 42);
+  sim.compute_forces();
+  const double e0 = sim.sample().total_energy();
+  sim.run(200);
+  const double drift = std::abs(sim.sample().total_energy() - e0) /
+                       static_cast<double>(sim.system().size());
+  EXPECT_LT(drift, 1e-5);
+}
+
+TEST(PairSimulation, SdcStrategyMatchesSerialTrajectory) {
+  // 5 cells = 26.3 A: holds two 12.8 A subdomains per decomposed axis.
+  Simulation serial(fcc_argon(5), argon(),
+                    config_for(ReductionStrategy::Serial));
+  Simulation sdc(fcc_argon(5), argon(), config_for(ReductionStrategy::Sdc));
+  serial.set_temperature(30.0, 7);
+  sdc.set_temperature(30.0, 7);
+  serial.run(20);
+  sdc.run(20);
+  double worst = 0.0;
+  for (std::size_t i = 0; i < serial.system().size(); ++i) {
+    worst = std::max(worst, norm(serial.system().atoms().position[i] -
+                                 sdc.system().atoms().position[i]));
+  }
+  EXPECT_LT(worst, 1e-8);
+}
+
+TEST(PairSimulation, RcStrategyUsesFullListsTransparently) {
+  Simulation sim(fcc_argon(4), argon(),
+                 config_for(ReductionStrategy::RedundantComputation));
+  EXPECT_EQ(sim.neighbor_list().mode(), NeighborMode::Full);
+  sim.set_temperature(30.0, 3);
+  sim.run(10);
+  EXPECT_GT(sim.sample().kinetic_energy, 0.0);
+}
+
+TEST(PairSimulation, ThermoReportsZeroEmbeddingEnergy) {
+  Simulation sim(fcc_argon(3), argon(), config_for(ReductionStrategy::Serial));
+  sim.compute_forces();
+  const ThermoSample s = sim.sample();
+  EXPECT_EQ(s.embedding_energy, 0.0);
+  EXPECT_LT(s.pair_energy, 0.0);  // bound crystal
+}
+
+TEST(PairSimulation, CrystalBindsNearLiteratureCohesion) {
+  // Full-range fcc LJ cohesion is ~ -8.6 epsilon/atom; the 1.76 sigma
+  // shifted cutoff keeps the 12 + 6 inner shells, ~ -5.5 epsilon/atom.
+  Simulation sim(fcc_argon(4), argon(), config_for(ReductionStrategy::Serial));
+  sim.compute_forces();
+  const double per_atom = sim.sample().potential_energy() /
+                          static_cast<double>(sim.system().size());
+  EXPECT_LT(per_atom, -4.0 * 0.0103);
+  EXPECT_GT(per_atom, -8.6 * 0.0103);
+}
+
+TEST(PairSimulation, EamAccessorThrowsForPairBackend) {
+  Simulation sim(fcc_argon(3), argon(), config_for(ReductionStrategy::Serial));
+  EXPECT_THROW(sim.force_computer(), PreconditionError);
+  // The generic provider accessor works.
+  EXPECT_NO_THROW(sim.force_provider().timers());
+}
+
+TEST(PairSimulation, ProviderTimersAccumulate) {
+  Simulation sim(fcc_argon(3), argon(), config_for(ReductionStrategy::Serial));
+  sim.set_temperature(20.0, 2);
+  sim.run(5);
+  EXPECT_GT(sim.force_provider().timers().total(), 0.0);
+}
+
+}  // namespace
+}  // namespace sdcmd

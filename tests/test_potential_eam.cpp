@@ -1,0 +1,173 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/error.hpp"
+#include "potential/finnis_sinclair.hpp"
+#include "potential/johnson.hpp"
+
+namespace sdcmd {
+namespace {
+
+double fd(const std::function<double(double)>& f, double x, double h = 1e-6) {
+  return (f(x + h) - f(x - h)) / (2.0 * h);
+}
+
+TEST(FinnisSinclair, CutoffIsMaxOfPairAndDensityRanges) {
+  FinnisSinclair fe(FinnisSinclairParams::iron());
+  EXPECT_DOUBLE_EQ(fe.cutoff(), 3.569745);
+}
+
+TEST(FinnisSinclair, PairVanishesSmoothlyAtCutoff) {
+  FinnisSinclair fe(FinnisSinclairParams::iron());
+  const double c = fe.params().c;
+  double v, dvdr;
+  fe.pair(c, v, dvdr);
+  EXPECT_DOUBLE_EQ(v, 0.0);
+  EXPECT_DOUBLE_EQ(dvdr, 0.0);
+  fe.pair(c - 1e-9, v, dvdr);
+  EXPECT_NEAR(v, 0.0, 1e-15);
+  EXPECT_NEAR(dvdr, 0.0, 1e-7);
+  fe.pair(c + 1.0, v, dvdr);
+  EXPECT_EQ(v, 0.0);
+}
+
+TEST(FinnisSinclair, DensityVanishesSmoothlyAtCutoff) {
+  FinnisSinclair fe(FinnisSinclairParams::iron());
+  const double d = fe.params().d;
+  double phi, dphidr;
+  fe.density(d, phi, dphidr);
+  EXPECT_DOUBLE_EQ(phi, 0.0);
+  EXPECT_DOUBLE_EQ(dphidr, 0.0);
+  fe.density(d - 1e-9, phi, dphidr);
+  EXPECT_NEAR(phi, 0.0, 1e-15);
+}
+
+TEST(FinnisSinclair, DensityPositiveInRange) {
+  FinnisSinclair fe(FinnisSinclairParams::iron());
+  for (double r = 2.0; r < 3.5; r += 0.1) {
+    double phi, dphidr;
+    fe.density(r, phi, dphidr);
+    EXPECT_GT(phi, 0.0) << "at r=" << r;
+  }
+}
+
+TEST(FinnisSinclair, EmbeddingIsMinusASqrtRho) {
+  FinnisSinclair fe(FinnisSinclairParams::iron());
+  double f, dfdrho;
+  fe.embed(4.0, f, dfdrho);
+  EXPECT_NEAR(f, -fe.params().a * 2.0, 1e-12);
+  EXPECT_NEAR(dfdrho, -fe.params().a / 4.0, 1e-12);
+}
+
+TEST(FinnisSinclair, EmbeddingSafeAtZeroDensity) {
+  FinnisSinclair fe(FinnisSinclairParams::iron());
+  double f, dfdrho;
+  fe.embed(0.0, f, dfdrho);
+  EXPECT_EQ(f, 0.0);
+  EXPECT_TRUE(std::isfinite(dfdrho));
+  fe.embed(-1e-12, f, dfdrho);  // numerical underflow must not NaN
+  EXPECT_TRUE(std::isfinite(f));
+}
+
+TEST(Johnson, TaperTakesRadialFunctionsToZeroAtCutoff) {
+  JohnsonEam cu(JohnsonParams::copper());
+  double v, dvdr, phi, dphidr;
+  cu.pair(cu.cutoff(), v, dvdr);
+  EXPECT_EQ(v, 0.0);
+  cu.pair(cu.cutoff() - 1e-9, v, dvdr);
+  EXPECT_NEAR(v, 0.0, 1e-12);
+  cu.density(cu.cutoff() - 1e-9, phi, dphidr);
+  EXPECT_NEAR(phi, 0.0, 1e-12);
+}
+
+TEST(Johnson, EmbeddingMinimumAtRho0) {
+  // F(rho) = -Ec (1 - n ln x) x^n has dF/drho = 0 exactly at rho = rho0.
+  JohnsonEam cu(JohnsonParams::copper());
+  double f, dfdrho;
+  cu.embed(cu.params().rho0, f, dfdrho);
+  EXPECT_NEAR(f, -cu.params().ec, 1e-12);
+  EXPECT_NEAR(dfdrho, 0.0, 1e-12);
+}
+
+TEST(Johnson, RejectsBadParameters) {
+  JohnsonParams p;
+  p.taper_width = -0.1;
+  EXPECT_THROW(JohnsonEam{p}, PreconditionError);
+  p = {};
+  p.cutoff = 0.0;
+  EXPECT_THROW(JohnsonEam{p}, PreconditionError);
+}
+
+// Finite-difference sweeps over the radial range for both families.
+struct EamCase {
+  const char* name;
+  std::shared_ptr<const EamPotential> pot;
+};
+
+class EamDerivativeTest
+    : public ::testing::TestWithParam<std::tuple<int, double>> {
+ public:
+  static const EamPotential& potential(int idx) {
+    static FinnisSinclair fe{FinnisSinclairParams::iron()};
+    static JohnsonEam cu{JohnsonParams::copper()};
+    return idx == 0 ? static_cast<const EamPotential&>(fe)
+                    : static_cast<const EamPotential&>(cu);
+  }
+};
+
+TEST_P(EamDerivativeTest, PairDerivativeMatchesFd) {
+  const auto [idx, frac] = GetParam();
+  const EamPotential& pot = potential(idx);
+  const double r = frac * pot.cutoff();
+  double v, dvdr;
+  pot.pair(r, v, dvdr);
+  const double fd_v = fd(
+      [&](double x) {
+        double e, unused;
+        pot.pair(x, e, unused);
+        return e;
+      },
+      r);
+  EXPECT_NEAR(dvdr, fd_v, 1e-5 * std::max(1.0, std::abs(dvdr)));
+}
+
+TEST_P(EamDerivativeTest, DensityDerivativeMatchesFd) {
+  const auto [idx, frac] = GetParam();
+  const EamPotential& pot = potential(idx);
+  const double r = frac * pot.cutoff();
+  double phi, dphidr;
+  pot.density(r, phi, dphidr);
+  const double fd_phi = fd(
+      [&](double x) {
+        double p, unused;
+        pot.density(x, p, unused);
+        return p;
+      },
+      r);
+  EXPECT_NEAR(dphidr, fd_phi, 1e-5 * std::max(1.0, std::abs(dphidr)));
+}
+
+TEST_P(EamDerivativeTest, EmbeddingDerivativeMatchesFd) {
+  const auto [idx, frac] = GetParam();
+  const EamPotential& pot = potential(idx);
+  const double rho = 1.0 + 20.0 * frac;  // sample a realistic density range
+  double f, dfdrho;
+  pot.embed(rho, f, dfdrho);
+  const double fd_f = fd(
+      [&](double x) {
+        double e, unused;
+        pot.embed(x, e, unused);
+        return e;
+      },
+      rho);
+  EXPECT_NEAR(dfdrho, fd_f, 1e-5 * std::max(1.0, std::abs(dfdrho)));
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    RadialSweep, EamDerivativeTest,
+    ::testing::Combine(::testing::Values(0, 1),
+                       ::testing::Values(0.55, 0.65, 0.75, 0.85, 0.95)));
+
+}  // namespace
+}  // namespace sdcmd

@@ -1,0 +1,107 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/error.hpp"
+#include "potential/lennard_jones.hpp"
+#include "potential/morse.hpp"
+
+namespace sdcmd {
+namespace {
+
+constexpr double kEps = 0.0103;   // argon-ish, eV
+constexpr double kSigma = 3.405;  // angstrom
+constexpr double kCut = 8.5;
+
+/// Central finite difference of the pair energy.
+double fd_derivative(const PairPotential& pot, double r, double h = 1e-6) {
+  double ep, em, unused;
+  pot.evaluate(r + h, ep, unused);
+  pot.evaluate(r - h, em, unused);
+  return (ep - em) / (2.0 * h);
+}
+
+TEST(LennardJones, MinimumAtTwoSixthSigma) {
+  LennardJones lj(kEps, kSigma, kCut, /*shift=*/false);
+  const double rmin = std::pow(2.0, 1.0 / 6.0) * kSigma;
+  double e, dvdr;
+  lj.evaluate(rmin, e, dvdr);
+  EXPECT_NEAR(e, -kEps, 1e-12);
+  EXPECT_NEAR(dvdr, 0.0, 1e-12);
+}
+
+TEST(LennardJones, ZeroCrossingAtSigma) {
+  LennardJones lj(kEps, kSigma, kCut, /*shift=*/false);
+  double e, dvdr;
+  lj.evaluate(kSigma, e, dvdr);
+  EXPECT_NEAR(e, 0.0, 1e-12);
+}
+
+TEST(LennardJones, ShiftZeroesEnergyAtCutoff) {
+  LennardJones lj(kEps, kSigma, kCut, /*shift=*/true);
+  double e, dvdr;
+  lj.evaluate(kCut, e, dvdr);
+  EXPECT_NEAR(e, 0.0, 1e-15);
+}
+
+TEST(LennardJones, ShiftDoesNotChangeForce) {
+  LennardJones shifted(kEps, kSigma, kCut, true);
+  LennardJones plain(kEps, kSigma, kCut, false);
+  double es, ds, ep, dp;
+  shifted.evaluate(3.8, es, ds);
+  plain.evaluate(3.8, ep, dp);
+  EXPECT_DOUBLE_EQ(ds, dp);
+  EXPECT_NE(es, ep);
+}
+
+TEST(LennardJones, RejectsBadParameters) {
+  EXPECT_THROW(LennardJones(-1.0, 1.0, 2.0), PreconditionError);
+  EXPECT_THROW(LennardJones(1.0, 0.0, 2.0), PreconditionError);
+  EXPECT_THROW(LennardJones(1.0, 1.0, -2.0), PreconditionError);
+}
+
+TEST(Morse, MinimumAtR0) {
+  Morse morse(0.5, 1.4, 2.8, 8.0);
+  double e, dvdr;
+  morse.evaluate(2.8, e, dvdr);
+  EXPECT_NEAR(dvdr, 0.0, 1e-12);
+}
+
+TEST(Morse, ShiftedToZeroAtCutoff) {
+  Morse morse(0.5, 1.4, 2.8, 8.0);
+  double e, dvdr;
+  morse.evaluate(8.0, e, dvdr);
+  EXPECT_NEAR(e, 0.0, 1e-15);
+}
+
+TEST(Morse, RejectsCutoffInsideWell) {
+  EXPECT_THROW(Morse(0.5, 1.4, 2.8, 2.0), PreconditionError);
+}
+
+// Property sweep: analytic derivative must match finite differences over
+// the whole interaction range, for both potentials.
+class PairDerivativeTest : public ::testing::TestWithParam<double> {};
+
+TEST_P(PairDerivativeTest, LennardJonesDerivativeMatchesFd) {
+  LennardJones lj(kEps, kSigma, kCut);
+  const double r = GetParam();
+  double e, dvdr;
+  lj.evaluate(r, e, dvdr);
+  EXPECT_NEAR(dvdr, fd_derivative(lj, r), 1e-6 * std::max(1.0, std::abs(dvdr)));
+}
+
+TEST_P(PairDerivativeTest, MorseDerivativeMatchesFd) {
+  Morse morse(0.5, 1.4, 2.8, 8.0);
+  const double r = GetParam();
+  double e, dvdr;
+  morse.evaluate(r, e, dvdr);
+  EXPECT_NEAR(dvdr, fd_derivative(morse, r),
+              1e-6 * std::max(1.0, std::abs(dvdr)));
+}
+
+INSTANTIATE_TEST_SUITE_P(RadialSweep, PairDerivativeTest,
+                         ::testing::Values(3.1, 3.405, 3.6, 3.82, 4.2, 5.0,
+                                           6.0, 7.0, 8.0));
+
+}  // namespace
+}  // namespace sdcmd

@@ -1,0 +1,102 @@
+#include "core/race_check.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/error.hpp"
+#include "common/random.hpp"
+#include "common/units.hpp"
+#include "geom/lattice.hpp"
+#include "potential/finnis_sinclair.hpp"
+
+namespace sdcmd {
+namespace {
+
+struct Scene {
+  Box box = Box::cubic(1.0);
+  std::vector<Vec3> positions;
+
+  explicit Scene(int cells) {
+    LatticeSpec spec;
+    spec.type = LatticeType::Bcc;
+    spec.a0 = units::kLatticeFe;
+    spec.nx = spec.ny = spec.nz = cells;
+    box = spec.box();
+    positions = build_lattice(spec);
+    Xoshiro256 rng(3);
+    for (auto& r : positions) {
+      r += Vec3{rng.normal(0.0, 0.05), rng.normal(0.0, 0.05),
+                rng.normal(0.0, 0.05)};
+      r = box.wrap(r);
+    }
+  }
+};
+
+class RaceCheckDimTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(RaceCheckDimTest, LegalSchedulesAreRaceFree) {
+  Scene s(10);
+  const double cutoff = 3.569745, skin = 0.4;
+  NeighborListConfig nl;
+  nl.cutoff = cutoff;
+  nl.skin = skin;
+  NeighborList list(s.box, nl);
+  list.build(s.positions);
+
+  SdcConfig cfg;
+  cfg.dimensionality = GetParam();
+  SdcSchedule schedule(s.box, cutoff + skin, cfg);
+  schedule.rebuild(s.positions);
+
+  const auto report = check_schedule_race_free(schedule, list);
+  EXPECT_TRUE(report.race_free) << report.describe();
+}
+
+INSTANTIATE_TEST_SUITE_P(Dims, RaceCheckDimTest, ::testing::Values(1, 2, 3));
+
+TEST(RaceCheck, UndersizedRangeScheduleIsCaught) {
+  // Build the schedule as if the interaction range were much smaller than
+  // the neighbor list actually reaches: subdomain edges shrink below
+  // 2 * true-range and same-color footprints collide. The checker must
+  // catch exactly this class of misuse.
+  Scene s(10);  // 28.665 A box
+  const double true_cutoff = 3.569745, skin = 0.4;
+  NeighborListConfig nl;
+  nl.cutoff = true_cutoff;
+  nl.skin = skin;
+  NeighborList list(s.box, nl);
+  list.build(s.positions);
+
+  SdcConfig cfg;
+  cfg.dimensionality = 2;
+  // Lie about the range: 1.4 A instead of ~3.97 A -> 10 subdomains/dim of
+  // edge 2.87 A, far below 2 * 3.97.
+  SdcSchedule bogus(s.box, 1.4, cfg);
+  bogus.rebuild(s.positions);
+
+  const auto report = check_schedule_race_free(bogus, list);
+  EXPECT_FALSE(report.race_free);
+  EXPECT_GE(report.color, 0);
+  EXPECT_NE(report.slot_a, report.slot_b);
+  EXPECT_NE(report.describe().find("RACE"), std::string::npos);
+}
+
+TEST(RaceCheck, RequiresBuiltSchedule) {
+  Scene s(10);
+  NeighborListConfig nl;
+  nl.cutoff = 3.569745;
+  NeighborList list(s.box, nl);
+  list.build(s.positions);
+  SdcConfig cfg;
+  cfg.dimensionality = 2;
+  SdcSchedule schedule(s.box, 3.97, cfg);
+  EXPECT_THROW(check_schedule_race_free(schedule, list),
+               PreconditionError);
+}
+
+TEST(RaceCheck, DescribeOfCleanReportIsPositive) {
+  RaceCheckReport report;
+  EXPECT_NE(report.describe().find("race-free"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace sdcmd

@@ -1,0 +1,119 @@
+#include "analysis/rdf.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/error.hpp"
+#include "common/random.hpp"
+#include "common/units.hpp"
+#include "geom/lattice.hpp"
+
+namespace sdcmd {
+namespace {
+
+TEST(Rdf, RejectsBadConstruction) {
+  EXPECT_THROW(Rdf(0.0, 10), PreconditionError);
+  EXPECT_THROW(Rdf(5.0, 0), PreconditionError);
+}
+
+TEST(Rdf, RejectsRmaxBeyondHalfBox) {
+  Rdf rdf(6.0, 60);
+  const Box box = Box::cubic(10.0);
+  EXPECT_THROW(rdf.accumulate(box, std::vector<Vec3>{{1, 1, 1}}),
+               PreconditionError);
+}
+
+TEST(Rdf, IdealGasIsFlatAroundOne) {
+  const Box box = Box::cubic(20.0);
+  Xoshiro256 rng(4);
+  std::vector<Vec3> points(4000);
+  for (auto& r : points) {
+    r = {rng.uniform(0.0, 20.0), rng.uniform(0.0, 20.0),
+         rng.uniform(0.0, 20.0)};
+  }
+  Rdf rdf(6.0, 30);
+  rdf.accumulate(box, points);
+  const auto g = rdf.g();
+  const auto r = rdf.radii();
+  // Skip the first couple of bins (tiny shells, noisy counts).
+  for (std::size_t b = 5; b < g.size(); ++b) {
+    EXPECT_NEAR(g[b], 1.0, 0.25) << "r=" << r[b];
+  }
+}
+
+TEST(Rdf, BccShellsAppearAtTheRightRadii) {
+  LatticeSpec spec;
+  spec.type = LatticeType::Bcc;
+  spec.a0 = units::kLatticeFe;
+  spec.nx = spec.ny = spec.nz = 6;
+  const auto positions = build_lattice(spec);
+
+  Rdf rdf(5.5, 220);  // 0.025 A bins
+  rdf.accumulate(spec.box(), positions);
+  const auto g = rdf.g();
+  const auto r = rdf.radii();
+
+  const double first_shell = spec.a0 * std::sqrt(3.0) / 2.0;   // 2.482
+  const double second_shell = spec.a0;                          // 2.8665
+  const double third_shell = spec.a0 * std::sqrt(2.0);          // 4.054
+
+  auto g_at = [&](double radius) {
+    std::size_t best = 0;
+    for (std::size_t b = 1; b < r.size(); ++b) {
+      if (std::abs(r[b] - radius) < std::abs(r[best] - radius)) best = b;
+    }
+    return g[best];
+  };
+  EXPECT_GT(g_at(first_shell), 10.0);
+  EXPECT_GT(g_at(second_shell), 10.0);
+  EXPECT_GT(g_at(third_shell), 10.0);
+  // Void between the shells.
+  EXPECT_NEAR(g_at(2.0), 0.0, 1e-9);
+  EXPECT_NEAR(g_at(3.4), 0.0, 1e-9);
+}
+
+TEST(Rdf, CoordinationIntegralCountsBccShells) {
+  LatticeSpec spec;
+  spec.type = LatticeType::Bcc;
+  spec.a0 = units::kLatticeFe;
+  spec.nx = spec.ny = spec.nz = 6;
+  const auto positions = build_lattice(spec);
+
+  Rdf rdf(4.5, 180);
+  rdf.accumulate(spec.box(), positions);
+  const auto n = rdf.coordination_integral();
+  const auto r = rdf.radii();
+
+  auto n_at = [&](double radius) {
+    for (std::size_t b = 0; b < r.size(); ++b) {
+      if (r[b] >= radius) return n[b];
+    }
+    return n.back();
+  };
+  EXPECT_NEAR(n_at(2.7), 8.0, 1e-9);    // after the first shell
+  EXPECT_NEAR(n_at(3.3), 14.0, 1e-9);   // after the second shell
+  EXPECT_NEAR(n_at(4.3), 26.0, 1e-9);   // after the third shell
+}
+
+TEST(Rdf, FramesAccumulateAndResetClears) {
+  const Box box = Box::cubic(12.0);
+  Xoshiro256 rng(9);
+  std::vector<Vec3> points(100);
+  for (auto& p : points) {
+    p = {rng.uniform(0.0, 12.0), rng.uniform(0.0, 12.0),
+         rng.uniform(0.0, 12.0)};
+  }
+  Rdf rdf(4.0, 20);
+  rdf.accumulate(box, points);
+  rdf.accumulate(box, points);
+  EXPECT_EQ(rdf.frames(), 2u);
+  rdf.reset();
+  EXPECT_EQ(rdf.frames(), 0u);
+  for (double v : rdf.g()) {
+    EXPECT_EQ(v, 0.0);
+  }
+}
+
+}  // namespace
+}  // namespace sdcmd

@@ -1,0 +1,67 @@
+#include "geom/region.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/error.hpp"
+
+namespace sdcmd {
+namespace {
+
+TEST(BlockRegion, ContainsInclusiveBounds) {
+  BlockRegion block({0, 0, 0}, {1, 2, 3});
+  EXPECT_TRUE(block.contains({0, 0, 0}));
+  EXPECT_TRUE(block.contains({1, 2, 3}));
+  EXPECT_TRUE(block.contains({0.5, 1.0, 1.5}));
+  EXPECT_FALSE(block.contains({1.001, 1.0, 1.0}));
+  EXPECT_FALSE(block.contains({-0.001, 1.0, 1.0}));
+}
+
+TEST(BlockRegion, RejectsInvertedBounds) {
+  EXPECT_THROW(BlockRegion({1, 0, 0}, {0, 1, 1}), PreconditionError);
+}
+
+TEST(SphereRegion, ContainsByDistance) {
+  SphereRegion sphere({1, 1, 1}, 2.0);
+  EXPECT_TRUE(sphere.contains({1, 1, 1}));
+  EXPECT_TRUE(sphere.contains({3, 1, 1}));
+  EXPECT_FALSE(sphere.contains({3.001, 1, 1}));
+}
+
+TEST(SphereRegion, ZeroRadiusOnlyCenter) {
+  SphereRegion point({0, 0, 0}, 0.0);
+  EXPECT_TRUE(point.contains({0, 0, 0}));
+  EXPECT_FALSE(point.contains({1e-9, 0, 0}));
+  EXPECT_THROW(SphereRegion({0, 0, 0}, -1.0), PreconditionError);
+}
+
+TEST(NotRegion, Complements) {
+  auto inner = std::make_shared<SphereRegion>(Vec3{0, 0, 0}, 1.0);
+  NotRegion outside(inner);
+  EXPECT_FALSE(outside.contains({0, 0, 0}));
+  EXPECT_TRUE(outside.contains({5, 0, 0}));
+}
+
+TEST(UnionRegion, AnyPartSuffices) {
+  std::vector<std::shared_ptr<const Region>> parts{
+      std::make_shared<SphereRegion>(Vec3{0, 0, 0}, 1.0),
+      std::make_shared<SphereRegion>(Vec3{10, 0, 0}, 1.0)};
+  UnionRegion u(parts);
+  EXPECT_TRUE(u.contains({0.5, 0, 0}));
+  EXPECT_TRUE(u.contains({10.5, 0, 0}));
+  EXPECT_FALSE(u.contains({5, 0, 0}));
+}
+
+TEST(Select, ReturnsMatchingIndices) {
+  const std::vector<Vec3> positions{
+      {0, 0, 0}, {5, 0, 0}, {0.5, 0.5, 0.5}, {9, 9, 9}};
+  SphereRegion sphere({0, 0, 0}, 1.0);
+  EXPECT_EQ(select(sphere, positions), (std::vector<std::size_t>{0, 2}));
+}
+
+TEST(Select, EmptySelection) {
+  SphereRegion sphere({100, 0, 0}, 0.5);
+  EXPECT_TRUE(select(sphere, {{0, 0, 0}}).empty());
+}
+
+}  // namespace
+}  // namespace sdcmd

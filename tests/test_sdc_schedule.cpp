@@ -1,0 +1,78 @@
+#include "core/sdc_schedule.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/error.hpp"
+#include "geom/lattice.hpp"
+
+namespace sdcmd {
+namespace {
+
+constexpr double kRange = 3.9697;  // FS Fe cutoff + 0.4 skin
+
+TEST(SdcSchedule, BuildsForAllDimensionalities) {
+  const Box box = Box::cubic(10 * 2.8665);  // 28.665 A: fits 2 ranges
+  for (int dims = 1; dims <= 3; ++dims) {
+    SdcConfig cfg;
+    cfg.dimensionality = dims;
+    SdcSchedule schedule(box, kRange, cfg);
+    EXPECT_EQ(schedule.color_count(), 1 << dims);
+    EXPECT_FALSE(schedule.built());
+  }
+}
+
+TEST(SdcSchedule, InfeasibleBoxThrows) {
+  const Box box = Box::cubic(10.0);  // < 2 * 2 * kRange
+  SdcConfig cfg;
+  cfg.dimensionality = 1;
+  EXPECT_THROW(SdcSchedule(box, kRange, cfg), InfeasibleError);
+}
+
+TEST(SdcSchedule, RejectsBadDimensionality) {
+  const Box box = Box::cubic(40.0);
+  SdcConfig cfg;
+  cfg.dimensionality = 0;
+  EXPECT_THROW(SdcSchedule(box, kRange, cfg), PreconditionError);
+  cfg.dimensionality = 4;
+  EXPECT_THROW(SdcSchedule(box, kRange, cfg), PreconditionError);
+}
+
+TEST(SdcSchedule, RebuildMarksBuilt) {
+  LatticeSpec spec;
+  spec.type = LatticeType::Bcc;
+  spec.a0 = 2.8665;
+  spec.nx = spec.ny = spec.nz = 10;
+  SdcConfig cfg;
+  cfg.dimensionality = 2;
+  SdcSchedule schedule(spec.box(), kRange, cfg);
+  schedule.rebuild(build_lattice(spec));
+  EXPECT_TRUE(schedule.built());
+  EXPECT_EQ(schedule.partition().atom_count(), spec.atom_count());
+}
+
+TEST(SdcSchedule, MaxSubdomainsCapsGranularity) {
+  const Box box = Box::cubic(40 * 2.8665);
+  SdcConfig fine;
+  fine.dimensionality = 3;
+  SdcSchedule finest(box, kRange, fine);
+
+  SdcConfig coarse = fine;
+  coarse.max_subdomains = 64;
+  SdcSchedule capped(box, kRange, coarse);
+  EXPECT_LE(capped.decomposition().subdomain_count(), 64u);
+  EXPECT_LT(capped.decomposition().subdomain_count(),
+            finest.decomposition().subdomain_count());
+}
+
+TEST(SdcSchedule, DescribeIsInformative) {
+  const Box box = Box::cubic(10 * 2.8665);
+  SdcConfig cfg;
+  cfg.dimensionality = 2;
+  SdcSchedule schedule(box, kRange, cfg);
+  const std::string s = schedule.describe();
+  EXPECT_NE(s.find("2-D SDC"), std::string::npos);
+  EXPECT_NE(s.find("4 colors"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace sdcmd

@@ -1,0 +1,116 @@
+#include "potential/setfl.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "common/error.hpp"
+#include "potential/finnis_sinclair.hpp"
+
+namespace sdcmd {
+namespace {
+
+EamTables make_tables() {
+  FinnisSinclair fe(FinnisSinclairParams::iron());
+  auto tab = TabulatedEam::from_analytic(fe, 500, 400, 60.0);
+  EamTables t = tab.tables();
+  t.label = "Fe";
+  return t;
+}
+
+TEST(Setfl, RoundTripPreservesGridsAndMetadata) {
+  const EamTables original = make_tables();
+  std::stringstream stream;
+  write_setfl(stream, original, "round trip test");
+  const EamTables parsed = read_setfl(stream);
+
+  EXPECT_EQ(parsed.label, "Fe");
+  EXPECT_DOUBLE_EQ(parsed.dr, original.dr);
+  EXPECT_DOUBLE_EQ(parsed.drho, original.drho);
+  EXPECT_DOUBLE_EQ(parsed.cutoff, original.cutoff);
+  EXPECT_EQ(parsed.atomic_number, original.atomic_number);
+  EXPECT_DOUBLE_EQ(parsed.mass, original.mass);
+  EXPECT_EQ(parsed.structure, original.structure);
+  ASSERT_EQ(parsed.embed.size(), original.embed.size());
+  ASSERT_EQ(parsed.density.size(), original.density.size());
+  ASSERT_EQ(parsed.pair.size(), original.pair.size());
+}
+
+TEST(Setfl, RoundTripPreservesValues) {
+  const EamTables original = make_tables();
+  std::stringstream stream;
+  write_setfl(stream, original);
+  const EamTables parsed = read_setfl(stream);
+
+  for (std::size_t i = 0; i < original.embed.size(); ++i) {
+    EXPECT_NEAR(parsed.embed[i], original.embed[i], 1e-14);
+  }
+  for (std::size_t i = 0; i < original.density.size(); ++i) {
+    EXPECT_NEAR(parsed.density[i], original.density[i], 1e-14);
+  }
+  // Pair values: the file stores r*V, so i=0 is reconstructed by
+  // extrapolation; exact for i >= 1.
+  for (std::size_t i = 1; i < original.pair.size(); ++i) {
+    EXPECT_NEAR(parsed.pair[i], original.pair[i],
+                1e-12 * std::max(1.0, std::abs(original.pair[i])))
+        << "i=" << i;
+  }
+}
+
+TEST(Setfl, RoundTrippedPotentialEvaluatesTheSame) {
+  const EamTables original = make_tables();
+  std::stringstream stream;
+  write_setfl(stream, original);
+  TabulatedEam a{original};
+  TabulatedEam b{read_setfl(stream)};
+  for (double r = 2.0; r < a.cutoff(); r += 0.09) {
+    double va, da, vb, db;
+    a.pair(r, va, da);
+    b.pair(r, vb, db);
+    EXPECT_NEAR(va, vb, 1e-10);
+  }
+}
+
+TEST(Setfl, FileRoundTrip) {
+  const std::string path = testing::TempDir() + "sdcmd_test.setfl";
+  const EamTables original = make_tables();
+  write_setfl_file(path, original);
+  const EamTables parsed = read_setfl_file(path);
+  EXPECT_EQ(parsed.embed.size(), original.embed.size());
+  std::remove(path.c_str());
+}
+
+TEST(Setfl, MissingFileThrows) {
+  EXPECT_THROW(read_setfl_file("/nonexistent/file.setfl"), ParseError);
+}
+
+TEST(Setfl, RejectsMultiElementFiles) {
+  std::stringstream s;
+  s << "c1\nc2\nc3\n2 Fe Cr\n10 0.1 10 0.1 3.0\n";
+  EXPECT_THROW(read_setfl(s), ParseError);
+}
+
+TEST(Setfl, RejectsTruncatedHeader) {
+  std::stringstream s;
+  s << "only one comment line\n";
+  EXPECT_THROW(read_setfl(s), ParseError);
+}
+
+TEST(Setfl, RejectsTruncatedTables) {
+  std::stringstream s;
+  s << "c1\nc2\nc3\n1 Fe\n10 0.1 10 0.1 3.0\n26 55.8 2.87 bcc\n1.0 2.0\n";
+  EXPECT_THROW(read_setfl(s), ParseError);
+}
+
+TEST(Setfl, RejectsBadGridSizes) {
+  std::stringstream s;
+  s << "c1\nc2\nc3\n1 Fe\n1 0.1 10 0.1 3.0\n";
+  EXPECT_THROW(read_setfl(s), ParseError);
+
+  std::stringstream s2;
+  s2 << "c1\nc2\nc3\n1 Fe\n10 -0.1 10 0.1 3.0\n";
+  EXPECT_THROW(read_setfl(s2), ParseError);
+}
+
+}  // namespace
+}  // namespace sdcmd

@@ -1,0 +1,185 @@
+// End-to-end integration tests: full MD runs through the Simulation driver,
+// checking the physics invariants the whole stack must deliver together.
+#include "md/simulation.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/units.hpp"
+#include "potential/finnis_sinclair.hpp"
+
+namespace sdcmd {
+namespace {
+
+const FinnisSinclair& iron() {
+  static FinnisSinclair fe{FinnisSinclairParams::iron()};
+  return fe;
+}
+
+System make_system(int cells) {
+  LatticeSpec spec;
+  spec.type = LatticeType::Bcc;
+  spec.a0 = units::kLatticeFe;
+  spec.nx = spec.ny = spec.nz = cells;
+  return System::from_lattice(spec, units::kMassFe);
+}
+
+SimulationConfig nve_config(ReductionStrategy strategy) {
+  SimulationConfig cfg;
+  cfg.dt = units::fs_to_internal(1.0);
+  cfg.force.strategy = strategy;
+  cfg.force.sdc.dimensionality = 2;
+  return cfg;
+}
+
+TEST(Simulation, NveConservesEnergy) {
+  Simulation sim(make_system(5), iron(),
+                 nve_config(ReductionStrategy::Serial));
+  sim.set_temperature(300.0, 42);
+  sim.compute_forces();
+  const double e0 = sim.sample().total_energy();
+  sim.run(200);
+  const double e1 = sim.sample().total_energy();
+  // 1 fs steps in a stiff metal: drift must stay tiny relative to the
+  // ~4 eV/atom cohesive energy scale.
+  const double per_atom_drift =
+      std::abs(e1 - e0) / static_cast<double>(sim.system().size());
+  EXPECT_LT(per_atom_drift, 2e-4) << "e0=" << e0 << " e1=" << e1;
+}
+
+TEST(Simulation, NveConservesEnergyUnderSdc) {
+  Simulation sim(make_system(6), iron(), nve_config(ReductionStrategy::Sdc));
+  sim.set_temperature(300.0, 42);
+  sim.compute_forces();
+  const double e0 = sim.sample().total_energy();
+  sim.run(100);
+  const double per_atom_drift =
+      std::abs(sim.sample().total_energy() - e0) /
+      static_cast<double>(sim.system().size());
+  EXPECT_LT(per_atom_drift, 2e-4);
+}
+
+TEST(Simulation, SdcTrajectoryTracksSerialTrajectory) {
+  // Identical initial conditions under serial and SDC force evaluation must
+  // yield the same trajectory up to floating-point summation order.
+  Simulation serial(make_system(6), iron(),
+                    nve_config(ReductionStrategy::Serial));
+  Simulation sdc(make_system(6), iron(), nve_config(ReductionStrategy::Sdc));
+  serial.set_temperature(100.0, 7);
+  sdc.set_temperature(100.0, 7);
+  serial.run(20);
+  sdc.run(20);
+
+  const auto& xa = serial.system().atoms().position;
+  const auto& xb = sdc.system().atoms().position;
+  double worst = 0.0;
+  for (std::size_t i = 0; i < xa.size(); ++i) {
+    worst = std::max(worst, norm(xa[i] - xb[i]));
+  }
+  EXPECT_LT(worst, 1e-7);
+}
+
+TEST(Simulation, MomentumStaysZeroInNve) {
+  Simulation sim(make_system(5), iron(),
+                 nve_config(ReductionStrategy::Serial));
+  sim.set_temperature(300.0, 11);
+  sim.run(50);
+  Vec3 p{};
+  for (const auto& v : sim.system().atoms().velocity) p += v;
+  EXPECT_NEAR(norm(p), 0.0, 1e-8);
+}
+
+TEST(Simulation, ThermostatRegulatesTemperature) {
+  Simulation sim(make_system(5), iron(),
+                 nve_config(ReductionStrategy::Serial));
+  sim.set_temperature(600.0, 3);
+  sim.set_thermostat(
+      std::make_unique<BerendsenThermostat>(300.0, /*tau=*/0.05));
+  sim.run(300);
+  // Half the kinetic energy feeds the lattice (equipartition), so expect
+  // the kinetic temperature near the 300 K target, not at 600 K.
+  EXPECT_NEAR(sim.sample().temperature, 300.0, 60.0);
+}
+
+TEST(Simulation, RebuildsNeighborListsWhenAtomsDrift) {
+  SimulationConfig cfg = nve_config(ReductionStrategy::Serial);
+  cfg.skin = 0.2;  // tight skin forces rebuilds
+  Simulation sim(make_system(5), iron(), cfg);
+  sim.set_temperature(600.0, 5);
+  const std::size_t initial = sim.rebuild_count();
+  sim.run(150);
+  EXPECT_GT(sim.rebuild_count(), initial);
+}
+
+TEST(Simulation, FixedIntervalRebuildPolicy) {
+  SimulationConfig cfg = nve_config(ReductionStrategy::Serial);
+  cfg.rebuild_interval = 10;
+  Simulation sim(make_system(4), iron(), cfg);
+  sim.set_temperature(50.0, 5);
+  const std::size_t initial = sim.rebuild_count();
+  sim.run(50);
+  EXPECT_EQ(sim.rebuild_count() - initial, 5u);
+}
+
+TEST(Simulation, CallbackFiresOnSchedule) {
+  Simulation sim(make_system(4), iron(),
+                 nve_config(ReductionStrategy::Serial));
+  sim.set_temperature(100.0, 2);
+  int fired = 0;
+  sim.run(50, [&](const Simulation&, long) { ++fired; }, 10);
+  EXPECT_EQ(fired, 5);
+}
+
+TEST(Simulation, ReorderedAtomsGiveSamePhysics) {
+  SimulationConfig plain = nve_config(ReductionStrategy::Serial);
+  SimulationConfig reordered = plain;
+  reordered.reorder_atoms = true;
+
+  Simulation a(make_system(5), iron(), plain);
+  Simulation b(make_system(5), iron(), reordered);
+  a.set_temperature(0.0, 1);
+  b.set_temperature(0.0, 1);
+  a.compute_forces();
+  b.compute_forces();
+  EXPECT_NEAR(a.sample().potential_energy(), b.sample().potential_energy(),
+              1e-8 * std::abs(a.sample().potential_energy()));
+}
+
+TEST(Simulation, DeformationStretchesBoxDuringRun) {
+  Simulation sim(make_system(6), iron(),
+                 nve_config(ReductionStrategy::Serial));
+  sim.set_temperature(10.0, 9);
+  const double lx0 = sim.system().box().length(0);
+  sim.set_deformer(BoxDeformer::uniaxial(0, 1e-4), /*every=*/1);
+  sim.run(20);
+  EXPECT_NEAR(sim.system().box().length(0), lx0 * std::pow(1.0 + 1e-4, 20),
+              1e-9 * lx0);
+}
+
+TEST(Simulation, TensionProducesTensileStress) {
+  // Stretch a cold crystal; the axial virial should go negative (tension),
+  // i.e. pressure drops below the unstrained value.
+  Simulation sim(make_system(6), iron(),
+                 nve_config(ReductionStrategy::Serial));
+  sim.set_temperature(0.0, 1);
+  sim.compute_forces();
+  const double p0 = sim.sample().pressure;
+  sim.set_deformer(BoxDeformer::uniaxial(0, 5e-4), 1);
+  sim.run(40);
+  EXPECT_LT(sim.sample().pressure, p0);
+}
+
+TEST(Simulation, SampleReportsStepAndEnergies) {
+  Simulation sim(make_system(4), iron(),
+                 nve_config(ReductionStrategy::Serial));
+  sim.set_temperature(200.0, 4);
+  sim.run(5);
+  const ThermoSample s = sim.sample();
+  EXPECT_EQ(s.step, 5);
+  EXPECT_GT(s.kinetic_energy, 0.0);
+  EXPECT_LT(s.potential_energy(), 0.0);
+}
+
+}  // namespace
+}  // namespace sdcmd

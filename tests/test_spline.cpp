@@ -1,0 +1,108 @@
+#include "potential/cubic_spline.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "common/error.hpp"
+
+namespace sdcmd {
+namespace {
+
+std::vector<double> sample(double x0, double dx, std::size_t n,
+                           double (*f)(double)) {
+  std::vector<double> ys(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    ys[i] = f(x0 + dx * static_cast<double>(i));
+  }
+  return ys;
+}
+
+TEST(CubicSpline, ReproducesLinearFunctionExactly) {
+  auto lin = [](double x) { return 2.0 * x + 1.0; };
+  std::vector<double> ys;
+  for (int i = 0; i < 10; ++i) ys.push_back(lin(0.5 * i));
+  CubicSpline s(0.0, 0.5, ys);
+  for (double x = 0.0; x <= 4.5; x += 0.037) {
+    EXPECT_NEAR(s.value(x), lin(x), 1e-12);
+    EXPECT_NEAR(s.derivative(x), 2.0, 1e-10);
+  }
+}
+
+TEST(CubicSpline, InterpolatesKnotsExactly) {
+  const auto ys = sample(0.0, 0.2, 30, [](double x) { return std::sin(x); });
+  CubicSpline s(0.0, 0.2, ys);
+  for (std::size_t i = 0; i < ys.size(); ++i) {
+    EXPECT_NEAR(s.value(0.2 * static_cast<double>(i)), ys[i], 1e-12);
+  }
+}
+
+TEST(CubicSpline, ApproximatesSineBetweenKnots) {
+  const auto ys =
+      sample(0.0, 0.05, 200, [](double x) { return std::sin(x); });
+  CubicSpline s(0.0, 0.05, ys);
+  for (double x = 0.3; x < 9.5; x += 0.0137) {
+    EXPECT_NEAR(s.value(x), std::sin(x), 1e-6) << "x=" << x;
+    EXPECT_NEAR(s.derivative(x), std::cos(x), 1e-4) << "x=" << x;
+  }
+}
+
+TEST(CubicSpline, ClampedBoundariesMatchRequestedSlopes) {
+  const auto ys =
+      sample(0.0, 0.1, 50, [](double x) { return std::exp(-x); });
+  CubicSpline s(0.0, 0.1, ys, -1.0, -std::exp(-4.9));
+  EXPECT_NEAR(s.derivative(0.0), -1.0, 1e-10);
+  EXPECT_NEAR(s.derivative(4.9), -std::exp(-4.9), 1e-10);
+}
+
+TEST(CubicSpline, EvaluateBundlesValueAndDerivative) {
+  const auto ys = sample(0.0, 0.1, 40, [](double x) { return x * x; });
+  CubicSpline s(0.0, 0.1, ys);
+  double v, d;
+  s.evaluate(1.234, v, d);
+  EXPECT_DOUBLE_EQ(v, s.value(1.234));
+  EXPECT_DOUBLE_EQ(d, s.derivative(1.234));
+}
+
+TEST(CubicSpline, OutOfRangeClampsToEndSegments) {
+  const auto ys = sample(0.0, 1.0, 5, [](double x) { return x; });
+  CubicSpline s(0.0, 1.0, ys);
+  // Linear data: extrapolation continues the line.
+  EXPECT_NEAR(s.value(-1.0), -1.0, 1e-9);
+  EXPECT_NEAR(s.value(6.0), 6.0, 1e-9);
+}
+
+TEST(CubicSpline, GridAccessors) {
+  CubicSpline s(1.0, 0.5, {0.0, 1.0, 0.0, 1.0});
+  EXPECT_DOUBLE_EQ(s.x_begin(), 1.0);
+  EXPECT_DOUBLE_EQ(s.x_end(), 2.5);
+  EXPECT_DOUBLE_EQ(s.dx(), 0.5);
+  EXPECT_EQ(s.size(), 4u);
+}
+
+TEST(CubicSpline, RejectsDegenerateInput) {
+  EXPECT_THROW(CubicSpline(0.0, 0.1, {1.0}), PreconditionError);
+  EXPECT_THROW(CubicSpline(0.0, -0.1, {1.0, 2.0}), PreconditionError);
+}
+
+// Property sweep: spline of a cubic polynomial with clamped ends is exact.
+class SplinePolynomialTest : public ::testing::TestWithParam<double> {};
+
+TEST_P(SplinePolynomialTest, ClampedSplineReproducesCubics) {
+  auto f = [](double x) { return x * x * x - 2.0 * x * x + 0.5 * x + 3.0; };
+  auto df = [](double x) { return 3.0 * x * x - 4.0 * x + 0.5; };
+  std::vector<double> ys;
+  const double dx = 0.25;
+  for (int i = 0; i <= 20; ++i) ys.push_back(f(dx * i));
+  CubicSpline s(0.0, dx, ys, df(0.0), df(5.0));
+  const double x = GetParam();
+  EXPECT_NEAR(s.value(x), f(x), 1e-9);
+  EXPECT_NEAR(s.derivative(x), df(x), 1e-7);
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, SplinePolynomialTest,
+                         ::testing::Values(0.1, 0.77, 1.3, 2.52, 3.9, 4.85));
+
+}  // namespace
+}  // namespace sdcmd

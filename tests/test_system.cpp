@@ -1,0 +1,77 @@
+#include "md/system.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/error.hpp"
+#include "common/units.hpp"
+
+namespace sdcmd {
+namespace {
+
+LatticeSpec small_bcc() {
+  LatticeSpec spec;
+  spec.type = LatticeType::Bcc;
+  spec.a0 = units::kLatticeFe;
+  spec.nx = spec.ny = spec.nz = 3;
+  return spec;
+}
+
+TEST(Atoms, ConstructFromPositions) {
+  Atoms atoms(std::vector<Vec3>{{0, 0, 0}, {1, 1, 1}});
+  EXPECT_EQ(atoms.size(), 2u);
+  EXPECT_EQ(atoms.velocity.size(), 2u);
+  EXPECT_EQ(atoms.force.size(), 2u);
+  EXPECT_EQ(atoms.rho.size(), 2u);
+  EXPECT_EQ(atoms.id[0], 0u);
+  EXPECT_EQ(atoms.id[1], 1u);
+}
+
+TEST(Atoms, ReorderPermutesAllArraysConsistently) {
+  Atoms atoms(std::vector<Vec3>{{0, 0, 0}, {1, 0, 0}, {2, 0, 0}});
+  atoms.velocity[2] = {9, 9, 9};
+  atoms.rho[2] = 7.0;
+  const std::vector<std::uint32_t> perm{2, 0, 1};
+  atoms.reorder(perm);
+  EXPECT_EQ(atoms.position[0].x, 2.0);
+  EXPECT_EQ(atoms.velocity[0].x, 9.0);
+  EXPECT_EQ(atoms.rho[0], 7.0);
+  EXPECT_EQ(atoms.id[0], 2u);  // identity travels with the atom
+}
+
+TEST(Atoms, ReorderRejectsWrongSize) {
+  Atoms atoms(std::vector<Vec3>{{0, 0, 0}, {1, 0, 0}});
+  const std::vector<std::uint32_t> perm{0};
+  EXPECT_THROW(atoms.reorder(perm), PreconditionError);
+}
+
+TEST(System, FromLatticeBuildsAtomsAndBox) {
+  const System system = System::from_lattice(small_bcc(), units::kMassFe);
+  EXPECT_EQ(system.size(), 54u);
+  EXPECT_DOUBLE_EQ(system.mass(), units::kMassFe);
+  EXPECT_NEAR(system.box().length(0), 3 * units::kLatticeFe, 1e-12);
+}
+
+TEST(System, NumberDensityMatchesBcc) {
+  const System system = System::from_lattice(small_bcc(), units::kMassFe);
+  // bcc: 2 atoms per a0^3
+  const double a0 = units::kLatticeFe;
+  EXPECT_NEAR(system.number_density(), 2.0 / (a0 * a0 * a0), 1e-12);
+}
+
+TEST(System, RejectsNonPositiveMass) {
+  EXPECT_THROW(System(Box::cubic(5.0), Atoms(1), 0.0), PreconditionError);
+}
+
+TEST(System, WrapPositionsUpdatesImages) {
+  System system(Box::cubic(10.0), Atoms(std::vector<Vec3>{{12.0, -3.0, 5.0}}),
+                1.0);
+  system.wrap_positions();
+  EXPECT_NEAR(system.atoms().position[0].x, 2.0, 1e-12);
+  EXPECT_NEAR(system.atoms().position[0].y, 7.0, 1e-12);
+  EXPECT_EQ(system.atoms().image[0][0], 1);
+  EXPECT_EQ(system.atoms().image[0][1], -1);
+  EXPECT_EQ(system.atoms().image[0][2], 0);
+}
+
+}  // namespace
+}  // namespace sdcmd

@@ -1,0 +1,83 @@
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+#include "common/csv.hpp"
+#include "common/table.hpp"
+
+namespace sdcmd {
+namespace {
+
+TEST(AsciiTable, RendersHeaderAndRows) {
+  AsciiTable t({"case", "threads", "speedup"});
+  t.add_row({"small", "2", "1.71"});
+  t.add_row({"large4", "16", "12.42"});
+  const std::string out = t.render();
+  EXPECT_NE(out.find("case"), std::string::npos);
+  EXPECT_NE(out.find("12.42"), std::string::npos);
+  // header + underline + 2 rows = 4 lines
+  EXPECT_EQ(std::count(out.begin(), out.end(), '\n'), 4);
+}
+
+TEST(AsciiTable, PadsShortRows) {
+  AsciiTable t({"a", "b", "c"});
+  t.add_row({"only"});
+  EXPECT_EQ(t.rows(), 1u);
+  EXPECT_NO_THROW(t.render());
+}
+
+TEST(AsciiTable, FormatsDoubles) {
+  EXPECT_EQ(AsciiTable::fmt(3.14159, 2), "3.14");
+  EXPECT_EQ(AsciiTable::fmt(12.0, 1), "12.0");
+  EXPECT_EQ(AsciiTable::fmt(-0.5, 3), "-0.500");
+}
+
+TEST(AsciiTable, ColumnsAlign) {
+  AsciiTable t({"x", "yyyy"});
+  t.add_row({"longer", "1"});
+  const std::string out = t.render();
+  std::istringstream is(out);
+  std::string l1, l2, l3;
+  std::getline(is, l1);
+  std::getline(is, l2);
+  std::getline(is, l3);
+  EXPECT_EQ(l1.size(), l2.size());
+  EXPECT_EQ(l1.size(), l3.size());
+}
+
+TEST(CsvWriter, EscapesSpecialCharacters) {
+  EXPECT_EQ(CsvWriter::escape("plain"), "plain");
+  EXPECT_EQ(CsvWriter::escape("a,b"), "\"a,b\"");
+  EXPECT_EQ(CsvWriter::escape("say \"hi\""), "\"say \"\"hi\"\"\"");
+  EXPECT_EQ(CsvWriter::escape("two\nlines"), "\"two\nlines\"");
+}
+
+TEST(CsvWriter, WritesHeaderAndRows) {
+  const std::string path = testing::TempDir() + "sdcmd_csv_test.csv";
+  {
+    CsvWriter w(path, {"name", "value"});
+    ASSERT_TRUE(w.ok());
+    w.add_row({"alpha", "1"});
+    w.add_row({"beta,comma", "2"});
+  }
+  std::ifstream in(path);
+  std::string line;
+  std::getline(in, line);
+  EXPECT_EQ(line, "name,value");
+  std::getline(in, line);
+  EXPECT_EQ(line, "alpha,1");
+  std::getline(in, line);
+  EXPECT_EQ(line, "\"beta,comma\",2");
+  std::remove(path.c_str());
+}
+
+TEST(CsvWriter, UnopenableFileDropsRowsQuietly) {
+  CsvWriter w("/nonexistent-dir/x.csv", {"a"});
+  EXPECT_FALSE(w.ok());
+  EXPECT_NO_THROW(w.add_row({"1"}));
+}
+
+}  // namespace
+}  // namespace sdcmd

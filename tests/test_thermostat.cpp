@@ -1,0 +1,108 @@
+#include "md/thermostat.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/error.hpp"
+#include "common/units.hpp"
+#include "md/thermo.hpp"
+#include "md/velocity.hpp"
+
+namespace sdcmd {
+namespace {
+
+std::vector<Vec3> hot_velocities(double temperature, std::size_t n = 400,
+                                 std::uint64_t seed = 9) {
+  std::vector<Vec3> v(n);
+  maxwell_boltzmann_velocities(v, units::kMassFe, temperature, seed);
+  return v;
+}
+
+TEST(VelocityRescale, HitsTargetImmediately) {
+  auto v = hot_velocities(600.0);
+  VelocityRescaleThermostat t(300.0);
+  t.apply(v, units::kMassFe, 0.01);
+  EXPECT_NEAR(temperature_of(v, units::kMassFe), 300.0, 1e-9);
+}
+
+TEST(VelocityRescale, PeriodSkipsApplications) {
+  auto v = hot_velocities(600.0);
+  VelocityRescaleThermostat t(300.0, /*period=*/3);
+  t.apply(v, units::kMassFe, 0.01);  // 1st: skipped
+  EXPECT_NEAR(temperature_of(v, units::kMassFe), 600.0, 1e-9);
+  t.apply(v, units::kMassFe, 0.01);  // 2nd: skipped
+  t.apply(v, units::kMassFe, 0.01);  // 3rd: applied
+  EXPECT_NEAR(temperature_of(v, units::kMassFe), 300.0, 1e-9);
+}
+
+TEST(VelocityRescale, RejectsBadArguments) {
+  EXPECT_THROW(VelocityRescaleThermostat(-1.0), PreconditionError);
+  EXPECT_THROW(VelocityRescaleThermostat(300.0, 0), PreconditionError);
+}
+
+TEST(Berendsen, RelaxesTowardTarget) {
+  auto v = hot_velocities(600.0);
+  BerendsenThermostat t(300.0, /*tau=*/1.0);
+  double previous = temperature_of(v, units::kMassFe);
+  for (int s = 0; s < 50; ++s) {
+    t.apply(v, units::kMassFe, 0.1);
+    const double now = temperature_of(v, units::kMassFe);
+    EXPECT_LT(now, previous + 1e-9);
+    previous = now;
+  }
+  EXPECT_NEAR(previous, 300.0, 5.0);
+}
+
+TEST(Berendsen, HeatsColdSystems) {
+  auto v = hot_velocities(100.0);
+  BerendsenThermostat t(300.0, 1.0);
+  for (int s = 0; s < 100; ++s) t.apply(v, units::kMassFe, 0.1);
+  EXPECT_NEAR(temperature_of(v, units::kMassFe), 300.0, 5.0);
+}
+
+TEST(Berendsen, RejectsBadTau) {
+  EXPECT_THROW(BerendsenThermostat(300.0, 0.0), PreconditionError);
+}
+
+TEST(Langevin, EquilibratesNearTarget) {
+  auto v = hot_velocities(50.0, 2000);
+  LangevinThermostat t(400.0, /*friction=*/0.5, /*seed=*/77);
+  // Long stochastic settling; average the tail.
+  double tail = 0.0;
+  int samples = 0;
+  for (int s = 0; s < 600; ++s) {
+    t.apply(v, units::kMassFe, 0.05);
+    if (s >= 300) {
+      tail += temperature_of(v, units::kMassFe);
+      ++samples;
+    }
+  }
+  EXPECT_NEAR(tail / samples, 400.0, 40.0);
+}
+
+TEST(Langevin, DeterministicForSeed) {
+  auto a = hot_velocities(300.0, 50);
+  auto b = a;
+  LangevinThermostat ta(300.0, 0.5, 123);
+  LangevinThermostat tb(300.0, 0.5, 123);
+  ta.apply(a, units::kMassFe, 0.01);
+  tb.apply(b, units::kMassFe, 0.01);
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i], b[i]);
+  }
+}
+
+TEST(Langevin, RejectsBadFriction) {
+  EXPECT_THROW(LangevinThermostat(300.0, 0.0, 1), PreconditionError);
+}
+
+TEST(Thermostat, TargetsAreReported) {
+  VelocityRescaleThermostat a(111.0);
+  BerendsenThermostat b(222.0, 1.0);
+  LangevinThermostat c(333.0, 0.1, 1);
+  EXPECT_EQ(a.target_temperature(), 111.0);
+  EXPECT_EQ(b.target_temperature(), 222.0);
+  EXPECT_EQ(c.target_temperature(), 333.0);
+}
+
+}  // namespace
+}  // namespace sdcmd

@@ -1,0 +1,92 @@
+#include "common/timer.hpp"
+
+#include <gtest/gtest.h>
+
+#include <thread>
+
+#include "common/error.hpp"
+
+namespace sdcmd {
+namespace {
+
+TEST(WallTime, Monotonic) {
+  const double a = wall_time();
+  const double b = wall_time();
+  EXPECT_GE(b, a);
+}
+
+TEST(Stopwatch, AccumulatesLaps) {
+  Stopwatch w;
+  w.start();
+  std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  const double lap = w.stop();
+  EXPECT_GT(lap, 0.0);
+  EXPECT_EQ(w.laps(), 1u);
+  w.start();
+  w.stop();
+  EXPECT_EQ(w.laps(), 2u);
+  EXPECT_GE(w.total(), lap);
+}
+
+TEST(Stopwatch, DoubleStartThrows) {
+  Stopwatch w;
+  w.start();
+  EXPECT_THROW(w.start(), PreconditionError);
+  w.stop();
+}
+
+TEST(Stopwatch, StopWithoutStartThrows) {
+  Stopwatch w;
+  EXPECT_THROW(w.stop(), PreconditionError);
+}
+
+TEST(Stopwatch, ResetClearsState) {
+  Stopwatch w;
+  w.start();
+  w.stop();
+  w.reset();
+  EXPECT_EQ(w.total(), 0.0);
+  EXPECT_EQ(w.laps(), 0u);
+  EXPECT_FALSE(w.running());
+}
+
+TEST(ScopedTimer, TimesScope) {
+  Stopwatch w;
+  {
+    ScopedTimer t(w);
+    std::this_thread::sleep_for(std::chrono::milliseconds(2));
+  }
+  EXPECT_GT(w.total(), 0.0);
+  EXPECT_EQ(w.laps(), 1u);
+  EXPECT_FALSE(w.running());
+}
+
+TEST(PhaseTimers, NamedPhasesPreserveInsertionOrder) {
+  PhaseTimers timers;
+  timers["density"].start();
+  timers["density"].stop();
+  timers["force"].start();
+  timers["force"].stop();
+  timers["density"].start();
+  timers["density"].stop();
+
+  const auto entries = timers.entries();
+  ASSERT_EQ(entries.size(), 2u);
+  EXPECT_EQ(entries[0].name, "density");
+  EXPECT_EQ(entries[0].laps, 2u);
+  EXPECT_EQ(entries[1].name, "force");
+  EXPECT_GE(timers.total(),
+            entries[0].seconds + entries[1].seconds - 1e-12);
+}
+
+TEST(PhaseTimers, ResetZeroesAllPhases) {
+  PhaseTimers timers;
+  timers["a"].start();
+  timers["a"].stop();
+  timers.reset();
+  EXPECT_EQ(timers.total(), 0.0);
+  EXPECT_EQ(timers.entries()[0].laps, 0u);
+}
+
+}  // namespace
+}  // namespace sdcmd

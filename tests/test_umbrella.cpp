@@ -1,0 +1,29 @@
+// The umbrella header must compile standalone and expose the whole API.
+#include "sdcmd.hpp"
+
+#include <gtest/gtest.h>
+
+namespace sdcmd {
+namespace {
+
+TEST(Umbrella, EndToEndThroughTheSingleInclude) {
+  LatticeSpec lattice;
+  lattice.type = LatticeType::Bcc;
+  lattice.a0 = units::kLatticeFe;
+  lattice.nx = lattice.ny = lattice.nz = 4;
+
+  FinnisSinclair iron(FinnisSinclairParams::iron());
+  SimulationConfig config;
+  config.dt = units::fs_to_internal(1.0);
+  config.force.strategy = ReductionStrategy::Serial;
+
+  Simulation sim(System::from_lattice(lattice, units::kMassFe), iron,
+                 config);
+  sim.set_temperature(100.0, 1);
+  sim.run(5);
+  EXPECT_EQ(sim.current_step(), 5);
+  EXPECT_LT(sim.sample().potential_energy(), 0.0);
+}
+
+}  // namespace
+}  // namespace sdcmd

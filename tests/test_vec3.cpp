@@ -1,0 +1,78 @@
+#include "common/vec3.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+namespace sdcmd {
+namespace {
+
+TEST(Vec3, DefaultConstructsToZero) {
+  Vec3 v;
+  EXPECT_EQ(v.x, 0.0);
+  EXPECT_EQ(v.y, 0.0);
+  EXPECT_EQ(v.z, 0.0);
+}
+
+TEST(Vec3, IndexAccessMatchesComponents) {
+  Vec3 v{1.0, 2.0, 3.0};
+  EXPECT_EQ(v[0], 1.0);
+  EXPECT_EQ(v[1], 2.0);
+  EXPECT_EQ(v[2], 3.0);
+  v[1] = 7.0;
+  EXPECT_EQ(v.y, 7.0);
+}
+
+TEST(Vec3, ArithmeticOperators) {
+  const Vec3 a{1.0, 2.0, 3.0};
+  const Vec3 b{4.0, 5.0, 6.0};
+  EXPECT_EQ(a + b, (Vec3{5.0, 7.0, 9.0}));
+  EXPECT_EQ(b - a, (Vec3{3.0, 3.0, 3.0}));
+  EXPECT_EQ(a * 2.0, (Vec3{2.0, 4.0, 6.0}));
+  EXPECT_EQ(2.0 * a, a * 2.0);
+  EXPECT_EQ(a / 2.0, (Vec3{0.5, 1.0, 1.5}));
+  EXPECT_EQ(-a, (Vec3{-1.0, -2.0, -3.0}));
+}
+
+TEST(Vec3, CompoundAssignment) {
+  Vec3 v{1.0, 1.0, 1.0};
+  v += {1.0, 2.0, 3.0};
+  EXPECT_EQ(v, (Vec3{2.0, 3.0, 4.0}));
+  v -= {1.0, 1.0, 1.0};
+  EXPECT_EQ(v, (Vec3{1.0, 2.0, 3.0}));
+  v *= 3.0;
+  EXPECT_EQ(v, (Vec3{3.0, 6.0, 9.0}));
+  v /= 3.0;
+  EXPECT_EQ(v, (Vec3{1.0, 2.0, 3.0}));
+}
+
+TEST(Vec3, DotProduct) {
+  EXPECT_DOUBLE_EQ(dot({1.0, 2.0, 3.0}, {4.0, 5.0, 6.0}), 32.0);
+  EXPECT_DOUBLE_EQ(dot({1.0, 0.0, 0.0}, {0.0, 1.0, 0.0}), 0.0);
+}
+
+TEST(Vec3, CrossProductFollowsRightHandRule) {
+  EXPECT_EQ(cross({1.0, 0.0, 0.0}, {0.0, 1.0, 0.0}), (Vec3{0.0, 0.0, 1.0}));
+  EXPECT_EQ(cross({0.0, 1.0, 0.0}, {0.0, 0.0, 1.0}), (Vec3{1.0, 0.0, 0.0}));
+  // Anti-commutative.
+  const Vec3 a{1.0, 2.0, 3.0}, b{-2.0, 0.5, 4.0};
+  EXPECT_EQ(cross(a, b), -cross(b, a));
+}
+
+TEST(Vec3, NormAndNormalize) {
+  const Vec3 v{3.0, 4.0, 0.0};
+  EXPECT_DOUBLE_EQ(norm2(v), 25.0);
+  EXPECT_DOUBLE_EQ(norm(v), 5.0);
+  const Vec3 u = normalized(v);
+  EXPECT_NEAR(norm(u), 1.0, 1e-15);
+  EXPECT_NEAR(u.x, 0.6, 1e-15);
+}
+
+TEST(Vec3, StreamOutput) {
+  std::ostringstream os;
+  os << Vec3{1.0, 2.5, -3.0};
+  EXPECT_EQ(os.str(), "(1, 2.5, -3)");
+}
+
+}  // namespace
+}  // namespace sdcmd

@@ -1,0 +1,110 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/units.hpp"
+#include "md/thermo.hpp"
+#include "md/velocity.hpp"
+
+namespace sdcmd {
+namespace {
+
+TEST(MaxwellBoltzmann, HitsTargetTemperatureExactly) {
+  std::vector<Vec3> v(500);
+  maxwell_boltzmann_velocities(v, units::kMassFe, 300.0, 42);
+  EXPECT_NEAR(temperature_of(v, units::kMassFe), 300.0, 1e-9);
+}
+
+TEST(MaxwellBoltzmann, ZeroNetMomentum) {
+  std::vector<Vec3> v(500);
+  maxwell_boltzmann_velocities(v, units::kMassFe, 300.0, 42);
+  Vec3 total{};
+  for (const auto& vi : v) total += vi;
+  EXPECT_NEAR(norm(total), 0.0, 1e-10);
+}
+
+TEST(MaxwellBoltzmann, DeterministicForSeed) {
+  std::vector<Vec3> a(100), b(100);
+  maxwell_boltzmann_velocities(a, units::kMassFe, 300.0, 7);
+  maxwell_boltzmann_velocities(b, units::kMassFe, 300.0, 7);
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i], b[i]);
+  }
+}
+
+TEST(MaxwellBoltzmann, DifferentSeedsDiffer) {
+  std::vector<Vec3> a(100), b(100);
+  maxwell_boltzmann_velocities(a, units::kMassFe, 300.0, 7);
+  maxwell_boltzmann_velocities(b, units::kMassFe, 300.0, 8);
+  EXPECT_NE(a[0], b[0]);
+}
+
+TEST(MaxwellBoltzmann, ZeroTemperatureGivesZeroVelocities) {
+  std::vector<Vec3> v(50, Vec3{1, 1, 1});
+  maxwell_boltzmann_velocities(v, units::kMassFe, 0.0, 1);
+  for (const auto& vi : v) {
+    EXPECT_EQ(vi, Vec3{});
+  }
+}
+
+TEST(MaxwellBoltzmann, ComponentsRoughlyIsotropic) {
+  std::vector<Vec3> v(20000);
+  maxwell_boltzmann_velocities(v, units::kMassFe, 300.0, 3);
+  double sx = 0, sy = 0, sz = 0;
+  for (const auto& vi : v) {
+    sx += vi.x * vi.x;
+    sy += vi.y * vi.y;
+    sz += vi.z * vi.z;
+  }
+  EXPECT_NEAR(sx / sy, 1.0, 0.05);
+  EXPECT_NEAR(sy / sz, 1.0, 0.05);
+}
+
+TEST(ZeroLinearMomentum, RemovesDrift) {
+  std::vector<Vec3> v{{1, 0, 0}, {3, 0, 0}};
+  zero_linear_momentum(v);
+  EXPECT_NEAR(v[0].x, -1.0, 1e-12);
+  EXPECT_NEAR(v[1].x, 1.0, 1e-12);
+}
+
+TEST(Thermo, KineticEnergyDefinition) {
+  std::vector<Vec3> v{{2, 0, 0}};
+  EXPECT_DOUBLE_EQ(kinetic_energy(v, 3.0), 6.0);
+}
+
+TEST(Thermo, TemperatureOfEmptyIsZero) {
+  EXPECT_EQ(temperature_of({}, 1.0), 0.0);
+}
+
+TEST(Thermo, TemperatureInvertsEquipartition) {
+  // 3/2 N kB T = KE
+  std::vector<Vec3> v(100);
+  maxwell_boltzmann_velocities(v, units::kMassFe, 500.0, 5);
+  const double ke = kinetic_energy(v, units::kMassFe);
+  EXPECT_NEAR(ke, 1.5 * 100 * units::kBoltzmann * 500.0, 1e-9);
+}
+
+TEST(Thermo, IdealGasPressure) {
+  // With zero virial, P = N kB T / V.
+  const Box box = Box::cubic(10.0);
+  const double p = pressure_of(100, box, 300.0, 0.0);
+  EXPECT_NEAR(p, 100 * units::kBoltzmann * 300.0 / 1000.0, 1e-15);
+}
+
+TEST(Thermo, VirialRaisesPressure) {
+  const Box box = Box::cubic(10.0);
+  EXPECT_GT(pressure_of(100, box, 300.0, 30.0),
+            pressure_of(100, box, 300.0, 0.0));
+}
+
+TEST(ThermoSample, EnergyBookkeeping) {
+  ThermoSample s;
+  s.kinetic_energy = 2.0;
+  s.pair_energy = -10.0;
+  s.embedding_energy = -5.0;
+  EXPECT_DOUBLE_EQ(s.potential_energy(), -15.0);
+  EXPECT_DOUBLE_EQ(s.total_energy(), -13.0);
+}
+
+}  // namespace
+}  // namespace sdcmd
