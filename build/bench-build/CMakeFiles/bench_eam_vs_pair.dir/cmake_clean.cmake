@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_eam_vs_pair"
+  "../bench/bench_eam_vs_pair.pdb"
+  "CMakeFiles/bench_eam_vs_pair.dir/bench_eam_vs_pair.cpp.o"
+  "CMakeFiles/bench_eam_vs_pair.dir/bench_eam_vs_pair.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_eam_vs_pair.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_neighbor_policy"
+  "../bench/bench_neighbor_policy.pdb"
+  "CMakeFiles/bench_neighbor_policy.dir/bench_neighbor_policy.cpp.o"
+  "CMakeFiles/bench_neighbor_policy.dir/bench_neighbor_policy.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_neighbor_policy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_reorder"
+  "../bench/bench_reorder.pdb"
+  "CMakeFiles/bench_reorder.dir/bench_reorder.cpp.o"
+  "CMakeFiles/bench_reorder.dir/bench_reorder.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_reorder.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_table1_sdc"
+  "../bench/bench_table1_sdc.pdb"
+  "CMakeFiles/bench_table1_sdc.dir/bench_table1_sdc.cpp.o"
+  "CMakeFiles/bench_table1_sdc.dir/bench_table1_sdc.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table1_sdc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/alloy_fecu.dir/alloy_fecu.cpp.o"
+  "CMakeFiles/alloy_fecu.dir/alloy_fecu.cpp.o.d"
+  "alloy_fecu"
+  "alloy_fecu.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/alloy_fecu.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

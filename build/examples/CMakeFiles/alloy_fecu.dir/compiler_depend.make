@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for alloy_fecu.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,2 @@
+# Empty dependencies file for alloy_fecu.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/defect_analysis.dir/defect_analysis.cpp.o"
+  "CMakeFiles/defect_analysis.dir/defect_analysis.cpp.o.d"
+  "defect_analysis"
+  "defect_analysis.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/defect_analysis.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/irregular_reduction.dir/irregular_reduction.cpp.o"
+  "CMakeFiles/irregular_reduction.dir/irregular_reduction.cpp.o.d"
+  "irregular_reduction"
+  "irregular_reduction.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/irregular_reduction.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/make_setfl.dir/make_setfl.cpp.o"
+  "CMakeFiles/make_setfl.dir/make_setfl.cpp.o.d"
+  "make_setfl"
+  "make_setfl.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/make_setfl.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/melt_quench.dir/melt_quench.cpp.o"
+  "CMakeFiles/melt_quench.dir/melt_quench.cpp.o.d"
+  "melt_quench"
+  "melt_quench.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/melt_quench.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/microdeformation.dir/microdeformation.cpp.o"
+  "CMakeFiles/microdeformation.dir/microdeformation.cpp.o.d"
+  "microdeformation"
+  "microdeformation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/microdeformation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

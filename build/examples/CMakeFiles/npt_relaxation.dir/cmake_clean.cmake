@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/npt_relaxation.dir/npt_relaxation.cpp.o"
+  "CMakeFiles/npt_relaxation.dir/npt_relaxation.cpp.o.d"
+  "npt_relaxation"
+  "npt_relaxation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/npt_relaxation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

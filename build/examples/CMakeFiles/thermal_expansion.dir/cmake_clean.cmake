@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/thermal_expansion.dir/thermal_expansion.cpp.o"
+  "CMakeFiles/thermal_expansion.dir/thermal_expansion.cpp.o.d"
+  "thermal_expansion"
+  "thermal_expansion.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/thermal_expansion.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

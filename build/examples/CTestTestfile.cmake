@@ -1,0 +1,26 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/examples
+# Build directory: /root/repo/build/examples
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+add_test(example_quickstart "/root/repo/build/examples/quickstart" "--cells" "4" "--steps" "10")
+set_tests_properties(example_quickstart PROPERTIES  ENVIRONMENT "OMP_NUM_THREADS=2" _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;23;add_test;/root/repo/examples/CMakeLists.txt;0;")
+add_test(example_microdeformation "/root/repo/build/examples/microdeformation" "--cells" "6" "--equilibration-steps" "20" "--max-strain" "0.005")
+set_tests_properties(example_microdeformation PROPERTIES  ENVIRONMENT "OMP_NUM_THREADS=2" _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;25;add_test;/root/repo/examples/CMakeLists.txt;0;")
+add_test(example_melt_quench "/root/repo/build/examples/melt_quench" "--cells" "4" "--phase-steps" "30")
+set_tests_properties(example_melt_quench PROPERTIES  ENVIRONMENT "OMP_NUM_THREADS=2" _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;28;add_test;/root/repo/examples/CMakeLists.txt;0;")
+add_test(example_strategy_explorer "/root/repo/build/examples/strategy_explorer" "--cells" "6" "--threads" "1,2" "--steps" "1")
+set_tests_properties(example_strategy_explorer PROPERTIES  ENVIRONMENT "OMP_NUM_THREADS=2" _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;30;add_test;/root/repo/examples/CMakeLists.txt;0;")
+add_test(example_irregular_reduction "/root/repo/build/examples/irregular_reduction" "--points" "2000" "--sweeps" "5")
+set_tests_properties(example_irregular_reduction PROPERTIES  ENVIRONMENT "OMP_NUM_THREADS=2" _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;32;add_test;/root/repo/examples/CMakeLists.txt;0;")
+add_test(example_make_setfl "/root/repo/build/examples/make_setfl" "--out" "smoke_fe.eam.alloy" "--nr" "500" "--nrho" "500")
+set_tests_properties(example_make_setfl PROPERTIES  ENVIRONMENT "OMP_NUM_THREADS=2" _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;34;add_test;/root/repo/examples/CMakeLists.txt;0;")
+add_test(example_defect_analysis "/root/repo/build/examples/defect_analysis" "--cells" "5" "--vacancies" "2" "--anneal-steps" "20")
+set_tests_properties(example_defect_analysis PROPERTIES  ENVIRONMENT "OMP_NUM_THREADS=2" _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;36;add_test;/root/repo/examples/CMakeLists.txt;0;")
+add_test(example_npt_relaxation "/root/repo/build/examples/npt_relaxation" "--cells" "4" "--steps" "60" "--checkpoint" "smoke_npt.chk")
+set_tests_properties(example_npt_relaxation PROPERTIES  ENVIRONMENT "OMP_NUM_THREADS=2" _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;39;add_test;/root/repo/examples/CMakeLists.txt;0;")
+add_test(example_alloy_fecu "/root/repo/build/examples/alloy_fecu" "--cells" "6" "--steps" "20")
+set_tests_properties(example_alloy_fecu PROPERTIES  ENVIRONMENT "OMP_NUM_THREADS=2" _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;42;add_test;/root/repo/examples/CMakeLists.txt;0;")
+add_test(example_thermal_expansion "/root/repo/build/examples/thermal_expansion" "--cells" "4" "--temps" "300" "--steps" "60")
+set_tests_properties(example_thermal_expansion PROPERTIES  ENVIRONMENT "OMP_NUM_THREADS=2" _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;44;add_test;/root/repo/examples/CMakeLists.txt;0;")

@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/analysis/cna.cpp" "src/analysis/CMakeFiles/sdcmd_analysis.dir/cna.cpp.o" "gcc" "src/analysis/CMakeFiles/sdcmd_analysis.dir/cna.cpp.o.d"
+  "/root/repo/src/analysis/coordination.cpp" "src/analysis/CMakeFiles/sdcmd_analysis.dir/coordination.cpp.o" "gcc" "src/analysis/CMakeFiles/sdcmd_analysis.dir/coordination.cpp.o.d"
+  "/root/repo/src/analysis/msd.cpp" "src/analysis/CMakeFiles/sdcmd_analysis.dir/msd.cpp.o" "gcc" "src/analysis/CMakeFiles/sdcmd_analysis.dir/msd.cpp.o.d"
+  "/root/repo/src/analysis/rdf.cpp" "src/analysis/CMakeFiles/sdcmd_analysis.dir/rdf.cpp.o" "gcc" "src/analysis/CMakeFiles/sdcmd_analysis.dir/rdf.cpp.o.d"
+  "/root/repo/src/analysis/stress.cpp" "src/analysis/CMakeFiles/sdcmd_analysis.dir/stress.cpp.o" "gcc" "src/analysis/CMakeFiles/sdcmd_analysis.dir/stress.cpp.o.d"
+  "/root/repo/src/analysis/vacf.cpp" "src/analysis/CMakeFiles/sdcmd_analysis.dir/vacf.cpp.o" "gcc" "src/analysis/CMakeFiles/sdcmd_analysis.dir/vacf.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/sdcmd_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/geom/CMakeFiles/sdcmd_geom.dir/DependInfo.cmake"
+  "/root/repo/build/src/neighbor/CMakeFiles/sdcmd_neighbor.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/sdcmd_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/md/CMakeFiles/sdcmd_md.dir/DependInfo.cmake"
+  "/root/repo/build/src/domain/CMakeFiles/sdcmd_domain.dir/DependInfo.cmake"
+  "/root/repo/build/src/potential/CMakeFiles/sdcmd_potential.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

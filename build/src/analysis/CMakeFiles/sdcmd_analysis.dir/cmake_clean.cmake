@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sdcmd_analysis.dir/cna.cpp.o"
+  "CMakeFiles/sdcmd_analysis.dir/cna.cpp.o.d"
+  "CMakeFiles/sdcmd_analysis.dir/coordination.cpp.o"
+  "CMakeFiles/sdcmd_analysis.dir/coordination.cpp.o.d"
+  "CMakeFiles/sdcmd_analysis.dir/msd.cpp.o"
+  "CMakeFiles/sdcmd_analysis.dir/msd.cpp.o.d"
+  "CMakeFiles/sdcmd_analysis.dir/rdf.cpp.o"
+  "CMakeFiles/sdcmd_analysis.dir/rdf.cpp.o.d"
+  "CMakeFiles/sdcmd_analysis.dir/stress.cpp.o"
+  "CMakeFiles/sdcmd_analysis.dir/stress.cpp.o.d"
+  "CMakeFiles/sdcmd_analysis.dir/vacf.cpp.o"
+  "CMakeFiles/sdcmd_analysis.dir/vacf.cpp.o.d"
+  "libsdcmd_analysis.a"
+  "libsdcmd_analysis.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sdcmd_analysis.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/benchsupport/cases.cpp" "src/benchsupport/CMakeFiles/sdcmd_benchsupport.dir/cases.cpp.o" "gcc" "src/benchsupport/CMakeFiles/sdcmd_benchsupport.dir/cases.cpp.o.d"
+  "/root/repo/src/benchsupport/sweep.cpp" "src/benchsupport/CMakeFiles/sdcmd_benchsupport.dir/sweep.cpp.o" "gcc" "src/benchsupport/CMakeFiles/sdcmd_benchsupport.dir/sweep.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/md/CMakeFiles/sdcmd_md.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/sdcmd_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/potential/CMakeFiles/sdcmd_potential.dir/DependInfo.cmake"
+  "/root/repo/build/src/neighbor/CMakeFiles/sdcmd_neighbor.dir/DependInfo.cmake"
+  "/root/repo/build/src/domain/CMakeFiles/sdcmd_domain.dir/DependInfo.cmake"
+  "/root/repo/build/src/geom/CMakeFiles/sdcmd_geom.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/sdcmd_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

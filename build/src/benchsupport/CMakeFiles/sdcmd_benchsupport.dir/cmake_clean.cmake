@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sdcmd_benchsupport.dir/cases.cpp.o"
+  "CMakeFiles/sdcmd_benchsupport.dir/cases.cpp.o.d"
+  "CMakeFiles/sdcmd_benchsupport.dir/sweep.cpp.o"
+  "CMakeFiles/sdcmd_benchsupport.dir/sweep.cpp.o.d"
+  "libsdcmd_benchsupport.a"
+  "libsdcmd_benchsupport.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sdcmd_benchsupport.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sdcmd_common.dir/cli.cpp.o"
+  "CMakeFiles/sdcmd_common.dir/cli.cpp.o.d"
+  "CMakeFiles/sdcmd_common.dir/csv.cpp.o"
+  "CMakeFiles/sdcmd_common.dir/csv.cpp.o.d"
+  "CMakeFiles/sdcmd_common.dir/log.cpp.o"
+  "CMakeFiles/sdcmd_common.dir/log.cpp.o.d"
+  "CMakeFiles/sdcmd_common.dir/random.cpp.o"
+  "CMakeFiles/sdcmd_common.dir/random.cpp.o.d"
+  "CMakeFiles/sdcmd_common.dir/stats.cpp.o"
+  "CMakeFiles/sdcmd_common.dir/stats.cpp.o.d"
+  "CMakeFiles/sdcmd_common.dir/table.cpp.o"
+  "CMakeFiles/sdcmd_common.dir/table.cpp.o.d"
+  "CMakeFiles/sdcmd_common.dir/threads.cpp.o"
+  "CMakeFiles/sdcmd_common.dir/threads.cpp.o.d"
+  "CMakeFiles/sdcmd_common.dir/timer.cpp.o"
+  "CMakeFiles/sdcmd_common.dir/timer.cpp.o.d"
+  "libsdcmd_common.a"
+  "libsdcmd_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sdcmd_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,38 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/alloy_force.cpp" "src/core/CMakeFiles/sdcmd_core.dir/alloy_force.cpp.o" "gcc" "src/core/CMakeFiles/sdcmd_core.dir/alloy_force.cpp.o.d"
+  "/root/repo/src/core/cell_direct.cpp" "src/core/CMakeFiles/sdcmd_core.dir/cell_direct.cpp.o" "gcc" "src/core/CMakeFiles/sdcmd_core.dir/cell_direct.cpp.o.d"
+  "/root/repo/src/core/colored_reduction.cpp" "src/core/CMakeFiles/sdcmd_core.dir/colored_reduction.cpp.o" "gcc" "src/core/CMakeFiles/sdcmd_core.dir/colored_reduction.cpp.o.d"
+  "/root/repo/src/core/eam_force.cpp" "src/core/CMakeFiles/sdcmd_core.dir/eam_force.cpp.o" "gcc" "src/core/CMakeFiles/sdcmd_core.dir/eam_force.cpp.o.d"
+  "/root/repo/src/core/eam_kernels_cs.cpp" "src/core/CMakeFiles/sdcmd_core.dir/eam_kernels_cs.cpp.o" "gcc" "src/core/CMakeFiles/sdcmd_core.dir/eam_kernels_cs.cpp.o.d"
+  "/root/repo/src/core/eam_kernels_locks.cpp" "src/core/CMakeFiles/sdcmd_core.dir/eam_kernels_locks.cpp.o" "gcc" "src/core/CMakeFiles/sdcmd_core.dir/eam_kernels_locks.cpp.o.d"
+  "/root/repo/src/core/eam_kernels_rc.cpp" "src/core/CMakeFiles/sdcmd_core.dir/eam_kernels_rc.cpp.o" "gcc" "src/core/CMakeFiles/sdcmd_core.dir/eam_kernels_rc.cpp.o.d"
+  "/root/repo/src/core/eam_kernels_sap.cpp" "src/core/CMakeFiles/sdcmd_core.dir/eam_kernels_sap.cpp.o" "gcc" "src/core/CMakeFiles/sdcmd_core.dir/eam_kernels_sap.cpp.o.d"
+  "/root/repo/src/core/eam_kernels_sdc.cpp" "src/core/CMakeFiles/sdcmd_core.dir/eam_kernels_sdc.cpp.o" "gcc" "src/core/CMakeFiles/sdcmd_core.dir/eam_kernels_sdc.cpp.o.d"
+  "/root/repo/src/core/eam_kernels_serial.cpp" "src/core/CMakeFiles/sdcmd_core.dir/eam_kernels_serial.cpp.o" "gcc" "src/core/CMakeFiles/sdcmd_core.dir/eam_kernels_serial.cpp.o.d"
+  "/root/repo/src/core/lock_pool.cpp" "src/core/CMakeFiles/sdcmd_core.dir/lock_pool.cpp.o" "gcc" "src/core/CMakeFiles/sdcmd_core.dir/lock_pool.cpp.o.d"
+  "/root/repo/src/core/pair_force.cpp" "src/core/CMakeFiles/sdcmd_core.dir/pair_force.cpp.o" "gcc" "src/core/CMakeFiles/sdcmd_core.dir/pair_force.cpp.o.d"
+  "/root/repo/src/core/race_check.cpp" "src/core/CMakeFiles/sdcmd_core.dir/race_check.cpp.o" "gcc" "src/core/CMakeFiles/sdcmd_core.dir/race_check.cpp.o.d"
+  "/root/repo/src/core/sdc_schedule.cpp" "src/core/CMakeFiles/sdcmd_core.dir/sdc_schedule.cpp.o" "gcc" "src/core/CMakeFiles/sdcmd_core.dir/sdc_schedule.cpp.o.d"
+  "/root/repo/src/core/strategy.cpp" "src/core/CMakeFiles/sdcmd_core.dir/strategy.cpp.o" "gcc" "src/core/CMakeFiles/sdcmd_core.dir/strategy.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/sdcmd_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/geom/CMakeFiles/sdcmd_geom.dir/DependInfo.cmake"
+  "/root/repo/build/src/potential/CMakeFiles/sdcmd_potential.dir/DependInfo.cmake"
+  "/root/repo/build/src/neighbor/CMakeFiles/sdcmd_neighbor.dir/DependInfo.cmake"
+  "/root/repo/build/src/domain/CMakeFiles/sdcmd_domain.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,39 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sdcmd_core.dir/alloy_force.cpp.o"
+  "CMakeFiles/sdcmd_core.dir/alloy_force.cpp.o.d"
+  "CMakeFiles/sdcmd_core.dir/cell_direct.cpp.o"
+  "CMakeFiles/sdcmd_core.dir/cell_direct.cpp.o.d"
+  "CMakeFiles/sdcmd_core.dir/colored_reduction.cpp.o"
+  "CMakeFiles/sdcmd_core.dir/colored_reduction.cpp.o.d"
+  "CMakeFiles/sdcmd_core.dir/eam_force.cpp.o"
+  "CMakeFiles/sdcmd_core.dir/eam_force.cpp.o.d"
+  "CMakeFiles/sdcmd_core.dir/eam_kernels_cs.cpp.o"
+  "CMakeFiles/sdcmd_core.dir/eam_kernels_cs.cpp.o.d"
+  "CMakeFiles/sdcmd_core.dir/eam_kernels_locks.cpp.o"
+  "CMakeFiles/sdcmd_core.dir/eam_kernels_locks.cpp.o.d"
+  "CMakeFiles/sdcmd_core.dir/eam_kernels_rc.cpp.o"
+  "CMakeFiles/sdcmd_core.dir/eam_kernels_rc.cpp.o.d"
+  "CMakeFiles/sdcmd_core.dir/eam_kernels_sap.cpp.o"
+  "CMakeFiles/sdcmd_core.dir/eam_kernels_sap.cpp.o.d"
+  "CMakeFiles/sdcmd_core.dir/eam_kernels_sdc.cpp.o"
+  "CMakeFiles/sdcmd_core.dir/eam_kernels_sdc.cpp.o.d"
+  "CMakeFiles/sdcmd_core.dir/eam_kernels_serial.cpp.o"
+  "CMakeFiles/sdcmd_core.dir/eam_kernels_serial.cpp.o.d"
+  "CMakeFiles/sdcmd_core.dir/lock_pool.cpp.o"
+  "CMakeFiles/sdcmd_core.dir/lock_pool.cpp.o.d"
+  "CMakeFiles/sdcmd_core.dir/pair_force.cpp.o"
+  "CMakeFiles/sdcmd_core.dir/pair_force.cpp.o.d"
+  "CMakeFiles/sdcmd_core.dir/race_check.cpp.o"
+  "CMakeFiles/sdcmd_core.dir/race_check.cpp.o.d"
+  "CMakeFiles/sdcmd_core.dir/sdc_schedule.cpp.o"
+  "CMakeFiles/sdcmd_core.dir/sdc_schedule.cpp.o.d"
+  "CMakeFiles/sdcmd_core.dir/strategy.cpp.o"
+  "CMakeFiles/sdcmd_core.dir/strategy.cpp.o.d"
+  "libsdcmd_core.a"
+  "libsdcmd_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sdcmd_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

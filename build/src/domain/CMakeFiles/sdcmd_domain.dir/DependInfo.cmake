@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/domain/coloring.cpp" "src/domain/CMakeFiles/sdcmd_domain.dir/coloring.cpp.o" "gcc" "src/domain/CMakeFiles/sdcmd_domain.dir/coloring.cpp.o.d"
+  "/root/repo/src/domain/decomposition.cpp" "src/domain/CMakeFiles/sdcmd_domain.dir/decomposition.cpp.o" "gcc" "src/domain/CMakeFiles/sdcmd_domain.dir/decomposition.cpp.o.d"
+  "/root/repo/src/domain/partition.cpp" "src/domain/CMakeFiles/sdcmd_domain.dir/partition.cpp.o" "gcc" "src/domain/CMakeFiles/sdcmd_domain.dir/partition.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/sdcmd_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/geom/CMakeFiles/sdcmd_geom.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

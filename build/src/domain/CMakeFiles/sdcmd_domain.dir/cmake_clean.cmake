@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sdcmd_domain.dir/coloring.cpp.o"
+  "CMakeFiles/sdcmd_domain.dir/coloring.cpp.o.d"
+  "CMakeFiles/sdcmd_domain.dir/decomposition.cpp.o"
+  "CMakeFiles/sdcmd_domain.dir/decomposition.cpp.o.d"
+  "CMakeFiles/sdcmd_domain.dir/partition.cpp.o"
+  "CMakeFiles/sdcmd_domain.dir/partition.cpp.o.d"
+  "libsdcmd_domain.a"
+  "libsdcmd_domain.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sdcmd_domain.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sdcmd_geom.dir/box.cpp.o"
+  "CMakeFiles/sdcmd_geom.dir/box.cpp.o.d"
+  "CMakeFiles/sdcmd_geom.dir/defects.cpp.o"
+  "CMakeFiles/sdcmd_geom.dir/defects.cpp.o.d"
+  "CMakeFiles/sdcmd_geom.dir/lattice.cpp.o"
+  "CMakeFiles/sdcmd_geom.dir/lattice.cpp.o.d"
+  "CMakeFiles/sdcmd_geom.dir/region.cpp.o"
+  "CMakeFiles/sdcmd_geom.dir/region.cpp.o.d"
+  "libsdcmd_geom.a"
+  "libsdcmd_geom.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sdcmd_geom.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

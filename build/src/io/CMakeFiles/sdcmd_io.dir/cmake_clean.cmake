@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sdcmd_io.dir/checkpoint.cpp.o"
+  "CMakeFiles/sdcmd_io.dir/checkpoint.cpp.o.d"
+  "CMakeFiles/sdcmd_io.dir/lammps_data.cpp.o"
+  "CMakeFiles/sdcmd_io.dir/lammps_data.cpp.o.d"
+  "CMakeFiles/sdcmd_io.dir/xyz_reader.cpp.o"
+  "CMakeFiles/sdcmd_io.dir/xyz_reader.cpp.o.d"
+  "libsdcmd_io.a"
+  "libsdcmd_io.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sdcmd_io.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

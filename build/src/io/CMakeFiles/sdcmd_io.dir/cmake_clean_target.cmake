@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libsdcmd_io.a"
+)

@@ -1,0 +1,36 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/md/atoms.cpp" "src/md/CMakeFiles/sdcmd_md.dir/atoms.cpp.o" "gcc" "src/md/CMakeFiles/sdcmd_md.dir/atoms.cpp.o.d"
+  "/root/repo/src/md/barostat.cpp" "src/md/CMakeFiles/sdcmd_md.dir/barostat.cpp.o" "gcc" "src/md/CMakeFiles/sdcmd_md.dir/barostat.cpp.o.d"
+  "/root/repo/src/md/deform.cpp" "src/md/CMakeFiles/sdcmd_md.dir/deform.cpp.o" "gcc" "src/md/CMakeFiles/sdcmd_md.dir/deform.cpp.o.d"
+  "/root/repo/src/md/dump.cpp" "src/md/CMakeFiles/sdcmd_md.dir/dump.cpp.o" "gcc" "src/md/CMakeFiles/sdcmd_md.dir/dump.cpp.o.d"
+  "/root/repo/src/md/force_provider.cpp" "src/md/CMakeFiles/sdcmd_md.dir/force_provider.cpp.o" "gcc" "src/md/CMakeFiles/sdcmd_md.dir/force_provider.cpp.o.d"
+  "/root/repo/src/md/integrator.cpp" "src/md/CMakeFiles/sdcmd_md.dir/integrator.cpp.o" "gcc" "src/md/CMakeFiles/sdcmd_md.dir/integrator.cpp.o.d"
+  "/root/repo/src/md/simulation.cpp" "src/md/CMakeFiles/sdcmd_md.dir/simulation.cpp.o" "gcc" "src/md/CMakeFiles/sdcmd_md.dir/simulation.cpp.o.d"
+  "/root/repo/src/md/system.cpp" "src/md/CMakeFiles/sdcmd_md.dir/system.cpp.o" "gcc" "src/md/CMakeFiles/sdcmd_md.dir/system.cpp.o.d"
+  "/root/repo/src/md/thermo.cpp" "src/md/CMakeFiles/sdcmd_md.dir/thermo.cpp.o" "gcc" "src/md/CMakeFiles/sdcmd_md.dir/thermo.cpp.o.d"
+  "/root/repo/src/md/thermo_log.cpp" "src/md/CMakeFiles/sdcmd_md.dir/thermo_log.cpp.o" "gcc" "src/md/CMakeFiles/sdcmd_md.dir/thermo_log.cpp.o.d"
+  "/root/repo/src/md/thermostat.cpp" "src/md/CMakeFiles/sdcmd_md.dir/thermostat.cpp.o" "gcc" "src/md/CMakeFiles/sdcmd_md.dir/thermostat.cpp.o.d"
+  "/root/repo/src/md/velocity.cpp" "src/md/CMakeFiles/sdcmd_md.dir/velocity.cpp.o" "gcc" "src/md/CMakeFiles/sdcmd_md.dir/velocity.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/sdcmd_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/geom/CMakeFiles/sdcmd_geom.dir/DependInfo.cmake"
+  "/root/repo/build/src/potential/CMakeFiles/sdcmd_potential.dir/DependInfo.cmake"
+  "/root/repo/build/src/neighbor/CMakeFiles/sdcmd_neighbor.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/sdcmd_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/domain/CMakeFiles/sdcmd_domain.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

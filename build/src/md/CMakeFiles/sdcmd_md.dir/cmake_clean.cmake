@@ -1,0 +1,33 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sdcmd_md.dir/atoms.cpp.o"
+  "CMakeFiles/sdcmd_md.dir/atoms.cpp.o.d"
+  "CMakeFiles/sdcmd_md.dir/barostat.cpp.o"
+  "CMakeFiles/sdcmd_md.dir/barostat.cpp.o.d"
+  "CMakeFiles/sdcmd_md.dir/deform.cpp.o"
+  "CMakeFiles/sdcmd_md.dir/deform.cpp.o.d"
+  "CMakeFiles/sdcmd_md.dir/dump.cpp.o"
+  "CMakeFiles/sdcmd_md.dir/dump.cpp.o.d"
+  "CMakeFiles/sdcmd_md.dir/force_provider.cpp.o"
+  "CMakeFiles/sdcmd_md.dir/force_provider.cpp.o.d"
+  "CMakeFiles/sdcmd_md.dir/integrator.cpp.o"
+  "CMakeFiles/sdcmd_md.dir/integrator.cpp.o.d"
+  "CMakeFiles/sdcmd_md.dir/simulation.cpp.o"
+  "CMakeFiles/sdcmd_md.dir/simulation.cpp.o.d"
+  "CMakeFiles/sdcmd_md.dir/system.cpp.o"
+  "CMakeFiles/sdcmd_md.dir/system.cpp.o.d"
+  "CMakeFiles/sdcmd_md.dir/thermo.cpp.o"
+  "CMakeFiles/sdcmd_md.dir/thermo.cpp.o.d"
+  "CMakeFiles/sdcmd_md.dir/thermo_log.cpp.o"
+  "CMakeFiles/sdcmd_md.dir/thermo_log.cpp.o.d"
+  "CMakeFiles/sdcmd_md.dir/thermostat.cpp.o"
+  "CMakeFiles/sdcmd_md.dir/thermostat.cpp.o.d"
+  "CMakeFiles/sdcmd_md.dir/velocity.cpp.o"
+  "CMakeFiles/sdcmd_md.dir/velocity.cpp.o.d"
+  "libsdcmd_md.a"
+  "libsdcmd_md.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sdcmd_md.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

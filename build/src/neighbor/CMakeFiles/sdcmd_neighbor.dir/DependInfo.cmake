@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/neighbor/cell_list.cpp" "src/neighbor/CMakeFiles/sdcmd_neighbor.dir/cell_list.cpp.o" "gcc" "src/neighbor/CMakeFiles/sdcmd_neighbor.dir/cell_list.cpp.o.d"
+  "/root/repo/src/neighbor/neighbor_list.cpp" "src/neighbor/CMakeFiles/sdcmd_neighbor.dir/neighbor_list.cpp.o" "gcc" "src/neighbor/CMakeFiles/sdcmd_neighbor.dir/neighbor_list.cpp.o.d"
+  "/root/repo/src/neighbor/reorder.cpp" "src/neighbor/CMakeFiles/sdcmd_neighbor.dir/reorder.cpp.o" "gcc" "src/neighbor/CMakeFiles/sdcmd_neighbor.dir/reorder.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/sdcmd_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/geom/CMakeFiles/sdcmd_geom.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sdcmd_neighbor.dir/cell_list.cpp.o"
+  "CMakeFiles/sdcmd_neighbor.dir/cell_list.cpp.o.d"
+  "CMakeFiles/sdcmd_neighbor.dir/neighbor_list.cpp.o"
+  "CMakeFiles/sdcmd_neighbor.dir/neighbor_list.cpp.o.d"
+  "CMakeFiles/sdcmd_neighbor.dir/reorder.cpp.o"
+  "CMakeFiles/sdcmd_neighbor.dir/reorder.cpp.o.d"
+  "libsdcmd_neighbor.a"
+  "libsdcmd_neighbor.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sdcmd_neighbor.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

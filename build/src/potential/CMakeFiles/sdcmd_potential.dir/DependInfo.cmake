@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/potential/alloy.cpp" "src/potential/CMakeFiles/sdcmd_potential.dir/alloy.cpp.o" "gcc" "src/potential/CMakeFiles/sdcmd_potential.dir/alloy.cpp.o.d"
+  "/root/repo/src/potential/cubic_spline.cpp" "src/potential/CMakeFiles/sdcmd_potential.dir/cubic_spline.cpp.o" "gcc" "src/potential/CMakeFiles/sdcmd_potential.dir/cubic_spline.cpp.o.d"
+  "/root/repo/src/potential/finnis_sinclair.cpp" "src/potential/CMakeFiles/sdcmd_potential.dir/finnis_sinclair.cpp.o" "gcc" "src/potential/CMakeFiles/sdcmd_potential.dir/finnis_sinclair.cpp.o.d"
+  "/root/repo/src/potential/funcfl.cpp" "src/potential/CMakeFiles/sdcmd_potential.dir/funcfl.cpp.o" "gcc" "src/potential/CMakeFiles/sdcmd_potential.dir/funcfl.cpp.o.d"
+  "/root/repo/src/potential/johnson.cpp" "src/potential/CMakeFiles/sdcmd_potential.dir/johnson.cpp.o" "gcc" "src/potential/CMakeFiles/sdcmd_potential.dir/johnson.cpp.o.d"
+  "/root/repo/src/potential/lennard_jones.cpp" "src/potential/CMakeFiles/sdcmd_potential.dir/lennard_jones.cpp.o" "gcc" "src/potential/CMakeFiles/sdcmd_potential.dir/lennard_jones.cpp.o.d"
+  "/root/repo/src/potential/morse.cpp" "src/potential/CMakeFiles/sdcmd_potential.dir/morse.cpp.o" "gcc" "src/potential/CMakeFiles/sdcmd_potential.dir/morse.cpp.o.d"
+  "/root/repo/src/potential/setfl.cpp" "src/potential/CMakeFiles/sdcmd_potential.dir/setfl.cpp.o" "gcc" "src/potential/CMakeFiles/sdcmd_potential.dir/setfl.cpp.o.d"
+  "/root/repo/src/potential/setfl_alloy.cpp" "src/potential/CMakeFiles/sdcmd_potential.dir/setfl_alloy.cpp.o" "gcc" "src/potential/CMakeFiles/sdcmd_potential.dir/setfl_alloy.cpp.o.d"
+  "/root/repo/src/potential/tabulated.cpp" "src/potential/CMakeFiles/sdcmd_potential.dir/tabulated.cpp.o" "gcc" "src/potential/CMakeFiles/sdcmd_potential.dir/tabulated.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/sdcmd_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

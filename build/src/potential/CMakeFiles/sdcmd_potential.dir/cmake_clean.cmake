@@ -1,0 +1,29 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sdcmd_potential.dir/alloy.cpp.o"
+  "CMakeFiles/sdcmd_potential.dir/alloy.cpp.o.d"
+  "CMakeFiles/sdcmd_potential.dir/cubic_spline.cpp.o"
+  "CMakeFiles/sdcmd_potential.dir/cubic_spline.cpp.o.d"
+  "CMakeFiles/sdcmd_potential.dir/finnis_sinclair.cpp.o"
+  "CMakeFiles/sdcmd_potential.dir/finnis_sinclair.cpp.o.d"
+  "CMakeFiles/sdcmd_potential.dir/funcfl.cpp.o"
+  "CMakeFiles/sdcmd_potential.dir/funcfl.cpp.o.d"
+  "CMakeFiles/sdcmd_potential.dir/johnson.cpp.o"
+  "CMakeFiles/sdcmd_potential.dir/johnson.cpp.o.d"
+  "CMakeFiles/sdcmd_potential.dir/lennard_jones.cpp.o"
+  "CMakeFiles/sdcmd_potential.dir/lennard_jones.cpp.o.d"
+  "CMakeFiles/sdcmd_potential.dir/morse.cpp.o"
+  "CMakeFiles/sdcmd_potential.dir/morse.cpp.o.d"
+  "CMakeFiles/sdcmd_potential.dir/setfl.cpp.o"
+  "CMakeFiles/sdcmd_potential.dir/setfl.cpp.o.d"
+  "CMakeFiles/sdcmd_potential.dir/setfl_alloy.cpp.o"
+  "CMakeFiles/sdcmd_potential.dir/setfl_alloy.cpp.o.d"
+  "CMakeFiles/sdcmd_potential.dir/tabulated.cpp.o"
+  "CMakeFiles/sdcmd_potential.dir/tabulated.cpp.o.d"
+  "libsdcmd_potential.a"
+  "libsdcmd_potential.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sdcmd_potential.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

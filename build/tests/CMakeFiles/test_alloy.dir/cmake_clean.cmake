@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_alloy.dir/test_alloy.cpp.o"
+  "CMakeFiles/test_alloy.dir/test_alloy.cpp.o.d"
+  "test_alloy"
+  "test_alloy.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_alloy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

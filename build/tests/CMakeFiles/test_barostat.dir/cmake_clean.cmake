@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_barostat.dir/test_barostat.cpp.o"
+  "CMakeFiles/test_barostat.dir/test_barostat.cpp.o.d"
+  "test_barostat"
+  "test_barostat.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_barostat.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_bench_cases.dir/test_bench_cases.cpp.o"
+  "CMakeFiles/test_bench_cases.dir/test_bench_cases.cpp.o.d"
+  "test_bench_cases"
+  "test_bench_cases.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_bench_cases.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_cell_direct_defects.dir/test_cell_direct_defects.cpp.o"
+  "CMakeFiles/test_cell_direct_defects.dir/test_cell_direct_defects.cpp.o.d"
+  "test_cell_direct_defects"
+  "test_cell_direct_defects.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_cell_direct_defects.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for test_cell_direct_defects.
+# This may be replaced when dependencies are built.

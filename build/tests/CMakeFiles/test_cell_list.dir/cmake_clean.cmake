@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_cell_list.dir/test_cell_list.cpp.o"
+  "CMakeFiles/test_cell_list.dir/test_cell_list.cpp.o.d"
+  "test_cell_list"
+  "test_cell_list.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_cell_list.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_cna_vacf.dir/test_cna_vacf.cpp.o"
+  "CMakeFiles/test_cna_vacf.dir/test_cna_vacf.cpp.o.d"
+  "test_cna_vacf"
+  "test_cna_vacf.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_cna_vacf.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

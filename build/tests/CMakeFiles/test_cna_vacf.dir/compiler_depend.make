@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for test_cna_vacf.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_colored_reduction.dir/test_colored_reduction.cpp.o"
+  "CMakeFiles/test_colored_reduction.dir/test_colored_reduction.cpp.o.d"
+  "test_colored_reduction"
+  "test_colored_reduction.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_colored_reduction.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

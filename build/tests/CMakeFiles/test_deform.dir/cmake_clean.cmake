@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_deform.dir/test_deform.cpp.o"
+  "CMakeFiles/test_deform.dir/test_deform.cpp.o.d"
+  "test_deform"
+  "test_deform.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_deform.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

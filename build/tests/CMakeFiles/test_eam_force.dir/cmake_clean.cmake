@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_eam_force.dir/test_eam_force.cpp.o"
+  "CMakeFiles/test_eam_force.dir/test_eam_force.cpp.o.d"
+  "test_eam_force"
+  "test_eam_force.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_eam_force.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

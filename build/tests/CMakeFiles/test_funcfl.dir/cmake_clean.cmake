@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_funcfl.dir/test_funcfl.cpp.o"
+  "CMakeFiles/test_funcfl.dir/test_funcfl.cpp.o.d"
+  "test_funcfl"
+  "test_funcfl.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_funcfl.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_misc_md.dir/test_misc_md.cpp.o"
+  "CMakeFiles/test_misc_md.dir/test_misc_md.cpp.o.d"
+  "test_misc_md"
+  "test_misc_md.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_misc_md.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_pair_force.dir/test_pair_force.cpp.o"
+  "CMakeFiles/test_pair_force.dir/test_pair_force.cpp.o.d"
+  "test_pair_force"
+  "test_pair_force.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_pair_force.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_pair_simulation.dir/test_pair_simulation.cpp.o"
+  "CMakeFiles/test_pair_simulation.dir/test_pair_simulation.cpp.o.d"
+  "test_pair_simulation"
+  "test_pair_simulation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_pair_simulation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_potential_eam.dir/test_potential_eam.cpp.o"
+  "CMakeFiles/test_potential_eam.dir/test_potential_eam.cpp.o.d"
+  "test_potential_eam"
+  "test_potential_eam.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_potential_eam.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_potential_pair.dir/test_potential_pair.cpp.o"
+  "CMakeFiles/test_potential_pair.dir/test_potential_pair.cpp.o.d"
+  "test_potential_pair"
+  "test_potential_pair.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_potential_pair.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

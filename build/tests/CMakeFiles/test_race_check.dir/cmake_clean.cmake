@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_race_check.dir/test_race_check.cpp.o"
+  "CMakeFiles/test_race_check.dir/test_race_check.cpp.o.d"
+  "test_race_check"
+  "test_race_check.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_race_check.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_sdc_schedule.dir/test_sdc_schedule.cpp.o"
+  "CMakeFiles/test_sdc_schedule.dir/test_sdc_schedule.cpp.o.d"
+  "test_sdc_schedule"
+  "test_sdc_schedule.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_sdc_schedule.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

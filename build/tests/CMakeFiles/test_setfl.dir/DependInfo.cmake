@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/test_setfl.cpp" "tests/CMakeFiles/test_setfl.dir/test_setfl.cpp.o" "gcc" "tests/CMakeFiles/test_setfl.dir/test_setfl.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/benchsupport/CMakeFiles/sdcmd_benchsupport.dir/DependInfo.cmake"
+  "/root/repo/build/src/analysis/CMakeFiles/sdcmd_analysis.dir/DependInfo.cmake"
+  "/root/repo/build/src/io/CMakeFiles/sdcmd_io.dir/DependInfo.cmake"
+  "/root/repo/build/src/md/CMakeFiles/sdcmd_md.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/sdcmd_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/domain/CMakeFiles/sdcmd_domain.dir/DependInfo.cmake"
+  "/root/repo/build/src/neighbor/CMakeFiles/sdcmd_neighbor.dir/DependInfo.cmake"
+  "/root/repo/build/src/potential/CMakeFiles/sdcmd_potential.dir/DependInfo.cmake"
+  "/root/repo/build/src/geom/CMakeFiles/sdcmd_geom.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/sdcmd_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_setfl.dir/test_setfl.cpp.o"
+  "CMakeFiles/test_setfl.dir/test_setfl.cpp.o.d"
+  "test_setfl"
+  "test_setfl.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_setfl.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

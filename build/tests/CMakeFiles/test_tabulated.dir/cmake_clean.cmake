@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_tabulated.dir/test_tabulated.cpp.o"
+  "CMakeFiles/test_tabulated.dir/test_tabulated.cpp.o.d"
+  "test_tabulated"
+  "test_tabulated.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_tabulated.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_velocity_thermo.dir/test_velocity_thermo.cpp.o"
+  "CMakeFiles/test_velocity_thermo.dir/test_velocity_thermo.cpp.o.d"
+  "test_velocity_thermo"
+  "test_velocity_thermo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_velocity_thermo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
