@@ -36,6 +36,22 @@ class InfeasibleError : public Error {
   explicit InfeasibleError(const std::string& what) : Error(what) {}
 };
 
+/// A stored file's integrity checksum does not match its contents.
+/// Subclasses ParseError so generic "malformed input" handlers still catch
+/// it while recovery code can distinguish corruption from truncation.
+class ChecksumError : public ParseError {
+ public:
+  explicit ChecksumError(const std::string& what) : ParseError(what) {}
+};
+
+/// A running simulation violated a health invariant (non-finite state,
+/// kinetic-energy blowup, runaway displacement) and the configured policy
+/// could not recover it.
+class HealthError : public Error {
+ public:
+  explicit HealthError(const std::string& what) : Error(what) {}
+};
+
 namespace detail {
 [[noreturn]] inline void throw_precondition(const char* expr, const char* file,
                                             int line, const std::string& msg) {

@@ -1,0 +1,76 @@
+#include "common/fault.hpp"
+
+#include <limits>
+
+namespace sdcmd {
+
+FaultInjector& FaultInjector::instance() {
+  static FaultInjector injector;
+  return injector;
+}
+
+void FaultInjector::arm(const std::string& point, FaultSpec spec) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto [it, inserted] = entries_.insert_or_assign(point, Entry{spec, 0, 0});
+  (void)it;
+  if (inserted) {
+    armed_points_.fetch_add(1, std::memory_order_relaxed);
+  }
+}
+
+void FaultInjector::disarm(const std::string& point) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (entries_.erase(point) > 0) {
+    armed_points_.fetch_sub(1, std::memory_order_relaxed);
+  }
+}
+
+void FaultInjector::disarm_all() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  entries_.clear();
+  armed_points_.store(0, std::memory_order_relaxed);
+}
+
+std::optional<FaultSpec> FaultInjector::should_fire(std::string_view point) {
+  if (!armed()) return std::nullopt;
+  std::lock_guard<std::mutex> lock(mutex_);
+  const auto it = entries_.find(std::string(point));
+  if (it == entries_.end()) return std::nullopt;
+  Entry& entry = it->second;
+  const long hit = entry.hits++;
+  if (hit < entry.spec.countdown) return std::nullopt;
+  if (entry.spec.shots >= 0 &&
+      hit >= entry.spec.countdown + entry.spec.shots) {
+    return std::nullopt;
+  }
+  ++entry.fires;
+  return entry.spec;
+}
+
+long FaultInjector::fire_count(std::string_view point) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  const auto it = entries_.find(std::string(point));
+  return it == entries_.end() ? 0 : it->second.fires;
+}
+
+namespace faults {
+
+void maybe_poison_forces(std::span<Vec3> forces) {
+  if (forces.empty()) return;
+  if (const auto spec = FaultInjector::instance().should_fire(kForceNan)) {
+    constexpr double nan = std::numeric_limits<double>::quiet_NaN();
+    forces[spec->index % forces.size()] = {nan, nan, nan};
+  }
+}
+
+void maybe_kick_position(std::span<Vec3> positions) {
+  if (positions.empty()) return;
+  if (const auto spec =
+          FaultInjector::instance().should_fire(kPositionKick)) {
+    positions[spec->index % positions.size()].x += spec->magnitude;
+  }
+}
+
+}  // namespace faults
+
+}  // namespace sdcmd

@@ -1,0 +1,98 @@
+// Deterministic fault injection for robustness testing.
+//
+// A process-wide registry of named injection points. Production code is
+// sprinkled with cheap probes (one relaxed atomic load when nothing is
+// armed); tests arm a point with an exact trigger count so every recovery
+// path — NaN forces, position kicks, truncated checkpoint writes — is
+// exercised deterministically rather than by luck.
+//
+//   FaultInjector::instance().arm(faults::kForceNan, {.countdown = 3});
+//   ... run the simulation: the 4th force evaluation produces a NaN ...
+//   FaultInjector::instance().disarm_all();
+//
+// Probes sit at step/IO granularity (never inside per-atom loops), so an
+// armed-but-idle injector costs nothing measurable.
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+#include <mutex>
+#include <optional>
+#include <span>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+
+#include "common/vec3.hpp"
+
+namespace sdcmd {
+
+/// Canonical injection-point names. Points are plain strings so tests can
+/// add ad-hoc ones, but production probes use these constants.
+namespace faults {
+/// Force providers: overwrite one atom's force with NaN after compute.
+inline constexpr const char* kForceNan = "force.nan";
+/// Integrator: displace one atom by `magnitude` angstrom after the drift.
+inline constexpr const char* kPositionKick = "integrator.position_kick";
+/// Checkpoint writer: truncate the payload and abort before the rename,
+/// simulating a crash mid-write.
+inline constexpr const char* kCheckpointShortWrite = "checkpoint.short_write";
+}  // namespace faults
+
+/// What an armed injection point does when it fires.
+struct FaultSpec {
+  /// Number of probe hits to let pass before firing (0 = fire on the first).
+  long countdown = 0;
+  /// How many consecutive hits fire once triggered; -1 = every hit forever.
+  int shots = 1;
+  /// Point-specific payload: kick distance (angstrom) for kPositionKick,
+  /// fraction of the payload kept for kCheckpointShortWrite.
+  double magnitude = 0.0;
+  /// Target element (atom index); taken modulo the array size at the probe.
+  std::size_t index = 0;
+};
+
+class FaultInjector {
+ public:
+  static FaultInjector& instance();
+
+  /// Arm `point`; replaces any previous spec and resets its hit counter.
+  void arm(const std::string& point, FaultSpec spec);
+  void disarm(const std::string& point);
+  void disarm_all();
+
+  /// Probe: counts a hit at `point` and returns the spec when it fires.
+  /// Near-free when nothing is armed (single relaxed atomic load).
+  std::optional<FaultSpec> should_fire(std::string_view point);
+
+  /// True when any point is armed (the probes' fast-path check).
+  bool armed() const {
+    return armed_points_.load(std::memory_order_relaxed) > 0;
+  }
+
+  /// Total times `point` has fired since it was armed.
+  long fire_count(std::string_view point) const;
+
+ private:
+  FaultInjector() = default;
+
+  struct Entry {
+    FaultSpec spec;
+    long hits = 0;
+    long fires = 0;
+  };
+
+  mutable std::mutex mutex_;
+  std::unordered_map<std::string, Entry> entries_;
+  std::atomic<int> armed_points_{0};
+};
+
+/// Probe helpers wrapping the canonical points (no-ops when disarmed).
+namespace faults {
+/// kForceNan: poison forces[spec.index % n] with quiet NaNs.
+void maybe_poison_forces(std::span<Vec3> forces);
+/// kPositionKick: displace positions[spec.index % n] by magnitude along x.
+void maybe_kick_position(std::span<Vec3> positions);
+}  // namespace faults
+
+}  // namespace sdcmd

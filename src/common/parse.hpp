@@ -1,0 +1,49 @@
+// Line-number context for token-stream parsers.
+//
+// The potential-file readers (setfl/funcfl) parse whitespace-separated
+// tokens, which loses the line structure operator>> skipped over. When a
+// parse fails these helpers recover the 1-based line number by re-scanning
+// the consumed prefix of a seekable stream, so error messages can point at
+// the offending line of a malformed table.
+#pragma once
+
+#include <algorithm>
+#include <istream>
+#include <string>
+
+namespace sdcmd {
+
+/// 1-based line number at the stream's current read position, or -1 when
+/// the stream is not seekable. Clears fail/eof bits to probe the position;
+/// intended for use on the way to throwing a ParseError.
+inline long stream_line_number(std::istream& in) {
+  in.clear();
+  const std::streampos pos = in.tellg();
+  if (pos < std::streampos(0)) return -1;
+  if (!in.seekg(0)) return -1;
+  long line = 1;
+  std::streamoff remaining = static_cast<std::streamoff>(pos);
+  char buf[4096];
+  while (remaining > 0 && in) {
+    const std::streamsize chunk = static_cast<std::streamsize>(
+        std::min<std::streamoff>(remaining,
+                                 static_cast<std::streamoff>(sizeof buf)));
+    in.read(buf, chunk);
+    const std::streamsize got = in.gcount();
+    if (got <= 0) break;
+    line += static_cast<long>(std::count(buf, buf + got, '\n'));
+    remaining -= got;
+  }
+  in.clear();
+  in.seekg(pos);
+  return line;
+}
+
+/// " (near line N)" when the stream position is recoverable, "" otherwise.
+inline std::string line_suffix(std::istream& in) {
+  const long line = stream_line_number(in);
+  return line > 0 ? " (near line " + std::to_string(line) + ")"
+                  : std::string();
+}
+
+}  // namespace sdcmd

@@ -1,18 +1,40 @@
 #include "io/checkpoint.hpp"
 
+#include <algorithm>
+#include <cmath>
+#include <cstdint>
+#include <cstdio>
 #include <fstream>
 #include <iomanip>
+#include <iterator>
+#include <sstream>
 
 #include "common/error.hpp"
+#include "common/fault.hpp"
 
 namespace sdcmd {
 
 namespace {
-constexpr const char* kMagic = "sdcmd-checkpoint";
-constexpr int kVersion = 1;
-}  // namespace
 
-void save_checkpoint(std::ostream& out, const System& system, long step) {
+constexpr const char* kMagic = "sdcmd-checkpoint";
+// v1: bare payload. v2: payload + "checksum fnv1a64 <hex>" footer.
+constexpr int kVersion = 2;
+constexpr const char* kFooterTag = "checksum fnv1a64 ";
+
+std::uint64_t fnv1a64(std::string_view bytes) {
+  std::uint64_t h = 14695981039346656037ull;
+  for (const char c : bytes) {
+    h ^= static_cast<unsigned char>(c);
+    h *= 1099511628211ull;
+  }
+  return h;
+}
+
+bool finite3(const Vec3& v) {
+  return std::isfinite(v.x) && std::isfinite(v.y) && std::isfinite(v.z);
+}
+
+void write_payload(std::ostream& out, const System& system, long step) {
   const Atoms& atoms = system.atoms();
   const Box& box = system.box();
   out << kMagic << ' ' << kVersion << '\n';
@@ -34,25 +56,12 @@ void save_checkpoint(std::ostream& out, const System& system, long step) {
   }
 }
 
-void save_checkpoint_file(const std::string& path, const System& system,
-                          long step) {
-  std::ofstream out(path);
-  if (!out) {
-    throw Error("cannot open '" + path + "' for writing");
-  }
-  save_checkpoint(out, system, step);
-}
-
-Checkpoint load_checkpoint(std::istream& in) {
+Checkpoint parse_payload(const std::string& payload, int version) {
+  std::istringstream in(payload);
   std::string magic, key;
-  int version = 0;
-  if (!(in >> magic >> version) || magic != kMagic) {
-    throw ParseError("checkpoint: bad magic");
-  }
-  if (version != kVersion) {
-    throw ParseError("checkpoint: unsupported version " +
-                     std::to_string(version));
-  }
+  int declared_version = 0;
+  in >> magic >> declared_version;  // already validated by the caller
+  (void)version;
 
   long step = 0;
   double mass = 0.0;
@@ -62,6 +71,9 @@ Checkpoint load_checkpoint(std::istream& in) {
   if (!(in >> key >> mass) || key != "mass") {
     throw ParseError("checkpoint: missing mass");
   }
+  if (!std::isfinite(mass) || mass <= 0.0) {
+    throw ParseError("checkpoint: mass must be finite and positive");
+  }
 
   Vec3 lo, hi;
   bool px, py, pz;
@@ -70,10 +82,32 @@ Checkpoint load_checkpoint(std::istream& in) {
       key != "box") {
     throw ParseError("checkpoint: missing box");
   }
+  if (!finite3(lo) || !finite3(hi)) {
+    throw ParseError("checkpoint: box extents must be finite");
+  }
+  for (int dim = 0; dim < 3; ++dim) {
+    if (!(hi[dim] > lo[dim])) {
+      throw ParseError("checkpoint: box hi must exceed lo on every axis");
+    }
+  }
 
   std::size_t count = 0;
   if (!(in >> key >> count) || key != "atoms") {
     throw ParseError("checkpoint: missing atom count");
+  }
+  // Fail fast on truncated files: each atom occupies one payload line, so
+  // the declared count cannot exceed the lines that remain. This rejects
+  // garbage counts before they turn into a huge Atoms allocation.
+  const auto here = in.tellg();
+  if (here >= 0) {
+    const std::size_t remaining_lines = static_cast<std::size_t>(
+        std::count(payload.begin() + static_cast<std::ptrdiff_t>(here),
+                   payload.end(), '\n'));
+    if (remaining_lines < count) {
+      throw ParseError("checkpoint: declares " + std::to_string(count) +
+                       " atoms but only " + std::to_string(remaining_lines) +
+                       " rows remain (truncated file?)");
+    }
   }
 
   Atoms atoms(count);
@@ -86,6 +120,10 @@ Checkpoint load_checkpoint(std::istream& in) {
       throw ParseError("checkpoint: truncated atom table at row " +
                        std::to_string(i));
     }
+    if (!finite3(r) || !finite3(v)) {
+      throw ParseError("checkpoint: non-finite position or velocity at row " +
+                       std::to_string(i));
+    }
     atoms.id[i] = id;
     atoms.position[i] = r;
     atoms.velocity[i] = v;
@@ -96,8 +134,105 @@ Checkpoint load_checkpoint(std::istream& in) {
   return Checkpoint{System(box, std::move(atoms), mass), step};
 }
 
+}  // namespace
+
+void save_checkpoint(std::ostream& out, const System& system, long step) {
+  // Compose the payload first so the checksum footer can cover its exact
+  // bytes; the loader verifies it before parsing anything else.
+  std::ostringstream payload;
+  write_payload(payload, system, step);
+  const std::string text = payload.str();
+  out << text << kFooterTag << std::hex << std::setw(16) << std::setfill('0')
+      << fnv1a64(text) << '\n';
+}
+
+void save_checkpoint_file(const std::string& path, const System& system,
+                          long step) {
+  std::ostringstream buffer;
+  save_checkpoint(buffer, system, step);
+  std::string text = buffer.str();
+
+  // Fault injection: keep only a prefix of the payload and bail before the
+  // rename, exactly what a crash mid-write leaves behind.
+  bool simulate_crash = false;
+  if (const auto fault = FaultInjector::instance().should_fire(
+          faults::kCheckpointShortWrite)) {
+    const double kept =
+        fault->magnitude > 0.0 && fault->magnitude < 1.0 ? fault->magnitude
+                                                         : 0.5;
+    text.resize(static_cast<std::size_t>(
+        static_cast<double>(text.size()) * kept));
+    simulate_crash = true;
+  }
+
+  // Temp-then-rename: an interrupted save leaves a stale .tmp file behind
+  // but never clobbers the previous good checkpoint at `path`.
+  const std::string tmp = path + ".tmp";
+  {
+    std::ofstream out(tmp, std::ios::binary | std::ios::trunc);
+    if (!out) {
+      throw Error("checkpoint: cannot open '" + tmp + "' for writing");
+    }
+    out << text;
+    out.flush();
+    if (!out) {
+      throw Error("checkpoint: short write to '" + tmp + "'");
+    }
+  }
+  if (simulate_crash) {
+    throw Error("checkpoint: fault-injected crash during write of '" + tmp +
+                "'");
+  }
+  if (std::rename(tmp.c_str(), path.c_str()) != 0) {
+    throw Error("checkpoint: cannot rename '" + tmp + "' to '" + path + "'");
+  }
+}
+
+Checkpoint load_checkpoint(std::istream& in) {
+  const std::string text{std::istreambuf_iterator<char>(in),
+                         std::istreambuf_iterator<char>()};
+
+  std::istringstream header(text);
+  std::string magic;
+  int version = 0;
+  if (!(header >> magic >> version) || magic != kMagic) {
+    throw ParseError("checkpoint: bad magic");
+  }
+  if (version != 1 && version != kVersion) {
+    throw ParseError("checkpoint: unsupported version " +
+                     std::to_string(version));
+  }
+
+  if (version == 1) {
+    // Legacy files carry no checksum; parse them as-is.
+    return parse_payload(text, version);
+  }
+
+  const std::size_t footer = text.rfind(kFooterTag);
+  if (footer == std::string::npos ||
+      (footer != 0 && text[footer - 1] != '\n')) {
+    throw ParseError("checkpoint: missing checksum footer");
+  }
+  const std::string payload = text.substr(0, footer);
+  std::uint64_t declared = 0;
+  {
+    std::istringstream f(text.substr(footer + std::string(kFooterTag).size()));
+    if (!(f >> std::hex >> declared)) {
+      throw ParseError("checkpoint: malformed checksum footer");
+    }
+  }
+  const std::uint64_t actual = fnv1a64(payload);
+  if (actual != declared) {
+    std::ostringstream os;
+    os << "checkpoint: checksum mismatch (stored " << std::hex << declared
+       << ", computed " << actual << "); file is corrupt";
+    throw ChecksumError(os.str());
+  }
+  return parse_payload(payload, version);
+}
+
 Checkpoint load_checkpoint_file(const std::string& path) {
-  std::ifstream in(path);
+  std::ifstream in(path, std::ios::binary);
   if (!in) {
     throw ParseError("checkpoint: cannot open '" + path + "'");
   }

@@ -3,8 +3,15 @@
 // Saves everything needed to continue a run bit-for-bit at the physics
 // level: box, per-atom state (position, velocity, id, image counters),
 // species mass, and the step counter. Text format with full double
-// precision (hex floats), versioned header, so checkpoints remain
-// debuggable and portable.
+// precision, versioned header, so checkpoints remain debuggable and
+// portable.
+//
+// Format v2 appends a `checksum fnv1a64 <hex>` footer covering the exact
+// payload bytes; the loader verifies it (ChecksumError on mismatch) before
+// parsing and rejects truncated or non-finite state with ParseError.
+// `save_checkpoint_file` is crash-safe: it writes `<path>.tmp` and renames
+// it into place, so an interrupted save never clobbers the previous good
+// checkpoint. Legacy v1 files (no footer) still load.
 #pragma once
 
 #include <iosfwd>
@@ -23,7 +30,8 @@ void save_checkpoint(std::ostream& out, const System& system, long step);
 void save_checkpoint_file(const std::string& path, const System& system,
                           long step);
 
-/// Throws ParseError on malformed or version-mismatched input.
+/// Throws ParseError on malformed, truncated or version-mismatched input
+/// and ChecksumError when a v2 footer does not match the payload.
 Checkpoint load_checkpoint(std::istream& in);
 Checkpoint load_checkpoint_file(const std::string& path);
 

@@ -1,5 +1,7 @@
 #include "md/force_provider.hpp"
 
+#include "common/fault.hpp"
+
 namespace sdcmd {
 
 EamForceProvider::EamForceProvider(const EamPotential& potential,
@@ -8,8 +10,10 @@ EamForceProvider::EamForceProvider(const EamPotential& potential,
 
 EamForceResult EamForceProvider::compute(const Box& box, Atoms& atoms,
                                          const NeighborList& list) {
-  return computer_.compute(box, atoms.position, list, atoms.rho, atoms.fp,
-                           atoms.force);
+  const EamForceResult result = computer_.compute(
+      box, atoms.position, list, atoms.rho, atoms.fp, atoms.force);
+  faults::maybe_poison_forces(atoms.force);
+  return result;
 }
 
 PairForceProvider::PairForceProvider(const PairPotential& potential,
@@ -20,6 +24,7 @@ EamForceResult PairForceProvider::compute(const Box& box, Atoms& atoms,
                                           const NeighborList& list) {
   const PairForceResult pair =
       computer_.compute(box, atoms.position, list, atoms.force);
+  faults::maybe_poison_forces(atoms.force);
   EamForceResult result;
   result.pair_energy = pair.energy;
   result.embedding_energy = 0.0;

@@ -1,0 +1,125 @@
+#include "md/health.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+
+#include "md/thermo.hpp"
+
+namespace sdcmd {
+
+namespace {
+
+bool finite3(const Vec3& v) {
+  return std::isfinite(v.x) && std::isfinite(v.y) && std::isfinite(v.z);
+}
+
+}  // namespace
+
+std::string HealthReport::summary() const {
+  std::ostringstream os;
+  os << "step " << step << ": ";
+  if (issues.empty()) {
+    os << "healthy";
+    return os.str();
+  }
+  for (std::size_t i = 0; i < issues.size(); ++i) {
+    if (i > 0) os << "; ";
+    os << issues[i].check << ": " << issues[i].message;
+  }
+  return os.str();
+}
+
+HealthMonitor::HealthMonitor(HealthConfig config) : config_(config) {
+  config_.cadence = std::max(config_.cadence, 1);
+}
+
+bool HealthMonitor::due(long step) const {
+  return step % config_.cadence == 0;
+}
+
+HealthReport HealthMonitor::check(const System& system,
+                                  const EamForceResult& last, long step,
+                                  double dt, double skin) {
+  HealthReport report;
+  report.step = step;
+  const Atoms& atoms = system.atoms();
+
+  auto flag = [&report](const char* check, const std::string& message) {
+    report.issues.push_back({check, message});
+  };
+
+  // One fused sweep gathers the finiteness verdicts and the extrema the
+  // threshold checks need; flag only the first offender per category to
+  // keep reports readable when everything is NaN.
+  std::size_t bad_pos = atoms.size(), bad_vel = atoms.size();
+  std::size_t bad_force = atoms.size();
+  double vmax2 = 0.0, fmax2 = 0.0;
+  for (std::size_t i = 0; i < atoms.size(); ++i) {
+    if (bad_pos == atoms.size() && !finite3(atoms.position[i])) bad_pos = i;
+    if (bad_vel == atoms.size() && !finite3(atoms.velocity[i])) bad_vel = i;
+    if (bad_force == atoms.size() && !finite3(atoms.force[i])) bad_force = i;
+    vmax2 = std::max(vmax2, norm2(atoms.velocity[i]));
+    fmax2 = std::max(fmax2, norm2(atoms.force[i]));
+  }
+
+  if (config_.check_finite) {
+    if (bad_pos < atoms.size()) {
+      flag("finite-position",
+           "position[" + std::to_string(bad_pos) + "] is non-finite");
+    }
+    if (bad_vel < atoms.size()) {
+      flag("finite-velocity",
+           "velocity[" + std::to_string(bad_vel) + "] is non-finite");
+    }
+    if (bad_force < atoms.size()) {
+      flag("finite-force",
+           "force[" + std::to_string(bad_force) + "] is non-finite");
+    }
+    if (!std::isfinite(last.pair_energy) ||
+        !std::isfinite(last.embedding_energy) ||
+        !std::isfinite(last.virial)) {
+      flag("finite-energy", "force evaluation returned non-finite energies");
+    }
+  }
+
+  if (config_.max_force > 0.0 && bad_force == atoms.size() &&
+      fmax2 > config_.max_force * config_.max_force) {
+    std::ostringstream os;
+    os << "max |force| " << std::sqrt(fmax2) << " exceeds cap "
+       << config_.max_force << " eV/A";
+    flag("force-cap", os.str());
+  }
+
+  if (config_.displacement_skin_fraction > 0.0 && skin > 0.0 &&
+      std::isfinite(vmax2)) {
+    const double step_travel = std::sqrt(vmax2) * dt;
+    const double budget = config_.displacement_skin_fraction * skin;
+    if (step_travel > budget) {
+      std::ostringstream os;
+      os << "fastest atom covers " << step_travel
+         << " A per step, over the " << budget << " A skin budget";
+      flag("displacement", os.str());
+    }
+  }
+
+  if (config_.ke_spike_ratio > 0.0 && bad_vel == atoms.size()) {
+    const double ke = kinetic_energy(atoms.velocity, system.mass());
+    if (std::isfinite(ke)) {
+      if (last_ke_ >= config_.ke_floor && ke > config_.ke_spike_ratio * last_ke_) {
+        std::ostringstream os;
+        os << "kinetic energy jumped " << ke / last_ke_ << "x (from "
+           << last_ke_ << " to " << ke << " eV) since the last check";
+        flag("ke-spike", os.str());
+      }
+      last_ke_ = ke;
+    } else {
+      flag("ke-spike", "kinetic energy is non-finite");
+    }
+  }
+
+  last_report_ = report;
+  return report;
+}
+
+}  // namespace sdcmd

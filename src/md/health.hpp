@@ -1,0 +1,88 @@
+// Runtime health monitoring for long unattended MD runs.
+//
+// The integrator happily propagates garbage: one NaN force poisons every
+// position within a few steps, and a too-large dt turns kinetic energy
+// into an exponential. HealthMonitor checks a configurable set of cheap
+// invariants at a configurable cadence so trouble is detected within a
+// bounded number of steps, while the policy (warn / throw / rollback)
+// decides what the Simulation driver does about it.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "core/eam_force.hpp"
+#include "md/system.hpp"
+
+namespace sdcmd {
+
+/// What the Simulation driver does when a health check fails.
+enum class HealthPolicy {
+  Warn,      ///< log and keep going (diagnostics only)
+  Throw,     ///< raise HealthError immediately
+  Rollback,  ///< restore the last good checkpoint and resume
+};
+
+struct HealthConfig {
+  /// Check every `cadence` steps (values < 1 behave as 1).
+  int cadence = 50;
+  HealthPolicy policy = HealthPolicy::Throw;
+  /// Reject non-finite positions, velocities, forces and energies.
+  bool check_finite = true;
+  /// Flag a kinetic-energy jump of more than this ratio between two
+  /// consecutive checks (0 disables). Thermal fluctuation is a few percent;
+  /// a blowup grows by orders of magnitude per cadence window.
+  double ke_spike_ratio = 100.0;
+  /// Baselines below this (eV) never arm the spike check — a cold lattice
+  /// warming up is not a blowup.
+  double ke_floor = 1e-3;
+  /// Flag when the fastest atom would cross more than this fraction of the
+  /// Verlet skin in a single step (0 disables). The rebuild trigger absorbs
+  /// half a skin of accumulated drift; covering a full skin in one step
+  /// means neighbor lists can no longer be trusted.
+  double displacement_skin_fraction = 1.0;
+  /// Hard cap on |force| per atom in eV/A (0 disables; non-finite forces
+  /// are always caught by check_finite).
+  double max_force = 0.0;
+};
+
+struct HealthIssue {
+  std::string check;    ///< e.g. "finite-position", "ke-spike"
+  std::string message;  ///< human-readable detail
+};
+
+struct HealthReport {
+  long step = 0;
+  std::vector<HealthIssue> issues;
+  bool ok() const { return issues.empty(); }
+  /// One-line digest: "step 1200: finite-force: force[17] is non-finite".
+  std::string summary() const;
+};
+
+class HealthMonitor {
+ public:
+  explicit HealthMonitor(HealthConfig config);
+
+  /// True when `step` lands on the configured cadence.
+  bool due(long step) const;
+
+  /// Run every enabled check against the current state. `last` is the most
+  /// recent force-evaluation result (for energy sanity), `dt`/`skin` the
+  /// driver's step and neighbor skin. Updates the kinetic-energy baseline.
+  HealthReport check(const System& system, const EamForceResult& last,
+                     long step, double dt, double skin);
+
+  /// Forget the kinetic-energy baseline (call after a rollback: the
+  /// restored state should not be compared against the diverged one).
+  void reset_baseline() { last_ke_ = -1.0; }
+
+  const HealthConfig& config() const { return config_; }
+  const HealthReport& last_report() const { return last_report_; }
+
+ private:
+  HealthConfig config_;
+  double last_ke_ = -1.0;
+  HealthReport last_report_;
+};
+
+}  // namespace sdcmd

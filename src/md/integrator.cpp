@@ -1,6 +1,7 @@
 #include "md/integrator.hpp"
 
 #include "common/error.hpp"
+#include "common/fault.hpp"
 
 namespace sdcmd {
 
@@ -20,6 +21,7 @@ void VelocityVerlet::kick_drift(std::span<Vec3> positions,
     velocities[i] += half_dt_over_m * forces[i];
     positions[i] += dt_ * velocities[i];
   }
+  faults::maybe_kick_position(positions);
 }
 
 void VelocityVerlet::kick(std::span<Vec3> velocities,
@@ -44,6 +46,7 @@ void VelocityVerlet::kick_drift(std::span<Vec3> positions,
     velocities[i] += (0.5 * dt_ / masses[i]) * forces[i];
     positions[i] += dt_ * velocities[i];
   }
+  faults::maybe_kick_position(positions);
 }
 
 void VelocityVerlet::kick(std::span<Vec3> velocities,

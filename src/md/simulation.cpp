@@ -112,6 +112,106 @@ void Simulation::set_barostat(BerendsenBarostat barostat, int every) {
   barostat_every_ = every;
 }
 
+void Simulation::set_guardrails(GuardrailConfig config) {
+  SDCMD_REQUIRE(config.checkpoint_every >= 0,
+                "checkpoint interval must be non-negative");
+  SDCMD_REQUIRE(config.max_rollbacks >= 0,
+                "rollback budget must be non-negative");
+  guard_ = std::move(config);
+  monitor_ = std::make_unique<HealthMonitor>(guard_->health);
+  snapshot_.reset();
+  rollbacks_ = 0;
+}
+
+void Simulation::clear_guardrails() {
+  guard_.reset();
+  monitor_.reset();
+  snapshot_.reset();
+  rollbacks_ = 0;
+}
+
+void Simulation::set_dt(double dt) {
+  SDCMD_REQUIRE(dt > 0.0, "time step must be positive");
+  config_.dt = dt;
+  integrator_ = VelocityVerlet(dt, system_.mass());
+}
+
+bool Simulation::rollback() {
+  if (!snapshot_) return false;
+  restore_snapshot();
+  return true;
+}
+
+void Simulation::take_snapshot() {
+  snapshot_.emplace(Snapshot{system_, step_});
+  if (guard_ && guard_->checkpoint_sink) {
+    guard_->checkpoint_sink(system_, step_);
+  }
+}
+
+void Simulation::restore_snapshot() {
+  system_ = snapshot_->system;
+  step_ = snapshot_->step;
+  if (monitor_) monitor_->reset_baseline();
+  // The diverged state may have moved atoms arbitrarily (or changed the
+  // box via a deformer); rebuild everything box- and position-dependent.
+  rebuild_geometry();
+  compute_forces();
+}
+
+void Simulation::guard_baseline() {
+  if (snapshot_) return;
+  const HealthReport report = monitor_->check(system_, last_result_, step_,
+                                              config_.dt, config_.skin);
+  if (report.ok()) {
+    take_snapshot();
+  } else {
+    handle_unhealthy(report);
+  }
+}
+
+void Simulation::guard_after_step() {
+  const bool checkpoint_due =
+      guard_->checkpoint_every > 0 && step_ % guard_->checkpoint_every == 0;
+  if (!checkpoint_due && !monitor_->due(step_)) return;
+
+  const HealthReport report = monitor_->check(system_, last_result_, step_,
+                                              config_.dt, config_.skin);
+  if (report.ok()) {
+    if (checkpoint_due) take_snapshot();
+    return;
+  }
+  handle_unhealthy(report);
+}
+
+void Simulation::handle_unhealthy(const HealthReport& report) {
+  switch (guard_->health.policy) {
+    case HealthPolicy::Warn:
+      SDCMD_WARN("health: " << report.summary());
+      return;
+    case HealthPolicy::Throw:
+      throw HealthError("health check failed at " + report.summary());
+    case HealthPolicy::Rollback:
+      break;
+  }
+  if (!snapshot_) {
+    throw HealthError("health check failed with no snapshot to roll back"
+                      " to, at " + report.summary());
+  }
+  if (rollbacks_ >= guard_->max_rollbacks) {
+    throw HealthError("rollback budget (" +
+                      std::to_string(guard_->max_rollbacks) +
+                      ") exhausted at " + report.summary());
+  }
+  ++rollbacks_;
+  if (guard_->halve_dt_on_rollback) set_dt(config_.dt * 0.5);
+  SDCMD_WARN("health: " << report.summary() << "; rolling back to step "
+                        << snapshot_->step << " (rollback " << rollbacks_
+                        << '/' << guard_->max_rollbacks << ", dt now "
+                        << config_.dt << ')');
+  restore_snapshot();
+}
+
 void Simulation::step_once() {
   compute_forces();
   Atoms& atoms = system_.atoms();
@@ -150,8 +250,14 @@ void Simulation::run(long steps, const Callback& callback,
                      long callback_every) {
   SDCMD_REQUIRE(steps >= 0, "step count must be non-negative");
   compute_forces();
-  for (long s = 0; s < steps; ++s) {
+  if (monitor_) guard_baseline();
+  // Run to an absolute target step: a rollback rewinds step_ and the
+  // rewound stretch is re-run, so a guarded run still finishes at the
+  // requested step (or throws once the rollback budget is spent).
+  const long target = step_ + steps;
+  while (step_ < target) {
     step_once();
+    if (monitor_) guard_after_step();
     if (callback && callback_every > 0 && step_ % callback_every == 0) {
       callback(*this, step_);
     }

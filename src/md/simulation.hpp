@@ -12,6 +12,7 @@
 #include "md/barostat.hpp"
 #include "md/deform.hpp"
 #include "md/force_provider.hpp"
+#include "md/health.hpp"
 #include "md/integrator.hpp"
 #include "md/system.hpp"
 #include "md/thermo.hpp"
@@ -33,6 +34,27 @@ struct SimulationConfig {
   bool reorder_atoms = false;
   /// Sort each neighbor sublist ascending (paper Section II.D).
   bool sort_neighbors = true;
+};
+
+/// Guardrails for unattended runs: periodic health checks plus a rolling
+/// "last good state" snapshot the driver can fall back to when the
+/// configured policy is Rollback.
+struct GuardrailConfig {
+  HealthConfig health;
+  /// Refresh the rollback snapshot every N steps (0 = only the baseline
+  /// snapshot taken when run() starts). Snapshot steps always run a health
+  /// check first so only verified-good states are retained.
+  long checkpoint_every = 200;
+  /// Invoked with every good snapshot; wire io's save_checkpoint_file here
+  /// for crash-safe on-disk auto-checkpointing (kept as a callback so the
+  /// md layer stays independent of io).
+  std::function<void(const System&, long)> checkpoint_sink;
+  /// After this many automatic rollbacks a further failure throws
+  /// HealthError instead of retrying forever.
+  int max_rollbacks = 3;
+  /// Halve dt on every automatic rollback (the classic blowup recovery:
+  /// most divergences are integration instabilities from a too-large step).
+  bool halve_dt_on_rollback = true;
 };
 
 class Simulation {
@@ -64,10 +86,34 @@ class Simulation {
   /// application rescales the box and rebuilds the neighbor machinery).
   void set_barostat(BerendsenBarostat barostat, int every = 10);
 
+  /// Enable health monitoring + auto-checkpoint + rollback for subsequent
+  /// run() calls. Replaces any previous guardrails and resets the rollback
+  /// budget. Off by default: an unguarded run pays no monitoring cost.
+  void set_guardrails(GuardrailConfig config);
+  void clear_guardrails();
+  bool has_guardrails() const { return monitor_ != nullptr; }
+
+  /// Manually restore the last good snapshot (positions, velocities, box,
+  /// step counter) and recompute forces. Returns false when no snapshot
+  /// exists yet. Does not consume the automatic-rollback budget.
+  bool rollback();
+
+  /// Automatic rollbacks performed since guardrails were (re)set.
+  int rollback_count() const { return rollbacks_; }
+
+  /// The active monitor, or nullptr when guardrails are off.
+  const HealthMonitor* health_monitor() const { return monitor_.get(); }
+
+  /// Change the time step mid-run (rollback uses this to halve dt).
+  void set_dt(double dt);
+
   /// Callback invoked after the completed step, every `every` steps.
   using Callback = std::function<void(const Simulation&, long)>;
 
-  /// Advance `steps` velocity-Verlet steps.
+  /// Advance the simulation to current_step() + steps. Without guardrails
+  /// this is exactly `steps` velocity-Verlet steps; with rollback guardrails
+  /// rewound steps are re-run, so the target step is still reached (or
+  /// HealthError is thrown once the rollback budget is exhausted).
   void run(long steps, const Callback& callback = nullptr,
            long callback_every = 100);
 
@@ -106,6 +152,13 @@ class Simulation {
   void rebuild_lists();
   bool lists_stale() const;
 
+  /// Guardrail plumbing (all no-ops unless set_guardrails was called).
+  void guard_baseline();
+  void guard_after_step();
+  void handle_unhealthy(const HealthReport& report);
+  void take_snapshot();
+  void restore_snapshot();
+
   System system_;
   SimulationConfig config_;
   VelocityVerlet integrator_;
@@ -121,6 +174,15 @@ class Simulation {
   std::size_t rebuilds_ = 0;
   bool forces_current_ = false;
   EamForceResult last_result_;
+
+  struct Snapshot {
+    System system;
+    long step;
+  };
+  std::optional<GuardrailConfig> guard_;
+  std::unique_ptr<HealthMonitor> monitor_;
+  std::optional<Snapshot> snapshot_;
+  int rollbacks_ = 0;
 };
 
 }  // namespace sdcmd

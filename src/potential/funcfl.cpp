@@ -5,6 +5,7 @@
 #include <iomanip>
 
 #include "common/error.hpp"
+#include "common/parse.hpp"
 
 namespace sdcmd {
 
@@ -13,10 +14,14 @@ namespace {
 // hartree (eV) * bohr (A): the DYNAMO Z(r) -> V(r) conversion constant.
 constexpr double kZ2ToEvA = 27.2 * 0.529;
 
+[[noreturn]] void fail(std::istream& in, const std::string& message) {
+  throw ParseError("funcfl: " + message + line_suffix(in));
+}
+
 double next_double(std::istream& in, const char* what) {
   double v;
   if (!(in >> v)) {
-    throw ParseError(std::string("funcfl: expected a number for ") + what);
+    fail(in, std::string("expected a number for ") + what);
   }
   return v;
 }
@@ -24,7 +29,7 @@ double next_double(std::istream& in, const char* what) {
 long next_long(std::istream& in, const char* what) {
   long v;
   if (!(in >> v)) {
-    throw ParseError(std::string("funcfl: expected an integer for ") + what);
+    fail(in, std::string("expected an integer for ") + what);
   }
   return v;
 }
@@ -33,7 +38,12 @@ void read_block(std::istream& in, std::vector<double>& out, std::size_t n,
                 const char* what) {
   out.resize(n);
   for (std::size_t i = 0; i < n; ++i) {
-    out[i] = next_double(in, what);
+    double v;
+    if (!(in >> v)) {
+      fail(in, "expected a number for " + std::string(what) + " entry " +
+                   std::to_string(i + 1) + " of " + std::to_string(n));
+    }
+    out[i] = v;
   }
 }
 
@@ -50,7 +60,7 @@ EamTables read_funcfl(std::istream& in) {
   t.mass = next_double(in, "mass");
   t.lattice_constant = next_double(in, "lattice constant");
   if (!(in >> t.structure)) {
-    throw ParseError("funcfl: missing structure tag");
+    fail(in, "missing structure tag");
   }
   t.label = "funcfl-Z" + std::to_string(t.atomic_number);
 
@@ -61,7 +71,7 @@ EamTables read_funcfl(std::istream& in) {
   t.cutoff = next_double(in, "cutoff");
   if (nrho < 2 || nr < 2 || t.drho <= 0.0 || t.dr <= 0.0 ||
       t.cutoff <= 0.0) {
-    throw ParseError("funcfl: bad grid header");
+    fail(in, "bad grid header");
   }
 
   read_block(in, t.embed, static_cast<std::size_t>(nrho), "F(rho)");

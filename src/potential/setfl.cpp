@@ -5,16 +5,21 @@
 #include <sstream>
 
 #include "common/error.hpp"
+#include "common/parse.hpp"
 
 namespace sdcmd {
 
 namespace {
 
+[[noreturn]] void fail(std::istream& in, const std::string& message) {
+  throw ParseError("setfl: " + message + line_suffix(in));
+}
+
 /// Stream the next whitespace-separated token as a double or fail loudly.
 double next_double(std::istream& in, const char* what) {
   double v;
   if (!(in >> v)) {
-    throw ParseError(std::string("setfl: expected a number for ") + what);
+    fail(in, std::string("expected a number for ") + what);
   }
   return v;
 }
@@ -22,7 +27,7 @@ double next_double(std::istream& in, const char* what) {
 long next_long(std::istream& in, const char* what) {
   long v;
   if (!(in >> v)) {
-    throw ParseError(std::string("setfl: expected an integer for ") + what);
+    fail(in, std::string("expected an integer for ") + what);
   }
   return v;
 }
@@ -31,7 +36,12 @@ void read_block(std::istream& in, std::vector<double>& out, std::size_t n,
                 const char* what) {
   out.resize(n);
   for (std::size_t i = 0; i < n; ++i) {
-    out[i] = next_double(in, what);
+    double v;
+    if (!(in >> v)) {
+      fail(in, "expected a number for " + std::string(what) + " entry " +
+                   std::to_string(i + 1) + " of " + std::to_string(n));
+    }
+    out[i] = v;
   }
 }
 
@@ -47,15 +57,15 @@ EamTables read_setfl(std::istream& in) {
 
   long nelements;
   if (!(in >> nelements)) {
-    throw ParseError("setfl: missing element count");
+    fail(in, "missing element count");
   }
   if (nelements != 1) {
-    throw ParseError("setfl: only single-element files are supported, got " +
-                     std::to_string(nelements) + " elements");
+    fail(in, "only single-element files are supported, got " +
+             std::to_string(nelements) + " elements");
   }
   std::string element;
   if (!(in >> element)) {
-    throw ParseError("setfl: missing element name");
+    fail(in, "missing element name");
   }
 
   EamTables t;
@@ -66,17 +76,17 @@ EamTables read_setfl(std::istream& in) {
   t.dr = next_double(in, "dr");
   t.cutoff = next_double(in, "cutoff");
   if (nrho < 2 || nr < 2) {
-    throw ParseError("setfl: grids must have at least two points");
+    fail(in, "grids must have at least two points");
   }
   if (t.drho <= 0.0 || t.dr <= 0.0 || t.cutoff <= 0.0) {
-    throw ParseError("setfl: grid spacings and cutoff must be positive");
+    fail(in, "grid spacings and cutoff must be positive");
   }
 
   t.atomic_number = static_cast<int>(next_long(in, "atomic number"));
   t.mass = next_double(in, "mass");
   t.lattice_constant = next_double(in, "lattice constant");
   if (!(in >> t.structure)) {
-    throw ParseError("setfl: missing structure tag");
+    fail(in, "missing structure tag");
   }
 
   read_block(in, t.embed, static_cast<std::size_t>(nrho), "F(rho)");

@@ -12,7 +12,9 @@
 #include "common/cli.hpp"
 #include "common/csv.hpp"
 #include "common/error.hpp"
+#include "common/fault.hpp"
 #include "common/log.hpp"
+#include "common/parse.hpp"
 #include "common/random.hpp"
 #include "common/stats.hpp"
 #include "common/table.hpp"
@@ -67,6 +69,7 @@
 #include "md/deform.hpp"
 #include "md/dump.hpp"
 #include "md/force_provider.hpp"
+#include "md/health.hpp"
 #include "md/integrator.hpp"
 #include "md/simulation.hpp"
 #include "md/system.hpp"

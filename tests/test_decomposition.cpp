@@ -44,6 +44,43 @@ TEST(Decomposition, OddCountsRejected) {
                InfeasibleError);
 }
 
+TEST(Decomposition, OddCountsRejectedOnEveryAxis) {
+  // The 2/4/8-coloring only closes under periodic wrap with even counts,
+  // regardless of which axis carries the odd one.
+  const Box box = Box::cubic(40.0);
+  EXPECT_THROW(SpatialDecomposition(box, {2, 3, 1}, kRange),
+               InfeasibleError);
+  EXPECT_THROW(SpatialDecomposition(box, {2, 2, 5}, kRange),
+               InfeasibleError);
+  EXPECT_THROW(SpatialDecomposition(box, {7, 7, 7}, kRange),
+               InfeasibleError);
+}
+
+TEST(Decomposition, InfeasibilityIsPerAxis) {
+  // z (7.9) cannot hold two 2*range subdomains, x/y (40) can: 3-D fails,
+  // 2-D succeeds on the same box.
+  const Box box({0, 0, 0}, {40.0, 40.0, 7.9});
+  EXPECT_THROW(SpatialDecomposition::finest(box, 3, kRange),
+               InfeasibleError);
+  const auto d2 = SpatialDecomposition::finest(box, 2, kRange);
+  EXPECT_EQ(d2.dimensionality(), 2);
+}
+
+TEST(Decomposition, MaxFeasibleDimensionalityLadder) {
+  EXPECT_EQ(SpatialDecomposition::max_feasible_dimensionality(
+                Box::cubic(7.9), kRange),
+            0);
+  EXPECT_EQ(SpatialDecomposition::max_feasible_dimensionality(
+                Box({0, 0, 0}, {16.0, 7.9, 7.9}), kRange),
+            1);
+  EXPECT_EQ(SpatialDecomposition::max_feasible_dimensionality(
+                Box({0, 0, 0}, {16.0, 16.0, 7.9}), kRange),
+            2);
+  EXPECT_EQ(SpatialDecomposition::max_feasible_dimensionality(
+                Box::cubic(16.0), kRange),
+            3);
+}
+
 TEST(Decomposition, TooFineCountsRejected) {
   const Box box = Box::cubic(40.0);
   // 40/12 = 3.33 < 4 = 2*range

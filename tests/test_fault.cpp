@@ -1,0 +1,102 @@
+// The deterministic fault-injection registry.
+#include "common/fault.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace sdcmd {
+namespace {
+
+/// Every test leaves the global injector clean for its neighbors.
+class FaultTest : public testing::Test {
+ protected:
+  void SetUp() override { FaultInjector::instance().disarm_all(); }
+  void TearDown() override { FaultInjector::instance().disarm_all(); }
+};
+
+TEST_F(FaultTest, DisarmedPointsNeverFire) {
+  EXPECT_FALSE(FaultInjector::instance().armed());
+  EXPECT_FALSE(FaultInjector::instance().should_fire("anything").has_value());
+}
+
+TEST_F(FaultTest, FiresOnFirstHitByDefault) {
+  FaultInjector::instance().arm("p", {});
+  EXPECT_TRUE(FaultInjector::instance().armed());
+  EXPECT_TRUE(FaultInjector::instance().should_fire("p").has_value());
+  // Single shot: the second hit passes through.
+  EXPECT_FALSE(FaultInjector::instance().should_fire("p").has_value());
+  EXPECT_EQ(FaultInjector::instance().fire_count("p"), 1);
+}
+
+TEST_F(FaultTest, CountdownDelaysTheTrigger) {
+  FaultSpec spec;
+  spec.countdown = 3;
+  FaultInjector::instance().arm("p", spec);
+  for (int hit = 0; hit < 3; ++hit) {
+    EXPECT_FALSE(FaultInjector::instance().should_fire("p").has_value())
+        << "hit " << hit;
+  }
+  EXPECT_TRUE(FaultInjector::instance().should_fire("p").has_value());
+  EXPECT_FALSE(FaultInjector::instance().should_fire("p").has_value());
+}
+
+TEST_F(FaultTest, MultiShotAndForeverModes) {
+  FaultSpec burst;
+  burst.shots = 2;
+  FaultInjector::instance().arm("burst", burst);
+  EXPECT_TRUE(FaultInjector::instance().should_fire("burst").has_value());
+  EXPECT_TRUE(FaultInjector::instance().should_fire("burst").has_value());
+  EXPECT_FALSE(FaultInjector::instance().should_fire("burst").has_value());
+
+  FaultSpec forever;
+  forever.shots = -1;
+  FaultInjector::instance().arm("forever", forever);
+  for (int i = 0; i < 10; ++i) {
+    EXPECT_TRUE(FaultInjector::instance().should_fire("forever").has_value());
+  }
+  EXPECT_EQ(FaultInjector::instance().fire_count("forever"), 10);
+}
+
+TEST_F(FaultTest, RearmResetsCounters) {
+  FaultInjector::instance().arm("p", {});
+  EXPECT_TRUE(FaultInjector::instance().should_fire("p").has_value());
+  FaultInjector::instance().arm("p", {});
+  EXPECT_TRUE(FaultInjector::instance().should_fire("p").has_value());
+}
+
+TEST_F(FaultTest, DisarmRemovesOnlyThatPoint) {
+  FaultInjector::instance().arm("a", {});
+  FaultInjector::instance().arm("b", {});
+  FaultInjector::instance().disarm("a");
+  EXPECT_FALSE(FaultInjector::instance().should_fire("a").has_value());
+  EXPECT_TRUE(FaultInjector::instance().should_fire("b").has_value());
+}
+
+TEST_F(FaultTest, PoisonForcesWritesNan) {
+  std::vector<Vec3> forces(8, Vec3{1.0, 1.0, 1.0});
+  faults::maybe_poison_forces(forces);  // disarmed: untouched
+  EXPECT_TRUE(std::isfinite(forces[3].x));
+
+  FaultSpec spec;
+  spec.index = 3;
+  FaultInjector::instance().arm(faults::kForceNan, spec);
+  faults::maybe_poison_forces(forces);
+  EXPECT_TRUE(std::isnan(forces[3].x));
+  EXPECT_TRUE(std::isnan(forces[3].z));
+  EXPECT_TRUE(std::isfinite(forces[2].x));
+}
+
+TEST_F(FaultTest, PositionKickDisplacesOneAtom) {
+  std::vector<Vec3> positions(4, Vec3{});
+  FaultSpec spec;
+  spec.index = 9;  // taken modulo size -> atom 1
+  spec.magnitude = 2.5;
+  FaultInjector::instance().arm(faults::kPositionKick, spec);
+  faults::maybe_kick_position(positions);
+  EXPECT_DOUBLE_EQ(positions[1].x, 2.5);
+  EXPECT_DOUBLE_EQ(positions[0].x, 0.0);
+}
+
+}  // namespace
+}  // namespace sdcmd

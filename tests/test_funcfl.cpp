@@ -91,6 +91,19 @@ TEST(Funcfl, RejectsBadHeader) {
   EXPECT_THROW(read_funcfl(stream), ParseError);
 }
 
+TEST(Funcfl, TruncatedTableReportsLineAndEntry) {
+  std::stringstream stream(
+      "comment\n26 55.8 2.87 bcc\n10 0.1 10 0.01 3.0\n1 2 3\n");
+  try {
+    read_funcfl(stream);
+    FAIL() << "expected ParseError";
+  } catch (const ParseError& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("F(rho) entry 4 of 10"), std::string::npos) << what;
+    EXPECT_NE(what.find("near line"), std::string::npos) << what;
+  }
+}
+
 TEST(Funcfl, MissingFileThrows) {
   EXPECT_THROW(read_funcfl_file("/nonexistent/pot.funcfl"), ParseError);
 }

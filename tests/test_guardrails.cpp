@@ -1,0 +1,261 @@
+// Guardrail integration: fault injection -> health detection -> rollback
+// recovery, plus crash-safe checkpoint behavior under injected short writes.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdio>
+#include <string>
+
+#include "common/error.hpp"
+#include "common/fault.hpp"
+#include "common/log.hpp"
+#include "common/units.hpp"
+#include "io/checkpoint.hpp"
+#include "md/simulation.hpp"
+#include "potential/finnis_sinclair.hpp"
+
+namespace sdcmd {
+namespace {
+
+const FinnisSinclair& iron() {
+  static FinnisSinclair fe{FinnisSinclairParams::iron()};
+  return fe;
+}
+
+System make_system(int cells) {
+  LatticeSpec spec;
+  spec.type = LatticeType::Bcc;
+  spec.a0 = units::kLatticeFe;
+  spec.nx = spec.ny = spec.nz = cells;
+  return System::from_lattice(spec, units::kMassFe);
+}
+
+SimulationConfig nve_config() {
+  SimulationConfig cfg;
+  cfg.dt = units::fs_to_internal(1.0);
+  cfg.force.strategy = ReductionStrategy::Serial;
+  return cfg;
+}
+
+GuardrailConfig rollback_guardrails(int cadence = 1,
+                                    long checkpoint_every = 10) {
+  GuardrailConfig guard;
+  guard.health.cadence = cadence;
+  guard.health.policy = HealthPolicy::Rollback;
+  guard.checkpoint_every = checkpoint_every;
+  return guard;
+}
+
+class GuardrailTest : public testing::Test {
+ protected:
+  void SetUp() override {
+    FaultInjector::instance().disarm_all();
+    saved_level_ = log_level();
+    set_log_level(LogLevel::Error);  // rollback warnings are expected noise
+  }
+  void TearDown() override {
+    set_log_level(saved_level_);
+    FaultInjector::instance().disarm_all();
+  }
+
+ private:
+  LogLevel saved_level_ = LogLevel::Info;
+};
+
+// The acceptance scenario: a NaN force injected mid-run is detected, the
+// run rolls back to the last good checkpoint and still completes.
+TEST_F(GuardrailTest, NanForceTriggersRollbackAndRunCompletes) {
+  Simulation sim(make_system(4), iron(), nve_config());
+  sim.set_guardrails(rollback_guardrails());
+  const double dt0 = sim.config().dt;
+
+  // Force evaluations: one at run() start, then one per step; countdown 12
+  // poisons the evaluation inside step 12, after the step-10 snapshot.
+  FaultSpec fault;
+  fault.countdown = 12;
+  fault.index = 5;
+  FaultInjector::instance().arm(faults::kForceNan, fault);
+
+  sim.run(50);
+
+  EXPECT_EQ(sim.current_step(), 50);
+  EXPECT_EQ(sim.rollback_count(), 1);
+  EXPECT_EQ(FaultInjector::instance().fire_count(faults::kForceNan), 1);
+  // The blowup recovery halved dt.
+  EXPECT_DOUBLE_EQ(sim.config().dt, 0.5 * dt0);
+  for (const Vec3& r : sim.system().atoms().position) {
+    EXPECT_TRUE(std::isfinite(r.x) && std::isfinite(r.y) &&
+                std::isfinite(r.z));
+  }
+}
+
+TEST_F(GuardrailTest, PositionKickIsCaughtByForceCap) {
+  Simulation sim(make_system(4), iron(), nve_config());
+  GuardrailConfig guard = rollback_guardrails();
+  // eV/A; T=0 lattice forces are ~0, while the kicked atom lands ~1.4 A
+  // from a neighbor where |dV/dr| is a few eV/A.
+  guard.health.max_force = 2.0;
+  guard.halve_dt_on_rollback = false;
+  sim.set_guardrails(guard);
+
+  // Kick one atom 10 A sideways during step 13's drift: it lands ~1.4 A
+  // from a lattice site, deep in the repulsive wall.
+  FaultSpec fault;
+  fault.countdown = 13;
+  fault.magnitude = 10.0;
+  FaultInjector::instance().arm(faults::kPositionKick, fault);
+
+  sim.run(30);
+
+  EXPECT_EQ(sim.current_step(), 30);
+  EXPECT_GE(sim.rollback_count(), 1);
+  EXPECT_DOUBLE_EQ(sim.config().dt, nve_config().dt);  // halving disabled
+}
+
+TEST_F(GuardrailTest, PersistentFaultExhaustsRollbackBudget) {
+  Simulation sim(make_system(3), iron(), nve_config());
+  GuardrailConfig guard = rollback_guardrails();
+  guard.max_rollbacks = 2;
+  sim.set_guardrails(guard);
+
+  FaultSpec fault;
+  fault.countdown = 3;  // let the baseline and first steps pass
+  fault.shots = -1;     // then poison every evaluation forever
+  FaultInjector::instance().arm(faults::kForceNan, fault);
+
+  EXPECT_THROW(sim.run(50), HealthError);
+  EXPECT_EQ(sim.rollback_count(), 2);
+}
+
+TEST_F(GuardrailTest, RollbackWithoutSnapshotThrows) {
+  Simulation sim(make_system(3), iron(), nve_config());
+  sim.set_guardrails(rollback_guardrails());
+  // Poisoned from the very first evaluation: the baseline check fails
+  // before any snapshot exists.
+  FaultSpec fault;
+  fault.shots = -1;
+  FaultInjector::instance().arm(faults::kForceNan, fault);
+  EXPECT_THROW(sim.run(10), HealthError);
+  EXPECT_EQ(sim.rollback_count(), 0);
+}
+
+TEST_F(GuardrailTest, ThrowPolicyRaisesImmediately) {
+  Simulation sim(make_system(3), iron(), nve_config());
+  GuardrailConfig guard = rollback_guardrails();
+  guard.health.policy = HealthPolicy::Throw;
+  sim.set_guardrails(guard);
+  FaultSpec fault;
+  fault.countdown = 5;
+  FaultInjector::instance().arm(faults::kForceNan, fault);
+  EXPECT_THROW(sim.run(20), HealthError);
+  EXPECT_EQ(sim.rollback_count(), 0);
+}
+
+TEST_F(GuardrailTest, WarnPolicyKeepsRunning) {
+  Simulation sim(make_system(3), iron(), nve_config());
+  GuardrailConfig guard = rollback_guardrails();
+  guard.health.policy = HealthPolicy::Warn;
+  sim.set_guardrails(guard);
+  FaultSpec fault;
+  fault.countdown = 5;
+  FaultInjector::instance().arm(faults::kForceNan, fault);
+  sim.run(20);  // no throw, no rollback; the damage just gets logged
+  EXPECT_EQ(sim.current_step(), 20);
+  EXPECT_EQ(sim.rollback_count(), 0);
+  ASSERT_NE(sim.health_monitor(), nullptr);
+  EXPECT_FALSE(sim.health_monitor()->last_report().ok());
+}
+
+TEST_F(GuardrailTest, HealthyGuardedRunMatchesPlainRun) {
+  Simulation plain(make_system(4), iron(), nve_config());
+  Simulation guarded(make_system(4), iron(), nve_config());
+  plain.set_temperature(100.0, 11);
+  guarded.set_temperature(100.0, 11);
+  guarded.set_guardrails(rollback_guardrails(/*cadence=*/5));
+
+  plain.run(40);
+  guarded.run(40);
+
+  EXPECT_EQ(guarded.rollback_count(), 0);
+  const auto& xa = plain.system().atoms().position;
+  const auto& xb = guarded.system().atoms().position;
+  for (std::size_t i = 0; i < xa.size(); ++i) {
+    EXPECT_EQ(xa[i], xb[i]) << "guardrails perturbed the trajectory at " << i;
+  }
+}
+
+TEST_F(GuardrailTest, AutoCheckpointSinkReceivesGoodSnapshots) {
+  Simulation sim(make_system(3), iron(), nve_config());
+  GuardrailConfig guard = rollback_guardrails(/*cadence=*/5,
+                                              /*checkpoint_every=*/10);
+  int snapshots = 0;
+  long last_step = -1;
+  guard.checkpoint_sink = [&](const System&, long step) {
+    ++snapshots;
+    last_step = step;
+  };
+  sim.set_guardrails(guard);
+  sim.run(40);
+  // Baseline at step 0 plus steps 10, 20, 30, 40.
+  EXPECT_EQ(snapshots, 5);
+  EXPECT_EQ(last_step, 40);
+}
+
+TEST_F(GuardrailTest, ManualRollbackRestoresLastSnapshot) {
+  Simulation sim(make_system(3), iron(), nve_config());
+  EXPECT_FALSE(sim.rollback());  // no guardrails, no snapshot
+  sim.set_guardrails(rollback_guardrails(/*cadence=*/5,
+                                         /*checkpoint_every=*/15));
+  sim.set_temperature(50.0, 3);
+  sim.run(20);
+  EXPECT_EQ(sim.current_step(), 20);
+  EXPECT_TRUE(sim.rollback());
+  EXPECT_EQ(sim.current_step(), 15);
+  EXPECT_EQ(sim.rollback_count(), 0);  // manual rollback spends no budget
+}
+
+// The other acceptance scenario: a crash (short write) during checkpointing
+// leaves the previous checkpoint intact and loadable with a valid checksum.
+TEST_F(GuardrailTest, ShortWriteLeavesPreviousCheckpointIntact) {
+  const std::string path = testing::TempDir() + "sdcmd_guard_ckpt.chk";
+  const System good = make_system(3);
+  save_checkpoint_file(path, good, 100);
+
+  FaultSpec fault;
+  fault.magnitude = 0.5;  // keep only half the payload
+  FaultInjector::instance().arm(faults::kCheckpointShortWrite, fault);
+  EXPECT_THROW(save_checkpoint_file(path, make_system(4), 200), Error);
+
+  // The previous file still loads and passes its checksum.
+  const Checkpoint restored = load_checkpoint_file(path);
+  EXPECT_EQ(restored.step, 100);
+  EXPECT_EQ(restored.system.size(), good.size());
+
+  // The interrupted write is visible only as a truncated .tmp that is
+  // rejected on load.
+  EXPECT_THROW(load_checkpoint_file(path + ".tmp"), ParseError);
+
+  std::remove(path.c_str());
+  std::remove((path + ".tmp").c_str());
+}
+
+TEST_F(GuardrailTest, GuardedRunWritesLoadableCheckpoints) {
+  const std::string path = testing::TempDir() + "sdcmd_auto_ckpt.chk";
+  Simulation sim(make_system(3), iron(), nve_config());
+  GuardrailConfig guard = rollback_guardrails(/*cadence=*/5,
+                                              /*checkpoint_every=*/10);
+  guard.checkpoint_sink = [&path](const System& system, long step) {
+    save_checkpoint_file(path, system, step);
+  };
+  sim.set_guardrails(guard);
+  sim.set_temperature(100.0, 7);
+  sim.run(30);
+
+  const Checkpoint restored = load_checkpoint_file(path);
+  EXPECT_EQ(restored.step, 30);
+  EXPECT_EQ(restored.system.size(), sim.system().size());
+  std::remove(path.c_str());
+}
+
+}  // namespace
+}  // namespace sdcmd

@@ -1,0 +1,147 @@
+// HealthMonitor invariant checks in isolation (no Simulation driver).
+#include "md/health.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <limits>
+
+#include "common/units.hpp"
+
+namespace sdcmd {
+namespace {
+
+constexpr double kNan = std::numeric_limits<double>::quiet_NaN();
+
+System small_system() {
+  LatticeSpec spec;
+  spec.type = LatticeType::Bcc;
+  spec.a0 = units::kLatticeFe;
+  spec.nx = spec.ny = spec.nz = 2;
+  return System::from_lattice(spec, units::kMassFe);
+}
+
+HealthConfig all_checks() {
+  HealthConfig cfg;
+  cfg.cadence = 1;
+  cfg.ke_spike_ratio = 10.0;
+  cfg.displacement_skin_fraction = 1.0;
+  cfg.max_force = 100.0;
+  return cfg;
+}
+
+TEST(HealthMonitor, HealthySystemPasses) {
+  System system = small_system();
+  HealthMonitor monitor(all_checks());
+  const HealthReport report =
+      monitor.check(system, EamForceResult{}, 0, 1e-3, 0.4);
+  EXPECT_TRUE(report.ok());
+  EXPECT_NE(report.summary().find("healthy"), std::string::npos);
+}
+
+TEST(HealthMonitor, DetectsNonFiniteState) {
+  System system = small_system();
+  system.atoms().position[3].y = kNan;
+  system.atoms().velocity[5].z = kNan;
+  system.atoms().force[1].x = kNan;
+  HealthMonitor monitor(all_checks());
+  const HealthReport report =
+      monitor.check(system, EamForceResult{}, 7, 1e-3, 0.4);
+  ASSERT_EQ(report.issues.size(), 3u);
+  EXPECT_EQ(report.issues[0].check, "finite-position");
+  EXPECT_EQ(report.issues[1].check, "finite-velocity");
+  EXPECT_EQ(report.issues[2].check, "finite-force");
+  EXPECT_NE(report.summary().find("position[3]"), std::string::npos);
+  EXPECT_EQ(report.step, 7);
+}
+
+TEST(HealthMonitor, DetectsNonFiniteEnergies) {
+  System system = small_system();
+  EamForceResult last;
+  last.pair_energy = kNan;
+  HealthMonitor monitor(all_checks());
+  const HealthReport report = monitor.check(system, last, 0, 1e-3, 0.4);
+  ASSERT_EQ(report.issues.size(), 1u);
+  EXPECT_EQ(report.issues[0].check, "finite-energy");
+}
+
+TEST(HealthMonitor, DetectsKineticEnergySpike) {
+  System system = small_system();
+  for (auto& v : system.atoms().velocity) v = {0.01, 0.0, 0.0};
+  HealthMonitor monitor(all_checks());
+  EXPECT_TRUE(
+      monitor.check(system, EamForceResult{}, 0, 1e-3, 0.4).ok());
+
+  // 100x velocity = 10000x kinetic energy, far over the 10x ratio.
+  for (auto& v : system.atoms().velocity) v = {1.0, 0.0, 0.0};
+  const HealthReport report =
+      monitor.check(system, EamForceResult{}, 1, 1e-3, 0.4);
+  ASSERT_FALSE(report.ok());
+  EXPECT_EQ(report.issues[0].check, "ke-spike");
+
+  // After reset_baseline the same state is a fresh baseline, not a spike.
+  monitor.reset_baseline();
+  EXPECT_TRUE(
+      monitor.check(system, EamForceResult{}, 2, 1e-3, 0.4).ok());
+}
+
+TEST(HealthMonitor, ColdStartIsNotASpike) {
+  // Baseline below ke_floor: warming up from ~0 K must not trip the check.
+  System system = small_system();
+  HealthMonitor monitor(all_checks());
+  EXPECT_TRUE(monitor.check(system, EamForceResult{}, 0, 1e-3, 0.4).ok());
+  for (auto& v : system.atoms().velocity) v = {0.05, 0.0, 0.0};
+  EXPECT_TRUE(monitor.check(system, EamForceResult{}, 1, 1e-3, 0.4).ok());
+}
+
+TEST(HealthMonitor, DetectsRunawayDisplacement) {
+  System system = small_system();
+  system.atoms().velocity[0] = {500.0, 0.0, 0.0};  // A per time unit
+  HealthConfig cfg = all_checks();
+  cfg.ke_spike_ratio = 0.0;  // isolate the displacement check
+  HealthMonitor monitor(cfg);
+  // 500 * 0.01 = 5 A per step >> 0.4 A skin.
+  const HealthReport report =
+      monitor.check(system, EamForceResult{}, 0, 0.01, 0.4);
+  ASSERT_FALSE(report.ok());
+  EXPECT_EQ(report.issues[0].check, "displacement");
+}
+
+TEST(HealthMonitor, DetectsForceCapViolation) {
+  System system = small_system();
+  system.atoms().force[2] = {150.0, 0.0, 0.0};
+  HealthMonitor monitor(all_checks());
+  const HealthReport report =
+      monitor.check(system, EamForceResult{}, 0, 1e-3, 0.4);
+  ASSERT_FALSE(report.ok());
+  EXPECT_EQ(report.issues[0].check, "force-cap");
+}
+
+TEST(HealthMonitor, DisabledChecksStaySilent) {
+  System system = small_system();
+  system.atoms().force[2] = {1e9, 0.0, 0.0};
+  system.atoms().velocity[0] = {1e6, 0.0, 0.0};
+  HealthConfig cfg;
+  cfg.ke_spike_ratio = 0.0;
+  cfg.displacement_skin_fraction = 0.0;
+  cfg.max_force = 0.0;
+  HealthMonitor monitor(cfg);
+  EXPECT_TRUE(monitor.check(system, EamForceResult{}, 0, 1e-3, 0.4).ok());
+}
+
+TEST(HealthMonitor, CadenceControlsDue) {
+  HealthConfig cfg;
+  cfg.cadence = 25;
+  HealthMonitor monitor(cfg);
+  EXPECT_TRUE(monitor.due(0));
+  EXPECT_FALSE(monitor.due(24));
+  EXPECT_TRUE(monitor.due(25));
+  EXPECT_TRUE(monitor.due(50));
+
+  HealthConfig degenerate;
+  degenerate.cadence = -3;  // clamped to every step
+  EXPECT_TRUE(HealthMonitor(degenerate).due(17));
+}
+
+}  // namespace
+}  // namespace sdcmd

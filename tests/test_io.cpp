@@ -2,6 +2,7 @@
 #include <gtest/gtest.h>
 
 #include <cstdio>
+#include <fstream>
 #include <sstream>
 
 #include "common/error.hpp"
@@ -170,6 +171,84 @@ TEST(Checkpoint, RejectsTruncatedAtomTable) {
 
 TEST(Checkpoint, MissingFileThrows) {
   EXPECT_THROW(load_checkpoint_file("/nonexistent/x.chk"), ParseError);
+}
+
+TEST(Checkpoint, V2CarriesChecksumFooter) {
+  std::stringstream stream;
+  save_checkpoint(stream, sample_system(), 3);
+  const std::string text = stream.str();
+  EXPECT_NE(text.find("sdcmd-checkpoint 2"), std::string::npos);
+  EXPECT_NE(text.find("checksum fnv1a64 "), std::string::npos);
+}
+
+TEST(Checkpoint, DetectsSingleCharacterCorruption) {
+  std::stringstream stream;
+  save_checkpoint(stream, sample_system(), 3);
+  std::string text = stream.str();
+  // Flip one digit inside the atom table, away from the footer.
+  const std::size_t pos = text.find("atoms ") + 20;
+  text[pos] = text[pos] == '7' ? '8' : '7';
+  std::stringstream corrupted(text);
+  EXPECT_THROW(load_checkpoint(corrupted), ChecksumError);
+}
+
+TEST(Checkpoint, LegacyV1StillLoads) {
+  // v1 files have no checksum footer; they parse with validation only.
+  std::stringstream stream(
+      "sdcmd-checkpoint 1\nstep 5\nmass 55.845\n"
+      "box 0 0 0 10 10 10 1 1 1\natoms 1\n"
+      "0 1 2 3 0.1 0.2 0.3 0 0 0\n");
+  const Checkpoint c = load_checkpoint(stream);
+  EXPECT_EQ(c.step, 5);
+  EXPECT_EQ(c.system.size(), 1u);
+  EXPECT_DOUBLE_EQ(c.system.atoms().position[0].y, 2.0);
+}
+
+TEST(Checkpoint, HugeAtomCountFailsFastOnTruncatedFile) {
+  // The declared count exceeds the rows present: must fail before trying
+  // to read (or allocate) a billion atoms.
+  std::stringstream stream(
+      "sdcmd-checkpoint 1\nstep 0\nmass 55.845\n"
+      "box 0 0 0 10 10 10 1 1 1\natoms 1000000000\n"
+      "0 1 2 3 0.1 0.2 0.3 0 0 0\n");
+  try {
+    load_checkpoint(stream);
+    FAIL() << "expected ParseError";
+  } catch (const ParseError& e) {
+    EXPECT_NE(std::string(e.what()).find("rows remain"), std::string::npos);
+  }
+}
+
+TEST(Checkpoint, RejectsNonPositiveOrNonFiniteMass) {
+  std::stringstream stream(
+      "sdcmd-checkpoint 1\nstep 0\nmass -5\n"
+      "box 0 0 0 10 10 10 1 1 1\natoms 0\n");
+  EXPECT_THROW(load_checkpoint(stream), ParseError);
+}
+
+TEST(Checkpoint, RejectsInvertedBox) {
+  std::stringstream stream(
+      "sdcmd-checkpoint 1\nstep 0\nmass 55.845\n"
+      "box 0 0 0 -10 10 10 1 1 1\natoms 0\n");
+  EXPECT_THROW(load_checkpoint(stream), ParseError);
+}
+
+TEST(Checkpoint, TruncatedV2LosesItsFooter) {
+  std::stringstream stream;
+  save_checkpoint(stream, sample_system(), 9);
+  std::string text = stream.str();
+  text.resize(text.size() - 10);  // clip inside the footer line
+  std::stringstream truncated(text);
+  EXPECT_THROW(load_checkpoint(truncated), ParseError);
+}
+
+TEST(Checkpoint, SaveFileLeavesNoTempBehind) {
+  const std::string path = testing::TempDir() + "sdcmd_ckpt_atomic.chk";
+  save_checkpoint_file(path, sample_system(), 1);
+  std::ifstream tmp(path + ".tmp");
+  EXPECT_FALSE(tmp.good()) << "temp file should have been renamed away";
+  EXPECT_EQ(load_checkpoint_file(path).step, 1);
+  std::remove(path.c_str());
 }
 
 }  // namespace

@@ -28,6 +28,46 @@ TEST(SdcSchedule, InfeasibleBoxThrows) {
   EXPECT_THROW(SdcSchedule(box, kRange, cfg), InfeasibleError);
 }
 
+TEST(SdcSchedule, InfeasibleAtEveryDimensionality) {
+  // A box below 4*range on every edge cannot host any SDC variant — the
+  // paper's Table 1 blanks, systematically.
+  const Box box = Box::cubic(4.0 * kRange - 0.1);
+  for (int dims = 1; dims <= 3; ++dims) {
+    SdcConfig cfg;
+    cfg.dimensionality = dims;
+    EXPECT_THROW(SdcSchedule(box, kRange, cfg), InfeasibleError)
+        << "dims=" << dims;
+  }
+}
+
+TEST(SdcSchedule, MarginallyInfeasibleAxisOnlyBlocksItsDimensionality) {
+  // x and y fit two subdomains, z does not: 2-D builds, 3-D throws.
+  const Box box({0, 0, 0},
+                {5.0 * kRange, 5.0 * kRange, 4.0 * kRange - 0.1});
+  SdcConfig cfg;
+  cfg.dimensionality = 3;
+  EXPECT_THROW(SdcSchedule(box, kRange, cfg), InfeasibleError);
+  cfg.dimensionality = 2;
+  SdcSchedule schedule(box, kRange, cfg);
+  EXPECT_EQ(schedule.color_count(), 4);
+}
+
+TEST(SdcSchedule, OddSubdomainCapStopsAtEvenMinimum) {
+  // max_subdomains below the 2x2x2 minimum (or odd) never yields odd
+  // counts: the coloring requires even counts, so the cap saturates at
+  // the coarsest even decomposition.
+  const Box box = Box::cubic(40 * 2.8665);
+  SdcConfig cfg;
+  cfg.dimensionality = 3;
+  cfg.max_subdomains = 7;
+  SdcSchedule schedule(box, kRange, cfg);
+  EXPECT_EQ(schedule.decomposition().counts(),
+            (std::array<int, 3>{2, 2, 2}));
+  for (const int c : schedule.decomposition().counts()) {
+    EXPECT_EQ(c % 2, 0);
+  }
+}
+
 TEST(SdcSchedule, RejectsBadDimensionality) {
   const Box box = Box::cubic(40.0);
   SdcConfig cfg;

@@ -102,6 +102,32 @@ TEST(Setfl, RejectsTruncatedTables) {
   EXPECT_THROW(read_setfl(s), ParseError);
 }
 
+TEST(Setfl, TruncatedTableReportsLineAndEntry) {
+  std::stringstream s;
+  s << "c1\nc2\nc3\n1 Fe\n10 0.1 10 0.1 3.0\n26 55.8 2.87 bcc\n1.0 2.0\n";
+  try {
+    read_setfl(s);
+    FAIL() << "expected ParseError";
+  } catch (const ParseError& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("F(rho) entry 3 of 10"), std::string::npos) << what;
+    EXPECT_NE(what.find("near line"), std::string::npos) << what;
+  }
+}
+
+TEST(Setfl, BadHeaderReportsLine) {
+  std::stringstream s;
+  s << "c1\nc2\nc3\n1 Fe\n10 0.1 not-a-number 0.1 3.0\n";
+  try {
+    read_setfl(s);
+    FAIL() << "expected ParseError";
+  } catch (const ParseError& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("nr"), std::string::npos) << what;
+    EXPECT_NE(what.find("near line 5"), std::string::npos) << what;
+  }
+}
+
 TEST(Setfl, RejectsBadGridSizes) {
   std::stringstream s;
   s << "c1\nc2\nc3\n1 Fe\n1 0.1 10 0.1 3.0\n";
