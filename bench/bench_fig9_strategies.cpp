@@ -4,28 +4,51 @@
 // on all four test cases. We additionally report the per-scalar Atomic
 // variant (a modern refinement the 2009 paper folds into class 1).
 //
+// Flags (see --help; each falls back to its environment variable):
+//   --scale tiny|laptop|desktop|paper     (SDCMD_BENCH_SCALE,   laptop)
+//   --threads 2,3,4                       (SDCMD_BENCH_THREADS, 2,3,4,8,12,16)
+//   --steps N                             (SDCMD_BENCH_STEPS,   3)
+//   --csv-dir DIR                         (SDCMD_BENCH_CSV_DIR, .)
+//   --metrics-out FILE    versioned sdcmd.bench.v1 JSON results
+//
 // Expected shape (paper, 16 cores): SDC > RC > SAP > CS at high thread
 // counts; CS collapses below 1; SAP peaks around 8 threads then degrades;
 // RC is near-linear but ~1.7x behind SDC because it does the pair work
 // twice. See the Table 1 bench header for the few-core host caveat.
 #include <cstdio>
 #include <cstdlib>
+#include <string>
 
 #include "benchsupport/cases.hpp"
 #include "benchsupport/sweep.hpp"
+#include "common/cli.hpp"
 #include "common/csv.hpp"
 #include "common/table.hpp"
 #include "common/threads.hpp"
+#include "obs/bench_report.hpp"
 #include "potential/finnis_sinclair.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace sdcmd;
   using namespace sdcmd::bench;
 
-  const Scale scale = scale_from_env();
+  CliParser cli("bench_fig9_strategies",
+                "Fig. 9 reproduction: reduction-strategy speedup curves");
+  cli.add_option("scale", "", "tiny|laptop|desktop|paper (default: env)");
+  cli.add_option("threads", "", "comma list, e.g. 2,4,8 (default: env)");
+  cli.add_option("steps", "", "timed steps per configuration (default: env)");
+  cli.add_option("csv-dir", "", "CSV output directory (default: env or .)");
+  cli.add_option("metrics-out", "", "write sdcmd.bench.v1 JSON here");
+  if (!cli.parse(argc, argv)) return 1;
+
+  const Scale scale = cli.get("scale").empty() ? scale_from_env()
+                                               : parse_scale(cli.get("scale"));
   const auto cases = paper_cases(scale);
-  const auto threads = thread_sweep_from_env();
-  const int steps = steps_from_env();
+  const auto threads = cli.get("threads").empty()
+                           ? thread_sweep_from_env()
+                           : cli.get_int_list("threads");
+  const int steps =
+      cli.get("steps").empty() ? steps_from_env() : cli.get_int("steps");
   FinnisSinclair iron(FinnisSinclairParams::iron());
 
   const ReductionStrategy strategies[] = {
@@ -33,10 +56,26 @@ int main() {
       ReductionStrategy::LockStriped,       ReductionStrategy::ArrayPrivatization,
       ReductionStrategy::RedundantComputation, ReductionStrategy::Sdc};
 
-  const char* csv_dir = std::getenv("SDCMD_BENCH_CSV_DIR");
-  CsvWriter csv(std::string(csv_dir ? csv_dir : ".") + "/fig9_strategies.csv",
+  const char* csv_env = std::getenv("SDCMD_BENCH_CSV_DIR");
+  const std::string csv_dir =
+      !cli.get("csv-dir").empty() ? cli.get("csv-dir")
+                                  : (csv_env != nullptr ? csv_env : ".");
+  CsvWriter csv(csv_dir + "/fig9_strategies.csv",
                 {"case", "atoms", "strategy", "threads", "seconds_per_step",
                  "speedup", "pair_visits", "private_bytes"});
+
+  obs::BenchReport report("fig9_strategies");
+  report.set_context("scale", to_string(scale));
+  report.set_context("steps", steps);
+  report.set_context("hardware_threads", hardware_threads());
+  {
+    std::string sweep;
+    for (int t : threads) {
+      if (!sweep.empty()) sweep += ',';
+      sweep += std::to_string(t);
+    }
+    report.set_context("thread_sweep", sweep);
+  }
 
   std::printf(
       "=== Fig. 9: strategy speedup curves (scale %s, %s, %d steps)\n\n",
@@ -72,10 +111,39 @@ int main() {
                  : "",
              timing ? std::to_string(timing->pair_visits) : "",
              timing ? std::to_string(timing->private_bytes) : ""});
+        report.add_result(
+            {{"case", test_case.name},
+             {"atoms", test_case.atom_count()},
+             {"strategy", to_string(strategy)},
+             {"threads", t},
+             {"serial_seconds_per_step", serial},
+             {"seconds_per_step",
+              timing ? obs::JsonValue(timing->density_force_seconds)
+                     : obs::JsonValue()},
+             {"speedup",
+              timing
+                  ? obs::JsonValue(serial / timing->density_force_seconds)
+                  : obs::JsonValue()},
+             {"pair_visits", timing ? obs::JsonValue(timing->pair_visits)
+                                    : obs::JsonValue()},
+             {"private_bytes", timing ? obs::JsonValue(timing->private_bytes)
+                                      : obs::JsonValue()},
+             {"feasible", timing.has_value()}});
       }
       table.add_row(std::move(row));
     }
     std::printf("%s\n", table.render().c_str());
+  }
+
+  const std::string metrics_out = cli.get("metrics-out");
+  if (!metrics_out.empty()) {
+    if (report.write(metrics_out)) {
+      std::printf("bench report: %zu result rows -> %s\n", report.results(),
+                  metrics_out.c_str());
+    } else {
+      std::fprintf(stderr, "cannot open %s\n", metrics_out.c_str());
+      return 1;
+    }
   }
 
   std::printf(

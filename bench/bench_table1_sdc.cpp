@@ -6,42 +6,186 @@
 // decomposition is infeasible for the box (1-D SDC on small boxes) or the
 // per-color subdomain supply cannot feed every thread.
 //
-// Environment:
-//   SDCMD_BENCH_SCALE   tiny|laptop|desktop|paper   (default laptop)
-//   SDCMD_BENCH_THREADS comma list                  (default 2,3,4,8,12,16)
-//   SDCMD_BENCH_STEPS   timed steps per config      (default 3)
+// Flags (see --help; every flag falls back to the matching environment
+// variable so existing scripts keep working):
+//   --scale tiny|laptop|desktop|paper     (SDCMD_BENCH_SCALE,   laptop)
+//   --threads 2,3,4                       (SDCMD_BENCH_THREADS, 2,3,4,8,12,16)
+//   --steps N                             (SDCMD_BENCH_STEPS,   3)
+//   --csv-dir DIR                         (SDCMD_BENCH_CSV_DIR, .)
+//   --metrics-out FILE    versioned sdcmd.bench.v1 JSON results
+//   --jsonl-out FILE      per-step sdcmd.step_metrics.v1 records from an
+//                         instrumented 2-D SDC pass (sweep imbalance +
+//                         barrier waits per color and phase)
+//   --trace-out FILE      Chrome trace-event JSON from the same pass; load
+//                         in Perfetto / chrome://tracing
+//   --overhead-check      time the disabled-instrumentation path twice and
+//                         the profiled path once; reports the disabled-path
+//                         spread (expected: within run-to-run noise)
 //
 // NOTE on hosts with few cores: speedup = serial_time / parallel_time is
 // bounded by the physical core count; on a 1-core container every parallel
 // figure hovers near (or below) 1.0. The *feasibility pattern* (the blanks)
 // and the relative cost ordering remain meaningful; run on a >= 16-core
-// machine with SDCMD_BENCH_SCALE=paper for the published numbers.
+// machine with --scale paper for the published numbers.
+#include <algorithm>
+#include <cmath>
 #include <cstdio>
 #include <cstdlib>
+#include <string>
 
 #include "benchsupport/cases.hpp"
 #include "benchsupport/sweep.hpp"
+#include "common/cli.hpp"
 #include "common/csv.hpp"
 #include "common/table.hpp"
 #include "common/threads.hpp"
+#include "obs/bench_report.hpp"
 #include "potential/finnis_sinclair.hpp"
 
-int main() {
-  using namespace sdcmd;
-  using namespace sdcmd::bench;
+namespace {
 
-  const Scale scale = scale_from_env();
+using namespace sdcmd;
+using namespace sdcmd::bench;
+
+/// The largest swept thread count the first case's 2-D SDC decomposition
+/// can feed; used by the instrumented pass and the overhead check.
+int pick_probe_threads(CaseRunner& runner, const std::vector<int>& threads,
+                       int steps) {
+  EamForceConfig cfg;
+  cfg.strategy = ReductionStrategy::Sdc;
+  cfg.sdc.dimensionality = 2;
+  for (auto it = threads.rbegin(); it != threads.rend(); ++it) {
+    if (runner.time_strategy(cfg, *it, 1).has_value()) return *it;
+  }
+  (void)steps;
+  return 1;
+}
+
+/// One instrumented 2-D SDC pass on `runner`, writing JSONL step records
+/// and/or a Chrome trace. Returns the number of JSONL records written.
+std::size_t run_instrumented_pass(CaseRunner& runner, int threads, int steps,
+                                  const std::string& jsonl_path,
+                                  const std::string& trace_path) {
+  obs::MetricsRegistry registry;
+  std::optional<obs::StepMetricsWriter> jsonl;
+  if (!jsonl_path.empty()) {
+    jsonl.emplace(jsonl_path);
+    if (!jsonl->ok()) {
+      std::fprintf(stderr, "cannot open %s\n", jsonl_path.c_str());
+    }
+  }
+  obs::TraceWriter trace;
+
+  SweepInstrumentation instr;
+  instr.registry = &registry;
+  instr.jsonl = jsonl ? &*jsonl : nullptr;
+  instr.trace = trace_path.empty() ? nullptr : &trace;
+
+  EamForceConfig cfg;
+  cfg.strategy = ReductionStrategy::Sdc;
+  cfg.sdc.dimensionality = 2;
+  const auto timing = runner.time_strategy(cfg, threads, steps, &instr);
+  if (!timing) {
+    std::fprintf(stderr, "instrumented pass infeasible; no output written\n");
+    return 0;
+  }
+  if (!trace_path.empty()) {
+    if (trace.write(trace_path)) {
+      std::printf("instrumented pass: %zu trace events -> %s\n",
+                  trace.size(), trace_path.c_str());
+    } else {
+      std::fprintf(stderr, "cannot open %s\n", trace_path.c_str());
+    }
+  }
+  if (jsonl) {
+    std::printf("instrumented pass: %zu step records -> %s\n",
+                jsonl->records(), jsonl_path.c_str());
+  }
+  return jsonl ? jsonl->records() : 0;
+}
+
+struct OverheadResult {
+  double disabled_a = 0.0;  ///< s/step, plain pass
+  double disabled_b = 0.0;  ///< s/step, identical second pass (noise probe)
+  double enabled = 0.0;     ///< s/step with the sweep profiler on
+  double spread() const {
+    const double lo = std::min(disabled_a, disabled_b);
+    return lo > 0.0 ? std::abs(disabled_a - disabled_b) / lo : 0.0;
+  }
+  double enabled_cost() const {
+    const double lo = std::min(disabled_a, disabled_b);
+    return lo > 0.0 ? enabled / lo - 1.0 : 0.0;
+  }
+};
+
+/// Disabled instrumentation is supposed to cost one branch per span: two
+/// identical uninstrumented passes bound the run-to-run noise, and the
+/// profiled pass shows what turning the profiler on actually costs.
+OverheadResult run_overhead_check(CaseRunner& runner, int threads,
+                                  int steps) {
+  EamForceConfig cfg;
+  cfg.strategy = ReductionStrategy::Sdc;
+  cfg.sdc.dimensionality = 2;
+
+  OverheadResult r;
+  r.disabled_a = runner.time_strategy(cfg, threads, steps)
+                     ->density_force_seconds;
+  r.disabled_b = runner.time_strategy(cfg, threads, steps)
+                     ->density_force_seconds;
+  obs::MetricsRegistry registry;
+  SweepInstrumentation instr;
+  instr.registry = &registry;
+  r.enabled = runner.time_strategy(cfg, threads, steps, &instr)
+                  ->density_force_seconds;
+  return r;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  CliParser cli("bench_table1_sdc",
+                "TABLE I reproduction: SDC dimensionality x thread sweep");
+  cli.add_option("scale", "", "tiny|laptop|desktop|paper (default: env)");
+  cli.add_option("threads", "", "comma list, e.g. 2,4,8 (default: env)");
+  cli.add_option("steps", "", "timed steps per configuration (default: env)");
+  cli.add_option("csv-dir", "", "CSV output directory (default: env or .)");
+  cli.add_option("metrics-out", "", "write sdcmd.bench.v1 JSON here");
+  cli.add_option("jsonl-out", "", "write instrumented-pass JSONL here");
+  cli.add_option("trace-out", "", "write instrumented-pass Chrome trace here");
+  cli.add_flag("overhead-check", "measure disabled-instrumentation overhead");
+  if (!cli.parse(argc, argv)) return 1;
+
+  const Scale scale = cli.get("scale").empty() ? scale_from_env()
+                                               : parse_scale(cli.get("scale"));
   const auto cases = paper_cases(scale);
-  const auto threads = thread_sweep_from_env();
-  const int steps = steps_from_env();
+  const auto threads = cli.get("threads").empty()
+                           ? thread_sweep_from_env()
+                           : cli.get_int_list("threads");
+  const int steps =
+      cli.get("steps").empty() ? steps_from_env() : cli.get_int("steps");
   FinnisSinclair iron(FinnisSinclairParams::iron());
 
-  // Machine-readable results next to the console tables
-  // (SDCMD_BENCH_CSV_DIR overrides the target directory).
-  const char* csv_dir = std::getenv("SDCMD_BENCH_CSV_DIR");
-  CsvWriter csv(std::string(csv_dir ? csv_dir : ".") + "/table1_sdc.csv",
+  // Machine-readable results next to the console tables.
+  const char* csv_env = std::getenv("SDCMD_BENCH_CSV_DIR");
+  const std::string csv_dir =
+      !cli.get("csv-dir").empty() ? cli.get("csv-dir")
+                                  : (csv_env != nullptr ? csv_env : ".");
+  CsvWriter csv(csv_dir + "/table1_sdc.csv",
                 {"case", "atoms", "dims", "threads", "seconds_per_step",
                  "speedup"});
+
+  obs::BenchReport report("table1_sdc");
+  report.set_context("scale", to_string(scale));
+  report.set_context("steps", steps);
+  report.set_context("hardware_threads", hardware_threads());
+  {
+    std::string sweep;
+    for (int t : threads) {
+      if (!sweep.empty()) sweep += ',';
+      sweep += std::to_string(t);
+    }
+    report.set_context("thread_sweep", sweep);
+  }
 
   std::printf("=== TABLE I: SDC speedups (scale %s, %s, %d steps/config)\n\n",
               to_string(scale).c_str(), thread_summary().c_str(), steps);
@@ -74,10 +218,67 @@ int main() {
                      timing ? AsciiTable::fmt(
                                   serial / timing->density_force_seconds, 3)
                             : ""});
+        report.add_result(
+            {{"case", test_case.name},
+             {"atoms", test_case.atom_count()},
+             {"dims", dims},
+             {"threads", t},
+             {"serial_seconds_per_step", serial},
+             {"seconds_per_step",
+              timing ? obs::JsonValue(timing->density_force_seconds)
+                     : obs::JsonValue()},
+             {"speedup",
+              timing
+                  ? obs::JsonValue(serial / timing->density_force_seconds)
+                  : obs::JsonValue()},
+             {"feasible", timing.has_value()}});
       }
       table.add_row(std::move(row));
     }
     std::printf("%s\n", table.render().c_str());
+  }
+
+  // Instrumented pass + overhead check run on the first (smallest) case
+  // with the highest feasible swept thread count.
+  const std::string jsonl_out = cli.get("jsonl-out");
+  const std::string trace_out = cli.get("trace-out");
+  const bool overhead = cli.get_bool("overhead-check");
+  if (!jsonl_out.empty() || !trace_out.empty() || overhead) {
+    CaseRunner probe(cases.front(), iron);
+    const int probe_threads = pick_probe_threads(probe, threads, steps);
+    if (!jsonl_out.empty() || !trace_out.empty()) {
+      std::printf("--- instrumented pass: case %s, 2-D SDC, %d threads\n",
+                  cases.front().name.c_str(), probe_threads);
+      run_instrumented_pass(probe, probe_threads, steps, jsonl_out,
+                            trace_out);
+    }
+    if (overhead) {
+      const OverheadResult r = run_overhead_check(probe, probe_threads, steps);
+      std::printf(
+          "--- overhead check (case %s, 2-D SDC, %d threads, %d steps):\n"
+          "    disabled pass A %.6f s/step, pass B %.6f s/step "
+          "(spread %.2f%% = run-to-run noise)\n"
+          "    profiler enabled %.6f s/step (%+.2f%% vs best disabled)\n",
+          cases.front().name.c_str(), probe_threads, steps, r.disabled_a,
+          r.disabled_b, 100.0 * r.spread(), r.enabled,
+          100.0 * r.enabled_cost());
+      report.set_context("overhead_disabled_a_s", r.disabled_a);
+      report.set_context("overhead_disabled_b_s", r.disabled_b);
+      report.set_context("overhead_enabled_s", r.enabled);
+      report.set_context("overhead_disabled_spread", r.spread());
+      report.set_context("overhead_enabled_cost", r.enabled_cost());
+    }
+  }
+
+  const std::string metrics_out = cli.get("metrics-out");
+  if (!metrics_out.empty()) {
+    if (report.write(metrics_out)) {
+      std::printf("bench report: %zu result rows -> %s\n", report.results(),
+                  metrics_out.c_str());
+    } else {
+      std::fprintf(stderr, "cannot open %s\n", metrics_out.c_str());
+      return 1;
+    }
   }
 
   std::printf(

@@ -1,0 +1,138 @@
+#!/usr/bin/env python3
+"""Validate the machine-readable bench artifacts against their schemas.
+
+Used by the CI bench-smoke job (and handy locally) to verify that:
+  * --bench FILE   is a sdcmd.bench.v1 report with the required envelope
+                   and at least one result row carrying the given columns;
+  * --jsonl FILE   is sdcmd.step_metrics.v1 JSONL whose records include
+                   per-color/per-phase sweep profiles with imbalance and
+                   barrier-wait statistics;
+  * --trace FILE   is a Chrome trace-event document Perfetto can load
+                   (a traceEvents array with complete events).
+
+Exits non-zero with a message on the first violation.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+
+SWEEP_KEYS = {
+    "phase",
+    "color",
+    "threads",
+    "work_max_s",
+    "work_mean_s",
+    "work_min_s",
+    "imbalance",
+    "wait_max_s",
+    "wait_mean_s",
+}
+
+
+def fail(message: str) -> None:
+    sys.exit(f"validate_bench_output: {message}")
+
+
+def check_bench(path: str, require_columns: list[str]) -> None:
+    with open(path) as f:
+        doc = json.load(f)
+    if doc.get("schema") != "sdcmd.bench.v1":
+        fail(f"{path}: schema is {doc.get('schema')!r}, want sdcmd.bench.v1")
+    for key in ("bench", "context", "results"):
+        if key not in doc:
+            fail(f"{path}: missing top-level key {key!r}")
+    if not isinstance(doc["results"], list) or not doc["results"]:
+        fail(f"{path}: results must be a non-empty array")
+    for row in doc["results"]:
+        for col in require_columns:
+            if col not in row:
+                fail(f"{path}: result row missing column {col!r}: {row}")
+    feasible = [r for r in doc["results"] if r.get("feasible")]
+    if not feasible:
+        fail(f"{path}: no feasible result rows")
+    print(
+        f"{path}: ok - bench {doc['bench']!r}, {len(doc['results'])} rows "
+        f"({len(feasible)} feasible)"
+    )
+
+
+def check_jsonl(path: str) -> None:
+    records = []
+    with open(path) as f:
+        for lineno, line in enumerate(f, 1):
+            try:
+                records.append(json.loads(line))
+            except json.JSONDecodeError as e:
+                fail(f"{path}:{lineno}: invalid JSON: {e}")
+    if not records:
+        fail(f"{path}: no records")
+    swept = 0
+    for i, rec in enumerate(records):
+        if rec.get("schema") != "sdcmd.step_metrics.v1":
+            fail(f"{path}: record {i} schema is {rec.get('schema')!r}")
+        if "step" not in rec or "metrics" not in rec:
+            fail(f"{path}: record {i} missing step/metrics")
+        for entry in rec.get("sweep", []):
+            missing = SWEEP_KEYS - entry.keys()
+            if missing:
+                fail(f"{path}: sweep entry missing {sorted(missing)}")
+            if entry["imbalance"] < 1.0:
+                fail(f"{path}: imbalance < 1 in {entry}")
+        if rec.get("sweep"):
+            swept += 1
+    if swept == 0:
+        fail(f"{path}: no record carries sweep profiles")
+    phases = {
+        e["phase"] for rec in records for e in rec.get("sweep", [])
+    }
+    print(
+        f"{path}: ok - {len(records)} records, {swept} with sweep profiles, "
+        f"phases {sorted(phases)}"
+    )
+
+
+def check_trace(path: str) -> None:
+    with open(path) as f:
+        doc = json.load(f)
+    events = doc.get("traceEvents")
+    if not isinstance(events, list) or not events:
+        fail(f"{path}: traceEvents must be a non-empty array")
+    phases = {e.get("ph") for e in events}
+    if "X" not in phases:
+        fail(f"{path}: no complete ('X') events; phases seen: {phases}")
+    for e in events:
+        if e.get("ph") == "X" and ("ts" not in e or "dur" not in e):
+            fail(f"{path}: complete event missing ts/dur: {e}")
+    named = [e for e in events if e.get("ph") == "M"]
+    print(
+        f"{path}: ok - {len(events)} events, {len(named)} thread-name "
+        f"records, phases {sorted(p for p in phases if p)}"
+    )
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--bench", help="sdcmd.bench.v1 JSON report")
+    parser.add_argument(
+        "--require-columns",
+        default="case,threads,seconds_per_step,speedup,feasible",
+        help="comma list of columns every bench result row must carry",
+    )
+    parser.add_argument("--jsonl", help="sdcmd.step_metrics.v1 JSONL file")
+    parser.add_argument("--trace", help="Chrome trace-event JSON file")
+    args = parser.parse_args()
+    if not (args.bench or args.jsonl or args.trace):
+        parser.error("nothing to validate: pass --bench/--jsonl/--trace")
+    if args.bench:
+        check_bench(args.bench, [c for c in args.require_columns.split(",") if c])
+    if args.jsonl:
+        check_jsonl(args.jsonl)
+    if args.trace:
+        check_trace(args.trace)
+
+
+if __name__ == "__main__":
+    main()

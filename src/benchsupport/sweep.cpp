@@ -6,6 +6,7 @@
 #include "common/log.hpp"
 #include "common/random.hpp"
 #include "common/threads.hpp"
+#include "common/timer.hpp"
 #include "common/units.hpp"
 
 namespace sdcmd::bench {
@@ -55,10 +56,14 @@ const NeighborList& CaseRunner::list_for(NeighborMode mode) {
   return *slot;
 }
 
-std::optional<Timing> CaseRunner::time_strategy(const EamForceConfig& config,
-                                                int threads, int steps) {
+std::optional<Timing> CaseRunner::time_strategy(
+    const EamForceConfig& config, int threads, int steps,
+    const SweepInstrumentation* instr) {
   SDCMD_REQUIRE(threads >= 1, "need at least one thread");
   SDCMD_REQUIRE(steps >= 1, "need at least one timed step");
+  SDCMD_REQUIRE(instr == nullptr || instr->jsonl == nullptr ||
+                    instr->registry != nullptr,
+                "SweepInstrumentation::jsonl requires a registry");
 
   const NeighborList& list = list_for(required_mode(config.strategy));
   EamForceComputer computer(potential_, config);
@@ -81,13 +86,45 @@ std::optional<Timing> CaseRunner::time_strategy(const EamForceConfig& config,
   const int previous_threads = max_threads();
   set_threads(config.strategy == ReductionStrategy::Serial ? 1 : threads);
 
+  // An instrumented pass enables the profiled sweep variant and exports
+  // each timed evaluation as one "step" (JSONL record + trace slices).
+  obs::MetricsRegistry::Handle h_steps = 0, h_step_seconds = 0;
+  if (instr != nullptr) {
+    computer.sweep_profiler().set_enabled(true);
+    if (instr->registry != nullptr) {
+      h_steps = instr->registry->counter("bench.steps");
+      h_step_seconds = instr->registry->stats("bench.step_seconds");
+    }
+  }
+  // Trace track for the driver-side per-step spans (the sweep slices land
+  // on the OpenMP thread tracks named by append_sweep_events).
+  constexpr int kDriverTid = 1000;
+
   Atoms& atoms = system_->atoms();
   computer.compute(system_->box(), atoms.position, list, atoms.rho,
                    atoms.fp, atoms.force);  // warmup
   computer.reset_instrumentation();
   for (int s = 0; s < steps; ++s) {
+    const double t0 = instr != nullptr ? wall_time() : 0.0;
     computer.compute(system_->box(), atoms.position, list, atoms.rho,
                      atoms.fp, atoms.force);
+    if (instr == nullptr) continue;
+    const double step_wall = wall_time() - t0;
+    if (instr->registry != nullptr) {
+      instr->registry->add(h_steps);
+      instr->registry->observe(h_step_seconds, step_wall);
+    }
+    const std::string label = "step " + std::to_string(s);
+    if (instr->trace != nullptr) {
+      instr->trace->set_thread_name(kDriverTid, "bench driver");
+      instr->trace->complete_event(label, "bench", t0, step_wall, kDriverTid);
+      obs::append_sweep_events(*instr->trace, computer.sweep_profiler(),
+                               label + "/");
+    }
+    if (instr->jsonl != nullptr) {
+      instr->jsonl->write_step(s, *instr->registry,
+                               &computer.sweep_profiler(), step_wall);
+    }
   }
   set_threads(previous_threads);
 

@@ -18,6 +18,9 @@
 #include "benchsupport/cases.hpp"
 #include "core/eam_force.hpp"
 #include "md/system.hpp"
+#include "obs/jsonl.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "potential/potential.hpp"
 
 namespace sdcmd::bench {
@@ -27,6 +30,18 @@ struct Timing {
   double total_seconds = 0.0;          ///< per step, incl. embedding
   std::size_t pair_visits = 0;         ///< per step
   std::size_t private_bytes = 0;       ///< SAP replication footprint
+};
+
+/// Observability sinks for an instrumented timing pass. All pointers are
+/// borrowed and optional; `registry` is required when `jsonl` is set (the
+/// JSONL record embeds a registry snapshot). Attaching instrumentation
+/// enables the computer's SdcSweepProfiler, so the timed loop runs the
+/// profiled sweep variant - use a separate uninstrumented pass for
+/// publication numbers.
+struct SweepInstrumentation {
+  obs::MetricsRegistry* registry = nullptr;
+  obs::StepMetricsWriter* jsonl = nullptr;
+  obs::TraceWriter* trace = nullptr;
 };
 
 /// One test case loaded, perturbed and ready to time.
@@ -41,9 +56,12 @@ class CaseRunner {
   /// Time `steps` force evaluations under `config` with `threads` OpenMP
   /// threads (one untimed warmup evaluation first). Returns std::nullopt
   /// when the configuration is infeasible - e.g. 1-D SDC on a box too
-  /// small to split, the paper's Table 1 blanks.
-  std::optional<Timing> time_strategy(const EamForceConfig& config,
-                                      int threads, int steps);
+  /// small to split, the paper's Table 1 blanks. With `instr`, each timed
+  /// evaluation additionally emits a JSONL step record and/or trace slices
+  /// carrying the per-thread x per-color sweep profile.
+  std::optional<Timing> time_strategy(
+      const EamForceConfig& config, int threads, int steps,
+      const SweepInstrumentation* instr = nullptr);
 
   /// Serial reference time (cached after the first call), per step.
   double serial_seconds_per_step(int steps);

@@ -3,9 +3,8 @@
 #include <algorithm>
 #include <atomic>
 #include <cctype>
+#include <cstdio>
 #include <cstdlib>
-#include <iostream>
-#include <mutex>
 
 namespace sdcmd {
 
@@ -50,9 +49,18 @@ LogLevel parse_log_level(const std::string& name) {
 namespace detail {
 
 void log_emit(LogLevel level, const std::string& message) {
-  static std::mutex mutex;
-  std::lock_guard<std::mutex> lock(mutex);
-  std::cerr << "[sdcmd:" << level_name(level) << "] " << message << '\n';
+  // Assemble the whole record first and emit it with a single fwrite:
+  // stderr is unbuffered, so piecewise streaming from concurrent OpenMP
+  // regions interleaves fragments of different records. fwrite locks the
+  // FILE internally, keeping each line atomic without a mutex here.
+  std::string line;
+  line.reserve(message.size() + 16);
+  line += "[sdcmd:";
+  line += level_name(level);
+  line += "] ";
+  line += message;
+  line += '\n';
+  std::fwrite(line.data(), 1, line.size(), stderr);
 }
 
 }  // namespace detail

@@ -32,11 +32,15 @@ void Stopwatch::reset() {
 }
 
 Stopwatch& PhaseTimers::operator[](const std::string& name) {
-  for (auto& [n, w] : timers_) {
-    if (n == name) return w;
+  return slot(index(name));
+}
+
+std::size_t PhaseTimers::index(const std::string& name) {
+  for (std::size_t i = 0; i < timers_.size(); ++i) {
+    if (timers_[i].first == name) return i;
   }
   timers_.emplace_back(name, Stopwatch{});
-  return timers_.back().second;
+  return timers_.size() - 1;
 }
 
 std::vector<PhaseTimers::Entry> PhaseTimers::entries() const {

@@ -44,10 +44,24 @@ class ScopedTimer {
 };
 
 /// A named set of stopwatches, e.g. one per EAM force phase.
+///
+/// Hot loops should intern the name once with index() and lap through
+/// slot(): operator[] walks the name list with string compares on every
+/// call, which is measurable when a phase runs thousands of times per
+/// second.
 class PhaseTimers {
  public:
   /// Returns (creating on first use) the stopwatch with the given name.
+  /// Prefer index()/slot() anywhere called per step.
   Stopwatch& operator[](const std::string& name);
+
+  /// Intern `name` (creating its stopwatch on first use) and return a
+  /// stable handle for slot(). Handles stay valid across reset().
+  std::size_t index(const std::string& name);
+
+  /// O(1) access by interned handle.
+  Stopwatch& slot(std::size_t idx) { return timers_[idx].second; }
+  const Stopwatch& slot(std::size_t idx) const { return timers_[idx].second; }
 
   struct Entry {
     std::string name;

@@ -73,7 +73,11 @@ inline void force_atom(const Args& a, std::size_t i,
 
 AlloyForceComputer::AlloyForceComputer(const AlloyEamPotential& potential,
                                        AlloyForceConfig config)
-    : potential_(potential), config_(config) {
+    : potential_(potential),
+      config_(config),
+      t_density_(timers_.index("density")),
+      t_embed_(timers_.index("embed")),
+      t_force_(timers_.index("force")) {
   SDCMD_REQUIRE(config.strategy == ReductionStrategy::Serial ||
                     config.strategy == ReductionStrategy::Sdc,
                 "alloy engine supports Serial and Sdc strategies");
@@ -118,7 +122,7 @@ AlloyForceResult AlloyForceComputer::compute(
   AlloyForceResult result;
 
   {
-    ScopedTimer timer(timers_["density"]);
+    ScopedTimer timer(timers_.slot(t_density_));
     if (config_.strategy == ReductionStrategy::Serial) {
       for (std::size_t i = 0; i < n; ++i) density_atom(args, i, rho);
     } else {
@@ -143,7 +147,7 @@ AlloyForceResult AlloyForceComputer::compute(
   }
 
   {
-    ScopedTimer timer(timers_["embed"]);
+    ScopedTimer timer(timers_.slot(t_embed_));
     double energy = 0.0;
 #pragma omp parallel for schedule(static) reduction(+ : energy) \
     if (config_.strategy != ReductionStrategy::Serial)
@@ -157,7 +161,7 @@ AlloyForceResult AlloyForceComputer::compute(
   }
 
   {
-    ScopedTimer timer(timers_["force"]);
+    ScopedTimer timer(timers_.slot(t_force_));
     double energy = 0.0;
     double virial = 0.0;
     if (config_.strategy == ReductionStrategy::Serial) {

@@ -59,6 +59,9 @@ class AlloyForceComputer {
   AlloyForceConfig config_;
   std::unique_ptr<SdcSchedule> schedule_;
   PhaseTimers timers_;
+  std::size_t t_density_;  ///< interned timer handles, see PhaseTimers
+  std::size_t t_embed_;
+  std::size_t t_force_;
 };
 
 }  // namespace sdcmd

@@ -24,7 +24,9 @@
 #include <span>
 
 #include "common/error.hpp"
+#include "common/timer.hpp"
 #include "core/sdc_schedule.hpp"
+#include "obs/sweep_profile.hpp"
 
 namespace sdcmd {
 
@@ -41,6 +43,14 @@ class ColoredScatterEngine {
   const SdcSchedule& schedule() const { return *schedule_; }
   int color_count() const { return schedule_->color_count(); }
 
+  /// Attach (or detach, with nullptr) a per-thread x per-color span
+  /// profiler. When enabled, for_each_point_colored() shapes it to the
+  /// schedule (one phase named "sweep") and records each thread's work and
+  /// barrier-wait time per color, exactly like the EAM SDC kernels.
+  void set_profiler(obs::SdcSweepProfiler* profiler) {
+    profiler_ = profiler;
+  }
+
   /// Invoke `fn(i)` once for every point, colors swept serially with the
   /// points of a color processed in parallel. `fn` must honor the class
   /// contract above.
@@ -49,15 +59,39 @@ class ColoredScatterEngine {
     SDCMD_REQUIRE(schedule_->built(), "rebuild() has not run yet");
     const Partition& part = schedule_->partition();
     const int colors = part.color_count();
+    obs::SdcSweepProfiler* prof =
+        (profiler_ != nullptr && profiler_->enabled()) ? profiler_ : nullptr;
+    if (prof != nullptr) {
+      prof->configure({"sweep"}, colors, omp_get_max_threads());
+      prof->begin_step();
+    }
 #pragma omp parallel
     {
+      const int tid = omp_get_thread_num();
       for (int c = 0; c < colors; ++c) {
         const std::size_t begin = part.color_begin(c);
         const std::size_t end = part.color_end(c);
+        if (prof != nullptr) {
+          obs::SweepSample sample;
+          sample.start = wall_time();
+#pragma omp for schedule(static) nowait
+          for (std::size_t slot = begin; slot < end; ++slot) {
+            for (std::uint32_t i : part.atoms_in_slot(slot)) {
+              fn(static_cast<std::size_t>(i));
+            }
+          }
+          const double t_work = wall_time();
+#pragma omp barrier
+          sample.work = t_work - sample.start;
+          sample.wait = wall_time() - t_work;
+          sample.valid = true;
+          prof->record(0, c, tid, sample);
+        } else {
 #pragma omp for schedule(static)
-        for (std::size_t slot = begin; slot < end; ++slot) {
-          for (std::uint32_t i : part.atoms_in_slot(slot)) {
-            fn(static_cast<std::size_t>(i));
+          for (std::size_t slot = begin; slot < end; ++slot) {
+            for (std::uint32_t i : part.atoms_in_slot(slot)) {
+              fn(static_cast<std::size_t>(i));
+            }
           }
         }
       }
@@ -78,6 +112,7 @@ class ColoredScatterEngine {
 
  private:
   std::unique_ptr<SdcSchedule> schedule_;
+  obs::SdcSweepProfiler* profiler_ = nullptr;  ///< not owned
 };
 
 }  // namespace sdcmd

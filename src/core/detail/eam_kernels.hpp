@@ -17,6 +17,7 @@
 #include "core/sdc_schedule.hpp"
 #include "geom/box.hpp"
 #include "neighbor/neighbor_list.hpp"
+#include "obs/sweep_profile.hpp"
 #include "potential/potential.hpp"
 
 namespace sdcmd {
@@ -25,6 +26,12 @@ class LockPool;
 
 namespace sdcmd::detail {
 
+/// Profiler phase indices shared by the kernels and EamForceComputer
+/// (match the phase_names the computer configures its profiler with).
+inline constexpr int kProfPhaseDensity = 0;
+inline constexpr int kProfPhaseEmbed = 1;
+inline constexpr int kProfPhaseForce = 2;
+
 struct EamArgs {
   const Box& box;
   std::span<const Vec3> x;
@@ -32,6 +39,9 @@ struct EamArgs {
   const EamPotential& pot;
   double cutoff2;          ///< squared potential cutoff (list range is wider)
   bool dynamic_schedule;   ///< omp dynamic chunking in the subdomain loop
+  /// Per-thread x per-color span recorder; kernels take the timed code
+  /// path only when non-null and enabled (SDC + embed phases).
+  obs::SdcSweepProfiler* profiler = nullptr;
 };
 
 struct ForceSums {
@@ -68,9 +78,12 @@ void density_sdc(const EamArgs& a, const Partition& part,
 // --- phase 2: embedding (strategy-independent) -----------------------------
 /// Fills fp[i] = dF/drho(rho_i); returns sum of F(rho_i). Runs with a plain
 /// `#pragma omp parallel for` when `parallel` (the paper parallelizes this
-/// phase with a single directive: no data dependences).
+/// phase with a single directive: no data dependences). An enabled
+/// `profiler` records per-thread work/wait spans under kProfPhaseEmbed
+/// (color 0: the phase has no color structure).
 double embed_phase(const EamPotential& pot, std::span<const double> rho,
-                   std::span<double> fp, bool parallel);
+                   std::span<double> fp, bool parallel,
+                   obs::SdcSweepProfiler* profiler = nullptr);
 
 // --- phase 3: forces --------------------------------------------------------
 void force_serial(const EamArgs& a, std::span<const double> fp,

@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "common/error.hpp"
+#include "common/threads.hpp"
 #include "core/detail/eam_kernels.hpp"
 #include "core/lock_pool.hpp"
 
@@ -24,7 +25,11 @@ struct EamForceComputer::SapWorkspace {
 
 EamForceComputer::EamForceComputer(const EamPotential& potential,
                                    EamForceConfig config)
-    : potential_(potential), config_(config) {
+    : potential_(potential),
+      config_(config),
+      t_density_(timers_.index("density")),
+      t_embed_(timers_.index("embed")),
+      t_force_(timers_.index("force")) {
   if (config_.strategy == ReductionStrategy::ArrayPrivatization) {
     sap_ = std::make_unique<SapWorkspace>();
   }
@@ -69,8 +74,22 @@ EamForceResult EamForceComputer::compute(const Box& box,
                 "neighbor list cutoff shorter than the potential range");
 
   const double cutoff = potential_.cutoff();
-  detail::EamArgs args{box,    positions,       list,
-                       potential_, cutoff * cutoff, config_.dynamic_schedule};
+  detail::EamArgs args{box,        positions,
+                       list,       potential_,
+                       cutoff * cutoff, config_.dynamic_schedule,
+                       nullptr};
+  if (profiler_.enabled()) {
+    // Shape the sample store to the current sweep (idempotent when
+    // unchanged) and invalidate the previous step's samples.
+    const int colors =
+        config_.strategy == ReductionStrategy::Sdc && schedule_ != nullptr
+            ? schedule_->color_count()
+            : 1;
+    profiler_.configure({"density", "embed", "force"}, colors,
+                        max_threads());
+    profiler_.begin_step();
+    args.profiler = &profiler_;
+  }
 
   std::fill(rho.begin(), rho.end(), 0.0);
   std::fill(force.begin(), force.end(), Vec3{});
@@ -79,7 +98,7 @@ EamForceResult EamForceComputer::compute(const Box& box,
   EamForceResult result;
 
   {
-    ScopedTimer timer(timers_["density"]);
+    ScopedTimer timer(timers_.slot(t_density_));
     switch (config_.strategy) {
       case ReductionStrategy::Serial:
         detail::density_serial(args, rho);
@@ -109,13 +128,14 @@ EamForceResult EamForceComputer::compute(const Box& box,
   }
 
   {
-    ScopedTimer timer(timers_["embed"]);
-    result.embedding_energy =
-        detail::embed_phase(potential_, rho, fp, parallel_embed);
+    ScopedTimer timer(timers_.slot(t_embed_));
+    result.embedding_energy = detail::embed_phase(potential_, rho, fp,
+                                                  parallel_embed,
+                                                  args.profiler);
   }
 
   {
-    ScopedTimer timer(timers_["force"]);
+    ScopedTimer timer(timers_.slot(t_force_));
     detail::ForceSums sums;
     switch (config_.strategy) {
       case ReductionStrategy::Serial:

@@ -24,6 +24,7 @@
 #include "core/sdc_schedule.hpp"
 #include "core/strategy.hpp"
 #include "neighbor/neighbor_list.hpp"
+#include "obs/sweep_profile.hpp"
 #include "potential/potential.hpp"
 
 namespace sdcmd {
@@ -88,6 +89,14 @@ class EamForceComputer {
   const EamKernelStats& stats() const { return stats_; }
   void reset_instrumentation();
 
+  /// Per-thread x per-color span profiler for the SDC sweep (and the embed
+  /// phase). Disabled by default; enable with
+  /// `sweep_profiler().set_enabled(true)` - compute() then shapes it to the
+  /// current schedule/thread count, clocks every (phase, color, thread)
+  /// span, and leaves the step's samples readable until the next compute().
+  obs::SdcSweepProfiler& sweep_profiler() { return profiler_; }
+  const obs::SdcSweepProfiler& sweep_profiler() const { return profiler_; }
+
   /// The SDC schedule, or nullptr for non-SDC strategies.
   const SdcSchedule* schedule() const { return schedule_.get(); }
 
@@ -100,7 +109,13 @@ class EamForceComputer {
   std::unique_ptr<SapWorkspace> sap_;
   std::unique_ptr<LockPool> locks_;
   PhaseTimers timers_;
+  // Interned PhaseTimers handles: the per-step lap path never compares
+  // strings.
+  std::size_t t_density_;
+  std::size_t t_embed_;
+  std::size_t t_force_;
   EamKernelStats stats_;
+  obs::SdcSweepProfiler profiler_;
 };
 
 }  // namespace sdcmd

@@ -8,9 +8,20 @@
 // synchronization. Same-color subdomains are >= 2 * interaction-range
 // apart, so their scatter footprints are disjoint and the plain (non-atomic)
 // `+=` updates below are race-free by construction.
+//
+// Profiling: when EamArgs carries an enabled SdcSweepProfiler the sweep
+// runs an equivalent variant whose `omp for` is `nowait` followed by an
+// explicit barrier, so each thread can clock its own work span and the
+// time it then spends blocked at the color barrier - the load-imbalance /
+// barrier-wait evidence of the paper's Table 1 discussion. The profiler
+// pointer is uniform across the team, so every thread takes the same
+// branch and the explicit barrier is encountered by all threads. With the
+// profiler off the original untimed loop runs: no clock reads, one branch
+// per color.
 #include <omp.h>
 
 #include "common/error.hpp"
+#include "common/timer.hpp"
 #include "core/detail/eam_kernels.hpp"
 
 namespace sdcmd::detail {
@@ -69,12 +80,35 @@ void density_sdc(const EamArgs& a, const Partition& part,
                 "partition is stale: rebuild the SDC schedule after the "
                 "neighbor list");
   const int colors = part.color_count();
+  obs::SdcSweepProfiler* prof =
+      (a.profiler != nullptr && a.profiler->enabled()) ? a.profiler : nullptr;
 #pragma omp parallel
   {
+    const int tid = omp_get_thread_num();
     for (int c = 0; c < colors; ++c) {
       const std::size_t begin = part.color_begin(c);
       const std::size_t end = part.color_end(c);
-      if (a.dynamic_schedule) {
+      if (prof != nullptr) {
+        obs::SweepSample sample;
+        sample.start = wall_time();
+        if (a.dynamic_schedule) {
+#pragma omp for schedule(dynamic) nowait
+          for (std::size_t slot = begin; slot < end; ++slot) {
+            density_slot(a, part, slot, rho);
+          }
+        } else {
+#pragma omp for schedule(static) nowait
+          for (std::size_t slot = begin; slot < end; ++slot) {
+            density_slot(a, part, slot, rho);
+          }
+        }
+        const double t_work = wall_time();
+#pragma omp barrier
+        sample.work = t_work - sample.start;
+        sample.wait = wall_time() - t_work;
+        sample.valid = true;
+        prof->record(kProfPhaseDensity, c, tid, sample);
+      } else if (a.dynamic_schedule) {
 #pragma omp for schedule(dynamic)
         for (std::size_t slot = begin; slot < end; ++slot) {
           density_slot(a, part, slot, rho);
@@ -85,8 +119,9 @@ void density_sdc(const EamArgs& a, const Partition& part,
           density_slot(a, part, slot, rho);
         }
       }
-      // The `omp for` implicit barrier separates the colors: the paper's
-      // only synchronization cost.
+      // The barrier ending the `omp for` (implicit, or explicit in the
+      // profiled variant) separates the colors: the paper's only
+      // synchronization cost.
     }
   }
 }
@@ -98,14 +133,37 @@ void force_sdc(const EamArgs& a, const Partition& part,
                 "partition is stale: rebuild the SDC schedule after the "
                 "neighbor list");
   const int colors = part.color_count();
+  obs::SdcSweepProfiler* prof =
+      (a.profiler != nullptr && a.profiler->enabled()) ? a.profiler : nullptr;
   double energy = 0.0;
   double virial = 0.0;
 #pragma omp parallel reduction(+ : energy, virial)
   {
+    const int tid = omp_get_thread_num();
     for (int c = 0; c < colors; ++c) {
       const std::size_t begin = part.color_begin(c);
       const std::size_t end = part.color_end(c);
-      if (a.dynamic_schedule) {
+      if (prof != nullptr) {
+        obs::SweepSample sample;
+        sample.start = wall_time();
+        if (a.dynamic_schedule) {
+#pragma omp for schedule(dynamic) nowait
+          for (std::size_t slot = begin; slot < end; ++slot) {
+            force_slot(a, part, slot, fp, force, energy, virial);
+          }
+        } else {
+#pragma omp for schedule(static) nowait
+          for (std::size_t slot = begin; slot < end; ++slot) {
+            force_slot(a, part, slot, fp, force, energy, virial);
+          }
+        }
+        const double t_work = wall_time();
+#pragma omp barrier
+        sample.work = t_work - sample.start;
+        sample.wait = wall_time() - t_work;
+        sample.valid = true;
+        prof->record(kProfPhaseForce, c, tid, sample);
+      } else if (a.dynamic_schedule) {
 #pragma omp for schedule(dynamic)
         for (std::size_t slot = begin; slot < end; ++slot) {
           force_slot(a, part, slot, fp, force, energy, virial);

@@ -7,6 +7,7 @@
 // in the force loop).
 #include <omp.h>
 
+#include "common/timer.hpp"
 #include "core/detail/eam_kernels.hpp"
 
 namespace sdcmd::detail {
@@ -30,10 +31,35 @@ void density_serial(const EamArgs& a, std::span<double> rho) {
 }
 
 double embed_phase(const EamPotential& pot, std::span<const double> rho,
-                   std::span<double> fp, bool parallel) {
+                   std::span<double> fp, bool parallel,
+                   obs::SdcSweepProfiler* profiler) {
   const std::size_t n = rho.size();
   double energy = 0.0;
-  if (parallel) {
+  obs::SdcSweepProfiler* prof =
+      (profiler != nullptr && profiler->enabled()) ? profiler : nullptr;
+  if (parallel && prof != nullptr) {
+    // Same loop as below with per-thread work/wait spans recorded (see the
+    // SDC kernels for the nowait + explicit-barrier pattern).
+#pragma omp parallel reduction(+ : energy)
+    {
+      const int tid = omp_get_thread_num();
+      obs::SweepSample sample;
+      sample.start = wall_time();
+#pragma omp for schedule(static) nowait
+      for (std::size_t i = 0; i < n; ++i) {
+        double f, dfdrho;
+        pot.embed(rho[i], f, dfdrho);
+        fp[i] = dfdrho;
+        energy += f;
+      }
+      const double t_work = wall_time();
+#pragma omp barrier
+      sample.work = t_work - sample.start;
+      sample.wait = wall_time() - t_work;
+      sample.valid = true;
+      prof->record(kProfPhaseEmbed, 0, tid, sample);
+    }
+  } else if (parallel) {
 #pragma omp parallel for schedule(static) reduction(+ : energy)
     for (std::size_t i = 0; i < n; ++i) {
       double f, dfdrho;

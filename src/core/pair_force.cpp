@@ -241,7 +241,9 @@ void run_sdc(const Args& a, const Partition& part, std::span<Vec3> force,
 
 PairForceComputer::PairForceComputer(const PairPotential& potential,
                                      PairForceConfig config)
-    : potential_(potential), config_(config) {}
+    : potential_(potential),
+      config_(config),
+      t_force_(timers_.index("force")) {}
 
 PairForceComputer::~PairForceComputer() = default;
 
@@ -278,7 +280,7 @@ PairForceResult PairForceComputer::compute(const Box& box,
   std::fill(force.begin(), force.end(), Vec3{});
 
   PairForceResult result;
-  ScopedTimer timer(timers_["force"]);
+  ScopedTimer timer(timers_.slot(t_force_));
   switch (config_.strategy) {
     case ReductionStrategy::Serial:
       run_serial(args, force, result);

@@ -57,6 +57,7 @@ class PairForceComputer {
   std::unique_ptr<LockPool> locks_;
   std::vector<std::vector<Vec3>> sap_force_;
   PhaseTimers timers_;
+  std::size_t t_force_;  ///< interned timer handle, see PhaseTimers
 };
 
 }  // namespace sdcmd

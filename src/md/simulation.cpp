@@ -2,10 +2,16 @@
 
 #include "common/error.hpp"
 #include "common/log.hpp"
+#include "common/timer.hpp"
 #include "md/velocity.hpp"
 #include "neighbor/reorder.hpp"
 
 namespace sdcmd {
+
+namespace {
+/// Trace track for driver-level events (OpenMP worker tracks are 0..N-1).
+constexpr int kDriverTid = 1000;
+}  // namespace
 
 Simulation::Simulation(System system, const EamPotential& potential,
                        SimulationConfig config)
@@ -73,6 +79,7 @@ void Simulation::rebuild_lists() {
   provider_->on_neighbor_rebuild(system_.atoms().position);
   steps_since_rebuild_ = 0;
   ++rebuilds_;
+  obs_count(obs_handles_.rebuilds);
   forces_current_ = false;
 }
 
@@ -130,6 +137,52 @@ void Simulation::clear_guardrails() {
   rollbacks_ = 0;
 }
 
+void Simulation::set_instrumentation(InstrumentationConfig config) {
+  SDCMD_REQUIRE(config.sample_every >= 1,
+                "instrumentation sample interval must be >= 1");
+  SDCMD_REQUIRE(config.step_writer == nullptr || config.registry != nullptr,
+                "a step writer needs a registry to snapshot");
+  obs_ = config;
+  if (obs_.registry != nullptr) {
+    obs::MetricsRegistry& r = *obs_.registry;
+    obs_handles_.steps = r.counter("sim.steps");
+    obs_handles_.step_seconds = r.stats("sim.step_seconds");
+    obs_handles_.rebuilds = r.counter("sim.neighbor_rebuilds");
+    obs_handles_.checkpoints = r.counter("guard.checkpoints");
+    obs_handles_.rollbacks = r.counter("guard.rollbacks");
+    obs_handles_.health_checks = r.counter("guard.health_checks");
+    obs_handles_.health_failures = r.counter("guard.health_failures");
+    obs_handles_.dt = r.gauge("sim.dt");
+  }
+  if (EamForceComputer* computer = provider_->eam_computer()) {
+    computer->sweep_profiler().set_enabled(obs_.profile_sweep);
+  }
+  if (obs_.trace != nullptr) {
+    obs_.trace->set_thread_name(kDriverTid, "driver");
+  }
+}
+
+void Simulation::clear_instrumentation() {
+  obs_ = InstrumentationConfig{};
+  obs_handles_ = ObsHandles{};
+  if (EamForceComputer* computer = provider_->eam_computer()) {
+    computer->sweep_profiler().set_enabled(false);
+  }
+}
+
+void Simulation::obs_mark(const std::string& name) {
+  if (obs_.trace != nullptr) {
+    obs_.trace->instant_event(name, "guardrail", wall_time(), kDriverTid);
+  }
+}
+
+const obs::SdcSweepProfiler* Simulation::sweep_profiler() const {
+  if (!obs_.profile_sweep) return nullptr;
+  EamForceComputer* computer =
+      const_cast<ForceProvider&>(*provider_).eam_computer();
+  return computer != nullptr ? &computer->sweep_profiler() : nullptr;
+}
+
 void Simulation::set_dt(double dt) {
   SDCMD_REQUIRE(dt > 0.0, "time step must be positive");
   config_.dt = dt;
@@ -147,6 +200,8 @@ void Simulation::take_snapshot() {
   if (guard_ && guard_->checkpoint_sink) {
     guard_->checkpoint_sink(system_, step_);
   }
+  obs_count(obs_handles_.checkpoints);
+  obs_mark("checkpoint");
 }
 
 void Simulation::restore_snapshot() {
@@ -161,6 +216,7 @@ void Simulation::restore_snapshot() {
 
 void Simulation::guard_baseline() {
   if (snapshot_) return;
+  obs_count(obs_handles_.health_checks);
   const HealthReport report = monitor_->check(system_, last_result_, step_,
                                               config_.dt, config_.skin);
   if (report.ok()) {
@@ -175,6 +231,7 @@ void Simulation::guard_after_step() {
       guard_->checkpoint_every > 0 && step_ % guard_->checkpoint_every == 0;
   if (!checkpoint_due && !monitor_->due(step_)) return;
 
+  obs_count(obs_handles_.health_checks);
   const HealthReport report = monitor_->check(system_, last_result_, step_,
                                               config_.dt, config_.skin);
   if (report.ok()) {
@@ -185,6 +242,7 @@ void Simulation::guard_after_step() {
 }
 
 void Simulation::handle_unhealthy(const HealthReport& report) {
+  obs_count(obs_handles_.health_failures);
   switch (guard_->health.policy) {
     case HealthPolicy::Warn:
       SDCMD_WARN("health: " << report.summary());
@@ -204,6 +262,8 @@ void Simulation::handle_unhealthy(const HealthReport& report) {
                       ") exhausted at " + report.summary());
   }
   ++rollbacks_;
+  obs_count(obs_handles_.rollbacks);
+  obs_mark("rollback");
   if (guard_->halve_dt_on_rollback) set_dt(config_.dt * 0.5);
   SDCMD_WARN("health: " << report.summary() << "; rolling back to step "
                         << snapshot_->step << " (rollback " << rollbacks_
@@ -255,9 +315,31 @@ void Simulation::run(long steps, const Callback& callback,
   // rewound stretch is re-run, so a guarded run still finishes at the
   // requested step (or throws once the rollback budget is spent).
   const long target = step_ + steps;
+  const bool time_steps =
+      obs_.registry != nullptr || obs_.trace != nullptr;
   while (step_ < target) {
+    const double t0 = time_steps ? wall_time() : 0.0;
     step_once();
+    const double step_wall = time_steps ? wall_time() - t0 : 0.0;
+    if (obs_.registry != nullptr) {
+      obs_.registry->add(obs_handles_.steps);
+      obs_.registry->observe(obs_handles_.step_seconds, step_wall);
+      obs_.registry->set(obs_handles_.dt, config_.dt);
+    }
     if (monitor_) guard_after_step();
+    const bool sampled = step_ % obs_.sample_every == 0;
+    if (obs_.trace != nullptr && sampled) {
+      obs_.trace->complete_event("step " + std::to_string(step_), "sim", t0,
+                                 step_wall, kDriverTid);
+      if (const obs::SdcSweepProfiler* prof = sweep_profiler()) {
+        obs::append_sweep_events(*obs_.trace, *prof,
+                                 "step " + std::to_string(step_) + "/");
+      }
+    }
+    if (obs_.step_writer != nullptr && sampled) {
+      obs_.step_writer->write_step(step_, *obs_.registry, sweep_profiler(),
+                                   step_wall);
+    }
     if (callback && callback_every > 0 && step_ % callback_every == 0) {
       callback(*this, step_);
     }

@@ -17,6 +17,9 @@
 #include "md/system.hpp"
 #include "md/thermo.hpp"
 #include "md/thermostat.hpp"
+#include "obs/jsonl.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 
 namespace sdcmd {
 
@@ -55,6 +58,28 @@ struct GuardrailConfig {
   /// Halve dt on every automatic rollback (the classic blowup recovery:
   /// most divergences are integration instabilities from a too-large step).
   bool halve_dt_on_rollback = true;
+};
+
+/// Observability sinks for a run. All pointers are borrowed (the caller
+/// owns lifetime; they must outlive the simulation or be cleared first).
+/// Everything is optional: a default-constructed config turns
+/// instrumentation off entirely.
+struct InstrumentationConfig {
+  /// Receives counters/gauges/stats (names under "sim." / "guard.";
+  /// see docs/observability.md). Required when step_writer is set.
+  obs::MetricsRegistry* registry = nullptr;
+  /// JSONL per-step records (schema sdcmd.step_metrics.v1).
+  obs::StepMetricsWriter* step_writer = nullptr;
+  /// Chrome trace events: step spans, guardrail markers, and - with
+  /// profile_sweep - per-thread x per-color force-phase slices.
+  obs::TraceWriter* trace = nullptr;
+  /// Enable the EAM computer's SdcSweepProfiler so step records and traces
+  /// carry per-color thread imbalance and barrier-wait stats. Ignored for
+  /// non-EAM force backends.
+  bool profile_sweep = false;
+  /// Emit JSONL/trace output every N steps (counters still update every
+  /// step).
+  long sample_every = 1;
 };
 
 class Simulation {
@@ -107,6 +132,13 @@ class Simulation {
   /// Change the time step mid-run (rollback uses this to halve dt).
   void set_dt(double dt);
 
+  /// Attach observability sinks for subsequent run() calls. Replaces any
+  /// previous instrumentation. Like guardrails, off by default: an
+  /// uninstrumented run pays nothing beyond one null check per step.
+  void set_instrumentation(InstrumentationConfig config);
+  void clear_instrumentation();
+  bool has_instrumentation() const { return obs_.registry != nullptr; }
+
   /// Callback invoked after the completed step, every `every` steps.
   using Callback = std::function<void(const Simulation&, long)>;
 
@@ -152,6 +184,13 @@ class Simulation {
   void rebuild_lists();
   bool lists_stale() const;
 
+  /// Instrumentation plumbing (no-ops unless set_instrumentation ran).
+  void obs_count(std::size_t handle, double delta = 1.0) {
+    if (obs_.registry != nullptr) obs_.registry->add(handle, delta);
+  }
+  void obs_mark(const std::string& name);
+  const obs::SdcSweepProfiler* sweep_profiler() const;
+
   /// Guardrail plumbing (all no-ops unless set_guardrails was called).
   void guard_baseline();
   void guard_after_step();
@@ -183,6 +222,18 @@ class Simulation {
   std::unique_ptr<HealthMonitor> monitor_;
   std::optional<Snapshot> snapshot_;
   int rollbacks_ = 0;
+
+  InstrumentationConfig obs_;
+  struct ObsHandles {
+    std::size_t steps = 0;
+    std::size_t step_seconds = 0;
+    std::size_t rebuilds = 0;
+    std::size_t checkpoints = 0;
+    std::size_t rollbacks = 0;
+    std::size_t health_checks = 0;
+    std::size_t health_failures = 0;
+    std::size_t dt = 0;
+  } obs_handles_;
 };
 
 }  // namespace sdcmd

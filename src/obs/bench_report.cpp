@@ -1,0 +1,50 @@
+#include "obs/bench_report.hpp"
+
+#include <fstream>
+
+namespace sdcmd::obs {
+
+BenchReport::BenchReport(std::string bench) : bench_(std::move(bench)) {}
+
+void BenchReport::set_context(const std::string& key, JsonValue value) {
+  for (auto& [k, v] : context_) {
+    if (k == key) {
+      v = std::move(value);
+      return;
+    }
+  }
+  context_.emplace_back(key, std::move(value));
+}
+
+void BenchReport::add_result(Row row) { rows_.push_back(std::move(row)); }
+
+std::string BenchReport::to_json() const {
+  std::string out;
+  JsonWriter w(out);
+  w.begin_object();
+  w.member("schema", "sdcmd.bench.v1");
+  w.member("bench", bench_);
+  w.key("context");
+  w.begin_object();
+  for (const auto& [k, v] : context_) w.member(k, v);
+  w.end_object();
+  w.key("results");
+  w.begin_array();
+  for (const Row& row : rows_) {
+    w.begin_object();
+    for (const auto& [k, v] : row) w.member(k, v);
+    w.end_object();
+  }
+  w.end_array();
+  w.end_object();
+  return out;
+}
+
+bool BenchReport::write(const std::string& path) const {
+  std::ofstream out(path);
+  if (!out) return false;
+  out << to_json() << '\n';
+  return static_cast<bool>(out);
+}
+
+}  // namespace sdcmd::obs

@@ -1,0 +1,50 @@
+// Versioned machine-readable bench results, schema "sdcmd.bench.v1":
+//   {
+//     "schema": "sdcmd.bench.v1",
+//     "bench": "table1_sdc",
+//     "context": {"scale": "tiny", "steps": 2, "hardware_threads": 16, ...},
+//     "results": [
+//       {"case": "small", "dims": 2, "threads": 4,
+//        "seconds_per_step": 0.0123, "speedup": 3.1, "feasible": true},
+//       ...
+//     ]
+//   }
+// Every result row is a flat object of scalars so CI can diff runs with jq
+// and the perf trajectory can be tracked across PRs without scraping the
+// ASCII tables. Rows are heterogeneous across benches; the schema pins the
+// envelope (schema/bench/context/results), not the row columns.
+#pragma once
+
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "obs/json.hpp"
+
+namespace sdcmd::obs {
+
+class BenchReport {
+ public:
+  /// `bench` names the producing binary, e.g. "table1_sdc".
+  explicit BenchReport(std::string bench);
+
+  /// Run-wide context (scale, thread sweep, steps, host facts).
+  void set_context(const std::string& key, JsonValue value);
+
+  using Row = std::vector<std::pair<std::string, JsonValue>>;
+  void add_result(Row row);
+
+  std::size_t results() const { return rows_.size(); }
+
+  std::string to_json() const;
+
+  /// Write to `path`; false when the file cannot be opened.
+  bool write(const std::string& path) const;
+
+ private:
+  std::string bench_;
+  std::vector<std::pair<std::string, JsonValue>> context_;
+  std::vector<Row> rows_;
+};
+
+}  // namespace sdcmd::obs

@@ -1,0 +1,120 @@
+#include "obs/json.hpp"
+
+#include <cmath>
+#include <cstdio>
+
+#include "common/error.hpp"
+
+namespace sdcmd::obs {
+
+void append_json_string(std::string& out, std::string_view s) {
+  out += '"';
+  for (char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x",
+                        static_cast<unsigned>(static_cast<unsigned char>(c)));
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  out += '"';
+}
+
+void append_json_number(std::string& out, double value) {
+  if (!std::isfinite(value)) {
+    out += "null";
+    return;
+  }
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%.17g", value);
+  out += buf;
+}
+
+void JsonValue::append_to(std::string& out) const {
+  switch (type_) {
+    case Type::Null: out += "null"; break;
+    case Type::Bool: out += bool_ ? "true" : "false"; break;
+    case Type::Int: out += std::to_string(int_); break;
+    case Type::Double: append_json_number(out, double_); break;
+    case Type::String: append_json_string(out, string_); break;
+  }
+}
+
+void JsonWriter::separate() {
+  if (after_key_) {
+    after_key_ = false;
+    return;
+  }
+  if (!has_element_.empty()) {
+    if (has_element_.back()) out_ += ',';
+    has_element_.back() = true;
+  }
+}
+
+void JsonWriter::begin_object() {
+  separate();
+  out_ += '{';
+  has_element_.push_back(false);
+}
+
+void JsonWriter::end_object() {
+  SDCMD_REQUIRE(!has_element_.empty(), "unbalanced end_object");
+  has_element_.pop_back();
+  out_ += '}';
+}
+
+void JsonWriter::begin_array() {
+  separate();
+  out_ += '[';
+  has_element_.push_back(false);
+}
+
+void JsonWriter::end_array() {
+  SDCMD_REQUIRE(!has_element_.empty(), "unbalanced end_array");
+  has_element_.pop_back();
+  out_ += ']';
+}
+
+void JsonWriter::key(std::string_view k) {
+  separate();
+  append_json_string(out_, k);
+  out_ += ':';
+  after_key_ = true;
+}
+
+void JsonWriter::value(const JsonValue& v) {
+  separate();
+  v.append_to(out_);
+}
+
+void JsonWriter::value(std::string_view s) {
+  separate();
+  append_json_string(out_, s);
+}
+
+void JsonWriter::value(double d) {
+  separate();
+  append_json_number(out_, d);
+}
+
+void JsonWriter::value(std::int64_t i) {
+  separate();
+  out_ += std::to_string(i);
+}
+
+void JsonWriter::value(bool b) {
+  separate();
+  out_ += b ? "true" : "false";
+}
+
+}  // namespace sdcmd::obs

@@ -1,0 +1,87 @@
+// Minimal JSON emission for the observability exporters (JSONL step
+// metrics, Chrome trace events, versioned bench reports). Writing only: the
+// consumers are jq / python / Perfetto, not this library. Numbers are
+// emitted with enough digits to round-trip doubles; NaN/Inf (not
+// representable in JSON) degrade to null so a poisoned metric can never
+// produce an unparseable file.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace sdcmd::obs {
+
+/// Tagged scalar for heterogeneous records (bench result rows, trace args).
+class JsonValue {
+ public:
+  JsonValue() : type_(Type::Null) {}
+  JsonValue(bool b) : type_(Type::Bool), bool_(b) {}
+  JsonValue(double d) : type_(Type::Double), double_(d) {}
+  JsonValue(std::int64_t i) : type_(Type::Int), int_(i) {}
+  JsonValue(int i) : JsonValue(static_cast<std::int64_t>(i)) {}
+  JsonValue(std::size_t u) : JsonValue(static_cast<std::int64_t>(u)) {}
+  JsonValue(std::string s) : type_(Type::String), string_(std::move(s)) {}
+  JsonValue(const char* s) : JsonValue(std::string(s)) {}
+
+  /// Append this value's JSON text to `out`.
+  void append_to(std::string& out) const;
+
+ private:
+  enum class Type { Null, Bool, Int, Double, String };
+  Type type_;
+  bool bool_ = false;
+  std::int64_t int_ = 0;
+  double double_ = 0.0;
+  std::string string_;
+};
+
+/// Append `"..."` with JSON escaping.
+void append_json_string(std::string& out, std::string_view s);
+
+/// Append a double (null when non-finite).
+void append_json_number(std::string& out, double value);
+
+/// Streaming writer building one JSON document into a string buffer.
+/// Commas are inserted automatically; the caller only balances
+/// begin/end calls.
+class JsonWriter {
+ public:
+  explicit JsonWriter(std::string& out) : out_(out) {}
+
+  void begin_object();
+  void end_object();
+  void begin_array();
+  void end_array();
+
+  /// Object member key; must be followed by exactly one value or container.
+  void key(std::string_view k);
+
+  void value(const JsonValue& v);
+  void value(std::string_view s);
+  void value(const char* s) { value(std::string_view(s)); }
+  void value(const std::string& s) { value(std::string_view(s)); }
+  void value(double d);
+  void value(std::int64_t i);
+  void value(int i) { value(static_cast<std::int64_t>(i)); }
+  void value(std::size_t u) { value(static_cast<std::int64_t>(u)); }
+  void value(bool b);
+
+  /// key() + value() in one call.
+  template <typename T>
+  void member(std::string_view k, const T& v) {
+    key(k);
+    value(v);
+  }
+
+ private:
+  void separate();
+
+  std::string& out_;
+  // One frame per open container: true once the first element was written.
+  std::vector<bool> has_element_;
+  bool after_key_ = false;
+};
+
+}  // namespace sdcmd::obs

@@ -1,0 +1,75 @@
+#include "obs/jsonl.hpp"
+
+#include "obs/json.hpp"
+
+namespace sdcmd::obs {
+
+namespace {
+
+void append_stats_object(JsonWriter& w, const RunningStats& s) {
+  w.begin_object();
+  w.member("count", s.count());
+  w.member("sum", s.sum());
+  w.member("mean", s.mean());
+  w.member("min", s.min());
+  w.member("max", s.max());
+  w.end_object();
+}
+
+}  // namespace
+
+StepMetricsWriter::StepMetricsWriter(const std::string& path) : out_(path) {}
+
+void StepMetricsWriter::write_step(long step, MetricsRegistry& registry,
+                                   const SdcSweepProfiler* sweep,
+                                   double wall_seconds) {
+  const auto samples = registry.step_snapshot();
+  if (!out_) return;
+
+  line_.clear();
+  JsonWriter w(line_);
+  w.begin_object();
+  w.member("schema", "sdcmd.step_metrics.v1");
+  w.member("step", step);
+  if (wall_seconds > 0.0) w.member("wall_s", wall_seconds);
+
+  w.key("metrics");
+  w.begin_object();
+  for (const auto& s : samples) {
+    w.key(s.name);
+    if (s.kind == MetricKind::Stats) {
+      append_stats_object(w, s.window);
+    } else {
+      w.value(s.value);
+    }
+  }
+  w.end_object();
+
+  if (sweep != nullptr) {
+    const auto profiles = sweep->color_profiles();
+    if (!profiles.empty()) {
+      w.key("sweep");
+      w.begin_array();
+      for (const auto& p : profiles) {
+        w.begin_object();
+        w.member("phase", sweep->phase_name(p.phase));
+        w.member("color", p.color);
+        w.member("threads", p.threads);
+        w.member("work_max_s", p.work_max);
+        w.member("work_mean_s", p.work_mean);
+        w.member("work_min_s", p.work_min);
+        w.member("imbalance", p.imbalance);
+        w.member("wait_max_s", p.wait_max);
+        w.member("wait_mean_s", p.wait_mean);
+        w.end_object();
+      }
+      w.end_array();
+    }
+  }
+  w.end_object();
+
+  out_ << line_ << '\n';
+  ++records_;
+}
+
+}  // namespace sdcmd::obs

@@ -1,0 +1,62 @@
+// JSONL step-metrics exporter: one JSON object per line, one line per
+// simulation (or bench) step, so a run's perf trajectory can be tailed,
+// jq-filtered, or bulk-loaded without a closing bracket ever going missing
+// on a crash.
+//
+// Record schema "sdcmd.step_metrics.v1":
+//   {
+//     "schema": "sdcmd.step_metrics.v1",
+//     "step": 42,
+//     "wall_s": 0.0123,                       // optional, step wall time
+//     "metrics": {                            // registry step snapshot
+//       "sim.neighbor_rebuilds": 1,           // counters: delta this step
+//       "sim.dt": 1e-4,                       // gauges: current value
+//       "force.step_seconds": {               // stats: window distribution
+//         "count": 2, "sum": ..., "mean": ..., "min": ..., "max": ...
+//       }
+//     },
+//     "sweep": [                              // per-color SDC profile
+//       {"phase": "density", "color": 0, "threads": 4,
+//        "work_max_s": ..., "work_mean_s": ..., "work_min_s": ...,
+//        "imbalance": 1.07,
+//        "wait_max_s": ..., "wait_mean_s": ...},
+//       ...
+//     ]
+//   }
+// "wall_s" and "sweep" appear only when provided; "metrics" members only
+// when they moved during the step. See docs/observability.md.
+#pragma once
+
+#include <fstream>
+#include <string>
+
+#include "obs/metrics.hpp"
+#include "obs/sweep_profile.hpp"
+
+namespace sdcmd::obs {
+
+class StepMetricsWriter {
+ public:
+  /// Opens (truncates) `path`. Check ok(): records are dropped when the
+  /// file could not be opened, mirroring CsvWriter.
+  explicit StepMetricsWriter(const std::string& path);
+
+  bool ok() const { return static_cast<bool>(out_); }
+  std::size_t records() const { return records_; }
+
+  /// Append one step record. `registry` contributes its step snapshot
+  /// (consumed: windows reset); `sweep` contributes per-color profiles when
+  /// non-null and populated; `wall_seconds` > 0 adds the step wall time.
+  void write_step(long step, MetricsRegistry& registry,
+                  const SdcSweepProfiler* sweep = nullptr,
+                  double wall_seconds = 0.0);
+
+  void flush() { out_.flush(); }
+
+ private:
+  std::ofstream out_;
+  std::size_t records_ = 0;
+  std::string line_;  ///< reused per record
+};
+
+}  // namespace sdcmd::obs

@@ -1,0 +1,87 @@
+#include "obs/metrics.hpp"
+
+#include "common/error.hpp"
+
+namespace sdcmd::obs {
+
+std::string to_string(MetricKind kind) {
+  switch (kind) {
+    case MetricKind::Counter: return "counter";
+    case MetricKind::Gauge: return "gauge";
+    case MetricKind::Stats: return "stats";
+  }
+  return "?";
+}
+
+MetricsRegistry::Handle MetricsRegistry::intern(const std::string& name,
+                                                MetricKind kind) {
+  if (auto it = index_.find(name); it != index_.end()) {
+    SDCMD_REQUIRE(slots_[it->second].kind == kind,
+                  "metric '" + name + "' already registered as " +
+                      to_string(slots_[it->second].kind));
+    return it->second;
+  }
+  slots_.push_back(Slot{name, kind, 0.0, 0.0, {}, {}});
+  const Handle h = slots_.size() - 1;
+  index_.emplace(name, h);
+  return h;
+}
+
+MetricsRegistry::Handle MetricsRegistry::counter(const std::string& name) {
+  return intern(name, MetricKind::Counter);
+}
+
+MetricsRegistry::Handle MetricsRegistry::gauge(const std::string& name) {
+  return intern(name, MetricKind::Gauge);
+}
+
+MetricsRegistry::Handle MetricsRegistry::stats(const std::string& name) {
+  return intern(name, MetricKind::Stats);
+}
+
+std::vector<MetricsRegistry::Sample> MetricsRegistry::step_snapshot() {
+  std::vector<Sample> out;
+  out.reserve(slots_.size());
+  for (Slot& s : slots_) {
+    switch (s.kind) {
+      case MetricKind::Counter: {
+        const double delta = s.value - s.snapshot_value;
+        s.snapshot_value = s.value;
+        if (delta != 0.0) out.push_back({s.name, s.kind, delta, {}});
+        break;
+      }
+      case MetricKind::Gauge:
+        out.push_back({s.name, s.kind, s.value, {}});
+        break;
+      case MetricKind::Stats:
+        if (s.window.count() > 0) {
+          out.push_back({s.name, s.kind, s.window.sum(), s.window});
+          s.window.reset();
+        }
+        break;
+    }
+  }
+  return out;
+}
+
+std::vector<MetricsRegistry::Sample> MetricsRegistry::totals() const {
+  std::vector<Sample> out;
+  out.reserve(slots_.size());
+  for (const Slot& s : slots_) {
+    out.push_back({s.name, s.kind,
+                   s.kind == MetricKind::Stats ? s.total.sum() : s.value,
+                   s.total});
+  }
+  return out;
+}
+
+void MetricsRegistry::reset() {
+  for (Slot& s : slots_) {
+    s.value = 0.0;
+    s.snapshot_value = 0.0;
+    s.total.reset();
+    s.window.reset();
+  }
+}
+
+}  // namespace sdcmd::obs

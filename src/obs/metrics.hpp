@@ -1,0 +1,130 @@
+// MetricsRegistry: named counters, gauges and RunningStats-backed timing
+// distributions with step-scoped snapshots.
+//
+// Design constraints (ISSUE 2):
+//  * compiled-in but cheap: every mutation is guarded by a single branch on
+//    enabled(), so a disabled registry costs one predictable-false test;
+//  * interned handles: names are resolved to indices once at setup, the hot
+//    path never touches a string (the PhaseTimers lesson applied from the
+//    start);
+//  * step-scoped snapshots: step_snapshot() reports counter deltas and
+//    windowed stats since the previous call, so a JSONL line describes one
+//    step, not the run so far.
+//
+// The registry is NOT thread-safe: it belongs to the driver thread. The
+// per-thread data produced inside OpenMP regions goes through
+// SdcSweepProfiler (preallocated per-thread slots) and is folded into the
+// registry after the parallel region ends.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "common/stats.hpp"
+#include "common/timer.hpp"
+
+namespace sdcmd::obs {
+
+enum class MetricKind { Counter, Gauge, Stats };
+
+std::string to_string(MetricKind kind);
+
+class MetricsRegistry {
+ public:
+  using Handle = std::size_t;
+
+  /// Intern a metric name (idempotent: same name, same kind -> same
+  /// handle; same name with a different kind throws PreconditionError).
+  Handle counter(const std::string& name);
+  Handle gauge(const std::string& name);
+  Handle stats(const std::string& name);
+
+  /// A registry starts enabled; a disabled one turns every mutation into
+  /// a single branch.
+  bool enabled() const { return enabled_; }
+  void set_enabled(bool on) { enabled_ = on; }
+
+  void add(Handle h, double delta = 1.0) {
+    if (!enabled_) return;
+    slots_[h].value += delta;
+  }
+  void set(Handle h, double value) {
+    if (!enabled_) return;
+    slots_[h].value = value;
+  }
+  void observe(Handle h, double sample) {
+    if (!enabled_) return;
+    Slot& s = slots_[h];
+    s.total.add(sample);
+    s.window.add(sample);
+  }
+
+  std::size_t size() const { return slots_.size(); }
+  const std::string& name(Handle h) const { return slots_[h].name; }
+  MetricKind kind(Handle h) const { return slots_[h].kind; }
+
+  /// Cumulative counter/gauge value.
+  double value(Handle h) const { return slots_[h].value; }
+  /// Cumulative distribution of an observe()d metric.
+  const RunningStats& total_stats(Handle h) const { return slots_[h].total; }
+
+  struct Sample {
+    std::string name;
+    MetricKind kind = MetricKind::Counter;
+    /// Counter: delta over the step window. Gauge: current value.
+    /// Stats: window.count() etc. carry the distribution.
+    double value = 0.0;
+    RunningStats window;
+  };
+
+  /// Everything that moved since the previous step_snapshot() (counters
+  /// with zero delta and empty stats windows are skipped; gauges are always
+  /// reported). Resets the step windows.
+  std::vector<Sample> step_snapshot();
+
+  /// Cumulative view of every registered metric; does not touch windows.
+  std::vector<Sample> totals() const;
+
+  /// Zero all values, windows and cumulative stats (handles stay valid).
+  void reset();
+
+ private:
+  struct Slot {
+    std::string name;
+    MetricKind kind;
+    double value = 0.0;
+    double snapshot_value = 0.0;  ///< counter value at the last snapshot
+    RunningStats total;
+    RunningStats window;
+  };
+
+  Handle intern(const std::string& name, MetricKind kind);
+
+  bool enabled_ = true;
+  std::vector<Slot> slots_;
+  std::unordered_map<std::string, Handle> index_;
+};
+
+/// RAII span feeding a stats metric with its lifetime in seconds. With a
+/// null or disabled registry, construction is one branch and no clock read.
+class MetricSpan {
+ public:
+  MetricSpan(MetricsRegistry* registry, MetricsRegistry::Handle handle)
+      : registry_(registry), handle_(handle) {
+    if (registry_ && registry_->enabled()) start_ = wall_time();
+  }
+  ~MetricSpan() {
+    if (start_ >= 0.0) registry_->observe(handle_, wall_time() - start_);
+  }
+  MetricSpan(const MetricSpan&) = delete;
+  MetricSpan& operator=(const MetricSpan&) = delete;
+
+ private:
+  MetricsRegistry* registry_;
+  MetricsRegistry::Handle handle_;
+  double start_ = -1.0;
+};
+
+}  // namespace sdcmd::obs

@@ -1,0 +1,64 @@
+#include "obs/sweep_profile.hpp"
+
+#include <algorithm>
+
+#include "common/error.hpp"
+
+namespace sdcmd::obs {
+
+void SdcSweepProfiler::configure(std::vector<std::string> phase_names,
+                                 int colors, int threads) {
+  SDCMD_REQUIRE(colors >= 1 && threads >= 1,
+                "sweep profiler needs at least one color and one thread");
+  if (phase_names == phase_names_ && colors == colors_ &&
+      threads == threads_) {
+    return;
+  }
+  phase_names_ = std::move(phase_names);
+  colors_ = colors;
+  threads_ = threads;
+  samples_.assign(phase_names_.size() * static_cast<std::size_t>(colors_) *
+                      static_cast<std::size_t>(threads_),
+                  SweepSample{});
+}
+
+void SdcSweepProfiler::begin_step() {
+  std::fill(samples_.begin(), samples_.end(), SweepSample{});
+}
+
+std::vector<SdcSweepProfiler::ColorProfile>
+SdcSweepProfiler::color_profiles() const {
+  std::vector<ColorProfile> out;
+  for (int p = 0; p < phases(); ++p) {
+    for (int c = 0; c < colors_; ++c) {
+      ColorProfile prof;
+      prof.phase = p;
+      prof.color = c;
+      double work_sum = 0.0, wait_sum = 0.0;
+      for (int t = 0; t < threads_; ++t) {
+        const SweepSample& s = sample(p, c, t);
+        if (!s.valid) continue;
+        if (prof.threads == 0) {
+          prof.work_max = prof.work_min = s.work;
+          prof.wait_max = s.wait;
+        } else {
+          prof.work_max = std::max(prof.work_max, s.work);
+          prof.work_min = std::min(prof.work_min, s.work);
+          prof.wait_max = std::max(prof.wait_max, s.wait);
+        }
+        work_sum += s.work;
+        wait_sum += s.wait;
+        ++prof.threads;
+      }
+      if (prof.threads == 0) continue;
+      prof.work_mean = work_sum / prof.threads;
+      prof.wait_mean = wait_sum / prof.threads;
+      prof.imbalance =
+          prof.work_mean > 0.0 ? prof.work_max / prof.work_mean : 1.0;
+      out.push_back(prof);
+    }
+  }
+  return out;
+}
+
+}  // namespace sdcmd::obs

@@ -1,0 +1,101 @@
+// Per-thread x per-color span timing for the SDC color sweep.
+//
+// The paper's only synchronization is the barrier between colors, so the
+// two numbers that explain SDC performance are (a) how unevenly a color's
+// subdomains load the threads (the slowest thread sets the color's pace)
+// and (b) how long the other threads then sit in the barrier. The profiled
+// kernel variants time, per thread and per color,
+//
+//   work = time inside the orphaned `omp for` over the color's subdomains
+//   wait = time blocked at the explicit barrier that ends the color
+//
+// and record them here. Slots are preallocated ((phases x colors) x
+// threads) and each OpenMP thread writes only its own slot, so record() is
+// wait-free and needs no synchronization. When the profiler is disabled the
+// kernels take their original non-instrumented path and never read a clock
+// -- the cost is one branch per phase call.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+namespace sdcmd::obs {
+
+/// One thread's view of one color sweep. Times in seconds; `start` is the
+/// wall_time() at color entry so exporters can rebuild a real timeline.
+struct SweepSample {
+  double start = 0.0;
+  double work = 0.0;
+  double wait = 0.0;
+  bool valid = false;  ///< set by record(); distinguishes idle slots
+};
+
+class SdcSweepProfiler {
+ public:
+  /// Shape the sample store: one named phase per instrumented sweep (EAM:
+  /// density/embed/force), `colors` colors, `threads` OpenMP threads.
+  /// Idempotent when the shape is unchanged; otherwise reallocates.
+  void configure(std::vector<std::string> phase_names, int colors,
+                 int threads);
+
+  /// Disabled by default; kernels check this before taking the timed path.
+  bool enabled() const { return enabled_; }
+  void set_enabled(bool on) { enabled_ = on; }
+
+  int phases() const { return static_cast<int>(phase_names_.size()); }
+  int colors() const { return colors_; }
+  int threads() const { return threads_; }
+  const std::string& phase_name(int phase) const {
+    return phase_names_[static_cast<std::size_t>(phase)];
+  }
+
+  /// Invalidate all samples; call at the start of each profiled step.
+  void begin_step();
+
+  /// Called from inside the parallel region; each (phase, color, thread)
+  /// triple is owned by exactly one thread.
+  void record(int phase, int color, int thread, const SweepSample& sample) {
+    samples_[slot(phase, color, thread)] = sample;
+  }
+
+  const SweepSample& sample(int phase, int color, int thread) const {
+    return samples_[slot(phase, color, thread)];
+  }
+
+  /// Load/wait summary of one color sweep, aggregated over the threads
+  /// that participated.
+  struct ColorProfile {
+    int phase = 0;
+    int color = 0;
+    int threads = 0;       ///< threads that recorded a sample
+    double work_max = 0.0;
+    double work_mean = 0.0;
+    double work_min = 0.0;
+    double wait_max = 0.0;
+    double wait_mean = 0.0;
+    /// max/mean thread work; 1.0 = perfectly balanced color.
+    double imbalance = 0.0;
+  };
+
+  /// Profiles for every (phase, color) with at least one valid sample,
+  /// phase-major, for the sweep recorded since begin_step().
+  std::vector<ColorProfile> color_profiles() const;
+
+ private:
+  std::size_t slot(int phase, int color, int thread) const {
+    return (static_cast<std::size_t>(phase) *
+                static_cast<std::size_t>(colors_) +
+            static_cast<std::size_t>(color)) *
+               static_cast<std::size_t>(threads_) +
+           static_cast<std::size_t>(thread);
+  }
+
+  bool enabled_ = false;
+  std::vector<std::string> phase_names_;
+  int colors_ = 0;
+  int threads_ = 0;
+  std::vector<SweepSample> samples_;
+};
+
+}  // namespace sdcmd::obs

@@ -1,0 +1,130 @@
+#include "obs/trace.hpp"
+
+#include <fstream>
+
+namespace sdcmd::obs {
+
+namespace {
+constexpr double kMicro = 1e6;  // trace timestamps are microseconds
+}
+
+void TraceWriter::set_time_origin(double t0_seconds) {
+  origin_ = t0_seconds;
+  have_origin_ = true;
+}
+
+double TraceWriter::origin(double t) {
+  if (!have_origin_) {
+    origin_ = t;
+    have_origin_ = true;
+  }
+  return t - origin_;
+}
+
+void TraceWriter::set_thread_name(int tid, const std::string& name) {
+  for (auto& [existing_tid, existing_name] : thread_names_) {
+    if (existing_tid == tid) {
+      existing_name = name;
+      return;
+    }
+  }
+  thread_names_.emplace_back(tid, name);
+}
+
+void TraceWriter::complete_event(const std::string& name,
+                                 const std::string& category,
+                                 double start_seconds,
+                                 double duration_seconds, int tid) {
+  events_.push_back(
+      Event{name, category, 'X', origin(start_seconds), duration_seconds,
+            tid, 0.0});
+}
+
+void TraceWriter::instant_event(const std::string& name,
+                                const std::string& category,
+                                double t_seconds, int tid) {
+  events_.push_back(
+      Event{name, category, 'i', origin(t_seconds), 0.0, tid, 0.0});
+}
+
+void TraceWriter::counter_event(const std::string& name, double t_seconds,
+                                double value) {
+  events_.push_back(
+      Event{name, "counter", 'C', origin(t_seconds), 0.0, 0, value});
+}
+
+std::string TraceWriter::to_json() const {
+  std::string out;
+  JsonWriter w(out);
+  w.begin_object();
+  w.key("traceEvents");
+  w.begin_array();
+  for (const auto& [tid, name] : thread_names_) {
+    w.begin_object();
+    w.member("name", "thread_name");
+    w.member("ph", "M");
+    w.member("pid", 1);
+    w.member("tid", tid);
+    w.key("args");
+    w.begin_object();
+    w.member("name", name);
+    w.end_object();
+    w.end_object();
+  }
+  for (const Event& e : events_) {
+    w.begin_object();
+    w.member("name", e.name);
+    w.member("cat", e.category);
+    w.member("ph", std::string(1, e.phase));
+    w.member("ts", e.start * kMicro);
+    if (e.phase == 'X') w.member("dur", e.dur * kMicro);
+    if (e.phase == 'i') w.member("s", "t");  // thread-scoped instant
+    w.member("pid", 1);
+    w.member("tid", e.tid);
+    if (e.phase == 'C') {
+      w.key("args");
+      w.begin_object();
+      w.member("value", e.value);
+      w.end_object();
+    }
+    w.end_object();
+  }
+  w.end_array();
+  w.member("displayTimeUnit", "ms");
+  w.end_object();
+  return out;
+}
+
+bool TraceWriter::write(const std::string& path) const {
+  std::ofstream out(path);
+  if (!out) return false;
+  out << to_json() << '\n';
+  return static_cast<bool>(out);
+}
+
+void append_sweep_events(TraceWriter& trace, const SdcSweepProfiler& sweep,
+                         const std::string& label_prefix) {
+  for (int t = 0; t < sweep.threads(); ++t) {
+    trace.set_thread_name(t, "omp thread " + std::to_string(t));
+  }
+  for (int p = 0; p < sweep.phases(); ++p) {
+    const std::string& phase = sweep.phase_name(p);
+    for (int c = 0; c < sweep.colors(); ++c) {
+      for (int t = 0; t < sweep.threads(); ++t) {
+        const SweepSample& s = sweep.sample(p, c, t);
+        if (!s.valid) continue;
+        const std::string label =
+            label_prefix.empty()
+                ? phase + "/c" + std::to_string(c)
+                : label_prefix + phase + "/c" + std::to_string(c);
+        trace.complete_event(label, phase, s.start, s.work, t);
+        if (s.wait > 0.0) {
+          trace.complete_event("barrier", "barrier", s.start + s.work,
+                               s.wait, t);
+        }
+      }
+    }
+  }
+}
+
+}  // namespace sdcmd::obs

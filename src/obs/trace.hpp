@@ -1,0 +1,77 @@
+// Chrome trace-event exporter. The output is the classic JSON-array trace
+// format ({"traceEvents": [...]}) that chrome://tracing and Perfetto's
+// legacy importer both load, so a bench or simulation run can be inspected
+// on a real timeline: one track per OpenMP thread, one slice per
+// (phase, color) sweep, and the barrier wait visible as the gap between a
+// slice's end and the next color's start.
+//
+// Events are buffered in memory and written once; collection happens on the
+// driver thread (kernels record into SdcSweepProfiler's wait-free slots,
+// and append_sweep_events() folds a profiled step into the trace
+// afterwards), so no locking is needed.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "obs/json.hpp"
+#include "obs/sweep_profile.hpp"
+
+namespace sdcmd::obs {
+
+class TraceWriter {
+ public:
+  /// Wall-clock origin subtracted from every timestamp so traces start at
+  /// t=0. Set it once before the first event (defaults to the first
+  /// event's start).
+  void set_time_origin(double t0_seconds);
+
+  /// Name a thread track (tid) in the viewer.
+  void set_thread_name(int tid, const std::string& name);
+
+  /// A complete ("ph":"X") duration event on thread track `tid`.
+  void complete_event(const std::string& name, const std::string& category,
+                      double start_seconds, double duration_seconds, int tid);
+
+  /// An instant ("ph":"i") event, e.g. a rollback or checkpoint marker.
+  void instant_event(const std::string& name, const std::string& category,
+                     double t_seconds, int tid);
+
+  /// A counter ("ph":"C") sample, rendered as a stacked chart.
+  void counter_event(const std::string& name, double t_seconds, double value);
+
+  std::size_t size() const { return events_.size(); }
+
+  /// The whole trace as a JSON document.
+  std::string to_json() const;
+
+  /// Write to `path`; false when the file cannot be opened.
+  bool write(const std::string& path) const;
+
+ private:
+  struct Event {
+    std::string name;
+    std::string category;
+    char phase;        // 'X', 'i', 'C', 'M'
+    double start = 0;  // seconds, origin-relative
+    double dur = 0;    // seconds ('X' only)
+    int tid = 0;
+    double value = 0;  // 'C' only
+  };
+
+  double origin(double t);
+
+  bool have_origin_ = false;
+  double origin_ = 0.0;
+  std::vector<Event> events_;
+  std::vector<std::pair<int, std::string>> thread_names_;
+};
+
+/// Fold one profiled step into the trace: a work slice per (phase, color,
+/// thread) plus a "barrier" slice covering each thread's wait, tracks named
+/// "omp thread N". `label_prefix` disambiguates steps ("step 12/density").
+void append_sweep_events(TraceWriter& trace, const SdcSweepProfiler& sweep,
+                         const std::string& label_prefix = "");
+
+}  // namespace sdcmd::obs

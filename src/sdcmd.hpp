@@ -42,6 +42,14 @@
 #include "potential/setfl_alloy.hpp"
 #include "potential/tabulated.hpp"
 
+// observability: metrics, sweep profiling, JSONL/trace/bench exporters
+#include "obs/bench_report.hpp"
+#include "obs/json.hpp"
+#include "obs/jsonl.hpp"
+#include "obs/metrics.hpp"
+#include "obs/sweep_profile.hpp"
+#include "obs/trace.hpp"
+
 // neighbor machinery: cells, Verlet lists, data reordering
 #include "neighbor/cell_list.hpp"
 #include "neighbor/neighbor_list.hpp"

@@ -1,0 +1,644 @@
+// Observability subsystem: metrics registry semantics, JSON emission,
+// JSONL / Chrome-trace exporters, SDC sweep profiling (including numerics
+// parity between the profiled and plain kernel paths), simulation wiring,
+// and the ThermoLog CSV round-trip.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <limits>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "common/error.hpp"
+#include "common/timer.hpp"
+#include "common/units.hpp"
+#include "core/eam_force.hpp"
+#include "geom/lattice.hpp"
+#include "md/simulation.hpp"
+#include "md/thermo_log.hpp"
+#include "obs/bench_report.hpp"
+#include "obs/json.hpp"
+#include "obs/jsonl.hpp"
+#include "obs/metrics.hpp"
+#include "obs/sweep_profile.hpp"
+#include "obs/trace.hpp"
+#include "potential/finnis_sinclair.hpp"
+
+namespace sdcmd {
+namespace {
+
+std::string temp_path(const std::string& name) {
+  return testing::TempDir() + name;
+}
+
+std::string slurp(const std::string& path) {
+  std::ifstream in(path);
+  std::ostringstream os;
+  os << in.rdbuf();
+  return os.str();
+}
+
+// ---------------------------------------------------------------- metrics
+
+TEST(MetricsRegistry, InterningIsIdempotentPerKind) {
+  obs::MetricsRegistry reg;
+  const auto a = reg.counter("x");
+  EXPECT_EQ(reg.counter("x"), a);
+  EXPECT_NE(reg.gauge("g"), a);
+  EXPECT_THROW(reg.gauge("x"), PreconditionError);
+  EXPECT_THROW(reg.stats("x"), PreconditionError);
+  EXPECT_EQ(reg.size(), 2u);
+  EXPECT_EQ(reg.name(a), "x");
+  EXPECT_EQ(reg.kind(a), obs::MetricKind::Counter);
+}
+
+TEST(MetricsRegistry, StepSnapshotReportsDeltas) {
+  obs::MetricsRegistry reg;
+  const auto c = reg.counter("c");
+  const auto g = reg.gauge("g");
+  reg.add(c, 3.0);
+  reg.set(g, 42.0);
+
+  auto snap = reg.step_snapshot();
+  ASSERT_EQ(snap.size(), 2u);
+  EXPECT_EQ(snap[0].name, "c");
+  EXPECT_DOUBLE_EQ(snap[0].value, 3.0);  // delta
+  EXPECT_DOUBLE_EQ(snap[1].value, 42.0);
+
+  reg.add(c, 2.0);
+  snap = reg.step_snapshot();
+  // Counter delta is 2 (not 5); the unchanged gauge is still reported.
+  ASSERT_EQ(snap.size(), 2u);
+  EXPECT_DOUBLE_EQ(snap[0].value, 2.0);
+  EXPECT_DOUBLE_EQ(reg.value(c), 5.0);  // cumulative survives
+
+  // Nothing moved: only the gauge appears.
+  snap = reg.step_snapshot();
+  ASSERT_EQ(snap.size(), 1u);
+  EXPECT_EQ(snap[0].name, "g");
+}
+
+TEST(MetricsRegistry, StatsWindowsResetAtSnapshot) {
+  obs::MetricsRegistry reg;
+  const auto s = reg.stats("t");
+  reg.observe(s, 1.0);
+  reg.observe(s, 3.0);
+
+  auto snap = reg.step_snapshot();
+  ASSERT_EQ(snap.size(), 1u);
+  EXPECT_EQ(snap[0].window.count(), 2u);
+  EXPECT_DOUBLE_EQ(snap[0].window.mean(), 2.0);
+
+  reg.observe(s, 10.0);
+  snap = reg.step_snapshot();
+  ASSERT_EQ(snap.size(), 1u);
+  EXPECT_EQ(snap[0].window.count(), 1u);  // window reset between snapshots
+  EXPECT_DOUBLE_EQ(snap[0].window.mean(), 10.0);
+  EXPECT_EQ(reg.total_stats(s).count(), 3u);  // cumulative keeps everything
+}
+
+TEST(MetricsRegistry, DisabledMutationsAreDropped) {
+  obs::MetricsRegistry reg;
+  const auto c = reg.counter("c");
+  const auto s = reg.stats("s");
+  reg.set_enabled(false);
+  reg.add(c, 5.0);
+  reg.observe(s, 1.0);
+  EXPECT_DOUBLE_EQ(reg.value(c), 0.0);
+  EXPECT_EQ(reg.total_stats(s).count(), 0u);
+  reg.set_enabled(true);
+  reg.add(c);
+  EXPECT_DOUBLE_EQ(reg.value(c), 1.0);
+}
+
+TEST(MetricsRegistry, ResetZeroesButKeepsHandles) {
+  obs::MetricsRegistry reg;
+  const auto c = reg.counter("c");
+  reg.add(c, 9.0);
+  (void)reg.step_snapshot();
+  reg.reset();
+  EXPECT_DOUBLE_EQ(reg.value(c), 0.0);
+  reg.add(c, 1.0);
+  auto snap = reg.step_snapshot();
+  ASSERT_EQ(snap.size(), 1u);
+  EXPECT_DOUBLE_EQ(snap[0].value, 1.0);
+}
+
+TEST(MetricSpan, ObservesElapsedAndToleratesNullRegistry) {
+  obs::MetricsRegistry reg;
+  const auto s = reg.stats("span");
+  {
+    obs::MetricSpan span(&reg, s);
+  }
+  EXPECT_EQ(reg.total_stats(s).count(), 1u);
+  EXPECT_GE(reg.total_stats(s).min(), 0.0);
+  {
+    obs::MetricSpan null_span(nullptr, 0);  // must not crash
+  }
+  reg.set_enabled(false);
+  {
+    obs::MetricSpan span(&reg, s);
+  }
+  EXPECT_EQ(reg.total_stats(s).count(), 1u);  // disabled: no observation
+}
+
+// ------------------------------------------------------------------- json
+
+TEST(Json, StringEscaping) {
+  std::string out;
+  obs::append_json_string(out, "a\"b\\c\n\t\x01");
+  EXPECT_EQ(out, "\"a\\\"b\\\\c\\n\\t\\u0001\"");
+}
+
+TEST(Json, NonFiniteNumbersBecomeNull) {
+  std::string out;
+  obs::append_json_number(out, std::numeric_limits<double>::quiet_NaN());
+  out += ",";
+  obs::append_json_number(out, std::numeric_limits<double>::infinity());
+  EXPECT_EQ(out, "null,null");
+}
+
+TEST(Json, WriterBuildsNestedDocument) {
+  std::string out;
+  obs::JsonWriter w(out);
+  w.begin_object();
+  w.member("a", 1);
+  w.key("list");
+  w.begin_array();
+  w.value(2.5);
+  w.value("x");
+  w.value(true);
+  w.value(obs::JsonValue());
+  w.end_array();
+  w.key("nested");
+  w.begin_object();
+  w.member("b", std::string("q"));
+  w.end_object();
+  w.end_object();
+  EXPECT_EQ(out, R"({"a":1,"list":[2.5,"x",true,null],"nested":{"b":"q"}})");
+}
+
+// ---------------------------------------------------------- sweep profile
+
+TEST(SdcSweepProfiler, ColorProfileMath) {
+  obs::SdcSweepProfiler prof;
+  prof.configure({"density", "force"}, 2, 3);
+  prof.set_enabled(true);
+  prof.begin_step();
+
+  // Color 0 of "density": thread work 1.0 / 3.0 / 2.0 -> mean 2, max 3.
+  for (int t = 0; t < 3; ++t) {
+    obs::SweepSample s;
+    s.start = 0.0;
+    s.work = 1.0 + ((t * 2) % 3);  // 1, 3, 2
+    s.wait = 3.0 - s.work;         // 2, 0, 1
+    s.valid = true;
+    prof.record(0, 0, t, s);
+  }
+  // Color 1 untouched; phase "force" gets one single-thread sample.
+  obs::SweepSample f;
+  f.work = 4.0;
+  f.valid = true;
+  prof.record(1, 1, 2, f);
+
+  const auto profiles = prof.color_profiles();
+  ASSERT_EQ(profiles.size(), 2u);
+
+  EXPECT_EQ(profiles[0].phase, 0);
+  EXPECT_EQ(profiles[0].color, 0);
+  EXPECT_EQ(profiles[0].threads, 3);
+  EXPECT_DOUBLE_EQ(profiles[0].work_max, 3.0);
+  EXPECT_DOUBLE_EQ(profiles[0].work_mean, 2.0);
+  EXPECT_DOUBLE_EQ(profiles[0].work_min, 1.0);
+  EXPECT_DOUBLE_EQ(profiles[0].imbalance, 1.5);
+  EXPECT_DOUBLE_EQ(profiles[0].wait_max, 2.0);
+  EXPECT_DOUBLE_EQ(profiles[0].wait_mean, 1.0);
+
+  EXPECT_EQ(profiles[1].phase, 1);
+  EXPECT_EQ(profiles[1].color, 1);
+  EXPECT_EQ(profiles[1].threads, 1);
+  EXPECT_DOUBLE_EQ(profiles[1].imbalance, 1.0);
+
+  prof.begin_step();
+  EXPECT_TRUE(prof.color_profiles().empty());  // samples invalidated
+}
+
+TEST(SdcSweepProfiler, ConfigureIsIdempotentOnSameShape) {
+  obs::SdcSweepProfiler prof;
+  prof.configure({"a"}, 2, 2);
+  obs::SweepSample s;
+  s.work = 1.0;
+  s.valid = true;
+  prof.record(0, 1, 1, s);
+  prof.configure({"a"}, 2, 2);  // same shape: samples survive
+  EXPECT_EQ(prof.color_profiles().size(), 1u);
+  prof.configure({"a"}, 3, 2);  // new shape: reallocated
+  EXPECT_EQ(prof.colors(), 3);
+  EXPECT_TRUE(prof.color_profiles().empty());
+}
+
+// -------------------------------------------------------------- exporters
+
+TEST(StepMetricsWriter, EmitsOneSchemaTaggedLinePerStep) {
+  obs::MetricsRegistry reg;
+  const auto c = reg.counter("sim.steps");
+  const std::string path = temp_path("sdcmd_steps.jsonl");
+  {
+    obs::StepMetricsWriter w(path);
+    ASSERT_TRUE(w.ok());
+    reg.add(c, 1.0);
+    w.write_step(1, reg, nullptr, 0.25);
+    reg.add(c, 1.0);
+    w.write_step(2, reg);
+    EXPECT_EQ(w.records(), 2u);
+    w.flush();
+  }
+  std::ifstream in(path);
+  std::string l1, l2, extra;
+  ASSERT_TRUE(std::getline(in, l1));
+  ASSERT_TRUE(std::getline(in, l2));
+  EXPECT_FALSE(std::getline(in, extra));
+
+  EXPECT_NE(l1.find("\"schema\":\"sdcmd.step_metrics.v1\""), std::string::npos);
+  EXPECT_NE(l1.find("\"step\":1"), std::string::npos);
+  EXPECT_NE(l1.find("\"wall_s\":0.25"), std::string::npos);
+  EXPECT_NE(l1.find("\"sim.steps\":1"), std::string::npos);
+  EXPECT_EQ(l1.find("\"sweep\""), std::string::npos);  // no profiler given
+  EXPECT_NE(l2.find("\"step\":2"), std::string::npos);
+  EXPECT_EQ(l2.find("wall_s"), std::string::npos);  // no wall time given
+  std::remove(path.c_str());
+}
+
+TEST(StepMetricsWriter, EmbedsSweepProfiles) {
+  obs::MetricsRegistry reg;
+  obs::SdcSweepProfiler prof;
+  prof.configure({"density"}, 1, 2);
+  obs::SweepSample s;
+  s.work = 2.0;
+  s.wait = 0.5;
+  s.valid = true;
+  prof.record(0, 0, 0, s);
+  s.work = 1.0;
+  s.wait = 1.5;
+  prof.record(0, 0, 1, s);
+
+  const std::string path = temp_path("sdcmd_sweep.jsonl");
+  obs::StepMetricsWriter w(path);
+  ASSERT_TRUE(w.ok());
+  w.write_step(5, reg, &prof, 0.0);
+  w.flush();
+  const std::string line = slurp(path);
+  EXPECT_NE(line.find("\"sweep\":[{"), std::string::npos);
+  EXPECT_NE(line.find("\"phase\":\"density\""), std::string::npos);
+  EXPECT_NE(line.find("\"threads\":2"), std::string::npos);
+  EXPECT_NE(line.find("\"work_max_s\":2"), std::string::npos);
+  EXPECT_NE(line.find("\"imbalance\":1.33"), std::string::npos);
+  EXPECT_NE(line.find("\"wait_max_s\":1.5"), std::string::npos);
+  std::remove(path.c_str());
+}
+
+TEST(StepMetricsWriter, UnopenablePathReportsNotOk) {
+  obs::MetricsRegistry reg;
+  obs::StepMetricsWriter w("/nonexistent-dir/x.jsonl");
+  EXPECT_FALSE(w.ok());
+  w.write_step(1, reg);  // dropped, must not crash
+  EXPECT_EQ(w.records(), 0u);
+}
+
+TEST(TraceWriter, ChromeTraceEnvelope) {
+  obs::TraceWriter trace;
+  trace.set_time_origin(100.0);
+  trace.set_thread_name(3, "omp thread 3");
+  trace.complete_event("work", "sweep", 100.0, 0.002, 3);
+  trace.instant_event("rollback", "guardrail", 100.001, 1000);
+  trace.counter_event("steps", 100.002, 7.0);
+  EXPECT_EQ(trace.size(), 3u);
+
+  const std::string json = trace.to_json();
+  EXPECT_EQ(json.rfind("{\"traceEvents\":[", 0), 0u);
+  // Thread metadata first so viewers name tracks before slices arrive.
+  EXPECT_NE(json.find("\"ph\":\"M\""), std::string::npos);
+  EXPECT_LT(json.find("thread_name"), json.find("\"ph\":\"X\""));
+  // Microsecond timestamps relative to the origin.
+  EXPECT_NE(json.find("\"ts\":0,\"dur\":2000"), std::string::npos);
+  EXPECT_NE(json.find("\"ph\":\"i\""), std::string::npos);
+  EXPECT_NE(json.find("\"ph\":\"C\""), std::string::npos);
+
+  const std::string path = temp_path("sdcmd_trace.json");
+  ASSERT_TRUE(trace.write(path));
+  EXPECT_EQ(slurp(path), json + "\n");
+  std::remove(path.c_str());
+  EXPECT_FALSE(trace.write("/nonexistent-dir/x.json"));
+}
+
+TEST(TraceWriter, AppendSweepEventsBuildsThreadTracks) {
+  obs::SdcSweepProfiler prof;
+  prof.configure({"force"}, 1, 2);
+  obs::SweepSample s;
+  s.start = 10.0;
+  s.work = 0.5;
+  s.wait = 0.25;
+  s.valid = true;
+  prof.record(0, 0, 0, s);
+
+  obs::TraceWriter trace;
+  trace.set_time_origin(10.0);
+  obs::append_sweep_events(trace, prof, "step 3/");
+  const std::string json = trace.to_json();
+  EXPECT_NE(json.find("step 3/force/c0"), std::string::npos);
+  EXPECT_NE(json.find("barrier"), std::string::npos);
+  EXPECT_NE(json.find("omp thread 0"), std::string::npos);
+}
+
+TEST(BenchReport, VersionedEnvelope) {
+  obs::BenchReport report("demo");
+  report.set_context("scale", "tiny");
+  report.set_context("steps", 2);
+  report.set_context("steps", 3);  // upsert, not duplicate
+  report.add_result({{"case", "small"},
+                     {"speedup", 1.5},
+                     {"feasible", true},
+                     {"blank", obs::JsonValue()}});
+  EXPECT_EQ(report.results(), 1u);
+  const std::string json = report.to_json();
+  EXPECT_NE(json.find("\"schema\":\"sdcmd.bench.v1\""), std::string::npos);
+  EXPECT_NE(json.find("\"bench\":\"demo\""), std::string::npos);
+  EXPECT_NE(json.find("\"steps\":3"), std::string::npos);
+  EXPECT_EQ(json.find("\"steps\":2"), std::string::npos);
+  EXPECT_NE(json.find("\"blank\":null"), std::string::npos);
+}
+
+// ----------------------------------------------------- profiled EAM sweep
+
+struct EamWorkload {
+  Box box;
+  std::vector<Vec3> positions;
+  FinnisSinclair potential{FinnisSinclairParams::iron()};
+  std::unique_ptr<NeighborList> half;
+
+  explicit EamWorkload(int cells) : box(Box::cubic(cells * units::kLatticeFe)) {
+    LatticeSpec spec;
+    spec.type = LatticeType::Bcc;
+    spec.a0 = units::kLatticeFe;
+    spec.nx = spec.ny = spec.nz = cells;
+    positions = build_lattice(spec);
+    NeighborListConfig cfg;
+    cfg.cutoff = potential.cutoff();
+    cfg.skin = 0.4;
+    half = std::make_unique<NeighborList>(box, cfg);
+    half->build(positions);
+  }
+};
+
+TEST(ProfiledSweep, MatchesPlainKernelBitwise) {
+  // 6 cells: smallest bcc cube whose edge fits two SDC subdomains of
+  // 2 x (cutoff + skin).
+  EamWorkload w(6);
+  const std::size_t n = w.positions.size();
+
+  auto run = [&](bool profiled) {
+    EamForceConfig cfg;
+    cfg.strategy = ReductionStrategy::Sdc;
+    cfg.sdc.dimensionality = 2;
+    EamForceComputer computer(w.potential, cfg);
+    computer.attach_schedule(w.box, w.potential.cutoff() + 0.4);
+    computer.on_neighbor_rebuild(w.positions);
+    computer.sweep_profiler().set_enabled(profiled);
+    std::vector<double> rho(n), fp(n);
+    std::vector<Vec3> force(n);
+    const EamForceResult r =
+        computer.compute(w.box, w.positions, *w.half, rho, fp, force);
+    if (profiled) {
+      // Profiler shaped to the schedule with all three phases recorded.
+      const auto& prof = computer.sweep_profiler();
+      EXPECT_EQ(prof.phases(), 3);
+      const auto profiles = prof.color_profiles();
+      EXPECT_FALSE(profiles.empty());
+      bool saw[3] = {false, false, false};
+      for (const auto& p : profiles) {
+        saw[p.phase] = true;
+        EXPECT_GE(p.work_max, p.work_mean);
+        EXPECT_GE(p.work_mean, p.work_min);
+        EXPECT_GE(p.imbalance, 1.0);
+        EXPECT_GE(p.wait_max, 0.0);
+      }
+      EXPECT_TRUE(saw[0]);  // density
+      EXPECT_TRUE(saw[1]);  // embed
+      EXPECT_TRUE(saw[2]);  // force
+    }
+    return std::make_pair(r, force);
+  };
+
+  const auto [plain_result, plain_force] = run(false);
+  const auto [prof_result, prof_force] = run(true);
+  // The profiled variant keeps the same static schedule, so every atom's
+  // force is accumulated in the same order: forces must match bitwise.
+  // The scalar energy/virial go through an OpenMP reduction whose combine
+  // order is thread-arrival order, so those get an ULP-scale tolerance.
+  EXPECT_NEAR(prof_result.pair_energy, plain_result.pair_energy,
+              1e-12 * std::abs(plain_result.pair_energy));
+  EXPECT_NEAR(prof_result.embedding_energy, plain_result.embedding_energy,
+              1e-12 * std::abs(plain_result.embedding_energy));
+  EXPECT_NEAR(prof_result.virial, plain_result.virial,
+              1e-12 * std::abs(plain_result.virial) + 1e-15);
+  for (std::size_t i = 0; i < n; ++i) {
+    EXPECT_EQ(prof_force[i].x, plain_force[i].x);
+    EXPECT_EQ(prof_force[i].y, plain_force[i].y);
+    EXPECT_EQ(prof_force[i].z, plain_force[i].z);
+  }
+}
+
+// ------------------------------------------------------ simulation wiring
+
+TEST(SimulationInstrumentation, CountersJsonlAndTrace) {
+  LatticeSpec spec;
+  spec.type = LatticeType::Bcc;
+  spec.a0 = units::kLatticeFe;
+  spec.nx = spec.ny = spec.nz = 6;  // big enough for 2-D SDC
+  System system = System::from_lattice(spec, units::kMassFe);
+  FinnisSinclair iron(FinnisSinclairParams::iron());
+
+  SimulationConfig cfg;
+  cfg.dt = units::fs_to_internal(1.0);
+  cfg.force.strategy = ReductionStrategy::Sdc;
+  cfg.force.sdc.dimensionality = 2;
+  cfg.rebuild_interval = 2;  // deterministic rebuilds for the counter check
+  Simulation sim(std::move(system), iron, cfg);
+  sim.set_temperature(50.0, 1234);
+
+  obs::MetricsRegistry registry;
+  const std::string jsonl_path = temp_path("sdcmd_sim_steps.jsonl");
+  obs::StepMetricsWriter jsonl(jsonl_path);
+  ASSERT_TRUE(jsonl.ok());
+  obs::TraceWriter trace;
+
+  InstrumentationConfig instr;
+  instr.registry = &registry;
+  instr.step_writer = &jsonl;
+  instr.trace = &trace;
+  instr.profile_sweep = true;
+  sim.set_instrumentation(instr);
+  EXPECT_TRUE(sim.has_instrumentation());
+
+  sim.run(5);
+
+  EXPECT_DOUBLE_EQ(registry.value(registry.counter("sim.steps")), 5.0);
+  EXPECT_EQ(registry.total_stats(registry.stats("sim.step_seconds")).count(),
+            5u);
+  EXPECT_GE(registry.value(registry.counter("sim.neighbor_rebuilds")), 1.0);
+  EXPECT_EQ(jsonl.records(), 5u);
+  EXPECT_GT(trace.size(), 5u);  // 5 step spans + sweep slices
+
+  jsonl.flush();
+  const std::string body = slurp(jsonl_path);
+  EXPECT_NE(body.find("\"sim.steps\":1"), std::string::npos);
+  EXPECT_NE(body.find("\"sweep\":[{"), std::string::npos);
+  EXPECT_NE(body.find("\"phase\":\"density\""), std::string::npos);
+  const std::string trace_json = trace.to_json();
+  EXPECT_NE(trace_json.find("\"step 1\""), std::string::npos);
+  EXPECT_NE(trace_json.find("omp thread 0"), std::string::npos);
+
+  sim.clear_instrumentation();
+  EXPECT_FALSE(sim.has_instrumentation());
+  sim.run(1);  // uninstrumented run keeps working
+  EXPECT_EQ(jsonl.records(), 5u);
+  std::remove(jsonl_path.c_str());
+}
+
+TEST(SimulationInstrumentation, GuardrailEventsBecomeCounters) {
+  LatticeSpec spec;
+  spec.type = LatticeType::Bcc;
+  spec.a0 = units::kLatticeFe;
+  spec.nx = spec.ny = spec.nz = 3;
+  System system = System::from_lattice(spec, units::kMassFe);
+  FinnisSinclair iron(FinnisSinclairParams::iron());
+
+  SimulationConfig cfg;
+  cfg.dt = units::fs_to_internal(1.0);
+  cfg.force.strategy = ReductionStrategy::Serial;
+  Simulation sim(std::move(system), iron, cfg);
+  sim.set_temperature(50.0, 99);
+
+  GuardrailConfig guard;
+  guard.health.cadence = 1;
+  guard.checkpoint_every = 2;
+  sim.set_guardrails(guard);
+
+  obs::MetricsRegistry registry;
+  InstrumentationConfig instr;
+  instr.registry = &registry;
+  sim.set_instrumentation(instr);
+
+  sim.run(4);
+  EXPECT_GE(registry.value(registry.counter("guard.health_checks")), 4.0);
+  EXPECT_GE(registry.value(registry.counter("guard.checkpoints")), 2.0);
+  EXPECT_DOUBLE_EQ(registry.value(registry.counter("guard.rollbacks")), 0.0);
+}
+
+TEST(SimulationInstrumentation, RejectsInvalidConfig) {
+  LatticeSpec spec;
+  spec.type = LatticeType::Bcc;
+  spec.a0 = units::kLatticeFe;
+  spec.nx = spec.ny = spec.nz = 3;
+  System system = System::from_lattice(spec, units::kMassFe);
+  FinnisSinclair iron(FinnisSinclairParams::iron());
+  SimulationConfig cfg;
+  cfg.force.strategy = ReductionStrategy::Serial;  // box too small for SDC
+  Simulation sim(std::move(system), iron, cfg);
+
+  InstrumentationConfig bad;
+  bad.registry = nullptr;
+  obs::StepMetricsWriter w(temp_path("sdcmd_reject.jsonl"));
+  bad.step_writer = &w;  // writer without a registry
+  EXPECT_THROW(sim.set_instrumentation(bad), PreconditionError);
+
+  InstrumentationConfig zero;
+  obs::MetricsRegistry reg;
+  zero.registry = &reg;
+  zero.sample_every = 0;
+  EXPECT_THROW(sim.set_instrumentation(zero), PreconditionError);
+}
+
+// ----------------------------------------------------------- phase timers
+
+TEST(PhaseTimers, SlotHandlesMatchNameLookup) {
+  PhaseTimers timers;
+  const std::size_t h = timers.index("force");
+  EXPECT_EQ(timers.index("force"), h);  // interning is stable
+  timers.slot(h).start();
+  timers.slot(h).stop();
+  EXPECT_EQ(timers["force"].laps(), 1u);
+  timers["force"].start();
+  timers["force"].stop();
+  EXPECT_EQ(timers.slot(h).laps(), 2u);
+  EXPECT_NE(timers.index("density"), h);
+  ASSERT_EQ(timers.entries().size(), 2u);
+  EXPECT_EQ(timers.entries()[0].name, "force");
+}
+
+// -------------------------------------------------------------- thermolog
+
+TEST(ThermoLog, CsvRoundTripsEveryColumn) {
+  ThermoLog log;
+  ThermoSample a;
+  a.step = 3;
+  a.temperature = 297.125;
+  a.kinetic_energy = 1.5;
+  a.pair_energy = -10.25;
+  a.embedding_energy = -4.75;
+  a.pressure = 0.0625;
+  ThermoSample b = a;
+  b.step = 4;
+  b.temperature = 301.5;
+  log.record(a);
+  log.record(b);
+
+  const std::string path = temp_path("sdcmd_thermo_roundtrip.csv");
+  ASSERT_TRUE(log.write_csv(path));
+
+  std::ifstream in(path);
+  std::string header;
+  ASSERT_TRUE(std::getline(in, header));
+  EXPECT_EQ(header, "step,temperature,kinetic,pair,embedding,total,pressure");
+
+  std::vector<ThermoSample> parsed;
+  std::string line;
+  while (std::getline(in, line)) {
+    std::istringstream is(line);
+    std::string field;
+    ThermoSample s;
+    std::getline(is, field, ',');
+    s.step = std::stol(field);
+    std::getline(is, field, ',');
+    s.temperature = std::stod(field);
+    std::getline(is, field, ',');
+    s.kinetic_energy = std::stod(field);
+    std::getline(is, field, ',');
+    s.pair_energy = std::stod(field);
+    std::getline(is, field, ',');
+    s.embedding_energy = std::stod(field);
+    std::getline(is, field, ',');
+    const double total = std::stod(field);
+    std::getline(is, field, ',');
+    s.pressure = std::stod(field);
+    EXPECT_NEAR(total, s.total_energy(), 1e-3);
+    parsed.push_back(s);
+  }
+  ASSERT_EQ(parsed.size(), log.size());
+  for (std::size_t i = 0; i < parsed.size(); ++i) {
+    const ThermoSample& want = log.samples()[i];
+    EXPECT_EQ(parsed[i].step, want.step);
+    // write_csv prints %.4f-style fixed columns; round-trip to that grain.
+    EXPECT_NEAR(parsed[i].temperature, want.temperature, 1e-3);
+    EXPECT_NEAR(parsed[i].kinetic_energy, want.kinetic_energy, 1e-3);
+    EXPECT_NEAR(parsed[i].pair_energy, want.pair_energy, 1e-3);
+    EXPECT_NEAR(parsed[i].embedding_energy, want.embedding_energy, 1e-3);
+    EXPECT_NEAR(parsed[i].pressure, want.pressure, 1e-3);
+  }
+  std::remove(path.c_str());
+}
+
+}  // namespace
+}  // namespace sdcmd

@@ -70,6 +70,34 @@ TEST(RunningStats, MergeWithEmptyIsIdentity) {
   EXPECT_DOUBLE_EQ(b.mean(), mean);
 }
 
+TEST(RunningStats, MergeTwoPopulatedSidesExactly) {
+  // Deterministic both-sides merge: {1, 5} + {2, 8, 11} == {1, 5, 2, 8, 11}.
+  RunningStats a, b, whole;
+  for (double x : {1.0, 5.0}) {
+    a.add(x);
+    whole.add(x);
+  }
+  for (double x : {2.0, 8.0, 11.0}) {
+    b.add(x);
+    whole.add(x);
+  }
+  a.merge(b);
+  EXPECT_EQ(a.count(), 5u);
+  EXPECT_NEAR(a.mean(), whole.mean(), 1e-12);
+  EXPECT_NEAR(a.variance(), whole.variance(), 1e-12);
+  EXPECT_DOUBLE_EQ(a.min(), 1.0);
+  EXPECT_DOUBLE_EQ(a.max(), 11.0);
+  EXPECT_NEAR(a.sum(), 27.0, 1e-12);
+}
+
+TEST(RunningStats, MergeBothEmptyStaysEmpty) {
+  RunningStats a, b;
+  a.merge(b);
+  EXPECT_EQ(a.count(), 0u);
+  EXPECT_EQ(a.mean(), 0.0);
+  EXPECT_EQ(a.variance(), 0.0);
+}
+
 TEST(Percentile, MedianOfOddAndEven) {
   EXPECT_DOUBLE_EQ(median({3.0, 1.0, 2.0}), 2.0);
   EXPECT_DOUBLE_EQ(median({4.0, 1.0, 2.0, 3.0}), 2.5);
@@ -82,6 +110,20 @@ TEST(Percentile, EndpointsAndInterpolation) {
   EXPECT_DOUBLE_EQ(percentile(xs, 100.0), 50.0);
   EXPECT_DOUBLE_EQ(percentile(xs, 25.0), 20.0);
   EXPECT_DOUBLE_EQ(percentile(xs, 12.5), 15.0);
+}
+
+TEST(Percentile, SingleSampleIsEveryPercentile) {
+  EXPECT_DOUBLE_EQ(percentile({7.0}, 0.0), 7.0);
+  EXPECT_DOUBLE_EQ(percentile({7.0}, 50.0), 7.0);
+  EXPECT_DOUBLE_EQ(percentile({7.0}, 100.0), 7.0);
+}
+
+TEST(Percentile, UnsortedInputIsSortedInternally) {
+  const std::vector<double> xs{50.0, 10.0, 40.0, 20.0, 30.0};
+  EXPECT_DOUBLE_EQ(percentile(xs, 0.0), 10.0);
+  EXPECT_DOUBLE_EQ(percentile(xs, 50.0), 30.0);
+  EXPECT_DOUBLE_EQ(percentile(xs, 100.0), 50.0);
+  EXPECT_DOUBLE_EQ(median({50.0, 10.0, 40.0, 20.0, 30.0}), 30.0);
 }
 
 TEST(Percentile, OutOfRangeThrows) {
