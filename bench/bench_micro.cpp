@@ -2,18 +2,30 @@
 // whose costs explain the macro results - potential evaluation, neighbor
 // machinery, schedule construction, and the per-update cost of each
 // synchronization primitive the strategies rely on.
+//
+// Besides the google-benchmark suite, `--pair-cache on|off|ab` runs the
+// ISSUE 3 A/B harness: the same EAM workload with the per-pair
+// geometry/spline cache enabled and disabled, reporting per-phase
+// seconds/step and writing sdcmd.bench.v1 rows via --metrics-out.
 #include <benchmark/benchmark.h>
 #include <omp.h>
 
+#include <cstdio>
+#include <string>
+#include <string_view>
 #include <vector>
 
+#include "common/cli.hpp"
 #include "common/random.hpp"
+#include "common/threads.hpp"
+#include "common/timer.hpp"
 #include "common/units.hpp"
 #include "core/eam_force.hpp"
 #include "core/sdc_schedule.hpp"
 #include "geom/lattice.hpp"
 #include "neighbor/neighbor_list.hpp"
 #include "neighbor/reorder.hpp"
+#include "obs/bench_report.hpp"
 #include "potential/finnis_sinclair.hpp"
 #include "potential/tabulated.hpp"
 
@@ -239,4 +251,179 @@ BENCHMARK(BM_EamSap);
 BENCHMARK(BM_EamRc);
 BENCHMARK(BM_EamSdc);
 
+// --- pair-cache A/B harness (ISSUE 3) --------------------------------------
+
+struct AbMeasurement {
+  double seconds_per_step = 0.0;
+  double density_s = 0.0;  ///< per step; includes the zeroing sweep
+  double embed_s = 0.0;
+  double force_s = 0.0;
+  std::size_t cache_bytes = 0;
+};
+
+AbMeasurement time_pair_cache(const EamPotential& pot, const Box& box,
+                              const std::vector<Vec3>& positions,
+                              const NeighborList& list,
+                              ReductionStrategy strategy, bool use_cache,
+                              int steps, int warmup) {
+  EamForceConfig cfg;
+  cfg.strategy = strategy;
+  cfg.sdc.dimensionality = 2;
+  cfg.use_pair_cache = use_cache;
+  EamForceComputer computer(pot, cfg);
+  computer.attach_schedule(box, pot.cutoff() + kSkin);
+  computer.on_neighbor_rebuild(positions);
+
+  const std::size_t n = positions.size();
+  std::vector<double> rho(n), fp(n);
+  std::vector<Vec3> force(n);
+  for (int s = 0; s < warmup; ++s) {
+    computer.compute(box, positions, list, rho, fp, force);
+  }
+  computer.reset_instrumentation();
+  const double t0 = wall_time();
+  for (int s = 0; s < steps; ++s) {
+    auto result = computer.compute(box, positions, list, rho, fp, force);
+    benchmark::DoNotOptimize(result.pair_energy);
+  }
+  AbMeasurement m;
+  m.seconds_per_step = (wall_time() - t0) / steps;
+  for (const auto& e : computer.timers().entries()) {
+    const double per_step = e.seconds / steps;
+    if (e.name == "density") m.density_s = per_step;
+    if (e.name == "embed") m.embed_s = per_step;
+    if (e.name == "force") m.force_s = per_step;
+  }
+  m.cache_bytes = computer.stats().pair_cache_bytes;
+  return m;
+}
+
+int run_pair_cache_ab(int argc, char** argv) {
+  CliParser cli("bench_micro",
+                "pair-cache A/B: fused EAM step with the per-pair "
+                "geometry/spline cache on vs off");
+  cli.add_option("pair-cache", "ab", "on|off|ab (ab runs both)");
+  cli.add_option("cells", "10", "bcc cells per box edge");
+  cli.add_option("steps", "25", "timed force evaluations per config");
+  cli.add_option("warmup", "5", "untimed evaluations before the clock");
+  cli.add_option("strategy", "sdc", "serial|critical|atomic|locks|sap|sdc");
+  cli.add_option("metrics-out", "", "write sdcmd.bench.v1 JSON here");
+  if (!cli.parse(argc, argv)) return 1;
+
+  const std::string mode = cli.get("pair-cache");
+  if (mode != "on" && mode != "off" && mode != "ab") {
+    std::fprintf(stderr, "--pair-cache must be on, off or ab (got %s)\n",
+                 mode.c_str());
+    return 1;
+  }
+  const int cells = cli.get_int("cells");
+  const int steps = cli.get_int("steps");
+  const int warmup = cli.get_int("warmup");
+  const ReductionStrategy strategy = parse_strategy(cli.get("strategy"));
+
+  // Tabulated iron so the devirtualized spline-table path is the one being
+  // A/B'd - the production configuration the cache is built for.
+  FinnisSinclair fe(FinnisSinclairParams::iron());
+  const TabulatedEam tab = TabulatedEam::from_analytic(fe, 2000, 2000, 60.0);
+  Box box = Box::cubic(1.0);
+  const auto positions = jittered_bcc(cells, box);
+  NeighborListConfig nl_cfg;
+  nl_cfg.cutoff = tab.cutoff();
+  nl_cfg.skin = kSkin;
+  nl_cfg.mode = required_mode(strategy);
+  NeighborList list(box, nl_cfg);
+  list.build(positions);
+
+  obs::BenchReport report("micro_pair_cache");
+  report.set_context("cells", cells);
+  report.set_context("atoms", positions.size());
+  report.set_context("pairs", list.pair_count());
+  report.set_context("steps", steps);
+  report.set_context("warmup", warmup);
+  report.set_context("strategy", to_string(strategy));
+  report.set_context("potential", tab.name());
+  report.set_context("hardware_threads", hardware_threads());
+
+  std::printf("=== pair-cache A/B: %zu atoms, %zu pairs, %s, %s, %d steps\n",
+              positions.size(), list.pair_count(),
+              to_string(strategy).c_str(), thread_summary().c_str(), steps);
+
+  AbMeasurement off, on;
+  const bool run_off = mode != "on";
+  const bool run_on = mode != "off";
+  if (run_off) {
+    off = time_pair_cache(tab, box, positions, list, strategy, false, steps,
+                          warmup);
+    std::printf("  pair_cache_off: %.6f s/step (density %.6f, embed %.6f, "
+                "force %.6f)\n",
+                off.seconds_per_step, off.density_s, off.embed_s,
+                off.force_s);
+  }
+  if (run_on) {
+    on = time_pair_cache(tab, box, positions, list, strategy, true, steps,
+                         warmup);
+    std::printf("  pair_cache_on:  %.6f s/step (density %.6f, embed %.6f, "
+                "force %.6f), cache %.2f MiB\n",
+                on.seconds_per_step, on.density_s, on.embed_s, on.force_s,
+                static_cast<double>(on.cache_bytes) / (1024.0 * 1024.0));
+  }
+  const bool have_both = run_off && run_on;
+  if (have_both) {
+    std::printf("  step speedup %.3fx, force-phase speedup %.3fx\n",
+                off.seconds_per_step / on.seconds_per_step,
+                off.force_s / on.force_s);
+  }
+
+  auto add_row = [&](const char* name, const AbMeasurement& m,
+                     bool baseline) {
+    report.add_result(
+        {{"case", std::string(name)},
+         {"threads", max_threads()},
+         {"seconds_per_step", m.seconds_per_step},
+         {"density_seconds_per_step", m.density_s},
+         {"embed_seconds_per_step", m.embed_s},
+         {"force_seconds_per_step", m.force_s},
+         {"cache_bytes", m.cache_bytes},
+         {"speedup", have_both && !baseline
+                         ? obs::JsonValue(off.seconds_per_step /
+                                          m.seconds_per_step)
+                         : obs::JsonValue(1.0)},
+         {"force_speedup",
+          have_both && !baseline ? obs::JsonValue(off.force_s / m.force_s)
+                                 : obs::JsonValue(1.0)},
+         {"feasible", true}});
+  };
+  if (run_off) add_row("pair_cache_off", off, /*baseline=*/true);
+  if (run_on) add_row("pair_cache_on", on, /*baseline=*/!have_both);
+
+  const std::string metrics_out = cli.get("metrics-out");
+  if (!metrics_out.empty()) {
+    if (report.write(metrics_out)) {
+      std::printf("bench report: %zu result rows -> %s\n", report.results(),
+                  metrics_out.c_str());
+    } else {
+      std::fprintf(stderr, "cannot open %s\n", metrics_out.c_str());
+      return 1;
+    }
+  }
+  // Exit 0 regardless of the measured speedup: CI boxes are too noisy to
+  // gate on; the acceptance numbers live in EXPERIMENTS.md.
+  return 0;
+}
+
 }  // namespace
+
+int main(int argc, char** argv) {
+  // `--pair-cache ...` routes to the A/B harness; anything else goes to
+  // google-benchmark as before.
+  for (int i = 1; i < argc; ++i) {
+    if (std::string_view(argv[i]).rfind("--pair-cache", 0) == 0) {
+      return run_pair_cache_ab(argc, argv);
+    }
+  }
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

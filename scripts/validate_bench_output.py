@@ -36,7 +36,9 @@ def fail(message: str) -> None:
     sys.exit(f"validate_bench_output: {message}")
 
 
-def check_bench(path: str, require_columns: list[str]) -> None:
+def check_bench(
+    path: str, require_columns: list[str], require_cases: list[str]
+) -> None:
     with open(path) as f:
         doc = json.load(f)
     if doc.get("schema") != "sdcmd.bench.v1":
@@ -53,6 +55,13 @@ def check_bench(path: str, require_columns: list[str]) -> None:
     feasible = [r for r in doc["results"] if r.get("feasible")]
     if not feasible:
         fail(f"{path}: no feasible result rows")
+    seen_cases = {r.get("case") for r in doc["results"]}
+    for case in require_cases:
+        if case not in seen_cases:
+            fail(
+                f"{path}: no result row with case {case!r} "
+                f"(saw {sorted(c for c in seen_cases if c)})"
+            )
     print(
         f"{path}: ok - bench {doc['bench']!r}, {len(doc['results'])} rows "
         f"({len(feasible)} feasible)"
@@ -121,13 +130,23 @@ def main() -> None:
         default="case,threads,seconds_per_step,speedup,feasible",
         help="comma list of columns every bench result row must carry",
     )
+    parser.add_argument(
+        "--require-cases",
+        default="",
+        help="comma list of case names that must appear among the rows "
+        "(e.g. pair_cache_on,pair_cache_off)",
+    )
     parser.add_argument("--jsonl", help="sdcmd.step_metrics.v1 JSONL file")
     parser.add_argument("--trace", help="Chrome trace-event JSON file")
     args = parser.parse_args()
     if not (args.bench or args.jsonl or args.trace):
         parser.error("nothing to validate: pass --bench/--jsonl/--trace")
     if args.bench:
-        check_bench(args.bench, [c for c in args.require_columns.split(",") if c])
+        check_bench(
+            args.bench,
+            [c for c in args.require_columns.split(",") if c],
+            [c for c in args.require_cases.split(",") if c],
+        )
     if args.jsonl:
         check_jsonl(args.jsonl)
     if args.trace:

@@ -18,6 +18,12 @@ class Stopwatch {
   void start();
   /// Stops the watch and returns the length of the lap just ended.
   double stop();
+  /// Record an externally measured lap (e.g. a phase boundary clocked by
+  /// the master thread inside a parallel region).
+  void add_lap(double seconds) {
+    total_ += seconds;
+    ++laps_;
+  }
   void reset();
 
   double total() const { return total_; }

@@ -116,8 +116,15 @@ AlloyForceResult AlloyForceComputer::compute(
 
   const double cutoff = potential_.cutoff();
   Args args{box, positions, types, list, potential_, cutoff * cutoff};
-  std::fill(rho.begin(), rho.end(), 0.0);
-  std::fill(force.begin(), force.end(), Vec3{});
+  // First-touch zeroing: under SDC the sweeps are multi-threaded, so zero
+  // with the same static distribution to place pages NUMA-locally.
+  const bool parallel = config_.strategy != ReductionStrategy::Serial;
+#pragma omp parallel for schedule(static) if (parallel)
+  for (std::size_t i = 0; i < n; ++i) {
+    rho[i] = 0.0;
+    fp[i] = 0.0;
+    force[i] = Vec3{};
+  }
 
   AlloyForceResult result;
 

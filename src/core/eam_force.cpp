@@ -1,5 +1,7 @@
 #include "core/eam_force.hpp"
 
+#include <omp.h>
+
 #include <algorithm>
 
 #include "common/error.hpp"
@@ -23,10 +25,37 @@ struct EamForceComputer::SapWorkspace {
   }
 };
 
+/// Per-pair geometry/spline cache, indexed by CSR slot (neigh_index[i] + k).
+/// The density phase writes every slot; the force phase reads them back
+/// instead of recomputing minimum image + sqrt + density spline. Reused
+/// across steps: resize() keeps capacity when the pair count shrinks, so
+/// steady-state steps never reallocate.
+struct EamForceComputer::PairCache {
+  std::vector<Vec3> dr;
+  std::vector<double> r;
+  std::vector<double> dphidr;
+
+  void resize(std::size_t pairs) {
+    dr.resize(pairs);
+    r.resize(pairs);
+    dphidr.resize(pairs);
+  }
+
+  detail::PairCacheRefs refs() {
+    return detail::PairCacheRefs{dr.data(), r.data(), dphidr.data()};
+  }
+
+  std::size_t bytes() const {
+    return dr.capacity() * sizeof(Vec3) +
+           (r.capacity() + dphidr.capacity()) * sizeof(double);
+  }
+};
+
 EamForceComputer::EamForceComputer(const EamPotential& potential,
                                    EamForceConfig config)
     : potential_(potential),
       config_(config),
+      cache_(std::make_unique<PairCache>()),
       t_density_(timers_.index("density")),
       t_embed_(timers_.index("embed")),
       t_force_(timers_.index("force")) {
@@ -72,96 +101,182 @@ EamForceResult EamForceComputer::compute(const Box& box,
                     " neighbor list");
   SDCMD_REQUIRE(list.cutoff() >= potential_.cutoff(),
                 "neighbor list cutoff shorter than the potential range");
+  // All preconditions are checked here, BEFORE the parallel region opens:
+  // the kernels themselves must never throw.
+  if (config_.strategy == ReductionStrategy::Sdc) {
+    SDCMD_REQUIRE(schedule_ != nullptr && schedule_->built(),
+                  "SDC schedule not built; call attach_schedule and "
+                  "on_neighbor_rebuild first");
+    SDCMD_REQUIRE(schedule_->partition().atom_count() == n,
+                  "partition is stale: rebuild the SDC schedule after the "
+                  "neighbor list");
+  }
 
   const double cutoff = potential_.cutoff();
   detail::EamArgs args{box,        positions,
                        list,       potential_,
-                       cutoff * cutoff, config_.dynamic_schedule,
-                       nullptr};
+                       cutoff * cutoff, config_.dynamic_schedule};
+  if (config_.use_spline_tables) {
+    // Devirtualize: tabulated potentials expose their spline knots as flat
+    // POD tables the inner loops can evaluate inline.
+    const EamSplineTables* tables = potential_.spline_tables();
+    if (tables != nullptr && tables->valid()) args.tables = tables;
+  }
+  const bool caching =
+      config_.use_pair_cache &&
+      config_.strategy != ReductionStrategy::RedundantComputation;
+  if (caching) {
+    cache_->resize(list.pair_count());
+    args.cache = cache_->refs();
+  }
+
   if (profiler_.enabled()) {
-    // Shape the sample store to the current sweep (idempotent when
-    // unchanged) and invalidate the previous step's samples.
-    const int colors =
-        config_.strategy == ReductionStrategy::Sdc && schedule_ != nullptr
-            ? schedule_->color_count()
-            : 1;
-    profiler_.configure({"density", "embed", "force"}, colors,
-                        max_threads());
+    // Shape the sample store to the current sweep; the (string-building)
+    // configure call runs only when the shape actually changed, so the
+    // steady state does no string work.
+    const int colors = config_.strategy == ReductionStrategy::Sdc
+                           ? schedule_->color_count()
+                           : 1;
+    const int threads = max_threads();
+    if (colors != prof_colors_ || threads != prof_threads_) {
+      profiler_.configure({"density", "embed", "force"}, colors, threads);
+      prof_colors_ = colors;
+      prof_threads_ = threads;
+    }
     profiler_.begin_step();
     args.profiler = &profiler_;
   }
 
-  std::fill(rho.begin(), rho.end(), 0.0);
-  std::fill(force.begin(), force.end(), Vec3{});
-
-  const bool parallel_embed = is_parallel(config_.strategy);
   EamForceResult result;
-
-  {
-    ScopedTimer timer(timers_.slot(t_density_));
-    switch (config_.strategy) {
-      case ReductionStrategy::Serial:
-        detail::density_serial(args, rho);
-        break;
-      case ReductionStrategy::Critical:
-        detail::density_critical(args, rho);
-        break;
-      case ReductionStrategy::Atomic:
-        detail::density_atomic(args, rho);
-        break;
-      case ReductionStrategy::LockStriped:
-        detail::density_locks(args, *locks_, rho);
-        break;
-      case ReductionStrategy::ArrayPrivatization:
-        detail::density_sap(args, rho, sap_->rho);
-        break;
-      case ReductionStrategy::RedundantComputation:
-        detail::density_rc(args, rho);
-        break;
-      case ReductionStrategy::Sdc:
-        SDCMD_REQUIRE(schedule_ != nullptr && schedule_->built(),
-                      "SDC schedule not built; call attach_schedule and "
-                      "on_neighbor_rebuild first");
-        detail::density_sdc(args, schedule_->partition(), rho);
-        break;
+  if (config_.strategy == ReductionStrategy::Serial) {
+    std::fill(rho.begin(), rho.end(), 0.0);
+    std::fill(force.begin(), force.end(), Vec3{});
+    {
+      ScopedTimer timer(timers_.slot(t_density_));
+      detail::density_serial(args, rho);
     }
-  }
-
-  {
-    ScopedTimer timer(timers_.slot(t_embed_));
-    result.embedding_energy = detail::embed_phase(potential_, rho, fp,
-                                                  parallel_embed,
-                                                  args.profiler);
-  }
-
-  {
-    ScopedTimer timer(timers_.slot(t_force_));
-    detail::ForceSums sums;
-    switch (config_.strategy) {
-      case ReductionStrategy::Serial:
-        detail::force_serial(args, fp, force, sums);
-        break;
-      case ReductionStrategy::Critical:
-        detail::force_critical(args, fp, force, sums);
-        break;
-      case ReductionStrategy::Atomic:
-        detail::force_atomic(args, fp, force, sums);
-        break;
-      case ReductionStrategy::LockStriped:
-        detail::force_locks(args, *locks_, fp, force, sums);
-        break;
-      case ReductionStrategy::ArrayPrivatization:
-        detail::force_sap(args, fp, force, sums, sap_->force);
-        break;
-      case ReductionStrategy::RedundantComputation:
-        detail::force_rc(args, fp, force, sums);
-        break;
-      case ReductionStrategy::Sdc:
-        detail::force_sdc(args, schedule_->partition(), fp, force, sums);
-        break;
+    {
+      ScopedTimer timer(timers_.slot(t_embed_));
+      result.embedding_energy = detail::embed_serial(args, rho, fp);
     }
-    result.pair_energy = sums.pair_energy;
-    result.virial = sums.virial;
+    {
+      ScopedTimer timer(timers_.slot(t_force_));
+      detail::ForceSums sums;
+      detail::force_serial(args, fp, force, sums);
+      result.pair_energy = sums.pair_energy;
+      result.virial = sums.virial;
+    }
+  } else {
+    // Fused pipeline: ONE parallel region covers zeroing, density, embed
+    // and force, so each step pays a single fork/join instead of three
+    // (plus serial zeroing) - the paper's "one parallel region per sweep"
+    // idea extended to the whole step. Phase boundaries are the barriers
+    // already ending each team kernel; the master clocks them so the
+    // per-phase timers keep working.
+    const int slots = max_threads();
+    embed_parts_.assign(static_cast<std::size_t>(slots), 0.0);
+    energy_parts_.assign(static_cast<std::size_t>(slots), 0.0);
+    virial_parts_.assign(static_cast<std::size_t>(slots), 0.0);
+    if (sap_ != nullptr) {
+      // Replica *zeroing* happens inside the team kernels (each thread
+      // first-touches its own replica); only the outer vector is sized here.
+      sap_->rho.resize(static_cast<std::size_t>(slots));
+      sap_->force.resize(static_cast<std::size_t>(slots));
+    }
+    int team = 1;
+    double t0 = 0.0, t1 = 0.0, t2 = 0.0, t3 = 0.0;
+#pragma omp parallel
+    {
+#pragma omp master
+      {
+        team = omp_get_num_threads();
+        t0 = wall_time();
+      }
+      // First-touch zeroing: distributed with the same static schedule as
+      // the atom sweeps so each page lands on the NUMA node of the thread
+      // that will process it. The implicit barrier orders it before the
+      // density scatter.
+#pragma omp for schedule(static)
+      for (std::size_t i = 0; i < n; ++i) {
+        rho[i] = 0.0;
+        fp[i] = 0.0;
+        force[i] = Vec3{};
+      }
+      switch (config_.strategy) {
+        case ReductionStrategy::Critical:
+          detail::density_critical_team(args, rho);
+          break;
+        case ReductionStrategy::Atomic:
+          detail::density_atomic_team(args, rho);
+          break;
+        case ReductionStrategy::LockStriped:
+          detail::density_locks_team(args, *locks_, rho);
+          break;
+        case ReductionStrategy::ArrayPrivatization:
+          detail::density_sap_team(args, rho, sap_->rho);
+          break;
+        case ReductionStrategy::RedundantComputation:
+          detail::density_rc_team(args, rho);
+          break;
+        case ReductionStrategy::Sdc:
+          detail::density_sdc_team(args, schedule_->partition(), rho);
+          break;
+        case ReductionStrategy::Serial:
+          break;  // handled above; unreachable
+      }
+      // Each team kernel ends at a barrier, so the master's clock reads
+      // are true phase boundaries.
+#pragma omp master
+      t1 = wall_time();
+      detail::embed_team(args, rho, fp, embed_parts_.data());
+#pragma omp master
+      t2 = wall_time();
+      switch (config_.strategy) {
+        case ReductionStrategy::Critical:
+          detail::force_critical_team(args, fp, force, energy_parts_.data(),
+                                      virial_parts_.data());
+          break;
+        case ReductionStrategy::Atomic:
+          detail::force_atomic_team(args, fp, force, energy_parts_.data(),
+                                    virial_parts_.data());
+          break;
+        case ReductionStrategy::LockStriped:
+          detail::force_locks_team(args, *locks_, fp, force,
+                                   energy_parts_.data(),
+                                   virial_parts_.data());
+          break;
+        case ReductionStrategy::ArrayPrivatization:
+          detail::force_sap_team(args, fp, force, energy_parts_.data(),
+                                 virial_parts_.data(), sap_->force);
+          break;
+        case ReductionStrategy::RedundantComputation:
+          detail::force_rc_team(args, fp, force, energy_parts_.data(),
+                                virial_parts_.data());
+          break;
+        case ReductionStrategy::Sdc:
+          detail::force_sdc_team(args, schedule_->partition(), fp, force,
+                                 energy_parts_.data(), virial_parts_.data());
+          break;
+        case ReductionStrategy::Serial:
+          break;  // handled above; unreachable
+      }
+#pragma omp master
+      t3 = wall_time();
+    }
+    timers_.slot(t_density_).add_lap(t1 - t0);  // includes the zeroing sweep
+    timers_.slot(t_embed_).add_lap(t2 - t1);
+    timers_.slot(t_force_).add_lap(t3 - t2);
+    // Sum the per-thread partials in thread order: deterministic for a
+    // fixed team size (unlike an OpenMP reduction's arrival order).
+    double embed_energy = 0.0, pair_energy = 0.0, virial = 0.0;
+    for (int t = 0; t < team; ++t) {
+      embed_energy += embed_parts_[static_cast<std::size_t>(t)];
+      pair_energy += energy_parts_[static_cast<std::size_t>(t)];
+      virial += virial_parts_[static_cast<std::size_t>(t)];
+    }
+    result.embedding_energy = embed_energy;
+    result.pair_energy = pair_energy;
+    result.virial = virial;
   }
 
   // Exact work accounting (derived, not sampled: list sizes are exact).
@@ -176,6 +291,12 @@ EamForceResult EamForceComputer::compute(const Box& box,
   if (sap_) {
     stats_.private_array_bytes =
         std::max(stats_.private_array_bytes, sap_->bytes());
+  }
+  if (caching) {
+    stats_.cache_store_slots += list.pair_count();
+    stats_.cache_read_slots += list.pair_count();
+    stats_.pair_cache_bytes =
+        std::max(stats_.pair_cache_bytes, cache_->bytes());
   }
   return result;
 }

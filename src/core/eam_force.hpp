@@ -44,12 +44,24 @@ struct EamKernelStats {
   std::size_t scatter_updates = 0;      ///< writes to rho[j] / force[j]
   std::size_t color_sweeps = 0;         ///< SDC barriers taken
   std::size_t private_array_bytes = 0;  ///< SAP replication footprint
+  std::size_t cache_store_slots = 0;    ///< pair-cache slots written (phase 1)
+  std::size_t cache_read_slots = 0;     ///< pair-cache slots read (phase 3)
+  std::size_t pair_cache_bytes = 0;     ///< high-water pair-cache footprint
 };
 
 struct EamForceConfig {
   ReductionStrategy strategy = ReductionStrategy::Sdc;
   SdcConfig sdc;                 ///< used when strategy == Sdc
   bool dynamic_schedule = false; ///< omp dynamic instead of static chunks
+  /// Cache per-pair geometry + density-spline derivative during the density
+  /// phase and reuse it in the force phase (~40 B/pair; see
+  /// docs/performance.md). Ignored under RedundantComputation, whose
+  /// gather kernels visit each pair from both sides.
+  bool use_pair_cache = true;
+  /// Evaluate tabulated potentials through flattened spline tables instead
+  /// of the virtual EamPotential interface. No effect on analytic
+  /// potentials (they expose no tables).
+  bool use_spline_tables = true;
 };
 
 class LockPool;
@@ -102,12 +114,19 @@ class EamForceComputer {
 
  private:
   struct SapWorkspace;
+  struct PairCache;
 
   const EamPotential& potential_;
   EamForceConfig config_;
   std::unique_ptr<SdcSchedule> schedule_;
   std::unique_ptr<SapWorkspace> sap_;
   std::unique_ptr<LockPool> locks_;
+  std::unique_ptr<PairCache> cache_;
+  // Per-thread partial sums for the fused parallel pipeline (indexed by
+  // omp thread id; summed in thread order for deterministic totals).
+  std::vector<double> embed_parts_;
+  std::vector<double> energy_parts_;
+  std::vector<double> virial_parts_;
   PhaseTimers timers_;
   // Interned PhaseTimers handles: the per-step lap path never compares
   // strings.
@@ -116,6 +135,10 @@ class EamForceComputer {
   std::size_t t_force_;
   EamKernelStats stats_;
   obs::SdcSweepProfiler profiler_;
+  // Shape the profiler saw at its last configure(); compute() re-runs the
+  // (string-building) configure only when this changes.
+  int prof_colors_ = -1;
+  int prof_threads_ = -1;
 };
 
 }  // namespace sdcmd

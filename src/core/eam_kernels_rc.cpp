@@ -6,18 +6,20 @@
 // every pair interaction is evaluated twice ("double computations") and the
 // neighbor list itself is twice as large - the trade the paper quantifies
 // in Fig. 9 (near-linear scaling, ~1.7x slower than SDC at scale).
+//
+// Team kernels: orphaned OpenMP (see eam_kernels.hpp). RC keeps its gather
+// form and ignores the pair cache: each pair's slot differs between its two
+// appearances, so caching would double the footprint for no reuse. The
+// caller asserts Full-list mode before opening the parallel region.
 #include <omp.h>
 
-#include "common/error.hpp"
 #include "core/detail/eam_kernels.hpp"
 
 namespace sdcmd::detail {
 
-void density_rc(const EamArgs& a, std::span<double> rho) {
-  SDCMD_REQUIRE(a.list.mode() == NeighborMode::Full,
-                "RC kernels need a full neighbor list");
+void density_rc_team(const EamArgs& a, std::span<double> rho) {
   const std::size_t n = a.x.size();
-#pragma omp parallel for schedule(static)
+#pragma omp for schedule(static)
   for (std::size_t i = 0; i < n; ++i) {
     const Vec3 xi = a.x[i];
     double rho_i = 0.0;
@@ -25,21 +27,20 @@ void density_rc(const EamArgs& a, std::span<double> rho) {
       PairGeom g;
       if (!pair_geometry(a.box, xi, a.x[j], a.cutoff2, g)) continue;
       double phi, dphidr;
-      a.pot.density(g.r, phi, dphidr);
+      eval_density(a, g.r, phi, dphidr);
       rho_i += phi;
     }
     rho[i] = rho_i;
   }
 }
 
-void force_rc(const EamArgs& a, std::span<const double> fp,
-              std::span<Vec3> force, ForceSums& sums) {
-  SDCMD_REQUIRE(a.list.mode() == NeighborMode::Full,
-                "RC kernels need a full neighbor list");
+void force_rc_team(const EamArgs& a, std::span<const double> fp,
+                   std::span<Vec3> force, double* energy_parts,
+                   double* virial_parts) {
   const std::size_t n = a.x.size();
   double energy = 0.0;
   double virial = 0.0;
-#pragma omp parallel for schedule(static) reduction(+ : energy, virial)
+#pragma omp for schedule(static)
   for (std::size_t i = 0; i < n; ++i) {
     const Vec3 xi = a.x[i];
     const double fp_i = fp[i];
@@ -48,8 +49,8 @@ void force_rc(const EamArgs& a, std::span<const double> fp,
       PairGeom g;
       if (!pair_geometry(a.box, xi, a.x[j], a.cutoff2, g)) continue;
       double v, dvdr, phi, dphidr;
-      a.pot.pair(g.r, v, dvdr);
-      a.pot.density(g.r, phi, dphidr);
+      eval_pair(a, g.r, v, dvdr);
+      eval_density(a, g.r, phi, dphidr);
       const double fpair = -(dvdr + (fp_i + fp[j]) * dphidr) / g.r;
       f_i += fpair * g.dr;
       // Each pair is visited from both sides; halve the pairwise sums so
@@ -59,8 +60,9 @@ void force_rc(const EamArgs& a, std::span<const double> fp,
     }
     force[i] = f_i;
   }
-  sums.pair_energy = energy;
-  sums.virial = virial;
+  const int tid = omp_get_thread_num();
+  energy_parts[tid] = energy;
+  virial_parts[tid] = virial;
 }
 
 }  // namespace sdcmd::detail

@@ -10,7 +10,13 @@
 // index range across every replica), which is the strongest practical SAP
 // variant; the paper's own implementation merged under a critical section
 // and fared worse.
+//
+// Team kernels: orphaned OpenMP; the caller pre-sizes `priv` to at least
+// the team size, and each thread zeroes its OWN replica (which also gives
+// NUMA-friendly first-touch placement of replica pages).
 #include <omp.h>
+
+#include <algorithm>
 
 #include "core/detail/eam_kernels.hpp"
 
@@ -18,95 +24,92 @@ namespace sdcmd::detail {
 
 namespace {
 
-/// Grow the per-thread replica set to `threads` buffers of `n` zeros.
+/// Zero (or allocate-and-zero) the calling thread's replica.
 template <typename T>
-void ensure_replicas(std::vector<std::vector<T>>& priv, int threads,
-                     std::size_t n) {
-  priv.resize(static_cast<std::size_t>(threads));
-  for (auto& buf : priv) {
-    buf.assign(n, T{});
+std::vector<T>& my_replica(std::vector<std::vector<T>>& priv, std::size_t n) {
+  auto& mine = priv[static_cast<std::size_t>(omp_get_thread_num())];
+  if (mine.size() != n) {
+    mine.assign(n, T{});
+  } else {
+    std::fill(mine.begin(), mine.end(), T{});
   }
+  return mine;
 }
 
 }  // namespace
 
-void density_sap(const EamArgs& a, std::span<double> rho,
-                 std::vector<std::vector<double>>& priv) {
+void density_sap_team(const EamArgs& a, std::span<double> rho,
+                      std::vector<std::vector<double>>& priv) {
   const std::size_t n = a.x.size();
-  const int threads = omp_get_max_threads();
-  ensure_replicas(priv, threads, n);
-
-#pragma omp parallel
-  {
-    std::vector<double>& mine =
-        priv[static_cast<std::size_t>(omp_get_thread_num())];
+  const int team = omp_get_num_threads();
+  const auto& index = a.list.neigh_index();
+  std::vector<double>& mine = my_replica(priv, n);
+  // No barrier needed before the scatter: each thread touches only `mine`.
 #pragma omp for schedule(static)
-    for (std::size_t i = 0; i < n; ++i) {
-      const Vec3 xi = a.x[i];
-      for (std::uint32_t j : a.list.neighbors(i)) {
-        PairGeom g;
-        if (!pair_geometry(a.box, xi, a.x[j], a.cutoff2, g)) continue;
-        double phi, dphidr;
-        a.pot.density(g.r, phi, dphidr);
-        mine[i] += phi;
-        mine[j] += phi;
-      }
+  for (std::size_t i = 0; i < n; ++i) {
+    const Vec3 xi = a.x[i];
+    const auto nbrs = a.list.neighbors(i);
+    const std::size_t base = index[i];
+    for (std::size_t k = 0; k < nbrs.size(); ++k) {
+      const std::uint32_t j = nbrs[k];
+      double phi;
+      if (!density_pair(a, xi, j, base + k, phi)) continue;
+      mine[i] += phi;
+      mine[j] += phi;
     }
-    // Merge: each thread owns a contiguous index range and sums that range
-    // across every replica (no synchronization beyond the implicit barrier).
+  }
+  // Merge: each thread owns a contiguous index range and sums that range
+  // across every replica (no synchronization beyond the implicit barrier).
 #pragma omp for schedule(static)
-    for (std::size_t i = 0; i < n; ++i) {
-      double sum = 0.0;
-      for (int t = 0; t < threads; ++t) {
-        sum += priv[static_cast<std::size_t>(t)][i];
-      }
-      rho[i] += sum;
+  for (std::size_t i = 0; i < n; ++i) {
+    double sum = 0.0;
+    for (int t = 0; t < team; ++t) {
+      sum += priv[static_cast<std::size_t>(t)][i];
     }
+    rho[i] += sum;
   }
 }
 
-void force_sap(const EamArgs& a, std::span<const double> fp,
-               std::span<Vec3> force, ForceSums& sums,
-               std::vector<std::vector<Vec3>>& priv) {
+void force_sap_team(const EamArgs& a, std::span<const double> fp,
+                    std::span<Vec3> force, double* energy_parts,
+                    double* virial_parts,
+                    std::vector<std::vector<Vec3>>& priv) {
   const std::size_t n = a.x.size();
-  const int threads = omp_get_max_threads();
-  ensure_replicas(priv, threads, n);
-
+  const int team = omp_get_num_threads();
+  const auto& index = a.list.neigh_index();
+  std::vector<Vec3>& mine = my_replica(priv, n);
   double energy = 0.0;
   double virial = 0.0;
-#pragma omp parallel reduction(+ : energy, virial)
-  {
-    std::vector<Vec3>& mine =
-        priv[static_cast<std::size_t>(omp_get_thread_num())];
 #pragma omp for schedule(static)
-    for (std::size_t i = 0; i < n; ++i) {
-      const Vec3 xi = a.x[i];
-      const double fp_i = fp[i];
-      for (std::uint32_t j : a.list.neighbors(i)) {
-        PairGeom g;
-        if (!pair_geometry(a.box, xi, a.x[j], a.cutoff2, g)) continue;
-        double v, dvdr, phi, dphidr;
-        a.pot.pair(g.r, v, dvdr);
-        a.pot.density(g.r, phi, dphidr);
-        const double fpair = -(dvdr + (fp_i + fp[j]) * dphidr) / g.r;
-        const Vec3 fv = fpair * g.dr;
-        mine[i] += fv;
-        mine[j] -= fv;
-        energy += v;
-        virial += fpair * g.r * g.r;
+  for (std::size_t i = 0; i < n; ++i) {
+    const Vec3 xi = a.x[i];
+    const double fp_i = fp[i];
+    const auto nbrs = a.list.neighbors(i);
+    const std::size_t base = index[i];
+    for (std::size_t k = 0; k < nbrs.size(); ++k) {
+      const std::uint32_t j = nbrs[k];
+      Vec3 fv;
+      double v, rvir;
+      if (!force_pair(a, xi, j, base + k, fp_i + fp[j], fv, v, rvir)) {
+        continue;
       }
-    }
-#pragma omp for schedule(static)
-    for (std::size_t i = 0; i < n; ++i) {
-      Vec3 sum{};
-      for (int t = 0; t < threads; ++t) {
-        sum += priv[static_cast<std::size_t>(t)][i];
-      }
-      force[i] += sum;
+      mine[i] += fv;
+      mine[j] -= fv;
+      energy += v;
+      virial += rvir;
     }
   }
-  sums.pair_energy = energy;
-  sums.virial = virial;
+#pragma omp for schedule(static)
+  for (std::size_t i = 0; i < n; ++i) {
+    Vec3 sum{};
+    for (int t = 0; t < team; ++t) {
+      sum += priv[static_cast<std::size_t>(t)][i];
+    }
+    force[i] += sum;
+  }
+  const int tid = omp_get_thread_num();
+  energy_parts[tid] = energy;
+  virial_parts[tid] = virial;
 }
 
 }  // namespace sdcmd::detail

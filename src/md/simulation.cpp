@@ -153,6 +153,9 @@ void Simulation::set_instrumentation(InstrumentationConfig config) {
     obs_handles_.health_checks = r.counter("guard.health_checks");
     obs_handles_.health_failures = r.counter("guard.health_failures");
     obs_handles_.dt = r.gauge("sim.dt");
+    obs_handles_.pair_cache_bytes = r.gauge("eam.pair_cache_bytes");
+    obs_handles_.cache_stores = r.counter("eam.cache_store_slots");
+    obs_handles_.cache_reads = r.counter("eam.cache_read_slots");
   }
   if (EamForceComputer* computer = provider_->eam_computer()) {
     computer->sweep_profiler().set_enabled(obs_.profile_sweep);
@@ -325,6 +328,19 @@ void Simulation::run(long steps, const Callback& callback,
       obs_.registry->add(obs_handles_.steps);
       obs_.registry->observe(obs_handles_.step_seconds, step_wall);
       obs_.registry->set(obs_handles_.dt, config_.dt);
+      if (const EamForceComputer* computer = provider_->eam_computer()) {
+        const EamKernelStats& ks = computer->stats();
+        obs_.registry->set(obs_handles_.pair_cache_bytes,
+                           static_cast<double>(ks.pair_cache_bytes));
+        obs_.registry->add(obs_handles_.cache_stores,
+                           static_cast<double>(ks.cache_store_slots -
+                                               obs_handles_.prev_cache_stores));
+        obs_.registry->add(obs_handles_.cache_reads,
+                           static_cast<double>(ks.cache_read_slots -
+                                               obs_handles_.prev_cache_reads));
+        obs_handles_.prev_cache_stores = ks.cache_store_slots;
+        obs_handles_.prev_cache_reads = ks.cache_read_slots;
+      }
     }
     if (monitor_) guard_after_step();
     const bool sampled = step_ % obs_.sample_every == 0;

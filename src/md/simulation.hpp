@@ -233,6 +233,13 @@ class Simulation {
     std::size_t health_checks = 0;
     std::size_t health_failures = 0;
     std::size_t dt = 0;
+    std::size_t pair_cache_bytes = 0;
+    std::size_t cache_stores = 0;
+    std::size_t cache_reads = 0;
+    // EamKernelStats counters are cumulative; remember the last value seen
+    // so each step adds only its delta to the registry counters.
+    std::size_t prev_cache_stores = 0;
+    std::size_t prev_cache_reads = 0;
   } obs_handles_;
 };
 

@@ -42,7 +42,13 @@ void NeighborList::build(std::span<const Vec3> positions) {
   for (std::size_t i = 0; i < n; ++i) {
     neigh_index_[i + 1] = neigh_index_[i] + neigh_len_[i];
   }
-  neigh_list_.resize(neigh_index_[n]);
+  // Reserve with slack so steady-state rebuilds (pair counts drift by a
+  // few percent as atoms cross the skin) stay reallocation-free.
+  const std::size_t needed = neigh_index_[n];
+  if (neigh_list_.capacity() < needed) {
+    neigh_list_.reserve(needed + needed / 8);
+  }
+  neigh_list_.resize(needed);
 
   // Pass 2: fill.
 #pragma omp parallel for schedule(static)
@@ -73,6 +79,8 @@ bool NeighborList::needs_rebuild(std::span<const Vec3> positions) const {
   if (positions.size() != positions_at_build_.size()) return true;
   const double limit = config_.skin * 0.5;
   const double limit2 = limit * limit;
+  // Early exit on the FIRST atom past skin/2: in the common
+  // must-rebuild case this touches a handful of atoms, not all N.
   for (std::size_t i = 0; i < positions.size(); ++i) {
     if (box_.distance2(positions[i], positions_at_build_[i]) > limit2) {
       return true;

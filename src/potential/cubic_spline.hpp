@@ -4,10 +4,40 @@
 // splines; value and first derivative come from a single segment lookup.
 #pragma once
 
+#include <algorithm>
+#include <cmath>
 #include <cstddef>
 #include <vector>
 
 namespace sdcmd {
+
+/// POD view over a uniform-grid cubic spline's segment coefficients, for
+/// inner loops that cannot afford a virtual call per evaluation. The view
+/// borrows the owning CubicSpline's arrays; it stays valid as long as the
+/// spline is alive and unmodified. evaluate() mirrors CubicSpline::evaluate
+/// operation-for-operation so the two paths agree to the last bit modulo
+/// compiler FP contraction.
+struct SplineView {
+  const double* a = nullptr;
+  const double* b = nullptr;
+  const double* c = nullptr;
+  const double* d = nullptr;
+  double x0 = 0.0;
+  double dx = 1.0;
+  std::size_t segments = 0;  ///< sample count minus one
+
+  bool valid() const { return a != nullptr && segments > 0; }
+
+  void evaluate(double x, double& value, double& derivative) const {
+    const double rel = (x - x0) / dx;
+    auto idx = static_cast<long>(std::floor(rel));
+    idx = std::clamp(idx, 0L, static_cast<long>(segments) - 1);
+    const double t = x - (x0 + dx * static_cast<double>(idx));
+    const auto i = static_cast<std::size_t>(idx);
+    value = a[i] + t * (b[i] + t * (c[i] + t * d[i]));
+    derivative = b[i] + t * (2.0 * c[i] + 3.0 * t * d[i]);
+  }
+};
 
 class CubicSpline {
  public:
@@ -27,6 +57,19 @@ class CubicSpline {
 
   /// Value and derivative in one lookup.
   void evaluate(double x, double& value, double& derivative) const;
+
+  /// Borrowed coefficient view for devirtualized evaluation loops.
+  SplineView view() const {
+    SplineView v;
+    v.a = a_.data();
+    v.b = b_.data();
+    v.c = c_.data();
+    v.d = d_.data();
+    v.x0 = x0_;
+    v.dx = dx_;
+    v.segments = n_ - 1;
+    return v;
+  }
 
   double x_begin() const { return x0_; }
   double x_end() const { return x0_ + dx_ * static_cast<double>(n_ - 1); }

@@ -20,7 +20,22 @@
 
 #include <string>
 
+#include "potential/cubic_spline.hpp"
+
 namespace sdcmd {
+
+/// Flattened spline coefficients of a tabulated EAM potential, for
+/// devirtualized force-kernel inner loops (no virtual dispatch per pair).
+/// Analytic potentials expose no tables and keep the virtual path.
+struct EamSplineTables {
+  SplineView pair;
+  SplineView density;
+  SplineView embed;
+
+  bool valid() const {
+    return pair.valid() && density.valid() && embed.valid();
+  }
+};
 
 /// A radially symmetric pair interaction, valid for r in (0, cutoff].
 class PairPotential {
@@ -54,6 +69,12 @@ class EamPotential {
 
   /// Embedding energy F(rho) and dF/drho.
   virtual void embed(double rho, double& f, double& dfdrho) const = 0;
+
+  /// Flattened spline tables for devirtualized inner loops, or nullptr for
+  /// analytic potentials (the kernels then evaluate through the virtual
+  /// interface). The returned pointer is owned by the potential and stays
+  /// valid for its lifetime.
+  virtual const EamSplineTables* spline_tables() const { return nullptr; }
 
   virtual std::string name() const = 0;
 };

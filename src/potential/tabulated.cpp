@@ -75,4 +75,11 @@ void TabulatedEam::embed(double rho, double& f, double& dfdrho) const {
   embed_spline_.evaluate(rho, f, dfdrho);
 }
 
+const EamSplineTables* TabulatedEam::spline_tables() const {
+  views_.pair = pair_spline_.view();
+  views_.density = density_spline_.view();
+  views_.embed = embed_spline_.view();
+  return &views_;
+}
+
 }  // namespace sdcmd

@@ -47,6 +47,7 @@ class TabulatedEam final : public EamPotential {
   void pair(double r, double& energy, double& dvdr) const override;
   void density(double r, double& phi, double& dphidr) const override;
   void embed(double rho, double& f, double& dfdrho) const override;
+  const EamSplineTables* spline_tables() const override;
   std::string name() const override { return "tabulated-" + tables_.label; }
 
   const EamTables& tables() const { return tables_; }
@@ -56,6 +57,9 @@ class TabulatedEam final : public EamPotential {
   CubicSpline pair_spline_;
   CubicSpline density_spline_;
   CubicSpline embed_spline_;
+  // Refreshed on every spline_tables() call so the borrowed pointers stay
+  // correct across copies/moves of this object.
+  mutable EamSplineTables views_;
 };
 
 }  // namespace sdcmd

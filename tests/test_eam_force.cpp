@@ -13,6 +13,7 @@
 #include "common/units.hpp"
 #include "geom/lattice.hpp"
 #include "potential/finnis_sinclair.hpp"
+#include "potential/tabulated.hpp"
 
 namespace sdcmd {
 namespace {
@@ -62,8 +63,16 @@ struct Workload {
     EamForceConfig cfg;
     cfg.strategy = strategy;
     cfg.sdc.dimensionality = sdc_dims;
-    EamForceComputer computer(potential, cfg);
-    computer.attach_schedule(box, potential.cutoff() + kSkin);
+    return run(cfg);
+  }
+
+  Output run(const EamForceConfig& cfg) {
+    return run(cfg, potential);
+  }
+
+  Output run(const EamForceConfig& cfg, const EamPotential& pot) {
+    EamForceComputer computer(pot, cfg);
+    computer.attach_schedule(box, pot.cutoff() + kSkin);
     computer.on_neighbor_rebuild(positions);
 
     Output out;
@@ -71,7 +80,7 @@ struct Workload {
     out.fp.resize(positions.size());
     out.force.resize(positions.size());
     const NeighborList& list =
-        required_mode(strategy) == NeighborMode::Full ? *full : *half;
+        required_mode(cfg.strategy) == NeighborMode::Full ? *full : *half;
     out.result = computer.compute(box, positions, list, out.rho, out.fp,
                                   out.force);
     return out;
@@ -140,6 +149,101 @@ TEST_P(SdcDimensionalityTest, SdcIsDeterministic) {
 
 INSTANTIATE_TEST_SUITE_P(Dims, SdcDimensionalityTest,
                          ::testing::Values(1, 2, 3));
+
+// --- ISSUE 3: pair cache and devirtualized spline tables -------------------
+
+class PairCacheEquivalenceTest
+    : public ::testing::TestWithParam<ReductionStrategy> {};
+
+TEST_P(PairCacheEquivalenceTest, CachedMatchesUncached) {
+  // The cached force phase replays the density phase's geometry/spline
+  // values instead of recomputing them; per strategy (and so per list
+  // mode: RC exercises the full-list path where the cache is ignored)
+  // the outputs must agree to 1e-12.
+  Workload w(6);
+  EamForceConfig cfg;
+  cfg.strategy = GetParam();
+  cfg.sdc.dimensionality = 2;
+  cfg.use_pair_cache = true;
+  const auto cached = w.run(cfg);
+  cfg.use_pair_cache = false;
+  const auto uncached = w.run(cfg);
+  expect_outputs_match(cached, uncached, 1e-12);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllStrategies, PairCacheEquivalenceTest,
+    ::testing::Values(ReductionStrategy::Serial, ReductionStrategy::Critical,
+                      ReductionStrategy::Atomic,
+                      ReductionStrategy::LockStriped,
+                      ReductionStrategy::ArrayPrivatization,
+                      ReductionStrategy::RedundantComputation,
+                      ReductionStrategy::Sdc),
+    [](const auto& info) { return to_string(info.param); });
+
+TEST(EamForce, SplineTablesMatchVirtualDispatch) {
+  // TabulatedEam exposes flattened spline tables; evaluating them inline
+  // must reproduce the virtual-interface path for every strategy that can
+  // see them.
+  Workload w(6);
+  const TabulatedEam tab =
+      TabulatedEam::from_analytic(w.potential, 2000, 2000, 60.0);
+  for (ReductionStrategy s :
+       {ReductionStrategy::Serial, ReductionStrategy::Sdc,
+        ReductionStrategy::RedundantComputation}) {
+    EamForceConfig cfg;
+    cfg.strategy = s;
+    cfg.sdc.dimensionality = 2;
+    cfg.use_spline_tables = true;
+    const auto fast = w.run(cfg, tab);
+    cfg.use_spline_tables = false;
+    const auto virt = w.run(cfg, tab);
+    expect_outputs_match(fast, virt, 1e-12);
+  }
+}
+
+TEST(EamForce, PairCacheResizesAcrossNeighborRebuilds) {
+  // The cache is sized to the neighbor list's pair count; after a rebuild
+  // changes that count the next compute() must resize and stay correct.
+  Workload w(6, 0.02, 21);
+  EamForceConfig cfg;
+  cfg.strategy = ReductionStrategy::Sdc;
+  cfg.sdc.dimensionality = 2;
+  EamForceComputer computer(w.potential, cfg);
+  computer.attach_schedule(w.box, w.potential.cutoff() + kSkin);
+  computer.on_neighbor_rebuild(w.positions);
+
+  const std::size_t n = w.positions.size();
+  std::vector<double> rho(n), fp(n);
+  std::vector<Vec3> force(n);
+  computer.compute(w.box, w.positions, *w.half, rho, fp, force);
+  const std::size_t pairs_before = w.half->pair_count();
+
+  // Larger jitter: atoms cross the cutoff shell, so the rebuilt list has a
+  // different pair count and the cache must follow.
+  Xoshiro256 rng(5);
+  for (auto& r : w.positions) {
+    r = w.box.wrap(r + Vec3{rng.normal(0.0, 0.12), rng.normal(0.0, 0.12),
+                            rng.normal(0.0, 0.12)});
+  }
+  w.half->build(w.positions);
+  computer.on_neighbor_rebuild(w.positions);
+  ASSERT_NE(w.half->pair_count(), pairs_before);
+  computer.compute(w.box, w.positions, *w.half, rho, fp, force);
+
+  // Reference: a fresh, uncached computer on the rebuilt configuration.
+  cfg.use_pair_cache = false;
+  const auto reference = w.run(cfg);
+  for (std::size_t i = 0; i < n; ++i) {
+    EXPECT_NEAR(rho[i], reference.rho[i],
+                1e-12 * std::max(1.0, std::abs(reference.rho[i])));
+    EXPECT_NEAR(norm(force[i] - reference.force[i]), 0.0, 1e-11);
+  }
+  // 40 B/pair high-water footprint (24 B dr + 8 B r + 8 B dphidr).
+  const std::size_t max_pairs = std::max(pairs_before, w.half->pair_count());
+  EXPECT_GE(computer.stats().pair_cache_bytes,
+            max_pairs * (sizeof(Vec3) + 2 * sizeof(double)));
+}
 
 TEST(EamForce, NewtonsThirdLawTotalForceVanishes) {
   Workload w(6);
@@ -244,9 +348,15 @@ TEST(EamForce, StatsCountersTrackWork) {
   EXPECT_EQ(stats.scatter_updates, 4 * w.half->pair_count());
   EXPECT_EQ(stats.color_sweeps,
             4u * static_cast<std::size_t>(computer.schedule()->color_count()));
+  // Pair cache on by default: every CSR slot stored then read, each step.
+  EXPECT_EQ(stats.cache_store_slots, 2 * w.half->pair_count());
+  EXPECT_EQ(stats.cache_read_slots, 2 * w.half->pair_count());
+  EXPECT_GE(stats.pair_cache_bytes,
+            w.half->pair_count() * (sizeof(Vec3) + 2 * sizeof(double)));
 
   computer.reset_instrumentation();
   EXPECT_EQ(computer.stats().density_pair_visits, 0u);
+  EXPECT_EQ(computer.stats().cache_store_slots, 0u);
 }
 
 TEST(EamForce, RcVisitsTwiceThePairs) {
