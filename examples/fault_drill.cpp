@@ -8,8 +8,14 @@
 // corrupts with an injected short write to show the previous file
 // survives with a valid checksum.
 //
+// Drill 4 switches to the strategy governor: an injected box shrink drops
+// the cell below the SDC feasibility bound mid-run and the governor
+// demotes to array privatization instead of racing or dying with
+// InfeasibleError, with the swap visible in step-metrics JSONL.
+//
 //   ./fault_drill [--cells 6] [--steps 200] [--fault-step 60]
 //                 [--checkpoint fault_drill.chk]
+//                 [--governor-jsonl fault_drill_governor.jsonl]
 #include <cstdio>
 #include <exception>
 
@@ -19,6 +25,8 @@
 #include "common/units.hpp"
 #include "io/checkpoint.hpp"
 #include "md/simulation.hpp"
+#include "obs/jsonl.hpp"
+#include "obs/metrics.hpp"
 #include "potential/finnis_sinclair.hpp"
 
 int main(int argc, char** argv) {
@@ -30,6 +38,8 @@ int main(int argc, char** argv) {
   cli.add_option("steps", "200", "MD steps to run");
   cli.add_option("fault-step", "60", "step whose force evaluation gets NaN");
   cli.add_option("checkpoint", "fault_drill.chk", "auto-checkpoint path");
+  cli.add_option("governor-jsonl", "fault_drill_governor.jsonl",
+                 "step-metrics JSONL written by the governor drill");
   if (!cli.parse(argc, argv)) return 1;
 
   LatticeSpec lattice;
@@ -104,6 +114,49 @@ int main(int argc, char** argv) {
   std::printf("  resumed %ld -> %ld steps, Etot %.6f eV\n", before.step,
               before.step + resumed.current_step(), t.total_energy());
 
+  std::printf("drill 4: box shrink below the SDC feasibility bound\n");
+  FaultInjector::instance().disarm_all();
+  lattice.nx = lattice.ny = lattice.nz = 6;  // 2-D SDC feasible, barely
+  SimulationConfig sdc_cfg;
+  sdc_cfg.dt = units::fs_to_internal(1.0);
+  sdc_cfg.force.strategy = ReductionStrategy::Sdc;
+  Simulation governed(System::from_lattice(lattice, units::kMassFe), iron,
+                      sdc_cfg);
+  governed.set_temperature(100.0, 42);
+
+  const std::string jsonl = cli.get("governor-jsonl");
+  obs::MetricsRegistry registry;
+  obs::StepMetricsWriter writer(jsonl);
+  InstrumentationConfig inst;
+  inst.registry = &registry;
+  inst.step_writer = &writer;
+  governed.set_instrumentation(inst);
+  governed.set_governor(GovernorConfig{});
+  std::printf("  governor starts on %s\n",
+              to_string(governed.governor()->active()).c_str());
+
+  FaultSpec shrink;
+  shrink.countdown = 5;
+  shrink.magnitude = 0.9;  // 17.2 A -> 15.5 A, below the ~15.9 A bound
+  FaultInjector::instance().arm(faults::kBoxShrink, shrink);
+  try {
+    governed.run(20);
+  } catch (const InfeasibleError& e) {
+    std::printf("  ERROR: governor failed to absorb the shrink: %s\n",
+                e.what());
+    return 1;
+  }
+  const StrategyGovernor& gov = *governed.governor();
+  std::printf("  shrink fired %ld time(s); now on %s after %ld demotion(s)\n",
+              FaultInjector::instance().fire_count(faults::kBoxShrink),
+              to_string(gov.active()).c_str(), gov.demotions());
+  std::printf("  %zu step records -> %s\n", writer.records(), jsonl.c_str());
+  if (gov.demotions() != 1 || gov.active() == ReductionStrategy::Sdc) {
+    std::printf("  ERROR: expected exactly one demotion off Sdc\n");
+    return 1;
+  }
+
+  FaultInjector::instance().disarm_all();
   std::remove(path.c_str());
   std::remove((path + ".tmp").c_str());
   return 0;

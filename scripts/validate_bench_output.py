@@ -68,7 +68,9 @@ def check_bench(
     )
 
 
-def check_jsonl(path: str) -> None:
+def check_jsonl(
+    path: str, require_metrics: list[str], require_sweep: bool
+) -> None:
     records = []
     with open(path) as f:
         for lineno, line in enumerate(f, 1):
@@ -92,8 +94,15 @@ def check_jsonl(path: str) -> None:
                 fail(f"{path}: imbalance < 1 in {entry}")
         if rec.get("sweep"):
             swept += 1
-    if swept == 0:
+    if require_sweep and swept == 0:
         fail(f"{path}: no record carries sweep profiles")
+    seen_metrics = {name for rec in records for name in rec["metrics"]}
+    for name in require_metrics:
+        if name not in seen_metrics:
+            fail(
+                f"{path}: no record carries metric {name!r} "
+                f"(saw {sorted(seen_metrics)})"
+            )
     phases = {
         e["phase"] for rec in records for e in rec.get("sweep", [])
     }
@@ -137,6 +146,18 @@ def main() -> None:
         "(e.g. pair_cache_on,pair_cache_off)",
     )
     parser.add_argument("--jsonl", help="sdcmd.step_metrics.v1 JSONL file")
+    parser.add_argument(
+        "--require-metrics",
+        default="",
+        help="comma list of metric names that must appear in at least one "
+        "JSONL record (e.g. governor.active_strategy,governor.demotions)",
+    )
+    parser.add_argument(
+        "--no-require-sweep",
+        action="store_true",
+        help="accept JSONL without sweep profiles (runs without "
+        "profile_sweep, e.g. the fault_drill governor scenario)",
+    )
     parser.add_argument("--trace", help="Chrome trace-event JSON file")
     args = parser.parse_args()
     if not (args.bench or args.jsonl or args.trace):
@@ -148,7 +169,11 @@ def main() -> None:
             [c for c in args.require_cases.split(",") if c],
         )
     if args.jsonl:
-        check_jsonl(args.jsonl)
+        check_jsonl(
+            args.jsonl,
+            [m for m in args.require_metrics.split(",") if m],
+            not args.no_require_sweep,
+        )
     if args.trace:
         check_trace(args.trace)
 

@@ -37,6 +37,10 @@ inline constexpr const char* kPositionKick = "integrator.position_kick";
 /// Checkpoint writer: truncate the payload and abort before the rename,
 /// simulating a crash mid-write.
 inline constexpr const char* kCheckpointShortWrite = "checkpoint.short_write";
+/// Simulation driver: isotropically rescale the box by `magnitude`
+/// (default 0.5) with an affine position remap, simulating a barostat
+/// collapse that invalidates the SDC decomposition mid-run.
+inline constexpr const char* kBoxShrink = "governor.box_shrink";
 }  // namespace faults
 
 /// What an armed injection point does when it fires.

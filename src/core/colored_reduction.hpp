@@ -37,6 +37,13 @@ class ColoredScatterEngine {
   ColoredScatterEngine(const Box& box, double interaction_range,
                        SdcConfig config);
 
+  /// Non-throwing probe: would the constructor succeed? Lets callers (the
+  /// StrategyGovernor in particular) poll a changing box without try/catch.
+  static bool feasible(const Box& box, double interaction_range,
+                       const SdcConfig& config) {
+    return SdcSchedule::feasible(box, interaction_range, config);
+  }
+
   /// Re-bin the points (call whenever they move materially).
   void rebuild(std::span<const Vec3> points);
 

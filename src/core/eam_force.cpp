@@ -76,6 +76,26 @@ void EamForceComputer::attach_schedule(const Box& box,
       std::make_unique<SdcSchedule>(box, interaction_range, config_.sdc);
 }
 
+void EamForceComputer::set_strategy(ReductionStrategy strategy) {
+  if (strategy == config_.strategy) return;
+  SDCMD_REQUIRE(required_mode(strategy) == required_mode(config_.strategy),
+                "cannot hot-swap " + to_string(config_.strategy) + " -> " +
+                    to_string(strategy) +
+                    ": the swap would change the neighbor-list mode");
+  config_.strategy = strategy;
+  if (strategy == ReductionStrategy::ArrayPrivatization && sap_ == nullptr) {
+    sap_ = std::make_unique<SapWorkspace>();
+  }
+  if (strategy == ReductionStrategy::LockStriped && locks_ == nullptr) {
+    locks_ = std::make_unique<LockPool>();
+  }
+  if (strategy != ReductionStrategy::Sdc) {
+    // Free the sweep schedule; a later re-promotion rebuilds it via
+    // attach_schedule + on_neighbor_rebuild.
+    schedule_.reset();
+  }
+}
+
 void EamForceComputer::on_neighbor_rebuild(std::span<const Vec3> positions) {
   if (config_.strategy != ReductionStrategy::Sdc) return;
   SDCMD_REQUIRE(schedule_ != nullptr,
@@ -298,6 +318,36 @@ EamForceResult EamForceComputer::compute(const Box& box,
     stats_.pair_cache_bytes =
         std::max(stats_.pair_cache_bytes, cache_->bytes());
   }
+  return result;
+}
+
+EamForceResult EamForceComputer::compute_serial_reference(
+    const Box& box, std::span<const Vec3> positions, const NeighborList& list,
+    std::span<double> rho, std::span<double> fp,
+    std::span<Vec3> force) const {
+  const std::size_t n = positions.size();
+  SDCMD_REQUIRE(rho.size() == n && fp.size() == n && force.size() == n,
+                "output arrays must match the atom count");
+  SDCMD_REQUIRE(list.atom_count() == n, "neighbor list is stale");
+  SDCMD_REQUIRE(list.mode() == NeighborMode::Half,
+                "the serial reference kernels walk a half neighbor list");
+  const double cutoff = potential_.cutoff();
+  detail::EamArgs args{box,        positions,
+                       list,       potential_,
+                       cutoff * cutoff, config_.dynamic_schedule};
+  if (config_.use_spline_tables) {
+    const EamSplineTables* tables = potential_.spline_tables();
+    if (tables != nullptr && tables->valid()) args.tables = tables;
+  }
+  std::fill(rho.begin(), rho.end(), 0.0);
+  std::fill(force.begin(), force.end(), Vec3{});
+  EamForceResult result;
+  detail::density_serial(args, rho);
+  result.embedding_energy = detail::embed_serial(args, rho, fp);
+  detail::ForceSums sums;
+  detail::force_serial(args, fp, force, sums);
+  result.pair_energy = sums.pair_energy;
+  result.virial = sums.virial;
   return result;
 }
 

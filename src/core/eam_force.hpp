@@ -93,6 +93,17 @@ class EamForceComputer {
                          const NeighborList& list, std::span<double> rho,
                          std::span<double> fp, std::span<Vec3> force);
 
+  /// Hot-swap the reduction strategy mid-run (the StrategyGovernor's
+  /// degradation ladder). Allocates the new strategy's workspace (SAP
+  /// replicas, lock pool) on demand and drops a stale SDC schedule when
+  /// leaving Sdc; the pair cache and fused one-region pipeline carry over
+  /// untouched. The caller must re-run attach_schedule +
+  /// on_neighbor_rebuild before the next compute() when swapping TO Sdc.
+  /// No-op when `strategy` is already active. Throws PreconditionError on
+  /// a swap that changes the required neighbor-list mode (to or from
+  /// RedundantComputation) - the ladder never does that.
+  void set_strategy(ReductionStrategy strategy);
+
   const EamForceConfig& config() const { return config_; }
   const EamPotential& potential() const { return potential_; }
 
@@ -111,6 +122,18 @@ class EamForceComputer {
 
   /// The SDC schedule, or nullptr for non-SDC strategies.
   const SdcSchedule* schedule() const { return schedule_.get(); }
+
+  /// Single-threaded reference evaluation into caller-owned scratch, used
+  /// by the governor's periodic shadow validation: same spline tables as
+  /// compute(), no pair cache, no timers/stats/profiler mutation. `list`
+  /// must be a half list (every ladder strategy's mode, so the active
+  /// list can be shared).
+  EamForceResult compute_serial_reference(const Box& box,
+                                          std::span<const Vec3> positions,
+                                          const NeighborList& list,
+                                          std::span<double> rho,
+                                          std::span<double> fp,
+                                          std::span<Vec3> force) const;
 
  private:
   struct SapWorkspace;

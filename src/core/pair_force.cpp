@@ -254,6 +254,16 @@ void PairForceComputer::attach_schedule(const Box& box,
       std::make_unique<SdcSchedule>(box, interaction_range, config_.sdc);
 }
 
+void PairForceComputer::set_strategy(ReductionStrategy strategy) {
+  if (strategy == config_.strategy) return;
+  SDCMD_REQUIRE(required_mode(strategy) == required_mode(config_.strategy),
+                "cannot hot-swap " + to_string(config_.strategy) + " -> " +
+                    to_string(strategy) +
+                    ": the swap would change the neighbor-list mode");
+  config_.strategy = strategy;
+  if (strategy != ReductionStrategy::Sdc) schedule_.reset();
+}
+
 void PairForceComputer::on_neighbor_rebuild(
     std::span<const Vec3> positions) {
   if (config_.strategy != ReductionStrategy::Sdc) return;

@@ -46,6 +46,12 @@ class PairForceComputer {
   PairForceResult compute(const Box& box, std::span<const Vec3> positions,
                           const NeighborList& list, std::span<Vec3> force);
 
+  /// Hot-swap the reduction strategy (see EamForceComputer::set_strategy).
+  /// Workspaces are allocated lazily in compute(), so this only swaps the
+  /// config and drops a stale SDC schedule; re-run attach_schedule +
+  /// on_neighbor_rebuild before the next compute() when swapping TO Sdc.
+  void set_strategy(ReductionStrategy strategy);
+
   const PairForceConfig& config() const { return config_; }
   PhaseTimers& timers() { return timers_; }
   const SdcSchedule* schedule() const { return schedule_.get(); }

@@ -25,6 +25,12 @@ SdcSchedule::SdcSchedule(const Box& box, double interaction_range,
   partition_ = std::make_unique<Partition>(*decomposition_, *coloring_);
 }
 
+bool SdcSchedule::feasible(const Box& box, double interaction_range,
+                           const SdcConfig& config) {
+  return SpatialDecomposition::feasible(box, config.dimensionality,
+                                        interaction_range);
+}
+
 void SdcSchedule::rebuild(std::span<const Vec3> positions) {
   partition_->build(positions);
   built_ = true;

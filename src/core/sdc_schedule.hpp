@@ -28,6 +28,12 @@ class SdcSchedule {
   /// Table 1 blanks).
   SdcSchedule(const Box& box, double interaction_range, SdcConfig config);
 
+  /// Non-throwing probe: would the constructor succeed for this box/range/
+  /// config? Coarsening (`max_subdomains`) only grows subdomain edges, so
+  /// feasibility is exactly the finest decomposition's feasibility.
+  static bool feasible(const Box& box, double interaction_range,
+                       const SdcConfig& config);
+
   /// Re-binned atom partition; call whenever the neighbor list is rebuilt.
   void rebuild(std::span<const Vec3> positions);
 

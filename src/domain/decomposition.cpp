@@ -88,14 +88,24 @@ SpatialDecomposition SpatialDecomposition::with_target(
   return SpatialDecomposition(box, counts, interaction_range);
 }
 
+bool SpatialDecomposition::feasible(const Box& box, int dimensionality,
+                                    double interaction_range) {
+  if (dimensionality < 1 || dimensionality > 3) return false;
+  if (!(interaction_range > 0.0)) return false;
+  for (int d = 0; d < dimensionality; ++d) {
+    // Same arithmetic as finest_counts so probe and build never disagree:
+    // the largest even n with box.length(d)/n >= 2*range must be >= 2.
+    int n = static_cast<int>(box.length(d) / (2.0 * interaction_range));
+    n -= n % 2;
+    if (n < 2) return false;
+  }
+  return true;
+}
+
 int SpatialDecomposition::max_feasible_dimensionality(
     const Box& box, double interaction_range) {
   for (int dims = 3; dims >= 1; --dims) {
-    try {
-      finest_counts(box, dims, interaction_range);
-      return dims;
-    } catch (const InfeasibleError&) {
-    }
+    if (feasible(box, dims, interaction_range)) return dims;
   }
   return 0;
 }

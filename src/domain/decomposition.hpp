@@ -77,6 +77,13 @@ class SpatialDecomposition {
   static int max_feasible_dimensionality(const Box& box,
                                          double interaction_range);
 
+  /// Non-throwing probe: can `finest(box, dimensionality, range)` succeed?
+  /// False (instead of a throw) for out-of-range dimensionality or a
+  /// non-positive range, so callers can poll inside a hot loop without
+  /// try/catch on InfeasibleError.
+  static bool feasible(const Box& box, int dimensionality,
+                       double interaction_range);
+
  private:
   static std::array<int, 3> finest_counts(const Box& box, int dimensionality,
                                           double interaction_range);

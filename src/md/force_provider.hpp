@@ -7,6 +7,7 @@
 #pragma once
 
 #include <memory>
+#include <optional>
 #include <span>
 
 #include "common/timer.hpp"
@@ -42,6 +43,21 @@ class ForceProvider {
   /// The underlying EAM computer when this provider wraps one (the
   /// quickstart-style instrumentation hooks); nullptr otherwise.
   virtual EamForceComputer* eam_computer() { return nullptr; }
+
+  /// The active reduction strategy, or nullopt for backends that don't run
+  /// one (then the StrategyGovernor has nothing to govern).
+  virtual std::optional<ReductionStrategy> strategy() const {
+    return std::nullopt;
+  }
+
+  /// Hot-swap the reduction strategy mid-run (governor ladder moves).
+  /// Returns false when the backend doesn't support swapping. The caller
+  /// must rebuild schedules/neighbor state afterwards.
+  virtual bool set_strategy(ReductionStrategy) { return false; }
+
+  /// The SDC settings this backend builds schedules from, so the governor
+  /// probes feasibility with exactly the config attach_schedule will use.
+  virtual std::optional<SdcConfig> sdc_config() const { return std::nullopt; }
 };
 
 /// EAM backend (the paper's workload).
@@ -63,6 +79,16 @@ class EamForceProvider final : public ForceProvider {
                          const NeighborList& list) override;
   PhaseTimers& timers() override { return computer_.timers(); }
   EamForceComputer* eam_computer() override { return &computer_; }
+  std::optional<ReductionStrategy> strategy() const override {
+    return computer_.config().strategy;
+  }
+  bool set_strategy(ReductionStrategy s) override {
+    computer_.set_strategy(s);
+    return true;
+  }
+  std::optional<SdcConfig> sdc_config() const override {
+    return computer_.config().sdc;
+  }
 
  private:
   EamForceComputer computer_;
@@ -86,6 +112,16 @@ class PairForceProvider final : public ForceProvider {
   EamForceResult compute(const Box& box, Atoms& atoms,
                          const NeighborList& list) override;
   PhaseTimers& timers() override { return computer_.timers(); }
+  std::optional<ReductionStrategy> strategy() const override {
+    return computer_.config().strategy;
+  }
+  bool set_strategy(ReductionStrategy s) override {
+    computer_.set_strategy(s);
+    return true;
+  }
+  std::optional<SdcConfig> sdc_config() const override {
+    return computer_.config().sdc;
+  }
 
  private:
   const PairPotential& potential_;

@@ -1,8 +1,14 @@
 #include "md/simulation.hpp"
 
+#include <algorithm>
+#include <cmath>
+
 #include "common/error.hpp"
+#include "common/fault.hpp"
 #include "common/log.hpp"
+#include "common/threads.hpp"
 #include "common/timer.hpp"
+#include "core/race_check.hpp"
 #include "md/velocity.hpp"
 #include "neighbor/reorder.hpp"
 
@@ -11,6 +17,10 @@ namespace sdcmd {
 namespace {
 /// Trace track for driver-level events (OpenMP worker tracks are 0..N-1).
 constexpr int kDriverTid = 1000;
+/// Skin backoff: growth per retry and the retry budget (bounded so a
+/// pathological run cannot inflate the interaction range without limit).
+constexpr double kSkinBackoffFactor = 1.5;
+constexpr int kMaxSkinBackoffs = 3;
 }  // namespace
 
 Simulation::Simulation(System system, const EamPotential& potential,
@@ -34,7 +44,8 @@ Simulation::Simulation(System system,
     : system_(std::move(system)),
       config_(config),
       integrator_(config.dt, system_.mass()),
-      provider_(std::move(provider)) {
+      provider_(std::move(provider)),
+      skin_(config.skin) {
   SDCMD_REQUIRE(provider_ != nullptr, "force provider must not be null");
   rebuild_geometry();
 }
@@ -55,15 +66,18 @@ const EamForceComputer& Simulation::force_computer() const {
 }
 
 void Simulation::rebuild_geometry() {
+  // Box or range changed: the governor gets first say, so a demoted
+  // strategy is already active when the schedule below is attached.
+  govern_box_change();
+
   NeighborListConfig nl;
   nl.cutoff = provider_->cutoff();
-  nl.skin = config_.skin;
+  nl.skin = skin_;
   nl.mode = provider_->required_mode();
   nl.sort_neighbors = config_.sort_neighbors;
   list_ = std::make_unique<NeighborList>(system_.box(), nl);
 
-  provider_->attach_schedule(system_.box(),
-                             provider_->cutoff() + config_.skin);
+  provider_->attach_schedule(system_.box(), provider_->cutoff() + skin_);
   rebuild_lists();
 }
 
@@ -72,7 +86,7 @@ void Simulation::rebuild_lists() {
   if (config_.reorder_atoms) {
     const auto perm = spatial_sort_permutation(
         system_.box(), system_.atoms().position,
-        provider_->cutoff() + config_.skin);
+        provider_->cutoff() + skin_);
     system_.atoms().reorder(perm);
   }
   list_->build(system_.atoms().position);
@@ -137,6 +151,148 @@ void Simulation::clear_guardrails() {
   rollbacks_ = 0;
 }
 
+void Simulation::set_governor(GovernorConfig config) {
+  if (std::optional<SdcConfig> sdc = provider_->sdc_config()) {
+    config.sdc = *sdc;  // probe with the config attach_schedule will use
+  }
+  governor_ = std::make_unique<StrategyGovernor>(config);
+  init_governor();
+}
+
+void Simulation::set_governor(GovernorConfig config,
+                              const GovernorState& state) {
+  if (std::optional<SdcConfig> sdc = provider_->sdc_config()) {
+    config.sdc = *sdc;
+  }
+  governor_ = std::make_unique<StrategyGovernor>(config);
+  governor_->restore_state(state);
+  init_governor();
+}
+
+void Simulation::clear_governor() { governor_.reset(); }
+
+void Simulation::init_governor() {
+  SDCMD_REQUIRE(provider_->strategy().has_value(),
+                "the active force backend has no reduction strategy for the "
+                "governor to manage");
+  const GovernorDecision decision = governor_->setup(
+      system_.box(), provider_->cutoff() + skin_, max_threads(),
+      system_.size());
+  apply_governor_decision(decision);
+  // Rebuild unconditionally: the provider may have been constructed with a
+  // different strategy (e.g. Sdc) than the governor just selected, and a
+  // selected Sdc rung needs its schedule attached.
+  rebuild_geometry();
+  if (!decision.reason.empty()) {
+    SDCMD_DEBUG("governor: " << decision.reason);
+  }
+}
+
+void Simulation::govern_box_change() {
+  if (!governor_) return;
+  const GovernorDecision decision = governor_->on_box_change(
+      system_.box(), provider_->cutoff() + skin_, max_threads(),
+      system_.size());
+  // The enclosing rebuild_geometry finishes the job (fresh list, schedule
+  // attach), so only the strategy swap + bookkeeping happens here.
+  if (decision.changed()) apply_governor_decision(decision);
+}
+
+void Simulation::govern_after_step() {
+  const GovernorConfig& gc = governor_->config();
+  if (gc.shadow_check_every > 0 && step_ % gc.shadow_check_every == 0) {
+    shadow_validate();
+  }
+  const GovernorDecision decision = governor_->on_step(
+      system_.box(), provider_->cutoff() + skin_, max_threads(),
+      system_.size());
+  if (decision.changed()) {
+    apply_governor_decision(decision);
+    rebuild_geometry();
+  }
+}
+
+void Simulation::apply_governor_decision(const GovernorDecision& decision) {
+  if (provider_->strategy() != decision.strategy) {
+    SDCMD_REQUIRE(provider_->set_strategy(decision.strategy),
+                  "force backend refused the governor's strategy swap to " +
+                      to_string(decision.strategy));
+  }
+  switch (decision.event) {
+    case GovernorEvent::Demotion:
+      obs_count(obs_handles_.governor_demotions);
+      obs_mark("governor.demote");
+      SDCMD_WARN("governor: " << decision.reason);
+      break;
+    case GovernorEvent::Promotion:
+      obs_count(obs_handles_.governor_promotions);
+      obs_mark("governor.promote");
+      SDCMD_WARN("governor: " << decision.reason);
+      break;
+    case GovernorEvent::None:
+      break;
+  }
+  if (obs_.registry != nullptr) {
+    obs_.registry->set(
+        obs_handles_.governor_strategy,
+        static_cast<double>(StrategyGovernor::strategy_code(
+            governor_->active())));
+  }
+}
+
+void Simulation::shadow_validate() {
+  obs_count(obs_handles_.governor_shadow_checks);
+  EamForceComputer* computer = provider_->eam_computer();
+  bool mismatch = false;
+  std::string detail;
+  if (computer != nullptr) {
+    compute_forces();  // a barostat rebuild may have left forces stale
+    const Atoms& atoms = system_.atoms();
+    const std::size_t n = atoms.size();
+    shadow_rho_.resize(n);
+    shadow_fp_.resize(n);
+    shadow_force_.resize(n);
+    computer->compute_serial_reference(system_.box(), atoms.position, *list_,
+                                       shadow_rho_, shadow_fp_,
+                                       shadow_force_);
+    double max_dev = 0.0;
+    for (std::size_t i = 0; i < n; ++i) {
+      max_dev = std::max(max_dev, std::abs(atoms.rho[i] - shadow_rho_[i]));
+      const Vec3 df = atoms.force[i] - shadow_force_[i];
+      max_dev = std::max({max_dev, std::abs(df.x), std::abs(df.y),
+                          std::abs(df.z)});
+    }
+    if (!(max_dev <= governor_->config().shadow_tolerance)) {
+      mismatch = true;
+      detail = "max rho/force deviation " + std::to_string(max_dev) +
+               " vs serial reference";
+    }
+    // The numeric pass can miss a race that happened not to fire this
+    // step; when SDC is active also verify the schedule geometrically.
+    if (!mismatch && governor_->active() == ReductionStrategy::Sdc &&
+        computer->schedule() != nullptr) {
+      const RaceCheckReport report =
+          check_schedule_race_free(*computer->schedule(), *list_);
+      if (!report.race_free) {
+        mismatch = true;
+        detail = report.describe();
+      }
+    }
+  }
+  if (!mismatch) return;
+  obs_count(obs_handles_.race_suspects);
+  obs_mark("guard.strategy_race_suspect");
+  const GovernorDecision decision = governor_->on_shadow_mismatch(detail);
+  if (decision.changed()) {
+    apply_governor_decision(decision);
+    rebuild_geometry();
+    forces_current_ = false;
+    compute_forces();  // re-evaluate under the demoted strategy
+  } else {
+    SDCMD_WARN("governor: " << decision.reason);
+  }
+}
+
 void Simulation::set_instrumentation(InstrumentationConfig config) {
   SDCMD_REQUIRE(config.sample_every >= 1,
                 "instrumentation sample interval must be >= 1");
@@ -156,6 +312,17 @@ void Simulation::set_instrumentation(InstrumentationConfig config) {
     obs_handles_.pair_cache_bytes = r.gauge("eam.pair_cache_bytes");
     obs_handles_.cache_stores = r.counter("eam.cache_store_slots");
     obs_handles_.cache_reads = r.counter("eam.cache_read_slots");
+    obs_handles_.governor_strategy = r.gauge("governor.active_strategy");
+    obs_handles_.governor_demotions = r.counter("governor.demotions");
+    obs_handles_.governor_promotions = r.counter("governor.promotions");
+    obs_handles_.governor_shadow_checks = r.counter("governor.shadow_checks");
+    obs_handles_.race_suspects = r.counter("guard.strategy_race_suspect");
+    obs_handles_.skin_backoffs = r.counter("neighbor.skin_backoffs");
+    if (governor_ != nullptr) {
+      r.set(obs_handles_.governor_strategy,
+            static_cast<double>(
+                StrategyGovernor::strategy_code(governor_->active())));
+    }
   }
   if (EamForceComputer* computer = provider_->eam_computer()) {
     computer->sweep_profiler().set_enabled(obs_.profile_sweep);
@@ -221,7 +388,7 @@ void Simulation::guard_baseline() {
   if (snapshot_) return;
   obs_count(obs_handles_.health_checks);
   const HealthReport report = monitor_->check(system_, last_result_, step_,
-                                              config_.dt, config_.skin);
+                                              config_.dt, skin_);
   if (report.ok()) {
     take_snapshot();
   } else {
@@ -236,7 +403,7 @@ void Simulation::guard_after_step() {
 
   obs_count(obs_handles_.health_checks);
   const HealthReport report = monitor_->check(system_, last_result_, step_,
-                                              config_.dt, config_.skin);
+                                              config_.dt, skin_);
   if (report.ok()) {
     if (checkpoint_due) take_snapshot();
     return;
@@ -286,7 +453,27 @@ void Simulation::step_once() {
     // The box changed: the cell grid and SDC decomposition are invalid.
     rebuild_geometry();
   } else if (lists_stale()) {
-    rebuild_lists();
+    // Displacement-triggered rebuilds on consecutive steps mean the skin
+    // no longer buys any reuse (classic under a shrinking box, where the
+    // affine remap drags every atom each barostat step): grow it with
+    // bounded backoff instead of rebuilding every step. The larger skin
+    // widens the interaction range, so the governor re-validates via the
+    // rebuild_geometry path.
+    const bool storm = config_.rebuild_interval == 0 &&
+                       step_ - last_displacement_rebuild_step_ <= 1;
+    last_displacement_rebuild_step_ = step_;
+    if (storm && skin_backoffs_ < kMaxSkinBackoffs) {
+      ++skin_backoffs_;
+      skin_ *= kSkinBackoffFactor;
+      obs_count(obs_handles_.skin_backoffs);
+      obs_mark("neighbor.skin_backoff");
+      SDCMD_WARN("neighbor: rebuild storm detected; growing skin to "
+                 << skin_ << " (backoff " << skin_backoffs_ << '/'
+                 << kMaxSkinBackoffs << ')');
+      rebuild_geometry();
+    } else {
+      rebuild_lists();
+    }
   }
 
   forces_current_ = false;
@@ -304,6 +491,21 @@ void Simulation::step_once() {
     const double mu = barostat_->apply(system_, sample().pressure,
                                        config_.dt * barostat_every_);
     if (mu != 1.0) {
+      rebuild_geometry();
+    }
+  }
+
+  if (FaultInjector::instance().armed()) {
+    if (const auto spec =
+            FaultInjector::instance().should_fire(faults::kBoxShrink)) {
+      // Simulated barostat collapse: isotropic rescale + affine remap,
+      // exactly the real barostat's box-change shape.
+      const double factor = spec->magnitude > 0.0 ? spec->magnitude : 0.5;
+      const Box old_box = system_.box();
+      system_.box().rescale({factor, factor, factor});
+      for (auto& r : system_.atoms().position) {
+        r = system_.box().affine_map(r, old_box);
+      }
       rebuild_geometry();
     }
   }
@@ -328,6 +530,12 @@ void Simulation::run(long steps, const Callback& callback,
       obs_.registry->add(obs_handles_.steps);
       obs_.registry->observe(obs_handles_.step_seconds, step_wall);
       obs_.registry->set(obs_handles_.dt, config_.dt);
+      if (governor_ != nullptr) {
+        obs_.registry->set(
+            obs_handles_.governor_strategy,
+            static_cast<double>(StrategyGovernor::strategy_code(
+                governor_->active())));
+      }
       if (const EamForceComputer* computer = provider_->eam_computer()) {
         const EamKernelStats& ks = computer->stats();
         obs_.registry->set(obs_handles_.pair_cache_bytes,
@@ -343,6 +551,7 @@ void Simulation::run(long steps, const Callback& callback,
       }
     }
     if (monitor_) guard_after_step();
+    if (governor_) govern_after_step();
     const bool sampled = step_ % obs_.sample_every == 0;
     if (obs_.trace != nullptr && sampled) {
       obs_.trace->complete_event("step " + std::to_string(step_), "sim", t0,

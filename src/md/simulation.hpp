@@ -6,9 +6,11 @@
 #include <functional>
 #include <memory>
 #include <optional>
+#include <vector>
 
 #include "common/units.hpp"
 #include "core/eam_force.hpp"
+#include "core/strategy_governor.hpp"
 #include "md/barostat.hpp"
 #include "md/deform.hpp"
 #include "md/force_provider.hpp"
@@ -111,6 +113,33 @@ class Simulation {
   /// application rescales the box and rebuilds the neighbor machinery).
   void set_barostat(BerendsenBarostat barostat, int every = 10);
 
+  /// Install the reduction-strategy governor (see
+  /// core/strategy_governor.hpp): selects the best feasible rung of the
+  /// degradation ladder now and re-validates on every box change,
+  /// hot-swapping the force backend's strategy instead of racing or dying
+  /// with InfeasibleError. Overrides config.force.strategy. When the
+  /// backend exposes its SDC settings (EAM/pair providers do), they
+  /// replace config.sdc so probe and schedule build always agree.
+  /// Replaces any previous governor. Off by default.
+  void set_governor(GovernorConfig config);
+
+  /// Checkpoint-restart flavor: resume with the saved governor state
+  /// (active rung, hysteresis counters) instead of re-selecting the
+  /// preferred strategy.
+  void set_governor(GovernorConfig config, const GovernorState& state);
+
+  void clear_governor();
+  bool has_governor() const { return governor_ != nullptr; }
+
+  /// The active governor, or nullptr when ungoverned.
+  const StrategyGovernor* governor() const { return governor_.get(); }
+
+  /// Effective Verlet skin: config.skin, grown by rebuild-storm backoff.
+  double effective_skin() const { return skin_; }
+
+  /// Times the skin backoff fired (bounded; see neighbor.skin_backoffs).
+  int skin_backoff_count() const { return skin_backoffs_; }
+
   /// Enable health monitoring + auto-checkpoint + rollback for subsequent
   /// run() calls. Replaces any previous guardrails and resets the rollback
   /// budget. Off by default: an unguarded run pays no monitoring cost.
@@ -191,6 +220,23 @@ class Simulation {
   void obs_mark(const std::string& name);
   const obs::SdcSweepProfiler* sweep_profiler() const;
 
+  /// Governor plumbing (all no-ops unless set_governor was called).
+  void init_governor();
+  /// Feed a box/range change to the governor (called from
+  /// rebuild_geometry, before the new neighbor list is built) and swap the
+  /// provider's strategy on demotion.
+  void govern_box_change();
+  /// Per-step hysteresis tick + optional shadow validation; promotions
+  /// trigger a geometry rebuild to re-attach the SDC schedule.
+  void govern_after_step();
+  /// Apply a changed decision to the force backend + metrics/trace/log.
+  /// Does NOT rebuild geometry; callers outside rebuild_geometry must.
+  void apply_governor_decision(const GovernorDecision& decision);
+  /// Recompute rho/forces with the serial reference kernels and compare
+  /// against the active strategy's output (EAM backend only); on mismatch
+  /// demote and emit guard.strategy_race_suspect.
+  void shadow_validate();
+
   /// Guardrail plumbing (all no-ops unless set_guardrails was called).
   void guard_baseline();
   void guard_after_step();
@@ -214,6 +260,19 @@ class Simulation {
   bool forces_current_ = false;
   EamForceResult last_result_;
 
+  std::unique_ptr<StrategyGovernor> governor_;
+  // Scratch for the governor's shadow-validation pass (reused; sized on
+  // first use).
+  std::vector<double> shadow_rho_;
+  std::vector<double> shadow_fp_;
+  std::vector<Vec3> shadow_force_;
+
+  // Rebuild-storm backoff: displacement-triggered rebuilds on consecutive
+  // steps grow the effective skin (bounded) instead of thrashing.
+  double skin_ = 0.0;
+  int skin_backoffs_ = 0;
+  long last_displacement_rebuild_step_ = -1000;
+
   struct Snapshot {
     System system;
     long step;
@@ -236,6 +295,12 @@ class Simulation {
     std::size_t pair_cache_bytes = 0;
     std::size_t cache_stores = 0;
     std::size_t cache_reads = 0;
+    std::size_t governor_strategy = 0;
+    std::size_t governor_demotions = 0;
+    std::size_t governor_promotions = 0;
+    std::size_t governor_shadow_checks = 0;
+    std::size_t race_suspects = 0;
+    std::size_t skin_backoffs = 0;
     // EamKernelStats counters are cumulative; remember the last value seen
     // so each step adds only its delta to the registry counters.
     std::size_t prev_cache_stores = 0;

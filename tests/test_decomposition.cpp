@@ -167,6 +167,32 @@ TEST(Decomposition, SubdomainEdgeAtLeastTwiceRangeInvariant) {
   }
 }
 
+TEST(Decomposition, FeasibleMatchesConstructorBehavior) {
+  // The non-throwing probe must agree exactly with what finest() accepts:
+  // the governor relies on probe == build.
+  for (double edge : {7.9, 8.0, 8.1, 10.0, 15.9, 16.0, 40.0}) {
+    const Box box = Box::cubic(edge);
+    for (int dims = 1; dims <= 3; ++dims) {
+      const bool probe = SpatialDecomposition::feasible(box, dims, kRange);
+      bool built = true;
+      try {
+        SpatialDecomposition::finest(box, dims, kRange);
+      } catch (const InfeasibleError&) {
+        built = false;
+      }
+      EXPECT_EQ(probe, built) << "edge " << edge << " dims " << dims;
+    }
+  }
+}
+
+TEST(Decomposition, FeasibleRejectsBadArguments) {
+  const Box box = Box::cubic(40.0);
+  EXPECT_FALSE(SpatialDecomposition::feasible(box, 0, kRange));
+  EXPECT_FALSE(SpatialDecomposition::feasible(box, 4, kRange));
+  EXPECT_FALSE(SpatialDecomposition::feasible(box, 2, 0.0));
+  EXPECT_FALSE(SpatialDecomposition::feasible(box, 2, -1.0));
+}
+
 TEST(Decomposition, DescribeMentionsGeometry) {
   const Box box = Box::cubic(40.0);
   const auto d = SpatialDecomposition::finest(box, 2, kRange);

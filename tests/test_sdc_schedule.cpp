@@ -104,6 +104,20 @@ TEST(SdcSchedule, MaxSubdomainsCapsGranularity) {
             finest.decomposition().subdomain_count());
 }
 
+TEST(SdcSchedule, FeasibleAgreesWithConstructor) {
+  SdcConfig cfg;
+  cfg.dimensionality = 2;
+  // Just feasible vs just infeasible around the 4 * range bound.
+  EXPECT_TRUE(SdcSchedule::feasible(Box::cubic(4.0 * kRange), kRange, cfg));
+  EXPECT_FALSE(
+      SdcSchedule::feasible(Box::cubic(4.0 * kRange - 0.1), kRange, cfg));
+  // Coarsening caps never make a feasible finest decomposition infeasible.
+  SdcConfig capped = cfg;
+  capped.max_subdomains = 4;
+  EXPECT_TRUE(
+      SdcSchedule::feasible(Box::cubic(10.0 * kRange), kRange, capped));
+}
+
 TEST(SdcSchedule, DescribeIsInformative) {
   const Box box = Box::cubic(10 * 2.8665);
   SdcConfig cfg;
