@@ -56,7 +56,7 @@ int main(int argc, char** argv) {
   ColoredScatterEngine engine(box, range, sdc);
   engine.rebuild(points);
   std::printf("cloud: %zu points, %.1f neighbors/point, %s\n", n,
-              2.0 * list.mean_neighbors(), engine.schedule().describe().c_str());
+              list.mean_neighbors(), engine.schedule().describe().c_str());
   std::printf("running on %s\n\n", thread_summary().c_str());
 
   auto sweep = [&](std::vector<double>& m, bool parallel) {

@@ -75,10 +75,49 @@ void Simulation::rebuild_geometry() {
   nl.skin = skin_;
   nl.mode = provider_->required_mode();
   nl.sort_neighbors = config_.sort_neighbors;
-  list_ = std::make_unique<NeighborList>(system_.box(), nl);
+  nl.half_stencil = config_.half_stencil;
+  nl.parallel_bin = config_.parallel_bin;
+  if (list_ != nullptr && list_->config_compatible(nl)) {
+    // Same list configuration, new box: adapt in place. Storage is reused
+    // and the cell grid recomputes stencils only when its shape changes -
+    // a steady-state barostat run performs zero heap reconstructions.
+    list_->update_box(system_.box());
+  } else {
+    // Configuration changed (first construction, skin backoff, governor
+    // mode swap): fold the outgoing list's stats into the cumulative base
+    // and reconstruct.
+    if (list_ != nullptr) {
+      const NeighborBuildStats& s = list_->stats();
+      neighbor_stats_base_.builds += s.builds;
+      neighbor_stats_base_.grid_reshapes += s.grid_reshapes;
+      neighbor_stats_base_.stencil_rebuilds += s.stencil_rebuilds;
+      neighbor_stats_base_.bin_seconds += s.bin_seconds;
+      neighbor_stats_base_.count_seconds += s.count_seconds;
+      neighbor_stats_base_.fill_seconds += s.fill_seconds;
+    }
+    list_ = std::make_unique<NeighborList>(system_.box(), nl);
+    ++list_reconstructions_;
+  }
 
   provider_->attach_schedule(system_.box(), provider_->cutoff() + skin_);
   rebuild_lists();
+}
+
+NeighborBuildStats Simulation::neighbor_stats() const {
+  NeighborBuildStats s = neighbor_stats_base_;
+  if (list_ != nullptr) {
+    const NeighborBuildStats& cur = list_->stats();
+    s.builds += cur.builds;
+    s.grid_reshapes += cur.grid_reshapes;
+    s.stencil_rebuilds += cur.stencil_rebuilds;
+    s.bin_seconds += cur.bin_seconds;
+    s.count_seconds += cur.count_seconds;
+    s.fill_seconds += cur.fill_seconds;
+    s.last_bin_seconds = cur.last_bin_seconds;
+    s.last_count_seconds = cur.last_count_seconds;
+    s.last_fill_seconds = cur.last_fill_seconds;
+  }
+  return s;
 }
 
 void Simulation::rebuild_lists() {
@@ -115,6 +154,9 @@ void Simulation::compute_forces() {
 void Simulation::set_temperature(double temperature, std::uint64_t seed) {
   maxwell_boltzmann_velocities(system_.atoms().velocity, system_.mass(),
                                temperature, seed);
+  // Velocity init zeroed the COM momentum; thermo reporting uses 3N - 3
+  // DOF from here on (unless a non-conserving thermostat re-injects it).
+  momentum_zeroed_ = true;
 }
 
 void Simulation::set_thermostat(std::unique_ptr<Thermostat> thermostat) {
@@ -318,6 +360,23 @@ void Simulation::set_instrumentation(InstrumentationConfig config) {
     obs_handles_.governor_shadow_checks = r.counter("governor.shadow_checks");
     obs_handles_.race_suspects = r.counter("guard.strategy_race_suspect");
     obs_handles_.skin_backoffs = r.counter("neighbor.skin_backoffs");
+    obs_handles_.grid_reshapes = r.counter("neighbor.grid_reshapes");
+    obs_handles_.stencil_rebuilds = r.counter("neighbor.stencil_rebuilds");
+    obs_handles_.reconstructions = r.counter("neighbor.reconstructions");
+    obs_handles_.bin_seconds = r.counter("neighbor.bin_seconds");
+    obs_handles_.count_seconds = r.counter("neighbor.count_seconds");
+    obs_handles_.fill_seconds = r.counter("neighbor.fill_seconds");
+    obs_handles_.list_bytes = r.gauge("neighbor.list_bytes");
+    // Counters measure from attach: seed the delta trackers with the
+    // current cumulative stats so construction-time work is not charged
+    // to the first instrumented step.
+    const NeighborBuildStats ns = neighbor_stats();
+    obs_handles_.prev_grid_reshapes = ns.grid_reshapes;
+    obs_handles_.prev_stencil_rebuilds = ns.stencil_rebuilds;
+    obs_handles_.prev_reconstructions = list_reconstructions_;
+    obs_handles_.prev_bin_seconds = ns.bin_seconds;
+    obs_handles_.prev_count_seconds = ns.count_seconds;
+    obs_handles_.prev_fill_seconds = ns.fill_seconds;
     if (governor_ != nullptr) {
       r.set(obs_handles_.governor_strategy,
             static_cast<double>(
@@ -549,6 +608,32 @@ void Simulation::run(long steps, const Callback& callback,
         obs_handles_.prev_cache_stores = ks.cache_store_slots;
         obs_handles_.prev_cache_reads = ks.cache_read_slots;
       }
+      const NeighborBuildStats ns = neighbor_stats();
+      obs_.registry->add(obs_handles_.grid_reshapes,
+                         static_cast<double>(ns.grid_reshapes -
+                                             obs_handles_.prev_grid_reshapes));
+      obs_.registry->add(
+          obs_handles_.stencil_rebuilds,
+          static_cast<double>(ns.stencil_rebuilds -
+                              obs_handles_.prev_stencil_rebuilds));
+      obs_.registry->add(
+          obs_handles_.reconstructions,
+          static_cast<double>(list_reconstructions_ -
+                              obs_handles_.prev_reconstructions));
+      obs_.registry->add(obs_handles_.bin_seconds,
+                         ns.bin_seconds - obs_handles_.prev_bin_seconds);
+      obs_.registry->add(obs_handles_.count_seconds,
+                         ns.count_seconds - obs_handles_.prev_count_seconds);
+      obs_.registry->add(obs_handles_.fill_seconds,
+                         ns.fill_seconds - obs_handles_.prev_fill_seconds);
+      obs_.registry->set(obs_handles_.list_bytes,
+                         static_cast<double>(list_->memory_bytes()));
+      obs_handles_.prev_grid_reshapes = ns.grid_reshapes;
+      obs_handles_.prev_stencil_rebuilds = ns.stencil_rebuilds;
+      obs_handles_.prev_reconstructions = list_reconstructions_;
+      obs_handles_.prev_bin_seconds = ns.bin_seconds;
+      obs_handles_.prev_count_seconds = ns.count_seconds;
+      obs_handles_.prev_fill_seconds = ns.fill_seconds;
     }
     if (monitor_) guard_after_step();
     if (governor_) govern_after_step();
@@ -578,7 +663,13 @@ ThermoSample Simulation::sample() const {
   s.step = step_;
   const Atoms& atoms = system_.atoms();
   s.kinetic_energy = kinetic_energy(atoms.velocity, system_.mass());
-  s.temperature = temperature_of(atoms.velocity, system_.mass());
+  // Linear momentum stays zero once velocity init removed it, unless a
+  // stochastic thermostat re-injects it - count DOF accordingly.
+  const bool constrained =
+      momentum_zeroed_ && (!thermostat_ || thermostat_->conserves_momentum());
+  s.temperature = temperature_of(
+      atoms.velocity, system_.mass(),
+      temperature_dof(atoms.size(), constrained));
   s.pair_energy = last_result_.pair_energy;
   s.embedding_energy = last_result_.embedding_energy;
   s.pressure = pressure_of(atoms.size(), system_.box(), s.temperature,

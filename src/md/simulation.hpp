@@ -39,6 +39,13 @@ struct SimulationConfig {
   bool reorder_atoms = false;
   /// Sort each neighbor sublist ascending (paper Section II.D).
   bool sort_neighbors = true;
+  /// Half-mode neighbor lists enumerate via the half stencil (13 owned
+  /// cells + intra-cell j > i); false restores the legacy full-stencil
+  /// scan. See NeighborListConfig::half_stencil.
+  bool half_stencil = true;
+  /// Bin atoms with the parallel counting sort; false forces the serial
+  /// reference binning. See NeighborListConfig::parallel_bin.
+  bool parallel_bin = true;
 };
 
 /// Guardrails for unattended runs: periodic health checks plus a rolling
@@ -205,6 +212,19 @@ class Simulation {
   std::size_t rebuild_count() const { return rebuilds_; }
   const EamForceResult& last_force_result() const { return last_result_; }
 
+  /// Times the NeighborList (and its embedded CellList) was reconstructed
+  /// from scratch: once at construction, then only when a box change also
+  /// changes the list configuration (skin backoff, governor mode swap).
+  /// Steady-state barostat/deform runs keep this flat - box changes go
+  /// through update_box() instead.
+  std::size_t neighbor_reconstructions() const {
+    return list_reconstructions_;
+  }
+
+  /// Neighbor-pipeline accounting accumulated across list reconstructions
+  /// (the source of the neighbor.* metrics).
+  NeighborBuildStats neighbor_stats() const;
+
  private:
   /// Recreate box-dependent machinery (neighbor list, SDC schedule) after
   /// a box change, then rebuild.
@@ -257,6 +277,13 @@ class Simulation {
   long step_ = 0;
   long steps_since_rebuild_ = 0;
   std::size_t rebuilds_ = 0;
+  // Stats survive list reconstruction: the outgoing list's counters fold
+  // into this base so neighbor_stats() is cumulative for the simulation.
+  NeighborBuildStats neighbor_stats_base_;
+  std::size_t list_reconstructions_ = 0;
+  // set_temperature zeroed the COM momentum: thermo reporting then uses
+  // 3N - 3 DOF (as long as the thermostat, if any, conserves momentum).
+  bool momentum_zeroed_ = false;
   bool forces_current_ = false;
   EamForceResult last_result_;
 
@@ -301,10 +328,25 @@ class Simulation {
     std::size_t governor_shadow_checks = 0;
     std::size_t race_suspects = 0;
     std::size_t skin_backoffs = 0;
+    std::size_t grid_reshapes = 0;
+    std::size_t stencil_rebuilds = 0;
+    std::size_t reconstructions = 0;
+    std::size_t bin_seconds = 0;
+    std::size_t count_seconds = 0;
+    std::size_t fill_seconds = 0;
+    std::size_t list_bytes = 0;
     // EamKernelStats counters are cumulative; remember the last value seen
     // so each step adds only its delta to the registry counters.
     std::size_t prev_cache_stores = 0;
     std::size_t prev_cache_reads = 0;
+    // Same delta bookkeeping for the cumulative neighbor-pipeline stats
+    // (seeded in set_instrumentation so counters measure from attach).
+    std::size_t prev_grid_reshapes = 0;
+    std::size_t prev_stencil_rebuilds = 0;
+    std::size_t prev_reconstructions = 0;
+    double prev_bin_seconds = 0.0;
+    double prev_count_seconds = 0.0;
+    double prev_fill_seconds = 0.0;
   } obs_handles_;
 };
 

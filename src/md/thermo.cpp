@@ -10,11 +10,23 @@ double kinetic_energy(std::span<const Vec3> velocities, double mass) {
   return 0.5 * mass * sum;
 }
 
+std::size_t temperature_dof(std::size_t n, bool com_momentum_zeroed) {
+  if (n == 0) return 0;
+  const std::size_t dof = 3 * n;
+  if (!com_momentum_zeroed) return dof;
+  return dof > 3 ? dof - 3 : 0;
+}
+
 double temperature_of(std::span<const Vec3> velocities, double mass) {
-  if (velocities.empty()) return 0.0;
+  return temperature_of(velocities, mass,
+                        temperature_dof(velocities.size(), false));
+}
+
+double temperature_of(std::span<const Vec3> velocities, double mass,
+                      std::size_t dof) {
+  if (dof == 0) return 0.0;
   const double ke = kinetic_energy(velocities, mass);
-  return 2.0 * ke /
-         (3.0 * static_cast<double>(velocities.size()) * units::kBoltzmann);
+  return 2.0 * ke / (static_cast<double>(dof) * units::kBoltzmann);
 }
 
 double pressure_of(std::size_t n, const Box& box, double temperature,

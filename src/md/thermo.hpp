@@ -11,8 +11,21 @@ namespace sdcmd {
 /// Total kinetic energy (eV) for equal-mass atoms.
 double kinetic_energy(std::span<const Vec3> velocities, double mass);
 
-/// Instantaneous kinetic temperature (kelvin), 3N degrees of freedom.
+/// Kinetic degrees of freedom for n point atoms: 3n, minus 3 when the
+/// total linear momentum is constrained to zero (COM removal eliminates
+/// three modes). Returns 0 for n == 0 and never goes negative.
+std::size_t temperature_dof(std::size_t n, bool com_momentum_zeroed);
+
+/// Instantaneous kinetic temperature (kelvin), raw 3N degrees of freedom.
+/// Correct only when nothing constrains the velocities; after
+/// zero_linear_momentum (velocity init does this) the 3N normalization
+/// under-reports T by (3N-3)/3N - use the DOF-aware overload there.
 double temperature_of(std::span<const Vec3> velocities, double mass);
+
+/// DOF-aware temperature: T = 2 KE / (dof kB). Pass
+/// temperature_dof(n, momentum_zeroed); returns 0 when dof == 0.
+double temperature_of(std::span<const Vec3> velocities, double mass,
+                      std::size_t dof);
 
 /// Virial pressure (eV / A^3): P = (N kB T + W/3) / V with W the pair
 /// virial sum r_ij . f_ij returned by the force computers.

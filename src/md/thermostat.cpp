@@ -8,9 +8,11 @@
 
 namespace sdcmd {
 
-VelocityRescaleThermostat::VelocityRescaleThermostat(double temperature,
-                                                     int period)
-    : temperature_(temperature), period_(period) {
+VelocityRescaleThermostat::VelocityRescaleThermostat(
+    double temperature, int period, bool com_momentum_removed)
+    : temperature_(temperature),
+      period_(period),
+      com_momentum_removed_(com_momentum_removed) {
   SDCMD_REQUIRE(temperature >= 0.0, "temperature must be non-negative");
   SDCMD_REQUIRE(period >= 1, "period must be at least 1");
 }
@@ -18,21 +20,28 @@ VelocityRescaleThermostat::VelocityRescaleThermostat(double temperature,
 void VelocityRescaleThermostat::apply(std::span<Vec3> velocities,
                                       double mass, double /*dt*/) {
   if (++counter_ % period_ != 0) return;
-  const double t_now = temperature_of(velocities, mass);
+  const double t_now = temperature_of(
+      velocities, mass,
+      temperature_dof(velocities.size(), com_momentum_removed_));
   if (t_now <= 0.0) return;
   const double scale = std::sqrt(temperature_ / t_now);
   for (auto& v : velocities) v *= scale;
 }
 
-BerendsenThermostat::BerendsenThermostat(double temperature, double tau)
-    : temperature_(temperature), tau_(tau) {
+BerendsenThermostat::BerendsenThermostat(double temperature, double tau,
+                                         bool com_momentum_removed)
+    : temperature_(temperature),
+      tau_(tau),
+      com_momentum_removed_(com_momentum_removed) {
   SDCMD_REQUIRE(temperature >= 0.0, "temperature must be non-negative");
   SDCMD_REQUIRE(tau > 0.0, "coupling time must be positive");
 }
 
 void BerendsenThermostat::apply(std::span<Vec3> velocities, double mass,
                                 double dt) {
-  const double t_now = temperature_of(velocities, mass);
+  const double t_now = temperature_of(
+      velocities, mass,
+      temperature_dof(velocities.size(), com_momentum_removed_));
   if (t_now <= 0.0) return;
   const double lambda2 = 1.0 + dt / tau_ * (temperature_ / t_now - 1.0);
   const double scale = std::sqrt(lambda2 > 0.0 ? lambda2 : 0.0);

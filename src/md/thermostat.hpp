@@ -20,32 +20,47 @@ class Thermostat {
                      double dt) = 0;
 
   virtual double target_temperature() const = 0;
+
+  /// Whether applications preserve the total linear momentum. Rescaling
+  /// thermostats do (a zeroed COM stays zeroed, so the 3N - 3 DOF count
+  /// remains valid); stochastic ones do not.
+  virtual bool conserves_momentum() const = 0;
 };
 
 /// Hard velocity rescaling to exactly the target temperature every
 /// `period` applications; the bluntest instrument, good for fast settling.
+/// `com_momentum_removed` selects the DOF count used to measure the
+/// current temperature: true (default, matching velocity init) uses
+/// 3N - 3, false the raw 3N.
 class VelocityRescaleThermostat final : public Thermostat {
  public:
-  VelocityRescaleThermostat(double temperature, int period = 1);
+  VelocityRescaleThermostat(double temperature, int period = 1,
+                            bool com_momentum_removed = true);
   void apply(std::span<Vec3> velocities, double mass, double dt) override;
   double target_temperature() const override { return temperature_; }
+  bool conserves_momentum() const override { return true; }
 
  private:
   double temperature_;
   int period_;
   int counter_ = 0;
+  bool com_momentum_removed_;
 };
 
 /// Berendsen weak coupling: scale factor sqrt(1 + dt/tau (T0/T - 1)).
+/// `com_momentum_removed` as for VelocityRescaleThermostat.
 class BerendsenThermostat final : public Thermostat {
  public:
-  BerendsenThermostat(double temperature, double tau);
+  BerendsenThermostat(double temperature, double tau,
+                      bool com_momentum_removed = true);
   void apply(std::span<Vec3> velocities, double mass, double dt) override;
   double target_temperature() const override { return temperature_; }
+  bool conserves_momentum() const override { return true; }
 
  private:
   double temperature_;
   double tau_;
+  bool com_momentum_removed_;
 };
 
 /// Langevin dynamics via the BBK-style post-step velocity update:
@@ -57,6 +72,8 @@ class LangevinThermostat final : public Thermostat {
                      std::uint64_t seed);
   void apply(std::span<Vec3> velocities, double mass, double dt) override;
   double target_temperature() const override { return temperature_; }
+  /// The random kicks re-inject COM momentum, so all 3N modes are live.
+  bool conserves_momentum() const override { return false; }
 
  private:
   double temperature_;

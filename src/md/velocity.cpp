@@ -29,7 +29,10 @@ void maxwell_boltzmann_velocities(std::span<Vec3> velocities, double mass,
   zero_linear_momentum(velocities);
 
   // Exact-temperature rescale: finite samples land slightly off target.
-  const double t_now = temperature_of(velocities, mass);
+  // COM removal just consumed three modes, so normalize by 3N - 3; the
+  // raw-3N form would leave the ensemble cold by (3N-3)/3N.
+  const double t_now = temperature_of(
+      velocities, mass, temperature_dof(velocities.size(), true));
   if (t_now > 0.0) {
     const double scale = std::sqrt(temperature / t_now);
     for (auto& v : velocities) v *= scale;

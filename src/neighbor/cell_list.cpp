@@ -3,22 +3,49 @@
 #include <algorithm>
 #include <cmath>
 
+#include <omp.h>
+
 #include "common/error.hpp"
+#include "common/threads.hpp"
 
 namespace sdcmd {
 
-CellList::CellList(const Box& box, double min_cell_size) : box_(box) {
+namespace {
+/// Below this atom count the counting sort runs serially: the parallel
+/// path's barriers cost more than the walk it saves.
+constexpr std::size_t kParallelBinThreshold = 2048;
+}  // namespace
+
+CellList::CellList(const Box& box, double min_cell_size)
+    : box_(box), min_cell_size_(min_cell_size) {
   SDCMD_REQUIRE(min_cell_size > 0.0, "cell size must be positive");
+  set_geometry(box);
+  build_stencils();
+}
+
+bool CellList::set_geometry(const Box& box) {
+  std::array<int, 3> n;
   for (int d = 0; d < 3; ++d) {
     if (box.periodic(d)) {
-      SDCMD_REQUIRE(box.length(d) >= 2.0 * min_cell_size,
+      SDCMD_REQUIRE(box.length(d) >= 2.0 * min_cell_size_,
                     "periodic box dimension shorter than twice the "
                     "interaction range; minimum image is invalid");
     }
-    n_[d] = std::max(1, static_cast<int>(box.length(d) / min_cell_size));
+    n[d] = std::max(1, static_cast<int>(box.length(d) / min_cell_size_));
+  }
+  const bool reshaped = n != n_;
+  n_ = n;
+  box_ = box;
+  for (int d = 0; d < 3; ++d) {
     cell_len_[d] = box.length(d) / n_[d];
   }
-  build_stencils();
+  return reshaped;
+}
+
+bool CellList::update_box(const Box& box) {
+  const bool reshaped = set_geometry(box);
+  if (reshaped) build_stencils();
+  return reshaped;
 }
 
 std::size_t CellList::flat_index(int ix, int iy, int iz) const {
@@ -35,26 +62,78 @@ std::size_t CellList::cell_of(const Vec3& r) const {
   return flat_index(idx[0], idx[1], idx[2]);
 }
 
-void CellList::build(std::span<const Vec3> positions) {
+void CellList::build(std::span<const Vec3> positions, bool parallel) {
+  cell_of_atom_.resize(positions.size());
+  cell_atoms_.resize(positions.size());
+  cell_start_.assign(cell_count() + 1, 0);
+  if (parallel && positions.size() >= kParallelBinThreshold &&
+      max_threads() > 1) {
+    build_parallel(positions);
+  } else {
+    build_serial(positions);
+  }
+}
+
+void CellList::build_serial(std::span<const Vec3> positions) {
   const std::size_t cells = cell_count();
-  std::vector<std::uint32_t> counts(cells, 0);
-  std::vector<std::uint32_t> cell_of_atom(positions.size());
+  // Histogram slice 0 doubles as the per-cell write cursor.
+  if (hist_.size() < cells) hist_.resize(cells);
+  std::fill_n(hist_.begin(), cells, 0u);
   for (std::size_t i = 0; i < positions.size(); ++i) {
     const auto c = static_cast<std::uint32_t>(cell_of(positions[i]));
-    cell_of_atom[i] = c;
-    ++counts[c];
+    cell_of_atom_[i] = c;
+    ++hist_[c];
   }
-
-  cell_start_.assign(cells + 1, 0);
   for (std::size_t c = 0; c < cells; ++c) {
-    cell_start_[c + 1] = cell_start_[c] + counts[c];
+    cell_start_[c + 1] = cell_start_[c] + hist_[c];
+    hist_[c] = cell_start_[c];
   }
-
-  cell_atoms_.resize(positions.size());
-  std::vector<std::uint32_t> cursor(cell_start_.begin(),
-                                    cell_start_.end() - 1);
   for (std::size_t i = 0; i < positions.size(); ++i) {
-    cell_atoms_[cursor[cell_of_atom[i]]++] = static_cast<std::uint32_t>(i);
+    cell_atoms_[hist_[cell_of_atom_[i]]++] = static_cast<std::uint32_t>(i);
+  }
+}
+
+void CellList::build_parallel(std::span<const Vec3> positions) {
+  const std::size_t cells = cell_count();
+  const std::size_t n = positions.size();
+  const auto slots = static_cast<std::size_t>(max_threads());
+  if (hist_.size() < slots * cells) hist_.resize(slots * cells);
+#pragma omp parallel
+  {
+    const auto t = static_cast<std::size_t>(thread_id());
+    const auto team = static_cast<std::size_t>(omp_get_num_threads());
+    // Contiguous ascending chunks make the scatter below reproduce the
+    // serial order (atoms ascending within each cell) for any team size.
+    const std::size_t chunk = (n + team - 1) / team;
+    const std::size_t begin = std::min(t * chunk, n);
+    const std::size_t end = std::min(begin + chunk, n);
+    std::uint32_t* mine = hist_.data() + t * cells;
+    std::fill_n(mine, cells, 0u);  // first-touch: each thread its own slice
+    for (std::size_t i = begin; i < end; ++i) {
+      const auto c = static_cast<std::uint32_t>(cell_of(positions[i]));
+      cell_of_atom_[i] = c;
+      ++mine[c];
+    }
+#pragma omp barrier
+#pragma omp master
+    {
+      // Exclusive scan over (cell, thread): each histogram slot becomes
+      // that thread's write cursor for the cell.
+      std::uint32_t running = 0;
+      for (std::size_t c = 0; c < cells; ++c) {
+        cell_start_[c] = running;
+        for (std::size_t t2 = 0; t2 < team; ++t2) {
+          const std::uint32_t count = hist_[t2 * cells + c];
+          hist_[t2 * cells + c] = running;
+          running += count;
+        }
+      }
+      cell_start_[cells] = running;
+    }
+#pragma omp barrier
+    for (std::size_t i = begin; i < end; ++i) {
+      cell_atoms_[mine[cell_of_atom_[i]]++] = static_cast<std::uint32_t>(i);
+    }
   }
 }
 
@@ -65,23 +144,39 @@ std::span<const std::uint32_t> CellList::atoms_in(std::size_t cell) const {
   return {cell_atoms_.data() + begin, cell_atoms_.data() + end};
 }
 
-const std::vector<std::size_t>& CellList::stencil(std::size_t cell) const {
+std::span<const std::size_t> CellList::stencil(std::size_t cell) const {
   SDCMD_REQUIRE(cell < cell_count(), "cell index out of range");
-  return stencils_[cell];
+  return {stencil_cells_.data() + stencil_start_[cell],
+          stencil_cells_.data() + stencil_start_[cell + 1]};
+}
+
+std::span<const std::size_t> CellList::half_stencil(std::size_t cell) const {
+  SDCMD_REQUIRE(cell < cell_count(), "cell index out of range");
+  return {half_cells_.data() + half_start_[cell],
+          half_cells_.data() + half_start_[cell + 1]};
 }
 
 void CellList::build_stencils() {
-  stencils_.assign(cell_count(), {});
+  ++stencil_rebuilds_;
+  const std::size_t cells = cell_count();
+  stencil_start_.assign(cells + 1, 0);
+  half_start_.assign(cells + 1, 0);
+  stencil_cells_.clear();
+  half_cells_.clear();
+  stencil_cells_.reserve(cells * 27);
+  half_cells_.reserve(cells * 13);
+  std::vector<std::size_t> scratch;
+  scratch.reserve(27);
   for (int ix = 0; ix < n_[0]; ++ix) {
     for (int iy = 0; iy < n_[1]; ++iy) {
       for (int iz = 0; iz < n_[2]; ++iz) {
-        auto& list = stencils_[flat_index(ix, iy, iz)];
+        const std::size_t cell = flat_index(ix, iy, iz);
+        scratch.clear();
         for (int dx = -1; dx <= 1; ++dx) {
           for (int dy = -1; dy <= 1; ++dy) {
             for (int dz = -1; dz <= 1; ++dz) {
-              int jx = ix + dx, jy = iy + dy, jz = iz + dz;
+              int idx[3] = {ix + dx, iy + dy, iz + dz};
               bool valid = true;
-              int idx[3] = {jx, jy, jz};
               for (int d = 0; d < 3; ++d) {
                 if (idx[d] < 0 || idx[d] >= n_[d]) {
                   if (box_.periodic(d)) {
@@ -93,17 +188,41 @@ void CellList::build_stencils() {
                 }
               }
               if (!valid) continue;
-              list.push_back(flat_index(idx[0], idx[1], idx[2]));
+              scratch.push_back(flat_index(idx[0], idx[1], idx[2]));
             }
           }
         }
         // Narrow periodic grids wrap several stencil offsets onto the same
         // cell; deduplicate so pair enumeration never double-counts.
-        std::sort(list.begin(), list.end());
-        list.erase(std::unique(list.begin(), list.end()), list.end());
+        std::sort(scratch.begin(), scratch.end());
+        scratch.erase(std::unique(scratch.begin(), scratch.end()),
+                      scratch.end());
+        stencil_cells_.insert(stencil_cells_.end(), scratch.begin(),
+                              scratch.end());
+        stencil_start_[cell + 1] =
+            static_cast<std::uint32_t>(stencil_cells_.size());
+        // Full stencils are symmetric, so keeping only the
+        // greater-flat-index side assigns every adjacent cell pair to
+        // exactly one owner (and drops the cell itself).
+        for (std::size_t other : scratch) {
+          if (other > cell) half_cells_.push_back(other);
+        }
+        half_start_[cell + 1] =
+            static_cast<std::uint32_t>(half_cells_.size());
       }
     }
   }
+}
+
+std::size_t CellList::memory_bytes() const {
+  return cell_start_.size() * sizeof(std::uint32_t) +
+         cell_atoms_.size() * sizeof(std::uint32_t) +
+         stencil_start_.size() * sizeof(std::uint32_t) +
+         stencil_cells_.size() * sizeof(std::size_t) +
+         half_start_.size() * sizeof(std::uint32_t) +
+         half_cells_.size() * sizeof(std::size_t) +
+         cell_of_atom_.size() * sizeof(std::uint32_t) +
+         hist_.size() * sizeof(std::uint32_t);
 }
 
 }  // namespace sdcmd

@@ -4,6 +4,13 @@
 // within that range live in a cell and its 26 neighbors (fewer when the box
 // is narrow; the stencil deduplicates wrapped cells). This is the substrate
 // for Verlet-list construction and for the spatial atom reordering pass.
+//
+// Steady-state discipline (ISSUE 5): binning runs as a parallel counting
+// sort (per-thread histograms + prefix sum) into persistent member scratch,
+// stencils live in one flat CSR table instead of per-cell vectors, and
+// update_box() adapts the grid to a changed box in place - recomputing the
+// stencils only when the grid *shape* changes. A barostat run therefore
+// performs zero heap reconstructions once warm.
 #pragma once
 
 #include <array>
@@ -23,8 +30,17 @@ class CellList {
   /// minimum-image convention is valid for the interaction range.
   CellList(const Box& box, double min_cell_size);
 
+  /// Adapt to a changed box in place, reusing all storage. Stencils are
+  /// recomputed only when the grid shape changes (the same validity
+  /// requirements as the constructor apply). Returns true when the grid
+  /// reshaped.
+  bool update_box(const Box& box);
+
   /// Bin atoms. Positions outside the box are wrapped for binning only.
-  void build(std::span<const Vec3> positions);
+  /// The parallel path is a counting sort over per-thread histograms; its
+  /// output is bit-identical to the serial path (atoms ascending within
+  /// each cell) for any thread count.
+  void build(std::span<const Vec3> positions, bool parallel = true);
 
   int nx() const { return n_[0]; }
   int ny() const { return n_[1]; }
@@ -36,12 +52,24 @@ class CellList {
   /// Flat index of the cell containing `r` (wrapped into the box first).
   std::size_t cell_of(const Vec3& r) const;
 
+  /// Cell that build() binned atom `i` into (valid until the next build;
+  /// saves the Verlet-list passes a wrap + grid lookup per atom).
+  std::uint32_t binned_cell(std::size_t i) const { return cell_of_atom_[i]; }
+
   /// Atoms in a cell, CSR-style.
   std::span<const std::uint32_t> atoms_in(std::size_t cell) const;
 
   /// Flat indices of the (deduplicated) <=27-cell stencil around `cell`,
   /// including `cell` itself, honoring PBC wrapping.
-  const std::vector<std::size_t>& stencil(std::size_t cell) const;
+  std::span<const std::size_t> stencil(std::size_t cell) const;
+
+  /// Half stencil: the neighbors of `cell` with a strictly greater flat
+  /// index (<=13 cells, self excluded). Full stencils are symmetric, so
+  /// every adjacent unordered cell pair {a, b} appears in exactly one of
+  /// the two half stencils - the invariant half-mode pair enumeration
+  /// relies on (each cross-cell pair visited exactly once, intra-cell
+  /// pairs handled separately with j > i).
+  std::span<const std::size_t> half_stencil(std::size_t cell) const;
 
   std::size_t atom_count() const {
     return cell_atoms_.empty() ? 0 : cell_atoms_.size();
@@ -49,16 +77,37 @@ class CellList {
 
   const Box& box() const { return box_; }
 
+  /// Resident bytes of the cell arrays, stencil tables and binning scratch.
+  std::size_t memory_bytes() const;
+
+  /// Times the stencil tables were (re)computed: once at construction plus
+  /// once per grid reshape.
+  std::size_t stencil_rebuilds() const { return stencil_rebuilds_; }
+
  private:
   std::size_t flat_index(int ix, int iy, int iz) const;
+  /// Recompute n_ / cell_len_ for `box`; returns true when n_ changed.
+  bool set_geometry(const Box& box);
   void build_stencils();
+  void build_serial(std::span<const Vec3> positions);
+  void build_parallel(std::span<const Vec3> positions);
 
   Box box_;
+  double min_cell_size_ = 0.0;
   std::array<int, 3> n_{1, 1, 1};
   Vec3 cell_len_;
   std::vector<std::uint32_t> cell_start_;   // size cells+1
   std::vector<std::uint32_t> cell_atoms_;   // atom ids grouped by cell
-  std::vector<std::vector<std::size_t>> stencils_;  // per cell
+  // Stencils in flat CSR form: cells of stencil(c) live at
+  // stencil_cells_[stencil_start_[c] .. stencil_start_[c+1]).
+  std::vector<std::uint32_t> stencil_start_;      // size cells+1
+  std::vector<std::size_t> stencil_cells_;
+  std::vector<std::uint32_t> half_start_;         // size cells+1
+  std::vector<std::size_t> half_cells_;
+  // Persistent binning scratch (allocation-free once warm).
+  std::vector<std::uint32_t> cell_of_atom_;  // atom -> cell
+  std::vector<std::uint32_t> hist_;          // threads x cells histograms
+  std::size_t stencil_rebuilds_ = 0;
 };
 
 }  // namespace sdcmd

@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "common/error.hpp"
+#include "common/timer.hpp"
 
 namespace sdcmd {
 
@@ -14,31 +15,110 @@ NeighborList::NeighborList(const Box& box, NeighborListConfig config)
   SDCMD_REQUIRE(config.skin >= 0.0, "skin must be non-negative");
 }
 
+// Pair-enumeration cores, specialized per mode so the hot loops carry no
+// per-pair mode test:
+//   Half + half-stencil : intra-cell j > i, plus every atom of the <=13
+//                         owned (greater-flat-index) neighbor cells. Each
+//                         cross-cell pair is stored under the atom in the
+//                         lower-index cell; intra-cell pairs under min(i,j).
+//   Half + legacy       : full stencil scan, skip j <= i (every pair under
+//                         min(i, j) - the pre-pipeline behavior).
+//   Full                : full stencil scan, skip only j == i.
+
+template <NeighborMode Mode, bool HalfStencil>
+void NeighborList::count_pass(std::span<const Vec3> positions,
+                              double range2) {
+  const std::size_t n = positions.size();
+#pragma omp parallel for schedule(static)
+  for (std::size_t i = 0; i < n; ++i) {
+    const std::size_t ci = cells_.binned_cell(i);
+    std::uint32_t count = 0;
+    if constexpr (Mode == NeighborMode::Half && HalfStencil) {
+      for (std::uint32_t j : cells_.atoms_in(ci)) {
+        if (j <= i) continue;
+        if (box_.distance2(positions[i], positions[j]) < range2) ++count;
+      }
+      for (std::size_t cj : cells_.half_stencil(ci)) {
+        for (std::uint32_t j : cells_.atoms_in(cj)) {
+          if (box_.distance2(positions[i], positions[j]) < range2) ++count;
+        }
+      }
+    } else {
+      for (std::size_t cj : cells_.stencil(ci)) {
+        for (std::uint32_t j : cells_.atoms_in(cj)) {
+          if (Mode == NeighborMode::Half ? (j <= i) : (j == i)) continue;
+          if (box_.distance2(positions[i], positions[j]) < range2) ++count;
+        }
+      }
+    }
+    neigh_len_[i] = count;
+  }
+}
+
+template <NeighborMode Mode, bool HalfStencil>
+void NeighborList::fill_pass(std::span<const Vec3> positions,
+                             double range2) {
+  const std::size_t n = positions.size();
+#pragma omp parallel for schedule(static)
+  for (std::size_t i = 0; i < n; ++i) {
+    const std::size_t ci = cells_.binned_cell(i);
+    std::size_t cursor = neigh_index_[i];
+    if constexpr (Mode == NeighborMode::Half && HalfStencil) {
+      for (std::uint32_t j : cells_.atoms_in(ci)) {
+        if (j <= i) continue;
+        if (box_.distance2(positions[i], positions[j]) < range2) {
+          neigh_list_[cursor++] = j;
+        }
+      }
+      for (std::size_t cj : cells_.half_stencil(ci)) {
+        for (std::uint32_t j : cells_.atoms_in(cj)) {
+          if (box_.distance2(positions[i], positions[j]) < range2) {
+            neigh_list_[cursor++] = j;
+          }
+        }
+      }
+    } else {
+      for (std::size_t cj : cells_.stencil(ci)) {
+        for (std::uint32_t j : cells_.atoms_in(cj)) {
+          if (Mode == NeighborMode::Half ? (j <= i) : (j == i)) continue;
+          if (box_.distance2(positions[i], positions[j]) < range2) {
+            neigh_list_[cursor++] = j;
+          }
+        }
+      }
+    }
+    if (config_.sort_neighbors) {
+      std::sort(
+          neigh_list_.begin() + static_cast<std::ptrdiff_t>(neigh_index_[i]),
+          neigh_list_.begin() + static_cast<std::ptrdiff_t>(cursor));
+    }
+  }
+}
+
 void NeighborList::build(std::span<const Vec3> positions) {
   const std::size_t n = positions.size();
   const double range = config_.cutoff + config_.skin;
   const double range2 = range * range;
 
-  cells_.build(positions);
+  const double t0 = wall_time();
+  cells_.build(positions, config_.parallel_bin);
+  const double t1 = wall_time();
 
   // Pass 1: count neighbors per atom so the CSR arrays are exact-sized.
-  neigh_len_.assign(n, 0);
-#pragma omp parallel for schedule(static)
-  for (std::size_t i = 0; i < n; ++i) {
-    const std::size_t ci = cells_.cell_of(positions[i]);
-    std::uint32_t count = 0;
-    for (std::size_t cj : cells_.stencil(ci)) {
-      for (std::uint32_t j : cells_.atoms_in(cj)) {
-        if (config_.mode == NeighborMode::Half ? (j <= i) : (j == i)) {
-          continue;
-        }
-        if (box_.distance2(positions[i], positions[j]) < range2) ++count;
-      }
-    }
-    neigh_len_[i] = count;
+  // Every slot is written by the pass (static schedule matching the fill
+  // pass and the kernels' sweep schedule), so growth is the only
+  // allocation and zero-fill is unnecessary.
+  neigh_len_.resize(n);
+  if (config_.mode == NeighborMode::Full) {
+    count_pass<NeighborMode::Full, false>(positions, range2);
+  } else if (config_.half_stencil) {
+    count_pass<NeighborMode::Half, true>(positions, range2);
+  } else {
+    count_pass<NeighborMode::Half, false>(positions, range2);
   }
 
-  neigh_index_.assign(n + 1, 0);
+  neigh_index_.resize(n + 1);
+  neigh_index_[0] = 0;
   for (std::size_t i = 0; i < n; ++i) {
     neigh_index_[i + 1] = neigh_index_[i] + neigh_len_[i];
   }
@@ -49,30 +129,44 @@ void NeighborList::build(std::span<const Vec3> positions) {
     neigh_list_.reserve(needed + needed / 8);
   }
   neigh_list_.resize(needed);
+  const double t2 = wall_time();
 
   // Pass 2: fill.
-#pragma omp parallel for schedule(static)
-  for (std::size_t i = 0; i < n; ++i) {
-    const std::size_t ci = cells_.cell_of(positions[i]);
-    std::size_t cursor = neigh_index_[i];
-    for (std::size_t cj : cells_.stencil(ci)) {
-      for (std::uint32_t j : cells_.atoms_in(cj)) {
-        if (config_.mode == NeighborMode::Half ? (j <= i) : (j == i)) {
-          continue;
-        }
-        if (box_.distance2(positions[i], positions[j]) < range2) {
-          neigh_list_[cursor++] = j;
-        }
-      }
-    }
-    if (config_.sort_neighbors) {
-      std::sort(neigh_list_.begin() + static_cast<std::ptrdiff_t>(
-                                          neigh_index_[i]),
-                neigh_list_.begin() + static_cast<std::ptrdiff_t>(cursor));
-    }
+  if (config_.mode == NeighborMode::Full) {
+    fill_pass<NeighborMode::Full, false>(positions, range2);
+  } else if (config_.half_stencil) {
+    fill_pass<NeighborMode::Half, true>(positions, range2);
+  } else {
+    fill_pass<NeighborMode::Half, false>(positions, range2);
   }
 
   positions_at_build_.assign(positions.begin(), positions.end());
+  const double t3 = wall_time();
+
+  ++stats_.builds;
+  stats_.last_bin_seconds = t1 - t0;
+  stats_.last_count_seconds = t2 - t1;
+  stats_.last_fill_seconds = t3 - t2;
+  stats_.bin_seconds += stats_.last_bin_seconds;
+  stats_.count_seconds += stats_.last_count_seconds;
+  stats_.fill_seconds += stats_.last_fill_seconds;
+  stats_.stencil_rebuilds = cells_.stencil_rebuilds();
+}
+
+bool NeighborList::update_box(const Box& box) {
+  box_ = box;
+  const bool reshaped = cells_.update_box(box);
+  if (reshaped) ++stats_.grid_reshapes;
+  stats_.stencil_rebuilds = cells_.stencil_rebuilds();
+  return reshaped;
+}
+
+bool NeighborList::config_compatible(const NeighborListConfig& other) const {
+  return other.cutoff == config_.cutoff && other.skin == config_.skin &&
+         other.mode == config_.mode &&
+         other.sort_neighbors == config_.sort_neighbors &&
+         other.half_stencil == config_.half_stencil &&
+         other.parallel_bin == config_.parallel_bin;
 }
 
 bool NeighborList::needs_rebuild(std::span<const Vec3> positions) const {
@@ -91,15 +185,18 @@ bool NeighborList::needs_rebuild(std::span<const Vec3> positions) const {
 
 double NeighborList::mean_neighbors() const {
   if (neigh_len_.empty()) return 0.0;
-  return static_cast<double>(neigh_list_.size()) /
-         static_cast<double>(neigh_len_.size());
+  const double stored = static_cast<double>(neigh_list_.size()) /
+                        static_cast<double>(neigh_len_.size());
+  // A half list stores each physical pair once, so each pair contributes
+  // to two atoms' coordination but only one atom's sublist.
+  return config_.mode == NeighborMode::Half ? 2.0 * stored : stored;
 }
 
 std::size_t NeighborList::memory_bytes() const {
   return neigh_index_.size() * sizeof(std::size_t) +
          neigh_len_.size() * sizeof(std::uint32_t) +
          neigh_list_.size() * sizeof(std::uint32_t) +
-         positions_at_build_.size() * sizeof(Vec3);
+         positions_at_build_.size() * sizeof(Vec3) + cells_.memory_bytes();
 }
 
 std::vector<std::pair<std::uint32_t, std::uint32_t>> brute_force_pairs(

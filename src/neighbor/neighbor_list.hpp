@@ -1,8 +1,13 @@
 // Verlet neighbor lists in the CSR layout of the paper's Figs. 1-2 / 7-8.
 //
-// A *half* list stores each pair (i, j) once, under min(i, j): force and
-// density kernels then use Newton's third law and scatter symmetric
-// contributions to j - exactly the irregular reduction the paper studies.
+// A *half* list stores each pair (i, j) exactly once: force and density
+// kernels then use Newton's third law and scatter symmetric contributions
+// to the other atom - exactly the irregular reduction the paper studies.
+// The default half-stencil build stores a pair under whichever atom's cell
+// owns the cell pair (intra-cell pairs under min(i, j)); the legacy build
+// (NeighborListConfig::half_stencil = false) scans the full 27-cell stencil
+// and stores every pair under min(i, j). Both enumerate the identical pair
+// set; kernels only rely on each pair appearing once.
 // A *full* list stores the pair under both atoms; kernels become pure
 // gathers with no write conflicts at the price of doubled computation - the
 // paper's "Redundant Computations" baseline.
@@ -32,6 +37,29 @@ struct NeighborListConfig {
   NeighborMode mode = NeighborMode::Half;
   bool sort_neighbors = false;  ///< ascending j within each sublist
                                 ///< (the paper's Section II.D reordering)
+  /// Half mode only: enumerate 13 owned neighbor cells plus intra-cell
+  /// j > i, which hoists the per-pair mode test out of the hot loops.
+  /// false restores the legacy full-stencil scan (every pair under
+  /// min(i, j)) - kept for A/B benches and regression tests.
+  bool half_stencil = true;
+  /// Bin atoms with the parallel counting sort (per-thread histograms +
+  /// prefix sum); false forces the serial reference binning.
+  bool parallel_bin = true;
+};
+
+/// Build-pipeline accounting: phase wall times (cumulative and for the
+/// most recent build) plus the storage-reuse counters the obs layer
+/// exports as neighbor.* metrics.
+struct NeighborBuildStats {
+  std::size_t builds = 0;           ///< build() calls
+  std::size_t grid_reshapes = 0;    ///< update_box() calls that reshaped
+  std::size_t stencil_rebuilds = 0; ///< initial build + one per reshape
+  double bin_seconds = 0.0;         ///< cell binning (cumulative)
+  double count_seconds = 0.0;       ///< CSR count pass (cumulative)
+  double fill_seconds = 0.0;        ///< CSR fill + optional sort (cumulative)
+  double last_bin_seconds = 0.0;
+  double last_count_seconds = 0.0;
+  double last_fill_seconds = 0.0;
 };
 
 class NeighborList {
@@ -40,6 +68,16 @@ class NeighborList {
 
   /// Rebuild from scratch (also records positions for staleness checks).
   void build(std::span<const Vec3> positions);
+
+  /// Adapt to a changed box in place - storage is reused; the embedded cell
+  /// grid recomputes its stencils only when its shape changes. The caller
+  /// must build() afterwards (atom-to-cell assignments are stale). Returns
+  /// true when the grid reshaped.
+  bool update_box(const Box& box);
+
+  /// True when `other` describes this list exactly, so a box change can go
+  /// through update_box() instead of reconstruction.
+  bool config_compatible(const NeighborListConfig& other) const;
 
   /// True when some atom has drifted more than skin/2 since build() -
   /// the classic safe-rebuild criterion.
@@ -62,15 +100,28 @@ class NeighborList {
   double cutoff() const { return config_.cutoff; }
   double skin() const { return config_.skin; }
   const Box& box() const { return box_; }
+  const NeighborListConfig& config() const { return config_; }
+  const CellList& cells() const { return cells_; }
 
-  /// Mean neighbors per atom (bcc Fe at the FS cutoff should be ~10-14 for
-  /// a half list; tests assert the expected counts).
+  /// Mean *physical* coordination per atom within cutoff + skin,
+  /// mode-aware: a half list stores each pair once, so its stored-entry
+  /// average is doubled. Both modes report the same number for the same
+  /// configuration (bcc Fe at the FS cutoff: ~14; tests assert this).
   double mean_neighbors() const;
 
-  /// Approximate resident bytes of the CSR arrays (memory-accounting bench).
+  /// Resident bytes of the CSR arrays, the staleness snapshot AND the
+  /// embedded cell grid (the obs-layer memory gauge).
   std::size_t memory_bytes() const;
 
+  /// Build-phase timings and storage-reuse counters.
+  const NeighborBuildStats& stats() const { return stats_; }
+
  private:
+  template <NeighborMode Mode, bool HalfStencil>
+  void count_pass(std::span<const Vec3> positions, double range2);
+  template <NeighborMode Mode, bool HalfStencil>
+  void fill_pass(std::span<const Vec3> positions, double range2);
+
   Box box_;
   NeighborListConfig config_;
   CellList cells_;
@@ -78,6 +129,7 @@ class NeighborList {
   std::vector<std::uint32_t> neigh_len_;
   std::vector<std::uint32_t> neigh_list_;
   std::vector<Vec3> positions_at_build_;
+  NeighborBuildStats stats_;
 };
 
 /// Reference O(N^2) pair enumeration used by tests to validate the

@@ -200,10 +200,13 @@ TEST_F(StressFixture, KineticTermAddsIdealGasPressure) {
 
   const double d_hydro = PerAtomStress::total(hot).hydrostatic() -
                          PerAtomStress::total(cold).hydrostatic();
-  // Kinetic contribution to the pressure: N kB T / V (negative in our
-  // tension-negative convention, summed over atoms of volume V/N).
+  // Kinetic contribution to the pressure: (dof/3) kB T / V (negative in
+  // our tension-negative convention, summed over atoms of volume V/N).
+  // Velocity init zeroes the COM momentum, so dof = 3N - 3, not 3N.
+  const double dof =
+      static_cast<double>(temperature_dof(system.size(), true));
   const double expected =
-      -static_cast<double>(system.size()) * units::kBoltzmann * 300.0 /
+      -dof / 3.0 * units::kBoltzmann * 300.0 /
       (system.box().volume() / static_cast<double>(system.size()));
   EXPECT_NEAR(d_hydro, expected, 1e-6 * std::abs(expected));
 }

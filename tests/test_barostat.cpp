@@ -93,5 +93,30 @@ TEST(Barostat, NptRunRelaxesStretchedCrystalTowardZeroPressure) {
   EXPECT_GT(lx1, 4 * units::kLatticeFe * 0.97);
 }
 
+TEST(Barostat, SteadyStateRunPerformsZeroListReconstructions) {
+  // Every barostat application changes the box, but as long as the list
+  // configuration is unchanged the box change must go through
+  // update_box() - the NeighborList/CellList heap is built exactly once.
+  FinnisSinclair iron(FinnisSinclairParams::iron());
+  SimulationConfig cfg;
+  cfg.dt = units::fs_to_internal(1.0);
+  cfg.force.strategy = ReductionStrategy::Serial;
+
+  Simulation sim(bcc_system(4, units::kLatticeFe * 1.01), iron, cfg);
+  sim.set_temperature(10.0, 3);
+  sim.set_thermostat(std::make_unique<BerendsenThermostat>(10.0, 0.05));
+  sim.set_barostat(BerendsenBarostat(0.0, 0.5, 0.02), /*every=*/5);
+  ASSERT_EQ(sim.neighbor_reconstructions(), 1u);
+
+  sim.run(150);
+  EXPECT_EQ(sim.neighbor_reconstructions(), 1u);
+  // The gentle contraction stays within the same grid shape, so the
+  // stencil tables from construction are still the originals.
+  const NeighborBuildStats stats = sim.neighbor_stats();
+  EXPECT_EQ(stats.grid_reshapes, 0u);
+  EXPECT_EQ(stats.stencil_rebuilds, 1u);
+  EXPECT_GT(stats.builds, 1u);  // box changes still rebuilt the pairs
+}
+
 }  // namespace
 }  // namespace sdcmd

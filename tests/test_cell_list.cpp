@@ -123,5 +123,101 @@ TEST(CellList, OutOfBoxPositionsAreWrappedForBinning) {
   EXPECT_EQ(cells.cell_of({-1.0, 1.0, 1.0}), cells.cell_of({11.0, 1.0, 1.0}));
 }
 
+// Half-stencil invariant: every adjacent unordered cell pair {a, b} must
+// appear in exactly one of the two half stencils, and no half stencil may
+// contain its own cell. This is what lets half-mode pair enumeration visit
+// each cross-cell pair exactly once.
+void check_half_stencil_invariant(const CellList& cells) {
+  std::set<std::pair<std::size_t, std::size_t>> owned;
+  for (std::size_t c = 0; c < cells.cell_count(); ++c) {
+    for (std::size_t other : cells.half_stencil(c)) {
+      EXPECT_GT(other, c);
+      EXPECT_TRUE(owned.insert({c, other}).second)
+          << "cell pair {" << c << "," << other << "} owned twice";
+    }
+  }
+  // Every non-self full-stencil adjacency must be owned by exactly one side.
+  for (std::size_t c = 0; c < cells.cell_count(); ++c) {
+    for (std::size_t other : cells.stencil(c)) {
+      if (other == c) continue;
+      const auto key = std::minmax(c, other);
+      EXPECT_TRUE(owned.count({key.first, key.second}))
+          << "adjacency {" << c << "," << other << "} unowned";
+    }
+  }
+}
+
+TEST(CellList, HalfStencilOwnsEachAdjacencyOnceOnLargeGrid) {
+  const Box box = Box::cubic(15.0);
+  CellList cells(box, 3.0);  // 5x5x5: interior half stencils have 13 cells
+  check_half_stencil_invariant(cells);
+}
+
+TEST(CellList, HalfStencilOwnsEachAdjacencyOnceOnNarrowGrid) {
+  const Box box = Box::cubic(8.0);
+  CellList cells(box, 3.8);  // 2x2x2: wrapping collapses the stencils
+  check_half_stencil_invariant(cells);
+}
+
+TEST(CellList, HalfStencilOwnsEachAdjacencyOnceOnMixedPeriodicity) {
+  const Box box({0, 0, 0}, {7.0, 9.0, 12.0}, {true, false, true});
+  CellList cells(box, 3.0);  // 2x3x4, mixed wrap/truncate
+  check_half_stencil_invariant(cells);
+}
+
+TEST(CellList, UpdateBoxWithoutReshapeKeepsStencils) {
+  Box box = Box::cubic(12.0);
+  CellList cells(box, 3.0);  // 4x4x4
+  EXPECT_EQ(cells.stencil_rebuilds(), 1u);
+  box.rescale({1.02, 1.02, 1.02});  // 12.24 / 3 -> still 4 cells per dim
+  EXPECT_FALSE(cells.update_box(box));
+  EXPECT_EQ(cells.nx(), 4);
+  EXPECT_EQ(cells.stencil_rebuilds(), 1u);
+}
+
+TEST(CellList, UpdateBoxReshapesWhenGridChanges) {
+  Box box = Box::cubic(12.0);
+  CellList cells(box, 3.0);  // 4x4x4
+  box.rescale({1.3, 1.3, 1.3});  // 15.6 / 3 -> 5 cells per dim
+  EXPECT_TRUE(cells.update_box(box));
+  EXPECT_EQ(cells.nx(), 5);
+  EXPECT_EQ(cells.stencil_rebuilds(), 2u);
+  // The reshaped grid still satisfies the half-stencil invariant and bins
+  // correctly.
+  check_half_stencil_invariant(cells);
+  const auto points = random_points(box, 200, 11);
+  cells.build(points);
+  for (std::size_t i = 0; i < points.size(); ++i) {
+    EXPECT_EQ(cells.binned_cell(i), cells.cell_of(points[i]));
+  }
+}
+
+TEST(CellList, UpdateBoxRejectsTooSmallPeriodicBox) {
+  Box box = Box::cubic(12.0);
+  CellList cells(box, 3.0);
+  EXPECT_THROW(cells.update_box(Box::cubic(5.0)), PreconditionError);
+}
+
+TEST(CellList, ParallelBinningMatchesSerial) {
+  // Above the parallel threshold, the counting sort must produce exactly
+  // the serial ordering (atoms ascending within each cell).
+  const Box box = Box::cubic(24.0);
+  const auto points = random_points(box, 5000, 123);
+  CellList serial(box, 3.0), parallel(box, 3.0);
+  serial.build(points, /*parallel=*/false);
+  parallel.build(points, /*parallel=*/true);
+  ASSERT_EQ(serial.cell_count(), parallel.cell_count());
+  for (std::size_t c = 0; c < serial.cell_count(); ++c) {
+    const auto a = serial.atoms_in(c);
+    const auto b = parallel.atoms_in(c);
+    ASSERT_EQ(a.size(), b.size()) << "cell " << c;
+    EXPECT_TRUE(std::equal(a.begin(), a.end(), b.begin())) << "cell " << c;
+    EXPECT_TRUE(std::is_sorted(a.begin(), a.end()));
+  }
+  for (std::size_t i = 0; i < points.size(); ++i) {
+    EXPECT_EQ(parallel.binned_cell(i), serial.binned_cell(i));
+  }
+}
+
 }  // namespace
 }  // namespace sdcmd

@@ -3,6 +3,7 @@
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <array>
 #include <set>
 
 #include "common/error.hpp"
@@ -38,6 +39,44 @@ std::set<Pair> pairs_from_half_list(const NeighborList& list) {
   return pairs;
 }
 
+std::set<Pair> pair_set(
+    const std::vector<std::pair<std::uint32_t, std::uint32_t>>& pairs) {
+  return {pairs.begin(), pairs.end()};
+}
+
+// Exact pair-for-pair comparison against the O(N^2) reference for every
+// enumeration path: the default half-stencil build, the legacy
+// full-stencil half build, and Full mode (whose stored entries, folded to
+// unordered pairs, must halve to the same set).
+void expect_all_paths_match_brute_force(const Box& box,
+                                        std::span<const Vec3> points,
+                                        double cutoff) {
+  const auto expected = pair_set(brute_force_pairs(box, points, cutoff));
+
+  NeighborListConfig cfg;
+  cfg.cutoff = cutoff;
+  cfg.skin = 0.0;  // exact range so sets must match brute force
+
+  NeighborList half(box, cfg);
+  half.build(points);
+  EXPECT_EQ(half.pair_count(), expected.size());
+  EXPECT_EQ(pairs_from_half_list(half), expected) << "half-stencil path";
+
+  NeighborListConfig legacy_cfg = cfg;
+  legacy_cfg.half_stencil = false;
+  NeighborList legacy(box, legacy_cfg);
+  legacy.build(points);
+  EXPECT_EQ(legacy.pair_count(), expected.size());
+  EXPECT_EQ(pairs_from_half_list(legacy), expected) << "legacy half path";
+
+  NeighborListConfig full_cfg = cfg;
+  full_cfg.mode = NeighborMode::Full;
+  NeighborList full(box, full_cfg);
+  full.build(points);
+  EXPECT_EQ(full.pair_count(), 2 * expected.size());
+  EXPECT_EQ(pairs_from_half_list(full), expected) << "full mode";
+}
+
 TEST(NeighborList, HalfListMatchesBruteForce) {
   const Box box = Box::cubic(13.0);
   const auto points = random_points(box, 250, 99);
@@ -56,6 +95,9 @@ TEST(NeighborList, HalfListMatchesBruteForce) {
 }
 
 TEST(NeighborList, HalfListStoresEachPairOnce) {
+  // The half-stencil build stores a cross-cell pair under the atom whose
+  // cell owns the cell pair - not necessarily under min(i, j) - so the
+  // guarantee is "each unordered pair exactly once", not j > i.
   const Box box = Box::cubic(13.0);
   const auto points = random_points(box, 200, 5);
   NeighborListConfig cfg;
@@ -66,10 +108,67 @@ TEST(NeighborList, HalfListStoresEachPairOnce) {
   std::set<Pair> seen;
   for (std::size_t i = 0; i < list.atom_count(); ++i) {
     for (std::uint32_t j : list.neighbors(i)) {
-      EXPECT_GT(j, i) << "half list must store j > i";
+      EXPECT_NE(j, i) << "self pair";
+      const auto a = static_cast<std::uint32_t>(i);
+      EXPECT_TRUE(seen.insert({std::min(a, j), std::max(a, j)}).second)
+          << "pair {" << std::min(a, j) << "," << std::max(a, j)
+          << "} stored twice";
+    }
+  }
+}
+
+TEST(NeighborList, LegacyHalfPathStoresUnderMinIndex) {
+  // The pre-pipeline enumeration (full stencil, skip j <= i) is kept
+  // behind half_stencil = false and must still store every pair under the
+  // smaller atom index.
+  const Box box = Box::cubic(13.0);
+  const auto points = random_points(box, 200, 5);
+  NeighborListConfig cfg;
+  cfg.cutoff = 3.2;
+  cfg.half_stencil = false;
+  NeighborList list(box, cfg);
+  list.build(points);
+
+  std::set<Pair> seen;
+  for (std::size_t i = 0; i < list.atom_count(); ++i) {
+    for (std::uint32_t j : list.neighbors(i)) {
+      EXPECT_GT(j, i) << "legacy half list must store j > i";
       EXPECT_TRUE(seen.insert({static_cast<std::uint32_t>(i), j}).second);
     }
   }
+}
+
+TEST(NeighborList, AllPathsMatchBruteForceOnRandomizedBoxes) {
+  // Randomized periodic and non-periodic boxes, exact pair-set compare.
+  Xoshiro256 rng(2026);
+  for (int trial = 0; trial < 6; ++trial) {
+    const double cutoff = rng.uniform(2.5, 3.5);
+    const Vec3 lengths{rng.uniform(2.0 * cutoff, 5.0 * cutoff),
+                       rng.uniform(2.0 * cutoff, 5.0 * cutoff),
+                       rng.uniform(2.0 * cutoff, 5.0 * cutoff)};
+    const std::array<bool, 3> periodic{trial % 2 == 0, trial % 3 != 0,
+                                       true};
+    const Box box({0, 0, 0}, lengths,
+                  {periodic[0], periodic[1], periodic[2]});
+    const auto points =
+        random_points(box, 150 + 40 * trial,
+                      static_cast<std::uint64_t>(trial) + 31);
+    expect_all_paths_match_brute_force(box, points, cutoff);
+  }
+}
+
+TEST(NeighborList, NarrowPeriodicGridsMatchBruteForce) {
+  // Exactly 2 cells per periodic dimension: the stencil dedup path and
+  // the half-stencil ownership rule both get exercised hardest here.
+  const double cutoff = 3.0;
+  const Box fully_periodic = Box::cubic(7.0);  // 7/3 -> 2 cells per dim
+  const auto p1 = random_points(fully_periodic, 260, 17);
+  expect_all_paths_match_brute_force(fully_periodic, p1, cutoff);
+
+  // Mixed: two periodic dims at 2 cells, one open dim at 3.
+  const Box mixed({0, 0, 0}, {7.0, 7.0, 9.5}, {true, true, false});
+  const auto p2 = random_points(mixed, 260, 18);
+  expect_all_paths_match_brute_force(mixed, p2, cutoff);
 }
 
 TEST(NeighborList, FullListIsSymmetricAndTwiceTheHalfList) {
@@ -119,6 +218,36 @@ TEST(NeighborList, BccIronCoordinationWithinPotentialRange) {
     EXPECT_EQ(list.neighbors(i).size(), 14u) << "atom " << i;
   }
   EXPECT_DOUBLE_EQ(list.mean_neighbors(), 14.0);
+
+  // mean_neighbors is mode-aware physical coordination: the half list
+  // stores each pair once but must report the same 14.
+  NeighborListConfig half_cfg = cfg;
+  half_cfg.mode = NeighborMode::Half;
+  NeighborList half(spec.box(), half_cfg);
+  half.build(positions);
+  EXPECT_DOUBLE_EQ(half.mean_neighbors(), 14.0);
+}
+
+TEST(NeighborList, MeanNeighborsMatchesBruteForceInBothModes) {
+  const Box box = Box::cubic(13.0);
+  const auto points = random_points(box, 250, 77);
+  const double cutoff = 3.1;
+  const auto pairs = brute_force_pairs(box, points, cutoff);
+  const double physical = 2.0 * static_cast<double>(pairs.size()) /
+                          static_cast<double>(points.size());
+
+  NeighborListConfig cfg;
+  cfg.cutoff = cutoff;
+  cfg.skin = 0.0;
+  NeighborList half(box, cfg);
+  half.build(points);
+  EXPECT_DOUBLE_EQ(half.mean_neighbors(), physical);
+
+  NeighborListConfig full_cfg = cfg;
+  full_cfg.mode = NeighborMode::Full;
+  NeighborList full(box, full_cfg);
+  full.build(points);
+  EXPECT_DOUBLE_EQ(full.mean_neighbors(), physical);
 }
 
 TEST(NeighborList, SortNeighborsProducesAscendingSublists) {
@@ -205,15 +334,76 @@ TEST(NeighborList, RejectsBadConfig) {
   EXPECT_THROW(NeighborList(box, cfg), PreconditionError);
 }
 
-TEST(NeighborList, MemoryAccountingIsPlausible) {
+TEST(NeighborList, MemoryAccountingIncludesEveryComponent) {
   const Box box = Box::cubic(13.0);
   const auto points = random_points(box, 100, 1);
   NeighborListConfig cfg;
   cfg.cutoff = 3.0;
   NeighborList list(box, cfg);
   list.build(points);
+  // The gauge must equal the sum of the CSR arrays, the staleness
+  // snapshot and the embedded CellList (once under-reported as zero).
+  const std::size_t expected =
+      list.neigh_index().size() * sizeof(std::size_t) +
+      list.neigh_len().size() * sizeof(std::uint32_t) +
+      list.neigh_list().size() * sizeof(std::uint32_t) +
+      points.size() * sizeof(Vec3) + list.cells().memory_bytes();
+  EXPECT_EQ(list.memory_bytes(), expected);
+  EXPECT_GT(list.cells().memory_bytes(), 0u);
   EXPECT_GT(list.memory_bytes(),
             list.pair_count() * sizeof(std::uint32_t));
+}
+
+TEST(NeighborList, UpdateBoxReusesStorageUntilTheGridReshapes) {
+  Box box = Box::cubic(12.0);
+  const double cutoff = 2.6;  // + 0.4 skin -> 3.0 range, 4x4x4 grid
+  auto points = random_points(box, 300, 55);
+  NeighborListConfig cfg;
+  cfg.cutoff = cutoff;
+  NeighborList list(box, cfg);
+  list.build(points);
+  EXPECT_EQ(list.stats().builds, 1u);
+  EXPECT_EQ(list.stats().grid_reshapes, 0u);
+  EXPECT_EQ(list.stats().stencil_rebuilds, 1u);
+
+  // A small barostat-style rescale keeps 4 cells per dim: no reshape.
+  Box grown = box;
+  grown.rescale({1.01, 1.01, 1.01});
+  EXPECT_FALSE(list.update_box(grown));
+  EXPECT_EQ(list.stats().grid_reshapes, 0u);
+  EXPECT_EQ(list.stats().stencil_rebuilds, 1u);
+
+  // A large rescale crosses a cell-count boundary: reshape + new stencils.
+  Box large = box;
+  large.rescale({1.3, 1.3, 1.3});  // 15.6 / 3.0 -> 5 cells per dim
+  EXPECT_TRUE(list.update_box(large));
+  EXPECT_EQ(list.stats().grid_reshapes, 1u);
+  EXPECT_EQ(list.stats().stencil_rebuilds, 2u);
+
+  // Rebuilding against the new box still enumerates exactly the physical
+  // pair set (affine-remap the points like the barostat does).
+  for (auto& r : points) r = large.affine_map(r, box);
+  list.build(points);
+  const auto expected =
+      pair_set(brute_force_pairs(large, points, cutoff + cfg.skin));
+  EXPECT_EQ(pairs_from_half_list(list), expected);
+}
+
+TEST(NeighborList, ConfigCompatibilityGatesInPlaceReuse) {
+  const Box box = Box::cubic(13.0);
+  NeighborListConfig cfg;
+  cfg.cutoff = 3.0;
+  NeighborList list(box, cfg);
+  EXPECT_TRUE(list.config_compatible(cfg));
+  NeighborListConfig other = cfg;
+  other.skin = 0.9;
+  EXPECT_FALSE(list.config_compatible(other));
+  other = cfg;
+  other.mode = NeighborMode::Full;
+  EXPECT_FALSE(list.config_compatible(other));
+  other = cfg;
+  other.half_stencil = false;
+  EXPECT_FALSE(list.config_compatible(other));
 }
 
 }  // namespace

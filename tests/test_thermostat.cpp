@@ -17,21 +17,40 @@ std::vector<Vec3> hot_velocities(double temperature, std::size_t n = 400,
   return v;
 }
 
+// Velocity init zeroes the COM momentum, so the physical temperature of
+// these ensembles uses 3N - 3 DOF - the same count the (default)
+// thermostats measure with.
+double measured(std::span<const Vec3> v) {
+  return temperature_of(v, units::kMassFe,
+                        temperature_dof(v.size(), true));
+}
+
 TEST(VelocityRescale, HitsTargetImmediately) {
   auto v = hot_velocities(600.0);
   VelocityRescaleThermostat t(300.0);
   t.apply(v, units::kMassFe, 0.01);
-  EXPECT_NEAR(temperature_of(v, units::kMassFe), 300.0, 1e-9);
+  EXPECT_NEAR(measured(v), 300.0, 1e-9);
 }
 
 TEST(VelocityRescale, PeriodSkipsApplications) {
   auto v = hot_velocities(600.0);
   VelocityRescaleThermostat t(300.0, /*period=*/3);
   t.apply(v, units::kMassFe, 0.01);  // 1st: skipped
-  EXPECT_NEAR(temperature_of(v, units::kMassFe), 600.0, 1e-9);
+  EXPECT_NEAR(measured(v), 600.0, 1e-9);
   t.apply(v, units::kMassFe, 0.01);  // 2nd: skipped
   t.apply(v, units::kMassFe, 0.01);  // 3rd: applied
+  EXPECT_NEAR(measured(v), 300.0, 1e-9);
+}
+
+TEST(VelocityRescale, RawDofModeUsesAllModes) {
+  // com_momentum_removed = false restores the raw-3N measurement: applied
+  // to a momentum-zeroed ensemble it lands the raw temperature (not the
+  // constrained one) on target.
+  auto v = hot_velocities(600.0);
+  VelocityRescaleThermostat t(300.0, 1, /*com_momentum_removed=*/false);
+  t.apply(v, units::kMassFe, 0.01);
   EXPECT_NEAR(temperature_of(v, units::kMassFe), 300.0, 1e-9);
+  EXPECT_GT(measured(v), 300.0);
 }
 
 TEST(VelocityRescale, RejectsBadArguments) {
@@ -42,10 +61,10 @@ TEST(VelocityRescale, RejectsBadArguments) {
 TEST(Berendsen, RelaxesTowardTarget) {
   auto v = hot_velocities(600.0);
   BerendsenThermostat t(300.0, /*tau=*/1.0);
-  double previous = temperature_of(v, units::kMassFe);
+  double previous = measured(v);
   for (int s = 0; s < 50; ++s) {
     t.apply(v, units::kMassFe, 0.1);
-    const double now = temperature_of(v, units::kMassFe);
+    const double now = measured(v);
     EXPECT_LT(now, previous + 1e-9);
     previous = now;
   }
@@ -56,7 +75,7 @@ TEST(Berendsen, HeatsColdSystems) {
   auto v = hot_velocities(100.0);
   BerendsenThermostat t(300.0, 1.0);
   for (int s = 0; s < 100; ++s) t.apply(v, units::kMassFe, 0.1);
-  EXPECT_NEAR(temperature_of(v, units::kMassFe), 300.0, 5.0);
+  EXPECT_NEAR(measured(v), 300.0, 5.0);
 }
 
 TEST(Berendsen, RejectsBadTau) {
@@ -102,6 +121,14 @@ TEST(Thermostat, TargetsAreReported) {
   EXPECT_EQ(a.target_temperature(), 111.0);
   EXPECT_EQ(b.target_temperature(), 222.0);
   EXPECT_EQ(c.target_temperature(), 333.0);
+}
+
+TEST(Thermostat, MomentumConservationIsReported) {
+  // Rescaling thermostats keep a zeroed COM zeroed (3N - 3 DOF stays
+  // valid); Langevin's random kicks re-inject COM momentum.
+  EXPECT_TRUE(VelocityRescaleThermostat(300.0).conserves_momentum());
+  EXPECT_TRUE(BerendsenThermostat(300.0, 1.0).conserves_momentum());
+  EXPECT_FALSE(LangevinThermostat(300.0, 0.1, 1).conserves_momentum());
 }
 
 }  // namespace

@@ -10,9 +10,16 @@ namespace sdcmd {
 namespace {
 
 TEST(MaxwellBoltzmann, HitsTargetTemperatureExactly) {
+  // Init removes the COM momentum, so the ensemble has 3N - 3 DOF; the
+  // DOF-aware temperature is exact and the raw-3N form under-reports by
+  // exactly (3N - 3) / 3N.
   std::vector<Vec3> v(500);
   maxwell_boltzmann_velocities(v, units::kMassFe, 300.0, 42);
-  EXPECT_NEAR(temperature_of(v, units::kMassFe), 300.0, 1e-9);
+  const std::size_t dof = temperature_dof(v.size(), true);
+  EXPECT_EQ(dof, 3 * 500 - 3);
+  EXPECT_NEAR(temperature_of(v, units::kMassFe, dof), 300.0, 1e-9);
+  EXPECT_NEAR(temperature_of(v, units::kMassFe),
+              300.0 * static_cast<double>(dof) / (3.0 * 500.0), 1e-9);
 }
 
 TEST(MaxwellBoltzmann, ZeroNetMomentum) {
@@ -76,12 +83,26 @@ TEST(Thermo, TemperatureOfEmptyIsZero) {
   EXPECT_EQ(temperature_of({}, 1.0), 0.0);
 }
 
+TEST(Thermo, DegreeOfFreedomCounting) {
+  EXPECT_EQ(temperature_dof(0, false), 0u);
+  EXPECT_EQ(temperature_dof(0, true), 0u);
+  EXPECT_EQ(temperature_dof(1, false), 3u);
+  EXPECT_EQ(temperature_dof(1, true), 0u);  // a pinned COM is the atom
+  EXPECT_EQ(temperature_dof(100, false), 300u);
+  EXPECT_EQ(temperature_dof(100, true), 297u);
+}
+
+TEST(Thermo, ZeroDofTemperatureIsZero) {
+  std::vector<Vec3> v{{1, 0, 0}};
+  EXPECT_EQ(temperature_of(v, units::kMassFe, 0), 0.0);
+}
+
 TEST(Thermo, TemperatureInvertsEquipartition) {
-  // 3/2 N kB T = KE
+  // KE = dof/2 kB T with dof = 3N - 3 after COM removal.
   std::vector<Vec3> v(100);
   maxwell_boltzmann_velocities(v, units::kMassFe, 500.0, 5);
   const double ke = kinetic_energy(v, units::kMassFe);
-  EXPECT_NEAR(ke, 1.5 * 100 * units::kBoltzmann * 500.0, 1e-9);
+  EXPECT_NEAR(ke, 0.5 * 297 * units::kBoltzmann * 500.0, 1e-9);
 }
 
 TEST(Thermo, IdealGasPressure) {
