@@ -41,6 +41,15 @@ inline constexpr const char* kCheckpointShortWrite = "checkpoint.short_write";
 /// (default 0.5) with an affine position remap, simulating a barostat
 /// collapse that invalidates the SDC decomposition mid-run.
 inline constexpr const char* kBoxShrink = "governor.box_shrink";
+/// Checkpoint writer: fail the write with a simulated ENOSPC (the .tmp
+/// file is cleaned up and Error thrown), exercising the run supervisor's
+/// retry-with-backoff path. `shots` bounds how many attempts fail.
+inline constexpr const char* kDiskFull = "run.disk_full";
+/// Run-directory MANIFEST writer: bypass the temp-then-rename protocol and
+/// leave a truncated MANIFEST at the final path, simulating a torn write
+/// by a non-atomic writer (or a crashed rename on a broken filesystem).
+/// Resume must detect the corruption and fall back to the directory scan.
+inline constexpr const char* kManifestTornWrite = "run.manifest_torn_write";
 }  // namespace faults
 
 /// What an armed injection point does when it fires.

@@ -55,6 +55,14 @@ int StrategyGovernor::strategy_code(ReductionStrategy s) {
   return -1;
 }
 
+ReductionStrategy StrategyGovernor::strategy_from_code(int code) {
+  for (const ReductionStrategy s : kAllStrategies) {
+    if (strategy_code(s) == code) return s;
+  }
+  throw PreconditionError("unknown reduction-strategy code " +
+                          std::to_string(code));
+}
+
 int StrategyGovernor::required_streak() const {
   return config_.promote_streak * state_.backoff;
 }

@@ -138,6 +138,10 @@ class StrategyGovernor {
   /// serial=0, critical=1, atomic=2, locks=3, sap=4, rc=5, sdc=6.
   static int strategy_code(ReductionStrategy s);
 
+  /// Inverse of strategy_code, for restoring a checkpointed rung from the
+  /// run_state.v1 sidecar. Throws PreconditionError on an unknown code.
+  static ReductionStrategy strategy_from_code(int code);
+
  private:
   /// Ladder index of `s`, or -1 when `s` is not on the ladder.
   static int ladder_index(ReductionStrategy s);

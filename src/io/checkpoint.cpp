@@ -11,6 +11,7 @@
 
 #include "common/error.hpp"
 #include "common/fault.hpp"
+#include "common/hash.hpp"
 
 namespace sdcmd {
 
@@ -21,17 +22,27 @@ constexpr const char* kMagic = "sdcmd-checkpoint";
 constexpr int kVersion = 2;
 constexpr const char* kFooterTag = "checksum fnv1a64 ";
 
-std::uint64_t fnv1a64(std::string_view bytes) {
-  std::uint64_t h = 14695981039346656037ull;
-  for (const char c : bytes) {
-    h ^= static_cast<unsigned char>(c);
-    h *= 1099511628211ull;
-  }
-  return h;
-}
-
 bool finite3(const Vec3& v) {
   return std::isfinite(v.x) && std::isfinite(v.y) && std::isfinite(v.z);
+}
+
+/// " (line L, byte B)" for the stream's current read position inside
+/// `payload`, so a truncation report points at the exact spot — the same
+/// one-glance triage the setfl/funcfl ParseErrors give via line numbers.
+/// Falls back to the end of the payload when the stream position is gone
+/// (extraction already hit EOF).
+std::string at_offset(std::istringstream& in, const std::string& payload) {
+  const auto pos = in.tellg();
+  const std::size_t byte =
+      pos >= 0 ? static_cast<std::size_t>(pos) : payload.size();
+  const std::size_t line =
+      1 + static_cast<std::size_t>(
+              std::count(payload.begin(),
+                         payload.begin() + static_cast<std::ptrdiff_t>(
+                                               std::min(byte, payload.size())),
+                         '\n'));
+  return " (line " + std::to_string(line) + ", byte " + std::to_string(byte) +
+         " of " + std::to_string(payload.size()) + ")";
 }
 
 void write_payload(std::ostream& out, const System& system, long step) {
@@ -66,13 +77,14 @@ Checkpoint parse_payload(const std::string& payload, int version) {
   long step = 0;
   double mass = 0.0;
   if (!(in >> key >> step) || key != "step") {
-    throw ParseError("checkpoint: missing step");
+    throw ParseError("checkpoint: missing step" + at_offset(in, payload));
   }
   if (!(in >> key >> mass) || key != "mass") {
-    throw ParseError("checkpoint: missing mass");
+    throw ParseError("checkpoint: missing mass" + at_offset(in, payload));
   }
   if (!std::isfinite(mass) || mass <= 0.0) {
-    throw ParseError("checkpoint: mass must be finite and positive");
+    throw ParseError("checkpoint: mass must be finite and positive" +
+                     at_offset(in, payload));
   }
 
   Vec3 lo, hi;
@@ -80,20 +92,22 @@ Checkpoint parse_payload(const std::string& payload, int version) {
   if (!(in >> key >> lo.x >> lo.y >> lo.z >> hi.x >> hi.y >> hi.z >> px >>
         py >> pz) ||
       key != "box") {
-    throw ParseError("checkpoint: missing box");
+    throw ParseError("checkpoint: missing box" + at_offset(in, payload));
   }
   if (!finite3(lo) || !finite3(hi)) {
-    throw ParseError("checkpoint: box extents must be finite");
+    throw ParseError("checkpoint: box extents must be finite" +
+                     at_offset(in, payload));
   }
   for (int dim = 0; dim < 3; ++dim) {
     if (!(hi[dim] > lo[dim])) {
-      throw ParseError("checkpoint: box hi must exceed lo on every axis");
+      throw ParseError("checkpoint: box hi must exceed lo on every axis" +
+                       at_offset(in, payload));
     }
   }
 
   std::size_t count = 0;
   if (!(in >> key >> count) || key != "atoms") {
-    throw ParseError("checkpoint: missing atom count");
+    throw ParseError("checkpoint: missing atom count" + at_offset(in, payload));
   }
   // Fail fast on truncated files: each atom occupies one payload line, so
   // the declared count cannot exceed the lines that remain. This rejects
@@ -106,7 +120,8 @@ Checkpoint parse_payload(const std::string& payload, int version) {
     if (remaining_lines < count) {
       throw ParseError("checkpoint: declares " + std::to_string(count) +
                        " atoms but only " + std::to_string(remaining_lines) +
-                       " rows remain (truncated file?)");
+                       " rows remain (truncated file?)" +
+                       at_offset(in, payload));
     }
   }
 
@@ -115,14 +130,22 @@ Checkpoint parse_payload(const std::string& payload, int version) {
     std::uint32_t id;
     Vec3 r, v;
     int ix, iy, iz;
+    // Remember where this row started: after a failed extraction tellg()
+    // returns -1, so the error location must come from before the read.
+    const auto row_start = in.tellg();
     if (!(in >> id >> r.x >> r.y >> r.z >> v.x >> v.y >> v.z >> ix >> iy >>
           iz)) {
+      std::istringstream marker(payload);
+      marker.seekg(row_start >= 0
+                       ? static_cast<std::streamoff>(row_start)
+                       : static_cast<std::streamoff>(payload.size()));
       throw ParseError("checkpoint: truncated atom table at row " +
-                       std::to_string(i));
+                       std::to_string(i) + " of " + std::to_string(count) +
+                       at_offset(marker, payload));
     }
     if (!finite3(r) || !finite3(v)) {
       throw ParseError("checkpoint: non-finite position or velocity at row " +
-                       std::to_string(i));
+                       std::to_string(i) + at_offset(in, payload));
     }
     atoms.id[i] = id;
     atoms.position[i] = r;
@@ -152,9 +175,10 @@ void save_checkpoint_file(const std::string& path, const System& system,
   save_checkpoint(buffer, system, step);
   std::string text = buffer.str();
 
-  // Fault injection: keep only a prefix of the payload and bail before the
-  // rename, exactly what a crash mid-write leaves behind.
-  bool simulate_crash = false;
+  // Fault injection: the write stops after a prefix of the payload — the
+  // short write an ENOSPC or a dying disk produces. The writer detects it
+  // below, cleans up and throws like any real failure.
+  bool simulate_short_write = false;
   if (const auto fault = FaultInjector::instance().should_fire(
           faults::kCheckpointShortWrite)) {
     const double kept =
@@ -162,28 +186,40 @@ void save_checkpoint_file(const std::string& path, const System& system,
                                                          : 0.5;
     text.resize(static_cast<std::size_t>(
         static_cast<double>(text.size()) * kept));
-    simulate_crash = true;
+    simulate_short_write = true;
   }
 
-  // Temp-then-rename: an interrupted save leaves a stale .tmp file behind
-  // but never clobbers the previous good checkpoint at `path`.
+  // Temp-then-rename: a failed or interrupted save never clobbers the
+  // previous good checkpoint at `path`, and every error path below removes
+  // the temp file so retries (and keep-last-K ring pruning) never trip
+  // over a stale `.tmp`.
   const std::string tmp = path + ".tmp";
   {
     std::ofstream out(tmp, std::ios::binary | std::ios::trunc);
     if (!out) {
+      std::remove(tmp.c_str());  // in case open() itself left a husk
       throw Error("checkpoint: cannot open '" + tmp + "' for writing");
     }
     out << text;
     out.flush();
     if (!out) {
+      out.close();
+      std::remove(tmp.c_str());
       throw Error("checkpoint: short write to '" + tmp + "'");
     }
   }
-  if (simulate_crash) {
-    throw Error("checkpoint: fault-injected crash during write of '" + tmp +
-                "'");
+  if (simulate_short_write) {
+    std::remove(tmp.c_str());
+    throw Error("checkpoint: short write to '" + tmp +
+                "' (injected checkpoint.short_write)");
+  }
+  if (FaultInjector::instance().should_fire(faults::kDiskFull)) {
+    std::remove(tmp.c_str());
+    throw Error("checkpoint: write failed on '" + tmp +
+                "': no space left on device (injected run.disk_full)");
   }
   if (std::rename(tmp.c_str(), path.c_str()) != 0) {
+    std::remove(tmp.c_str());
     throw Error("checkpoint: cannot rename '" + tmp + "' to '" + path + "'");
   }
 }
@@ -211,21 +247,24 @@ Checkpoint load_checkpoint(std::istream& in) {
   const std::size_t footer = text.rfind(kFooterTag);
   if (footer == std::string::npos ||
       (footer != 0 && text[footer - 1] != '\n')) {
-    throw ParseError("checkpoint: missing checksum footer");
+    throw ParseError("checkpoint: missing checksum footer (file ends at byte " +
+                     std::to_string(text.size()) + "; truncated?)");
   }
   const std::string payload = text.substr(0, footer);
   std::uint64_t declared = 0;
   {
     std::istringstream f(text.substr(footer + std::string(kFooterTag).size()));
     if (!(f >> std::hex >> declared)) {
-      throw ParseError("checkpoint: malformed checksum footer");
+      throw ParseError("checkpoint: malformed checksum footer at byte " +
+                       std::to_string(footer));
     }
   }
   const std::uint64_t actual = fnv1a64(payload);
   if (actual != declared) {
     std::ostringstream os;
     os << "checkpoint: checksum mismatch (stored " << std::hex << declared
-       << ", computed " << actual << "); file is corrupt";
+       << ", computed " << actual << " over " << std::dec << payload.size()
+       << " payload bytes); file is corrupt";
     throw ChecksumError(os.str());
   }
   return parse_payload(payload, version);
@@ -236,7 +275,15 @@ Checkpoint load_checkpoint_file(const std::string& path) {
   if (!in) {
     throw ParseError("checkpoint: cannot open '" + path + "'");
   }
-  return load_checkpoint(in);
+  // Re-throw with the path up front so a resume scan over a ring of
+  // candidates names the offending file, not just the offending byte.
+  try {
+    return load_checkpoint(in);
+  } catch (const ChecksumError& e) {
+    throw ChecksumError(path + ": " + e.what());
+  } catch (const ParseError& e) {
+    throw ParseError(path + ": " + e.what());
+  }
 }
 
 }  // namespace sdcmd

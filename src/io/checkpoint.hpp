@@ -8,10 +8,12 @@
 //
 // Format v2 appends a `checksum fnv1a64 <hex>` footer covering the exact
 // payload bytes; the loader verifies it (ChecksumError on mismatch) before
-// parsing and rejects truncated or non-finite state with ParseError.
+// parsing and rejects truncated or non-finite state with ParseError —
+// errors carry the offending line/byte offset for one-glance triage.
 // `save_checkpoint_file` is crash-safe: it writes `<path>.tmp` and renames
 // it into place, so an interrupted save never clobbers the previous good
-// checkpoint. Legacy v1 files (no footer) still load.
+// checkpoint, and every failed save unlinks its `.tmp` before throwing.
+// Legacy v1 files (no footer) still load.
 #pragma once
 
 #include <iosfwd>

@@ -418,6 +418,14 @@ void Simulation::set_dt(double dt) {
   integrator_ = VelocityVerlet(dt, system_.mass());
 }
 
+void Simulation::set_current_step(long step) {
+  SDCMD_REQUIRE(step >= 0, "step counter must be non-negative");
+  step_ = step;
+  // A pre-resume snapshot would carry the old step numbering; drop it so
+  // the next guardrail baseline re-snapshots under the restored counter.
+  snapshot_.reset();
+}
+
 bool Simulation::rollback() {
   if (!snapshot_) return false;
   restore_snapshot();

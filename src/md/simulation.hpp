@@ -168,6 +168,17 @@ class Simulation {
   /// Change the time step mid-run (rollback uses this to halve dt).
   void set_dt(double dt);
 
+  /// Restart support: make current_step() report `step` so a run resumed
+  /// from a checkpoint continues the original step numbering (checkpoint
+  /// cadence, callbacks and thermo logs all key off the absolute step).
+  void set_current_step(long step);
+
+  /// Restart support: restore the COM-momentum bookkeeping that
+  /// set_temperature() normally records, so a resumed run keeps reporting
+  /// 3N-3 DOF temperatures instead of silently switching to 3N.
+  void set_com_momentum_zeroed(bool zeroed) { momentum_zeroed_ = zeroed; }
+  bool com_momentum_zeroed() const { return momentum_zeroed_; }
+
   /// Attach observability sinks for subsequent run() calls. Replaces any
   /// previous instrumentation. Like guardrails, off by default: an
   /// uninstrumented run pays nothing beyond one null check per step.

@@ -1,0 +1,61 @@
+// run_state.v1: the JSON sidecar a run directory keeps next to its
+// checkpoint ring.
+//
+// A checkpoint file restores the *physics* (box, atoms, step); the sidecar
+// restores the *run*: time step (rollbacks may have halved it), the
+// governor's demoted rung and hysteresis counters, the DOF bookkeeping,
+// the total energy at save time (so a resume can prove continuity), and a
+// fingerprint of the RNG-relevant configuration so a resume refuses to
+// continue a run whose physics would silently differ.
+//
+// Schema "sdcmd.run_state.v1" — a flat JSON object of scalars:
+//   {
+//     "schema": "sdcmd.run_state.v1",
+//     "step": 1200,
+//     "dt": 0.0010180505710774743,
+//     "total_energy": -547.33129882812502,
+//     "momentum_zeroed": true,
+//     "config_hash": "9e107d9d372bb682",
+//     "checkpoint_file": "ckpt_0000001200.chk",
+//     "governor": true,              // false => the 5 fields below are 0
+//     "governor_strategy": 3,        // StrategyGovernor::strategy_code
+//     "governor_demotions": 1,
+//     "governor_promotions": 0,
+//     "governor_race_suspects": 0,
+//     "governor_feasible_streak": 7,
+//     "governor_backoff": 2
+//   }
+// Written temp-then-rename like every other run-directory artifact. The
+// parser accepts exactly this shape (flat object, scalar values) and
+// throws ParseError with a byte offset on anything else.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "core/strategy_governor.hpp"
+
+namespace sdcmd::run {
+
+struct RunState {
+  long step = 0;
+  double dt = 0.0;
+  double total_energy = 0.0;
+  bool momentum_zeroed = false;
+  /// fnv1a64 fingerprint of the RNG-relevant run configuration (lattice,
+  /// seed, dt, thermostat...), hex-encoded in the JSON. 0 = not recorded.
+  std::uint64_t config_hash = 0;
+  /// Ring file the sidecar describes (basename, no directory).
+  std::string checkpoint_file;
+  bool has_governor = false;
+  GovernorState governor;
+};
+
+/// Serialize to a single-line JSON document (no trailing newline).
+std::string to_json(const RunState& state);
+
+/// Parse a sdcmd.run_state.v1 document. Throws ParseError (with byte
+/// offsets) on malformed input or a schema mismatch.
+RunState parse_run_state(const std::string& json);
+
+}  // namespace sdcmd::run

@@ -1,0 +1,249 @@
+#include "run/supervisor.hpp"
+
+#include <algorithm>
+#include <chrono>
+#include <thread>
+
+#include "common/error.hpp"
+#include "common/log.hpp"
+#include "common/timer.hpp"
+
+namespace sdcmd::run {
+
+namespace {
+/// Trace track for supervisor events (the Simulation driver uses 1000).
+constexpr int kSupervisorTid = 1001;
+
+extern "C" void sdcmd_run_signal_handler(int) {
+  // Async-signal-safe: set the flag, nothing else. The step loop notices
+  // at the next boundary and performs checkpoint-then-clean-exit there.
+  RunSupervisor::request_shutdown();
+}
+}  // namespace
+
+volatile std::sig_atomic_t RunSupervisor::shutdown_requested_ = 0;
+
+std::string to_string(RunOutcome outcome) {
+  switch (outcome) {
+    case RunOutcome::Completed: return "completed";
+    case RunOutcome::SignalShutdown: return "signal-shutdown";
+    case RunOutcome::WallClockExpired: return "wall-clock-expired";
+  }
+  return "unknown";
+}
+
+SignalGuard::SignalGuard() {
+  struct sigaction action {};
+  action.sa_handler = sdcmd_run_signal_handler;
+  sigemptyset(&action.sa_mask);
+  action.sa_flags = 0;  // no SA_RESTART: interrupt blocking IO promptly
+  installed_ = sigaction(SIGTERM, &action, &old_term_) == 0 &&
+               sigaction(SIGINT, &action, &old_int_) == 0;
+}
+
+SignalGuard::~SignalGuard() {
+  if (installed_) {
+    sigaction(SIGTERM, &old_term_, nullptr);
+    sigaction(SIGINT, &old_int_, nullptr);
+  }
+}
+
+RunSupervisor::RunSupervisor(Simulation& sim, RunDir& dir,
+                             SupervisorConfig config)
+    : sim_(sim), dir_(dir), config_(config) {
+  SDCMD_REQUIRE(config_.checkpoint_every >= 1,
+                "checkpoint interval must be >= 1");
+  SDCMD_REQUIRE(config_.max_write_retries >= 0,
+                "retry budget must be non-negative");
+  SDCMD_REQUIRE(config_.retry_backoff_initial_s >= 0.0 &&
+                    config_.retry_backoff_factor >= 1.0,
+                "retry backoff must be non-negative and non-shrinking");
+  SDCMD_REQUIRE(config_.interval_widen_factor >= 1.0,
+                "interval widening must not shrink the interval");
+  SDCMD_REQUIRE(config_.max_checkpoint_every >= config_.checkpoint_every,
+                "interval cap must be >= the configured interval");
+  SDCMD_REQUIRE(config_.ewma_alpha > 0.0 && config_.ewma_alpha <= 1.0,
+                "EWMA alpha must be in (0, 1]");
+  SDCMD_REQUIRE(config_.watchdog_factor >= 0.0,
+                "watchdog factor must be non-negative");
+  interval_ = config_.checkpoint_every;
+  if (config_.registry != nullptr) {
+    obs::MetricsRegistry& r = *config_.registry;
+    handles_.checkpoints = r.counter("run.checkpoints");
+    handles_.retries = r.counter("run.checkpoint_retries");
+    handles_.failures = r.counter("run.checkpoint_failures");
+    handles_.watchdog_trips = r.counter("run.watchdog_trips");
+    handles_.signal_shutdowns = r.counter("run.signal_shutdowns");
+    handles_.interval = r.gauge("run.checkpoint_interval");
+    handles_.checkpoint_seconds = r.stats("run.checkpoint_seconds");
+    handles_.step_ewma = r.gauge("run.step_ewma_seconds");
+    r.set(handles_.interval, static_cast<double>(interval_));
+  }
+}
+
+void RunSupervisor::mark(const char* name) {
+  if (config_.trace != nullptr) {
+    config_.trace->instant_event(name, "run", wall_time(), kSupervisorTid);
+  }
+}
+
+RunState RunSupervisor::capture_state() const {
+  RunState state;
+  state.step = sim_.current_step();
+  state.dt = sim_.config().dt;
+  state.total_energy = sim_.sample().total_energy();
+  state.momentum_zeroed = sim_.com_momentum_zeroed();
+  state.config_hash = config_.config_hash;
+  if (const StrategyGovernor* gov = sim_.governor()) {
+    state.has_governor = true;
+    state.governor = gov->state();
+  }
+  return state;
+}
+
+bool RunSupervisor::checkpoint_now() {
+  // sample() reads the last force result; make sure it describes the
+  // current positions (cheap no-op when forces are already current).
+  sim_.compute_forces();
+  const double t0 = wall_time();
+  double backoff = config_.retry_backoff_initial_s;
+  for (int attempt = 0;; ++attempt) {
+    try {
+      dir_.commit(sim_.system(), capture_state());
+      ++checkpoints_;
+      if (config_.registry != nullptr) {
+        config_.registry->add(handles_.checkpoints);
+        config_.registry->observe(handles_.checkpoint_seconds,
+                                  wall_time() - t0);
+      }
+      mark("run.checkpoint");
+      if (interval_ != config_.checkpoint_every) {
+        // The disk recovered: restore the configured cadence.
+        interval_ = config_.checkpoint_every;
+        if (config_.registry != nullptr) {
+          config_.registry->set(handles_.interval,
+                                static_cast<double>(interval_));
+        }
+        SDCMD_WARN("run: checkpoint writes recovered; interval restored to "
+                   << interval_);
+      }
+      return true;
+    } catch (const Error& e) {
+      if (attempt >= config_.max_write_retries) {
+        ++failures_;
+        if (config_.registry != nullptr) {
+          config_.registry->add(handles_.failures);
+        }
+        mark("run.checkpoint_failure");
+        // Keep the run alive: widen the cadence so a persistently sick
+        // disk costs checkpoint freshness, not the simulation.
+        interval_ = std::min(
+            config_.max_checkpoint_every,
+            static_cast<long>(static_cast<double>(interval_) *
+                              config_.interval_widen_factor));
+        if (config_.registry != nullptr) {
+          config_.registry->set(handles_.interval,
+                                static_cast<double>(interval_));
+        }
+        SDCMD_ERROR("run: checkpoint abandoned after "
+                    << (attempt + 1) << " attempt(s): " << e.what()
+                    << "; widening interval to " << interval_);
+        return false;
+      }
+      ++retries_;
+      if (config_.registry != nullptr) {
+        config_.registry->add(handles_.retries);
+      }
+      mark("run.checkpoint_retry");
+      SDCMD_WARN("run: checkpoint attempt " << (attempt + 1) << " failed ("
+                                            << e.what() << "); retrying in "
+                                            << backoff << " s");
+      if (backoff > 0.0) {
+        std::this_thread::sleep_for(std::chrono::duration<double>(backoff));
+      }
+      backoff *= config_.retry_backoff_factor;
+    }
+  }
+}
+
+void RunSupervisor::note_step_time(double seconds) {
+  if (!ewma_seeded_) {
+    ewma_ = seconds;
+    ewma_seeded_ = true;
+  } else {
+    // Watchdog check against the deadline derived from the *previous*
+    // EWMA, so one pathological step cannot hide itself by inflating the
+    // average it is judged against.
+    const double deadline = std::max(config_.watchdog_min_seconds,
+                                     ewma_ * config_.watchdog_factor);
+    if (config_.watchdog_factor > 0.0 && seconds > deadline) {
+      ++watchdog_trips_;
+      if (config_.registry != nullptr) {
+        config_.registry->add(handles_.watchdog_trips);
+      }
+      mark("run.watchdog_trip");
+      SDCMD_WARN("run: step " << sim_.current_step() << " took " << seconds
+                              << " s (deadline " << deadline
+                              << " s); flagging hung step and "
+                                 "force-checkpointing");
+      checkpoint_now();
+    }
+    ewma_ += config_.ewma_alpha * (seconds - ewma_);
+  }
+  if (config_.registry != nullptr) {
+    config_.registry->set(handles_.step_ewma, ewma_);
+  }
+}
+
+RunOutcome RunSupervisor::run_to(long target_step,
+                                 const Simulation::Callback& callback) {
+  SDCMD_REQUIRE(target_step >= sim_.current_step(),
+                "target step is behind the current step");
+  std::optional<SignalGuard> guard;
+  if (config_.install_signal_handlers) guard.emplace();
+
+  // Monotonic wall budget measured from here (not process start), so a
+  // resume gets a fresh budget.
+  const double wall_start = wall_time();
+
+  // A resume point must exist before the first kill can happen: write the
+  // initial generation unless the ring already has this exact step.
+  checkpoint_now();
+  next_checkpoint_step_ = sim_.current_step() + interval_;
+
+  while (sim_.current_step() < target_step) {
+    if (shutdown_requested()) {
+      if (config_.registry != nullptr) {
+        config_.registry->add(handles_.signal_shutdowns);
+      }
+      mark("run.signal_shutdown");
+      SDCMD_WARN("run: shutdown requested; checkpointing at step "
+                 << sim_.current_step());
+      checkpoint_now();
+      return RunOutcome::SignalShutdown;
+    }
+    if (config_.max_wall_seconds > 0.0 &&
+        wall_time() - wall_start >= config_.max_wall_seconds) {
+      mark("run.wall_clock_expired");
+      SDCMD_WARN("run: wall budget (" << config_.max_wall_seconds
+                                      << " s) spent; checkpointing at step "
+                                      << sim_.current_step());
+      checkpoint_now();
+      return RunOutcome::WallClockExpired;
+    }
+
+    const double t0 = wall_time();
+    sim_.run(1, callback, 1);
+    note_step_time(wall_time() - t0);
+
+    if (sim_.current_step() >= next_checkpoint_step_) {
+      checkpoint_now();
+      next_checkpoint_step_ = sim_.current_step() + interval_;
+    }
+  }
+  // Final generation so the directory always ends at the target step.
+  checkpoint_now();
+  return RunOutcome::Completed;
+}
+
+}  // namespace sdcmd::run

@@ -6,6 +6,7 @@
 #include <sstream>
 
 #include "common/error.hpp"
+#include "common/fault.hpp"
 #include "common/units.hpp"
 #include "io/checkpoint.hpp"
 #include "io/lammps_data.hpp"
@@ -248,6 +249,80 @@ TEST(Checkpoint, SaveFileLeavesNoTempBehind) {
   std::ifstream tmp(path + ".tmp");
   EXPECT_FALSE(tmp.good()) << "temp file should have been renamed away";
   EXPECT_EQ(load_checkpoint_file(path).step, 1);
+  std::remove(path.c_str());
+}
+
+TEST(Checkpoint, FailedSaveUnlinksItsTempFile) {
+  // A detected short write must throw AND clean up: a retrying caller (the
+  // run supervisor) would otherwise accumulate one stale .tmp per attempt.
+  const std::string path = testing::TempDir() + "sdcmd_ckpt_shortw.chk";
+  save_checkpoint_file(path, sample_system(), 1);  // previous generation
+
+  FaultSpec fault;
+  fault.magnitude = 0.5;
+  FaultInjector::instance().arm(faults::kCheckpointShortWrite, fault);
+  EXPECT_THROW(save_checkpoint_file(path, sample_system(), 2), Error);
+  FaultInjector::instance().disarm_all();
+
+  std::ifstream tmp(path + ".tmp");
+  EXPECT_FALSE(tmp.good()) << "failed save left " << path << ".tmp behind";
+  // The previous generation is untouched.
+  EXPECT_EQ(load_checkpoint_file(path).step, 1);
+  std::remove(path.c_str());
+}
+
+TEST(Checkpoint, DiskFullFaultCleansUpAndThrows) {
+  const std::string path = testing::TempDir() + "sdcmd_ckpt_enospc.chk";
+  FaultSpec fault;
+  fault.shots = 1;
+  FaultInjector::instance().arm(faults::kDiskFull, fault);
+  try {
+    save_checkpoint_file(path, sample_system(), 3);
+    FAIL() << "expected Error";
+  } catch (const Error& e) {
+    EXPECT_NE(std::string(e.what()).find("no space left"), std::string::npos);
+  }
+  FaultInjector::instance().disarm_all();
+  std::ifstream tmp(path + ".tmp");
+  EXPECT_FALSE(tmp.good());
+  // The fault consumed its shot: the retry goes through.
+  save_checkpoint_file(path, sample_system(), 3);
+  EXPECT_EQ(load_checkpoint_file(path).step, 3);
+  std::remove(path.c_str());
+}
+
+TEST(Checkpoint, TruncationErrorsPointAtRowLineAndByte) {
+  // v1 (no footer, so the parser — not the checksum — sees the damage):
+  // the second atom row is cut short mid-field.
+  std::stringstream truncated(
+      "sdcmd-checkpoint 1\nstep 0\nmass 55.845\n"
+      "box 0 0 0 10 10 10 1 1 1\natoms 2\n"
+      "0 1 2 3 0.1 0.2 0.3 0 0 0\n"
+      "1 4 5 6\n");
+  try {
+    load_checkpoint(truncated);
+    FAIL() << "expected ParseError";
+  } catch (const ParseError& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("row 1 of 2"), std::string::npos) << what;
+    EXPECT_NE(what.find("line "), std::string::npos) << what;
+    EXPECT_NE(what.find("byte "), std::string::npos) << what;
+  }
+}
+
+TEST(Checkpoint, FileErrorsArePrefixedWithThePath) {
+  const std::string path = testing::TempDir() + "sdcmd_ckpt_badfile.chk";
+  {
+    std::ofstream out(path, std::ios::binary);
+    out << "sdcmd-checkpoint 2\nstep x\n";
+  }
+  try {
+    load_checkpoint_file(path);
+    FAIL() << "expected ParseError";
+  } catch (const ParseError& e) {
+    EXPECT_NE(std::string(e.what()).find(path), std::string::npos)
+        << e.what();
+  }
   std::remove(path.c_str());
 }
 

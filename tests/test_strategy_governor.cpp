@@ -18,6 +18,7 @@
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
 #include "potential/finnis_sinclair.hpp"
+#include "run/run_state.hpp"
 
 namespace sdcmd {
 namespace {
@@ -368,6 +369,46 @@ TEST_F(GovernorTest, GovernorStateSurvivesCheckpointRestart) {
   EXPECT_EQ(restarted.governor()->active(),
             ReductionStrategy::ArrayPrivatization);
   EXPECT_EQ(restarted.governor()->demotions(), 1);
+  EXPECT_EQ(restarted.governor()->required_streak(),
+            sim.governor()->required_streak());
+  EXPECT_NO_THROW(restarted.run(5));
+}
+
+TEST_F(GovernorTest, RunStateRoundTripRestoresDemotedRungAndBackoff) {
+  // Demote two rungs in one event: the SAP replication budget is blown, so
+  // the infeasible-SDC demotion skips ArrayPrivatization and lands on
+  // LockStriped — exactly the mid-ladder state a checkpoint must preserve.
+  GovernorConfig budget;
+  budget.max_private_bytes = 1;
+  Simulation sim(make_system(kCells), iron(), sdc_config());
+  sim.set_governor(budget);
+  FaultSpec fault;
+  fault.countdown = 2;
+  fault.magnitude = kShrink;
+  FaultInjector::instance().arm(faults::kBoxShrink, fault);
+  sim.run(10);
+  FaultInjector::instance().disarm_all();
+  ASSERT_EQ(sim.governor()->active(), ReductionStrategy::LockStriped);
+
+  // Persist through the run_state.v1 sidecar, the way the run supervisor
+  // does (run/run_dir.hpp), instead of handing the state across in memory.
+  run::RunState state;
+  state.step = sim.current_step();
+  state.dt = sim.config().dt;
+  state.has_governor = true;
+  state.governor = sim.governor()->state();
+  const run::RunState back = run::parse_run_state(run::to_json(state));
+  ASSERT_TRUE(back.has_governor);
+
+  SimulationConfig restart_cfg = sdc_config();
+  restart_cfg.force.strategy = back.governor.active;
+  Simulation restarted(sim.system(), iron(), restart_cfg);
+  restarted.set_governor(budget, back.governor);
+  restarted.set_current_step(back.step);
+  EXPECT_EQ(restarted.current_step(), sim.current_step());
+  EXPECT_EQ(restarted.governor()->active(), ReductionStrategy::LockStriped);
+  EXPECT_EQ(restarted.governor()->demotions(),
+            sim.governor()->demotions());
   EXPECT_EQ(restarted.governor()->required_streak(),
             sim.governor()->required_streak());
   EXPECT_NO_THROW(restarted.run(5));
