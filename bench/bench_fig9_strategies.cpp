@@ -10,11 +10,16 @@
 //   --steps N                             (SDCMD_BENCH_STEPS,   3)
 //   --csv-dir DIR                         (SDCMD_BENCH_CSV_DIR, .)
 //   --metrics-out FILE    versioned sdcmd.bench.v1 JSON results
+//   --hw-counters         strategy x hardware-counter table (ISSUE 7)
+//                         instead of the speedup sweep: per-strategy IPC,
+//                         cache-miss rate and cycles/atom for the density
+//                         and force phases at the sweep's max thread count
 //
 // Expected shape (paper, 16 cores): SDC > RC > SAP > CS at high thread
 // counts; CS collapses below 1; SAP peaks around 8 threads then degrades;
 // RC is near-linear but ~1.7x behind SDC because it does the pair work
 // twice. See the Table 1 bench header for the few-core host caveat.
+#include <algorithm>
 #include <cstdio>
 #include <cstdlib>
 #include <string>
@@ -39,6 +44,8 @@ int main(int argc, char** argv) {
   cli.add_option("steps", "", "timed steps per configuration (default: env)");
   cli.add_option("csv-dir", "", "CSV output directory (default: env or .)");
   cli.add_option("metrics-out", "", "write sdcmd.bench.v1 JSON here");
+  cli.add_flag("hw-counters",
+               "strategy x hw-counter table instead of the speedup sweep");
   if (!cli.parse(argc, argv)) return 1;
 
   const Scale scale = cli.get("scale").empty() ? scale_from_env()
@@ -75,6 +82,98 @@ int main(int argc, char** argv) {
       sweep += std::to_string(t);
     }
     report.set_context("thread_sweep", sweep);
+  }
+
+  if (cli.get_bool("hw-counters")) {
+    // ISSUE 7 table mode: hardware counters per strategy at one thread
+    // count (the sweep's max). Uses the instrumented (profiled-sweep)
+    // variant, so the timings here are not publication numbers - the point
+    // is the per-phase IPC / miss-rate / cycles-per-atom comparison.
+    int hw_threads = 1;
+    for (int t : threads) hw_threads = std::max(hw_threads, t);
+    const bool hw_available = obs::PerfPhaseProfiler::available();
+    report.set_context("hw_available", hw_available ? 1 : 0);
+    report.set_context("hw_paranoid_level",
+                       obs::PerfPhaseProfiler::paranoid_level());
+    std::printf(
+        "=== strategy x hw counters (scale %s, %d threads, %d steps)\n",
+        to_string(scale).c_str(), hw_threads, steps);
+    if (!hw_available) {
+      std::printf("perf_event_open unavailable (paranoid=%d); "
+                  "hw columns will be empty\n",
+                  obs::PerfPhaseProfiler::paranoid_level());
+    }
+    std::printf("\n");
+
+    static const char* kHwPhases[3] = {"density", "embed", "force"};
+    for (const TestCase& test_case : cases) {
+      CaseRunner runner(test_case, iron);
+      std::printf("--- case %s: %zu atoms\n", test_case.name.c_str(),
+                  test_case.atom_count());
+      AsciiTable table({"strategy", "dens.ipc", "dens.miss", "dens.cyc/at",
+                        "force.ipc", "force.miss", "force.cyc/at"});
+      for (ReductionStrategy strategy : strategies) {
+        EamForceConfig cfg;
+        cfg.strategy = strategy;
+        cfg.sdc.dimensionality = 2;
+        SweepInstrumentation instr;
+        instr.hw_counters = true;
+        const auto timing =
+            runner.time_strategy(cfg, hw_threads, steps, &instr);
+        std::vector<std::string> row{to_string(strategy)};
+        const bool hw = timing.has_value() && timing->hw_valid;
+        const double per_step_atoms =
+            static_cast<double>(steps) *
+            static_cast<double>(test_case.atom_count());
+        for (int p : {0, 2}) {
+          row.push_back(hw ? AsciiTable::fmt(timing->hw[p].ipc(), 3) : "-");
+          row.push_back(
+              hw ? AsciiTable::fmt(timing->hw[p].cache_miss_rate(), 4) : "-");
+          row.push_back(
+              hw ? AsciiTable::fmt(timing->hw[p].cycles / per_step_atoms, 1)
+                 : "-");
+        }
+        table.add_row(std::move(row));
+        obs::BenchReport::Row report_row{
+            {"case", test_case.name},
+            {"atoms", test_case.atom_count()},
+            {"strategy", to_string(strategy)},
+            {"threads", hw_threads},
+            {"seconds_per_step",
+             timing ? obs::JsonValue(timing->density_force_seconds)
+                    : obs::JsonValue()},
+            {"hw.available", hw ? 1 : 0},
+            {"feasible", timing.has_value()}};
+        for (int p = 0; p < 3; ++p) {
+          const std::string prefix = std::string("hw.") + kHwPhases[p];
+          report_row.push_back(
+              {prefix + ".ipc",
+               hw ? obs::JsonValue(timing->hw[p].ipc()) : obs::JsonValue()});
+          report_row.push_back(
+              {prefix + ".cache_miss_rate",
+               hw ? obs::JsonValue(timing->hw[p].cache_miss_rate())
+                  : obs::JsonValue()});
+          report_row.push_back(
+              {prefix + ".cycles_per_atom",
+               hw ? obs::JsonValue(timing->hw[p].cycles / per_step_atoms)
+                  : obs::JsonValue()});
+        }
+        report.add_result(std::move(report_row));
+      }
+      std::printf("%s\n", table.render().c_str());
+    }
+
+    const std::string metrics_out = cli.get("metrics-out");
+    if (!metrics_out.empty()) {
+      if (report.write(metrics_out)) {
+        std::printf("bench report: %zu result rows -> %s\n",
+                    report.results(), metrics_out.c_str());
+      } else {
+        std::fprintf(stderr, "cannot open %s\n", metrics_out.c_str());
+        return 1;
+      }
+    }
+    return 0;
   }
 
   std::printf(

@@ -7,6 +7,9 @@
 // ISSUE 3 A/B harness: the same EAM workload with the per-pair
 // geometry/spline cache enabled and disabled, reporting per-phase
 // seconds/step and writing sdcmd.bench.v1 rows via --metrics-out.
+// `--hw-counters` runs the ISSUE 7 perf_event_open table: per-phase
+// cycles/atom, IPC and cache-miss rate for one EAM workload, same values
+// in the printed table and the sdcmd.bench.v1 report.
 #include <benchmark/benchmark.h>
 #include <omp.h>
 
@@ -411,14 +414,141 @@ int run_pair_cache_ab(int argc, char** argv) {
   return 0;
 }
 
+// --- hardware-counter table mode (ISSUE 7) ---------------------------------
+
+/// One full EAM workload profiled per-phase with perf_event_open: prints a
+/// density/embed/force table (cycles/atom, IPC, cache-miss rate, and FP
+/// vector fraction when the raw events opened) and writes the same numbers
+/// as hw.* row columns in a sdcmd.bench.v1 report. Degrades to a
+/// hw_available=0 report (timings only) when the syscall is denied.
+int run_hw_counters(int argc, char** argv) {
+  CliParser cli("bench_micro",
+                "per-phase hardware-counter profile of the fused EAM step "
+                "(perf_event_open)");
+  cli.add_flag("hw-counters", "run the hardware-counter table mode");
+  cli.add_option("cells", "10", "bcc cells per box edge");
+  cli.add_option("steps", "25", "timed force evaluations");
+  cli.add_option("warmup", "5", "untimed evaluations before the clock");
+  cli.add_option("strategy", "sdc", "serial|critical|atomic|locks|sap|sdc");
+  cli.add_option("metrics-out", "", "write sdcmd.bench.v1 JSON here");
+  if (!cli.parse(argc, argv)) return 1;
+
+  const int cells = cli.get_int("cells");
+  const int steps = cli.get_int("steps");
+  const int warmup = cli.get_int("warmup");
+  const ReductionStrategy strategy = parse_strategy(cli.get("strategy"));
+
+  FinnisSinclair fe(FinnisSinclairParams::iron());
+  const TabulatedEam tab = TabulatedEam::from_analytic(fe, 2000, 2000, 60.0);
+  Box box = Box::cubic(1.0);
+  const auto positions = jittered_bcc(cells, box);
+  NeighborListConfig nl_cfg;
+  nl_cfg.cutoff = tab.cutoff();
+  nl_cfg.skin = kSkin;
+  nl_cfg.mode = required_mode(strategy);
+  NeighborList list(box, nl_cfg);
+  list.build(positions);
+
+  EamForceConfig cfg;
+  cfg.strategy = strategy;
+  cfg.sdc.dimensionality = 2;
+  EamForceComputer computer(tab, cfg);
+  computer.attach_schedule(box, tab.cutoff() + kSkin);
+  computer.on_neighbor_rebuild(positions);
+  computer.hw_profiler().set_enabled(true);
+  const bool hw_available = computer.hw_profiler().enabled();
+
+  const std::size_t n = positions.size();
+  std::vector<double> rho(n), fp(n);
+  std::vector<Vec3> force(n);
+  for (int s = 0; s < warmup; ++s) {
+    computer.compute(box, positions, list, rho, fp, force);
+  }
+  computer.reset_instrumentation();
+  obs::HwCounts acc[3];
+  for (int s = 0; s < steps; ++s) {
+    auto result = computer.compute(box, positions, list, rho, fp, force);
+    benchmark::DoNotOptimize(result.pair_energy);
+    for (const auto& pt : computer.hw_profiler().phase_totals()) {
+      if (pt.phase >= 0 && pt.phase < 3) acc[pt.phase].accumulate(pt.counts);
+    }
+  }
+  double phase_seconds[3] = {0.0, 0.0, 0.0};
+  for (const auto& e : computer.timers().entries()) {
+    if (e.name == "density") phase_seconds[0] = e.seconds / steps;
+    if (e.name == "embed") phase_seconds[1] = e.seconds / steps;
+    if (e.name == "force") phase_seconds[2] = e.seconds / steps;
+  }
+
+  std::printf("=== hw counters: %zu atoms, %zu pairs, %s, %s, %d steps\n",
+              n, list.pair_count(), to_string(strategy).c_str(),
+              thread_summary().c_str(), steps);
+  if (!hw_available) {
+    std::printf("  perf_event_open unavailable (paranoid=%d); "
+                "hw.available=0, timings only\n",
+                obs::PerfPhaseProfiler::paranoid_level());
+  }
+
+  obs::BenchReport report("micro_hw_counters");
+  report.set_context("cells", cells);
+  report.set_context("atoms", n);
+  report.set_context("pairs", list.pair_count());
+  report.set_context("steps", steps);
+  report.set_context("warmup", warmup);
+  report.set_context("strategy", to_string(strategy));
+  report.set_context("threads", max_threads());
+  report.set_context("hardware_threads", hardware_threads());
+  report.set_context("hw_available", hw_available ? 1 : 0);
+  report.set_context("hw_paranoid_level",
+                     obs::PerfPhaseProfiler::paranoid_level());
+
+  const double per_step_atoms =
+      static_cast<double>(steps) * static_cast<double>(n);
+  static const char* kPhases[3] = {"density", "embed", "force"};
+  std::printf("  %-8s %12s %12s %8s %10s %8s\n", "phase", "s/step",
+              "cycles/atom", "ipc", "miss_rate", "fp_vec%");
+  for (int p = 0; p < 3; ++p) {
+    const obs::HwCounts& c = acc[p];
+    const double cycles_per_atom =
+        per_step_atoms > 0.0 ? c.cycles / per_step_atoms : 0.0;
+    std::printf("  %-8s %12.6f %12.1f %8.3f %10.4f %8.2f\n", kPhases[p],
+                phase_seconds[p], cycles_per_atom, c.ipc(),
+                c.cache_miss_rate(), 100.0 * c.fp_vector_frac());
+    report.add_result({{"case", std::string(kPhases[p])},
+                       {"threads", max_threads()},
+                       {"seconds_per_step", phase_seconds[p]},
+                       {"hw.cycles_per_atom", cycles_per_atom},
+                       {"hw.ipc", c.ipc()},
+                       {"hw.cache_miss_rate", c.cache_miss_rate()},
+                       {"hw.fp_vector_frac", c.fp_vector_frac()},
+                       {"hw.available", hw_available ? 1 : 0},
+                       {"feasible", true}});
+  }
+
+  const std::string metrics_out = cli.get("metrics-out");
+  if (!metrics_out.empty()) {
+    if (report.write(metrics_out)) {
+      std::printf("bench report: %zu result rows -> %s\n", report.results(),
+                  metrics_out.c_str());
+    } else {
+      std::fprintf(stderr, "cannot open %s\n", metrics_out.c_str());
+      return 1;
+    }
+  }
+  return 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
-  // `--pair-cache ...` routes to the A/B harness; anything else goes to
-  // google-benchmark as before.
+  // `--pair-cache ...` routes to the A/B harness, `--hw-counters` to the
+  // counter table; anything else goes to google-benchmark as before.
   for (int i = 1; i < argc; ++i) {
     if (std::string_view(argv[i]).rfind("--pair-cache", 0) == 0) {
       return run_pair_cache_ab(argc, argv);
+    }
+    if (std::string_view(argv[i]) == "--hw-counters") {
+      return run_hw_counters(argc, argv);
     }
   }
   benchmark::Initialize(&argc, argv);

@@ -80,6 +80,9 @@ std::size_t run_instrumented_pass(CaseRunner& runner, int threads, int steps,
   instr.registry = &registry;
   instr.jsonl = jsonl ? &*jsonl : nullptr;
   instr.trace = trace_path.empty() ? nullptr : &trace;
+  // Hardware counters ride along when the kernel allows them; otherwise
+  // the stream records hw.available=0 (see docs/observability.md).
+  instr.hw_counters = true;
 
   EamForceConfig cfg;
   cfg.strategy = ReductionStrategy::Sdc;

@@ -59,6 +59,9 @@ int main(int argc, char** argv) {
   cli.add_option("checkpoint-every", "100", "checkpoint cadence (steps)");
   cli.add_option("thermo-every", "200", "thermo print cadence (0 = quiet)");
   cli.add_option("jsonl", "", "step-metrics JSONL output path (optional)");
+  cli.add_flag("hw-counters",
+               "per-phase hardware counters (hw.* gauges; no-op when "
+               "perf_event_open is unavailable)");
   cli.add_option("watchdog-min", "1.0",
                  "watchdog floor in seconds (0 disables the watchdog)");
   cli.add_option("inject-disk-full", "0",
@@ -185,6 +188,7 @@ int main(int argc, char** argv) {
     std::optional<obs::StepMetricsWriter> jsonl;
     InstrumentationConfig inst;
     inst.registry = &registry;
+    inst.profile_hw = cli.get_bool("hw-counters");
     if (!cli.get("jsonl").empty()) {
       jsonl.emplace(cli.get("jsonl"));
       inst.step_writer = &*jsonl;
@@ -198,6 +202,9 @@ int main(int argc, char** argv) {
     if (sup.watchdog_min_seconds <= 0.0) sup.watchdog_factor = 0.0;
     sup.config_hash = config_hash;
     sup.registry = &registry;
+    // Every supervised run ends its JSONL stream with one cumulative
+    // kind=summary record (flushed), whatever the outcome.
+    sup.step_writer = jsonl ? &*jsonl : nullptr;
 
     const int disk_full_shots = cli.get_int("inject-disk-full");
     if (disk_full_shots > 0) {

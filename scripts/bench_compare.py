@@ -1,0 +1,285 @@
+#!/usr/bin/env python3
+"""Noise-aware comparison of sdcmd.bench.v1 reports: the perf-regression gate.
+
+Modes (exactly one):
+
+  pairwise    bench_compare.py BASELINE.json CANDIDATE.json
+              Match result rows by identity columns, compare every
+              time-like column and fail on relative regressions beyond
+              --threshold.
+
+  trajectory  bench_compare.py --trajectory results/ [--candidate NEW.json]
+              Glob BENCH_pr<N>.json, sort by PR number, gate every
+              consecutive pair (optionally appending a freshly produced
+              candidate as the newest point).
+
+  self-test   bench_compare.py --self-test
+              Build two synthetic reports in memory and verify that an
+              identical pair passes and a +20% force-phase slowdown fails.
+              Registered as a ctest so the gate itself is gated.
+
+Row matching: rows pair up when all identity columns they share agree
+("case", "dims", "threads", "strategy", plus the report's bench name).
+Rows without a partner (new cases, newly feasible configurations) are
+reported but never fail the gate - growth must not look like regression.
+
+Noise handling: wall-clock numbers from CI runners are noisy, so the gate
+is a *relative* threshold on a *normalized* ratio. When both rows carry
+``serial_seconds_per_step`` the candidate/baseline ratio is computed on
+seconds/serial (machine-speed cancels out - essential when trajectory
+points come from different runners); otherwise the raw ratio is used.
+Durations below --min-seconds are skipped entirely: a 40 us kernel's
+timer jitter is larger than any real regression it could hide.
+
+Exit codes: 0 clean, 1 at least one regression, 2 usage/IO error.
+"""
+
+from __future__ import annotations
+
+import argparse
+import glob
+import json
+import os
+import re
+import sys
+
+# Columns that identify a row within a report (used for matching, never
+# compared). Everything else numeric-and-time-like is gated.
+IDENTITY_COLUMNS = ("case", "dims", "threads", "strategy")
+
+# Columns where higher means slower. Matched by exact name or suffix so
+# bench-specific names like density_seconds_per_step participate.
+TIME_SUFFIXES = ("seconds_per_step", "_seconds", "_s")
+
+# The cross-machine normalizer (itself time-like, never gated directly).
+NORMALIZER = "serial_seconds_per_step"
+
+
+def is_time_column(name: str) -> bool:
+    if name == NORMALIZER:
+        return False
+    return any(name == s or name.endswith(s) for s in TIME_SUFFIXES)
+
+
+def load_report(path: str) -> dict:
+    try:
+        with open(path) as f:
+            doc = json.load(f)
+    except (OSError, json.JSONDecodeError) as e:
+        sys.exit(f"bench_compare: cannot read {path}: {e}")
+    if doc.get("schema") != "sdcmd.bench.v1":
+        sys.exit(
+            f"bench_compare: {path}: schema is {doc.get('schema')!r}, "
+            f"want sdcmd.bench.v1"
+        )
+    return doc
+
+
+def row_key(bench: str, row: dict) -> tuple:
+    return (bench,) + tuple(
+        (c, row[c]) for c in IDENTITY_COLUMNS if c in row
+    )
+
+
+def index_rows(doc: dict) -> dict:
+    index = {}
+    for row in doc.get("results", []):
+        key = row_key(doc.get("bench", "?"), row)
+        # Duplicate identity (e.g. repeated cases): keep the first; the
+        # reports this repo emits never duplicate, so just be deterministic.
+        index.setdefault(key, row)
+    return index
+
+
+def compare_reports(
+    base_doc: dict,
+    cand_doc: dict,
+    base_name: str,
+    cand_name: str,
+    threshold: float,
+    min_seconds: float,
+) -> list[str]:
+    """Return a list of regression messages (empty = clean)."""
+    base = index_rows(base_doc)
+    cand = index_rows(cand_doc)
+    regressions = []
+    compared = 0
+    unmatched = 0
+    for key, brow in base.items():
+        crow = cand.get(key)
+        if crow is None:
+            unmatched += 1
+            continue
+        bserial = brow.get(NORMALIZER)
+        cserial = crow.get(NORMALIZER)
+        normalize = (
+            isinstance(bserial, (int, float))
+            and isinstance(cserial, (int, float))
+            and bserial > 0
+            and cserial > 0
+        )
+        for col, bval in brow.items():
+            if not is_time_column(col):
+                continue
+            cval = crow.get(col)
+            if not isinstance(bval, (int, float)) or not isinstance(
+                cval, (int, float)
+            ):
+                continue  # infeasible (null) or non-numeric: nothing to gate
+            if bval < min_seconds or bval <= 0:
+                continue  # below the noise floor
+            if normalize:
+                ratio = (cval / cserial) / (bval / bserial)
+            else:
+                ratio = cval / bval
+            compared += 1
+            if ratio > 1.0 + threshold:
+                ident = ", ".join(f"{k}={v}" for k, v in key[1:])
+                regressions.append(
+                    f"  {key[0]} [{ident}] {col}: "
+                    f"{bval:.6g} -> {cval:.6g} "
+                    f"({'normalized ' if normalize else ''}ratio "
+                    f"{ratio:.3f} > {1.0 + threshold:.3f})"
+                )
+    print(
+        f"{base_name} -> {cand_name}: {compared} timings compared, "
+        f"{unmatched} baseline rows unmatched, "
+        f"{len(regressions)} regression(s)"
+    )
+    return regressions
+
+
+def trajectory_files(directory: str) -> list[str]:
+    """BENCH_pr<N>.json files sorted by PR number."""
+    found = []
+    for path in glob.glob(os.path.join(directory, "BENCH_pr*.json")):
+        m = re.search(r"BENCH_pr(\d+)\.json$", path)
+        if m:
+            found.append((int(m.group(1)), path))
+    return [path for _, path in sorted(found)]
+
+
+def run_self_test(threshold: float, min_seconds: float) -> int:
+    def report(scale: float) -> dict:
+        rows = []
+        for case in ("small", "large"):
+            for threads in (2, 4):
+                # Only the force phase of the large case slows down; the
+                # gate must catch a *single* regressed cell.
+                slow = scale if case == "large" and threads == 4 else 1.0
+                rows.append(
+                    {
+                        "case": case,
+                        "threads": threads,
+                        "serial_seconds_per_step": 0.10,
+                        "seconds_per_step": 0.030 * slow,
+                        "force_seconds_per_step": 0.020 * slow,
+                        "feasible": True,
+                    }
+                )
+        return {
+            "schema": "sdcmd.bench.v1",
+            "bench": "self_test",
+            "context": {},
+            "results": rows,
+        }
+
+    identical = compare_reports(
+        report(1.0), report(1.0), "synthetic-base", "synthetic-identical",
+        threshold, min_seconds,
+    )
+    slowdown = compare_reports(
+        report(1.0), report(1.2), "synthetic-base", "synthetic-20pct-slower",
+        threshold, min_seconds,
+    )
+    if identical:
+        print("self-test FAILED: identical reports flagged as regression")
+        return 1
+    if not slowdown:
+        print("self-test FAILED: +20% slowdown not caught")
+        return 1
+    print("self-test ok: identical pair clean, +20% slowdown caught")
+    return 0
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(
+        description=__doc__,
+        formatter_class=argparse.RawDescriptionHelpFormatter,
+    )
+    parser.add_argument(
+        "reports", nargs="*", help="BASELINE.json CANDIDATE.json (pairwise)"
+    )
+    parser.add_argument(
+        "--trajectory",
+        metavar="DIR",
+        help="gate consecutive BENCH_pr<N>.json pairs in DIR",
+    )
+    parser.add_argument(
+        "--candidate",
+        metavar="FILE",
+        help="with --trajectory: append FILE as the newest point",
+    )
+    parser.add_argument(
+        "--threshold",
+        type=float,
+        default=0.10,
+        help="relative slowdown that counts as a regression "
+        "(default 0.10; CI uses a looser value for shared runners)",
+    )
+    parser.add_argument(
+        "--min-seconds",
+        type=float,
+        default=1e-4,
+        help="skip baseline timings shorter than this (timer noise floor)",
+    )
+    parser.add_argument(
+        "--self-test",
+        action="store_true",
+        help="verify the gate on synthetic reports and exit",
+    )
+    args = parser.parse_args()
+
+    if args.self_test:
+        return run_self_test(args.threshold, args.min_seconds)
+
+    pairs: list[tuple[str, str]] = []
+    if args.trajectory:
+        files = trajectory_files(args.trajectory)
+        if args.candidate:
+            files.append(args.candidate)
+        if len(files) < 2:
+            print(
+                f"trajectory {args.trajectory}: {len(files)} point(s), "
+                f"nothing to compare"
+            )
+            return 0
+        pairs = list(zip(files, files[1:]))
+    elif len(args.reports) == 2:
+        pairs = [(args.reports[0], args.reports[1])]
+    else:
+        parser.error(
+            "pass BASELINE CANDIDATE, or --trajectory DIR, or --self-test"
+        )
+
+    all_regressions: list[str] = []
+    for base_path, cand_path in pairs:
+        all_regressions += compare_reports(
+            load_report(base_path),
+            load_report(cand_path),
+            os.path.basename(base_path),
+            os.path.basename(cand_path),
+            args.threshold,
+            args.min_seconds,
+        )
+    if all_regressions:
+        print("\nperf regressions detected:")
+        for line in all_regressions:
+            print(line)
+        return 1
+    print("perf gate clean")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

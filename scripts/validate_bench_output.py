@@ -68,8 +68,44 @@ def check_bench(
     )
 
 
+def check_metric_prefix(path: str, prefix: str, records: list) -> str:
+    """Prefix requirement (trailing dot, e.g. ``hw.``): at least one metric
+    under the prefix must appear. The ``hw.`` family degrades gracefully:
+    when the stream says ``<prefix>available == 0`` (perf_event_open denied
+    or non-Linux) the availability gauge alone satisfies the check, but an
+    *available* family must carry real data beyond it."""
+    seen = {name for rec in records for name in rec["metrics"]}
+    matches = {name for name in seen if name.startswith(prefix)}
+    if not matches:
+        fail(f"{path}: no metric under prefix {prefix!r} (saw {sorted(seen)})")
+    avail_name = prefix + "available"
+    if avail_name in matches:
+        values = {
+            rec["metrics"][avail_name]
+            for rec in records
+            if avail_name in rec["metrics"]
+        }
+        if values == {0}:
+            return f"{prefix}* unavailable ({avail_name}=0)"
+        # Counters claimed available: insist the family has real content.
+        real = {
+            name
+            for name in matches - {avail_name}
+            if any(rec["metrics"].get(name) for rec in records)
+        }
+        if not real:
+            fail(
+                f"{path}: {avail_name}=1 but every other {prefix}* metric "
+                f"is zero or absent"
+            )
+    return f"{prefix}* x{len(matches)}"
+
+
 def check_jsonl(
-    path: str, require_metrics: list[str], require_sweep: bool
+    path: str,
+    require_metrics: list[str],
+    require_sweep: bool,
+    require_summary: bool,
 ) -> None:
     records = []
     with open(path) as f:
@@ -96,9 +132,15 @@ def check_jsonl(
             swept += 1
     if require_sweep and swept == 0:
         fail(f"{path}: no record carries sweep profiles")
+    summaries = [r for r in records if r.get("kind") == "summary"]
+    if require_summary and not summaries:
+        fail(f"{path}: no kind=summary record")
     seen_metrics = {name for rec in records for name in rec["metrics"]}
+    notes = []
     for name in require_metrics:
-        if name not in seen_metrics:
+        if name.endswith("."):
+            notes.append(check_metric_prefix(path, name, records))
+        elif name not in seen_metrics:
             fail(
                 f"{path}: no record carries metric {name!r} "
                 f"(saw {sorted(seen_metrics)})"
@@ -107,8 +149,9 @@ def check_jsonl(
         e["phase"] for rec in records for e in rec.get("sweep", [])
     }
     print(
-        f"{path}: ok - {len(records)} records, {swept} with sweep profiles, "
-        f"phases {sorted(phases)}"
+        f"{path}: ok - {len(records)} records ({len(summaries)} summary), "
+        f"{swept} with sweep profiles, phases {sorted(phases)}"
+        + (", " + ", ".join(notes) if notes else "")
     )
 
 
@@ -150,7 +193,16 @@ def main() -> None:
         "--require-metrics",
         default="",
         help="comma list of metric names that must appear in at least one "
-        "JSONL record (e.g. governor.active_strategy,governor.demotions)",
+        "JSONL record (e.g. governor.active_strategy,governor.demotions); "
+        "a name with a trailing dot (e.g. 'hw.') requires the whole family "
+        "by prefix, soft-passing when <prefix>available=0 says the source "
+        "degraded gracefully",
+    )
+    parser.add_argument(
+        "--require-summary",
+        action="store_true",
+        help="require at least one kind=summary JSONL record (the "
+        "cumulative end-of-run snapshot)",
     )
     parser.add_argument(
         "--no-require-sweep",
@@ -173,6 +225,7 @@ def main() -> None:
             args.jsonl,
             [m for m in args.require_metrics.split(",") if m],
             not args.no_require_sweep,
+            args.require_summary,
         )
     if args.trace:
         check_trace(args.trace)

@@ -89,11 +89,20 @@ std::optional<Timing> CaseRunner::time_strategy(
   // An instrumented pass enables the profiled sweep variant and exports
   // each timed evaluation as one "step" (JSONL record + trace slices).
   obs::MetricsRegistry::Handle h_steps = 0, h_step_seconds = 0;
+  bool hw_on = false;
   if (instr != nullptr) {
     computer.sweep_profiler().set_enabled(true);
+    if (instr->hw_counters) {
+      computer.hw_profiler().set_enabled(true);
+      hw_on = computer.hw_profiler().enabled();  // refused when unavailable
+    }
     if (instr->registry != nullptr) {
       h_steps = instr->registry->counter("bench.steps");
       h_step_seconds = instr->registry->stats("bench.step_seconds");
+      if (instr->hw_counters) {
+        instr->registry->set(instr->registry->gauge("hw.available"),
+                             hw_on ? 1.0 : 0.0);
+      }
     }
   }
   // Trace track for the driver-side per-step spans (the sweep slices land
@@ -104,11 +113,19 @@ std::optional<Timing> CaseRunner::time_strategy(
   computer.compute(system_->box(), atoms.position, list, atoms.rho,
                    atoms.fp, atoms.force);  // warmup
   computer.reset_instrumentation();
+  std::array<obs::HwCounts, 3> hw_acc{};
   for (int s = 0; s < steps; ++s) {
     const double t0 = instr != nullptr ? wall_time() : 0.0;
     computer.compute(system_->box(), atoms.position, list, atoms.rho,
                      atoms.fp, atoms.force);
     if (instr == nullptr) continue;
+    if (hw_on) {
+      for (const auto& pt : computer.hw_profiler().phase_totals()) {
+        if (pt.phase >= 0 && pt.phase < 3) {
+          hw_acc[static_cast<std::size_t>(pt.phase)].accumulate(pt.counts);
+        }
+      }
+    }
     const double step_wall = wall_time() - t0;
     if (instr->registry != nullptr) {
       instr->registry->add(h_steps);
@@ -128,6 +145,27 @@ std::optional<Timing> CaseRunner::time_strategy(
   }
   set_threads(previous_threads);
 
+  if (hw_on && instr != nullptr && instr->registry != nullptr) {
+    // Per-phase derived gauges from the whole timed loop, so the summary
+    // record (and CI's --require-metrics hw.) sees stable aggregates.
+    static const char* kPhases[3] = {"density", "embed", "force"};
+    const double per_step_atoms =
+        static_cast<double>(steps) * static_cast<double>(atoms.size());
+    for (std::size_t p = 0; p < 3; ++p) {
+      const std::string prefix = std::string("hw.") + kPhases[p];
+      obs::MetricsRegistry& r = *instr->registry;
+      r.set(r.gauge(prefix + ".ipc"), hw_acc[p].ipc());
+      r.set(r.gauge(prefix + ".cache_miss_rate"), hw_acc[p].cache_miss_rate());
+      r.set(r.gauge(prefix + ".cycles_per_atom"),
+            per_step_atoms > 0.0 ? hw_acc[p].cycles / per_step_atoms : 0.0);
+    }
+  }
+  if (instr != nullptr && instr->jsonl != nullptr) {
+    // End-of-case summary: one cumulative record per timed case so report
+    // diffing has a stable aggregate (see docs/observability.md).
+    instr->jsonl->write_summary(steps, *instr->registry);
+  }
+
   Timing t;
   double density = 0.0, embed = 0.0, force = 0.0;
   for (const auto& e : computer.timers().entries()) {
@@ -139,6 +177,10 @@ std::optional<Timing> CaseRunner::time_strategy(
   t.total_seconds = (density + embed + force) / steps;
   t.pair_visits = computer.stats().density_pair_visits / steps;
   t.private_bytes = computer.stats().private_array_bytes;
+  if (hw_on) {
+    t.hw = hw_acc;
+    t.hw_valid = hw_acc[0].valid || hw_acc[2].valid;
+  }
   return t;
 }
 

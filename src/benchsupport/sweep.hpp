@@ -10,6 +10,7 @@
 // definition.
 #pragma once
 
+#include <array>
 #include <memory>
 #include <optional>
 #include <string>
@@ -30,6 +31,11 @@ struct Timing {
   double total_seconds = 0.0;          ///< per step, incl. embedding
   std::size_t pair_visits = 0;         ///< per step
   std::size_t private_bytes = 0;       ///< SAP replication footprint
+  /// Hardware-counter totals summed over the timed steps and the thread
+  /// team, indexed density/embed/force. Valid only when the instrumented
+  /// pass requested hw_counters AND perf_event_open was available.
+  std::array<obs::HwCounts, 3> hw{};
+  bool hw_valid = false;
 };
 
 /// Observability sinks for an instrumented timing pass. All pointers are
@@ -42,6 +48,10 @@ struct SweepInstrumentation {
   obs::MetricsRegistry* registry = nullptr;
   obs::StepMetricsWriter* jsonl = nullptr;
   obs::TraceWriter* trace = nullptr;
+  /// Enable the computer's PerfPhaseProfiler for the timed loop: Timing
+  /// gains per-phase counter totals and, with a registry, the hw.* gauge
+  /// family (hw.available records whether the syscall actually worked).
+  bool hw_counters = false;
 };
 
 /// One test case loaded, perturbed and ready to time.

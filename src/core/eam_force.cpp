@@ -167,18 +167,34 @@ EamForceResult EamForceComputer::compute(const Box& box,
     args.profiler = &profiler_;
   }
 
+  const bool hw = hw_profiler_.enabled();
+  if (hw) {
+    // Same reshape discipline as the sweep profiler: string work only when
+    // the thread count actually changed.
+    const int threads =
+        config_.strategy == ReductionStrategy::Serial ? 1 : max_threads();
+    if (threads != hw_threads_) {
+      hw_profiler_.configure({"density", "embed", "force"}, threads);
+      hw_threads_ = threads;
+    }
+    hw_profiler_.begin_step();
+  }
+
   EamForceResult result;
   if (config_.strategy == ReductionStrategy::Serial) {
     std::fill(rho.begin(), rho.end(), 0.0);
     std::fill(force.begin(), force.end(), Vec3{});
+    if (hw) hw_profiler_.thread_begin(0);
     {
       ScopedTimer timer(timers_.slot(t_density_));
       detail::density_serial(args, rho);
     }
+    if (hw) hw_profiler_.thread_mark(0, 0);
     {
       ScopedTimer timer(timers_.slot(t_embed_));
       result.embedding_energy = detail::embed_serial(args, rho, fp);
     }
+    if (hw) hw_profiler_.thread_mark(1, 0);
     {
       ScopedTimer timer(timers_.slot(t_force_));
       detail::ForceSums sums;
@@ -186,6 +202,7 @@ EamForceResult EamForceComputer::compute(const Box& box,
       result.pair_energy = sums.pair_energy;
       result.virial = sums.virial;
     }
+    if (hw) hw_profiler_.thread_mark(2, 0);
   } else {
     // Fused pipeline: ONE parallel region covers zeroing, density, embed
     // and force, so each step pays a single fork/join instead of three
@@ -207,6 +224,10 @@ EamForceResult EamForceComputer::compute(const Box& box,
     double t0 = 0.0, t1 = 0.0, t2 = 0.0, t3 = 0.0;
 #pragma omp parallel
     {
+      // Counter baselines are per-thread state, so unlike the master-only
+      // clock reads below, every thread takes its own reading. The group fd
+      // is opened lazily by the owning thread on first use.
+      if (hw) hw_profiler_.thread_begin(omp_get_thread_num());
 #pragma omp master
       {
         team = omp_get_num_threads();
@@ -245,10 +266,12 @@ EamForceResult EamForceComputer::compute(const Box& box,
           break;  // handled above; unreachable
       }
       // Each team kernel ends at a barrier, so the master's clock reads
-      // are true phase boundaries.
+      // (and every thread's own counter reads) are true phase boundaries.
+      if (hw) hw_profiler_.thread_mark(0, omp_get_thread_num());
 #pragma omp master
       t1 = wall_time();
       detail::embed_team(args, rho, fp, embed_parts_.data());
+      if (hw) hw_profiler_.thread_mark(1, omp_get_thread_num());
 #pragma omp master
       t2 = wall_time();
       switch (config_.strategy) {
@@ -280,6 +303,7 @@ EamForceResult EamForceComputer::compute(const Box& box,
         case ReductionStrategy::Serial:
           break;  // handled above; unreachable
       }
+      if (hw) hw_profiler_.thread_mark(2, omp_get_thread_num());
 #pragma omp master
       t3 = wall_time();
     }

@@ -24,6 +24,7 @@
 #include "core/sdc_schedule.hpp"
 #include "core/strategy.hpp"
 #include "neighbor/neighbor_list.hpp"
+#include "obs/perf_counters.hpp"
 #include "obs/sweep_profile.hpp"
 #include "potential/potential.hpp"
 
@@ -120,6 +121,15 @@ class EamForceComputer {
   obs::SdcSweepProfiler& sweep_profiler() { return profiler_; }
   const obs::SdcSweepProfiler& sweep_profiler() const { return profiler_; }
 
+  /// Per-thread hardware counters (perf_event_open) over the same three
+  /// phase boundaries: each thread reads its own counter group at the
+  /// barriers that already end the density/embed/force kernels, so the
+  /// kernels themselves stay untouched. `set_enabled(true)` is refused when
+  /// the syscall is unavailable (non-Linux, perf_event_paranoid) and the
+  /// profiler degrades to a no-op costing one branch per phase.
+  obs::PerfPhaseProfiler& hw_profiler() { return hw_profiler_; }
+  const obs::PerfPhaseProfiler& hw_profiler() const { return hw_profiler_; }
+
   /// The SDC schedule, or nullptr for non-SDC strategies.
   const SdcSchedule* schedule() const { return schedule_.get(); }
 
@@ -162,6 +172,8 @@ class EamForceComputer {
   // (string-building) configure only when this changes.
   int prof_colors_ = -1;
   int prof_threads_ = -1;
+  obs::PerfPhaseProfiler hw_profiler_;
+  int hw_threads_ = -1;  ///< thread count at the last hw configure()
 };
 
 }  // namespace sdcmd

@@ -367,6 +367,28 @@ void Simulation::set_instrumentation(InstrumentationConfig config) {
     obs_handles_.count_seconds = r.counter("neighbor.count_seconds");
     obs_handles_.fill_seconds = r.counter("neighbor.fill_seconds");
     obs_handles_.list_bytes = r.gauge("neighbor.list_bytes");
+    // hw.* / sweep.* gauges are interned only when the matching profiler is
+    // requested: gauges are reported in every snapshot, so an uninterned
+    // family keeps uninstrumented records clean.
+    if (obs_.profile_hw) {
+      obs_handles_.hw_available = r.gauge("hw.available");
+      static const char* kHwPhases[3] = {"density", "embed", "force"};
+      for (int p = 0; p < 3; ++p) {
+        const std::string prefix = std::string("hw.") + kHwPhases[p];
+        obs_handles_.hw_ipc[static_cast<std::size_t>(p)] =
+            r.gauge(prefix + ".ipc");
+        obs_handles_.hw_miss_rate[static_cast<std::size_t>(p)] =
+            r.gauge(prefix + ".cache_miss_rate");
+        obs_handles_.hw_cycles_per_atom[static_cast<std::size_t>(p)] =
+            r.gauge(prefix + ".cycles_per_atom");
+      }
+      obs_handles_.hw_cycles = r.counter("hw.cycles");
+      obs_handles_.hw_instructions = r.counter("hw.instructions");
+    }
+    if (obs_.profile_sweep) {
+      obs_handles_.sweep_imbalance = r.gauge("sweep.imbalance");
+      obs_handles_.sweep_barrier_frac = r.gauge("sweep.barrier_frac");
+    }
     // Counters measure from attach: seed the delta trackers with the
     // current cumulative stats so construction-time work is not charged
     // to the first instrumented step.
@@ -385,6 +407,16 @@ void Simulation::set_instrumentation(InstrumentationConfig config) {
   }
   if (EamForceComputer* computer = provider_->eam_computer()) {
     computer->sweep_profiler().set_enabled(obs_.profile_sweep);
+    computer->hw_profiler().set_enabled(obs_.profile_hw);
+  }
+  if (obs_.profile_hw && obs_.registry != nullptr) {
+    // Publish the availability verdict once: set_enabled may have refused
+    // (paranoid level, non-Linux, non-EAM backend) and the no-op path must
+    // still say so in the metrics stream.
+    EamForceComputer* computer = provider_->eam_computer();
+    const bool hw_on =
+        computer != nullptr && computer->hw_profiler().enabled();
+    obs_.registry->set(obs_handles_.hw_available, hw_on ? 1.0 : 0.0);
   }
   if (obs_.trace != nullptr) {
     obs_.trace->set_thread_name(kDriverTid, "driver");
@@ -396,6 +428,7 @@ void Simulation::clear_instrumentation() {
   obs_handles_ = ObsHandles{};
   if (EamForceComputer* computer = provider_->eam_computer()) {
     computer->sweep_profiler().set_enabled(false);
+    computer->hw_profiler().set_enabled(false);
   }
 }
 
@@ -642,6 +675,49 @@ void Simulation::run(long steps, const Callback& callback,
       obs_handles_.prev_bin_seconds = ns.bin_seconds;
       obs_handles_.prev_count_seconds = ns.count_seconds;
       obs_handles_.prev_fill_seconds = ns.fill_seconds;
+      if (obs_.profile_hw) {
+        if (const EamForceComputer* computer = provider_->eam_computer()) {
+          const auto hw_totals = computer->hw_profiler().phase_totals();
+          const double atoms_d = static_cast<double>(system_.size());
+          double cycles = 0.0, instructions = 0.0;
+          for (const auto& t : hw_totals) {
+            if (t.phase < 0 || t.phase >= 3) continue;
+            const auto p = static_cast<std::size_t>(t.phase);
+            obs_.registry->set(obs_handles_.hw_ipc[p], t.counts.ipc());
+            obs_.registry->set(obs_handles_.hw_miss_rate[p],
+                               t.counts.cache_miss_rate());
+            obs_.registry->set(
+                obs_handles_.hw_cycles_per_atom[p],
+                atoms_d > 0.0 ? t.counts.cycles / atoms_d : 0.0);
+            cycles += t.counts.cycles;
+            instructions += t.counts.instructions;
+          }
+          if (!hw_totals.empty()) {
+            obs_.registry->add(obs_handles_.hw_cycles, cycles);
+            obs_.registry->add(obs_handles_.hw_instructions, instructions);
+          }
+        }
+      }
+      if (obs_.profile_sweep) {
+        if (const obs::SdcSweepProfiler* prof = sweep_profiler()) {
+          // Step-level load-balance aggregates across all (phase, color)
+          // sweeps: how much the slowest threads stretched the step
+          // (imbalance, 1.0 = balanced) and what fraction of the mean
+          // thread's time went to the color barriers.
+          double work_max_sum = 0.0, work_mean_sum = 0.0, wait_sum = 0.0;
+          for (const auto& p : prof->color_profiles()) {
+            work_max_sum += p.work_max;
+            work_mean_sum += p.work_mean;
+            wait_sum += p.wait_mean;
+          }
+          if (work_mean_sum > 0.0) {
+            obs_.registry->set(obs_handles_.sweep_imbalance,
+                               work_max_sum / work_mean_sum);
+            obs_.registry->set(obs_handles_.sweep_barrier_frac,
+                               wait_sum / (work_mean_sum + wait_sum));
+          }
+        }
+      }
     }
     if (monitor_) guard_after_step();
     if (governor_) govern_after_step();

@@ -3,6 +3,7 @@
 // reduction strategy + optional thermostat / box deformation.
 #pragma once
 
+#include <array>
 #include <functional>
 #include <memory>
 #include <optional>
@@ -84,8 +85,15 @@ struct InstrumentationConfig {
   obs::TraceWriter* trace = nullptr;
   /// Enable the EAM computer's SdcSweepProfiler so step records and traces
   /// carry per-color thread imbalance and barrier-wait stats. Ignored for
-  /// non-EAM force backends.
+  /// non-EAM force backends. With a registry, also exports the step-level
+  /// `sweep.imbalance` / `sweep.barrier_frac` gauges.
   bool profile_sweep = false;
+  /// Enable the EAM computer's hardware-counter profiler
+  /// (perf_event_open): per-phase IPC, cache-miss rate and cycles/atom
+  /// land in the registry as the `hw.*` gauge family. Degrades to
+  /// `hw.available=0` (and nothing else) when the syscall is denied or
+  /// the platform is not Linux; ignored for non-EAM force backends.
+  bool profile_hw = false;
   /// Emit JSONL/trace output every N steps (counters still update every
   /// step).
   long sample_every = 1;
@@ -346,6 +354,18 @@ class Simulation {
     std::size_t count_seconds = 0;
     std::size_t fill_seconds = 0;
     std::size_t list_bytes = 0;
+    // Hardware-counter family (profile_hw): availability gauge, per-phase
+    // derived gauges indexed density/embed/force, and step-cumulative
+    // cycle/instruction counters.
+    std::size_t hw_available = 0;
+    std::array<std::size_t, 3> hw_ipc{};
+    std::array<std::size_t, 3> hw_miss_rate{};
+    std::array<std::size_t, 3> hw_cycles_per_atom{};
+    std::size_t hw_cycles = 0;
+    std::size_t hw_instructions = 0;
+    // Step-level sweep aggregates (profile_sweep + registry).
+    std::size_t sweep_imbalance = 0;
+    std::size_t sweep_barrier_frac = 0;
     // EamKernelStats counters are cumulative; remember the last value seen
     // so each step adds only its delta to the registry counters.
     std::size_t prev_cache_stores = 0;

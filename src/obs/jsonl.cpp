@@ -72,4 +72,35 @@ void StepMetricsWriter::write_step(long step, MetricsRegistry& registry,
   ++records_;
 }
 
+void StepMetricsWriter::write_summary(long step,
+                                      const MetricsRegistry& registry,
+                                      double wall_seconds) {
+  if (!out_) return;
+
+  line_.clear();
+  JsonWriter w(line_);
+  w.begin_object();
+  w.member("schema", "sdcmd.step_metrics.v1");
+  w.member("kind", "summary");
+  w.member("step", step);
+  if (wall_seconds > 0.0) w.member("wall_s", wall_seconds);
+
+  w.key("metrics");
+  w.begin_object();
+  for (const auto& s : registry.totals()) {
+    w.key(s.name);
+    if (s.kind == MetricKind::Stats) {
+      append_stats_object(w, s.window);
+    } else {
+      w.value(s.value);
+    }
+  }
+  w.end_object();
+  w.end_object();
+
+  out_ << line_ << '\n';
+  ++records_;
+  out_.flush();  // the summary is the last record; don't lose it to a crash
+}
+
 }  // namespace sdcmd::obs

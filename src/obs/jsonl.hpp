@@ -51,6 +51,15 @@ class StepMetricsWriter {
                   const SdcSweepProfiler* sweep = nullptr,
                   double wall_seconds = 0.0);
 
+  /// Append one end-of-run record tagged `"kind":"summary"` carrying the
+  /// registry's cumulative totals() (counters: run total; gauges: final
+  /// value; stats: whole-run distribution). Step windows are untouched, so
+  /// a summary can follow the final write_step without losing a window.
+  /// Gives downstream diffing (scripts/bench_compare.py) one stable
+  /// aggregate per run instead of a fold over per-step windows.
+  void write_summary(long step, const MetricsRegistry& registry,
+                     double wall_seconds = 0.0);
+
   void flush() { out_.flush(); }
 
  private:

@@ -1,0 +1,300 @@
+#include "obs/perf_counters.hpp"
+
+#include <algorithm>
+#include <cstdint>
+#include <cstdlib>
+#include <cstring>
+#include <utility>
+
+#if defined(__linux__)
+#include <linux/perf_event.h>
+#include <sys/syscall.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstdio>
+#include <cstring>
+#endif
+
+namespace sdcmd::obs {
+
+void HwCounts::accumulate(const HwCounts& other) {
+  if (!other.valid) return;
+  cycles += other.cycles;
+  instructions += other.instructions;
+  cache_refs += other.cache_refs;
+  cache_misses += other.cache_misses;
+  branch_misses += other.branch_misses;
+  fp_scalar += other.fp_scalar;
+  fp_vector += other.fp_vector;
+  has_fp = has_fp || other.has_fp;
+  valid = true;
+}
+
+PerfCounterGroup::PerfCounterGroup(PerfCounterGroup&& other) noexcept
+    : group_fd_(std::exchange(other.group_fd_, -1)),
+      member_fds_(std::move(other.member_fds_)),
+      fp_fd_(std::exchange(other.fp_fd_, -1)),
+      fp_vec_fd_(std::exchange(other.fp_vec_fd_, -1)) {
+  other.member_fds_.clear();
+}
+
+PerfCounterGroup& PerfCounterGroup::operator=(
+    PerfCounterGroup&& other) noexcept {
+  if (this != &other) {
+    close();
+    group_fd_ = std::exchange(other.group_fd_, -1);
+    member_fds_ = std::move(other.member_fds_);
+    other.member_fds_.clear();
+    fp_fd_ = std::exchange(other.fp_fd_, -1);
+    fp_vec_fd_ = std::exchange(other.fp_vec_fd_, -1);
+  }
+  return *this;
+}
+
+#if defined(__linux__)
+
+namespace {
+
+constexpr std::uint64_t kReadFormat = PERF_FORMAT_GROUP |
+                                      PERF_FORMAT_TOTAL_TIME_ENABLED |
+                                      PERF_FORMAT_TOTAL_TIME_RUNNING;
+
+/// Open one event for the calling thread (pid=0, cpu=-1), user space only
+/// so perf_event_paranoid=2 still admits it. Returns the fd or -1.
+int open_event(std::uint32_t type, std::uint64_t config, int group_fd) {
+  perf_event_attr attr;
+  std::memset(&attr, 0, sizeof(attr));
+  attr.size = sizeof(attr);
+  attr.type = type;
+  attr.config = config;
+  attr.read_format = kReadFormat;  // groups require a uniform read_format
+  attr.exclude_kernel = 1;
+  attr.exclude_hv = 1;
+  const long fd =
+      syscall(SYS_perf_event_open, &attr, /*pid=*/0, /*cpu=*/-1, group_fd,
+              /*flags=*/0UL);
+  return static_cast<int>(fd);
+}
+
+/// FP_ARITH_INST_RETIRED raw configs (Intel SKL+): event 0xC7 with the
+/// scalar umasks (single|double = 0x03) and every packed umask summed into
+/// one counter (128/256/512-bit, single+double = 0xFC). Gated on the CPU
+/// vendor because raw configs are microarchitecture-specific; elsewhere the
+/// open-probe simply never runs.
+constexpr std::uint64_t kFpScalarConfig = 0x03C7;
+constexpr std::uint64_t kFpVectorConfig = 0xFCC7;
+
+bool cpu_is_intel() {
+  static const bool intel = [] {
+    std::FILE* f = std::fopen("/proc/cpuinfo", "re");
+    if (f == nullptr) return false;
+    char line[256];
+    bool found = false;
+    while (std::fgets(line, sizeof(line), f) != nullptr) {
+      if (std::strstr(line, "GenuineIntel") != nullptr) {
+        found = true;
+        break;
+      }
+    }
+    std::fclose(f);
+    return found;
+  }();
+  return intel;
+}
+
+/// Read an fd opened with kReadFormat: {nr, time_enabled, time_running,
+/// value[nr]}. Returns the multiplex scale factor through `scale`.
+bool read_group(int fd, std::uint64_t* values, std::size_t expected,
+                double& scale) {
+  // 3 header words + up to 8 values is comfortably the largest group here.
+  std::uint64_t buf[16];
+  const std::size_t want = (3 + expected) * sizeof(std::uint64_t);
+  const ssize_t got = ::read(fd, buf, sizeof(buf));
+  if (got < 0 || static_cast<std::size_t>(got) < want) return false;
+  if (buf[0] != expected) return false;
+  const auto enabled = static_cast<double>(buf[1]);
+  const auto running = static_cast<double>(buf[2]);
+  scale = running > 0.0 ? enabled / running : 0.0;
+  for (std::size_t i = 0; i < expected; ++i) values[i] = buf[3 + i];
+  return true;
+}
+
+}  // namespace
+
+bool PerfCounterGroup::open() {
+  if (group_fd_ >= 0) return true;
+  group_fd_ = open_event(PERF_TYPE_HARDWARE, PERF_COUNT_HW_CPU_CYCLES, -1);
+  if (group_fd_ < 0) {
+    group_fd_ = -1;
+    return false;
+  }
+  const std::uint64_t members[] = {PERF_COUNT_HW_INSTRUCTIONS,
+                                   PERF_COUNT_HW_CACHE_REFERENCES,
+                                   PERF_COUNT_HW_CACHE_MISSES,
+                                   PERF_COUNT_HW_BRANCH_MISSES};
+  for (const std::uint64_t config : members) {
+    const int fd = open_event(PERF_TYPE_HARDWARE, config, group_fd_);
+    if (fd < 0) {
+      // Partial groups would silently skew ratios; all five or nothing.
+      close();
+      return false;
+    }
+    member_fds_.push_back(fd);
+  }
+  // Optional second group: raw FP events behind vendor gate + open probe.
+  if (cpu_is_intel()) {
+    fp_fd_ = open_event(PERF_TYPE_RAW, kFpScalarConfig, -1);
+    if (fp_fd_ >= 0) {
+      fp_vec_fd_ = open_event(PERF_TYPE_RAW, kFpVectorConfig, fp_fd_);
+      if (fp_vec_fd_ < 0) {
+        ::close(fp_fd_);
+        fp_fd_ = -1;
+      }
+    }
+  }
+  return true;
+}
+
+bool PerfCounterGroup::read(HwCounts& out) const {
+  if (group_fd_ < 0) return false;
+  std::uint64_t v[5];
+  double scale = 0.0;
+  if (!read_group(group_fd_, v, 5, scale)) return false;
+  out.cycles = static_cast<double>(v[0]) * scale;
+  out.instructions = static_cast<double>(v[1]) * scale;
+  out.cache_refs = static_cast<double>(v[2]) * scale;
+  out.cache_misses = static_cast<double>(v[3]) * scale;
+  out.branch_misses = static_cast<double>(v[4]) * scale;
+  out.fp_scalar = 0.0;
+  out.fp_vector = 0.0;
+  out.has_fp = false;
+  if (fp_fd_ >= 0) {
+    std::uint64_t fpv[2];
+    double fp_scale = 0.0;
+    if (read_group(fp_fd_, fpv, 2, fp_scale)) {
+      out.fp_scalar = static_cast<double>(fpv[0]) * fp_scale;
+      out.fp_vector = static_cast<double>(fpv[1]) * fp_scale;
+      out.has_fp = true;
+    }
+  }
+  out.valid = true;
+  return true;
+}
+
+void PerfCounterGroup::close() {
+  for (const int fd : member_fds_) ::close(fd);
+  member_fds_.clear();
+  if (fp_vec_fd_ >= 0) ::close(fp_vec_fd_);
+  fp_vec_fd_ = -1;
+  if (fp_fd_ >= 0) ::close(fp_fd_);
+  fp_fd_ = -1;
+  if (group_fd_ >= 0) ::close(group_fd_);
+  group_fd_ = -1;
+}
+
+int PerfPhaseProfiler::paranoid_level() {
+  std::FILE* f = std::fopen("/proc/sys/kernel/perf_event_paranoid", "re");
+  if (f == nullptr) return -100;
+  int level = -100;
+  if (std::fscanf(f, "%d", &level) != 1) level = -100;
+  std::fclose(f);
+  return level;
+}
+
+bool PerfPhaseProfiler::available() {
+  static const bool avail = [] {
+    const char* off = std::getenv("SDCMD_NO_HW_COUNTERS");
+    if (off != nullptr && off[0] != '\0' && std::strcmp(off, "0") != 0) {
+      return false;
+    }
+    // The probe IS the answer: capabilities, cgroup policy and paranoid
+    // level all fold into whether a trial open succeeds.
+    PerfCounterGroup trial;
+    const bool ok = trial.open();
+    trial.close();
+    return ok;
+  }();
+  return avail;
+}
+
+#else  // !__linux__
+
+bool PerfCounterGroup::open() { return false; }
+bool PerfCounterGroup::read(HwCounts&) const { return false; }
+void PerfCounterGroup::close() {}
+int PerfPhaseProfiler::paranoid_level() { return -100; }
+bool PerfPhaseProfiler::available() { return false; }
+
+#endif  // __linux__
+
+void PerfPhaseProfiler::configure(std::vector<std::string> phase_names,
+                                  int threads) {
+  if (phase_names == phase_names_ && threads == threads_) return;
+  phase_names_ = std::move(phase_names);
+  threads_ = threads;
+  samples_.assign(phase_names_.size() * static_cast<std::size_t>(threads),
+                  HwCounts{});
+  // Old groups (possibly owned by threads that no longer exist) are closed
+  // here on the driver thread; close() is just close(2) on fds, which is
+  // legal from any thread.
+  state_.clear();
+  state_.resize(static_cast<std::size_t>(threads));
+}
+
+void PerfPhaseProfiler::set_enabled(bool on) { enabled_ = on && available(); }
+
+void PerfPhaseProfiler::begin_step() {
+  for (auto& s : samples_) s.valid = false;
+}
+
+void PerfPhaseProfiler::thread_begin(int tid) {
+  if (tid < 0 || tid >= threads_) return;
+  ThreadState& st = state_[static_cast<std::size_t>(tid)];
+  if (!st.open_attempted) {
+    st.open_attempted = true;
+    st.group.open();  // binds the fds to THIS thread
+  }
+  if (st.group.ok()) st.group.read(st.last);
+}
+
+void PerfPhaseProfiler::thread_mark(int phase, int tid) {
+  if (tid < 0 || tid >= threads_) return;
+  ThreadState& st = state_[static_cast<std::size_t>(tid)];
+  if (!st.group.ok()) return;
+  HwCounts cur;
+  if (!st.group.read(cur)) return;
+  HwCounts& out = samples_[slot(phase, tid)];
+  // Multiplex scaling estimates can make cumulative values locally
+  // non-monotonic; clamp the deltas at zero rather than export noise.
+  out.cycles = std::max(0.0, cur.cycles - st.last.cycles);
+  out.instructions = std::max(0.0, cur.instructions - st.last.instructions);
+  out.cache_refs = std::max(0.0, cur.cache_refs - st.last.cache_refs);
+  out.cache_misses = std::max(0.0, cur.cache_misses - st.last.cache_misses);
+  out.branch_misses =
+      std::max(0.0, cur.branch_misses - st.last.branch_misses);
+  out.fp_scalar = std::max(0.0, cur.fp_scalar - st.last.fp_scalar);
+  out.fp_vector = std::max(0.0, cur.fp_vector - st.last.fp_vector);
+  out.has_fp = cur.has_fp;
+  out.valid = true;
+  st.last = cur;
+}
+
+std::vector<PerfPhaseProfiler::PhaseTotals> PerfPhaseProfiler::phase_totals()
+    const {
+  std::vector<PhaseTotals> totals;
+  for (int phase = 0; phase < phases(); ++phase) {
+    PhaseTotals t;
+    t.phase = phase;
+    for (int tid = 0; tid < threads_; ++tid) {
+      const HwCounts& s = samples_[slot(phase, tid)];
+      if (!s.valid) continue;
+      t.counts.accumulate(s);
+      ++t.threads;
+    }
+    if (t.threads > 0) totals.push_back(std::move(t));
+  }
+  return totals;
+}
+
+}  // namespace sdcmd::obs

@@ -79,6 +79,16 @@ RunSupervisor::RunSupervisor(Simulation& sim, RunDir& dir,
     handles_.step_ewma = r.gauge("run.step_ewma_seconds");
     r.set(handles_.interval, static_cast<double>(interval_));
   }
+  if (config_.trace != nullptr) {
+    config_.trace->set_thread_name(kSupervisorTid, "supervisor");
+  }
+}
+
+void RunSupervisor::write_summary() {
+  if (config_.step_writer != nullptr && config_.registry != nullptr) {
+    config_.step_writer->write_summary(sim_.current_step(),
+                                       *config_.registry);
+  }
 }
 
 void RunSupervisor::mark(const char* name) {
@@ -220,6 +230,7 @@ RunOutcome RunSupervisor::run_to(long target_step,
       SDCMD_WARN("run: shutdown requested; checkpointing at step "
                  << sim_.current_step());
       checkpoint_now();
+      write_summary();
       return RunOutcome::SignalShutdown;
     }
     if (config_.max_wall_seconds > 0.0 &&
@@ -229,6 +240,7 @@ RunOutcome RunSupervisor::run_to(long target_step,
                                       << " s) spent; checkpointing at step "
                                       << sim_.current_step());
       checkpoint_now();
+      write_summary();
       return RunOutcome::WallClockExpired;
     }
 
@@ -243,6 +255,7 @@ RunOutcome RunSupervisor::run_to(long target_step,
   }
   // Final generation so the directory always ends at the target step.
   checkpoint_now();
+  write_summary();
   return RunOutcome::Completed;
 }
 

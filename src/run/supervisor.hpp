@@ -74,6 +74,10 @@ struct SupervisorConfig {
   /// "run." — see docs/observability.md.
   obs::MetricsRegistry* registry = nullptr;
   obs::TraceWriter* trace = nullptr;
+  /// When set (with a registry), run_to() flushes one cumulative
+  /// `kind=summary` record into this stream before every return, so a
+  /// durable run always ends with a stable aggregate to diff.
+  obs::StepMetricsWriter* step_writer = nullptr;
 };
 
 enum class RunOutcome {
@@ -133,6 +137,7 @@ class RunSupervisor {
   RunState capture_state() const;
   void mark(const char* name);
   void note_step_time(double seconds);
+  void write_summary();
 
   /// Async-signal-safe shutdown flag shared by every supervisor in the
   /// process (signals are process-wide; the flag is checked per step).

@@ -5,6 +5,7 @@
 #include <gtest/gtest.h>
 
 #include <cstdio>
+#include <filesystem>
 #include <fstream>
 #include <limits>
 #include <sstream>
@@ -22,9 +23,12 @@
 #include "obs/json.hpp"
 #include "obs/jsonl.hpp"
 #include "obs/metrics.hpp"
+#include "obs/perf_counters.hpp"
 #include "obs/sweep_profile.hpp"
 #include "obs/trace.hpp"
 #include "potential/finnis_sinclair.hpp"
+#include "run/run_dir.hpp"
+#include "run/supervisor.hpp"
 
 namespace sdcmd {
 namespace {
@@ -299,6 +303,43 @@ TEST(StepMetricsWriter, EmbedsSweepProfiles) {
   std::remove(path.c_str());
 }
 
+TEST(StepMetricsWriter, SummaryRecordCarriesCumulativeTotals) {
+  obs::MetricsRegistry reg;
+  const auto c = reg.counter("work.items");
+  const auto s = reg.stats("work.seconds");
+  const std::string path = temp_path("sdcmd_summary.jsonl");
+  {
+    obs::StepMetricsWriter w(path);
+    ASSERT_TRUE(w.ok());
+    reg.add(c, 2.0);
+    reg.observe(s, 1.0);
+    w.write_step(1, reg);
+    reg.add(c, 3.0);
+    reg.observe(s, 5.0);
+    w.write_step(2, reg);
+    // The summary must report run totals, not the last step's deltas,
+    // and must leave the step windows alone.
+    w.write_summary(2, reg, 0.5);
+    EXPECT_EQ(w.records(), 3u);
+  }
+  std::ifstream in(path);
+  std::string l1, l2, l3;
+  ASSERT_TRUE(std::getline(in, l1));
+  ASSERT_TRUE(std::getline(in, l2));
+  ASSERT_TRUE(std::getline(in, l3));
+  EXPECT_EQ(l1.find("\"kind\""), std::string::npos);
+  EXPECT_NE(l2.find("\"work.items\":3"), std::string::npos);  // step delta
+  EXPECT_NE(l3.find("\"schema\":\"sdcmd.step_metrics.v1\""),
+            std::string::npos);
+  EXPECT_NE(l3.find("\"kind\":\"summary\""), std::string::npos);
+  EXPECT_NE(l3.find("\"step\":2"), std::string::npos);
+  EXPECT_NE(l3.find("\"wall_s\":0.5"), std::string::npos);
+  EXPECT_NE(l3.find("\"work.items\":5"), std::string::npos);  // run total
+  EXPECT_NE(l3.find("\"count\":2"), std::string::npos);  // whole-run stats
+  EXPECT_NE(l3.find("\"sum\":6"), std::string::npos);
+  std::remove(path.c_str());
+}
+
 TEST(StepMetricsWriter, UnopenablePathReportsNotOk) {
   obs::MetricsRegistry reg;
   obs::StepMetricsWriter w("/nonexistent-dir/x.jsonl");
@@ -331,6 +372,19 @@ TEST(TraceWriter, ChromeTraceEnvelope) {
   EXPECT_EQ(slurp(path), json + "\n");
   std::remove(path.c_str());
   EXPECT_FALSE(trace.write("/nonexistent-dir/x.json"));
+}
+
+TEST(TraceWriter, EmptyTraceIsStillWellFormed) {
+  // A run that never produced an event (e.g. instrumentation attached but
+  // zero steps taken) must still write a document Perfetto can load.
+  obs::TraceWriter trace;
+  EXPECT_EQ(trace.size(), 0u);
+  EXPECT_EQ(trace.to_json(),
+            "{\"traceEvents\":[],\"displayTimeUnit\":\"ms\"}");
+  const std::string path = temp_path("sdcmd_empty_trace.json");
+  ASSERT_TRUE(trace.write(path));
+  EXPECT_EQ(slurp(path), trace.to_json() + "\n");
+  std::remove(path.c_str());
 }
 
 TEST(TraceWriter, AppendSweepEventsBuildsThreadTracks) {
@@ -370,6 +424,76 @@ TEST(BenchReport, VersionedEnvelope) {
   EXPECT_NE(json.find("\"blank\":null"), std::string::npos);
 }
 
+// ------------------------------------------------------- perf counters
+
+TEST(HwCounts, DerivedRatesAndAccumulate) {
+  obs::HwCounts a;
+  a.cycles = 100.0;
+  a.instructions = 250.0;
+  a.cache_refs = 50.0;
+  a.cache_misses = 5.0;
+  a.fp_scalar = 10.0;
+  a.fp_vector = 30.0;
+  a.has_fp = true;
+  a.valid = true;
+  EXPECT_DOUBLE_EQ(a.ipc(), 2.5);
+  EXPECT_DOUBLE_EQ(a.cache_miss_rate(), 0.1);
+  EXPECT_DOUBLE_EQ(a.fp_vector_frac(), 0.75);
+
+  obs::HwCounts zero;
+  EXPECT_DOUBLE_EQ(zero.ipc(), 0.0);  // no division by zero
+  EXPECT_DOUBLE_EQ(zero.cache_miss_rate(), 0.0);
+  EXPECT_DOUBLE_EQ(zero.fp_vector_frac(), 0.0);
+
+  obs::HwCounts sum;
+  sum.accumulate(a);
+  sum.accumulate(a);
+  EXPECT_TRUE(sum.valid);
+  EXPECT_TRUE(sum.has_fp);
+  EXPECT_DOUBLE_EQ(sum.cycles, 200.0);
+  EXPECT_DOUBLE_EQ(sum.instructions, 500.0);
+  sum.accumulate(zero);  // invalid samples are skipped, not zero-added
+  EXPECT_DOUBLE_EQ(sum.cycles, 200.0);
+}
+
+TEST(PerfPhaseProfiler, DegradesToNoOpWhenUnavailable) {
+  // The availability probe is ground truth for this host (it is denied in
+  // containers/CI); both branches of this test must pass everywhere.
+  obs::PerfPhaseProfiler prof;
+  EXPECT_FALSE(prof.enabled());
+  prof.set_enabled(true);
+  EXPECT_EQ(prof.enabled(), obs::PerfPhaseProfiler::available());
+
+  prof.configure({"density", "embed", "force"}, 2);
+  EXPECT_EQ(prof.phases(), 3);
+  EXPECT_EQ(prof.threads(), 2);
+  EXPECT_EQ(prof.phase_name(1), "embed");
+
+  // The full per-step protocol must be safe whether or not counters
+  // opened; with them closed it must simply produce nothing.
+  prof.begin_step();
+  prof.thread_begin(0);
+  for (volatile int i = 0; i < 100000; ++i) {
+  }
+  prof.thread_mark(0, 0);
+  prof.thread_mark(1, 0);
+  prof.thread_mark(2, 0);
+  const auto totals = prof.phase_totals();
+  if (prof.enabled()) {
+    ASSERT_FALSE(totals.empty());
+    for (const auto& t : totals) {
+      EXPECT_TRUE(t.counts.valid);
+      EXPECT_GT(t.counts.cycles, 0.0);
+      EXPECT_GT(t.counts.instructions, 0.0);
+    }
+  } else {
+    EXPECT_TRUE(totals.empty());
+  }
+
+  prof.set_enabled(false);
+  EXPECT_FALSE(prof.enabled());
+}
+
 // ----------------------------------------------------- profiled EAM sweep
 
 struct EamWorkload {
@@ -391,6 +515,36 @@ struct EamWorkload {
     half->build(positions);
   }
 };
+
+TEST(PerfPhaseProfiler, ComputerWiringSurvivesBothAvailabilities) {
+  EamWorkload w(6);
+  const std::size_t n = w.positions.size();
+  EamForceConfig cfg;
+  cfg.strategy = ReductionStrategy::Sdc;
+  cfg.sdc.dimensionality = 2;
+  EamForceComputer computer(w.potential, cfg);
+  computer.attach_schedule(w.box, w.potential.cutoff() + 0.4);
+  computer.on_neighbor_rebuild(w.positions);
+  computer.hw_profiler().set_enabled(true);
+
+  std::vector<double> rho(n), fp(n);
+  std::vector<Vec3> force(n);
+  computer.compute(w.box, w.positions, *w.half, rho, fp, force);
+
+  if (computer.hw_profiler().enabled()) {
+    const auto totals = computer.hw_profiler().phase_totals();
+    bool saw[3] = {false, false, false};
+    for (const auto& t : totals) {
+      ASSERT_GE(t.phase, 0);
+      ASSERT_LT(t.phase, 3);
+      saw[t.phase] = true;
+      EXPECT_GT(t.counts.cycles, 0.0);
+    }
+    EXPECT_TRUE(saw[0] && saw[1] && saw[2]);
+  } else {
+    EXPECT_TRUE(computer.hw_profiler().phase_totals().empty());
+  }
+}
 
 TEST(ProfiledSweep, MatchesPlainKernelBitwise) {
   // 6 cells: smallest bcc cube whose edge fits two SDC subdomains of
@@ -504,6 +658,140 @@ TEST(SimulationInstrumentation, CountersJsonlAndTrace) {
   EXPECT_FALSE(sim.has_instrumentation());
   sim.run(1);  // uninstrumented run keeps working
   EXPECT_EQ(jsonl.records(), 5u);
+  std::remove(jsonl_path.c_str());
+}
+
+TEST(SimulationInstrumentation, HwAndSweepGaugesRoundTripThroughJsonl) {
+  LatticeSpec spec;
+  spec.type = LatticeType::Bcc;
+  spec.a0 = units::kLatticeFe;
+  spec.nx = spec.ny = spec.nz = 6;
+  System system = System::from_lattice(spec, units::kMassFe);
+  FinnisSinclair iron(FinnisSinclairParams::iron());
+
+  SimulationConfig cfg;
+  cfg.dt = units::fs_to_internal(1.0);
+  cfg.force.strategy = ReductionStrategy::Sdc;
+  cfg.force.sdc.dimensionality = 2;
+  Simulation sim(std::move(system), iron, cfg);
+  sim.set_temperature(50.0, 7);
+
+  obs::MetricsRegistry registry;
+  const std::string jsonl_path = temp_path("sdcmd_hw_gauges.jsonl");
+  obs::StepMetricsWriter jsonl(jsonl_path);
+  ASSERT_TRUE(jsonl.ok());
+
+  InstrumentationConfig instr;
+  instr.registry = &registry;
+  instr.step_writer = &jsonl;
+  instr.profile_sweep = true;
+  instr.profile_hw = true;
+  sim.set_instrumentation(instr);
+  sim.run(3);
+
+  // hw.available reports what the probe found; on denied hosts every hw
+  // gauge stays 0 but the family is still present in the stream.
+  const double avail = registry.value(registry.gauge("hw.available"));
+  EXPECT_EQ(avail, obs::PerfPhaseProfiler::available() ? 1.0 : 0.0);
+  if (avail == 1.0) {
+    EXPECT_GT(registry.value(registry.gauge("hw.force.ipc")), 0.0);
+    EXPECT_GT(
+        registry.value(registry.gauge("hw.force.cycles_per_atom")), 0.0);
+    EXPECT_GT(registry.value(registry.counter("hw.cycles")), 0.0);
+  }
+  // The SDC sweep ran, so the derived load-balance gauges must be live:
+  // imbalance >= 1 by construction, barrier fraction in [0, 1).
+  EXPECT_GE(registry.value(registry.gauge("sweep.imbalance")), 1.0);
+  const double bf = registry.value(registry.gauge("sweep.barrier_frac"));
+  EXPECT_GE(bf, 0.0);
+  EXPECT_LT(bf, 1.0);
+
+  jsonl.flush();
+  const std::string body = slurp(jsonl_path);
+  EXPECT_NE(body.find("\"hw.available\":"), std::string::npos);
+  EXPECT_NE(body.find("\"hw.force.ipc\":"), std::string::npos);
+  EXPECT_NE(body.find("\"sweep.imbalance\":"), std::string::npos);
+  EXPECT_NE(body.find("\"sweep.barrier_frac\":"), std::string::npos);
+  std::remove(jsonl_path.c_str());
+}
+
+TEST(SimulationInstrumentation, HwGaugesStayOutOfUnprofiledStreams) {
+  // The hw./sweep. families are interned only when requested: a plain
+  // instrumented run must not carry them (gauges always re-report, so
+  // unconditional interning would pollute every record).
+  LatticeSpec spec;
+  spec.type = LatticeType::Bcc;
+  spec.a0 = units::kLatticeFe;
+  spec.nx = spec.ny = spec.nz = 3;
+  System system = System::from_lattice(spec, units::kMassFe);
+  FinnisSinclair iron(FinnisSinclairParams::iron());
+  SimulationConfig cfg;
+  cfg.dt = units::fs_to_internal(1.0);
+  cfg.force.strategy = ReductionStrategy::Serial;
+  Simulation sim(std::move(system), iron, cfg);
+
+  obs::MetricsRegistry registry;
+  InstrumentationConfig instr;
+  instr.registry = &registry;
+  sim.set_instrumentation(instr);
+  sim.run(2);
+
+  for (std::size_t h = 0; h < registry.size(); ++h) {
+    EXPECT_NE(registry.name(h).rfind("hw.", 0), 0u) << registry.name(h);
+    EXPECT_NE(registry.name(h).rfind("sweep.", 0), 0u) << registry.name(h);
+  }
+}
+
+TEST(RunSupervisorObs, NamesItsTraceTrackAndFlushesSummary) {
+  LatticeSpec spec;
+  spec.type = LatticeType::Bcc;
+  spec.a0 = units::kLatticeFe;
+  spec.nx = spec.ny = spec.nz = 3;
+  System system = System::from_lattice(spec, units::kMassFe);
+  FinnisSinclair iron(FinnisSinclairParams::iron());
+  SimulationConfig cfg;
+  cfg.dt = units::fs_to_internal(1.0);
+  cfg.force.strategy = ReductionStrategy::Serial;
+  Simulation sim(std::move(system), iron, cfg);
+  sim.set_temperature(50.0, 3);
+
+  obs::MetricsRegistry registry;
+  const std::string jsonl_path = temp_path("sdcmd_sup_summary.jsonl");
+  obs::StepMetricsWriter jsonl(jsonl_path);
+  ASSERT_TRUE(jsonl.ok());
+  obs::TraceWriter trace;
+
+  InstrumentationConfig instr;
+  instr.registry = &registry;
+  instr.step_writer = &jsonl;
+  sim.set_instrumentation(instr);
+
+  const std::string dir = testing::TempDir() + "sdcmd_sup_obs_run.d";
+  std::filesystem::remove_all(dir);
+  run::RunDir run_dir(dir, 2);
+  run::SupervisorConfig sup;
+  sup.checkpoint_every = 2;
+  sup.install_signal_handlers = false;
+  sup.registry = &registry;
+  sup.trace = &trace;
+  sup.step_writer = &jsonl;
+  run::RunSupervisor supervisor(sim, run_dir, sup);
+
+  // The supervisor's track is named at construction so even a run that
+  // never emits a marker gets a labelled tid 1001 in the viewer.
+  const std::string before = trace.to_json();
+  EXPECT_NE(before.find("\"tid\":1001"), std::string::npos);
+  EXPECT_NE(before.find("\"name\":\"supervisor\""), std::string::npos);
+
+  EXPECT_EQ(supervisor.run_to(3), run::RunOutcome::Completed);
+  jsonl.flush();
+  const std::string body = slurp(jsonl_path);
+  const auto pos = body.rfind("\"kind\":\"summary\"");
+  ASSERT_NE(pos, std::string::npos);
+  // The summary is the stream's last record.
+  EXPECT_EQ(body.find('\n', body.rfind("{\"schema\"")),
+            body.size() - 1);
+  EXPECT_NE(body.find("\"run.checkpoints\":", pos), std::string::npos);
   std::remove(jsonl_path.c_str());
 }
 
