@@ -31,6 +31,14 @@ points come from different runners); otherwise the raw ratio is used.
 Durations below --min-seconds are skipped entirely: a 40 us kernel's
 timer jitter is larger than any real regression it could hide.
 
+Oversubscribed rows - where the row's ``threads`` exceeds either report's
+``context.hardware_threads`` - are matched but never gated: N threads
+time-slicing one core measure scheduler jitter, not the kernels, and a
+1-core box even lets "2 threads beat serial" into a committed point by
+pure timer luck, which then makes every honest later point look like a
+regression after normalization. Such rows are counted in the summary
+line instead. Reports that omit hardware_threads are gated in full.
+
 Exit codes: 0 clean, 1 at least one regression, 2 usage/IO error.
 """
 
@@ -102,13 +110,28 @@ def compare_reports(
     """Return a list of regression messages (empty = clean)."""
     base = index_rows(base_doc)
     cand = index_rows(cand_doc)
+
+    def hw_threads(doc: dict):
+        v = doc.get("context", {}).get("hardware_threads")
+        return v if isinstance(v, (int, float)) and v > 0 else None
+
+    base_hw = hw_threads(base_doc)
+    cand_hw = hw_threads(cand_doc)
     regressions = []
     compared = 0
     unmatched = 0
+    oversubscribed = 0
     for key, brow in base.items():
         crow = cand.get(key)
         if crow is None:
             unmatched += 1
+            continue
+        threads = brow.get("threads")
+        if isinstance(threads, (int, float)) and (
+            (base_hw is not None and threads > base_hw)
+            or (cand_hw is not None and threads > cand_hw)
+        ):
+            oversubscribed += 1
             continue
         bserial = brow.get(NORMALIZER)
         cserial = crow.get(NORMALIZER)
@@ -144,6 +167,7 @@ def compare_reports(
     print(
         f"{base_name} -> {cand_name}: {compared} timings compared, "
         f"{unmatched} baseline rows unmatched, "
+        f"{oversubscribed} oversubscribed rows skipped, "
         f"{len(regressions)} regression(s)"
     )
     return regressions
@@ -192,13 +216,30 @@ def run_self_test(threshold: float, min_seconds: float) -> int:
         report(1.0), report(1.2), "synthetic-base", "synthetic-20pct-slower",
         threshold, min_seconds,
     )
+    # The same +20% slowdown on a 1-core box is timer noise, not a
+    # regression: every row runs 2 or 4 threads on one hardware thread.
+    def one_core(doc: dict) -> dict:
+        doc["context"] = {"hardware_threads": 1}
+        return doc
+
+    oversub = compare_reports(
+        one_core(report(1.0)), one_core(report(1.2)),
+        "synthetic-1core-base", "synthetic-1core-slower",
+        threshold, min_seconds,
+    )
     if identical:
         print("self-test FAILED: identical reports flagged as regression")
         return 1
     if not slowdown:
         print("self-test FAILED: +20% slowdown not caught")
         return 1
-    print("self-test ok: identical pair clean, +20% slowdown caught")
+    if oversub:
+        print("self-test FAILED: oversubscribed (1-core) rows were gated")
+        return 1
+    print(
+        "self-test ok: identical pair clean, +20% slowdown caught, "
+        "oversubscribed rows skipped"
+    )
     return 0
 
 

@@ -24,12 +24,19 @@
 // evaluate flattened spline coefficients inline (see SplineView) instead of
 // going through the EamPotential virtual interface. Analytic potentials
 // leave tables null and keep the virtual path.
+//
+// SoA fast path: when EamArgs.soa is active every kernel swaps its scalar
+// CSR loop for the branch-free SIMD tile helpers of eam_soa.hpp (positions
+// mirror, padded neighbor tiles, packed splines); only the per-pair
+// scatter - under this strategy's protection - stays scalar. The scalar
+// loops remain compiled in as the correctness reference (SoA off).
 #pragma once
 
 #include <span>
 #include <vector>
 
 #include "common/vec3.hpp"
+#include "core/detail/eam_soa.hpp"
 #include "core/sdc_schedule.hpp"
 #include "geom/box.hpp"
 #include "neighbor/neighbor_list.hpp"
@@ -72,6 +79,10 @@ struct EamArgs {
   const EamSplineTables* tables = nullptr;
   /// Per-pair geometry/spline cache (density writes, force reads).
   PairCacheRefs cache;
+  /// SoA fast path (positions mirror + padded tiles + packed splines);
+  /// inactive -> the kernels take their scalar CSR loops. When active it
+  /// subsumes `cache`: per-pair state lives at padded tile slots instead.
+  SoaView soa;
 };
 
 struct ForceSums {

@@ -51,6 +51,46 @@ struct EamForceComputer::PairCache {
   }
 };
 
+/// Owned storage behind detail::SoaView: the persistent x/y/z mirror of the
+/// positions (refreshed inside the fused region every step) and the SoA
+/// per-pair cache indexed by padded tile slot. Reused across steps like the
+/// scalar PairCache; RC sizes the cache arrays to zero (gather kernels
+/// never touch them).
+struct EamForceComputer::SoaWorkspace {
+  std::vector<double> x, y, z;  ///< n+1 slots; slot n backs the sentinel
+  /// Padded tile slots: geometry + density derivative (the scalar cache's
+  /// fields) plus 1/r and the pair spline's (v, dv/dr), hoisted into the
+  /// density phase so the force replay is gather- and divide-free.
+  std::vector<double> cdx, cdy, cdz, cr, cdphi, cir, cv, cdvdr;
+
+  void resize(std::size_t n, std::size_t padded_slots) {
+    x.resize(n + 1);
+    y.resize(n + 1);
+    z.resize(n + 1);
+    // Sentinel lanes gather slot n before their mask applies; keep it at a
+    // finite value so masked arithmetic stays exception-free.
+    x[n] = 0.0;
+    y[n] = 0.0;
+    z[n] = 0.0;
+    cdx.resize(padded_slots);
+    cdy.resize(padded_slots);
+    cdz.resize(padded_slots);
+    cr.resize(padded_slots);
+    cdphi.resize(padded_slots);
+    cir.resize(padded_slots);
+    cv.resize(padded_slots);
+    cdvdr.resize(padded_slots);
+  }
+
+  std::size_t bytes() const {
+    return (x.capacity() + y.capacity() + z.capacity() + cdx.capacity() +
+            cdy.capacity() + cdz.capacity() + cr.capacity() +
+            cdphi.capacity() + cir.capacity() + cv.capacity() +
+            cdvdr.capacity()) *
+           sizeof(double);
+  }
+};
+
 EamForceComputer::EamForceComputer(const EamPotential& potential,
                                    EamForceConfig config)
     : potential_(potential),
@@ -145,7 +185,52 @@ EamForceResult EamForceComputer::compute(const Box& box,
   const bool caching =
       config_.use_pair_cache &&
       config_.strategy != ReductionStrategy::RedundantComputation;
-  if (caching) {
+  const bool rc =
+      config_.strategy == ReductionStrategy::RedundantComputation;
+  // SoA fast path: needs packed spline tables, a padded-tile list, and a
+  // strategy whose kernels profit - RC's full-list gathers always, the
+  // half-list scatter kernels only on explicit opt-in (they also need the
+  // pair cache for the replay loop). Any miss falls back to the scalar
+  // loops.
+  const bool soa_on = config_.use_soa_path && args.tables != nullptr &&
+                      args.tables->packed_valid() &&
+                      list.has_padded_tiles() &&
+                      (rc || (caching && config_.soa_half_lists));
+  if (soa_on) {
+    if (soa_ == nullptr) soa_ = std::make_unique<SoaWorkspace>();
+    soa_->resize(n, rc ? 0 : list.padded_pair_count());
+    detail::SoaView sv;
+    sv.x = soa_->x.data();
+    sv.y = soa_->y.data();
+    sv.z = soa_->z.data();
+    sv.tile_index = list.tile_index().data();
+    sv.tiles = list.padded_list().data();
+    sv.len = list.neigh_len().data();
+    sv.sent = list.pad_sentinel();
+    const Vec3 len = box.lengths();
+    sv.lx = box.periodic(0) ? len.x : 0.0;
+    sv.ly = box.periodic(1) ? len.y : 0.0;
+    sv.lz = box.periodic(2) ? len.z : 0.0;
+    sv.ilx = box.periodic(0) ? 1.0 / len.x : 0.0;
+    sv.ily = box.periodic(1) ? 1.0 / len.y : 0.0;
+    sv.ilz = box.periodic(2) ? 1.0 / len.z : 0.0;
+    sv.density = args.tables->density_packed;
+    sv.pair = args.tables->pair_packed;
+    sv.embed = args.tables->embed_packed;
+    if (!rc) {
+      sv.cdx = soa_->cdx.data();
+      sv.cdy = soa_->cdy.data();
+      sv.cdz = soa_->cdz.data();
+      sv.cr = soa_->cr.data();
+      sv.cdphi = soa_->cdphi.data();
+      sv.cir = soa_->cir.data();
+      sv.cv = soa_->cv.data();
+      sv.cdvdr = soa_->cdvdr.data();
+    }
+    args.soa = sv;
+  } else if (caching) {
+    // The scalar cache is only needed when the SoA path (whose padded-slot
+    // cache subsumes it) is not running.
     cache_->resize(list.pair_count());
     args.cache = cache_->refs();
   }
@@ -180,10 +265,22 @@ EamForceResult EamForceComputer::compute(const Box& box,
     hw_profiler_.begin_step();
   }
 
+  // SoA position mirror refresh targets (null when the path is off).
+  double* sx = soa_on ? soa_->x.data() : nullptr;
+  double* sy = soa_on ? soa_->y.data() : nullptr;
+  double* sz = soa_on ? soa_->z.data() : nullptr;
+
   EamForceResult result;
   if (config_.strategy == ReductionStrategy::Serial) {
     std::fill(rho.begin(), rho.end(), 0.0);
     std::fill(force.begin(), force.end(), Vec3{});
+    if (soa_on) {
+      for (std::size_t i = 0; i < n; ++i) {
+        sx[i] = positions[i].x;
+        sy[i] = positions[i].y;
+        sz[i] = positions[i].z;
+      }
+    }
     if (hw) hw_profiler_.thread_begin(0);
     {
       ScopedTimer timer(timers_.slot(t_density_));
@@ -235,13 +332,19 @@ EamForceResult EamForceComputer::compute(const Box& box,
       }
       // First-touch zeroing: distributed with the same static schedule as
       // the atom sweeps so each page lands on the NUMA node of the thread
-      // that will process it. The implicit barrier orders it before the
-      // density scatter.
+      // that will process it. The SoA position mirror refreshes in the
+      // same sweep (one pass over the atoms, same page placement). The
+      // implicit barrier orders both before the density scatter.
 #pragma omp for schedule(static)
       for (std::size_t i = 0; i < n; ++i) {
         rho[i] = 0.0;
         fp[i] = 0.0;
         force[i] = Vec3{};
+        if (sx != nullptr) {
+          sx[i] = positions[i].x;
+          sy[i] = positions[i].y;
+          sz[i] = positions[i].z;
+        }
       }
       switch (config_.strategy) {
         case ReductionStrategy::Critical:
@@ -336,13 +439,38 @@ EamForceResult EamForceComputer::compute(const Box& box,
     stats_.private_array_bytes =
         std::max(stats_.private_array_bytes, sap_->bytes());
   }
-  if (caching) {
-    stats_.cache_store_slots += list.pair_count();
-    stats_.cache_read_slots += list.pair_count();
+  if (soa_on) {
+    ++stats_.soa_steps;
+    stats_.soa_pad_fraction = list.pad_fraction();
+    if (!rc) {
+      // The SoA pair cache writes/reads every padded slot.
+      stats_.cache_store_slots += list.padded_pair_count();
+      stats_.cache_read_slots += list.padded_pair_count();
+    }
     stats_.pair_cache_bytes =
-        std::max(stats_.pair_cache_bytes, cache_->bytes());
+        std::max(stats_.pair_cache_bytes, soa_->bytes());
+  } else {
+    stats_.soa_pad_fraction = 0.0;
+    if (caching) {
+      stats_.cache_store_slots += list.pair_count();
+      stats_.cache_read_slots += list.pair_count();
+      stats_.pair_cache_bytes =
+          std::max(stats_.pair_cache_bytes, cache_->bytes());
+    }
   }
   return result;
+}
+
+int EamForceComputer::neighbor_pad_width() const {
+  const bool rc = config_.strategy == ReductionStrategy::RedundantComputation;
+  const bool eligible =
+      config_.use_soa_path && config_.use_spline_tables &&
+      (rc ||
+       (config_.use_pair_cache && config_.soa_half_lists));
+  if (!eligible) return 0;
+  const EamSplineTables* tables = potential_.spline_tables();
+  if (tables == nullptr || !tables->packed_valid()) return 0;
+  return detail::kSoaPadWidth;
 }
 
 EamForceResult EamForceComputer::compute_serial_reference(

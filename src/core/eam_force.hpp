@@ -48,6 +48,10 @@ struct EamKernelStats {
   std::size_t cache_store_slots = 0;    ///< pair-cache slots written (phase 1)
   std::size_t cache_read_slots = 0;     ///< pair-cache slots read (phase 3)
   std::size_t pair_cache_bytes = 0;     ///< high-water pair-cache footprint
+  std::size_t soa_steps = 0;            ///< compute() calls on the SoA path
+  /// Tile-padding overhead of the SoA path at the last compute():
+  /// padded slots / real pairs - 1 (0 when the path is inactive).
+  double soa_pad_fraction = 0.0;
 };
 
 struct EamForceConfig {
@@ -63,6 +67,22 @@ struct EamForceConfig {
   /// of the virtual EamPotential interface. No effect on analytic
   /// potentials (they expose no tables).
   bool use_spline_tables = true;
+  /// SIMD structure-of-arrays fast path: positions mirrored into separate
+  /// x/y/z arrays, neighbor tiles padded to the vector width, inner loops
+  /// vectorized over packed spline tables (see docs/performance.md).
+  /// Engages only when the potential is tabulated, the neighbor list was
+  /// built with pad_width == neighbor_pad_width(), and the strategy's
+  /// kernels profit from it (RedundantComputation's full-list gathers;
+  /// half-list strategies additionally need soa_half_lists). false pins
+  /// the scalar reference path everywhere.
+  bool use_soa_path = true;
+  /// Also engage the SoA path for half-list scatter strategies (needs the
+  /// pair cache). Off by default: measured on AVX-512, the ~8-entry half
+  /// sublists pad ~45% and the Newton's-third-law scatter must stay
+  /// scalar, so the vector loops lose to the lean scalar replay there
+  /// (see docs/performance.md "when the scalar path wins"). Kept for A/B
+  /// benches, the equivalence tests, and wider-vector hardware.
+  bool soa_half_lists = false;
 };
 
 class LockPool;
@@ -108,6 +128,13 @@ class EamForceComputer {
   const EamForceConfig& config() const { return config_; }
   const EamPotential& potential() const { return potential_; }
 
+  /// Tile pad width the neighbor list must be built with for compute() to
+  /// take the SoA fast path: the SIMD vector width when this configuration
+  /// is eligible (tabulated potential + spline tables + pair cache or RC),
+  /// 0 when the scalar path would run anyway. Stable across governor
+  /// hot-swaps (the ladder never crosses the RC mode boundary).
+  int neighbor_pad_width() const;
+
   /// Wall time per phase ("density", "embed", "force"), cumulative.
   PhaseTimers& timers() { return timers_; }
   const EamKernelStats& stats() const { return stats_; }
@@ -148,6 +175,7 @@ class EamForceComputer {
  private:
   struct SapWorkspace;
   struct PairCache;
+  struct SoaWorkspace;
 
   const EamPotential& potential_;
   EamForceConfig config_;
@@ -155,6 +183,7 @@ class EamForceComputer {
   std::unique_ptr<SapWorkspace> sap_;
   std::unique_ptr<LockPool> locks_;
   std::unique_ptr<PairCache> cache_;
+  std::unique_ptr<SoaWorkspace> soa_;  ///< allocated on first SoA compute()
   // Per-thread partial sums for the fused parallel pipeline (indexed by
   // omp thread id; summed in thread order for deterministic totals).
   std::vector<double> embed_parts_;

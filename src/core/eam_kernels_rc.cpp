@@ -19,6 +19,14 @@ namespace sdcmd::detail {
 
 void density_rc_team(const EamArgs& a, std::span<double> rho) {
   const std::size_t n = a.x.size();
+  if (a.soa.active()) {
+    // Gather-only: the whole tile sweep is one SIMD reduction per atom.
+#pragma omp for schedule(static)
+    for (std::size_t i = 0; i < n; ++i) {
+      rho[i] = soa_rc_density_atom(a.soa, a.cutoff2, i);
+    }
+    return;
+  }
 #pragma omp for schedule(static)
   for (std::size_t i = 0; i < n; ++i) {
     const Vec3 xi = a.x[i];
@@ -40,6 +48,20 @@ void force_rc_team(const EamArgs& a, std::span<const double> fp,
   const std::size_t n = a.x.size();
   double energy = 0.0;
   double virial = 0.0;
+  if (a.soa.active()) {
+#pragma omp for schedule(static)
+    for (std::size_t i = 0; i < n; ++i) {
+      SoaForceOut o;
+      soa_rc_force_atom(a.soa, a.cutoff2, fp.data(), fp[i], i, o);
+      force[i] = Vec3{o.fx, o.fy, o.fz};
+      energy += o.energy;
+      virial += o.virial;
+    }
+    const int tid = omp_get_thread_num();
+    energy_parts[tid] = energy;
+    virial_parts[tid] = virial;
+    return;
+  }
 #pragma omp for schedule(static)
   for (std::size_t i = 0; i < n; ++i) {
     const Vec3 xi = a.x[i];

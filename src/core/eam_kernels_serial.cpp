@@ -16,6 +16,15 @@ namespace sdcmd::detail {
 
 void density_serial(const EamArgs& a, std::span<double> rho) {
   const std::size_t n = a.x.size();
+  if (a.soa.active()) {
+    double* __restrict out = rho.data();
+    for (std::size_t i = 0; i < n; ++i) {
+      out[i] += soa_density_atom(
+          a.soa, a.cutoff2, i,
+          [out](std::uint32_t j, double phi) { out[j] += phi; });
+    }
+    return;
+  }
   const auto& index = a.list.neigh_index();
   for (std::size_t i = 0; i < n; ++i) {
     const Vec3 xi = a.x[i];
@@ -36,6 +45,9 @@ void density_serial(const EamArgs& a, std::span<double> rho) {
 double embed_serial(const EamArgs& a, std::span<const double> rho,
                     std::span<double> fp) {
   const std::size_t n = rho.size();
+  if (a.soa.active()) {
+    return soa_embed_range(a.soa.embed, rho.data(), fp.data(), 0, n);
+  }
   double energy = 0.0;
   for (std::size_t i = 0; i < n; ++i) {
     double f, dfdrho;
@@ -53,6 +65,41 @@ void embed_team(const EamArgs& a, std::span<const double> rho,
       (a.profiler != nullptr && a.profiler->enabled()) ? a.profiler : nullptr;
   const int tid = omp_get_thread_num();
   double energy = 0.0;
+  if (a.soa.active()) {
+    // SIMD embedding: distribute kSoaChunk-atom blocks over the team and
+    // run the packed-spline simd loop per block. (A plain `omp for simd
+    // reduction` cannot be used here: `energy` is thread-local in this
+    // orphaned context, so a worksharing reduction over it is
+    // non-conforming.)
+    const std::size_t blocks = (n + kSoaChunk - 1) / kSoaChunk;
+    const double* r = rho.data();
+    double* d = fp.data();
+    if (prof != nullptr) {
+      obs::SweepSample sample;
+      sample.start = wall_time();
+#pragma omp for schedule(static) nowait
+      for (std::size_t b = 0; b < blocks; ++b) {
+        const std::size_t begin = b * kSoaChunk;
+        energy += soa_embed_range(a.soa.embed, r, d, begin,
+                                  std::min(n, begin + kSoaChunk));
+      }
+      const double t_work = wall_time();
+#pragma omp barrier
+      sample.work = t_work - sample.start;
+      sample.wait = wall_time() - t_work;
+      sample.valid = true;
+      prof->record(kProfPhaseEmbed, 0, tid, sample);
+    } else {
+#pragma omp for schedule(static)
+      for (std::size_t b = 0; b < blocks; ++b) {
+        const std::size_t begin = b * kSoaChunk;
+        energy += soa_embed_range(a.soa.embed, r, d, begin,
+                                  std::min(n, begin + kSoaChunk));
+      }
+    }
+    energy_parts[tid] = energy;
+    return;
+  }
   if (prof != nullptr) {
     // Same loop as below with per-thread work/wait spans recorded (see the
     // SDC kernels for the nowait + explicit-barrier pattern).
@@ -109,6 +156,28 @@ double embed_phase(const EamPotential& pot, std::span<const double> rho,
 void force_serial(const EamArgs& a, std::span<const double> fp,
                   std::span<Vec3> force, ForceSums& sums) {
   const std::size_t n = a.x.size();
+  if (a.soa.active()) {
+    Vec3* __restrict out = force.data();
+    double energy = 0.0;
+    double virial = 0.0;
+    for (std::size_t i = 0; i < n; ++i) {
+      SoaForceOut o;
+      soa_force_atom(a.soa, fp.data(), fp[i], i, o,
+                     [out](std::uint32_t j, double fx, double fy, double fz) {
+                       out[j].x -= fx;  // Newton's third law
+                       out[j].y -= fy;
+                       out[j].z -= fz;
+                     });
+      out[i].x += o.fx;
+      out[i].y += o.fy;
+      out[i].z += o.fz;
+      energy += o.energy;
+      virial += o.virial;
+    }
+    sums.pair_energy = energy;
+    sums.virial = virial;
+    return;
+  }
   const auto& index = a.list.neigh_index();
   double energy = 0.0;
   double virial = 0.0;

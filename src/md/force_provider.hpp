@@ -40,6 +40,10 @@ class ForceProvider {
   /// Cumulative per-phase wall time.
   virtual PhaseTimers& timers() = 0;
 
+  /// Vector pad width this backend wants neighbor tiles emitted at
+  /// (NeighborListConfig::pad_width); 0 when it walks plain CSR lists.
+  virtual int neighbor_pad_width() const { return 0; }
+
   /// The underlying EAM computer when this provider wraps one (the
   /// quickstart-style instrumentation hooks); nullptr otherwise.
   virtual EamForceComputer* eam_computer() { return nullptr; }
@@ -78,6 +82,9 @@ class EamForceProvider final : public ForceProvider {
   EamForceResult compute(const Box& box, Atoms& atoms,
                          const NeighborList& list) override;
   PhaseTimers& timers() override { return computer_.timers(); }
+  int neighbor_pad_width() const override {
+    return computer_.neighbor_pad_width();
+  }
   EamForceComputer* eam_computer() override { return &computer_; }
   std::optional<ReductionStrategy> strategy() const override {
     return computer_.config().strategy;

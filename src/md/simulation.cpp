@@ -77,6 +77,10 @@ void Simulation::rebuild_geometry() {
   nl.sort_neighbors = config_.sort_neighbors;
   nl.half_stencil = config_.half_stencil;
   nl.parallel_bin = config_.parallel_bin;
+  // SIMD backends (the EAM SoA fast path) ask for vector-width-padded
+  // neighbor tiles; 0 skips the extra arrays. Part of config_compatible,
+  // so toggling the fast path reconstructs the list.
+  nl.pad_width = provider_->neighbor_pad_width();
   if (list_ != nullptr && list_->config_compatible(nl)) {
     // Same list configuration, new box: adapt in place. Storage is reused
     // and the cell grid recomputes stencils only when its shape changes -
@@ -354,6 +358,8 @@ void Simulation::set_instrumentation(InstrumentationConfig config) {
     obs_handles_.pair_cache_bytes = r.gauge("eam.pair_cache_bytes");
     obs_handles_.cache_stores = r.counter("eam.cache_store_slots");
     obs_handles_.cache_reads = r.counter("eam.cache_read_slots");
+    obs_handles_.soa_active = r.gauge("eam.soa_active");
+    obs_handles_.soa_pad_fraction = r.gauge("eam.soa_pad_fraction");
     obs_handles_.governor_strategy = r.gauge("governor.active_strategy");
     obs_handles_.governor_demotions = r.counter("governor.demotions");
     obs_handles_.governor_promotions = r.counter("governor.promotions");
@@ -393,6 +399,9 @@ void Simulation::set_instrumentation(InstrumentationConfig config) {
     // current cumulative stats so construction-time work is not charged
     // to the first instrumented step.
     const NeighborBuildStats ns = neighbor_stats();
+    if (const EamForceComputer* computer = provider_->eam_computer()) {
+      obs_handles_.prev_soa_steps = computer->stats().soa_steps;
+    }
     obs_handles_.prev_grid_reshapes = ns.grid_reshapes;
     obs_handles_.prev_stencil_rebuilds = ns.stencil_rebuilds;
     obs_handles_.prev_reconstructions = list_reconstructions_;
@@ -648,6 +657,13 @@ void Simulation::run(long steps, const Callback& callback,
                                                obs_handles_.prev_cache_reads));
         obs_handles_.prev_cache_stores = ks.cache_store_slots;
         obs_handles_.prev_cache_reads = ks.cache_read_slots;
+        // 1 when the step's compute() took the SIMD SoA fast path.
+        obs_.registry->set(
+            obs_handles_.soa_active,
+            ks.soa_steps != obs_handles_.prev_soa_steps ? 1.0 : 0.0);
+        obs_.registry->set(obs_handles_.soa_pad_fraction,
+                           ks.soa_pad_fraction);
+        obs_handles_.prev_soa_steps = ks.soa_steps;
       }
       const NeighborBuildStats ns = neighbor_stats();
       obs_.registry->add(obs_handles_.grid_reshapes,

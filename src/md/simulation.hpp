@@ -341,6 +341,8 @@ class Simulation {
     std::size_t pair_cache_bytes = 0;
     std::size_t cache_stores = 0;
     std::size_t cache_reads = 0;
+    std::size_t soa_active = 0;
+    std::size_t soa_pad_fraction = 0;
     std::size_t governor_strategy = 0;
     std::size_t governor_demotions = 0;
     std::size_t governor_promotions = 0;
@@ -370,6 +372,7 @@ class Simulation {
     // so each step adds only its delta to the registry counters.
     std::size_t prev_cache_stores = 0;
     std::size_t prev_cache_reads = 0;
+    std::size_t prev_soa_steps = 0;
     // Same delta bookkeeping for the cumulative neighbor-pipeline stats
     // (seeded in set_instrumentation so counters measure from attach).
     std::size_t prev_grid_reshapes = 0;

@@ -13,6 +13,7 @@ NeighborList::NeighborList(const Box& box, NeighborListConfig config)
       cells_(box, config.cutoff + config.skin) {
   SDCMD_REQUIRE(config.cutoff > 0.0, "cutoff must be positive");
   SDCMD_REQUIRE(config.skin >= 0.0, "skin must be non-negative");
+  SDCMD_REQUIRE(config.pad_width >= 0, "pad width must be non-negative");
 }
 
 // Pair-enumeration cores, specialized per mode so the hot loops carry no
@@ -123,12 +124,24 @@ void NeighborList::build(std::span<const Vec3> positions) {
     neigh_index_[i + 1] = neigh_index_[i] + neigh_len_[i];
   }
   // Reserve with slack so steady-state rebuilds (pair counts drift by a
-  // few percent as atoms cross the skin) stay reallocation-free.
+  // few percent as atoms cross the skin) stay reallocation-free. With
+  // padded tiles enabled the worst case per atom is pad_width - 1 extra
+  // slots; fold that into the slack bound so the FIRST padded build (and
+  // every rebuild after it) sizes both arrays once instead of letting the
+  // 12.5% CSR heuristic silently reallocate under the padded copy.
   const std::size_t needed = neigh_index_[n];
+  const std::size_t pad_slack =
+      config_.pad_width > 1
+          ? n * static_cast<std::size_t>(config_.pad_width - 1)
+          : 0;
   if (neigh_list_.capacity() < needed) {
     neigh_list_.reserve(needed + needed / 8);
   }
   neigh_list_.resize(needed);
+  if (config_.pad_width > 1 &&
+      padded_list_.capacity() < needed + pad_slack) {
+    padded_list_.reserve(needed + needed / 8 + pad_slack);
+  }
   const double t2 = wall_time();
 
   // Pass 2: fill.
@@ -139,6 +152,7 @@ void NeighborList::build(std::span<const Vec3> positions) {
   } else {
     fill_pass<NeighborMode::Half, false>(positions, range2);
   }
+  if (config_.pad_width > 1) build_padded_tiles();
 
   positions_at_build_.assign(positions.begin(), positions.end());
   const double t3 = wall_time();
@@ -151,6 +165,36 @@ void NeighborList::build(std::span<const Vec3> positions) {
   stats_.count_seconds += stats_.last_count_seconds;
   stats_.fill_seconds += stats_.last_fill_seconds;
   stats_.stencil_rebuilds = cells_.stencil_rebuilds();
+}
+
+void NeighborList::build_padded_tiles() {
+  // Each atom's padded block is its CSR sublist rounded up to a multiple
+  // of pad_width, tail slots filled with the sentinel index atom_count().
+  // SIMD loops walk whole blocks with no length test; sentinel lanes are
+  // masked by an index compare, never by control flow.
+  const std::size_t n = neigh_len_.size();
+  const auto w = static_cast<std::size_t>(config_.pad_width);
+  const std::uint32_t sentinel = pad_sentinel();
+  tile_index_.resize(n + 1);
+  tile_index_[0] = 0;
+  for (std::size_t i = 0; i < n; ++i) {
+    const std::size_t padded = (neigh_len_[i] + w - 1) / w * w;
+    tile_index_[i + 1] = tile_index_[i] + padded;
+  }
+  padded_list_.resize(tile_index_[n]);
+#pragma omp parallel for schedule(static)
+  for (std::size_t i = 0; i < n; ++i) {
+    const std::size_t src = neigh_index_[i];
+    const std::size_t dst = tile_index_[i];
+    const std::size_t len = neigh_len_[i];
+    for (std::size_t k = 0; k < len; ++k) {
+      padded_list_[dst + k] = neigh_list_[src + k];
+    }
+    const std::size_t end = tile_index_[i + 1] - dst;
+    for (std::size_t k = len; k < end; ++k) {
+      padded_list_[dst + k] = sentinel;
+    }
+  }
 }
 
 bool NeighborList::update_box(const Box& box) {
@@ -166,7 +210,8 @@ bool NeighborList::config_compatible(const NeighborListConfig& other) const {
          other.mode == config_.mode &&
          other.sort_neighbors == config_.sort_neighbors &&
          other.half_stencil == config_.half_stencil &&
-         other.parallel_bin == config_.parallel_bin;
+         other.parallel_bin == config_.parallel_bin &&
+         other.pad_width == config_.pad_width;
 }
 
 bool NeighborList::needs_rebuild(std::span<const Vec3> positions) const {
@@ -196,6 +241,8 @@ std::size_t NeighborList::memory_bytes() const {
   return neigh_index_.size() * sizeof(std::size_t) +
          neigh_len_.size() * sizeof(std::uint32_t) +
          neigh_list_.size() * sizeof(std::uint32_t) +
+         tile_index_.size() * sizeof(std::size_t) +
+         padded_list_.size() * sizeof(std::uint32_t) +
          positions_at_build_.size() * sizeof(Vec3) + cells_.memory_bytes();
 }
 

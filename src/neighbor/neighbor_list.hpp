@@ -45,6 +45,12 @@ struct NeighborListConfig {
   /// Bin atoms with the parallel counting sort (per-thread histograms +
   /// prefix sum); false forces the serial reference binning.
   bool parallel_bin = true;
+  /// > 1: every build() also emits vector-width-padded neighbor tiles
+  /// (tile_index()/padded_list()): each atom's sublist rounded up to a
+  /// multiple of pad_width, out-of-range slots filled with the sentinel
+  /// atom_count(). The SoA EAM fast path walks these branch-free blocks;
+  /// 0 (the default) skips the extra arrays.
+  int pad_width = 0;
 };
 
 /// Build-pipeline accounting: phase wall times (cumulative and for the
@@ -96,6 +102,30 @@ class NeighborList {
   const std::vector<std::uint32_t>& neigh_len() const { return neigh_len_; }
   const std::vector<std::uint32_t>& neigh_list() const { return neigh_list_; }
 
+  // Vector-width-padded neighbor tiles (built when config.pad_width > 1).
+  // tile_index()[i] is the start of atom i's padded block in padded_list()
+  // (always a multiple of pad_width); slots past the atom's real sublist
+  // hold pad_sentinel(). The real entries replicate neighbors(i) in order.
+  bool has_padded_tiles() const { return config_.pad_width > 1; }
+  int pad_width() const { return config_.pad_width; }
+  std::size_t padded_pair_count() const { return padded_list_.size(); }
+  std::uint32_t pad_sentinel() const {
+    return static_cast<std::uint32_t>(neigh_len_.size());
+  }
+  const std::vector<std::size_t>& tile_index() const { return tile_index_; }
+  const std::vector<std::uint32_t>& padded_list() const {
+    return padded_list_;
+  }
+  /// Padding overhead of the last build: padded slots / real pairs - 1
+  /// (0 when padding is off or the list is empty).
+  double pad_fraction() const {
+    return neigh_list_.empty() || padded_list_.empty()
+               ? 0.0
+               : static_cast<double>(padded_list_.size()) /
+                         static_cast<double>(neigh_list_.size()) -
+                     1.0;
+  }
+
   NeighborMode mode() const { return config_.mode; }
   double cutoff() const { return config_.cutoff; }
   double skin() const { return config_.skin; }
@@ -122,12 +152,16 @@ class NeighborList {
   template <NeighborMode Mode, bool HalfStencil>
   void fill_pass(std::span<const Vec3> positions, double range2);
 
+  void build_padded_tiles();
+
   Box box_;
   NeighborListConfig config_;
   CellList cells_;
   std::vector<std::size_t> neigh_index_;
   std::vector<std::uint32_t> neigh_len_;
   std::vector<std::uint32_t> neigh_list_;
+  std::vector<std::size_t> tile_index_;     ///< pad_width > 1 only
+  std::vector<std::uint32_t> padded_list_;  ///< pad_width > 1 only
   std::vector<Vec3> positions_at_build_;
   NeighborBuildStats stats_;
 };

@@ -31,9 +31,20 @@ struct EamSplineTables {
   SplineView pair;
   SplineView density;
   SplineView embed;
+  // Interval-indexed (interleaved) duplicates of the same coefficients for
+  // SIMD lanes: one contiguous 4-coefficient load per evaluation instead of
+  // four gathers. Same knots, same arithmetic; see PackedSplineView.
+  PackedSplineView pair_packed;
+  PackedSplineView density_packed;
+  PackedSplineView embed_packed;
 
   bool valid() const {
     return pair.valid() && density.valid() && embed.valid();
+  }
+
+  bool packed_valid() const {
+    return pair_packed.valid() && density_packed.valid() &&
+           embed_packed.valid();
   }
 };
 

@@ -79,6 +79,9 @@ const EamSplineTables* TabulatedEam::spline_tables() const {
   views_.pair = pair_spline_.view();
   views_.density = density_spline_.view();
   views_.embed = embed_spline_.view();
+  views_.pair_packed = pair_spline_.packed_view();
+  views_.density_packed = density_spline_.packed_view();
+  views_.embed_packed = embed_spline_.packed_view();
   return &views_;
 }
 
