@@ -1,0 +1,103 @@
+// sdcmd-client: command-line client for the sdcmd-serve daemon.
+//
+// One invocation sends one protocol op and prints the response line, so
+// shell scripts (and humans) can drive a session fleet:
+//
+//   sdcmd-client --op create --id s0 --cells 4 --temp 300
+//   sdcmd-client --op step --id s0 --steps 500
+//   sdcmd-client --op status --id s0
+//   sdcmd-client --op snapshot --id s0 --out s0.xyz
+//   sdcmd-client --op drain
+//
+// Connection failures are retried with exponential backoff (the daemon may
+// be mid-restart); the retry contract is at-least-once — see
+// src/serve/client.hpp. Exit codes: 0 ok response, 1 transport failure or
+// bad usage, 2 daemon replied ok:false (the response still prints).
+
+#include <fstream>
+#include <iostream>
+
+#include "common/cli.hpp"
+#include "common/error.hpp"
+#include "serve/client.hpp"
+
+using namespace sdcmd;
+
+int main(int argc, char** argv) {
+  CliParser cli("sdcmd-client", "CLI client for the sdcmd-serve daemon");
+  cli.add_option("socket", "sdcmd.sock", "daemon socket path");
+  cli.add_option("op", "ping",
+                 "operation: ping|create|step|pause|steer|snapshot|status|"
+                 "list|suspend|resume|destroy|metrics|drain");
+  cli.add_option("id", "", "session id");
+  cli.add_option("steps", "0", "steps to enqueue (op=step)");
+  cli.add_option("cells", "0", "lattice cells per edge (op=create)");
+  cli.add_option("temp", "-1", "temperature in K (create/steer)");
+  cli.add_option("seed", "0", "velocity seed (op=create)");
+  cli.add_option("dt-fs", "0", "timestep in fs (create/steer)");
+  cli.add_option("tau-fs", "100", "thermostat coupling time (op=steer)");
+  cli.add_option("threads", "0", "OpenMP team size per quantum (op=create)");
+  cli.add_option("checkpoint-every", "0", "checkpoint cadence (op=create)");
+  cli.add_option("out", "", "write the snapshot frame here as .xyz text");
+  cli.add_option("timeout", "5.0", "per-request I/O deadline (s)");
+  cli.add_option("retries", "5", "reconnect retry budget");
+  if (!cli.parse(argc, argv)) return 1;
+
+  serve::ClientConfig config;
+  config.socket_path = cli.get("socket");
+  config.io_timeout_s = cli.get_double("timeout");
+  config.max_retries = cli.get_int("retries");
+
+  serve::WireMessage request;
+  const std::string op = cli.get("op");
+  request.set("op", op);
+  if (!cli.get("id").empty()) request.set("id", cli.get("id"));
+  if (cli.get_int("steps") > 0) request.set("steps", cli.get_int("steps"));
+  if (cli.get_int("cells") > 0) request.set("cells", cli.get_int("cells"));
+  if (cli.get_double("temp") >= 0.0 || op == "steer") {
+    // steer accepts temp<=0 as "remove the thermostat".
+    if (cli.get("temp") != "-1") request.set("temp", cli.get_double("temp"));
+  }
+  if (cli.get_int("seed") > 0) request.set("seed", cli.get_int("seed"));
+  if (cli.get_double("dt-fs") > 0.0) {
+    request.set("dt_fs", cli.get_double("dt-fs"));
+  }
+  if (op == "steer") request.set("tau_fs", cli.get_double("tau-fs"));
+  if (cli.get_int("threads") > 0) {
+    request.set("threads", cli.get_int("threads"));
+  }
+  if (cli.get_int("checkpoint-every") > 0) {
+    request.set("checkpoint_every", cli.get_int("checkpoint-every"));
+  }
+
+  try {
+    serve::ServeClient client(config);
+    serve::WireMessage response;
+    std::vector<double> xyz;
+    if (op == "snapshot") {
+      const std::string id = cli.get("id");
+      if (id.empty()) {
+        std::cerr << "sdcmd-client: snapshot needs --id" << std::endl;
+        return 1;
+      }
+      response = client.snapshot(id, xyz);
+    } else {
+      response = client.request(request);
+    }
+    std::cout << response.serialize() << std::endl;
+    if (!xyz.empty() && !cli.get("out").empty()) {
+      std::ofstream out(cli.get("out"));
+      const std::size_t natoms = xyz.size() / 3;
+      out << natoms << "\n"
+          << "sdcmd snapshot step " << response.get_int("step", 0) << "\n";
+      for (std::size_t i = 0; i < natoms; ++i) {
+        out << "Fe " << xyz[3 * i] << ' ' << xyz[3 * i + 1] << ' '
+            << xyz[3 * i + 2] << "\n";
+      }
+    }
+    return response.get_bool("ok", false) ? 0 : 2;
+  } catch (const Error& e) {
+    std::cerr << "sdcmd-client: " << e.what() << std::endl;
+    return 1;
+  }
+}

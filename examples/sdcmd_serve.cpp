@@ -1,0 +1,121 @@
+// sdcmd-serve: the fault-tolerant multi-session simulation daemon.
+//
+// Owns a fleet of EAM simulations behind an AF_UNIX socket: clients create
+// sessions, budget steps, steer dt/temperature, pull binary position
+// frames, and suspend/resume — while the daemon enforces admission control,
+// quarantines misbehaving sessions, checkpoints everything on SIGTERM, and
+// auto-resumes the whole fleet on restart. scripts/chaos_serve.py drives
+// the SIGKILL drill against this binary. See docs/serving.md.
+//
+// Exit codes: 0 graceful drain (SIGTERM or the drain op), 1 startup error.
+
+#include <signal.h>
+
+#include <iostream>
+
+#include "common/cli.hpp"
+#include "common/error.hpp"
+#include "common/fault.hpp"
+#include "obs/jsonl.hpp"
+#include "obs/metrics.hpp"
+#include "serve/server.hpp"
+
+using namespace sdcmd;
+
+namespace {
+
+extern "C" void serve_signal_handler(int) {
+  // Async-signal-safe: flip the drain flag; the serve loop notices within
+  // one poll round and checkpoints every session before exiting.
+  serve::SessionServer::request_drain();
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  CliParser cli("sdcmd-serve",
+                "Multi-session MD daemon with crash-safe suspend/resume");
+  cli.add_option("socket", "sdcmd.sock", "AF_UNIX socket path");
+  cli.add_option("root", "sessions.d", "sessions root directory");
+  cli.add_option("max-sessions", "8", "admission-control session cap");
+  cli.add_option("workers", "2", "step-quantum worker threads");
+  cli.add_option("quantum", "25", "steps per scheduler quantum");
+  cli.add_option("io-timeout", "5.0",
+                 "per-connection read/write deadline (s)");
+  cli.add_option("watchdog-factor", "50.0",
+                 "quarantine a session when a step exceeds factor*EWMA "
+                 "(0 disables)");
+  cli.add_option("watchdog-min", "0.5", "watchdog deadline floor (s)");
+  cli.add_option("quarantine-trips", "2",
+                 "consecutive watchdog trips before quarantine");
+  cli.add_option("metrics", "",
+                 "write a serve.* metrics summary (JSONL) here on exit");
+  cli.add_option("inject-accept-fail", "0",
+                 "fault drill: drop the next N accepted connections");
+  cli.add_option("inject-slow-client", "0",
+                 "fault drill: expire the write deadline on the next N "
+                 "responses");
+  cli.add_option("inject-session-oom", "0",
+                 "fault drill: fail allocation in the next N step quanta");
+  cli.add_option("inject-disk-full", "0",
+                 "fault drill: fail the next N checkpoint writes");
+  if (!cli.parse(argc, argv)) return 1;
+
+  if (cli.get_int("inject-accept-fail") > 0) {
+    FaultInjector::instance().arm(
+        faults::kServeAcceptFail, {.shots = cli.get_int("inject-accept-fail")});
+  }
+  if (cli.get_int("inject-slow-client") > 0) {
+    FaultInjector::instance().arm(
+        faults::kServeSlowClient, {.shots = cli.get_int("inject-slow-client")});
+  }
+  if (cli.get_int("inject-session-oom") > 0) {
+    FaultInjector::instance().arm(
+        faults::kServeSessionOom, {.shots = cli.get_int("inject-session-oom")});
+  }
+  if (cli.get_int("inject-disk-full") > 0) {
+    FaultInjector::instance().arm(
+        faults::kDiskFull, {.shots = cli.get_int("inject-disk-full")});
+  }
+
+  obs::MetricsRegistry registry;
+  serve::ServerConfig config;
+  config.socket_path = cli.get("socket");
+  config.root = cli.get("root");
+  config.max_sessions = cli.get_int("max-sessions");
+  config.workers = cli.get_int("workers");
+  config.io_timeout_s = cli.get_double("io-timeout");
+  config.session.quantum_steps = cli.get_int("quantum");
+  config.session.watchdog_factor = cli.get_double("watchdog-factor");
+  config.session.watchdog_min_seconds = cli.get_double("watchdog-min");
+  config.session.quarantine_after_trips = cli.get_int("quarantine-trips");
+  config.registry = &registry;
+
+  try {
+    serve::SessionServer server(std::move(config));
+
+    struct sigaction action {};
+    action.sa_handler = serve_signal_handler;
+    sigemptyset(&action.sa_mask);
+    action.sa_flags = 0;  // no SA_RESTART: wake poll() promptly
+    sigaction(SIGTERM, &action, nullptr);
+    sigaction(SIGINT, &action, nullptr);
+
+    server.start();
+    std::cout << "sdcmd-serve: listening on " << cli.get("socket") << " ("
+              << server.resumed_sessions() << " session(s) resumed, cap "
+              << cli.get_int("max-sessions") << ")" << std::endl;
+    server.wait();
+
+    const std::string metrics_path = cli.get("metrics");
+    if (!metrics_path.empty()) {
+      obs::StepMetricsWriter writer(metrics_path);
+      writer.write_summary(0, registry);
+    }
+    std::cout << "sdcmd-serve: drained clean" << std::endl;
+    return 0;
+  } catch (const Error& e) {
+    std::cerr << "sdcmd-serve: " << e.what() << std::endl;
+    return 1;
+  }
+}

@@ -52,6 +52,15 @@ def check_bench(
         for col in require_columns:
             if col not in row:
                 fail(f"{path}: result row missing column {col!r}: {row}")
+        # Latency histograms must be internally consistent: a row that
+        # carries percentile columns must order them.
+        if all(k in row for k in ("p50_ms", "p95_ms", "p99_ms")):
+            if not row["p50_ms"] <= row["p95_ms"] <= row["p99_ms"]:
+                fail(
+                    f"{path}: percentiles out of order in row "
+                    f"{row.get('case')!r}: p50={row['p50_ms']} "
+                    f"p95={row['p95_ms']} p99={row['p99_ms']}"
+                )
     feasible = [r for r in doc["results"] if r.get("feasible")]
     if not feasible:
         fail(f"{path}: no feasible result rows")
@@ -194,9 +203,9 @@ def main() -> None:
         default="",
         help="comma list of metric names that must appear in at least one "
         "JSONL record (e.g. governor.active_strategy,governor.demotions); "
-        "a name with a trailing dot (e.g. 'hw.') requires the whole family "
-        "by prefix, soft-passing when <prefix>available=0 says the source "
-        "degraded gracefully",
+        "a name with a trailing dot (e.g. 'hw.' or 'serve.') requires the "
+        "whole family by prefix, soft-passing when <prefix>available=0 says "
+        "the source degraded gracefully",
     )
     parser.add_argument(
         "--require-summary",

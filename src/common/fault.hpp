@@ -50,6 +50,18 @@ inline constexpr const char* kDiskFull = "run.disk_full";
 /// by a non-atomic writer (or a crashed rename on a broken filesystem).
 /// Resume must detect the corruption and fall back to the directory scan.
 inline constexpr const char* kManifestTornWrite = "run.manifest_torn_write";
+/// Session-server accept loop: drop a freshly accepted connection on the
+/// floor (close it unserved), simulating a transient accept()/fd failure.
+/// The daemon must keep serving every other client.
+inline constexpr const char* kServeAcceptFail = "serve.accept_fail";
+/// Session-server response writer: pretend the client stopped draining its
+/// socket and the write deadline expired. The server must disconnect that
+/// client without stalling the serve loop or harming any session.
+inline constexpr const char* kServeSlowClient = "serve.slow_client";
+/// Session step worker: simulate an allocation failure inside a session's
+/// step quantum. The worker must quarantine the session (checkpoint,
+/// demote, suspend) instead of letting the exception kill the daemon.
+inline constexpr const char* kServeSessionOom = "serve.session_oom";
 }  // namespace faults
 
 /// What an armed injection point does when it fires.

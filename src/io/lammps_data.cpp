@@ -5,8 +5,22 @@
 #include <sstream>
 
 #include "common/error.hpp"
+#include "common/parse.hpp"
 
 namespace sdcmd {
+
+namespace {
+
+/// getline consumed the offending line's newline, so the stream sits one
+/// line past it: report the line just read, not the read position.
+[[noreturn]] void fail(std::istream& in, const std::string& message) {
+  const long line = stream_line_number(in);
+  const std::string at =
+      line > 1 ? " (line " + std::to_string(line - 1) + ")" : std::string();
+  throw ParseError("lammps data: " + message + at);
+}
+
+}  // namespace
 
 void write_lammps_data(std::ostream& out, const System& system,
                        const std::string& comment) {
@@ -108,7 +122,7 @@ System read_lammps_data(std::istream& in) {
     }
 
     if (atom_types != 1) {
-      throw ParseError("lammps data: only single-type files are supported");
+      fail(in, "only single-type files are supported");
     }
 
     // Sections: skip the mandatory blank line, then read atom_count rows
@@ -121,14 +135,14 @@ System read_lammps_data(std::istream& in) {
       if (section == "Masses") {
         int type;
         if (!(row >> type >> mass)) {
-          throw ParseError("lammps data: malformed Masses row");
+          fail(in, "malformed Masses row");
         }
       } else if (section == "Atoms") {
         long id;
         int type;
         Vec3 r;
         if (!(row >> id >> type >> r.x >> r.y >> r.z)) {
-          throw ParseError("lammps data: malformed Atoms row '" + line + "'");
+          fail(in, "malformed Atoms row '" + line + "'");
         }
         ids.push_back(static_cast<std::uint32_t>(id - 1));
         positions.push_back(r);
@@ -136,14 +150,14 @@ System read_lammps_data(std::istream& in) {
         long id;
         Vec3 v;
         if (!(row >> id >> v.x >> v.y >> v.z)) {
-          throw ParseError("lammps data: malformed Velocities row");
+          fail(in, "malformed Velocities row");
         }
         velocities.push_back(v);
       }
       ++parsed;
     }
     if (parsed < rows) {
-      throw ParseError("lammps data: truncated " + section + " section");
+      fail(in, "truncated " + section + " section");
     }
   }
 
@@ -169,7 +183,12 @@ System read_lammps_data_file(const std::string& path) {
   if (!in) {
     throw ParseError("lammps data: cannot open '" + path + "'");
   }
-  return read_lammps_data(in);
+  // Re-throw with the path up front so callers see file and line at once.
+  try {
+    return read_lammps_data(in);
+  } catch (const ParseError& e) {
+    throw ParseError(path + ": " + e.what());
+  }
 }
 
 }  // namespace sdcmd

@@ -4,10 +4,20 @@
 #include <sstream>
 
 #include "common/error.hpp"
+#include "common/parse.hpp"
 
 namespace sdcmd {
 
 namespace {
+
+/// getline consumed the offending line's newline, so the stream sits one
+/// line past it: report the line just read, not the read position.
+[[noreturn]] void fail(std::istream& in, const std::string& message) {
+  const long line = stream_line_number(in);
+  const std::string at =
+      line > 1 ? " (line " + std::to_string(line - 1) + ")" : std::string();
+  throw ParseError("xyz: " + message + at);
+}
 
 /// Parse `Lattice="ax ay az bx by bz cx cy cz"` from an extended-XYZ
 /// comment. Only orthorhombic lattices map onto sdcmd's Box; anything else
@@ -45,12 +55,12 @@ std::optional<XyzFrame> read_xyz_frame(std::istream& in) {
   try {
     count = std::stoul(line);
   } catch (const std::exception&) {
-    throw ParseError("xyz: expected an atom count, got '" + line + "'");
+    fail(in, "expected an atom count, got '" + line + "'");
   }
 
   XyzFrame frame;
   if (!std::getline(in, frame.comment)) {
-    throw ParseError("xyz: missing comment line");
+    fail(in, "missing comment line");
   }
   frame.box = parse_lattice(frame.comment);
 
@@ -58,15 +68,14 @@ std::optional<XyzFrame> read_xyz_frame(std::istream& in) {
   frame.species.reserve(count);
   for (std::size_t i = 0; i < count; ++i) {
     if (!std::getline(in, line)) {
-      throw ParseError("xyz: truncated frame: expected " +
-                       std::to_string(count) + " atoms, got " +
-                       std::to_string(i));
+      fail(in, "truncated frame: expected " + std::to_string(count) +
+                   " atoms, got " + std::to_string(i));
     }
     std::istringstream fields(line);
     std::string species;
     Vec3 r;
     if (!(fields >> species >> r.x >> r.y >> r.z)) {
-      throw ParseError("xyz: malformed atom line '" + line + "'");
+      fail(in, "malformed atom line '" + line + "'");
     }
     frame.species.push_back(std::move(species));
     frame.positions.push_back(r);
@@ -79,11 +88,17 @@ std::vector<XyzFrame> read_xyz_file(const std::string& path) {
   if (!in) {
     throw ParseError("xyz: cannot open '" + path + "'");
   }
-  std::vector<XyzFrame> frames;
-  while (auto frame = read_xyz_frame(in)) {
-    frames.push_back(std::move(*frame));
+  // Re-throw with the path up front so a multi-file pipeline names the
+  // offending file as well as the offending line.
+  try {
+    std::vector<XyzFrame> frames;
+    while (auto frame = read_xyz_frame(in)) {
+      frames.push_back(std::move(*frame));
+    }
+    return frames;
+  } catch (const ParseError& e) {
+    throw ParseError(path + ": " + e.what());
   }
-  return frames;
 }
 
 }  // namespace sdcmd

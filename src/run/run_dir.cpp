@@ -72,6 +72,23 @@ RunDir::RunDir(std::string path, int keep)
     throw Error("run_dir: cannot create directory '" + path_ + "': " +
                 ec.message());
   }
+  // Sweep stale temp files from interrupted atomic writes: a crash between
+  // the temp write and the rename leaves a *.tmp behind. Committed
+  // generations never carry the suffix, so removal is always safe here.
+  int swept = 0;
+  for (const fs::directory_entry& entry : fs::directory_iterator(path_, ec)) {
+    if (!entry.is_regular_file(ec)) continue;
+    const std::string name = entry.path().filename().string();
+    constexpr const char* kTmpSuffix = ".tmp";
+    if (name.size() > 4 && name.compare(name.size() - 4, 4, kTmpSuffix) == 0) {
+      std::error_code remove_ec;
+      if (fs::remove(entry.path(), remove_ec)) ++swept;
+    }
+  }
+  if (swept > 0) {
+    SDCMD_WARN("run_dir: swept " << swept << " stale .tmp file(s) from '"
+                                 << path_ << "'");
+  }
 }
 
 std::string RunDir::file_path(const std::string& basename) const {
@@ -274,6 +291,7 @@ std::optional<ResumePoint> RunDir::try_resume() const {
     SDCMD_WARN("run_dir: " << e.what() << "; falling back to directory scan");
     manifest_fallback = true;
   }
+  const bool from_manifest = !ring.empty();
   if (ring.empty()) {
     const std::vector<RingEntry> scanned = scan_ring();
     if (!scanned.empty() && !manifest_fallback) {
@@ -284,44 +302,103 @@ std::optional<ResumePoint> RunDir::try_resume() const {
     ring = scanned;
   }
 
-  for (const RingEntry& entry : ring) {
-    const std::string full = file_path(entry.file);
-    std::optional<Checkpoint> loaded;
-    try {
-      loaded.emplace(load_checkpoint_file(full));
-    } catch (const ParseError& e) {  // ChecksumError included
-      SDCMD_WARN("run_dir: discarding resume candidate: " << e.what());
-      ++discarded;
-      continue;
-    }
-    if (loaded->step != entry.step) {
-      SDCMD_WARN("run_dir: discarding '" << entry.file << "': contains step "
-                                         << loaded->step << ", ring says "
-                                         << entry.step);
-      ++discarded;
-      continue;
-    }
-    ResumePoint point{std::move(*loaded), RunState{}, false, discarded,
-                      manifest_fallback};
-    // Candidate loaded; attach the sidecar when it verifies and matches.
-    const std::string state_path = file_path(kRunStateName);
-    if (fs::exists(state_path)) {
+  const auto resume_from =
+      [&](const std::vector<RingEntry>& candidates)
+      -> std::optional<ResumePoint> {
+    for (const RingEntry& entry : candidates) {
+      const std::string full = file_path(entry.file);
+      std::optional<Checkpoint> loaded;
       try {
-        point.state = parse_run_state(read_file(state_path));
-        point.state_valid = point.state.step == point.checkpoint.step;
-        if (!point.state_valid) {
-          SDCMD_WARN("run_dir: run_state.json is for step "
-                     << point.state.step << ", resuming checkpoint is step "
-                     << point.checkpoint.step
-                     << "; ignoring the stale sidecar");
-        }
-      } catch (const ParseError& e) {
-        SDCMD_WARN("run_dir: ignoring corrupt run_state.json: " << e.what());
+        loaded.emplace(load_checkpoint_file(full));
+      } catch (const Error& e) {
+        // ParseError/ChecksumError = corrupt bytes; plain Error = the file
+        // is gone or unreadable (e.g. a verified MANIFEST naming a
+        // checkpoint deleted out from under it). Both only cost this one
+        // candidate.
+        SDCMD_WARN("run_dir: discarding resume candidate: " << e.what());
+        ++discarded;
+        continue;
       }
+      if (loaded->step != entry.step) {
+        SDCMD_WARN("run_dir: discarding '" << entry.file << "': contains step "
+                                           << loaded->step << ", ring says "
+                                           << entry.step);
+        ++discarded;
+        continue;
+      }
+      ResumePoint point{std::move(*loaded), RunState{}, false, discarded,
+                        manifest_fallback};
+      // Candidate loaded; attach the sidecar when it verifies and matches.
+      const std::string state_path = file_path(kRunStateName);
+      if (fs::exists(state_path)) {
+        try {
+          point.state = parse_run_state(read_file(state_path));
+          point.state_valid = point.state.step == point.checkpoint.step;
+          if (!point.state_valid) {
+            SDCMD_WARN("run_dir: run_state.json is for step "
+                       << point.state.step << ", resuming checkpoint is step "
+                       << point.checkpoint.step
+                       << "; ignoring the stale sidecar");
+          }
+        } catch (const Error& e) {
+          // Zero-byte, corrupt, or unreadable sidecar: degrade, never block.
+          SDCMD_WARN("run_dir: ignoring unusable run_state.json: "
+                     << e.what());
+        }
+      }
+      return point;
     }
-    return point;
+    return std::nullopt;
+  };
+
+  std::optional<ResumePoint> point = resume_from(ring);
+  if (!point && from_manifest) {
+    // A MANIFEST that verified its checksum can still name only files that
+    // were since deleted (operator cleanup, a rogue retention sweep). The
+    // directory is the ground truth: scan it before giving up.
+    SDCMD_WARN(
+        "run_dir: no MANIFEST candidate was loadable; falling back to "
+        "directory scan");
+    manifest_fallback = true;
+    point = resume_from(scan_ring());
   }
-  return std::nullopt;
+  return point;
+}
+
+std::optional<ResumePoint> RunDir::try_resume_provable() const {
+  std::optional<ResumePoint> point = try_resume();
+  if (!point || point->state_valid) return point;
+  RunState state;
+  try {
+    state = parse_run_state(read_file(file_path(kRunStateName)));
+  } catch (const Error&) {
+    return point;  // no usable sidecar at all: the degraded resume stands
+  }
+  if (state.step == point->checkpoint.step) return point;
+  // The sidecar names a different generation than the resume chose. Older:
+  // the crash landed between the checkpoint rename and the sidecar rename.
+  // Newer: it landed between the sidecar rename and the MANIFEST rename,
+  // so the generation the sidecar proves exists on disk but the index
+  // never learned about it. Either way the directory scan finds it; trade
+  // the unprovable choice for the provable generation when it loads.
+  for (const RingEntry& entry : scan_ring()) {
+    if (entry.step != state.step) continue;
+    try {
+      Checkpoint proven = load_checkpoint_file(file_path(entry.file));
+      if (proven.step != state.step) break;
+      SDCMD_WARN("run_dir: resumed checkpoint (step "
+                 << point->checkpoint.step
+                 << ") has no matching sidecar; resuming provable step "
+                 << state.step << " instead");
+      point->checkpoint = std::move(proven);
+      point->state = state;
+      point->state_valid = true;
+      return point;
+    } catch (const Error&) {
+      break;  // provable candidate is itself unreadable: degraded resume
+    }
+  }
+  return point;
 }
 
 }  // namespace sdcmd::run

@@ -88,6 +88,16 @@ class RunDir {
   /// checkpoint that loads. nullopt when no valid candidate exists.
   std::optional<ResumePoint> try_resume() const;
 
+  /// Like try_resume(), but when the newest generation is unprovable (a
+  /// crash between the checkpoint rename and the sidecar rename left
+  /// run_state.json describing an older step), prefer the older ring
+  /// generation the sidecar DOES describe: losing at most one checkpoint
+  /// cadence of progress buys a resume whose energy continuity can be
+  /// proven. Falls back to the plain (degraded) resume when the sidecar's
+  /// generation has left the ring. The session server resumes through
+  /// this so every fleet restart carries a continuity proof.
+  std::optional<ResumePoint> try_resume_provable() const;
+
   /// Absolute path of a ring basename.
   std::string file_path(const std::string& basename) const;
 

@@ -205,6 +205,25 @@ void RunSupervisor::note_step_time(double seconds) {
   }
 }
 
+void RunSupervisor::advance(long steps,
+                            const Simulation::Callback& callback) {
+  SDCMD_REQUIRE(steps >= 0, "step count must be non-negative");
+  // First quantum after construction: anchor the cadence at the current
+  // step (run_to() anchors after its entry checkpoint instead).
+  if (next_checkpoint_step_ <= sim_.current_step()) {
+    next_checkpoint_step_ = sim_.current_step() + interval_;
+  }
+  for (long i = 0; i < steps; ++i) {
+    const double t0 = wall_time();
+    sim_.run(1, callback, 1);
+    note_step_time(wall_time() - t0);
+    if (sim_.current_step() >= next_checkpoint_step_) {
+      checkpoint_now();
+      next_checkpoint_step_ = sim_.current_step() + interval_;
+    }
+  }
+}
+
 RunOutcome RunSupervisor::run_to(long target_step,
                                  const Simulation::Callback& callback) {
   SDCMD_REQUIRE(target_step >= sim_.current_step(),

@@ -111,6 +111,15 @@ class RunSupervisor {
   RunOutcome run_to(long target_step,
                     const Simulation::Callback& callback = nullptr);
 
+  /// Quantum-mode driver for embedding servers: advance exactly `steps`
+  /// steps with the cadence checkpoint policy but none of run_to()'s
+  /// framing — no signal guard, no entry/exit checkpoints, no shutdown
+  /// flag or wall-budget checks (the embedder owns those policies and
+  /// calls checkpoint_now() at its own lifecycle points). The checkpoint
+  /// cadence persists across calls, so many small quanta checkpoint
+  /// exactly as often as one long run_to() would.
+  void advance(long steps, const Simulation::Callback& callback = nullptr);
+
   /// Asynchronously request a checkpoint-then-stop at the next step
   /// boundary (what the signal handler does; also callable from tests and
   /// embedding code).

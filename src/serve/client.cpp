@@ -1,0 +1,101 @@
+#include "serve/client.hpp"
+
+#include <chrono>
+#include <cstring>
+#include <thread>
+
+#include "common/error.hpp"
+
+namespace sdcmd::serve {
+
+ServeClient::ServeClient(ClientConfig config) : config_(std::move(config)) {
+  SDCMD_REQUIRE(!config_.socket_path.empty(), "socket path is required");
+  SDCMD_REQUIRE(config_.io_timeout_s > 0.0, "io timeout must be positive");
+  SDCMD_REQUIRE(config_.max_retries >= 0, "retry budget must be >= 0");
+  SDCMD_REQUIRE(config_.backoff_initial_s >= 0.0 &&
+                    config_.backoff_factor >= 1.0,
+                "backoff must be non-negative and non-shrinking");
+}
+
+ServeClient::~ServeClient() { disconnect(); }
+
+void ServeClient::disconnect() {
+  close_fd(fd_);
+  fd_ = -1;
+  reader_.reset();
+}
+
+bool ServeClient::ensure_connected() {
+  if (fd_ >= 0) return true;
+  fd_ = connect_unix(config_.socket_path);
+  if (fd_ < 0) return false;
+  reader_ = std::make_unique<LineReader>(fd_);
+  return true;
+}
+
+WireMessage ServeClient::request(const WireMessage& message) {
+  std::string line = message.serialize();
+  line += '\n';
+  double backoff = config_.backoff_initial_s;
+  for (int attempt = 0;; ++attempt) {
+    if (ensure_connected() && write_all(fd_, line, config_.io_timeout_s)) {
+      std::string response;
+      const LineReader::Result rc =
+          reader_->next_line(response, config_.io_timeout_s);
+      if (rc == LineReader::Result::Line) {
+        return WireMessage::parse(response);
+      }
+    }
+    // Daemon absent, mid-restart, or it cut us loose: rebuild the
+    // connection from scratch and retry the whole request (at-least-once;
+    // see the header contract).
+    disconnect();
+    if (attempt >= config_.max_retries) {
+      throw Error("serve: request to '" + config_.socket_path +
+                  "' failed after " + std::to_string(attempt + 1) +
+                  " attempt(s)");
+    }
+    if (backoff > 0.0) {
+      std::this_thread::sleep_for(std::chrono::duration<double>(backoff));
+    }
+    backoff *= config_.backoff_factor;
+  }
+}
+
+WireMessage ServeClient::request_op(const std::string& op,
+                                    const std::string& id) {
+  WireMessage msg;
+  msg.set("op", op);
+  if (!id.empty()) msg.set("id", id);
+  return request(msg);
+}
+
+WireMessage ServeClient::snapshot(const std::string& id,
+                                  std::vector<double>& xyz) {
+  WireMessage msg;
+  msg.set("op", "snapshot");
+  msg.set("id", id);
+  const WireMessage header = request(msg);
+  xyz.clear();
+  if (!header.get_bool("ok", false)) return header;
+  const std::int64_t frame_bytes = header.get_int("frame_bytes", 0);
+  if (frame_bytes <= 0 ||
+      frame_bytes % static_cast<std::int64_t>(sizeof(double)) != 0) {
+    disconnect();
+    throw Error("serve: malformed snapshot frame size " +
+                std::to_string(frame_bytes));
+  }
+  std::string frame;
+  if (!reader_->take_exact(frame, static_cast<std::size_t>(frame_bytes),
+                           config_.io_timeout_s)) {
+    // The frame rides the same connection as the header; losing it
+    // mid-read is a hard failure (retrying would desync the stream).
+    disconnect();
+    throw Error("serve: snapshot frame truncated");
+  }
+  xyz.resize(frame.size() / sizeof(double));
+  std::memcpy(xyz.data(), frame.data(), frame.size());
+  return header;
+}
+
+}  // namespace sdcmd::serve

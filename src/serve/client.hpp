@@ -1,0 +1,74 @@
+// ServeClient: the client side of the sdcmd-serve wire protocol.
+//
+// One connection to the daemon's AF_UNIX socket, with the robustness the
+// server expects of its peers built in:
+//
+//  * every request is deadline-bounded (no call blocks past io_timeout_s);
+//  * a vanished/refusing daemon (restart, injected accept failure, drain)
+//    is retried with exponential backoff up to a bounded budget, with the
+//    connection rebuilt from scratch on each retry;
+//  * retries give AT-LEAST-ONCE semantics: a request whose response was
+//    lost may have executed. Every protocol op is either idempotent
+//    (status/snapshot/pause/suspend/resume/steer-to-absolute-values) or
+//    tolerates duplication in its semantics (`step` adds to a pending
+//    budget — callers that must not double-step check `status` after a
+//    retried send; create with an explicit id reports `exists`).
+//
+// Thread-compatibility: one ServeClient per thread; instances are not
+// internally synchronized.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "serve/wire.hpp"
+
+namespace sdcmd::serve {
+
+struct ClientConfig {
+  std::string socket_path;
+  /// Per-request read/write deadline in seconds.
+  double io_timeout_s = 5.0;
+  /// Full-request retry budget (reconnect + resend) beyond the first try.
+  int max_retries = 5;
+  /// First retry sleeps this long; each further retry multiplies by
+  /// `backoff_factor` (exponential, bounded by the retry budget).
+  double backoff_initial_s = 0.05;
+  double backoff_factor = 2.0;
+};
+
+class ServeClient {
+ public:
+  explicit ServeClient(ClientConfig config);
+  ~ServeClient();
+  ServeClient(const ServeClient&) = delete;
+  ServeClient& operator=(const ServeClient&) = delete;
+
+  /// Send one control message and return the daemon's response (which may
+  /// be an ok:false error message — protocol errors are data, not
+  /// exceptions). Throws Error only when the daemon stays unreachable
+  /// after the whole retry budget.
+  WireMessage request(const WireMessage& message);
+
+  /// Convenience: request {"op": op} (+ optional id).
+  WireMessage request_op(const std::string& op, const std::string& id = "");
+
+  /// Snapshot op: returns the header response; on ok, `xyz` holds the
+  /// natoms×3 interleaved positions read from the binary frame.
+  WireMessage snapshot(const std::string& id, std::vector<double>& xyz);
+
+  bool connected() const { return fd_ >= 0; }
+  void disconnect();
+
+  const ClientConfig& config() const { return config_; }
+
+ private:
+  bool ensure_connected();
+
+  ClientConfig config_;
+  int fd_ = -1;
+  std::unique_ptr<LineReader> reader_;
+};
+
+}  // namespace sdcmd::serve

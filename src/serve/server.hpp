@@ -1,0 +1,188 @@
+// SessionServer: the multi-session simulation daemon core.
+//
+// One I/O thread owns the AF_UNIX listener and every client connection
+// (poll-driven, line-at-a-time, never blocking on a half-sent request); a
+// bounded worker pool runs step quanta, each worker sizing its own OpenMP
+// team to the session's `threads` so N small sessions batch onto shared
+// teams instead of oversubscribing the machine.
+//
+// Robustness posture (the point of this layer — see docs/serving.md):
+//  * admission control: a hard session cap with explicit `overloaded`
+//    rejection — the server never queues creates unboundedly;
+//  * per-session EWMA watchdogs quarantine (checkpoint, demote via the
+//    governor, suspend) a pathological session instead of starving its
+//    neighbors;
+//  * per-connection read/write deadlines: a stalled client is
+//    disconnected, never waited on;
+//  * graceful drain on SIGTERM: every live session is checkpointed and
+//    suspended before the daemon exits clean;
+//  * full-fleet auto-resume: on restart the sessions root is scanned and
+//    every session.json directory is resurrected from its checkpoint ring
+//    with a 1e-8 energy-continuity proof (scripts/chaos_serve.py SIGKILLs
+//    the daemon mid-traffic to hold this to account);
+//  * fault points serve.accept_fail / serve.slow_client /
+//    serve.session_oom (+ run.disk_full underneath) keep every recovery
+//    path deterministically testable.
+//
+// Metrics land in the `serve.*` family of the borrowed registry; all
+// registry access is serialized on an internal mutex since quanta finish
+// on worker threads.
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <csignal>
+#include <deque>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "obs/metrics.hpp"
+#include "serve/session.hpp"
+#include "serve/wire.hpp"
+
+namespace sdcmd::serve {
+
+struct ServerConfig {
+  /// AF_UNIX socket path (sockaddr_un limits it to ~107 bytes).
+  std::string socket_path;
+  /// Sessions root: each session lives in <root>/<id>/ with its own
+  /// checkpoint ring and session.json descriptor.
+  std::string root;
+  /// Admission control: hard cap on concurrent sessions. Creates beyond it
+  /// are rejected with code "overloaded", never queued.
+  int max_sessions = 8;
+  /// Step-quantum worker pool size.
+  int workers = 2;
+  /// Per-connection read/write deadline in seconds: a client that stalls
+  /// mid-request or stops draining responses is disconnected.
+  double io_timeout_s = 5.0;
+  /// Per-session policy (quantum size, quarantine watchdog).
+  SessionPolicy session;
+  /// serve.* metrics sink (borrowed, may be null). Internally serialized.
+  obs::MetricsRegistry* registry = nullptr;
+};
+
+class SessionServer {
+ public:
+  enum class Outcome { Stopped, Drained };
+
+  explicit SessionServer(ServerConfig config);
+  ~SessionServer();
+  SessionServer(const SessionServer&) = delete;
+  SessionServer& operator=(const SessionServer&) = delete;
+
+  /// Bind the socket, auto-resume every session found under the root,
+  /// then spawn the worker pool and the I/O thread. Throws Error when the
+  /// socket cannot be bound. Returns once the server accepts connections.
+  void start();
+
+  /// Block until the serve loop exits (drain or stop) and report why.
+  Outcome wait();
+
+  /// Ask the serve loop to exit without draining — the in-process stand-in
+  /// for SIGKILL in tests: sessions keep only their on-disk state.
+  void stop();
+
+  /// Ask the serve loop to drain: checkpoint + suspend every session,
+  /// then exit clean. What the SIGTERM handler calls (async-signal-safe).
+  static void request_drain() { drain_requested_ = 1; }
+
+  /// Sessions resurrected from the root during start().
+  int resumed_sessions() const { return resumed_; }
+  /// Session directories that failed to resume (logged, skipped).
+  int failed_resumes() const { return resume_failures_; }
+
+  std::size_t session_count() const;
+
+  const ServerConfig& config() const { return config_; }
+
+ private:
+  struct Connection {
+    explicit Connection(int conn_fd) : fd(conn_fd), reader(conn_fd) {}
+    int fd;
+    LineReader reader;
+    double last_activity = 0.0;
+    bool closing = false;
+    /// Binary snapshot frame queued behind the next response line.
+    std::string pending_frame;
+  };
+
+  void serve_loop();
+  void worker_loop();
+  void schedule(const std::shared_ptr<Session>& session);
+  void drain_now();
+  void resume_fleet();
+  std::shared_ptr<Session> find_session(const std::string& id) const;
+
+  /// Read whatever one poll round offers from `conn`, answering every
+  /// complete line. Returns false when the connection should be dropped.
+  bool service_connection(Connection& conn);
+  bool send_response(Connection& conn, const WireMessage& response);
+  WireMessage handle_request(const WireMessage& request, Connection& conn);
+
+  WireMessage op_create(const WireMessage& request);
+  WireMessage op_step(const WireMessage& request);
+  WireMessage op_snapshot(const WireMessage& request, Connection& conn);
+  WireMessage op_status(const WireMessage& request);
+  WireMessage op_list();
+  WireMessage op_metrics();
+
+  void note_quantum(const QuantumResult& result);
+  void refresh_session_gauges();
+  void metric_add(std::size_t handle, double delta = 1.0);
+  void metric_set(std::size_t handle, double value);
+
+  /// Async-signal-safe drain flag (signals are process-wide; checked per
+  /// poll round, cleared when a loop starts and when a drain completes).
+  static volatile std::sig_atomic_t drain_requested_;
+
+  ServerConfig config_;
+  int listen_fd_ = -1;
+  std::thread io_thread_;
+  std::vector<std::thread> workers_;
+  std::atomic<bool> stop_requested_{false};
+  std::atomic<bool> running_{false};
+  Outcome outcome_ = Outcome::Stopped;
+
+  mutable std::mutex sessions_mutex_;
+  std::map<std::string, std::shared_ptr<Session>> sessions_;
+  long next_session_number_ = 0;
+  int resumed_ = 0;
+  int resume_failures_ = 0;
+
+  std::mutex queue_mutex_;
+  std::condition_variable queue_cv_;
+  std::deque<std::shared_ptr<Session>> ready_;
+  bool workers_running_ = false;
+
+  std::vector<std::unique_ptr<Connection>> connections_;
+
+  mutable std::mutex metrics_mutex_;
+  struct Handles {
+    std::size_t connections = 0;
+    std::size_t disconnects_timeout = 0;
+    std::size_t accept_faults = 0;
+    std::size_t ops = 0;
+    std::size_t op_errors = 0;
+    std::size_t rejected_overload = 0;
+    std::size_t sessions_created = 0;
+    std::size_t sessions_resumed = 0;
+    std::size_t resume_failures = 0;
+    std::size_t quanta = 0;
+    std::size_t steps = 0;
+    std::size_t watchdog_trips = 0;
+    std::size_t quarantines = 0;
+    std::size_t suspends = 0;
+    std::size_t snapshots = 0;
+    std::size_t sessions_active = 0;
+    std::size_t sessions_suspended = 0;
+    std::size_t sessions_quarantined = 0;
+    std::size_t drain_seconds = 0;
+  } handles_;
+};
+
+}  // namespace sdcmd::serve

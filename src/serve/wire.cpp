@@ -1,0 +1,493 @@
+#include "serve/wire.hpp"
+
+#include <errno.h>
+#include <fcntl.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include <cctype>
+#include <cstdlib>
+#include <cstring>
+
+#include "common/error.hpp"
+#include "common/timer.hpp"
+#include "obs/json.hpp"
+
+namespace sdcmd::serve {
+
+// ---------------------------------------------------------------------------
+// WireValue
+
+const std::string& WireValue::as_string() const {
+  if (type_ != Type::String) {
+    throw ParseError("wire: value is not a string");
+  }
+  return string_;
+}
+
+bool WireValue::as_bool() const {
+  if (type_ != Type::Bool) {
+    throw ParseError("wire: value is not a bool");
+  }
+  return bool_;
+}
+
+std::int64_t WireValue::as_int() const {
+  if (type_ == Type::Int) return int_;
+  if (type_ == Type::Double) return static_cast<std::int64_t>(double_);
+  throw ParseError("wire: value is not a number");
+}
+
+double WireValue::as_double() const {
+  if (type_ == Type::Double) return double_;
+  if (type_ == Type::Int) return static_cast<double>(int_);
+  throw ParseError("wire: value is not a number");
+}
+
+void WireValue::append_json(std::string& out) const {
+  switch (type_) {
+    case Type::Null: out += "null"; return;
+    case Type::Bool: out += bool_ ? "true" : "false"; return;
+    case Type::Int: out += std::to_string(int_); return;
+    case Type::Double: obs::append_json_number(out, double_); return;
+    case Type::String: obs::append_json_string(out, string_); return;
+  }
+}
+
+// ---------------------------------------------------------------------------
+// WireMessage
+
+void WireMessage::set(const std::string& key, WireValue value) {
+  for (auto& member : members_) {
+    if (member.first == key) {
+      member.second = std::move(value);
+      return;
+    }
+  }
+  members_.emplace_back(key, std::move(value));
+}
+
+const WireValue* WireMessage::find(const std::string& key) const {
+  for (const auto& member : members_) {
+    if (member.first == key) return &member.second;
+  }
+  return nullptr;
+}
+
+std::string WireMessage::get_string(const std::string& key,
+                                    const std::string& fallback) const {
+  const WireValue* v = find(key);
+  return v != nullptr && v->is_string() ? v->as_string() : fallback;
+}
+
+std::int64_t WireMessage::get_int(const std::string& key,
+                                  std::int64_t fallback) const {
+  const WireValue* v = find(key);
+  return v != nullptr && v->is_number() ? v->as_int() : fallback;
+}
+
+double WireMessage::get_double(const std::string& key,
+                               double fallback) const {
+  const WireValue* v = find(key);
+  return v != nullptr && v->is_number() ? v->as_double() : fallback;
+}
+
+bool WireMessage::get_bool(const std::string& key, bool fallback) const {
+  const WireValue* v = find(key);
+  return v != nullptr && v->is_bool() ? v->as_bool() : fallback;
+}
+
+std::string WireMessage::require_string(const std::string& key) const {
+  const WireValue* v = find(key);
+  if (v == nullptr || !v->is_string()) {
+    throw ParseError("wire: missing required string member '" + key + "'");
+  }
+  return v->as_string();
+}
+
+std::int64_t WireMessage::require_int(const std::string& key) const {
+  const WireValue* v = find(key);
+  if (v == nullptr || !v->is_number()) {
+    throw ParseError("wire: missing required numeric member '" + key + "'");
+  }
+  return v->as_int();
+}
+
+std::string WireMessage::serialize() const {
+  std::string out = "{";
+  bool first = true;
+  for (const auto& [key, value] : members_) {
+    if (!first) out += ',';
+    first = false;
+    obs::append_json_string(out, key);
+    out += ':';
+    value.append_json(out);
+  }
+  out += '}';
+  return out;
+}
+
+namespace {
+
+/// Flat-object JSON parser for control lines: the serve twin of the
+/// run_state.v1 parser, with the same "scalars only" contract. Nested
+/// containers are a protocol violation, not a missing feature.
+class FlatParser {
+ public:
+  explicit FlatParser(const std::string& text) : text_(text) {}
+
+  WireMessage parse() {
+    WireMessage msg;
+    skip_ws();
+    expect('{');
+    skip_ws();
+    if (peek() == '}') {
+      ++pos_;
+      finish();
+      return msg;
+    }
+    while (true) {
+      skip_ws();
+      std::string key = parse_string();
+      skip_ws();
+      expect(':');
+      skip_ws();
+      msg.set(key, parse_value());
+      skip_ws();
+      const char c = next();
+      if (c == '}') break;
+      if (c != ',') fail("expected ',' or '}' after member");
+    }
+    finish();
+    return msg;
+  }
+
+ private:
+  WireValue parse_value() {
+    const char c = peek();
+    if (c == '"') return WireValue(parse_string());
+    if (c == 't' || c == 'f') return WireValue(parse_bool());
+    if (c == 'n') {
+      if (text_.compare(pos_, 4, "null") != 0) fail("expected null");
+      pos_ += 4;
+      return WireValue();
+    }
+    if (c == '{' || c == '[') {
+      fail("nested containers are not part of the wire protocol");
+    }
+    return parse_number();
+  }
+
+  std::string parse_string() {
+    expect('"');
+    std::string out;
+    while (true) {
+      if (pos_ >= text_.size()) fail("unterminated string");
+      const char c = text_[pos_++];
+      if (c == '"') return out;
+      if (c == '\\') {
+        if (pos_ >= text_.size()) fail("unterminated escape");
+        const char esc = text_[pos_++];
+        switch (esc) {
+          case '"': out += '"'; break;
+          case '\\': out += '\\'; break;
+          case '/': out += '/'; break;
+          case 'n': out += '\n'; break;
+          case 't': out += '\t'; break;
+          default: fail("unsupported escape in wire string");
+        }
+      } else {
+        out += c;
+      }
+    }
+  }
+
+  WireValue parse_number() {
+    const std::size_t start = pos_;
+    bool integral = true;
+    while (pos_ < text_.size()) {
+      const char c = text_[pos_];
+      if (std::isdigit(static_cast<unsigned char>(c)) || c == '-' ||
+          c == '+') {
+        ++pos_;
+      } else if (c == '.' || c == 'e' || c == 'E') {
+        integral = false;
+        ++pos_;
+      } else {
+        break;
+      }
+    }
+    if (pos_ == start) fail("expected a value");
+    const std::string token = text_.substr(start, pos_ - start);
+    if (integral) {
+      return WireValue(
+          static_cast<std::int64_t>(std::strtoll(token.c_str(), nullptr, 10)));
+    }
+    return WireValue(std::strtod(token.c_str(), nullptr));
+  }
+
+  bool parse_bool() {
+    if (text_.compare(pos_, 4, "true") == 0) {
+      pos_ += 4;
+      return true;
+    }
+    if (text_.compare(pos_, 5, "false") == 0) {
+      pos_ += 5;
+      return false;
+    }
+    fail("expected true/false");
+    return false;  // unreachable
+  }
+
+  void finish() {
+    skip_ws();
+    if (pos_ != text_.size()) fail("trailing bytes after message");
+  }
+
+  char peek() const { return pos_ < text_.size() ? text_[pos_] : '\0'; }
+  char next() {
+    if (pos_ >= text_.size()) fail("unexpected end of message");
+    return text_[pos_++];
+  }
+  void expect(char c) {
+    if (next() != c) {
+      --pos_;
+      fail(std::string("expected '") + c + "'");
+    }
+  }
+  void skip_ws() {
+    while (pos_ < text_.size() &&
+           std::isspace(static_cast<unsigned char>(text_[pos_]))) {
+      ++pos_;
+    }
+  }
+
+  [[noreturn]] void fail(const std::string& why) const {
+    throw ParseError("wire: " + why + " (byte " + std::to_string(pos_) +
+                     " of " + std::to_string(text_.size()) + ")");
+  }
+
+  const std::string& text_;
+  std::size_t pos_ = 0;
+};
+
+}  // namespace
+
+WireMessage WireMessage::parse(const std::string& line) {
+  return FlatParser(line).parse();
+}
+
+WireMessage make_ok() {
+  WireMessage msg;
+  msg.set("ok", WireValue(true));
+  return msg;
+}
+
+WireMessage make_error(const std::string& code, const std::string& message) {
+  WireMessage msg;
+  msg.set("ok", WireValue(false));
+  msg.set("code", WireValue(code));
+  msg.set("error", WireValue(message));
+  return msg;
+}
+
+// ---------------------------------------------------------------------------
+// Socket I/O
+
+bool wait_fd(int fd, short events, double timeout_s) {
+  const double deadline = wall_time() + timeout_s;
+  while (true) {
+    const double remaining = deadline - wall_time();
+    if (remaining < 0.0) return false;
+    struct pollfd pfd {};
+    pfd.fd = fd;
+    pfd.events = events;
+    const int timeout_ms =
+        static_cast<int>(remaining * 1000.0) + 1;  // round up, never 0-spin
+    const int rc = poll(&pfd, 1, timeout_ms);
+    if (rc > 0) {
+      // POLLHUP/POLLERR still mean "go read/write and see the error": a
+      // hung-up socket must be drained so the caller observes EOF.
+      return true;
+    }
+    if (rc == 0) return false;
+    if (errno == EINTR) continue;
+    throw Error(std::string("serve: poll failed: ") + std::strerror(errno));
+  }
+}
+
+bool write_all(int fd, std::string_view data, double timeout_s) {
+  const double deadline = wall_time() + timeout_s;
+  std::size_t written = 0;
+  while (written < data.size()) {
+    const double remaining = deadline - wall_time();
+    if (remaining < 0.0 || !wait_fd(fd, POLLOUT, remaining)) return false;
+    const ssize_t n = ::send(fd, data.data() + written,
+                             data.size() - written, MSG_NOSIGNAL);
+    if (n > 0) {
+      written += static_cast<std::size_t>(n);
+      continue;
+    }
+    if (n < 0 && (errno == EINTR || errno == EAGAIN ||
+                  errno == EWOULDBLOCK)) {
+      continue;
+    }
+    return false;  // EPIPE / ECONNRESET: the peer is gone
+  }
+  return true;
+}
+
+bool read_exact(int fd, char* out, std::size_t len, double timeout_s) {
+  const double deadline = wall_time() + timeout_s;
+  std::size_t got = 0;
+  while (got < len) {
+    const double remaining = deadline - wall_time();
+    if (remaining < 0.0 || !wait_fd(fd, POLLIN, remaining)) return false;
+    const ssize_t n = ::recv(fd, out + got, len - got, 0);
+    if (n > 0) {
+      got += static_cast<std::size_t>(n);
+      continue;
+    }
+    if (n < 0 && (errno == EINTR || errno == EAGAIN ||
+                  errno == EWOULDBLOCK)) {
+      continue;
+    }
+    return false;  // EOF or reset
+  }
+  return true;
+}
+
+bool LineReader::line_buffered() const {
+  return buffer_.find('\n') != std::string::npos;
+}
+
+int LineReader::fill_once() {
+  char chunk[4096];
+  const ssize_t n = ::recv(fd_, chunk, sizeof chunk, 0);
+  if (n > 0) {
+    buffer_.append(chunk, static_cast<std::size_t>(n));
+    return static_cast<int>(n);
+  }
+  if (n < 0 && (errno == EINTR || errno == EAGAIN || errno == EWOULDBLOCK)) {
+    return -1;
+  }
+  return 0;  // EOF or peer reset
+}
+
+LineReader::Result LineReader::next_line(std::string& line,
+                                         double timeout_s) {
+  const double deadline = wall_time() + timeout_s;
+  while (true) {
+    const std::size_t eol = buffer_.find('\n');
+    if (eol != std::string::npos) {
+      line.assign(buffer_, 0, eol);
+      buffer_.erase(0, eol + 1);
+      return Result::Line;
+    }
+    const double remaining = deadline - wall_time();
+    if (remaining < 0.0 || !wait_fd(fd_, POLLIN, remaining)) {
+      return Result::Timeout;
+    }
+    char chunk[4096];
+    const ssize_t n = ::recv(fd_, chunk, sizeof chunk, 0);
+    if (n > 0) {
+      buffer_.append(chunk, static_cast<std::size_t>(n));
+      continue;
+    }
+    if (n < 0 && (errno == EINTR || errno == EAGAIN ||
+                  errno == EWOULDBLOCK)) {
+      continue;
+    }
+    return Result::Closed;
+  }
+}
+
+bool LineReader::take_exact(std::string& out, std::size_t len,
+                            double timeout_s) {
+  out.clear();
+  const std::size_t buffered = std::min(buffer_.size(), len);
+  out.append(buffer_, 0, buffered);
+  buffer_.erase(0, buffered);
+  if (out.size() == len) return true;
+  const std::size_t missing = len - out.size();
+  std::string tail(missing, '\0');
+  if (!read_exact(fd_, tail.data(), missing, timeout_s)) return false;
+  out += tail;
+  return true;
+}
+
+namespace {
+
+void fill_unix_address(const std::string& path, sockaddr_un& addr) {
+  std::memset(&addr, 0, sizeof addr);
+  addr.sun_family = AF_UNIX;
+  if (path.size() >= sizeof addr.sun_path) {
+    throw Error("serve: socket path too long (" +
+                std::to_string(path.size()) + " bytes, max " +
+                std::to_string(sizeof addr.sun_path - 1) + "): '" + path +
+                "'");
+  }
+  std::memcpy(addr.sun_path, path.c_str(), path.size() + 1);
+}
+
+int make_socket() {
+  const int fd = ::socket(AF_UNIX, SOCK_STREAM | SOCK_CLOEXEC, 0);
+  if (fd < 0) {
+    throw Error(std::string("serve: socket() failed: ") +
+                std::strerror(errno));
+  }
+  return fd;
+}
+
+}  // namespace
+
+int listen_unix(const std::string& path, int backlog) {
+  sockaddr_un addr;
+  fill_unix_address(path, addr);
+  // Replace a stale socket file from a killed daemon; a live daemon would
+  // have it bound, making the bind below fail with EADDRINUSE.
+  ::unlink(path.c_str());
+  const int fd = make_socket();
+  if (::bind(fd, reinterpret_cast<sockaddr*>(&addr), sizeof addr) != 0) {
+    const int err = errno;
+    close_fd(fd);
+    throw Error("serve: cannot bind '" + path + "': " + std::strerror(err));
+  }
+  if (::listen(fd, backlog) != 0) {
+    const int err = errno;
+    close_fd(fd);
+    throw Error("serve: cannot listen on '" + path +
+                "': " + std::strerror(err));
+  }
+  return fd;
+}
+
+int connect_unix(const std::string& path) {
+  sockaddr_un addr;
+  fill_unix_address(path, addr);
+  const int fd = make_socket();
+  while (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof addr) !=
+         0) {
+    if (errno == EINTR) continue;
+    close_fd(fd);
+    return -1;  // absent / refusing / mid-restart: the retriable case
+  }
+  return fd;
+}
+
+int accept_connection(int listen_fd) {
+  while (true) {
+    const int fd = ::accept4(listen_fd, nullptr, nullptr, SOCK_CLOEXEC);
+    if (fd >= 0) return fd;
+    if (errno == EINTR) continue;
+    return -1;
+  }
+}
+
+void close_fd(int fd) {
+  if (fd >= 0) ::close(fd);
+}
+
+}  // namespace sdcmd::serve

@@ -71,6 +71,32 @@ TEST(XyzReader, TruncatedFrameThrows) {
   EXPECT_THROW(read_xyz_frame(stream), ParseError);
 }
 
+TEST(XyzReader, ParseErrorsNameTheOffendingLine) {
+  // The malformed atom row is line 4 of the stream.
+  std::stringstream stream("2\ncomment\nFe 0 0 0\nFe oops 0 0\n");
+  try {
+    read_xyz_frame(stream);
+    FAIL() << "expected ParseError";
+  } catch (const ParseError& e) {
+    EXPECT_NE(std::string(e.what()).find("line 4"), std::string::npos)
+        << e.what();
+  }
+}
+
+TEST(XyzReader, FileErrorsCarryThePath) {
+  const std::string path = "sdcmd_test_bad.xyz";
+  std::ofstream(path) << "1\ncomment\nFe broken\n";
+  try {
+    read_xyz_file(path);
+    FAIL() << "expected ParseError";
+  } catch (const ParseError& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find(path), std::string::npos) << what;
+    EXPECT_NE(what.find("line 3"), std::string::npos) << what;
+  }
+  std::remove(path.c_str());
+}
+
 TEST(XyzReader, NonOrthorhombicLatticeYieldsNoBox) {
   std::stringstream stream(
       "1\nLattice=\"10 1 0 0 10 0 0 0 10\"\nFe 0 0 0\n");
@@ -117,6 +143,35 @@ TEST(LammpsData, RejectsTruncatedAtoms) {
       "c\n\n2 atoms\n1 atom types\n\n0 1 xlo xhi\n0 1 ylo yhi\n0 1 zlo "
       "zhi\n\nAtoms # atomic\n\n1 1 0 0 0\n");
   EXPECT_THROW(read_lammps_data(stream), ParseError);
+}
+
+TEST(LammpsData, ParseErrorsNameTheOffendingLine) {
+  // The malformed Atoms row is line 11 of the stream.
+  std::stringstream stream(
+      "c\n\n1 atoms\n1 atom types\n\n0 1 xlo xhi\n0 1 ylo yhi\n0 1 zlo "
+      "zhi\n\nAtoms # atomic\n\n1 1 oops 0 0\n");
+  try {
+    read_lammps_data(stream);
+    FAIL() << "expected ParseError";
+  } catch (const ParseError& e) {
+    EXPECT_NE(std::string(e.what()).find("line 12"), std::string::npos)
+        << e.what();
+  }
+}
+
+TEST(LammpsData, FileErrorsCarryThePath) {
+  const std::string path = "sdcmd_test_bad.data";
+  std::ofstream(path)
+      << "c\n\n1 atoms\n1 atom types\n\n0 1 xlo xhi\n0 1 ylo yhi\n"
+         "0 1 zlo zhi\n\nAtoms # atomic\n\n1 1 oops 0 0\n";
+  try {
+    read_lammps_data_file(path);
+    FAIL() << "expected ParseError";
+  } catch (const ParseError& e) {
+    EXPECT_NE(std::string(e.what()).find(path), std::string::npos)
+        << e.what();
+  }
+  std::remove(path.c_str());
 }
 
 TEST(Checkpoint, RoundTripIsExact) {

@@ -7,6 +7,9 @@
 #include <chrono>
 #include <filesystem>
 #include <fstream>
+#include <iomanip>
+#include <iterator>
+#include <sstream>
 #include <string>
 #include <thread>
 #include <vector>
@@ -380,7 +383,7 @@ TEST_F(RunSupervisorTest, WatchdogTripsOnPathologicalStep) {
   RunSupervisor sup(sim, rd, cfg);
 
   // Step 3 stalls for ~25x the floor; every other step is ordinary.
-  const Simulation::Callback stall = [](const Simulation& s, long step) {
+  const Simulation::Callback stall = [](const Simulation&, long step) {
     if (step == 3) {
       std::this_thread::sleep_for(std::chrono::milliseconds(500));
     }
@@ -433,6 +436,200 @@ TEST_F(RunSupervisorTest, ResumeRestoresStepDtAndEnergy) {
   // And the run continues with the original numbering.
   restarted.run(3);
   EXPECT_EQ(restarted.current_step(), 15);
+}
+
+// ------------------------------------------------- resume hardening (PR 9)
+
+TEST_F(RunSupervisorTest, ZeroByteSidecarDegradesToCheckpointOnlyResume) {
+  const std::string dir = scratch_dir("zero_sidecar");
+  RunDir rd(dir, 3);
+  RunState state;
+  state.dt = 0.5;
+  state.step = 10;
+  rd.commit(make_system(), state);
+  // A crash can leave the sidecar as an empty file (inode created, no
+  // bytes flushed). Resume must degrade, never refuse.
+  std::ofstream(rd.file_path("run_state.json"),
+                std::ios::binary | std::ios::trunc);
+  const auto resume = rd.try_resume();
+  ASSERT_TRUE(resume.has_value());
+  EXPECT_EQ(resume->checkpoint.step, 10);
+  EXPECT_FALSE(resume->state_valid);
+  // The provable variant has no older generation to prefer: same answer.
+  const auto provable = rd.try_resume_provable();
+  ASSERT_TRUE(provable.has_value());
+  EXPECT_EQ(provable->checkpoint.step, 10);
+  EXPECT_FALSE(provable->state_valid);
+}
+
+TEST_F(RunSupervisorTest, ManifestNamingOnlyDeletedCheckpointsScansInstead) {
+  const std::string dir = scratch_dir("manifest_deleted");
+  RunDir rd(dir, 3);
+  RunState state;
+  state.dt = 0.5;
+  state.step = 10;
+  rd.commit(make_system(), state);
+  // Forge a MANIFEST that verifies its checksum but names only a
+  // checkpoint that no longer exists (operator cleanup, rogue sweep).
+  // The directory scan must win: the unlisted step-10 file still resumes.
+  const std::string body =
+      "sdcmd-manifest 1\nentry 99 ckpt_0000000099.chk 0000000000000000\n";
+  std::ostringstream forged;
+  forged << body << "checksum fnv1a64 " << std::hex << std::setw(16)
+         << std::setfill('0') << fnv1a64(body) << "\n";
+  std::ofstream(rd.file_path("MANIFEST"), std::ios::binary | std::ios::trunc)
+      << forged.str();
+
+  const auto resume = rd.try_resume();
+  ASSERT_TRUE(resume.has_value());
+  EXPECT_EQ(resume->checkpoint.step, 10);
+  EXPECT_TRUE(resume->manifest_fallback);
+  EXPECT_GE(resume->discarded, 1);
+  EXPECT_TRUE(resume->state_valid);
+}
+
+TEST_F(RunSupervisorTest, ProvableResumeFindsGenerationTheManifestMissed) {
+  const std::string dir = scratch_dir("manifest_behind");
+  RunDir rd(dir, 3);
+  RunState state;
+  state.dt = 0.5;
+  std::string manifest_after_10;
+  for (long step : {10, 20}) {
+    state.step = step;
+    rd.commit(make_system(), state);
+    if (step == 10) {
+      std::ifstream in(rd.file_path("MANIFEST"), std::ios::binary);
+      manifest_after_10.assign(std::istreambuf_iterator<char>(in), {});
+    }
+  }
+  // Crash window between the sidecar rename and the MANIFEST rename:
+  // ckpt_20 and its sidecar are on disk but the (verified!) index still
+  // lists only step 10. try_resume trusts the index and degrades; the
+  // provable variant must notice the sidecar names an unlisted newer
+  // generation and resume it with the proof intact.
+  std::ofstream(rd.file_path("MANIFEST"), std::ios::binary | std::ios::trunc)
+      << manifest_after_10;
+
+  const auto resume = rd.try_resume();
+  ASSERT_TRUE(resume.has_value());
+  EXPECT_EQ(resume->checkpoint.step, 10);
+  EXPECT_FALSE(resume->state_valid);
+
+  const auto provable = rd.try_resume_provable();
+  ASSERT_TRUE(provable.has_value());
+  EXPECT_EQ(provable->checkpoint.step, 20);
+  EXPECT_TRUE(provable->state_valid);
+  EXPECT_EQ(provable->state.step, 20);
+}
+
+TEST_F(RunSupervisorTest, DeletedNewestManifestEntryFallsToOlderListed) {
+  const std::string dir = scratch_dir("manifest_hole");
+  RunDir rd(dir, 3);
+  RunState state;
+  state.dt = 0.5;
+  for (long step : {10, 20}) {
+    state.step = step;
+    rd.commit(make_system(), state);
+  }
+  // The MANIFEST stays intact but its newest file is deleted out from
+  // under it. The missing file costs one candidate, not the whole resume.
+  fs::remove(rd.file_path(RunDir::checkpoint_name(20)));
+  const auto resume = rd.try_resume();
+  ASSERT_TRUE(resume.has_value());
+  EXPECT_EQ(resume->checkpoint.step, 10);
+  EXPECT_EQ(resume->discarded, 1);
+  EXPECT_FALSE(resume->state_valid);  // sidecar describes step 20
+}
+
+TEST_F(RunSupervisorTest, ProvableResumePrefersGenerationSidecarDescribes) {
+  const std::string dir = scratch_dir("provable");
+  RunDir rd(dir, 3);
+  RunState state;
+  state.dt = 0.5;
+  state.step = 10;
+  rd.commit(make_system(), state);
+  std::ifstream in(rd.file_path("run_state.json"));
+  const std::string sidecar_for_10((std::istreambuf_iterator<char>(in)),
+                                   std::istreambuf_iterator<char>());
+  in.close();
+  state.step = 20;
+  rd.commit(make_system(), state);
+  // Reproduce a crash between the step-20 checkpoint rename and the
+  // sidecar rename: checkpoint 20 on disk, sidecar still describing 10.
+  std::ofstream(rd.file_path("run_state.json"),
+                std::ios::binary | std::ios::trunc)
+      << sidecar_for_10;
+
+  // Plain resume takes the newest checkpoint, losing the proof...
+  const auto degraded = rd.try_resume();
+  ASSERT_TRUE(degraded.has_value());
+  EXPECT_EQ(degraded->checkpoint.step, 20);
+  EXPECT_FALSE(degraded->state_valid);
+  // ...while the provable variant trades one cadence for a verified state.
+  const auto provable = rd.try_resume_provable();
+  ASSERT_TRUE(provable.has_value());
+  EXPECT_EQ(provable->checkpoint.step, 10);
+  ASSERT_TRUE(provable->state_valid);
+  EXPECT_EQ(provable->state.step, 10);
+}
+
+TEST_F(RunSupervisorTest, ConstructorSweepsStaleTmpFiles) {
+  const std::string dir = scratch_dir("tmp_sweep");
+  {
+    RunDir rd(dir, 3);
+    RunState state;
+    state.dt = 0.5;
+    state.step = 10;
+    rd.commit(make_system(), state);
+    std::ofstream(rd.file_path("run_state.json.tmp")) << "torn";
+    std::ofstream(rd.file_path("MANIFEST.tmp")) << "torn";
+    std::ofstream(rd.file_path("ckpt_0000000099.chk.tmp")) << "torn";
+  }
+  RunDir reopened(dir, 3);  // the sweep runs here
+  for (const auto& de : fs::directory_iterator(dir)) {
+    EXPECT_NE(de.path().extension(), ".tmp") << de.path();
+  }
+  const auto resume = reopened.try_resume();
+  ASSERT_TRUE(resume.has_value());
+  EXPECT_EQ(resume->checkpoint.step, 10);
+  EXPECT_TRUE(resume->state_valid);
+}
+
+// ----------------------------------------------- concurrent supervisors
+
+TEST_F(RunSupervisorTest, TwoSupervisorsOnDistinctDirsDoNotInterleave) {
+  // Two supervisors in one process (the session-server layout) must keep
+  // their rings, manifests, and temp files strictly inside their own run
+  // directories.
+  const std::string dir_a = scratch_dir("pair_a");
+  const std::string dir_b = scratch_dir("pair_b");
+  const auto drive = [](const std::string& dir, int seed) {
+    RunDir rd(dir, 2);
+    Simulation sim(make_system(3), iron(), serial_config());
+    sim.set_temperature(50.0, seed);
+    SupervisorConfig cfg;
+    cfg.checkpoint_every = 2;
+    cfg.install_signal_handlers = false;
+    RunSupervisor sup(sim, rd, cfg);
+    EXPECT_EQ(sup.run_to(8), RunOutcome::Completed);
+  };
+  std::thread ta(drive, dir_a, 11);
+  std::thread tb(drive, dir_b, 22);
+  ta.join();
+  tb.join();
+
+  for (const std::string& dir : {dir_a, dir_b}) {
+    EXPECT_LE(count_ring_files(dir), 2u) << dir;  // retention ring intact
+    for (const auto& de : fs::directory_iterator(dir)) {
+      EXPECT_NE(de.path().extension(), ".tmp") << de.path();
+    }
+    RunDir rd(dir, 2);
+    const auto resume = rd.try_resume();
+    ASSERT_TRUE(resume.has_value()) << dir;
+    EXPECT_EQ(resume->checkpoint.step, 8) << dir;
+    EXPECT_TRUE(resume->state_valid) << dir;
+    EXPECT_FALSE(resume->manifest_fallback) << dir;
+  }
 }
 
 TEST_F(RunSupervisorTest, SupervisorRejectsNonsenseConfig) {

@@ -1,0 +1,489 @@
+// Session-server stack: wire protocol round trips, session lifecycle and
+// quarantine, admission control, fleet drain/resume, and the injected
+// accept/slow-client faults with the client's reconnect-and-retry path.
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <cstdint>
+#include <filesystem>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/error.hpp"
+#include "common/fault.hpp"
+#include "common/log.hpp"
+#include "obs/metrics.hpp"
+#include "serve/client.hpp"
+#include "serve/server.hpp"
+#include "serve/session.hpp"
+#include "serve/wire.hpp"
+
+namespace sdcmd::serve {
+namespace {
+
+namespace fs = std::filesystem;
+
+/// Fresh scratch directory (wiped on entry, left behind on failure).
+std::string scratch_dir(const std::string& name) {
+  const fs::path dir = fs::temp_directory_path() / ("sdcmd_serve_" + name);
+  fs::remove_all(dir);
+  fs::create_directories(dir);
+  return dir.string();
+}
+
+/// Poll `pred` until it holds or ~`seconds` elapse.
+template <typename Pred>
+bool eventually(Pred&& pred, double seconds = 10.0) {
+  const auto deadline = std::chrono::steady_clock::now() +
+                        std::chrono::duration<double>(seconds);
+  while (std::chrono::steady_clock::now() < deadline) {
+    if (pred()) return true;
+    std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  }
+  return pred();
+}
+
+class ServeTest : public testing::Test {
+ protected:
+  void SetUp() override {
+    FaultInjector::instance().disarm_all();
+    saved_level_ = log_level();
+    set_log_level(LogLevel::Error);  // quarantine/retry warnings expected
+  }
+  void TearDown() override {
+    set_log_level(saved_level_);
+    FaultInjector::instance().disarm_all();
+  }
+  LogLevel saved_level_ = LogLevel::Warn;
+};
+
+// --------------------------------------------------------------------- wire
+
+TEST_F(ServeTest, WireMessageRoundTripsEveryScalarType) {
+  WireMessage m;
+  m.set("op", "status");
+  m.set("count", static_cast<std::int64_t>(-42));
+  m.set("ratio", 1.5);
+  m.set("flag", true);
+  m.set("none", WireValue());
+  m.set("text", std::string("quote \" slash \\ newline \n tab \t"));
+
+  const WireMessage back = WireMessage::parse(m.serialize());
+  EXPECT_EQ(back.get_string("op"), "status");
+  EXPECT_EQ(back.get_int("count", 0), -42);
+  EXPECT_EQ(back.get_double("ratio", 0.0), 1.5);
+  EXPECT_TRUE(back.get_bool("flag", false));
+  ASSERT_NE(back.find("none"), nullptr);
+  EXPECT_TRUE(back.find("none")->is_null());
+  EXPECT_EQ(back.get_string("text"), "quote \" slash \\ newline \n tab \t");
+  // Member order is preserved: responses stay diff-stable.
+  EXPECT_EQ(back.members().front().first, "op");
+  EXPECT_EQ(back.serialize(), m.serialize());
+}
+
+TEST_F(ServeTest, WireParseRejectsNestedContainersAndGarbage) {
+  EXPECT_THROW(WireMessage::parse("{\"a\": [1, 2]}"), ParseError);
+  EXPECT_THROW(WireMessage::parse("{\"a\": {\"b\": 1}}"), ParseError);
+  EXPECT_THROW(WireMessage::parse("not json at all"), ParseError);
+  EXPECT_THROW(WireMessage::parse("{\"a\": 1"), ParseError);
+  EXPECT_THROW(WireMessage::parse(""), ParseError);
+}
+
+TEST_F(ServeTest, WireAccessorsCoerceNumbersAndRequireKeys) {
+  WireMessage m = WireMessage::parse("{\"i\": 7, \"d\": 2.0, \"s\": \"x\"}");
+  EXPECT_EQ(m.get_int("d", 0), 2);          // Double -> Int
+  EXPECT_EQ(m.get_double("i", 0.0), 7.0);   // Int -> Double
+  EXPECT_EQ(m.get_string("missing", "fb"), "fb");
+  EXPECT_THROW(m.require_string("missing"), ParseError);
+  EXPECT_THROW(m.require_int("s"), ParseError);  // type mismatch
+
+  const WireMessage err = make_error("overloaded", "cap reached");
+  EXPECT_FALSE(err.get_bool("ok", true));
+  EXPECT_EQ(err.get_string("code"), "overloaded");
+  EXPECT_EQ(err.get_string("error"), "cap reached");
+}
+
+// --------------------------------------------------------------------- spec
+
+TEST_F(ServeTest, SessionSpecRoundTripsThroughJson) {
+  SessionSpec spec;
+  spec.id = "alpha";
+  spec.cells = 5;
+  spec.temp = 450.0;
+  spec.seed = 777;
+  spec.dt_fs = 0.5;
+  spec.governed = false;
+  spec.strategy_code = 3;
+  spec.threads = 2;
+  spec.checkpoint_every = 25;
+  spec.keep = 4;
+
+  const SessionSpec back = SessionSpec::parse(spec.to_json());
+  EXPECT_EQ(back.id, "alpha");
+  EXPECT_EQ(back.cells, 5);
+  EXPECT_EQ(back.temp, 450.0);
+  EXPECT_EQ(back.seed, 777);
+  EXPECT_EQ(back.dt_fs, 0.5);
+  EXPECT_FALSE(back.governed);
+  EXPECT_EQ(back.strategy_code, 3);
+  EXPECT_EQ(back.threads, 2);
+  EXPECT_EQ(back.checkpoint_every, 25);
+  EXPECT_EQ(back.keep, 4);
+  EXPECT_EQ(back.config_hash(), spec.config_hash());
+}
+
+TEST_F(ServeTest, ConfigHashExcludesSteerableDt) {
+  SessionSpec a;
+  a.id = "x";
+  SessionSpec b = a;
+  b.dt_fs = a.dt_fs / 2.0;  // rollback/steer may retune dt mid-run
+  EXPECT_EQ(a.config_hash(), b.config_hash());
+  b.cells = a.cells + 1;  // physics-determining: must change the hash
+  EXPECT_NE(a.config_hash(), b.config_hash());
+}
+
+TEST_F(ServeTest, SessionSpecParseRejectsBadValues) {
+  SessionSpec spec;
+  spec.id = "x";
+  const std::string good = spec.to_json();
+  EXPECT_THROW(
+      SessionSpec::parse("{\"schema\": \"other.v1\", \"id\": \"x\"}"),
+      ParseError);
+  EXPECT_NO_THROW(SessionSpec::parse(good));
+  EXPECT_THROW(SessionSpec::parse(
+                   "{\"schema\": \"sdcmd.session.v1\", \"id\": \"x\", "
+                   "\"cells\": 1}"),
+               ParseError);
+  EXPECT_THROW(SessionSpec::parse(
+                   "{\"schema\": \"sdcmd.session.v1\", \"id\": \"x\", "
+                   "\"dt_fs\": 0.0}"),
+               ParseError);
+  EXPECT_THROW(SessionSpec::parse(
+                   "{\"schema\": \"sdcmd.session.v1\", \"id\": \"x\", "
+                   "\"checkpoint_every\": 0}"),
+               ParseError);
+}
+
+// ------------------------------------------------------------------ session
+
+TEST_F(ServeTest, SessionLifecycleStepsSuspendsAndResumesWithProof) {
+  const std::string dir = scratch_dir("lifecycle");
+  SessionSpec spec;
+  spec.id = "life";
+  spec.cells = 3;
+  spec.checkpoint_every = 10;
+  SessionPolicy policy;
+  policy.quantum_steps = 10;
+  std::unique_ptr<Session> session = Session::create(spec, dir, policy);
+
+  SessionStatus status = session->status();
+  EXPECT_EQ(status.state, SessionState::Paused);
+  EXPECT_EQ(status.step, 0);
+  EXPECT_FALSE(status.resumed);
+  EXPECT_LT(status.continuity_rel, 0.0);  // fresh create: nothing proven
+
+  EXPECT_EQ(session->enqueue_steps(25), 25);
+  EXPECT_EQ(session->state(), SessionState::Running);
+  QuantumResult result;
+  for (int i = 0; i < 3; ++i) result = session->run_quantum();
+  EXPECT_FALSE(result.more);  // budget exhausted parks the session
+  status = session->status();
+  EXPECT_EQ(status.state, SessionState::Paused);
+  EXPECT_EQ(status.step, 25);
+  EXPECT_EQ(status.steps_run, 25);
+  EXPECT_EQ(status.quanta, 3);
+
+  long step = 0;
+  std::vector<double> xyz;
+  ASSERT_TRUE(session->snapshot(step, xyz));
+  EXPECT_EQ(step, 25);
+  EXPECT_EQ(xyz.size(), 3u * 2u * 3u * 3u * 3u);  // 2 atoms/cell * cells^3
+
+  session->suspend();
+  EXPECT_EQ(session->state(), SessionState::Suspended);
+  EXPECT_FALSE(session->snapshot(step, xyz));
+  EXPECT_THROW(session->enqueue_steps(1), Error);
+  EXPECT_EQ(session->status().strategy, "suspended");
+  EXPECT_EQ(session->status().step, 25);  // survives without a Simulation
+
+  session->resume();
+  status = session->status();
+  EXPECT_EQ(status.state, SessionState::Paused);
+  EXPECT_EQ(status.step, 25);
+  EXPECT_TRUE(status.resumed);
+  EXPECT_GE(status.continuity_rel, 0.0);
+  EXPECT_LE(status.continuity_rel, 1e-8);  // the energy-continuity proof
+}
+
+TEST_F(ServeTest, SessionOpenRebuildsFromDiskAfterSuspend) {
+  const std::string dir = scratch_dir("reopen");
+  SessionSpec spec;
+  spec.id = "re";
+  spec.cells = 3;
+  SessionPolicy policy;
+  {
+    std::unique_ptr<Session> session = Session::create(spec, dir, policy);
+    session->enqueue_steps(20);
+    while (session->run_quantum().more) {
+    }
+    session->suspend();  // final checkpoint; process "dies" here
+  }
+  std::unique_ptr<Session> back = Session::open(dir, policy);
+  const SessionStatus status = back->status();
+  EXPECT_EQ(status.step, 20);
+  EXPECT_TRUE(status.resumed);
+  EXPECT_GE(status.continuity_rel, 0.0);
+  EXPECT_LE(status.continuity_rel, 1e-8);
+  EXPECT_EQ(back->id(), "re");
+}
+
+TEST_F(ServeTest, OomFaultQuarantinesAndResumeRecovers) {
+  const std::string dir = scratch_dir("oom");
+  SessionSpec spec;
+  spec.id = "oom";
+  spec.cells = 3;
+  SessionPolicy policy;
+  std::unique_ptr<Session> session = Session::create(spec, dir, policy);
+
+  FaultSpec fault;
+  fault.shots = 1;
+  FaultInjector::instance().arm(faults::kServeSessionOom, fault);
+  session->enqueue_steps(10);
+  const QuantumResult result = session->run_quantum();
+  EXPECT_TRUE(result.quarantined);
+  EXPECT_EQ(result.steps_done, 0);
+  EXPECT_EQ(session->state(), SessionState::Quarantined);
+  EXPECT_EQ(session->status().quarantines, 1);
+  EXPECT_THROW(session->enqueue_steps(1), Error);
+
+  // Quarantine released the Simulation but checkpointed first: resume
+  // restores a live session that can step again.
+  session->resume();
+  EXPECT_EQ(session->state(), SessionState::Paused);
+  session->enqueue_steps(5);
+  EXPECT_GT(session->run_quantum().steps_done, 0);
+}
+
+TEST_F(ServeTest, WatchdogQuarantinesAfterTripStreak) {
+  const std::string dir = scratch_dir("watchdog");
+  SessionSpec spec;
+  spec.id = "wd";
+  spec.cells = 3;
+  SessionPolicy policy;
+  policy.quantum_steps = 5;
+  // Deadline far below any real per-step time: every quantum after the
+  // EWMA seeds is a trip, and two trips quarantine.
+  policy.watchdog_factor = 1e-6;
+  policy.watchdog_min_seconds = 0.0;
+  policy.quarantine_after_trips = 2;
+  std::unique_ptr<Session> session = Session::create(spec, dir, policy);
+
+  session->enqueue_steps(100);
+  bool quarantined = false;
+  for (int i = 0; i < 10 && !quarantined; ++i) {
+    quarantined = session->run_quantum().quarantined;
+  }
+  EXPECT_TRUE(quarantined);
+  EXPECT_EQ(session->state(), SessionState::Quarantined);
+  const SessionStatus status = session->status();
+  EXPECT_GE(status.watchdog_trips, 2);
+  EXPECT_EQ(status.quarantines, 1);
+}
+
+// ------------------------------------------------------------------- server
+
+TEST_F(ServeTest, ServerEndToEndWithAdmissionControl) {
+  const std::string dir = scratch_dir("server");
+  obs::MetricsRegistry registry;
+  ServerConfig config;
+  config.socket_path = dir + "/sv.sock";
+  config.root = dir + "/sessions";
+  config.max_sessions = 2;
+  config.workers = 1;
+  config.session.quantum_steps = 10;
+  config.session.watchdog_min_seconds = 5.0;  // CI noise must not trip
+  config.registry = &registry;
+  SessionServer server(config);
+  server.start();
+
+  ClientConfig ccfg;
+  ccfg.socket_path = config.socket_path;
+  ServeClient client(ccfg);
+
+  WireMessage r = client.request_op("ping");
+  EXPECT_TRUE(r.get_bool("ok", false));
+  EXPECT_EQ(r.get_int("sessions", -1), 0);
+  EXPECT_EQ(r.get_int("max_sessions", -1), 2);
+
+  WireMessage create;
+  create.set("op", "create");
+  create.set("id", "a");
+  create.set("cells", 3);
+  r = client.request(create);
+  ASSERT_TRUE(r.get_bool("ok", false)) << r.serialize();
+  EXPECT_EQ(r.get_int("natoms", 0), 54);  // 2 atoms/cell * 3^3 cells
+
+  WireMessage anon;  // empty id: the server assigns one
+  anon.set("op", "create");
+  anon.set("cells", 3);
+  r = client.request(anon);
+  ASSERT_TRUE(r.get_bool("ok", false));
+  EXPECT_EQ(r.get_string("id"), "s0");
+
+  // Admission control: the cap is hard and the rejection explicit.
+  r = client.request(anon);
+  EXPECT_FALSE(r.get_bool("ok", true));
+  EXPECT_EQ(r.get_string("code"), "overloaded");
+  EXPECT_GE(registry.value(registry.counter("serve.rejected_overload")), 1.0);
+
+  WireMessage step;
+  step.set("op", "step");
+  step.set("id", "a");
+  step.set("steps", 30);
+  r = client.request(step);
+  ASSERT_TRUE(r.get_bool("ok", false));
+
+  // The worker pool drains the budget; status shows the session parked.
+  ASSERT_TRUE(eventually([&] {
+    const WireMessage s = client.request_op("status", "a");
+    return s.get_int("step", 0) >= 30 &&
+           s.get_string("state") == "paused";
+  })) << client.request_op("status", "a").serialize();
+
+  std::vector<double> xyz;
+  r = client.snapshot("a", xyz);
+  ASSERT_TRUE(r.get_bool("ok", false)) << r.serialize();
+  EXPECT_EQ(xyz.size(), 162u);  // 54 atoms * 3
+  EXPECT_EQ(r.get_int("natoms", 0), 54);
+
+  r = client.request_op("status", "ghost");
+  EXPECT_EQ(r.get_string("code"), "not_found");
+  r = client.request_op("frobnicate", "a");
+  EXPECT_EQ(r.get_string("code"), "bad_request");
+
+  // destroy frees a slot: the next create is admitted again.
+  r = client.request_op("destroy", "s0");
+  ASSERT_TRUE(r.get_bool("ok", false));
+  r = client.request(anon);
+  EXPECT_TRUE(r.get_bool("ok", false)) << r.serialize();
+
+  r = client.request_op("metrics");
+  ASSERT_TRUE(r.get_bool("ok", false));
+  EXPECT_GE(r.get_double("serve.ops", 0.0), 5.0);
+
+  EXPECT_TRUE(client.request_op("drain").get_bool("ok", false));
+  EXPECT_EQ(server.wait(), SessionServer::Outcome::Drained);
+}
+
+TEST_F(ServeTest, MalformedLineGetsBadRequestNotDisconnect) {
+  const std::string dir = scratch_dir("badline");
+  ServerConfig config;
+  config.socket_path = dir + "/sv.sock";
+  config.root = dir + "/sessions";
+  SessionServer server(config);
+  server.start();
+
+  const int fd = connect_unix(config.socket_path);
+  ASSERT_GE(fd, 0);
+  ASSERT_TRUE(write_all(fd, "this is not json\n", 5.0));
+  LineReader reader(fd);
+  std::string line;
+  ASSERT_EQ(reader.next_line(line, 5.0), LineReader::Result::Line);
+  const WireMessage r = WireMessage::parse(line);
+  EXPECT_FALSE(r.get_bool("ok", true));
+  EXPECT_EQ(r.get_string("code"), "bad_request");
+  // The connection survives a protocol error: the next request answers.
+  ASSERT_TRUE(write_all(fd, "{\"op\": \"ping\"}\n", 5.0));
+  ASSERT_EQ(reader.next_line(line, 5.0), LineReader::Result::Line);
+  EXPECT_TRUE(WireMessage::parse(line).get_bool("ok", false));
+  close_fd(fd);
+
+  SessionServer::request_drain();
+  EXPECT_EQ(server.wait(), SessionServer::Outcome::Drained);
+}
+
+TEST_F(ServeTest, DrainedFleetResumesWholesaleInSecondServer) {
+  const std::string dir = scratch_dir("fleet");
+  ServerConfig config;
+  config.socket_path = dir + "/sv.sock";
+  config.root = dir + "/sessions";
+  config.workers = 2;
+  config.session.quantum_steps = 10;
+  config.session.watchdog_min_seconds = 5.0;
+  {
+    SessionServer first(config);
+    first.start();
+    ClientConfig ccfg;
+    ccfg.socket_path = config.socket_path;
+    ServeClient client(ccfg);
+    for (const char* id : {"f0", "f1"}) {
+      WireMessage create;
+      create.set("op", "create");
+      create.set("id", id);
+      create.set("cells", 3);
+      create.set("checkpoint_every", 10);
+      ASSERT_TRUE(client.request(create).get_bool("ok", false));
+      WireMessage step;
+      step.set("op", "step");
+      step.set("id", id);
+      step.set("steps", 20);
+      ASSERT_TRUE(client.request(step).get_bool("ok", false));
+    }
+    ASSERT_TRUE(client.request_op("drain").get_bool("ok", false));
+    EXPECT_EQ(first.wait(), SessionServer::Outcome::Drained);
+  }
+
+  SessionServer second(config);
+  second.start();
+  EXPECT_EQ(second.resumed_sessions(), 2);
+  EXPECT_EQ(second.failed_resumes(), 0);
+  ClientConfig ccfg;
+  ccfg.socket_path = config.socket_path;
+  ServeClient client(ccfg);
+  for (const char* id : {"f0", "f1"}) {
+    const WireMessage s = client.request_op("status", id);
+    ASSERT_TRUE(s.get_bool("ok", false)) << s.serialize();
+    EXPECT_TRUE(s.get_bool("resumed", false));
+    const double rel = s.get_double("continuity_rel", -1.0);
+    EXPECT_GE(rel, 0.0);
+    EXPECT_LE(rel, 1e-8);
+  }
+  ASSERT_TRUE(client.request_op("drain").get_bool("ok", false));
+  EXPECT_EQ(second.wait(), SessionServer::Outcome::Drained);
+}
+
+TEST_F(ServeTest, ClientRetriesThroughInjectedConnectionFaults) {
+  const std::string dir = scratch_dir("faults");
+  ServerConfig config;
+  config.socket_path = dir + "/sv.sock";
+  config.root = dir + "/sessions";
+  SessionServer server(config);
+  server.start();
+
+  ClientConfig ccfg;
+  ccfg.socket_path = config.socket_path;
+  ServeClient client(ccfg);
+  ASSERT_TRUE(client.request_op("ping").get_bool("ok", false));
+
+  // serve.slow_client: the server drops the connection instead of writing
+  // the response; the client's reconnect-and-resend must hide it.
+  FaultSpec fault;
+  fault.shots = 1;
+  FaultInjector::instance().arm(faults::kServeSlowClient, fault);
+  EXPECT_TRUE(client.request_op("ping").get_bool("ok", false));
+  EXPECT_EQ(FaultInjector::instance().fire_count(faults::kServeSlowClient), 1);
+
+  // serve.accept_fail: the next accepted connection is closed unserved;
+  // a fresh client retries into the following accept.
+  FaultInjector::instance().arm(faults::kServeAcceptFail, fault);
+  ServeClient fresh(ccfg);
+  EXPECT_TRUE(fresh.request_op("ping").get_bool("ok", false));
+  EXPECT_EQ(FaultInjector::instance().fire_count(faults::kServeAcceptFail), 1);
+
+  SessionServer::request_drain();
+  EXPECT_EQ(server.wait(), SessionServer::Outcome::Drained);
+}
+
+}  // namespace
+}  // namespace sdcmd::serve
