@@ -1,6 +1,7 @@
 #include "serve/server.hpp"
 
 #include <poll.h>
+#include <sys/socket.h>
 
 #include <algorithm>
 #include <cstring>
@@ -16,7 +17,7 @@ namespace fs = std::filesystem;
 
 namespace sdcmd::serve {
 
-volatile std::sig_atomic_t SessionServer::drain_requested_ = 0;
+volatile std::sig_atomic_t SessionServer::drain_signal_ = 0;
 
 namespace {
 
@@ -153,7 +154,8 @@ void SessionServer::resume_fleet() {
 
 void SessionServer::start() {
   SDCMD_REQUIRE(!running_.load(), "server already started");
-  drain_requested_ = 0;
+  drain_signal_ = 0;
+  drain_requested_.store(false);
   stop_requested_.store(false);
   fs::create_directories(config_.root);
   resume_fleet();
@@ -201,10 +203,13 @@ void SessionServer::worker_loop() {
     }
     const QuantumResult result = session->run_quantum();
     note_quantum(result);
-    // Clear-then-requeue (not the reverse) so a step op landing between
-    // the two sees an unscheduled session and can requeue it itself.
+    // Clear-then-recheck: a step op landing after run_quantum() released
+    // the session mutex saw scheduled==true and skipped the queue, so
+    // result.more is already stale here. Re-reading the live state after
+    // the clear closes that lost-wakeup window — either this requeue sees
+    // the new budget, or the op's own schedule() ran after the clear.
     session->scheduled.store(false);
-    if (result.more) schedule(session);
+    if (session->runnable()) schedule(session);
     if (result.quarantined) refresh_session_gauges();
   }
 }
@@ -248,7 +253,10 @@ void SessionServer::drain_now() {
 void SessionServer::serve_loop() {
   std::vector<struct pollfd> pfds;
   while (true) {
-    const bool drain = drain_requested_ != 0;
+    // Latch the process-wide signal mailbox into this instance; a client
+    // `drain` op sets drain_requested_ directly and drains only us.
+    if (drain_signal_ != 0) drain_requested_.store(true);
+    const bool drain = drain_requested_.load();
     if (drain || stop_requested_.load()) {
       // Stop accepting and stop the workers first; their in-flight quantum
       // completes before join returns, so drain_now() suspends settled
@@ -263,11 +271,13 @@ void SessionServer::serve_loop() {
       for (std::thread& w : workers_) w.join();
       workers_.clear();
       if (drain) drain_now();
-      for (const auto& conn : connections_) close_fd(conn->fd);
+      for (const auto& conn : connections_) {
+        flush_outbox(*conn);  // best-effort: the drain ack, if still queued
+        close_fd(conn->fd);
+      }
       connections_.clear();
       ::unlink(config_.socket_path.c_str());
       outcome_ = drain ? Outcome::Drained : Outcome::Stopped;
-      drain_requested_ = 0;
       running_.store(false);
       return;
     }
@@ -275,8 +285,15 @@ void SessionServer::serve_loop() {
     pfds.clear();
     pfds.push_back({listen_fd_, POLLIN, 0});
     for (const auto& conn : connections_) {
-      pfds.push_back({conn->fd, POLLIN, 0});
+      // A connection owing output waits for the peer to drain before it
+      // reads anything new; POLLHUP/POLLERR are reported regardless.
+      const short events =
+          conn->outbox.empty() ? POLLIN : static_cast<short>(POLLOUT);
+      pfds.push_back({conn->fd, events, 0});
     }
+    // Connections accepted below this line have no pfds entry yet: they
+    // are polled (and serviced) starting next round.
+    const std::size_t polled = connections_.size();
     // Short timeout: this is also the latency bound on noticing the drain
     // and stop flags.
     const int rc = ::poll(pfds.data(), pfds.size(), 50);
@@ -302,10 +319,31 @@ void SessionServer::serve_loop() {
     }
 
     const double now = wall_time();
-    for (std::size_t i = 0; i < connections_.size(); ++i) {
+    for (std::size_t i = 0; i < polled; ++i) {
       Connection& conn = *connections_[i];
-      const auto revents = pfds[i + 1].revents;
-      if (rc > 0 && (revents & (POLLIN | POLLHUP | POLLERR)) != 0) {
+      const short revents = rc > 0 ? pfds[i + 1].revents
+                                   : static_cast<short>(0);
+      if ((revents & POLLOUT) != 0) {
+        conn.last_activity = now;
+        if (!flush_outbox(conn)) {
+          conn.closing = true;
+          continue;
+        }
+      }
+      if (!conn.outbox.empty()) {
+        if ((revents & (POLLHUP | POLLERR)) != 0) {
+          conn.closing = true;  // peer gone: the queued bytes are dead
+        } else if (conn.write_stalled_since != 0.0 &&
+                   now - conn.write_stalled_since > config_.io_timeout_s) {
+          // Write deadline: the peer stopped draining responses. It is
+          // disconnected, never waited on — the loop stayed non-blocking
+          // the whole time.
+          metric_add(handles_.disconnects_timeout);
+          conn.closing = true;
+        }
+        continue;
+      }
+      if ((revents & (POLLIN | POLLHUP | POLLERR)) != 0) {
         conn.last_activity = now;
         if (!service_connection(conn)) conn.closing = true;
       } else if (conn.reader.line_buffered()) {
@@ -366,19 +404,49 @@ bool SessionServer::send_response(Connection& conn,
     // Injected write-deadline expiry: treat the client as one that stopped
     // draining its socket and cut it loose.
     conn.pending_frame.clear();
+    conn.outbox.clear();
     metric_add(handles_.disconnects_timeout);
     return false;
   }
-  std::string payload = response.serialize();
-  payload += '\n';
+  conn.outbox += response.serialize();
+  conn.outbox += '\n';
   if (!conn.pending_frame.empty()) {
-    payload += conn.pending_frame;
+    conn.outbox += conn.pending_frame;
     conn.pending_frame.clear();
   }
-  if (!write_all(conn.fd, payload, config_.io_timeout_s)) {
-    metric_add(handles_.disconnects_timeout);
-    return false;
+  // Opportunistic flush: the common case (a reading client, small
+  // response) completes here in one send; anything left drains on
+  // POLLOUT from the poll loop.
+  return flush_outbox(conn);
+}
+
+bool SessionServer::flush_outbox(Connection& conn) {
+  std::size_t sent = 0;
+  while (sent < conn.outbox.size()) {
+    const ssize_t n =
+        ::send(conn.fd, conn.outbox.data() + sent, conn.outbox.size() - sent,
+               MSG_NOSIGNAL | MSG_DONTWAIT);
+    if (n > 0) {
+      sent += static_cast<std::size_t>(n);
+      // Any progress restarts the stall clock: the deadline measures a
+      // peer that *stopped* draining, not one draining a big frame slowly.
+      conn.write_stalled_since = 0.0;
+      continue;
+    }
+    if (n < 0 && errno == EINTR) continue;
+    if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) {
+      // Kernel buffer full: keep the remainder queued and let the write
+      // deadline in the poll loop decide whether the peer ever drains.
+      if (conn.write_stalled_since == 0.0) {
+        conn.write_stalled_since = wall_time();
+      }
+      conn.outbox.erase(0, sent);
+      return true;
+    }
+    return false;  // EPIPE / ECONNRESET: the peer is gone
   }
+  conn.outbox.clear();
+  conn.write_stalled_since = 0.0;
   return true;
 }
 
@@ -399,7 +467,7 @@ WireMessage SessionServer::handle_request(const WireMessage& request,
     if (op == "list") return op_list();
     if (op == "metrics") return op_metrics();
     if (op == "drain") {
-      request_drain();
+      drain();
       return make_ok();
     }
 
@@ -471,7 +539,7 @@ WireMessage SessionServer::handle_request(const WireMessage& request,
 }
 
 WireMessage SessionServer::op_create(const WireMessage& request) {
-  if (drain_requested_ != 0) {
+  if (drain_requested_.load() || drain_signal_ != 0) {
     return make_error("draining", "server is draining; retry after restart");
   }
   SessionSpec spec;

@@ -89,7 +89,13 @@ class SessionServer {
 
   /// Ask the serve loop to drain: checkpoint + suspend every session,
   /// then exit clean. What the SIGTERM handler calls (async-signal-safe).
-  static void request_drain() { drain_requested_ = 1; }
+  /// Signals are process-wide, so every live server instance latches the
+  /// mailbox and drains; a client `drain` op uses drain() instead and
+  /// affects only the server it addressed.
+  static void request_drain() { drain_signal_ = 1; }
+
+  /// Drain this server instance only (the `drain` op lands here).
+  void drain() { drain_requested_.store(true); }
 
   /// Sessions resurrected from the root during start().
   int resumed_sessions() const { return resumed_; }
@@ -109,6 +115,14 @@ class SessionServer {
     bool closing = false;
     /// Binary snapshot frame queued behind the next response line.
     std::string pending_frame;
+    /// Bytes owed to the peer (response lines + binary frames), flushed
+    /// non-blocking from the poll loop — the I/O thread never blocks in
+    /// send(). While non-empty the connection reads no new requests (the
+    /// kernel socket buffer back-pressures the client).
+    std::string outbox;
+    /// Wall time when the outbox first hit a full kernel buffer; 0 while
+    /// draining. Past `io_timeout_s` the peer is cut loose.
+    double write_stalled_since = 0.0;
   };
 
   void serve_loop();
@@ -122,6 +136,10 @@ class SessionServer {
   /// complete line. Returns false when the connection should be dropped.
   bool service_connection(Connection& conn);
   bool send_response(Connection& conn, const WireMessage& response);
+  /// Non-blocking drain of conn.outbox (MSG_DONTWAIT). Returns false when
+  /// the peer is gone; a full kernel buffer just stamps
+  /// `write_stalled_since` and returns true.
+  bool flush_outbox(Connection& conn);
   WireMessage handle_request(const WireMessage& request, Connection& conn);
 
   WireMessage op_create(const WireMessage& request);
@@ -136,15 +154,18 @@ class SessionServer {
   void metric_add(std::size_t handle, double delta = 1.0);
   void metric_set(std::size_t handle, double value);
 
-  /// Async-signal-safe drain flag (signals are process-wide; checked per
-  /// poll round, cleared when a loop starts and when a drain completes).
-  static volatile std::sig_atomic_t drain_requested_;
+  /// Async-signal-safe SIGTERM mailbox. Process-wide by nature: each
+  /// serve loop latches it into its own drain_requested_ every poll
+  /// round, so all live instances drain on a signal. Cleared in start()
+  /// so a fresh server never inherits a consumed SIGTERM.
+  static volatile std::sig_atomic_t drain_signal_;
 
   ServerConfig config_;
   int listen_fd_ = -1;
   std::thread io_thread_;
   std::vector<std::thread> workers_;
   std::atomic<bool> stop_requested_{false};
+  std::atomic<bool> drain_requested_{false};
   std::atomic<bool> running_{false};
   Outcome outcome_ = Outcome::Stopped;
 

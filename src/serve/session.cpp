@@ -261,6 +261,11 @@ SessionState Session::state() const {
   return state_;
 }
 
+bool Session::runnable() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return state_ == SessionState::Running && pending_ > 0 && sim_ != nullptr;
+}
+
 SessionStatus Session::status() const {
   std::lock_guard<std::mutex> lock(mutex_);
   SessionStatus s;

@@ -131,6 +131,12 @@ class Session {
   SessionState state() const;
   SessionStatus status() const;
 
+  /// True while the session holds runnable work: Running, pending steps,
+  /// live Simulation. The worker re-checks this after clearing
+  /// `scheduled` (QuantumResult::more goes stale the moment run_quantum
+  /// releases the mutex) so a racing step op is never lost.
+  bool runnable() const;
+
   /// Add steps to the pending budget (waking a Paused session). Returns
   /// the new pending count. Throws Error when Suspended/Quarantined (the
   /// client must resume first).

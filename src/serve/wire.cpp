@@ -8,6 +8,7 @@
 #include <unistd.h>
 
 #include <cctype>
+#include <cmath>
 #include <cstdlib>
 #include <cstring>
 
@@ -36,7 +37,16 @@ bool WireValue::as_bool() const {
 
 std::int64_t WireValue::as_int() const {
   if (type_ == Type::Int) return int_;
-  if (type_ == Type::Double) return static_cast<std::int64_t>(double_);
+  if (type_ == Type::Double) {
+    // Guard the cast: int64-overflowing (or NaN) doubles are UB under
+    // static_cast, not a clamp. Bounds are the exactly-representable
+    // ±2^63; the comparison is false for NaN too.
+    if (!(double_ >= -9223372036854775808.0 &&
+          double_ < 9223372036854775808.0)) {
+      throw ParseError("wire: number out of int64 range");
+    }
+    return static_cast<std::int64_t>(double_);
+  }
   throw ParseError("wire: value is not a number");
 }
 
@@ -205,27 +215,52 @@ class FlatParser {
   }
 
   WireValue parse_number() {
+    // A sign is only legal up front or right after an exponent marker;
+    // strtoll/strtod below do the rest of the validation (the scanner
+    // only has to find where the token ends).
     const std::size_t start = pos_;
     bool integral = true;
+    if (peek() == '-' || peek() == '+') ++pos_;
     while (pos_ < text_.size()) {
       const char c = text_[pos_];
-      if (std::isdigit(static_cast<unsigned char>(c)) || c == '-' ||
-          c == '+') {
+      if (std::isdigit(static_cast<unsigned char>(c))) {
         ++pos_;
-      } else if (c == '.' || c == 'e' || c == 'E') {
+      } else if (c == '.') {
         integral = false;
         ++pos_;
+      } else if (c == 'e' || c == 'E') {
+        integral = false;
+        ++pos_;
+        if (pos_ < text_.size() &&
+            (text_[pos_] == '-' || text_[pos_] == '+')) {
+          ++pos_;
+        }
       } else {
         break;
       }
     }
     if (pos_ == start) fail("expected a value");
     const std::string token = text_.substr(start, pos_ - start);
+    char* end = nullptr;
+    errno = 0;
     if (integral) {
-      return WireValue(
-          static_cast<std::int64_t>(std::strtoll(token.c_str(), nullptr, 10)));
+      const long long value = std::strtoll(token.c_str(), &end, 10);
+      if (end != token.c_str() + token.size() || end == token.c_str()) {
+        fail("malformed number '" + token + "'");
+      }
+      if (errno == ERANGE) {
+        fail("integer out of int64 range: '" + token + "'");
+      }
+      return WireValue(static_cast<std::int64_t>(value));
     }
-    return WireValue(std::strtod(token.c_str(), nullptr));
+    const double value = std::strtod(token.c_str(), &end);
+    if (end != token.c_str() + token.size() || end == token.c_str()) {
+      fail("malformed number '" + token + "'");
+    }
+    if (errno == ERANGE && (value == HUGE_VAL || value == -HUGE_VAL)) {
+      fail("number out of double range: '" + token + "'");
+    }
+    return WireValue(value);
   }
 
   bool parse_bool() {

@@ -90,6 +90,31 @@ TEST_F(ServeTest, WireParseRejectsNestedContainersAndGarbage) {
   EXPECT_THROW(WireMessage::parse(""), ParseError);
 }
 
+TEST_F(ServeTest, WireParseRejectsMalformedAndOutOfRangeNumbers) {
+  // A sign anywhere but the front (or after the exponent) is an error,
+  // never a silent truncation to the leading digits.
+  EXPECT_THROW(WireMessage::parse("{\"a\": 1-2}"), ParseError);
+  EXPECT_THROW(WireMessage::parse("{\"a\": --5}"), ParseError);
+  EXPECT_THROW(WireMessage::parse("{\"a\": -}"), ParseError);
+  EXPECT_THROW(WireMessage::parse("{\"a\": 1e5e5}"), ParseError);
+  EXPECT_THROW(WireMessage::parse("{\"a\": 1..2}"), ParseError);
+  // Out-of-range integers are rejected, not clamped to INT64_MAX/MIN.
+  EXPECT_THROW(WireMessage::parse("{\"a\": 99999999999999999999}"),
+               ParseError);
+  EXPECT_THROW(WireMessage::parse("{\"a\": -99999999999999999999}"),
+               ParseError);
+  EXPECT_THROW(WireMessage::parse("{\"a\": 1e999}"), ParseError);
+  // The legal shapes still parse.
+  const WireMessage ok = WireMessage::parse(
+      "{\"i\": -42, \"d\": 2.5e-3, \"big\": 9223372036854775807}");
+  EXPECT_EQ(ok.get_int("i", 0), -42);
+  EXPECT_EQ(ok.get_double("d", 0.0), 2.5e-3);
+  EXPECT_EQ(ok.get_int("big", 0), INT64_MAX);
+  // as_int on an int64-overflowing double throws instead of UB.
+  EXPECT_THROW(WireMessage::parse("{\"a\": 1e30}").find("a")->as_int(),
+               ParseError);
+}
+
 TEST_F(ServeTest, WireAccessorsCoerceNumbersAndRequireKeys) {
   WireMessage m = WireMessage::parse("{\"i\": 7, \"d\": 2.0, \"s\": \"x\"}");
   EXPECT_EQ(m.get_int("d", 0), 2);          // Double -> Int
@@ -451,6 +476,87 @@ TEST_F(ServeTest, DrainedFleetResumesWholesaleInSecondServer) {
   }
   ASSERT_TRUE(client.request_op("drain").get_bool("ok", false));
   EXPECT_EQ(second.wait(), SessionServer::Outcome::Drained);
+}
+
+TEST_F(ServeTest, StalledClientDoesNotBlockNeighbors) {
+  const std::string dir = scratch_dir("stall");
+  ServerConfig config;
+  config.socket_path = dir + "/sv.sock";
+  config.root = dir + "/sessions";
+  config.session.watchdog_min_seconds = 5.0;
+  SessionServer server(config);
+  server.start();
+
+  ClientConfig ccfg;
+  ccfg.socket_path = config.socket_path;
+  ServeClient client(ccfg);
+  WireMessage create;
+  create.set("op", "create");
+  create.set("id", "big");
+  create.set("cells", 6);
+  ASSERT_TRUE(client.request(create).get_bool("ok", false));
+
+  // A connection that floods snapshot requests (~10 KB frame each) and
+  // never reads: the responses overflow the kernel socket buffer, so the
+  // server's outbox must park on POLLOUT instead of blocking the single
+  // I/O thread in send() for the write deadline.
+  const int stalled = connect_unix(config.socket_path);
+  ASSERT_GE(stalled, 0);
+  std::string flood;
+  for (int i = 0; i < 200; ++i) {
+    flood += "{\"op\": \"snapshot\", \"id\": \"big\"}\n";
+  }
+  ASSERT_TRUE(write_all(stalled, flood, 5.0));
+
+  // A neighbor's op must answer promptly while the stalled connection
+  // owes megabytes — far under io_timeout_s (5 s), which is how long the
+  // old blocking write path would freeze the loop.
+  const auto t0 = std::chrono::steady_clock::now();
+  EXPECT_TRUE(client.request_op("ping").get_bool("ok", false));
+  const double elapsed =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+          .count();
+  EXPECT_LT(elapsed, 2.0);
+
+  close_fd(stalled);
+  SessionServer::request_drain();
+  EXPECT_EQ(server.wait(), SessionServer::Outcome::Drained);
+}
+
+TEST_F(ServeTest, DrainOpIsPerInstanceNotProcessWide) {
+  const std::string dir = scratch_dir("twoservers");
+  ServerConfig ca;
+  ca.socket_path = dir + "/a.sock";
+  ca.root = dir + "/a_sessions";
+  ServerConfig cb = ca;
+  cb.socket_path = dir + "/b.sock";
+  cb.root = dir + "/b_sessions";
+  SessionServer sa(ca);
+  SessionServer sb(cb);
+  sa.start();
+  sb.start();
+
+  ClientConfig cca;
+  cca.socket_path = ca.socket_path;
+  ClientConfig ccb;
+  ccb.socket_path = cb.socket_path;
+  ServeClient client_a(cca);
+  ServeClient client_b(ccb);
+  ASSERT_TRUE(client_a.request_op("ping").get_bool("ok", false));
+  ASSERT_TRUE(client_b.request_op("ping").get_bool("ok", false));
+
+  // The drain op hits one instance; its sibling keeps serving and, in
+  // particular, keeps admitting creates (no process-wide 'draining').
+  ASSERT_TRUE(client_a.request_op("drain").get_bool("ok", false));
+  EXPECT_EQ(sa.wait(), SessionServer::Outcome::Drained);
+  WireMessage create;
+  create.set("op", "create");
+  create.set("id", "x");
+  create.set("cells", 3);
+  EXPECT_TRUE(client_b.request(create).get_bool("ok", false));
+
+  ASSERT_TRUE(client_b.request_op("drain").get_bool("ok", false));
+  EXPECT_EQ(sb.wait(), SessionServer::Outcome::Drained);
 }
 
 TEST_F(ServeTest, ClientRetriesThroughInjectedConnectionFaults) {
