@@ -14,6 +14,11 @@
 //                         instead of the speedup sweep: per-strategy IPC,
 //                         cache-miss rate and cycles/atom for the density
 //                         and force phases at the sweep's max thread count
+//   --void-drill          load-imbalance drill (ISSUE 10): carve a
+//                         spherical void out of the smallest case and A/B
+//                         the barriered shapes (SDC, SAP) against the
+//                         work-stealing cell-task shape, checking every
+//                         strategy's forces against serial at 1e-12
 //
 // Expected shape (paper, 16 cores): SDC > RC > SAP > CS at high thread
 // counts; CS collapses below 1; SAP peaks around 8 threads then degrades;
@@ -46,6 +51,8 @@ int main(int argc, char** argv) {
   cli.add_option("metrics-out", "", "write sdcmd.bench.v1 JSON here");
   cli.add_flag("hw-counters",
                "strategy x hw-counter table instead of the speedup sweep");
+  cli.add_flag("void-drill",
+               "carved-void load-imbalance drill instead of the sweep");
   if (!cli.parse(argc, argv)) return 1;
 
   const Scale scale = cli.get("scale").empty() ? scale_from_env()
@@ -61,7 +68,8 @@ int main(int argc, char** argv) {
   const ReductionStrategy strategies[] = {
       ReductionStrategy::Critical,          ReductionStrategy::Atomic,
       ReductionStrategy::LockStriped,       ReductionStrategy::ArrayPrivatization,
-      ReductionStrategy::RedundantComputation, ReductionStrategy::Sdc};
+      ReductionStrategy::RedundantComputation, ReductionStrategy::Sdc,
+      ReductionStrategy::CellTask};
 
   const char* csv_env = std::getenv("SDCMD_BENCH_CSV_DIR");
   const std::string csv_dir =
@@ -82,6 +90,140 @@ int main(int argc, char** argv) {
       sweep += std::to_string(t);
     }
     report.set_context("thread_sweep", sweep);
+  }
+
+  if (cli.get_bool("void-drill")) {
+    // ISSUE 10 drill: a carved void makes the spatial load non-uniform, so
+    // every barriered decomposition (SDC colors, SAP's implicit join) waits
+    // for whichever worker drew the fullest region each sweep, while the
+    // work-stealing cell-task shape rebalances at task granularity. The
+    // drill A/Bs the three shapes on the smallest case at the sweep's max
+    // thread count and gates each strategy's forces against the serial
+    // reference at 1e-12 (abs, per component).
+    constexpr double kVoidRadiusFraction = 0.3;
+    constexpr double kForceTolerance = 1e-12;
+    int drill_threads = 1;
+    for (int t : threads) drill_threads = std::max(drill_threads, t);
+
+    // Largest case at the scale: the smaller ones cannot feed every thread
+    // one SDC subdomain per color, and an infeasible SDC row would gut the
+    // A/B comparison the drill exists for.
+    const TestCase& test_case = cases.back();
+    CaseRunner runner(test_case, iron);
+    const std::size_t removed = runner.carve_void(kVoidRadiusFraction);
+    const std::size_t atoms = runner.system().size();
+    report.set_context("mode", "void_drill");
+    report.set_context("void_radius_fraction", kVoidRadiusFraction);
+    report.set_context("void_atoms_removed", static_cast<std::int64_t>(removed));
+    report.set_context("drill_threads", drill_threads);
+
+    std::printf(
+        "=== carved-void load-imbalance drill "
+        "(case %s, %zu atoms after carving %zu, %d threads, %d steps)\n\n",
+        test_case.name.c_str(), atoms, removed, drill_threads, steps);
+
+    const double serial = runner.serial_seconds_per_step(steps);
+    const std::vector<Vec3> reference = runner.system().atoms().force;
+
+    const ReductionStrategy drill_strategies[] = {
+        ReductionStrategy::Sdc, ReductionStrategy::ArrayPrivatization,
+        ReductionStrategy::CellTask};
+
+    AsciiTable table({"strategy", "s/step", "speedup", "imbalance",
+                      "task/step", "steals", "busy_min", "max|dF|"});
+    const auto sci = [](double v) {
+      char buf[32];
+      std::snprintf(buf, sizeof(buf), "%.1e", v);
+      return std::string(buf);
+    };
+    bool forces_ok = true;
+    for (ReductionStrategy strategy : drill_strategies) {
+      EamForceConfig cfg;
+      cfg.strategy = strategy;
+      cfg.sdc.dimensionality = 2;
+      SweepInstrumentation instr;  // sweep profiler only: no sinks
+      const auto timing =
+          runner.time_strategy(cfg, drill_threads, steps, &instr);
+      double max_dev = 0.0;
+      if (timing) {
+        const auto& force = runner.system().atoms().force;
+        for (std::size_t i = 0; i < force.size(); ++i) {
+          max_dev = std::max({max_dev, std::abs(force[i].x - reference[i].x),
+                              std::abs(force[i].y - reference[i].y),
+                              std::abs(force[i].z - reference[i].z)});
+        }
+        if (max_dev > kForceTolerance) forces_ok = false;
+      }
+      table.add_row(
+          {to_string(strategy),
+           timing ? AsciiTable::fmt(timing->density_force_seconds, 6) : "-",
+           format_speedup(timing ? std::optional<double>(
+                                       serial / timing->density_force_seconds)
+                                 : std::nullopt),
+           timing ? AsciiTable::fmt(timing->sweep_imbalance, 3) : "-",
+           timing ? std::to_string(timing->task_spawned) : "-",
+           timing ? std::to_string(timing->task_steals) : "-",
+           timing ? AsciiTable::fmt(timing->task_busy_min, 3) : "-",
+           timing ? sci(max_dev) : "-"});
+      report.add_result(
+          {{"case", test_case.name},
+           {"atoms", atoms},
+           {"strategy", to_string(strategy)},
+           {"threads", drill_threads},
+           {"serial_seconds_per_step", serial},
+           {"seconds_per_step",
+            timing ? obs::JsonValue(timing->density_force_seconds)
+                   : obs::JsonValue()},
+           {"speedup", timing ? obs::JsonValue(
+                                    serial / timing->density_force_seconds)
+                              : obs::JsonValue()},
+           {"sweep.imbalance", timing ? obs::JsonValue(timing->sweep_imbalance)
+                                      : obs::JsonValue()},
+           {"task.spawned", timing ? obs::JsonValue(static_cast<std::int64_t>(
+                                         timing->task_spawned))
+                                   : obs::JsonValue()},
+           {"task.steals", timing ? obs::JsonValue(static_cast<std::int64_t>(
+                                        timing->task_steals))
+                                  : obs::JsonValue()},
+           {"task.max_queue_depth",
+            timing ? obs::JsonValue(
+                         static_cast<std::int64_t>(timing->task_max_queue_depth))
+                   : obs::JsonValue()},
+           {"task.busy_min", timing ? obs::JsonValue(timing->task_busy_min)
+                                    : obs::JsonValue()},
+           {"task.busy_mean", timing ? obs::JsonValue(timing->task_busy_mean)
+                                     : obs::JsonValue()},
+           {"force_max_dev", timing ? obs::JsonValue(max_dev)
+                                    : obs::JsonValue()},
+           {"forces_ok", timing ? obs::JsonValue(max_dev <= kForceTolerance)
+                                : obs::JsonValue()},
+           {"feasible", timing.has_value()}});
+    }
+    std::printf("%s\n", table.render().c_str());
+    std::printf(
+        "mechanism check: the void empties some SDC subdomains, so the\n"
+        "fullest color member paces every barrier (imbalance > 1); the\n"
+        "cell-task shape has no color barriers and its busy_min should sit\n"
+        "near 1.0 with steals > 0 on the crowded side of the box.\n");
+
+    const std::string metrics_out = cli.get("metrics-out");
+    if (!metrics_out.empty()) {
+      if (report.write(metrics_out)) {
+        std::printf("bench report: %zu result rows -> %s\n", report.results(),
+                    metrics_out.c_str());
+      } else {
+        std::fprintf(stderr, "cannot open %s\n", metrics_out.c_str());
+        return 1;
+      }
+    }
+    if (!forces_ok) {
+      std::fprintf(stderr,
+                   "FAIL: a strategy's forces deviate from serial by more "
+                   "than %g\n",
+                   kForceTolerance);
+      return 1;
+    }
+    return 0;
   }
 
   if (cli.get_bool("hw-counters")) {

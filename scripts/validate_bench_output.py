@@ -61,6 +61,29 @@ def check_bench(
                     f"{row.get('case')!r}: p50={row['p50_ms']} "
                     f"p95={row['p95_ms']} p99={row['p99_ms']}"
                 )
+        # Cell-task rows must be internally consistent: every stolen task
+        # was spawned, a non-empty run has a queue, and the busy figures
+        # are fractions of the slowest thread's time.
+        if row.get("task.spawned"):
+            if row.get("task.steals", 0) > row["task.spawned"]:
+                fail(
+                    f"{path}: task.steals {row['task.steals']} exceeds "
+                    f"task.spawned {row['task.spawned']} in row "
+                    f"{row.get('strategy')!r}"
+                )
+            if row.get("task.max_queue_depth", 0) < 1:
+                fail(
+                    f"{path}: task.spawned > 0 but task.max_queue_depth "
+                    f"< 1 in row {row.get('strategy')!r}"
+                )
+            busy_min = row.get("task.busy_min", 0.0)
+            busy_mean = row.get("task.busy_mean", 0.0)
+            if not 0.0 <= busy_min <= busy_mean <= 1.0 + 1e-9:
+                fail(
+                    f"{path}: task busy fractions out of order in row "
+                    f"{row.get('strategy')!r}: min={busy_min} "
+                    f"mean={busy_mean}"
+                )
     feasible = [r for r in doc["results"] if r.get("feasible")]
     if not feasible:
         fail(f"{path}: no feasible result rows")
@@ -139,6 +162,20 @@ def check_jsonl(
                 fail(f"{path}: imbalance < 1 in {entry}")
         if rec.get("sweep"):
             swept += 1
+        # The task.* counter family is cross-checked wherever it appears:
+        # a steal is a spawn claimed from a foreign queue, never extra work.
+        metrics = rec["metrics"]
+        spawned = metrics.get("task.spawned")
+        steals = metrics.get("task.steals")
+        if (
+            isinstance(spawned, (int, float))
+            and isinstance(steals, (int, float))
+            and steals > spawned
+        ):
+            fail(
+                f"{path}: record {i} has task.steals {steals} > "
+                f"task.spawned {spawned}"
+            )
     if require_sweep and swept == 0:
         fail(f"{path}: no record carries sweep profiles")
     summaries = [r for r in records if r.get("kind") == "summary"]

@@ -1,8 +1,11 @@
 #include "benchsupport/sweep.hpp"
 
+#include <algorithm>
 #include <cmath>
 
 #include "common/error.hpp"
+#include "geom/defects.hpp"
+#include "obs/sweep_profile.hpp"
 #include "common/log.hpp"
 #include "common/random.hpp"
 #include "common/threads.hpp"
@@ -40,6 +43,23 @@ CaseRunner::CaseRunner(const TestCase& test_case,
   system_ = std::make_unique<System>(
       System::from_lattice(test_case.lattice(), units::kMassFe));
   thermal_perturbation(*system_, temperature, seed);
+}
+
+std::size_t CaseRunner::carve_void(double radius_fraction) {
+  SDCMD_REQUIRE(!half_list_ && !full_list_ && !serial_time_,
+                "carve_void must precede every timing call");
+  SDCMD_REQUIRE(radius_fraction > 0.0 && radius_fraction < 0.5,
+                "void radius fraction must be in (0, 0.5)");
+  const Box box = system_->box();
+  const Vec3 center = (box.lo() + box.hi()) * 0.5;
+  const double min_edge =
+      std::min({box.length(0), box.length(1), box.length(2)});
+  std::vector<Vec3> positions = system_->atoms().position;
+  const std::size_t removed =
+      carve_sphere(positions, box, center, radius_fraction * min_edge);
+  const double mass = system_->mass();
+  system_ = std::make_unique<System>(box, Atoms(std::move(positions)), mass);
+  return removed;
 }
 
 const NeighborList& CaseRunner::list_for(NeighborMode mode) {
@@ -177,6 +197,20 @@ std::optional<Timing> CaseRunner::time_strategy(
   t.total_seconds = (density + embed + force) / steps;
   t.pair_visits = computer.stats().density_pair_visits / steps;
   t.private_bytes = computer.stats().private_array_bytes;
+  const EamKernelStats& ks = computer.stats();
+  t.task_spawned = ks.task_spawned / static_cast<std::size_t>(steps);
+  t.task_steals = ks.task_steals / static_cast<std::size_t>(steps);
+  t.task_max_queue_depth = ks.task_max_queue_depth;
+  t.task_busy_min = ks.task_busy_min;
+  t.task_busy_mean = ks.task_busy_mean;
+  if (instr != nullptr) {
+    // Barrier-stretch gauge of the last timed step: worst color imbalance
+    // over the two scatter phases (embed is barrier-free in every shape).
+    for (const auto& p : computer.sweep_profiler().color_profiles()) {
+      if (p.phase == 1) continue;
+      t.sweep_imbalance = std::max(t.sweep_imbalance, p.imbalance);
+    }
+  }
   if (hw_on) {
     t.hw = hw_acc;
     t.hw_valid = hw_acc[0].valid || hw_acc[2].valid;

@@ -36,6 +36,16 @@ struct Timing {
   /// pass requested hw_counters AND perf_event_open was available.
   std::array<obs::HwCounts, 3> hw{};
   bool hw_valid = false;
+  // CellTask work-stealing shape (all zero unless strategy == CellTask).
+  std::size_t task_spawned = 0;          ///< block tasks run per step
+  std::size_t task_steals = 0;           ///< of those, stolen, per step
+  std::size_t task_max_queue_depth = 0;  ///< longest initial home queue
+  double task_busy_min = 0.0;            ///< slowest thread's busy fraction
+  double task_busy_mean = 0.0;
+  /// Max per-color work_max/work_mean over the density and force phases of
+  /// the last timed step; 0 when the pass was uninstrumented. This is the
+  /// barrier-stretch gauge the void drill compares across strategies.
+  double sweep_imbalance = 0.0;
 };
 
 /// Observability sinks for an instrumented timing pass. All pointers are
@@ -62,6 +72,15 @@ class CaseRunner {
   CaseRunner(const TestCase& test_case, const EamPotential& potential,
              double skin = 0.4, double temperature = 300.0,
              std::uint64_t seed = 20090924);
+
+  /// Carve a spherical void of radius `radius_fraction` x (shortest box
+  /// edge) out of the box center: the spatially non-uniform load that
+  /// stresses barriered decompositions (subdomains overlapping the void
+  /// run nearly empty while full ones pace every color sweep). Must be
+  /// called before any timing call — the neighbor lists and the cached
+  /// serial reference are built lazily from the current positions.
+  /// Returns the number of atoms removed.
+  std::size_t carve_void(double radius_fraction);
 
   /// Time `steps` force evaluations under `config` with `threads` OpenMP
   /// threads (one untimed warmup evaluation first). Returns std::nullopt

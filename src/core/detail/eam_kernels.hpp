@@ -45,6 +45,8 @@
 
 namespace sdcmd {
 class LockPool;
+class CellTaskSchedule;
+class CellTaskRuntime;
 }
 
 namespace sdcmd::detail {
@@ -199,6 +201,13 @@ void density_sap_team(const EamArgs& a, std::span<double> rho,
 void density_rc_team(const EamArgs& a, std::span<double> rho);  // full list
 void density_sdc_team(const EamArgs& a, const Partition& part,
                       std::span<double> rho);
+/// Cell-task shape: LPT work-stealing over cell blocks, per-block locks
+/// taken only on actual conflict, cross-block scatter staged per thread and
+/// flushed under the target block's lock (single-lock discipline). `locks`
+/// must be sized to the schedule's block count so block -> lock is 1:1.
+void density_task_team(const EamArgs& a, const CellTaskSchedule& sched,
+                       CellTaskRuntime& rt, LockPool& locks,
+                       std::span<double> rho);
 
 // --- phase 2: embedding (strategy-independent) -----------------------------
 /// Serial: fills fp[i] = dF/drho(rho_i), returns sum of F(rho_i).
@@ -241,5 +250,9 @@ void force_rc_team(const EamArgs& a, std::span<const double> fp,
 void force_sdc_team(const EamArgs& a, const Partition& part,
                     std::span<const double> fp, std::span<Vec3> force,
                     double* energy_parts, double* virial_parts);
+void force_task_team(const EamArgs& a, const CellTaskSchedule& sched,
+                     CellTaskRuntime& rt, LockPool& locks,
+                     std::span<const double> fp, std::span<Vec3> force,
+                     double* energy_parts, double* virial_parts);
 
 }  // namespace sdcmd::detail

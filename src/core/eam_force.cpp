@@ -111,9 +111,14 @@ EamForceComputer::~EamForceComputer() = default;
 
 void EamForceComputer::attach_schedule(const Box& box,
                                        double interaction_range) {
-  if (config_.strategy != ReductionStrategy::Sdc) return;
-  schedule_ =
-      std::make_unique<SdcSchedule>(box, interaction_range, config_.sdc);
+  if (config_.strategy == ReductionStrategy::Sdc) {
+    schedule_ =
+        std::make_unique<SdcSchedule>(box, interaction_range, config_.sdc);
+  } else if (config_.strategy == ReductionStrategy::CellTask) {
+    task_sched_ = std::make_unique<CellTaskSchedule>(box, interaction_range);
+    // One lock per block: block -> lock is the identity, no stripe sharing.
+    task_locks_ = std::make_unique<LockPool>(task_sched_->block_count());
+  }
 }
 
 void EamForceComputer::set_strategy(ReductionStrategy strategy) {
@@ -134,13 +139,23 @@ void EamForceComputer::set_strategy(ReductionStrategy strategy) {
     // attach_schedule + on_neighbor_rebuild.
     schedule_.reset();
   }
+  if (strategy != ReductionStrategy::CellTask) {
+    // Same discipline for the cell-task grid and its per-block locks.
+    task_sched_.reset();
+    task_locks_.reset();
+  }
 }
 
 void EamForceComputer::on_neighbor_rebuild(std::span<const Vec3> positions) {
-  if (config_.strategy != ReductionStrategy::Sdc) return;
-  SDCMD_REQUIRE(schedule_ != nullptr,
-                "attach_schedule must run before on_neighbor_rebuild");
-  schedule_->rebuild(positions);
+  if (config_.strategy == ReductionStrategy::Sdc) {
+    SDCMD_REQUIRE(schedule_ != nullptr,
+                  "attach_schedule must run before on_neighbor_rebuild");
+    schedule_->rebuild(positions);
+  } else if (config_.strategy == ReductionStrategy::CellTask) {
+    SDCMD_REQUIRE(task_sched_ != nullptr,
+                  "attach_schedule must run before on_neighbor_rebuild");
+    task_sched_->rebuild(positions);
+  }
 }
 
 EamForceResult EamForceComputer::compute(const Box& box,
@@ -171,6 +186,15 @@ EamForceResult EamForceComputer::compute(const Box& box,
                   "partition is stale: rebuild the SDC schedule after the "
                   "neighbor list");
   }
+  if (config_.strategy == ReductionStrategy::CellTask) {
+    SDCMD_REQUIRE(task_sched_ != nullptr && task_sched_->built() &&
+                      task_locks_ != nullptr,
+                  "cell-task schedule not built; call attach_schedule and "
+                  "on_neighbor_rebuild first");
+    SDCMD_REQUIRE(task_sched_->atom_count() == n,
+                  "cell-task partition is stale: rebuild the schedule after "
+                  "the neighbor list");
+  }
 
   const double cutoff = potential_.cutoff();
   detail::EamArgs args{box,        positions,
@@ -190,11 +214,16 @@ EamForceResult EamForceComputer::compute(const Box& box,
   // SoA fast path: needs packed spline tables, a padded-tile list, and a
   // strategy whose kernels profit - RC's full-list gathers always, the
   // half-list scatter kernels only on explicit opt-in (they also need the
-  // pair cache for the replay loop). Any miss falls back to the scalar
-  // loops.
+  // pair cache for the replay loop). The CellTask kernels are scalar-only
+  // (staged cross-block scatter has no vector form), so they keep the
+  // scalar loops even under soa_half_lists - a padded list built for the
+  // opt-in just goes unused while CellTask is active, which keeps
+  // neighbor_pad_width() stable across governor hot-swaps. Any miss falls
+  // back to the scalar loops.
   const bool soa_on = config_.use_soa_path && args.tables != nullptr &&
                       args.tables->packed_valid() &&
                       list.has_padded_tiles() &&
+                      config_.strategy != ReductionStrategy::CellTask &&
                       (rc || (caching && config_.soa_half_lists));
   if (soa_on) {
     if (soa_ == nullptr) soa_ = std::make_unique<SoaWorkspace>();
@@ -317,6 +346,13 @@ EamForceResult EamForceComputer::compute(const Box& box,
       sap_->rho.resize(static_cast<std::size_t>(slots));
       sap_->force.resize(static_cast<std::size_t>(slots));
     }
+    if (config_.strategy == ReductionStrategy::CellTask) {
+      // Work-stealing cursors/counters reset serially, BEFORE the region:
+      // both phases' queues are armed here so no mid-region reset (and no
+      // extra barrier) is needed between density and force.
+      if (task_rt_ == nullptr) task_rt_ = std::make_unique<CellTaskRuntime>();
+      task_rt_->reset(slots, task_sched_->block_count());
+    }
     int team = 1;
     double t0 = 0.0, t1 = 0.0, t2 = 0.0, t3 = 0.0;
 #pragma omp parallel
@@ -365,6 +401,10 @@ EamForceResult EamForceComputer::compute(const Box& box,
         case ReductionStrategy::Sdc:
           detail::density_sdc_team(args, schedule_->partition(), rho);
           break;
+        case ReductionStrategy::CellTask:
+          detail::density_task_team(args, *task_sched_, *task_rt_,
+                                    *task_locks_, rho);
+          break;
         case ReductionStrategy::Serial:
           break;  // handled above; unreachable
       }
@@ -403,6 +443,12 @@ EamForceResult EamForceComputer::compute(const Box& box,
           detail::force_sdc_team(args, schedule_->partition(), fp, force,
                                  energy_parts_.data(), virial_parts_.data());
           break;
+        case ReductionStrategy::CellTask:
+          detail::force_task_team(args, *task_sched_, *task_rt_,
+                                  *task_locks_, fp, force,
+                                  energy_parts_.data(),
+                                  virial_parts_.data());
+          break;
         case ReductionStrategy::Serial:
           break;  // handled above; unreachable
       }
@@ -434,6 +480,32 @@ EamForceResult EamForceComputer::compute(const Box& box,
   if (config_.strategy == ReductionStrategy::Sdc) {
     stats_.color_sweeps += 2 * static_cast<std::size_t>(
                                    schedule_->color_count());
+  }
+  if (config_.strategy == ReductionStrategy::CellTask &&
+      task_rt_ != nullptr) {
+    double busy_max = 0.0, busy_sum = 0.0, busy_min_s = 0.0;
+    const int team_n = task_rt_->team();
+    for (int t = 0; t < team_n; ++t) {
+      const CellTaskRuntime::ThreadState& ts = task_rt_->thread(t);
+      stats_.task_spawned += ts.tasks;
+      stats_.task_steals += ts.steals;
+      busy_max = std::max(busy_max, ts.busy_seconds);
+      busy_sum += ts.busy_seconds;
+      busy_min_s = t == 0 ? ts.busy_seconds
+                          : std::min(busy_min_s, ts.busy_seconds);
+    }
+    stats_.task_max_queue_depth =
+        std::max(stats_.task_max_queue_depth, task_rt_->max_queue_depth());
+    if (busy_max > 0.0 && team_n > 0) {
+      stats_.task_busy_min = busy_min_s / busy_max;
+      stats_.task_busy_mean = busy_sum / (busy_max * team_n);
+    } else {
+      stats_.task_busy_min = 0.0;
+      stats_.task_busy_mean = 0.0;
+    }
+  } else {
+    stats_.task_busy_min = 0.0;
+    stats_.task_busy_mean = 0.0;
   }
   if (sap_) {
     stats_.private_array_bytes =

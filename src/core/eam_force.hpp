@@ -21,6 +21,7 @@
 
 #include "common/timer.hpp"
 #include "common/vec3.hpp"
+#include "core/cell_task_schedule.hpp"
 #include "core/sdc_schedule.hpp"
 #include "core/strategy.hpp"
 #include "neighbor/neighbor_list.hpp"
@@ -52,6 +53,15 @@ struct EamKernelStats {
   /// Tile-padding overhead of the SoA path at the last compute():
   /// padded slots / real pairs - 1 (0 when the path is inactive).
   double soa_pad_fraction = 0.0;
+  // CellTask work-stealing accounting (0 unless the strategy is CellTask).
+  std::size_t task_spawned = 0;         ///< block tasks run (both phases)
+  std::size_t task_steals = 0;          ///< of those, claimed from a foreign queue
+  std::size_t task_max_queue_depth = 0; ///< longest initial per-thread queue
+  /// Per-thread busy fraction over the two scatter phases at the last
+  /// compute(): each thread's kernel seconds divided by the slowest
+  /// thread's (1.0 = perfectly balanced; 0 when the shape is inactive).
+  double task_busy_min = 0.0;
+  double task_busy_mean = 0.0;
 };
 
 struct EamForceConfig {
@@ -95,14 +105,16 @@ class EamForceComputer {
   EamForceComputer(const EamForceComputer&) = delete;
   EamForceComputer& operator=(const EamForceComputer&) = delete;
 
-  /// Build the SDC decomposition/coloring for `box`. Required before
-  /// compute() when the strategy is Sdc; a no-op otherwise.
-  /// `interaction_range` must be >= potential cutoff + neighbor skin.
+  /// Build the strategy's spatial schedule for `box`: the SDC
+  /// decomposition/coloring under Sdc, the cell-task block grid + per-block
+  /// lock pool under CellTask; a no-op otherwise. Required before compute()
+  /// for both scheduled strategies. `interaction_range` must be >=
+  /// potential cutoff + neighbor skin.
   void attach_schedule(const Box& box, double interaction_range);
 
-  /// Re-partition atoms over subdomains; call after every neighbor-list
-  /// rebuild (the paper rebuilds SDC state exactly then). No-op for
-  /// non-SDC strategies.
+  /// Re-partition atoms over subdomains/blocks; call after every
+  /// neighbor-list rebuild (the paper rebuilds SDC state exactly then).
+  /// No-op for unscheduled strategies.
   void on_neighbor_rebuild(std::span<const Vec3> positions);
 
   /// Evaluate densities, embedding and forces. `list.mode()` must match
@@ -116,13 +128,14 @@ class EamForceComputer {
 
   /// Hot-swap the reduction strategy mid-run (the StrategyGovernor's
   /// degradation ladder). Allocates the new strategy's workspace (SAP
-  /// replicas, lock pool) on demand and drops a stale SDC schedule when
-  /// leaving Sdc; the pair cache and fused one-region pipeline carry over
-  /// untouched. The caller must re-run attach_schedule +
-  /// on_neighbor_rebuild before the next compute() when swapping TO Sdc.
-  /// No-op when `strategy` is already active. Throws PreconditionError on
-  /// a swap that changes the required neighbor-list mode (to or from
-  /// RedundantComputation) - the ladder never does that.
+  /// replicas, lock pool) on demand and drops a stale SDC schedule /
+  /// cell-task grid when leaving Sdc / CellTask; the pair cache and fused
+  /// one-region pipeline carry over untouched. The caller must re-run
+  /// attach_schedule + on_neighbor_rebuild before the next compute() when
+  /// swapping TO Sdc or CellTask. No-op when `strategy` is already active.
+  /// Throws PreconditionError on a swap that changes the required
+  /// neighbor-list mode (to or from RedundantComputation) - the ladder
+  /// never does that.
   void set_strategy(ReductionStrategy strategy);
 
   const EamForceConfig& config() const { return config_; }
@@ -160,6 +173,9 @@ class EamForceComputer {
   /// The SDC schedule, or nullptr for non-SDC strategies.
   const SdcSchedule* schedule() const { return schedule_.get(); }
 
+  /// The cell-task block grid, or nullptr for non-CellTask strategies.
+  const CellTaskSchedule* task_schedule() const { return task_sched_.get(); }
+
   /// Single-threaded reference evaluation into caller-owned scratch, used
   /// by the governor's periodic shadow validation: same spline tables as
   /// compute(), no pair cache, no timers/stats/profiler mutation. `list`
@@ -180,6 +196,9 @@ class EamForceComputer {
   const EamPotential& potential_;
   EamForceConfig config_;
   std::unique_ptr<SdcSchedule> schedule_;
+  std::unique_ptr<CellTaskSchedule> task_sched_;
+  std::unique_ptr<CellTaskRuntime> task_rt_;
+  std::unique_ptr<LockPool> task_locks_;  ///< one lock per cell block
   std::unique_ptr<SapWorkspace> sap_;
   std::unique_ptr<LockPool> locks_;
   std::unique_ptr<PairCache> cache_;

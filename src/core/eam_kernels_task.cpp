@@ -1,0 +1,218 @@
+// CellTask kernels: the Mangiardi/Meyer hybrid cell-task execution shape
+// (arXiv:1611.00075) - the third shape beyond serial loops and SDC's color
+// barriers.
+//
+// Each cell block of the CellTaskSchedule is one task. A task acquires its
+// own block's lock, scatters plain (non-atomic) updates into its own atoms,
+// and STAGES every contribution that lands in a foreign block in a
+// thread-local buffer. After releasing its own lock it flushes the staged
+// entries under the target blocks' locks, one at a time - at most one lock
+// is ever held, so no lock-order cycle can form and the scheme is
+// deadlock-free for any block geometry. Every write to an atom of block B
+// happens under lock B, which is what TSan verifies on this path.
+//
+// Scheduling is LPT work stealing (CellTaskRuntime): blocks sorted largest
+// first, per-thread strided home queues consumed through atomic cursors,
+// and exhausted threads drain the other queues with the same fetch_add the
+// owner uses - a task runs exactly once no matter who claims it, and no
+// thread idles while any queue holds work. Unlike SDC there is no barrier
+// between conflict groups; the only barrier is the phase boundary the fused
+// pipeline needs anyway (density results must be complete before embed).
+//
+// Profiling: the phase is colorless, so an enabled SdcSweepProfiler gets a
+// single color-0 record per thread: work = the whole stealing loop
+// (including lock waits - contention is work-path cost here, not barrier
+// cost), wait = the time blocked at the phase barrier. Per-thread busy
+// seconds always accumulate into the runtime (two clock reads per phase)
+// so the task.* busy-fraction gauges don't need the profiler.
+#include <omp.h>
+
+#include "common/timer.hpp"
+#include "core/cell_task_schedule.hpp"
+#include "core/detail/eam_kernels.hpp"
+#include "core/lock_pool.hpp"
+
+namespace sdcmd::detail {
+
+namespace {
+
+/// Drain queue `q` (0 = density, 1 = force): own strided slice first, then
+/// steal round-robin. `body` runs one block task.
+template <class Body>
+void run_queue(const CellTaskSchedule& sched, CellTaskRuntime& rt, int q,
+               int tid, Body&& body) {
+  const std::vector<std::uint32_t>& order = sched.task_order();
+  const std::size_t nblocks = order.size();
+  const std::size_t team = static_cast<std::size_t>(rt.team());
+  CellTaskRuntime::ThreadState& me = rt.thread(tid);
+  for (;;) {
+    const std::uint32_t k =
+        me.cursor[q].fetch_add(1, std::memory_order_relaxed);
+    const std::size_t pos =
+        static_cast<std::size_t>(tid) + static_cast<std::size_t>(k) * team;
+    if (pos >= nblocks) break;
+    body(order[pos]);
+    ++me.tasks;
+  }
+  for (std::size_t off = 1; off < team; ++off) {
+    const std::size_t victim =
+        (static_cast<std::size_t>(tid) + off) % team;
+    CellTaskRuntime::ThreadState& vs =
+        rt.thread(static_cast<int>(victim));
+    for (;;) {
+      const std::uint32_t k =
+          vs.cursor[q].fetch_add(1, std::memory_order_relaxed);
+      const std::size_t pos = victim + static_cast<std::size_t>(k) * team;
+      if (pos >= nblocks) break;
+      body(order[pos]);
+      ++me.tasks;
+      ++me.steals;
+    }
+  }
+}
+
+/// Density work for one block task. Own-block scatter runs under lock `b`;
+/// cross-block contributions are staged and flushed afterwards under the
+/// target locks, grouped by contiguous target-block runs (sorted neighbor
+/// lists cluster them) so the lock churn stays low.
+void density_block(const EamArgs& a, const CellTaskSchedule& sched,
+                   LockPool& locks, std::uint32_t b,
+                   std::vector<CellTaskRuntime::ScalarEntry>& stage,
+                   std::span<double> rho) {
+  const auto& index = a.list.neigh_index();
+  locks.acquire(b);
+  for (std::uint32_t i : sched.atoms_in_block(b)) {
+    const Vec3 xi = a.x[i];
+    const auto nbrs = a.list.neighbors(i);
+    const std::size_t base = index[i];
+    double rho_i = 0.0;
+    for (std::size_t k = 0; k < nbrs.size(); ++k) {
+      const std::uint32_t j = nbrs[k];
+      double phi;
+      if (!density_pair(a, xi, j, base + k, phi)) continue;
+      rho_i += phi;
+      if (sched.block_of(j) == b) {
+        rho[j] += phi;  // own block: protected by the lock we hold
+      } else {
+        stage.push_back({j, phi});
+      }
+    }
+    rho[i] += rho_i;
+  }
+  locks.release(b);
+  std::size_t k = 0;
+  while (k < stage.size()) {
+    const std::uint32_t tb = sched.block_of(stage[k].j);
+    locks.acquire(tb);
+    do {
+      rho[stage[k].j] += stage[k].v;
+      ++k;
+    } while (k < stage.size() && sched.block_of(stage[k].j) == tb);
+    locks.release(tb);
+  }
+  stage.clear();
+}
+
+/// Force work for one block task; same locking shape as density_block.
+void force_block(const EamArgs& a, const CellTaskSchedule& sched,
+                 LockPool& locks, std::uint32_t b,
+                 std::vector<CellTaskRuntime::VecEntry>& stage,
+                 std::span<const double> fp, std::span<Vec3> force,
+                 double& energy, double& virial) {
+  const auto& index = a.list.neigh_index();
+  locks.acquire(b);
+  for (std::uint32_t i : sched.atoms_in_block(b)) {
+    const Vec3 xi = a.x[i];
+    const double fp_i = fp[i];
+    const auto nbrs = a.list.neighbors(i);
+    const std::size_t base = index[i];
+    Vec3 f_i{};
+    for (std::size_t k = 0; k < nbrs.size(); ++k) {
+      const std::uint32_t j = nbrs[k];
+      Vec3 fv;
+      double v, rvir;
+      if (!force_pair(a, xi, j, base + k, fp_i + fp[j], fv, v, rvir)) {
+        continue;
+      }
+      f_i += fv;
+      energy += v;
+      virial += rvir;
+      if (sched.block_of(j) == b) {
+        force[j] -= fv;
+      } else {
+        stage.push_back({j, fv});
+      }
+    }
+    force[i] += f_i;
+  }
+  locks.release(b);
+  std::size_t k = 0;
+  while (k < stage.size()) {
+    const std::uint32_t tb = sched.block_of(stage[k].j);
+    locks.acquire(tb);
+    do {
+      force[stage[k].j] -= stage[k].f;
+      ++k;
+    } while (k < stage.size() && sched.block_of(stage[k].j) == tb);
+    locks.release(tb);
+  }
+  stage.clear();
+}
+
+}  // namespace
+
+void density_task_team(const EamArgs& a, const CellTaskSchedule& sched,
+                       CellTaskRuntime& rt, LockPool& locks,
+                       std::span<double> rho) {
+  obs::SdcSweepProfiler* prof =
+      (a.profiler != nullptr && a.profiler->enabled()) ? a.profiler : nullptr;
+  const int tid = omp_get_thread_num();
+  CellTaskRuntime::ThreadState& me = rt.thread(tid);
+  const double t0 = wall_time();
+  run_queue(sched, rt, 0, tid, [&](std::uint32_t b) {
+    density_block(a, sched, locks, b, me.rho_stage, rho);
+  });
+  const double t_work = wall_time();
+  me.busy_seconds += t_work - t0;
+#pragma omp barrier
+  if (prof != nullptr) {
+    obs::SweepSample sample;
+    sample.start = t0;
+    sample.work = t_work - t0;
+    sample.wait = wall_time() - t_work;
+    sample.valid = true;
+    prof->record(kProfPhaseDensity, 0, tid, sample);
+  }
+}
+
+void force_task_team(const EamArgs& a, const CellTaskSchedule& sched,
+                     CellTaskRuntime& rt, LockPool& locks,
+                     std::span<const double> fp, std::span<Vec3> force,
+                     double* energy_parts, double* virial_parts) {
+  obs::SdcSweepProfiler* prof =
+      (a.profiler != nullptr && a.profiler->enabled()) ? a.profiler : nullptr;
+  const int tid = omp_get_thread_num();
+  CellTaskRuntime::ThreadState& me = rt.thread(tid);
+  double energy = 0.0;
+  double virial = 0.0;
+  const double t0 = wall_time();
+  run_queue(sched, rt, 1, tid, [&](std::uint32_t b) {
+    force_block(a, sched, locks, b, me.force_stage, fp, force, energy,
+                virial);
+  });
+  const double t_work = wall_time();
+  me.busy_seconds += t_work - t0;
+  energy_parts[tid] = energy;
+  virial_parts[tid] = virial;
+#pragma omp barrier
+  if (prof != nullptr) {
+    obs::SweepSample sample;
+    sample.start = t0;
+    sample.work = t_work - t0;
+    sample.wait = wall_time() - t_work;
+    sample.valid = true;
+    prof->record(kProfPhaseForce, 0, tid, sample);
+  }
+}
+
+}  // namespace sdcmd::detail

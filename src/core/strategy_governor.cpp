@@ -22,8 +22,12 @@ StrategyGovernor::StrategyGovernor(GovernorConfig config)
     : config_(config) {
   SDCMD_REQUIRE(ladder_index(config_.preferred) >= 0,
                 "governor preferred strategy must be on the ladder "
-                "(sdc, sap, locks, atomic or serial), got " +
+                "(sdc, celltask, sap, locks, atomic or serial), got " +
                     to_string(config_.preferred));
+  SDCMD_REQUIRE(config_.preferred != ReductionStrategy::CellTask ||
+                    config_.enable_celltask,
+                "governor preferred strategy is celltask but the celltask "
+                "rung is disabled");
   SDCMD_REQUIRE(config_.promote_streak >= 1,
                 "promotion streak must be >= 1");
   SDCMD_REQUIRE(config_.backoff_factor >= 1, "backoff factor must be >= 1");
@@ -51,16 +55,26 @@ int StrategyGovernor::strategy_code(ReductionStrategy s) {
     case ReductionStrategy::ArrayPrivatization: return 4;
     case ReductionStrategy::RedundantComputation: return 5;
     case ReductionStrategy::Sdc: return 6;
+    case ReductionStrategy::CellTask: return 7;
   }
   return -1;
 }
 
-ReductionStrategy StrategyGovernor::strategy_from_code(int code) {
+std::optional<ReductionStrategy> StrategyGovernor::try_strategy_from_code(
+    int code) {
   for (const ReductionStrategy s : kAllStrategies) {
     if (strategy_code(s) == code) return s;
   }
-  throw PreconditionError("unknown reduction-strategy code " +
-                          std::to_string(code));
+  return std::nullopt;
+}
+
+ReductionStrategy StrategyGovernor::strategy_from_code(int code) {
+  const std::optional<ReductionStrategy> s = try_strategy_from_code(code);
+  if (!s) {
+    throw PreconditionError("unknown reduction-strategy code " +
+                            std::to_string(code));
+  }
+  return *s;
 }
 
 int StrategyGovernor::required_streak() const {
@@ -73,6 +87,9 @@ bool StrategyGovernor::rung_feasible(ReductionStrategy rung, const Box& box,
   switch (rung) {
     case ReductionStrategy::Sdc:
       return SdcSchedule::feasible(box, interaction_range, config_.sdc);
+    case ReductionStrategy::CellTask:
+      return config_.enable_celltask &&
+             CellTaskSchedule::feasible(box, interaction_range);
     case ReductionStrategy::ArrayPrivatization:
       return config_.max_private_bytes == 0 ||
              sap_bytes(threads, atom_count) <= config_.max_private_bytes;

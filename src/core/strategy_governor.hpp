@@ -8,7 +8,12 @@
 // InfeasibleError, the governor re-validates feasibility on every box
 // change and walks a graceful degradation ladder:
 //
-//     SDC -> ArrayPrivatization -> LockStriped -> Atomic -> Serial
+//     SDC -> CellTask -> ArrayPrivatization -> LockStriped -> Atomic -> Serial
+//
+// CellTask (the Mangiardi/Meyer cell-task shape) sits directly below SDC:
+// it only needs two cell blocks rather than SDC's even-per-dimension split,
+// so most boxes that break SDC still run lock-cheap cell tasks before the
+// ladder falls back to SAP's thread-linear replicas.
 //
 // Demotion is immediate (the active rung's precondition just vanished);
 // re-promotion is hysteretic: the box must stay feasible for
@@ -23,8 +28,10 @@
 #pragma once
 
 #include <cstddef>
+#include <optional>
 #include <string>
 
+#include "core/cell_task_schedule.hpp"
 #include "core/sdc_schedule.hpp"
 #include "core/strategy.hpp"
 #include "geom/box.hpp"
@@ -33,10 +40,14 @@ namespace sdcmd {
 
 struct GovernorConfig {
   /// Top rung of the ladder; must be one of the ladder strategies
-  /// (Sdc, ArrayPrivatization, LockStriped, Atomic, Serial).
+  /// (Sdc, CellTask, ArrayPrivatization, LockStriped, Atomic, Serial).
   ReductionStrategy preferred = ReductionStrategy::Sdc;
   /// SDC settings used when probing/running the Sdc rung.
   SdcConfig sdc;
+  /// Probe/occupy the CellTask rung. Cleared by drivers whose force
+  /// backend implements no cell-task kernels (the pair backend), so the
+  /// ladder steps straight from Sdc to ArrayPrivatization there.
+  bool enable_celltask = true;
   /// Consecutive feasible steps required before re-promotion (multiplied by
   /// the backoff counter).
   int promote_streak = 20;
@@ -84,6 +95,7 @@ class StrategyGovernor {
   /// The degradation ladder, best rung first.
   static constexpr ReductionStrategy kLadder[] = {
       ReductionStrategy::Sdc,
+      ReductionStrategy::CellTask,
       ReductionStrategy::ArrayPrivatization,
       ReductionStrategy::LockStriped,
       ReductionStrategy::Atomic,
@@ -135,12 +147,25 @@ class StrategyGovernor {
   int required_streak() const;
 
   /// Stable numeric encoding for the governor.active_strategy gauge:
-  /// serial=0, critical=1, atomic=2, locks=3, sap=4, rc=5, sdc=6.
+  /// serial=0, critical=1, atomic=2, locks=3, sap=4, rc=5, sdc=6,
+  /// celltask=7. Codes are append-only: a new rung NEVER renumbers an old
+  /// one, so sidecars written by any ladder version decode or are rejected,
+  /// never misdecoded.
   static int strategy_code(ReductionStrategy s);
 
   /// Inverse of strategy_code, for restoring a checkpointed rung from the
   /// run_state.v1 sidecar. Throws PreconditionError on an unknown code.
   static ReductionStrategy strategy_from_code(int code);
+
+  /// Non-throwing inverse of strategy_code: nullopt for unknown /
+  /// out-of-range codes, e.g. a sidecar written by a NEWER ladder whose
+  /// rung this build does not know. Callers should warn and fall back to
+  /// fresh setup instead of guessing.
+  static std::optional<ReductionStrategy> try_strategy_from_code(int code);
+
+  /// True when `s` is a rung of the degradation ladder (a strategy a
+  /// sidecar can legitimately carry as the governor's active rung).
+  static bool on_ladder(ReductionStrategy s) { return ladder_index(s) >= 0; }
 
  private:
   /// Ladder index of `s`, or -1 when `s` is not on the ladder.

@@ -1,5 +1,6 @@
 #include "geom/defects.hpp"
 
+#include <algorithm>
 #include <cmath>
 
 #include "common/error.hpp"
@@ -58,6 +59,19 @@ std::vector<Vec3> make_interstitials(std::vector<Vec3>& positions,
     inserted.push_back(site);
   }
   return inserted;
+}
+
+std::size_t carve_sphere(std::vector<Vec3>& positions, const Box& box,
+                         const Vec3& center, double radius) {
+  SDCMD_REQUIRE(radius >= 0.0, "radius must be non-negative");
+  const double r2 = radius * radius;
+  const auto inside = [&](const Vec3& r) {
+    return box.distance2(r, center) <= r2;
+  };
+  const std::size_t before = positions.size();
+  positions.erase(std::remove_if(positions.begin(), positions.end(), inside),
+                  positions.end());
+  return before - positions.size();
 }
 
 std::vector<std::size_t> damage_sphere(std::vector<Vec3>& positions,

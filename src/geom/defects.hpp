@@ -23,6 +23,13 @@ std::vector<Vec3> make_interstitials(std::vector<Vec3>& positions,
                                      double spacing, std::uint64_t seed,
                                      double offset_fraction = 0.35);
 
+/// Remove every atom inside the sphere (a carved void). This is the
+/// maximally inhomogeneous workload for load-balance drills: the emptied
+/// cells contribute near-zero work while their surface cells keep full
+/// neighborhoods. Returns the number of removed atoms.
+std::size_t carve_sphere(std::vector<Vec3>& positions, const Box& box,
+                         const Vec3& center, double radius);
+
 /// Displace every atom inside a sphere by a random amount up to
 /// `max_displacement` (a thermal-spike-like damaged region). Returns the
 /// indices of displaced atoms.

@@ -201,6 +201,9 @@ void Simulation::set_governor(GovernorConfig config) {
   if (std::optional<SdcConfig> sdc = provider_->sdc_config()) {
     config.sdc = *sdc;  // probe with the config attach_schedule will use
   }
+  // Only the EAM backend implements cell-task kernels; on the pair backend
+  // the ladder must step over that rung.
+  if (provider_->eam_computer() == nullptr) config.enable_celltask = false;
   governor_ = std::make_unique<StrategyGovernor>(config);
   init_governor();
 }
@@ -210,6 +213,7 @@ void Simulation::set_governor(GovernorConfig config,
   if (std::optional<SdcConfig> sdc = provider_->sdc_config()) {
     config.sdc = *sdc;
   }
+  if (provider_->eam_computer() == nullptr) config.enable_celltask = false;
   governor_ = std::make_unique<StrategyGovernor>(config);
   governor_->restore_state(state);
   init_governor();
@@ -360,6 +364,11 @@ void Simulation::set_instrumentation(InstrumentationConfig config) {
     obs_handles_.cache_reads = r.counter("eam.cache_read_slots");
     obs_handles_.soa_active = r.gauge("eam.soa_active");
     obs_handles_.soa_pad_fraction = r.gauge("eam.soa_pad_fraction");
+    obs_handles_.task_spawned = r.counter("task.spawned");
+    obs_handles_.task_steals = r.counter("task.steals");
+    obs_handles_.task_queue_depth = r.gauge("task.max_queue_depth");
+    obs_handles_.task_busy_min = r.gauge("task.busy_min");
+    obs_handles_.task_busy_mean = r.gauge("task.busy_mean");
     obs_handles_.governor_strategy = r.gauge("governor.active_strategy");
     obs_handles_.governor_demotions = r.counter("governor.demotions");
     obs_handles_.governor_promotions = r.counter("governor.promotions");
@@ -401,6 +410,8 @@ void Simulation::set_instrumentation(InstrumentationConfig config) {
     const NeighborBuildStats ns = neighbor_stats();
     if (const EamForceComputer* computer = provider_->eam_computer()) {
       obs_handles_.prev_soa_steps = computer->stats().soa_steps;
+      obs_handles_.prev_task_spawned = computer->stats().task_spawned;
+      obs_handles_.prev_task_steals = computer->stats().task_steals;
     }
     obs_handles_.prev_grid_reshapes = ns.grid_reshapes;
     obs_handles_.prev_stencil_rebuilds = ns.stencil_rebuilds;
@@ -664,6 +675,20 @@ void Simulation::run(long steps, const Callback& callback,
         obs_.registry->set(obs_handles_.soa_pad_fraction,
                            ks.soa_pad_fraction);
         obs_handles_.prev_soa_steps = ks.soa_steps;
+        // CellTask work-stealing family: flat zeros unless the active
+        // strategy is CellTask (the kernels never touch these otherwise).
+        obs_.registry->add(obs_handles_.task_spawned,
+                           static_cast<double>(ks.task_spawned -
+                                               obs_handles_.prev_task_spawned));
+        obs_.registry->add(obs_handles_.task_steals,
+                           static_cast<double>(ks.task_steals -
+                                               obs_handles_.prev_task_steals));
+        obs_handles_.prev_task_spawned = ks.task_spawned;
+        obs_handles_.prev_task_steals = ks.task_steals;
+        obs_.registry->set(obs_handles_.task_queue_depth,
+                           static_cast<double>(ks.task_max_queue_depth));
+        obs_.registry->set(obs_handles_.task_busy_min, ks.task_busy_min);
+        obs_.registry->set(obs_handles_.task_busy_mean, ks.task_busy_mean);
       }
       const NeighborBuildStats ns = neighbor_stats();
       obs_.registry->add(obs_handles_.grid_reshapes,

@@ -6,6 +6,7 @@
 #include <sstream>
 
 #include "common/error.hpp"
+#include "common/log.hpp"
 #include "obs/json.hpp"
 
 namespace sdcmd::run {
@@ -225,7 +226,24 @@ RunState parse_run_state(const std::string& json) {
   if (state.step < 0) {
     throw ParseError("run_state: step must be non-negative");
   }
-  state.governor.active = StrategyGovernor::strategy_from_code(strategy_code);
+  // Decode the governor rung defensively: a sidecar written by a NEWER
+  // ladder may carry a code this build has never heard of (codes are
+  // append-only, so misdecoding is impossible — but so is guessing).
+  // Dropping only the governor block keeps the rest of the sidecar (step,
+  // dt, momentum flag, checkpoint pointer) usable: the resumed run falls
+  // back to fresh governor setup instead of discarding the whole resume.
+  const std::optional<ReductionStrategy> active =
+      StrategyGovernor::try_strategy_from_code(strategy_code);
+  if (active && StrategyGovernor::on_ladder(*active)) {
+    state.governor.active = *active;
+  } else if (state.has_governor) {
+    SDCMD_WARN("run_state: unknown or off-ladder governor strategy code "
+               << strategy_code
+               << " (written by a newer build?); ignoring the saved "
+                  "governor state");
+    state.has_governor = false;
+    state.governor = GovernorState{};
+  }
   return state;
 }
 

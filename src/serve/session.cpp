@@ -13,6 +13,7 @@
 #include "common/threads.hpp"
 #include "common/timer.hpp"
 #include "common/units.hpp"
+#include "core/strategy_governor.hpp"
 #include "md/thermostat.hpp"
 #include "obs/json.hpp"
 #include "serve/wire.hpp"
@@ -115,6 +116,21 @@ SessionSpec SessionSpec::parse(const std::string& json) {
   }
   if (spec.checkpoint_every < 1) {
     throw ParseError("session: checkpoint_every must be >= 1");
+  }
+  // Reject unusable strategy codes at admission, not deep inside
+  // materialize(): a client built against a newer ladder may send a code
+  // this server has never heard of.
+  const std::optional<ReductionStrategy> strat =
+      StrategyGovernor::try_strategy_from_code(spec.strategy_code);
+  if (!strat) {
+    throw ParseError("session: unknown strategy_code " +
+                     std::to_string(spec.strategy_code));
+  }
+  if (spec.governed && !StrategyGovernor::on_ladder(*strat)) {
+    throw ParseError("session: strategy_code " +
+                     std::to_string(spec.strategy_code) +
+                     " (" + to_string(*strat) +
+                     ") is not a governor ladder rung");
   }
   return spec;
 }

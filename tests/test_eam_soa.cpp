@@ -177,6 +177,32 @@ TEST(SoaRefreshTest, MirrorRefreshesAfterUpdateBox) {
   EXPECT_NE(after_scalar.result.pair_energy, before_scalar.result.pair_energy);
 }
 
+TEST(SoaGatingTest, PadFractionGaugeClearsWhenThePathDisengages) {
+  // Regression: soa_pad_fraction is a gauge, not a counter. After a step
+  // that leaves the SoA path (here: a rebuild against an UNPADDED list,
+  // the shape every governor-driven list reconfiguration produces), the
+  // stale value from the last SoA step must not linger in stats().
+  SoaWorkload w(5);
+  EamForceConfig cfg;
+  cfg.strategy = ReductionStrategy::RedundantComputation;  // SoA-by-default
+  EamForceComputer computer(w.tab, cfg);
+  std::vector<double> rho(w.positions.size()), fp(w.positions.size());
+  std::vector<Vec3> force(w.positions.size());
+  computer.compute(w.box, w.positions, *w.full, rho, fp, force);
+  ASSERT_EQ(computer.stats().soa_steps, 1u) << "SoA path did not engage";
+  ASSERT_GT(computer.stats().soa_pad_fraction, 0.0);
+
+  NeighborListConfig plain;
+  plain.cutoff = w.tab.cutoff();
+  plain.skin = kSkin;
+  plain.mode = NeighborMode::Full;  // pad_width 0: scalar path
+  NeighborList unpadded(w.box, plain);
+  unpadded.build(w.positions);
+  computer.compute(w.box, w.positions, unpadded, rho, fp, force);
+  EXPECT_EQ(computer.stats().soa_steps, 1u);  // did not engage again
+  EXPECT_EQ(computer.stats().soa_pad_fraction, 0.0);
+}
+
 TEST(SoaGatingTest, HalfListStrategiesNeedExplicitOptIn) {
   // Production heuristic: half-list scatter strategies measured slower
   // under SoA, so use_soa_path alone must NOT engage them...

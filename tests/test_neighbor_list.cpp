@@ -4,6 +4,7 @@
 
 #include <algorithm>
 #include <array>
+#include <cmath>
 #include <set>
 
 #include "common/error.hpp"
@@ -387,6 +388,96 @@ TEST(NeighborList, UpdateBoxReusesStorageUntilTheGridReshapes) {
   const auto expected =
       pair_set(brute_force_pairs(large, points, cutoff + cfg.skin));
   EXPECT_EQ(pairs_from_half_list(list), expected);
+}
+
+/// Every padded tile must mirror its CSR sublist exactly: same entries in
+/// the real slots, sentinel in every tail slot, tile starts aligned to the
+/// pad width. Catches stale tiles left behind by a rebuild.
+void expect_padded_tiles_match_csr(const NeighborList& list) {
+  ASSERT_TRUE(list.has_padded_tiles());
+  const auto w = static_cast<std::size_t>(list.pad_width());
+  const std::uint32_t sentinel = list.pad_sentinel();
+  const auto& tiles = list.padded_list();
+  const auto& starts = list.tile_index();
+  ASSERT_EQ(starts.size(), list.atom_count() + 1);
+  for (std::size_t i = 0; i < list.atom_count(); ++i) {
+    const auto sub = list.neighbors(i);
+    ASSERT_EQ(starts[i] % w, 0u);
+    const std::size_t padded = (sub.size() + w - 1) / w * w;
+    ASSERT_EQ(starts[i + 1] - starts[i], padded) << "atom " << i;
+    for (std::size_t k = 0; k < sub.size(); ++k) {
+      EXPECT_EQ(tiles[starts[i] + k], sub[k]) << "atom " << i;
+    }
+    for (std::size_t k = sub.size(); k < padded; ++k) {
+      EXPECT_EQ(tiles[starts[i] + k], sentinel)
+          << "tail slot " << k << " of atom " << i;
+    }
+  }
+}
+
+TEST(NeighborList, PaddedTilesFollowDeformAcrossCellCountBoundary) {
+  // Regression: a barostat-style deformation that reshapes the cell grid
+  // must leave NO stale padded tiles after the post-update_box rebuild.
+  // The staleness risk is specific to pad_width > 1, where the tiles are a
+  // second copy of the pair enumeration.
+  Box box = Box::cubic(12.0);
+  const double cutoff = 2.6;  // + 0.4 default skin -> 3.0 range, 4^3 grid
+  auto points = random_points(box, 300, 77);
+  NeighborListConfig cfg;
+  cfg.cutoff = cutoff;
+  cfg.pad_width = 4;
+  NeighborList list(box, cfg);
+  list.build(points);
+  expect_padded_tiles_match_csr(list);
+  const std::size_t padded_before = list.padded_pair_count();
+
+  // Cross the cell-count boundary (4 -> 5 cells per dim) and rebuild the
+  // way Simulation::rebuild_geometry does: update_box, then build.
+  Box large = box;
+  large.rescale({1.3, 1.3, 1.3});
+  ASSERT_TRUE(list.update_box(large));
+  for (auto& r : points) r = large.affine_map(r, box);
+  list.build(points);
+
+  // The rebuilt tiles describe the NEW pair set exactly...
+  expect_padded_tiles_match_csr(list);
+  const auto expected =
+      pair_set(brute_force_pairs(large, points, cutoff + cfg.skin));
+  EXPECT_EQ(pairs_from_half_list(list), expected);
+  // ...and shrank with it (the grown box holds fewer pairs), proving the
+  // padded copy was resized rather than left at the old footprint.
+  EXPECT_LT(list.padded_pair_count(), padded_before);
+  EXPECT_GE(list.pad_fraction(), 0.0);
+}
+
+TEST(NeighborList, PadFractionGuardsEmptyAndUnpaddedLists) {
+  // Padding disabled: no padded copy, fraction pinned to 0 (not NaN).
+  const Box box = Box::cubic(20.0);
+  NeighborListConfig cfg;
+  cfg.cutoff = 3.0;
+  NeighborList plain(box, cfg);
+  plain.build(std::vector<Vec3>{{1.0, 1.0, 1.0}, {10.0, 10.0, 10.0}});
+  EXPECT_EQ(plain.pad_fraction(), 0.0);
+
+  // Padding enabled but ZERO pairs in range: the 0/0 case must also give
+  // 0, and the tile index must still be walkable (all-empty tiles).
+  cfg.pad_width = 4;
+  NeighborList padded(box, cfg);
+  padded.build(std::vector<Vec3>{{1.0, 1.0, 1.0}, {10.0, 10.0, 10.0}});
+  EXPECT_EQ(padded.pair_count(), 0u);
+  EXPECT_EQ(padded.pad_fraction(), 0.0);
+  EXPECT_FALSE(std::isnan(padded.pad_fraction()));
+  expect_padded_tiles_match_csr(padded);
+
+  // A rebuild that brings the atoms into range flips the fraction live.
+  padded.build(std::vector<Vec3>{{1.0, 1.0, 1.0}, {2.5, 1.0, 1.0}});
+  EXPECT_EQ(padded.pair_count(), 1u);
+  // 1 real pair padded to a 4-slot tile: fraction = 4/1 - 1 = 3.
+  EXPECT_DOUBLE_EQ(padded.pad_fraction(), 3.0);
+  // And a rebuild back to the empty configuration clears it again (the
+  // stale-gauge regression: the old value must not linger).
+  padded.build(std::vector<Vec3>{{1.0, 1.0, 1.0}, {10.0, 10.0, 10.0}});
+  EXPECT_EQ(padded.pad_fraction(), 0.0);
 }
 
 TEST(NeighborList, ConfigCompatibilityGatesInPlaceReuse) {

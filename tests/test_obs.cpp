@@ -13,6 +13,8 @@
 #include <vector>
 
 #include "common/error.hpp"
+#include "common/fault.hpp"
+#include "common/log.hpp"
 #include "common/timer.hpp"
 #include "common/units.hpp"
 #include "core/eam_force.hpp"
@@ -26,6 +28,7 @@
 #include "obs/perf_counters.hpp"
 #include "obs/sweep_profile.hpp"
 #include "obs/trace.hpp"
+#include "core/strategy_governor.hpp"
 #include "potential/finnis_sinclair.hpp"
 #include "run/run_dir.hpp"
 #include "run/supervisor.hpp"
@@ -740,6 +743,136 @@ TEST(SimulationInstrumentation, HwGaugesStayOutOfUnprofiledStreams) {
     EXPECT_NE(registry.name(h).rfind("hw.", 0), 0u) << registry.name(h);
     EXPECT_NE(registry.name(h).rfind("sweep.", 0), 0u) << registry.name(h);
   }
+}
+
+namespace {
+
+/// Pull every `"key":value` number out of one JSONL line.
+double json_number(const std::string& line, const std::string& key,
+                   double fallback) {
+  const std::string needle = "\"" + key + "\":";
+  const std::size_t at = line.find(needle);
+  if (at == std::string::npos) return fallback;
+  return std::strtod(line.c_str() + at + needle.size(), nullptr);
+}
+
+/// Split the `"sweep":[...]` array of one JSONL line into its `{...}`
+/// record substrings (empty if the line carries no sweep array).
+std::vector<std::string> sweep_records(const std::string& line) {
+  std::vector<std::string> records;
+  const std::size_t start = line.find("\"sweep\":[");
+  if (start == std::string::npos) return records;
+  std::size_t pos = start;
+  while (true) {
+    const std::size_t open = line.find('{', pos);
+    const std::size_t close = line.find('}', open);
+    if (open == std::string::npos || close == std::string::npos) break;
+    records.push_back(line.substr(open, close - open + 1));
+    pos = close + 1;
+    if (pos < line.size() && line[pos] == ']') break;
+  }
+  return records;
+}
+
+}  // namespace
+
+TEST(SimulationInstrumentation, SweepProfilerReshapesWhenGovernorDropsColors) {
+  // A governor demotion from SDC to the cell-task shape collapses the
+  // profiler's (colors x threads) sample store to the colorless 1-color
+  // shape MID-RUN. Every JSONL record on both sides of the collapse must
+  // be complete — a torn record (stale color indices surviving the
+  // reshape, or a partially-populated slot store) is exactly the latent
+  // bug this seam invites.
+  FaultInjector::instance().disarm_all();
+  const LogLevel saved = log_level();
+  set_log_level(LogLevel::Error);  // the demotion warning is expected
+
+  LatticeSpec spec;
+  spec.type = LatticeType::Bcc;
+  spec.a0 = units::kLatticeFe;
+  spec.nx = spec.ny = spec.nz = 6;
+  System system = System::from_lattice(spec, units::kMassFe);
+  FinnisSinclair iron(FinnisSinclairParams::iron());
+
+  SimulationConfig cfg;
+  cfg.dt = units::fs_to_internal(1.0);
+  cfg.force.strategy = ReductionStrategy::Sdc;
+  Simulation sim(std::move(system), iron, cfg);
+  sim.set_temperature(50.0, 99);
+
+  obs::MetricsRegistry registry;
+  const std::string jsonl_path = temp_path("sdcmd_sweep_reshape.jsonl");
+  obs::StepMetricsWriter jsonl(jsonl_path);
+  ASSERT_TRUE(jsonl.ok());
+  InstrumentationConfig instr;
+  instr.registry = &registry;
+  instr.step_writer = &jsonl;
+  instr.profile_sweep = true;
+  sim.set_instrumentation(instr);
+  sim.set_governor(GovernorConfig{});
+  ASSERT_EQ(sim.governor()->active(), ReductionStrategy::Sdc);
+
+  FaultSpec fault;
+  fault.countdown = 4;  // fires inside step 5
+  fault.magnitude = 0.9;
+  FaultInjector::instance().arm(faults::kBoxShrink, fault);
+  sim.run(12);
+  FaultInjector::instance().disarm_all();
+  set_log_level(saved);
+  ASSERT_EQ(sim.governor()->active(), ReductionStrategy::CellTask);
+
+  jsonl.flush();
+  std::ifstream in(jsonl_path);
+  std::string line;
+  const double celltask_code = static_cast<double>(
+      StrategyGovernor::strategy_code(ReductionStrategy::CellTask));
+  const char* keys[] = {"\"phase\":",      "\"color\":",      "\"threads\":",
+                        "\"work_max_s\":", "\"work_mean_s\":", "\"work_min_s\":",
+                        "\"imbalance\":",  "\"wait_max_s\":",  "\"wait_mean_s\":"};
+  int sdc_steps = 0, task_steps = 0;
+  bool saw_task_shape = false, saw_gauge_flip = false;
+  while (std::getline(in, line)) {
+    ASSERT_FALSE(line.empty());
+    ASSERT_EQ(line.back(), '}') << "torn (truncated) JSONL record: " << line;
+    const auto records = sweep_records(line);
+    ASSERT_FALSE(records.empty()) << "profiled step lost its sweep: " << line;
+    int max_color = 0;
+    for (const auto& rec : records) {
+      for (const char* key : keys) {
+        EXPECT_NE(rec.find(key), std::string::npos)
+            << "torn sweep record " << rec;
+      }
+      const int color = static_cast<int>(json_number(rec, "color", -1.0));
+      ASSERT_GE(color, 0) << rec;
+      max_color = std::max(max_color, color);
+    }
+    // The demotion fires at the END of the fault step (the box-shrink is a
+    // barostat-shaped end-of-step event), so that one line carries the new
+    // gauge value alongside the last SDC-shaped sweep. The collapse itself
+    // must be monotone: once the 1-color task shape appears, no later step
+    // may emit a multi-color record (a stale color index surviving the
+    // reshape is exactly the torn-record bug this test pins).
+    if (max_color == 0) {
+      saw_task_shape = true;
+      ++task_steps;
+    } else {
+      EXPECT_FALSE(saw_task_shape)
+          << "multi-color sweep after the colorless collapse: " << line;
+      ++sdc_steps;
+    }
+    if (json_number(line, "governor.active_strategy", -1.0) ==
+        celltask_code) {
+      saw_gauge_flip = true;
+    } else {
+      EXPECT_FALSE(saw_gauge_flip) << "gauge flipped back: " << line;
+      EXPECT_EQ(max_color == 0, false)
+          << "task-shaped sweep before the demotion: " << line;
+    }
+  }
+  EXPECT_TRUE(saw_gauge_flip);
+  EXPECT_GE(sdc_steps, 4);   // steps before the fault fired
+  EXPECT_GE(task_steps, 6);  // steps after the collapse
+  std::remove(jsonl_path.c_str());
 }
 
 TEST(RunSupervisorObs, NamesItsTraceTrackAndFlushesSummary) {

@@ -79,16 +79,51 @@ TEST_F(GovernorTest, SetupSelectsPreferredWhenFeasible) {
 
 TEST_F(GovernorTest, SetupFallsDownLadderWhenSdcInfeasible) {
   StrategyGovernor gov(GovernorConfig{});
-  const Box box = Box::cubic(10.0);  // < 4 * range: no 2-way split
+  // < 4 * range: no 2-way SDC split, but floor(10/4) = 2 blocks per axis
+  // still gives the cell-task shape 8 blocks.
+  const Box box = Box::cubic(10.0);
   const GovernorDecision d = gov.setup(box, 4.0, 4, 1000);
+  EXPECT_EQ(d.strategy, ReductionStrategy::CellTask);
+  EXPECT_EQ(gov.active(), ReductionStrategy::CellTask);
+}
+
+TEST_F(GovernorTest, DisabledCellTaskRungFallsThroughToSap) {
+  // A driver whose backend has no cell-task kernels clears the rung; the
+  // same infeasible-SDC box then lands on ArrayPrivatization.
+  GovernorConfig cfg;
+  cfg.enable_celltask = false;
+  StrategyGovernor gov(cfg);
+  const GovernorDecision d = gov.setup(Box::cubic(10.0), 4.0, 4, 1000);
   EXPECT_EQ(d.strategy, ReductionStrategy::ArrayPrivatization);
-  EXPECT_EQ(gov.active(), ReductionStrategy::ArrayPrivatization);
+  // Preferring the disabled rung is a config error.
+  GovernorConfig bad;
+  bad.preferred = ReductionStrategy::CellTask;
+  bad.enable_celltask = false;
+  EXPECT_THROW(StrategyGovernor{bad}, PreconditionError);
+}
+
+TEST_F(GovernorTest, CellTaskRungInfeasibleOnlyBelowOneBlockPair) {
+  // CellTask needs >= 2 blocks total, not SDC's even split per axis: a
+  // 10 x 4 x 4 slab splits 2 x 1 x 1 and stays on the rung...
+  StrategyGovernor gov(GovernorConfig{});
+  const Box slab({0.0, 0.0, 0.0}, {10.0, 4.0, 4.0});
+  EXPECT_TRUE(gov.rung_feasible(ReductionStrategy::CellTask, slab, 4.0, 4,
+                                1000));
+  // ...while a box under the range in every dimension yields one block and
+  // falls through.
+  const Box tiny = Box::cubic(3.0);
+  EXPECT_FALSE(gov.rung_feasible(ReductionStrategy::CellTask, tiny, 4.0, 4,
+                                 1000));
+  EXPECT_EQ(gov.setup(tiny, 4.0, 4, 1000).strategy,
+            ReductionStrategy::ArrayPrivatization);
 }
 
 TEST_F(GovernorTest, SapBudgetSkipsToLockStriped) {
   GovernorConfig cfg;
   // 4 threads x 1000 atoms x (8 + 24) bytes = 128 kB replicas; budget 1 kB.
+  // CellTask is disabled so the blown budget is what decides the rung.
   cfg.max_private_bytes = 1024;
+  cfg.enable_celltask = false;
   StrategyGovernor gov(cfg);
   const GovernorDecision d = gov.setup(Box::cubic(10.0), 4.0, 4, 1000);
   EXPECT_EQ(d.strategy, ReductionStrategy::LockStriped);
@@ -105,7 +140,7 @@ TEST_F(GovernorTest, BoxChangeDemotesAndStepPromotesWithHysteresis) {
 
   const GovernorDecision demote = gov.on_box_change(small, 4.0, 4, 1000);
   EXPECT_EQ(demote.event, GovernorEvent::Demotion);
-  EXPECT_EQ(demote.strategy, ReductionStrategy::ArrayPrivatization);
+  EXPECT_EQ(demote.strategy, ReductionStrategy::CellTask);
   EXPECT_EQ(gov.demotions(), 1);
   // One demotion doubled the backoff: 3 * 2 = 6 feasible steps required.
   EXPECT_EQ(gov.required_streak(), 6);
@@ -175,10 +210,12 @@ TEST_F(GovernorTest, ShadowMismatchDemotesOneRung) {
 
   const GovernorDecision d = gov.on_shadow_mismatch("test mismatch");
   EXPECT_EQ(d.event, GovernorEvent::Demotion);
-  EXPECT_EQ(d.strategy, ReductionStrategy::ArrayPrivatization);
+  EXPECT_EQ(d.strategy, ReductionStrategy::CellTask);
   EXPECT_EQ(gov.race_suspects(), 1);
 
-  // Again and again: walks the whole ladder, then sticks at Serial.
+  // Again and again: walks the whole ladder (CellTask -> SAP -> Locks ->
+  // Atomic -> Serial), then sticks at Serial.
+  gov.on_shadow_mismatch("again");
   gov.on_shadow_mismatch("again");
   gov.on_shadow_mismatch("again");
   EXPECT_EQ(gov.on_shadow_mismatch("again").strategy,
@@ -193,14 +230,14 @@ TEST_F(GovernorTest, RestoredStateKeepsDemotedRungAcrossSetup) {
   const Box big = Box::cubic(40.0);
   first.setup(big, 4.0, 4, 1000);
   first.on_box_change(Box::cubic(10.0), 4.0, 4, 1000);
-  ASSERT_EQ(first.active(), ReductionStrategy::ArrayPrivatization);
+  ASSERT_EQ(first.active(), ReductionStrategy::CellTask);
 
   StrategyGovernor second(cfg);
   second.restore_state(first.state());
   // The box recovered, but the restored governor must NOT jump straight
   // back to SDC: promotion stays hysteretic across restarts.
   const GovernorDecision d = second.setup(big, 4.0, 4, 1000);
-  EXPECT_EQ(d.strategy, ReductionStrategy::ArrayPrivatization);
+  EXPECT_EQ(d.strategy, ReductionStrategy::CellTask);
   EXPECT_EQ(d.event, GovernorEvent::None);
   EXPECT_EQ(second.demotions(), 1);
   EXPECT_EQ(second.required_streak(), first.required_streak());
@@ -216,7 +253,7 @@ TEST_F(GovernorTest, RestoredRungInfeasibleForRestoredBoxDemotes) {
   second.restore_state(first.state());
   const GovernorDecision d = second.setup(Box::cubic(10.0), 4.0, 4, 1000);
   EXPECT_EQ(d.event, GovernorEvent::Demotion);
-  EXPECT_EQ(d.strategy, ReductionStrategy::ArrayPrivatization);
+  EXPECT_EQ(d.strategy, ReductionStrategy::CellTask);
 }
 
 TEST_F(GovernorTest, ConfigValidation) {
@@ -241,6 +278,22 @@ TEST_F(GovernorTest, StrategyCodesAreStable) {
       StrategyGovernor::strategy_code(ReductionStrategy::RedundantComputation),
       5);
   EXPECT_EQ(StrategyGovernor::strategy_code(ReductionStrategy::Sdc), 6);
+  EXPECT_EQ(StrategyGovernor::strategy_code(ReductionStrategy::CellTask), 7);
+}
+
+TEST_F(GovernorTest, UnknownStrategyCodeIsRejectedNotMisdecoded) {
+  // A sidecar written by a NEWER ladder can carry a code this build has
+  // never heard of; the decode must fail loudly (or softly via the
+  // try_ variant), never alias onto a known rung.
+  for (int code = 0; code <= 7; ++code) {
+    const auto s = StrategyGovernor::try_strategy_from_code(code);
+    ASSERT_TRUE(s.has_value()) << "code " << code;
+    EXPECT_EQ(StrategyGovernor::strategy_code(*s), code);
+  }
+  EXPECT_FALSE(StrategyGovernor::try_strategy_from_code(8).has_value());
+  EXPECT_FALSE(StrategyGovernor::try_strategy_from_code(99).has_value());
+  EXPECT_FALSE(StrategyGovernor::try_strategy_from_code(-1).has_value());
+  EXPECT_THROW(StrategyGovernor::strategy_from_code(99), PreconditionError);
 }
 
 // ---------------------------------------------------------------------------
@@ -267,12 +320,14 @@ TEST_F(GovernorTest, BoxShrinkFaultTriggersExactlyOneDemotion) {
   EXPECT_EQ(sim.current_step(), 20);
   EXPECT_EQ(FaultInjector::instance().fire_count(faults::kBoxShrink), 1);
   EXPECT_EQ(sim.governor()->demotions(), 1);
-  EXPECT_EQ(sim.governor()->active(), ReductionStrategy::ArrayPrivatization);
+  EXPECT_EQ(sim.governor()->active(), ReductionStrategy::CellTask);
   // Metrics + trace carry the event.
   EXPECT_EQ(registry.value(registry.counter("governor.demotions")), 1.0);
   EXPECT_EQ(registry.value(registry.gauge("governor.active_strategy")),
-            StrategyGovernor::strategy_code(
-                ReductionStrategy::ArrayPrivatization));
+            StrategyGovernor::strategy_code(ReductionStrategy::CellTask));
+  // The demoted shape spawned block tasks and reported its queue shape.
+  EXPECT_GT(registry.value(registry.counter("task.spawned")), 0.0);
+  EXPECT_GE(registry.value(registry.gauge("task.max_queue_depth")), 1.0);
   EXPECT_NE(trace.to_json().find("governor.demote"), std::string::npos);
 }
 
@@ -286,8 +341,7 @@ TEST_F(GovernorTest, DemotedForcesMatchSerialReference) {
   fault.magnitude = kShrink;
   FaultInjector::instance().arm(faults::kBoxShrink, fault);
   sim.run(10);
-  ASSERT_EQ(sim.governor()->active(),
-            ReductionStrategy::ArrayPrivatization);
+  ASSERT_EQ(sim.governor()->active(), ReductionStrategy::CellTask);
 
   sim.compute_forces();
   const Atoms& atoms = sim.system().atoms();
@@ -355,19 +409,17 @@ TEST_F(GovernorTest, GovernorStateSurvivesCheckpointRestart) {
   FaultInjector::instance().arm(faults::kBoxShrink, fault);
   sim.run(10);
   FaultInjector::instance().disarm_all();
-  ASSERT_EQ(sim.governor()->active(),
-            ReductionStrategy::ArrayPrivatization);
+  ASSERT_EQ(sim.governor()->active(), ReductionStrategy::CellTask);
 
   // "Restart": a new Simulation from the saved System + governor state.
   // The restart config carries the checkpointed (demoted) strategy — the
   // shrunk box would make an SDC constructor throw before the governor
   // could take over.
   SimulationConfig restart_cfg = sdc_config();
-  restart_cfg.force.strategy = ReductionStrategy::ArrayPrivatization;
+  restart_cfg.force.strategy = ReductionStrategy::CellTask;
   Simulation restarted(sim.system(), iron(), restart_cfg);
   restarted.set_governor(GovernorConfig{}, sim.governor()->state());
-  EXPECT_EQ(restarted.governor()->active(),
-            ReductionStrategy::ArrayPrivatization);
+  EXPECT_EQ(restarted.governor()->active(), ReductionStrategy::CellTask);
   EXPECT_EQ(restarted.governor()->demotions(), 1);
   EXPECT_EQ(restarted.governor()->required_streak(),
             sim.governor()->required_streak());
@@ -375,11 +427,13 @@ TEST_F(GovernorTest, GovernorStateSurvivesCheckpointRestart) {
 }
 
 TEST_F(GovernorTest, RunStateRoundTripRestoresDemotedRungAndBackoff) {
-  // Demote two rungs in one event: the SAP replication budget is blown, so
-  // the infeasible-SDC demotion skips ArrayPrivatization and lands on
-  // LockStriped — exactly the mid-ladder state a checkpoint must preserve.
+  // Demote several rungs in one event: CellTask is disabled and the SAP
+  // replication budget is blown, so the infeasible-SDC demotion skips both
+  // and lands on LockStriped — exactly the mid-ladder state a checkpoint
+  // must preserve.
   GovernorConfig budget;
   budget.max_private_bytes = 1;
+  budget.enable_celltask = false;
   Simulation sim(make_system(kCells), iron(), sdc_config());
   sim.set_governor(budget);
   FaultSpec fault;
